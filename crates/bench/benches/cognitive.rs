@@ -1,0 +1,37 @@
+//! Criterion benchmark for the cognitive co-task scheduler.
+//!
+//! The scheduler replays a whole mission's CPU profile in one call; this
+//! bench confirms that the replay stays far below a single navigation
+//! decision's cost even for long (thousands of decisions) missions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roborun_cognitive::{CognitiveTask, CpuInterval, HeadroomScheduler, SchedulerConfig};
+
+fn bench_scheduler_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cognitive_scheduler");
+    group.sample_size(40);
+    for &decisions in &[500usize, 5_000] {
+        group.bench_with_input(
+            BenchmarkId::new("decisions", decisions),
+            &decisions,
+            |b, &decisions| {
+                // A mildly varying utilization profile like a real mission's.
+                let profile: Vec<CpuInterval> = (0..decisions)
+                    .map(|i| {
+                        let utilization = 0.3 + 0.4 * ((i % 20) as f64 / 20.0);
+                        CpuInterval::new(0.5, utilization).expect("valid interval")
+                    })
+                    .collect();
+                let scheduler = HeadroomScheduler::new(
+                    SchedulerConfig::default(),
+                    CognitiveTask::standard_mix(),
+                );
+                b.iter(|| std::hint::black_box(scheduler.run(&profile)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler_replay);
+criterion_main!(benches);

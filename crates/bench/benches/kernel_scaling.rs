@@ -1,0 +1,101 @@
+//! Kernel-scaling benchmarks (real wall-clock validation of Fig. 2a's
+//! shape): the perception kernels' measured cost must grow with volume and
+//! with inverse precision, which is the property the calibrated latency
+//! model (and therefore the governor) relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roborun_geom::Vec3;
+use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
+
+/// A synthetic dense scan: a wall of points at the given distance.
+fn wall_cloud(distance: f64, points_per_side: usize) -> PointCloud {
+    let origin = Vec3::new(0.0, 0.0, 5.0);
+    let mut points = Vec::with_capacity(points_per_side * points_per_side);
+    for iy in 0..points_per_side {
+        for iz in 0..points_per_side {
+            points.push(Vec3::new(
+                distance,
+                -10.0 + 20.0 * iy as f64 / points_per_side as f64,
+                10.0 * iz as f64 / points_per_side as f64,
+            ));
+        }
+    }
+    PointCloud::new(origin, points)
+}
+
+fn bench_point_cloud_precision(c: &mut Criterion) {
+    let cloud = wall_cloud(15.0, 48);
+    let mut group = c.benchmark_group("point_cloud_downsample");
+    for &precision in &[0.3, 0.6, 1.2, 2.4, 4.8, 9.6] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{precision}m")),
+            &precision,
+            |b, &p| b.iter(|| std::hint::black_box(cloud.downsampled(p)).len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_octomap_insert_precision(c: &mut Criterion) {
+    let cloud = wall_cloud(15.0, 32);
+    let mut group = c.benchmark_group("octomap_integrate_raytrace_step");
+    for &step in &[0.3, 0.6, 1.2, 2.4] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{step}m")), &step, |b, &s| {
+            b.iter(|| {
+                let mut map = OccupancyMap::new(0.3);
+                std::hint::black_box(map.integrate_cloud(&cloud, s))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_octomap_insert_volume(c: &mut Criterion) {
+    let mut group = c.benchmark_group("octomap_integrate_cloud_size");
+    for &side in &[8usize, 16, 32, 48] {
+        let cloud = wall_cloud(15.0, side);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}pts", cloud.len())),
+            &cloud,
+            |b, cloud| {
+                b.iter(|| {
+                    let mut map = OccupancyMap::new(0.3);
+                    std::hint::black_box(map.integrate_cloud(cloud, 0.6))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_export_precision(c: &mut Criterion) {
+    let cloud = wall_cloud(15.0, 48);
+    let mut map = OccupancyMap::new(0.3);
+    map.integrate_cloud(&cloud, 0.3);
+    let mut group = c.benchmark_group("planner_map_export");
+    for &precision in &[0.3, 0.6, 1.2, 2.4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{precision}m")),
+            &precision,
+            |b, &p| {
+                b.iter(|| {
+                    std::hint::black_box(PlannerMap::export(
+                        &map,
+                        &ExportConfig::new(p, 1e9, Vec3::new(0.0, 0.0, 5.0)),
+                    ))
+                    .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_point_cloud_precision,
+    bench_octomap_insert_precision,
+    bench_octomap_insert_volume,
+    bench_export_precision
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! End-to-end mission benchmark: one short mission per design. The
+//! benchmark's *report* is simulation wall-clock; the mission-level metric
+//! shapes of Fig. 7 are asserted by the integration tests and regenerated
+//! by the `experiments` binary — this bench guards the cost of the
+//! reproduction harness itself (how long a mission takes to simulate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use roborun_core::RuntimeMode;
+use roborun_env::{DifficultyConfig, EnvironmentGenerator};
+use roborun_mission::{MissionConfig, MissionRunner};
+
+fn bench_short_missions(c: &mut Criterion) {
+    let env = EnvironmentGenerator::new(DifficultyConfig {
+        obstacle_density: 0.4,
+        obstacle_spread: 40.0,
+        goal_distance: 120.0,
+    })
+    .generate(17);
+
+    let mut group = c.benchmark_group("short_mission");
+    group.sample_size(10);
+    for mode in [RuntimeMode::SpatialAware, RuntimeMode::SpatialOblivious] {
+        group.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                let config = MissionConfig {
+                    max_decisions: 1_200,
+                    ..MissionConfig::new(mode)
+                };
+                let result = MissionRunner::new(config).run(&env);
+                std::hint::black_box(result.metrics.decisions)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_short_missions);
+criterion_main!(benches);

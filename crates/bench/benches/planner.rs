@@ -1,0 +1,87 @@
+//! Planner benchmarks: how the RRT* search cost scales with the planning
+//! volume knob and the collision-check precision knob — the two handles the
+//! governor uses on the planning stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roborun_geom::{Aabb, Vec3};
+use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
+use roborun_planning::{CollisionChecker, RrtConfig, RrtStar};
+
+/// A wall with one gap, exported for the planner.
+fn gap_map() -> PlannerMap {
+    let mut map = OccupancyMap::new(0.5);
+    let origin = Vec3::new(0.0, 0.0, 5.0);
+    let mut points = Vec::new();
+    for yi in -50..=50 {
+        let y = yi as f64 * 0.5;
+        if (5.0..=9.0).contains(&y) {
+            continue;
+        }
+        for zi in 0..20 {
+            points.push(Vec3::new(22.0, y, zi as f64 * 0.5));
+        }
+    }
+    map.integrate_cloud(&PointCloud::new(origin, points), 1.0);
+    PlannerMap::export(&map, &ExportConfig::new(0.5, 1e9, origin))
+}
+
+fn bounds() -> Aabb {
+    Aabb::new(Vec3::new(-5.0, -30.0, 1.0), Vec3::new(50.0, 30.0, 11.0))
+}
+
+fn bench_rrt_volume_knob(c: &mut Criterion) {
+    let map = gap_map();
+    let mut group = c.benchmark_group("rrtstar_volume_budget");
+    group.sample_size(20);
+    for &volume in &[2_000.0, 20_000.0, 150_000.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{volume}m3")),
+            &volume,
+            |b, &v| {
+                b.iter(|| {
+                    let mut checker = CollisionChecker::new(map.clone(), 0.45, 0.5);
+                    let planner = RrtStar::new(RrtConfig {
+                        max_explored_volume: v,
+                        max_samples: 800,
+                        seed: 9,
+                        ..RrtConfig::default()
+                    });
+                    std::hint::black_box(planner.plan(
+                        &mut checker,
+                        Vec3::new(0.0, 0.0, 5.0),
+                        Vec3::new(45.0, 0.0, 5.0),
+                        &bounds(),
+                    ))
+                    .samples_drawn
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_collision_check_precision(c: &mut Criterion) {
+    let map = gap_map();
+    let mut group = c.benchmark_group("collision_check_step");
+    for &step in &[0.3, 0.6, 1.2, 2.4] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{step}m")), &step, |b, &s| {
+            b.iter(|| {
+                let mut checker = CollisionChecker::new(map.clone(), 0.45, s);
+                let mut free = 0usize;
+                for y in -20..20 {
+                    if checker.segment_free(
+                        Vec3::new(0.0, y as f64, 5.0),
+                        Vec3::new(45.0, y as f64, 5.0),
+                    ) {
+                        free += 1;
+                    }
+                }
+                std::hint::black_box(free)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rrt_volume_knob, bench_collision_check_precision);
+criterion_main!(benches);

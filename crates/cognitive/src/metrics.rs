@@ -1,0 +1,241 @@
+//! Co-task throughput metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-task outcome of a scheduling run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskStats {
+    /// Task name.
+    pub name: String,
+    /// Frames the task wanted to process over the run.
+    pub frames_due: u64,
+    /// Frames actually processed.
+    pub frames_processed: u64,
+    /// Frames dropped because the backlog cap was exceeded.
+    pub frames_dropped: u64,
+    /// Frames still pending when the run ended.
+    pub frames_pending: u64,
+    /// Achieved processing rate (frames per second).
+    pub achieved_rate_hz: f64,
+    /// Desired processing rate (frames per second).
+    pub desired_rate_hz: f64,
+}
+
+impl TaskStats {
+    /// Fraction of the desired rate actually achieved, in `[0, 1]`.
+    pub fn attainment(&self) -> f64 {
+        if self.desired_rate_hz <= 0.0 {
+            0.0
+        } else {
+            (self.achieved_rate_hz / self.desired_rate_hz).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Fraction of due frames that were dropped.
+    pub fn drop_ratio(&self) -> f64 {
+        if self.frames_due == 0 {
+            0.0
+        } else {
+            self.frames_dropped as f64 / self.frames_due as f64
+        }
+    }
+}
+
+/// Outcome of running a co-task mix against one mission's CPU headroom.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoTaskReport {
+    /// Per-task statistics, in scheduling-priority order.
+    pub tasks: Vec<TaskStats>,
+    /// Total mission duration covered by the run (seconds).
+    pub duration: f64,
+    /// Core-seconds left over by navigation across the run.
+    pub headroom_core_seconds: f64,
+    /// Core-seconds actually consumed by co-tasks.
+    pub used_core_seconds: f64,
+    /// Mean navigation CPU utilization over the run, in `[0, 1]`.
+    pub mean_navigation_utilization: f64,
+}
+
+impl CoTaskReport {
+    /// Statistics for a task by name.
+    pub fn task(&self, name: &str) -> Option<&TaskStats> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Total frames processed across every task.
+    pub fn total_processed(&self) -> u64 {
+        self.tasks.iter().map(|t| t.frames_processed).sum()
+    }
+
+    /// Total frames dropped across every task.
+    pub fn total_dropped(&self) -> u64 {
+        self.tasks.iter().map(|t| t.frames_dropped).sum()
+    }
+
+    /// Fraction of the available headroom that co-tasks consumed, in
+    /// `[0, 1]`.
+    pub fn headroom_utilization(&self) -> f64 {
+        if self.headroom_core_seconds <= 0.0 {
+            0.0
+        } else {
+            (self.used_core_seconds / self.headroom_core_seconds).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Mean attainment across tasks (unweighted), in `[0, 1]`.
+    pub fn mean_attainment(&self) -> f64 {
+        if self.tasks.is_empty() {
+            0.0
+        } else {
+            self.tasks.iter().map(TaskStats::attainment).sum::<f64>() / self.tasks.len() as f64
+        }
+    }
+
+    /// A plain-text table of the report for experiment logs.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8} {:>10} {:>9} {:>9} {:>12} {:>12}",
+            "task", "due", "processed", "dropped", "pending", "rate (Hz)", "attainment"
+        );
+        for t in &self.tasks {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>8} {:>10} {:>9} {:>9} {:>12.3} {:>11.1}%",
+                t.name,
+                t.frames_due,
+                t.frames_processed,
+                t.frames_dropped,
+                t.frames_pending,
+                t.achieved_rate_hz,
+                t.attainment() * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "headroom {:.1} core-s, used {:.1} core-s ({:.1}%), nav CPU {:.1}%",
+            self.headroom_core_seconds,
+            self.used_core_seconds,
+            self.headroom_utilization() * 100.0,
+            self.mean_navigation_utilization * 100.0
+        );
+        out
+    }
+}
+
+/// Side-by-side comparison of two co-task reports (typically RoboRun vs the
+/// spatial-oblivious baseline over the same mission distance).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoTaskComparison {
+    /// Name of the first design (e.g. "spatial-aware").
+    pub first_label: String,
+    /// Name of the second design (e.g. "spatial-oblivious").
+    pub second_label: String,
+    /// Ratio of mean attainment, first / second (>1 means the first design
+    /// sustains more of the desired cognitive throughput).
+    pub attainment_ratio: f64,
+    /// Ratio of total processed frames per second of mission time,
+    /// first / second.
+    pub throughput_ratio: f64,
+}
+
+impl CoTaskComparison {
+    /// Compares two reports.
+    pub fn between(
+        first_label: &str,
+        first: &CoTaskReport,
+        second_label: &str,
+        second: &CoTaskReport,
+    ) -> Self {
+        let rate = |r: &CoTaskReport| {
+            if r.duration <= 0.0 {
+                0.0
+            } else {
+                r.total_processed() as f64 / r.duration
+            }
+        };
+        let ratio = |a: f64, b: f64| if b <= 1e-12 { f64::INFINITY } else { a / b };
+        CoTaskComparison {
+            first_label: first_label.to_string(),
+            second_label: second_label.to_string(),
+            attainment_ratio: ratio(first.mean_attainment(), second.mean_attainment()),
+            throughput_ratio: ratio(rate(first), rate(second)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(name: &str, due: u64, processed: u64, dropped: u64, duration: f64) -> TaskStats {
+        TaskStats {
+            name: name.to_string(),
+            frames_due: due,
+            frames_processed: processed,
+            frames_dropped: dropped,
+            frames_pending: due - processed - dropped,
+            achieved_rate_hz: processed as f64 / duration,
+            desired_rate_hz: due as f64 / duration,
+        }
+    }
+
+    fn report(tasks: Vec<TaskStats>, duration: f64, headroom: f64, used: f64) -> CoTaskReport {
+        CoTaskReport {
+            tasks,
+            duration,
+            headroom_core_seconds: headroom,
+            used_core_seconds: used,
+            mean_navigation_utilization: 0.5,
+        }
+    }
+
+    #[test]
+    fn attainment_and_drop_ratio_are_bounded() {
+        let t = stats("labeling", 100, 60, 30, 100.0);
+        assert!((t.attainment() - 0.6).abs() < 1e-12);
+        assert!((t.drop_ratio() - 0.3).abs() < 1e-12);
+        let empty = stats("idle", 0, 0, 0, 100.0);
+        assert_eq!(empty.attainment(), 0.0);
+        assert_eq!(empty.drop_ratio(), 0.0);
+    }
+
+    #[test]
+    fn report_aggregates_tasks() {
+        let r = report(
+            vec![stats("a", 10, 8, 1, 10.0), stats("b", 20, 20, 0, 10.0)],
+            10.0,
+            40.0,
+            20.0,
+        );
+        assert_eq!(r.total_processed(), 28);
+        assert_eq!(r.total_dropped(), 1);
+        assert!((r.headroom_utilization() - 0.5).abs() < 1e-12);
+        assert!((r.mean_attainment() - 0.9).abs() < 1e-12);
+        assert!(r.task("a").is_some());
+        assert!(r.task("missing").is_none());
+        let table = r.to_table();
+        assert!(table.contains("labeling") || table.contains('a'));
+        assert!(table.lines().count() >= 4);
+    }
+
+    #[test]
+    fn comparison_prefers_the_design_with_more_headroom() {
+        let good = report(vec![stats("a", 100, 95, 0, 100.0)], 100.0, 300.0, 90.0);
+        let bad = report(vec![stats("a", 100, 30, 50, 100.0)], 100.0, 80.0, 30.0);
+        let cmp = CoTaskComparison::between("aware", &good, "oblivious", &bad);
+        assert!(cmp.attainment_ratio > 2.0);
+        assert!(cmp.throughput_ratio > 2.0);
+        assert_eq!(cmp.first_label, "aware");
+    }
+
+    #[test]
+    fn zero_duration_comparison_does_not_divide_by_zero() {
+        let a = report(vec![], 0.0, 0.0, 0.0);
+        let b = report(vec![], 0.0, 0.0, 0.0);
+        let cmp = CoTaskComparison::between("a", &a, "b", &b);
+        assert!(cmp.throughput_ratio.is_infinite() || cmp.throughput_ratio == 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cognitive co-task descriptions.
+//!
+//! The paper motivates RoboRun's CPU-utilization reduction by the
+//! higher-level cognitive tasks it makes room for: "semantic labeling, and
+//! gesture/action detection. Since navigation is a primitive task, lowering
+//! its pressure on the CPU is imperative." (Section V-A). This module
+//! describes those co-tasks as periodic frame-processing workloads so the
+//! scheduler can quantify how much of each workload fits into the headroom
+//! a given navigation design leaves.
+
+use serde::{Deserialize, Serialize};
+
+/// A periodic cognitive workload that consumes leftover CPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CognitiveTask {
+    /// Human-readable name ("semantic_labeling", ...).
+    pub name: String,
+    /// CPU cost of processing one frame (core-seconds).
+    pub cost_per_frame: f64,
+    /// Desired inter-frame period (seconds); the desired rate is
+    /// `1 / desired_period` Hz.
+    pub desired_period: f64,
+    /// Maximum backlog (in frames) the task keeps before it starts dropping
+    /// the oldest pending frames — a perception co-task has no use for
+    /// stale camera frames.
+    pub max_backlog: usize,
+}
+
+impl CognitiveTask {
+    /// Creates a task after validating its parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field (non-positive cost
+    /// or period, zero backlog).
+    pub fn new(
+        name: &str,
+        cost_per_frame: f64,
+        desired_period: f64,
+        max_backlog: usize,
+    ) -> Result<Self, String> {
+        if !(cost_per_frame > 0.0) {
+            return Err(format!("cost_per_frame must be positive, got {cost_per_frame}"));
+        }
+        if !(desired_period > 0.0) {
+            return Err(format!("desired_period must be positive, got {desired_period}"));
+        }
+        if max_backlog == 0 {
+            return Err("max_backlog must be at least 1".to_string());
+        }
+        Ok(CognitiveTask {
+            name: name.to_string(),
+            cost_per_frame,
+            desired_period,
+            max_backlog,
+        })
+    }
+
+    /// Semantic labeling of camera frames: a heavyweight CNN-style pass at
+    /// 1 Hz, ~0.9 core-seconds per frame.
+    pub fn semantic_labeling() -> Self {
+        CognitiveTask::new("semantic_labeling", 0.9, 1.0, 3).expect("preset is valid")
+    }
+
+    /// Gesture / action detection: lighter per frame (~0.3 core-seconds)
+    /// but wants 2 Hz.
+    pub fn gesture_detection() -> Self {
+        CognitiveTask::new("gesture_detection", 0.3, 0.5, 4).expect("preset is valid")
+    }
+
+    /// Object tracking: cheap (~0.1 core-seconds) at 4 Hz.
+    pub fn object_tracking() -> Self {
+        CognitiveTask::new("object_tracking", 0.1, 0.25, 8).expect("preset is valid")
+    }
+
+    /// The standard co-task mix used by the experiments: labeling +
+    /// detection + tracking.
+    pub fn standard_mix() -> Vec<Self> {
+        vec![
+            CognitiveTask::semantic_labeling(),
+            CognitiveTask::gesture_detection(),
+            CognitiveTask::object_tracking(),
+        ]
+    }
+
+    /// Desired processing rate (frames per second).
+    pub fn desired_rate_hz(&self) -> f64 {
+        1.0 / self.desired_period
+    }
+
+    /// CPU demand if every desired frame were processed (core-utilization,
+    /// i.e. cores occupied on average).
+    pub fn steady_state_demand(&self) -> f64 {
+        self.cost_per_frame / self.desired_period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid_and_distinct() {
+        let mix = CognitiveTask::standard_mix();
+        assert_eq!(mix.len(), 3);
+        let names: std::collections::HashSet<_> = mix.iter().map(|t| t.name.clone()).collect();
+        assert_eq!(names.len(), 3);
+        for task in &mix {
+            assert!(task.cost_per_frame > 0.0);
+            assert!(task.desired_period > 0.0);
+            assert!(task.max_backlog >= 1);
+        }
+    }
+
+    #[test]
+    fn rates_and_demand_follow_the_period() {
+        let task = CognitiveTask::new("t", 0.5, 0.25, 2).unwrap();
+        assert!((task.desired_rate_hz() - 4.0).abs() < 1e-12);
+        assert!((task.steady_state_demand() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(CognitiveTask::new("t", 0.0, 1.0, 1).is_err());
+        assert!(CognitiveTask::new("t", -1.0, 1.0, 1).is_err());
+        assert!(CognitiveTask::new("t", 1.0, 0.0, 1).is_err());
+        assert!(CognitiveTask::new("t", 1.0, f64::NAN, 1).is_err());
+        assert!(CognitiveTask::new("t", 1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn semantic_labeling_is_the_heaviest_preset() {
+        let mix = CognitiveTask::standard_mix();
+        let labeling = &mix[0];
+        for other in &mix[1..] {
+            assert!(labeling.cost_per_frame > other.cost_per_frame);
+        }
+    }
+}

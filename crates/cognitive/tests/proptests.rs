@@ -1,0 +1,63 @@
+//! Property-based tests for the headroom scheduler's invariants.
+
+use proptest::prelude::*;
+use roborun_cognitive::{CognitiveTask, CpuInterval, HeadroomScheduler, SchedulerConfig};
+
+fn arbitrary_profile() -> impl Strategy<Value = Vec<CpuInterval>> {
+    proptest::collection::vec((0.05f64..3.0, 0.0f64..1.0), 0..200).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(duration, utilization)| CpuInterval::new(duration, utilization).expect("valid"))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every task: due = processed + dropped + pending, achieved rate
+    /// never exceeds the desired rate, and the co-tasks never spend more
+    /// than the allowed fraction of the idle core-seconds.
+    #[test]
+    fn scheduler_invariants_hold(profile in arbitrary_profile()) {
+        let config = SchedulerConfig::default();
+        let scheduler = HeadroomScheduler::new(config, CognitiveTask::standard_mix());
+        let report = scheduler.run(&profile);
+
+        for stats in &report.tasks {
+            prop_assert_eq!(
+                stats.frames_due,
+                stats.frames_processed + stats.frames_dropped + stats.frames_pending
+            );
+            prop_assert!(stats.achieved_rate_hz <= stats.desired_rate_hz + 1e-9);
+            prop_assert!(stats.attainment() >= 0.0 && stats.attainment() <= 1.0);
+        }
+        prop_assert!(report.used_core_seconds
+            <= report.headroom_core_seconds * config.headroom_fraction + 1e-6);
+        prop_assert!(report.mean_navigation_utilization >= 0.0);
+        prop_assert!(report.mean_navigation_utilization <= 1.0);
+    }
+
+    /// An (almost) idle CPU sustains at least as much cognitive throughput
+    /// as a heavily loaded one over the same mission profile, for every
+    /// task in the mix.
+    #[test]
+    fn idle_cpu_dominates_a_loaded_cpu(
+        duration in 0.1f64..2.0,
+        steps in 10usize..150,
+        high_util in 0.85f64..1.0,
+    ) {
+        let make = |util: f64| -> Vec<CpuInterval> {
+            (0..steps).map(|_| CpuInterval::new(duration, util).expect("valid")).collect()
+        };
+        let scheduler =
+            HeadroomScheduler::new(SchedulerConfig::default(), CognitiveTask::standard_mix());
+        let busy = scheduler.run(&make(high_util));
+        let relaxed = scheduler.run(&make(0.0));
+        prop_assert!(relaxed.total_processed() >= busy.total_processed());
+        prop_assert!(relaxed.mean_attainment() + 1e-9 >= busy.mean_attainment());
+        for (r, b) in relaxed.tasks.iter().zip(busy.tasks.iter()) {
+            prop_assert!(r.frames_processed >= b.frames_processed, "task {}", r.name);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Trajectory following: turning the smoothed trajectory into velocity
+//! commands for the simulated drone.
+
+use crate::Pid;
+use roborun_geom::Vec3;
+use roborun_planning::Trajectory;
+use serde::{Deserialize, Serialize};
+
+/// A velocity command produced by the follower.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FollowCommand {
+    /// Point on the trajectory the drone should steer towards.
+    pub target: Vec3,
+    /// Commanded ground speed (m/s), already corrected for tracking error.
+    pub speed: f64,
+    /// Current cross-track error (metres).
+    pub tracking_error: f64,
+    /// `true` when the trajectory is finished (the target is its end).
+    pub finished: bool,
+}
+
+/// Tracks progress along a [`Trajectory`] and produces velocity commands.
+///
+/// The follower looks ahead along the time-parameterised trajectory and uses
+/// a PID loop on the cross-track error to modulate the commanded speed:
+/// large tracking errors slow the drone down so it can re-converge, which is
+/// also what keeps it stable when the runtime swaps trajectories after a
+/// re-plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryFollower {
+    trajectory: Trajectory,
+    progress_time: f64,
+    lookahead: f64,
+    speed_pid: Pid,
+}
+
+impl TrajectoryFollower {
+    /// Creates a follower for a trajectory with the given lookahead time
+    /// (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead <= 0`.
+    pub fn new(trajectory: Trajectory, lookahead: f64) -> Self {
+        assert!(lookahead > 0.0, "lookahead must be positive, got {lookahead}");
+        TrajectoryFollower {
+            trajectory,
+            progress_time: 0.0,
+            lookahead,
+            speed_pid: Pid::new(0.8, 0.05, 0.0, 3.0),
+        }
+    }
+
+    /// The trajectory being followed.
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.trajectory
+    }
+
+    /// Current progress time along the trajectory (seconds).
+    pub fn progress_time(&self) -> f64 {
+        self.progress_time
+    }
+
+    /// Replaces the trajectory (after a re-plan) and restarts progress.
+    pub fn replace_trajectory(&mut self, trajectory: Trajectory) {
+        self.trajectory = trajectory;
+        self.progress_time = 0.0;
+        self.speed_pid.reset();
+    }
+
+    /// `true` when the follower has consumed the whole trajectory.
+    pub fn finished(&self) -> bool {
+        self.trajectory.is_empty() || self.progress_time >= self.trajectory.duration()
+    }
+
+    /// Advances the follower by `dt` seconds given the drone's current
+    /// position and returns the command for the next interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn update(&mut self, current_position: Vec3, dt: f64) -> FollowCommand {
+        assert!(dt > 0.0, "dt must be positive, got {dt}");
+        if self.trajectory.is_empty() {
+            return FollowCommand {
+                target: current_position,
+                speed: 0.0,
+                tracking_error: 0.0,
+                finished: true,
+            };
+        }
+        let reference = self
+            .trajectory
+            .sample_at(self.progress_time)
+            .expect("non-empty trajectory always samples");
+        let tracking_error = reference.position.distance(current_position);
+        // Only advance the reference when the drone is keeping up; this
+        // prevents the reference from running away after a slow decision.
+        if tracking_error < 2.0 {
+            self.progress_time += dt;
+        } else {
+            self.progress_time += dt * 0.25;
+        }
+        let target_time = (self.progress_time + self.lookahead).min(self.trajectory.duration());
+        let target_sample = self
+            .trajectory
+            .sample_at(target_time)
+            .expect("non-empty trajectory always samples");
+        // Slow down proportionally to the tracking error.
+        let correction = self.speed_pid.update(tracking_error, dt);
+        let speed = (target_sample.speed - 0.5 * correction).clamp(0.2, target_sample.speed.max(0.2));
+        FollowCommand {
+            target: target_sample.position,
+            speed,
+            tracking_error,
+            finished: self.finished(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roborun_planning::{smooth_path, SmoothingConfig};
+
+    fn straight_trajectory(speed: f64) -> Trajectory {
+        smooth_path(
+            &[Vec3::new(0.0, 0.0, 5.0), Vec3::new(30.0, 0.0, 5.0)],
+            speed,
+            &SmoothingConfig::default(),
+        )
+    }
+
+    #[test]
+    fn empty_trajectory_is_finished_immediately() {
+        let mut f = TrajectoryFollower::new(Trajectory::empty(), 0.5);
+        assert!(f.finished());
+        let cmd = f.update(Vec3::ZERO, 0.1);
+        assert!(cmd.finished);
+        assert_eq!(cmd.speed, 0.0);
+        assert_eq!(cmd.target, Vec3::ZERO);
+    }
+
+    #[test]
+    fn commands_follow_the_trajectory_forward() {
+        let traj = straight_trajectory(3.0);
+        let mut f = TrajectoryFollower::new(traj.clone(), 0.5);
+        let c1 = f.update(Vec3::new(0.0, 0.0, 5.0), 0.5);
+        assert!(c1.target.x > 0.0);
+        assert!(c1.speed > 0.0);
+        assert!(!c1.finished);
+        // Later commands aim farther along the path.
+        let mut pos = Vec3::new(0.0, 0.0, 5.0);
+        let mut last_x = c1.target.x;
+        for _ in 0..10 {
+            let c = f.update(pos, 0.5);
+            pos = c.target; // idealised drone that reaches the target
+            assert!(c.target.x >= last_x - 1e-9);
+            last_x = c.target.x;
+        }
+        assert!(f.progress_time() > 0.0);
+    }
+
+    #[test]
+    fn finishes_after_duration_consumed() {
+        let traj = straight_trajectory(4.0);
+        let duration = traj.duration();
+        let mut f = TrajectoryFollower::new(traj, 0.5);
+        let mut pos = Vec3::new(0.0, 0.0, 5.0);
+        let mut steps = 0;
+        while !f.finished() && steps < 10_000 {
+            let c = f.update(pos, 0.5);
+            pos = c.target;
+            steps += 1;
+        }
+        assert!(f.finished());
+        assert!((steps as f64) * 0.5 >= duration * 0.9);
+        // Final target is the trajectory end.
+        assert!((pos - Vec3::new(30.0, 0.0, 5.0)).norm() < 1.0);
+    }
+
+    #[test]
+    fn large_tracking_error_slows_progress_and_speed() {
+        let traj = straight_trajectory(4.0);
+        let mut on_track = TrajectoryFollower::new(traj.clone(), 0.5);
+        let mut off_track = TrajectoryFollower::new(traj, 0.5);
+        for _ in 0..6 {
+            on_track.update(
+                on_track
+                    .trajectory()
+                    .sample_at(on_track.progress_time())
+                    .unwrap()
+                    .position,
+                0.5,
+            );
+            off_track.update(Vec3::new(0.0, 25.0, 5.0), 0.5);
+        }
+        assert!(off_track.progress_time() < on_track.progress_time());
+        let cmd_off = off_track.update(Vec3::new(0.0, 25.0, 5.0), 0.5);
+        let cmd_on = on_track.update(
+            on_track
+                .trajectory()
+                .sample_at(on_track.progress_time())
+                .unwrap()
+                .position,
+            0.5,
+        );
+        assert!(cmd_off.tracking_error > cmd_on.tracking_error);
+        assert!(cmd_off.speed <= cmd_on.speed + 1e-9);
+    }
+
+    #[test]
+    fn replace_trajectory_resets_progress() {
+        let mut f = TrajectoryFollower::new(straight_trajectory(3.0), 0.5);
+        f.update(Vec3::new(0.0, 0.0, 5.0), 1.0);
+        assert!(f.progress_time() > 0.0);
+        f.replace_trajectory(straight_trajectory(2.0));
+        assert_eq!(f.progress_time(), 0.0);
+        assert!(!f.finished());
+    }
+
+    #[test]
+    fn commanded_speed_never_negative_or_zero() {
+        let mut f = TrajectoryFollower::new(straight_trajectory(1.0), 0.5);
+        for i in 0..20 {
+            let cmd = f.update(Vec3::new(i as f64, 10.0, 5.0), 0.5);
+            assert!(cmd.speed >= 0.2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead")]
+    fn zero_lookahead_panics() {
+        let _ = TrajectoryFollower::new(Trajectory::empty(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_panics() {
+        let mut f = TrajectoryFollower::new(straight_trajectory(1.0), 0.5);
+        let _ = f.update(Vec3::ZERO, 0.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Control substrate: PID control and trajectory following.
+//!
+//! The paper's control stage "ensures that the MAV closely follows the
+//! generated trajectory while guaranteeing stability. We use standard PID
+//! control." Control is not one of the governor-managed stages (its cost is
+//! small and constant), but the mission loop needs it to convert the
+//! smoothed trajectory into velocity commands and to report tracking error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod follower;
+pub mod pid;
+
+pub use follower::{FollowCommand, TrajectoryFollower};
+pub use pid::Pid;

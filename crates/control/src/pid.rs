@@ -1,0 +1,175 @@
+//! A standard PID controller.
+
+use serde::{Deserialize, Serialize};
+
+/// Proportional–integral–derivative controller with output clamping and
+/// integral anti-windup.
+///
+/// # Example
+///
+/// ```
+/// use roborun_control::Pid;
+/// let mut pid = Pid::new(1.0, 0.1, 0.05, 10.0);
+/// let u = pid.update(2.0, 0.1);
+/// assert!(u > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pid {
+    kp: f64,
+    ki: f64,
+    kd: f64,
+    output_limit: f64,
+    integral: f64,
+    last_error: Option<f64>,
+}
+
+impl Pid {
+    /// Creates a controller with the given gains and symmetric output limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gain is negative or `output_limit <= 0`.
+    pub fn new(kp: f64, ki: f64, kd: f64, output_limit: f64) -> Self {
+        assert!(kp >= 0.0 && ki >= 0.0 && kd >= 0.0, "PID gains must be non-negative");
+        assert!(output_limit > 0.0, "output limit must be positive");
+        Pid {
+            kp,
+            ki,
+            kd,
+            output_limit,
+            integral: 0.0,
+            last_error: None,
+        }
+    }
+
+    /// Proportional gain.
+    pub fn kp(&self) -> f64 {
+        self.kp
+    }
+
+    /// Integral gain.
+    pub fn ki(&self) -> f64 {
+        self.ki
+    }
+
+    /// Derivative gain.
+    pub fn kd(&self) -> f64 {
+        self.kd
+    }
+
+    /// Updates the controller with the current `error` over a step of `dt`
+    /// seconds, returning the clamped control output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn update(&mut self, error: f64, dt: f64) -> f64 {
+        assert!(dt > 0.0, "dt must be positive, got {dt}");
+        self.integral += error * dt;
+        // Anti-windup: clamp the integral so ki·integral alone cannot exceed
+        // the output limit.
+        if self.ki > 0.0 {
+            let max_integral = self.output_limit / self.ki;
+            self.integral = self.integral.clamp(-max_integral, max_integral);
+        }
+        let derivative = match self.last_error {
+            Some(last) => (error - last) / dt,
+            None => 0.0,
+        };
+        self.last_error = Some(error);
+        let raw = self.kp * error + self.ki * self.integral + self.kd * derivative;
+        raw.clamp(-self.output_limit, self.output_limit)
+    }
+
+    /// Resets the integral and derivative history.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_error = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_only_tracks_error() {
+        let mut pid = Pid::new(2.0, 0.0, 0.0, 100.0);
+        assert!((pid.update(3.0, 0.1) - 6.0).abs() < 1e-12);
+        assert!((pid.update(-1.5, 0.1) + 3.0).abs() < 1e-12);
+        assert_eq!(pid.kp(), 2.0);
+        assert_eq!(pid.ki(), 0.0);
+        assert_eq!(pid.kd(), 0.0);
+    }
+
+    #[test]
+    fn integral_accumulates_and_saturates() {
+        let mut pid = Pid::new(0.0, 1.0, 0.0, 5.0);
+        let mut last = 0.0;
+        for _ in 0..100 {
+            last = pid.update(1.0, 0.5);
+        }
+        // Output saturates at the limit rather than growing without bound.
+        assert!((last - 5.0).abs() < 1e-9);
+        // After the error flips sign, the anti-windup lets the output
+        // recover quickly instead of staying pinned.
+        for _ in 0..12 {
+            last = pid.update(-1.0, 0.5);
+        }
+        assert!(last < 0.0, "output should have recovered, got {last}");
+    }
+
+    #[test]
+    fn derivative_reacts_to_change() {
+        let mut pid = Pid::new(0.0, 0.0, 1.0, 100.0);
+        assert_eq!(pid.update(1.0, 0.1), 0.0); // no history yet
+        let u = pid.update(2.0, 0.1);
+        assert!((u - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_clamped_to_limit() {
+        let mut pid = Pid::new(100.0, 0.0, 0.0, 3.0);
+        assert_eq!(pid.update(10.0, 0.1), 3.0);
+        assert_eq!(pid.update(-10.0, 0.1), -3.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = Pid::new(1.0, 1.0, 1.0, 10.0);
+        pid.update(2.0, 0.5);
+        pid.update(3.0, 0.5);
+        pid.reset();
+        // After a reset the derivative term is zero again and the integral
+        // restarts from scratch.
+        let u = pid.update(1.0, 1.0);
+        assert!((u - (1.0 + 1.0)).abs() < 1e-9); // kp·e + ki·(e·dt)
+    }
+
+    #[test]
+    fn closed_loop_converges_to_setpoint() {
+        // Simple first-order plant: x' = u.
+        let mut pid = Pid::new(2.0, 0.4, 0.1, 50.0);
+        let mut x: f64 = 0.0;
+        let setpoint = 5.0;
+        let dt = 0.05;
+        for _ in 0..400 {
+            let u = pid.update(setpoint - x, dt);
+            x += u * dt;
+        }
+        assert!((x - setpoint).abs() < 0.1, "converged to {x}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_gain_panics() {
+        let _ = Pid::new(-1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_panics() {
+        let mut pid = Pid::new(1.0, 0.0, 0.0, 1.0);
+        let _ = pid.update(1.0, 0.0);
+    }
+}

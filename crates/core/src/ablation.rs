@@ -1,0 +1,274 @@
+//! Per-knob ablations of the spatial-aware runtime.
+//!
+//! RoboRun's gains come from six knobs acting together (paper Section III-B:
+//! two precision operators and three volume operators spread over the
+//! perception, perception-to-planning and planning stages, plus the shared
+//! precision constraint). A natural design question the paper leaves
+//! implicit is how much each knob family contributes. [`KnobAblation`]
+//! answers it: it freezes selected knobs at their static (Table II) values
+//! while the governor keeps adapting the rest, so a mission can be re-run
+//! with, say, precision adaptation disabled and only volume adaptation
+//! active.
+
+use crate::knobs::KnobSettings;
+use serde::{Deserialize, Serialize};
+
+/// Selects which knobs are frozen at the static baseline values.
+///
+/// The default ablation freezes nothing (full RoboRun). Freezing every
+/// knob reproduces the spatial-oblivious knob assignment while keeping the
+/// dynamic deadline, which isolates the contribution of knob adaptation
+/// from the contribution of deadline adaptation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KnobAblation {
+    /// Freeze the point-cloud precision operator at 0.3 m.
+    pub freeze_point_cloud_precision: bool,
+    /// Freeze the OctoMap-to-planner precision operator at 0.3 m.
+    pub freeze_map_to_planner_precision: bool,
+    /// Freeze the OctoMap volume operator at 46 000 m³.
+    pub freeze_octomap_volume: bool,
+    /// Freeze the OctoMap-to-planner volume operator at 150 000 m³.
+    pub freeze_map_to_planner_volume: bool,
+    /// Freeze the planner volume operator at 150 000 m³.
+    pub freeze_planner_volume: bool,
+}
+
+impl KnobAblation {
+    /// No ablation: every knob adapts (full RoboRun).
+    pub fn none() -> Self {
+        KnobAblation::default()
+    }
+
+    /// Freeze every knob at the Table II static values.
+    pub fn all() -> Self {
+        KnobAblation {
+            freeze_point_cloud_precision: true,
+            freeze_map_to_planner_precision: true,
+            freeze_octomap_volume: true,
+            freeze_map_to_planner_volume: true,
+            freeze_planner_volume: true,
+        }
+    }
+
+    /// Freeze only the precision operators (volume still adapts).
+    pub fn precision_frozen() -> Self {
+        KnobAblation {
+            freeze_point_cloud_precision: true,
+            freeze_map_to_planner_precision: true,
+            ..KnobAblation::default()
+        }
+    }
+
+    /// Freeze only the volume operators (precision still adapts).
+    pub fn volume_frozen() -> Self {
+        KnobAblation {
+            freeze_octomap_volume: true,
+            freeze_map_to_planner_volume: true,
+            freeze_planner_volume: true,
+            ..KnobAblation::default()
+        }
+    }
+
+    /// `true` when nothing is frozen.
+    pub fn is_none(&self) -> bool {
+        *self == KnobAblation::default()
+    }
+
+    /// Number of frozen knobs.
+    pub fn frozen_count(&self) -> usize {
+        [
+            self.freeze_point_cloud_precision,
+            self.freeze_map_to_planner_precision,
+            self.freeze_octomap_volume,
+            self.freeze_map_to_planner_volume,
+            self.freeze_planner_volume,
+        ]
+        .iter()
+        .filter(|&&frozen| frozen)
+        .count()
+    }
+
+    /// Applies the ablation: frozen knobs are overwritten with their static
+    /// (Table II) values, the others pass through unchanged.
+    pub fn apply(&self, mut knobs: KnobSettings) -> KnobSettings {
+        let fixed = KnobSettings::static_baseline();
+        if self.freeze_point_cloud_precision {
+            knobs.point_cloud_precision = fixed.point_cloud_precision;
+        }
+        if self.freeze_map_to_planner_precision {
+            knobs.map_to_planner_precision = fixed.map_to_planner_precision;
+        }
+        if self.freeze_octomap_volume {
+            knobs.octomap_volume = fixed.octomap_volume;
+        }
+        if self.freeze_map_to_planner_volume {
+            knobs.map_to_planner_volume = fixed.map_to_planner_volume;
+        }
+        if self.freeze_planner_volume {
+            knobs.planner_volume = fixed.planner_volume;
+        }
+        knobs
+    }
+
+    /// A short label for tables ("none", "precision", "volume", "all",
+    /// or a list of frozen knob abbreviations).
+    pub fn label(&self) -> String {
+        if self.is_none() {
+            return "none".to_string();
+        }
+        if *self == KnobAblation::all() {
+            return "all".to_string();
+        }
+        if *self == KnobAblation::precision_frozen() {
+            return "precision".to_string();
+        }
+        if *self == KnobAblation::volume_frozen() {
+            return "volume".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.freeze_point_cloud_precision {
+            parts.push("pc_prec");
+        }
+        if self.freeze_map_to_planner_precision {
+            parts.push("map_prec");
+        }
+        if self.freeze_octomap_volume {
+            parts.push("om_vol");
+        }
+        if self.freeze_map_to_planner_volume {
+            parts.push("map_vol");
+        }
+        if self.freeze_planner_volume {
+            parts.push("plan_vol");
+        }
+        parts.join("+")
+    }
+
+    /// The ablation variants the experiments sweep: none, each knob family,
+    /// each individual knob, and all.
+    pub fn catalog() -> Vec<(String, KnobAblation)> {
+        let mut variants = vec![
+            ("none".to_string(), KnobAblation::none()),
+            ("precision".to_string(), KnobAblation::precision_frozen()),
+            ("volume".to_string(), KnobAblation::volume_frozen()),
+            ("all".to_string(), KnobAblation::all()),
+        ];
+        let singles = [
+            (
+                "pc_prec",
+                KnobAblation {
+                    freeze_point_cloud_precision: true,
+                    ..KnobAblation::default()
+                },
+            ),
+            (
+                "map_prec",
+                KnobAblation {
+                    freeze_map_to_planner_precision: true,
+                    ..KnobAblation::default()
+                },
+            ),
+            (
+                "om_vol",
+                KnobAblation {
+                    freeze_octomap_volume: true,
+                    ..KnobAblation::default()
+                },
+            ),
+            (
+                "map_vol",
+                KnobAblation {
+                    freeze_map_to_planner_volume: true,
+                    ..KnobAblation::default()
+                },
+            ),
+            (
+                "plan_vol",
+                KnobAblation {
+                    freeze_planner_volume: true,
+                    ..KnobAblation::default()
+                },
+            ),
+        ];
+        variants.extend(singles.into_iter().map(|(name, a)| (name.to_string(), a)));
+        variants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knobs::KnobRanges;
+
+    fn relaxed() -> KnobSettings {
+        KnobSettings::most_relaxed(&KnobRanges::table_ii())
+    }
+
+    #[test]
+    fn no_ablation_passes_knobs_through() {
+        let knobs = relaxed();
+        assert_eq!(KnobAblation::none().apply(knobs), knobs);
+        assert!(KnobAblation::none().is_none());
+        assert_eq!(KnobAblation::none().frozen_count(), 0);
+    }
+
+    #[test]
+    fn full_ablation_reproduces_the_static_baseline() {
+        let ablated = KnobAblation::all().apply(relaxed());
+        assert_eq!(ablated, KnobSettings::static_baseline());
+        assert_eq!(KnobAblation::all().frozen_count(), 5);
+    }
+
+    #[test]
+    fn precision_ablation_only_touches_precision_knobs() {
+        let knobs = relaxed();
+        let ablated = KnobAblation::precision_frozen().apply(knobs);
+        let baseline = KnobSettings::static_baseline();
+        assert_eq!(ablated.point_cloud_precision, baseline.point_cloud_precision);
+        assert_eq!(ablated.map_to_planner_precision, baseline.map_to_planner_precision);
+        assert_eq!(ablated.octomap_volume, knobs.octomap_volume);
+        assert_eq!(ablated.map_to_planner_volume, knobs.map_to_planner_volume);
+        assert_eq!(ablated.planner_volume, knobs.planner_volume);
+    }
+
+    #[test]
+    fn volume_ablation_only_touches_volume_knobs() {
+        let knobs = relaxed();
+        let ablated = KnobAblation::volume_frozen().apply(knobs);
+        let baseline = KnobSettings::static_baseline();
+        assert_eq!(ablated.point_cloud_precision, knobs.point_cloud_precision);
+        assert_eq!(ablated.octomap_volume, baseline.octomap_volume);
+        assert_eq!(ablated.planner_volume, baseline.planner_volume);
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        assert_eq!(KnobAblation::none().label(), "none");
+        assert_eq!(KnobAblation::all().label(), "all");
+        assert_eq!(KnobAblation::precision_frozen().label(), "precision");
+        assert_eq!(KnobAblation::volume_frozen().label(), "volume");
+        let single = KnobAblation {
+            freeze_octomap_volume: true,
+            ..KnobAblation::default()
+        };
+        assert_eq!(single.label(), "om_vol");
+        let pair = KnobAblation {
+            freeze_point_cloud_precision: true,
+            freeze_planner_volume: true,
+            ..KnobAblation::default()
+        };
+        assert_eq!(pair.label(), "pc_prec+plan_vol");
+    }
+
+    #[test]
+    fn catalog_covers_families_and_singles_without_duplicates() {
+        let catalog = KnobAblation::catalog();
+        assert_eq!(catalog.len(), 9);
+        let labels: std::collections::HashSet<_> =
+            catalog.iter().map(|(name, _)| name.clone()).collect();
+        assert_eq!(labels.len(), catalog.len());
+        // The "none" entry must be first so experiment tables read naturally.
+        assert_eq!(catalog[0].0, "none");
+        assert!(catalog[0].1.is_none());
+    }
+}

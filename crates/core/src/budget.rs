@@ -1,0 +1,279 @@
+//! Time budgeting: paper Eq. 1 and Algorithm 1.
+//!
+//! The time budget (decision deadline) is "the maximum time the MAV can
+//! spend processing a sampled input while ensuring a safe flight":
+//!
+//! > `budget = (d − d_stop(v)) / v`          (Eq. 1)
+//!
+//! where `v` is the traversal velocity, `d` the visibility and `d_stop(v)`
+//! the stopping distance. Because velocity and visibility change along the
+//! planned trajectory, Algorithm 1 refines the instantaneous budget with a
+//! running minimum over the upcoming waypoints: at each waypoint the time
+//! already consumed flying there is subtracted and the local budget at that
+//! waypoint is imposed, so that the returned *global* budget is safe with
+//! respect to every waypoint the MAV will reach while the computation runs.
+
+use roborun_geom::Vec3;
+use roborun_sim::StoppingModel;
+use serde::{Deserialize, Serialize};
+
+/// Velocity/visibility state at one (current or upcoming) waypoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaypointState {
+    /// Waypoint position (metres).
+    pub position: Vec3,
+    /// Planned traversal speed at the waypoint (m/s).
+    pub velocity: f64,
+    /// Expected visibility at the waypoint (metres).
+    pub visibility: f64,
+}
+
+/// Computes decision deadlines from velocity, visibility and the stopping
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeBudgeter {
+    /// Stopping-distance model (paper Eq. 2).
+    pub stopping: StoppingModel,
+    /// Lower clamp on any returned budget (seconds); prevents a zero or
+    /// negative deadline from stalling the pipeline entirely.
+    pub min_budget: f64,
+    /// Upper clamp on any returned budget (seconds); beyond this the
+    /// deadline no longer constrains the solver.
+    pub max_budget: f64,
+    /// Velocity floor (m/s) used in Eq. 1 to avoid dividing by zero while
+    /// hovering.
+    pub velocity_floor: f64,
+}
+
+impl Default for TimeBudgeter {
+    fn default() -> Self {
+        TimeBudgeter {
+            stopping: StoppingModel::paper_default(),
+            min_budget: 0.1,
+            max_budget: 30.0,
+            velocity_floor: 0.2,
+        }
+    }
+}
+
+impl TimeBudgeter {
+    /// Creates a budgeter with a specific stopping model and default clamps.
+    pub fn new(stopping: StoppingModel) -> Self {
+        TimeBudgeter {
+            stopping,
+            ..TimeBudgeter::default()
+        }
+    }
+
+    /// Eq. 1: the local (instantaneous) budget for the given velocity and
+    /// visibility, clamped to `[min_budget, max_budget]`.
+    pub fn local_budget(&self, velocity: f64, visibility: f64) -> f64 {
+        let v = velocity.abs().max(self.velocity_floor);
+        let margin = visibility - self.stopping.stopping_distance(v);
+        (margin / v).clamp(self.min_budget, self.max_budget)
+    }
+
+    /// Raw (un-clamped) Eq. 1 value; may be negative when the visibility is
+    /// shorter than the stopping distance. Exposed for analysis/plots.
+    pub fn local_budget_raw(&self, velocity: f64, visibility: f64) -> f64 {
+        let v = velocity.abs().max(self.velocity_floor);
+        (visibility - self.stopping.stopping_distance(v)) / v
+    }
+
+    /// Algorithm 1: the global budget taking the upcoming waypoints into
+    /// account. `current` is the MAV's present state (W₀); `upcoming` are
+    /// the next planned waypoints in flight order (W₁ …).
+    pub fn global_budget(&self, current: &WaypointState, upcoming: &[WaypointState]) -> f64 {
+        // Line 1: bg ← 0, br ← Eq. 1 at W0.
+        let mut global = 0.0f64;
+        let mut remaining = self.local_budget_raw(current.velocity, current.visibility);
+        let mut previous = *current;
+        // Lines 2-7.
+        for waypoint in upcoming {
+            let flight_time = flight_time(&previous, waypoint, self.velocity_floor);
+            remaining -= flight_time;
+            let local = self.local_budget_raw(waypoint.velocity, waypoint.visibility);
+            remaining = remaining.min(local);
+            if remaining <= 0.0 {
+                break;
+            }
+            global += flight_time;
+            previous = *waypoint;
+        }
+        // With no upcoming waypoints the budget degenerates to Eq. 1 at W0.
+        if upcoming.is_empty() {
+            global = self.local_budget_raw(current.velocity, current.visibility);
+        } else if global == 0.0 {
+            // The first upcoming waypoint already exhausts the budget: fall
+            // back to the instantaneous budget, clamped below.
+            global = remaining.max(0.0).min(self.local_budget_raw(current.velocity, current.visibility));
+        }
+        global.clamp(self.min_budget, self.max_budget)
+    }
+
+    /// The largest velocity whose local budget still covers `latency`
+    /// seconds at the given visibility (the runtime's safe-velocity law,
+    /// solved by bisection). Returns the velocity floor when even hovering
+    /// cannot cover the latency.
+    pub fn safe_velocity(&self, latency: f64, visibility: f64, max_velocity: f64) -> f64 {
+        let fits = |v: f64| self.local_budget_raw(v, visibility) >= latency;
+        if !fits(self.velocity_floor) {
+            return self.velocity_floor;
+        }
+        if fits(max_velocity) {
+            return max_velocity;
+        }
+        let mut lo = self.velocity_floor;
+        let mut hi = max_velocity;
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if fits(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+/// Flight time between two waypoints at the (floored) speed of the first.
+fn flight_time(from: &WaypointState, to: &WaypointState, velocity_floor: f64) -> f64 {
+    let distance = from.position.distance(to.position);
+    distance / from.velocity.abs().max(velocity_floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wp(x: f64, velocity: f64, visibility: f64) -> WaypointState {
+        WaypointState {
+            position: Vec3::new(x, 0.0, 5.0),
+            velocity,
+            visibility,
+        }
+    }
+
+    #[test]
+    fn local_budget_matches_eq1() {
+        let b = TimeBudgeter::default();
+        // v = 1 m/s, d = 10 m, dstop(1) = 0.615 → (10 - 0.615)/1 = 9.385 s.
+        assert!((b.local_budget(1.0, 10.0) - 9.385).abs() < 1e-9);
+        // Raw value may exceed the clamp.
+        assert!(b.local_budget_raw(0.2, 40.0) > 30.0);
+        assert_eq!(b.local_budget(0.2, 40.0), 30.0);
+    }
+
+    #[test]
+    fn budget_shrinks_with_velocity_and_grows_with_visibility() {
+        // The monotonicities of Fig. 2b.
+        let b = TimeBudgeter::default();
+        let mut last = f64::INFINITY;
+        for v in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            let budget = b.local_budget(v, 20.0);
+            assert!(budget <= last + 1e-12, "budget must fall with velocity");
+            last = budget;
+        }
+        let mut last = 0.0;
+        for d in [5.0, 10.0, 20.0, 40.0] {
+            let budget = b.local_budget(2.0, d);
+            assert!(budget >= last, "budget must rise with visibility");
+            last = budget;
+        }
+    }
+
+    #[test]
+    fn zero_velocity_does_not_divide_by_zero() {
+        let b = TimeBudgeter::default();
+        let budget = b.local_budget(0.0, 10.0);
+        assert!(budget.is_finite());
+        assert!(budget > 0.0);
+    }
+
+    #[test]
+    fn short_visibility_clamps_to_min_budget() {
+        let b = TimeBudgeter::default();
+        // Visibility shorter than the stopping distance → raw budget < 0.
+        assert!(b.local_budget_raw(5.0, 1.0) < 0.0);
+        assert_eq!(b.local_budget(5.0, 1.0), b.min_budget);
+    }
+
+    #[test]
+    fn global_budget_equals_local_without_waypoints() {
+        let b = TimeBudgeter::default();
+        let current = wp(0.0, 1.0, 10.0);
+        let g = b.global_budget(&current, &[]);
+        assert!((g - b.local_budget(1.0, 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_budget_is_limited_by_bad_upcoming_waypoint() {
+        let b = TimeBudgeter::default();
+        // Now: slow and clear → generous local budget.
+        let current = wp(0.0, 0.5, 30.0);
+        // Soon (1 m away): fast and blind → tiny local budget.
+        let upcoming = [wp(1.0, 4.0, 2.0)];
+        let global = b.global_budget(&current, &upcoming);
+        let local_only = b.local_budget(0.5, 30.0);
+        assert!(global < local_only, "global {global} should be below local {local_only}");
+    }
+
+    #[test]
+    fn global_budget_accumulates_flight_time_over_benign_waypoints() {
+        let b = TimeBudgeter::default();
+        let current = wp(0.0, 2.0, 40.0);
+        // Waypoints 10 m apart at 2 m/s with clear visibility: each hop adds
+        // 5 s of flight time to the accumulated budget.
+        let upcoming = [wp(10.0, 2.0, 40.0), wp(20.0, 2.0, 40.0), wp(30.0, 2.0, 40.0)];
+        let global = b.global_budget(&current, &upcoming);
+        assert!(global >= 10.0, "accumulated budget {global}");
+        assert!(global <= b.max_budget);
+    }
+
+    #[test]
+    fn global_budget_never_exceeds_clamp() {
+        let b = TimeBudgeter::default();
+        let current = wp(0.0, 0.3, 40.0);
+        let upcoming: Vec<WaypointState> =
+            (1..200).map(|i| wp(i as f64 * 5.0, 0.3, 40.0)).collect();
+        let g = b.global_budget(&current, &upcoming);
+        assert!(g <= b.max_budget);
+        assert!(g >= b.min_budget);
+    }
+
+    #[test]
+    fn safe_velocity_inverse_of_budget() {
+        let b = TimeBudgeter::default();
+        // With 40 m visibility and a 0.3 s latency the drone can go fast.
+        let fast = b.safe_velocity(0.3, 40.0, 8.0);
+        assert!(fast > 5.0);
+        // With 2 m visibility and a 4.7 s latency it crawls (paper's ~0.4 m/s).
+        let slow = b.safe_velocity(4.7, 2.0, 8.0);
+        assert!(slow < 0.6, "slow velocity {slow}");
+        assert!(slow >= b.velocity_floor);
+        // The budget at the returned velocity indeed covers the latency.
+        assert!(b.local_budget_raw(slow, 2.0) >= 4.7 - 1e-6 || slow == b.velocity_floor);
+        // Infeasible latency returns the floor.
+        assert_eq!(b.safe_velocity(1000.0, 1.0, 8.0), b.velocity_floor);
+        // Trivially feasible latency returns the cap.
+        assert_eq!(b.safe_velocity(0.01, 40.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn safe_velocity_monotone_in_latency_and_visibility() {
+        let b = TimeBudgeter::default();
+        let mut last = f64::INFINITY;
+        for latency in [0.2, 0.5, 1.0, 2.0, 4.0] {
+            let v = b.safe_velocity(latency, 20.0, 10.0);
+            assert!(v <= last + 1e-9);
+            last = v;
+        }
+        let mut last = 0.0;
+        for visibility in [2.0, 5.0, 10.0, 20.0, 40.0] {
+            let v = b.safe_velocity(1.0, visibility, 10.0);
+            assert!(v >= last - 1e-9);
+            last = v;
+        }
+    }
+}

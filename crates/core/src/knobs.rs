@@ -1,0 +1,298 @@
+//! The six precision/volume knobs and their static/dynamic values
+//! (paper Table II).
+//!
+//! | knob                              | static (baseline) | dynamic range    |
+//! |-----------------------------------|-------------------|------------------|
+//! | point-cloud precision (m)         | 0.3               | 0.3 … 9.6        |
+//! | OctoMap-to-planner precision (m)  | 0.3               | 0.3 … 9.6        |
+//! | OctoMap volume (m³)               | 46 000            | 0 … 60 000       |
+//! | OctoMap-to-planner volume (m³)    | 150 000           | 0 … 1 000 000    |
+//! | planner volume (m³)               | 150 000           | 0 … 1 000 000    |
+//!
+//! (The planner's *precision* is constrained to equal the
+//! OctoMap-to-planner precision — Eq. 3's "precision for the perception to
+//! planning and planning to be equivalent" — which is why Table II lists
+//! five rows for six operators.)
+
+use roborun_geom::precision_lattice;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One complete assignment of the pipeline's precision/volume knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnobSettings {
+    /// Point-cloud precision `p₀` (metres): grid cell size of the
+    /// point-cloud down-sampling operator and resolution of the OctoMap
+    /// update it feeds.
+    pub point_cloud_precision: f64,
+    /// OctoMap-to-planner precision `p₁ = p₂` (metres): export voxel size
+    /// and the planner's collision-check step.
+    pub map_to_planner_precision: f64,
+    /// OctoMap volume `v₀` (m³): volume of space integrated into the map.
+    pub octomap_volume: f64,
+    /// OctoMap-to-planner volume `v₁` (m³): volume exported to the planner.
+    pub map_to_planner_volume: f64,
+    /// Planner volume `v₂` (m³): exploration volume budget of RRT*.
+    pub planner_volume: f64,
+}
+
+impl KnobSettings {
+    /// The paper's static, spatial-oblivious baseline (Table II, "Static").
+    pub fn static_baseline() -> Self {
+        KnobSettings {
+            point_cloud_precision: 0.3,
+            map_to_planner_precision: 0.3,
+            octomap_volume: 46_000.0,
+            map_to_planner_volume: 150_000.0,
+            planner_volume: 150_000.0,
+        }
+    }
+
+    /// The most relaxed (cheapest) assignment within Table II's dynamic
+    /// ranges — what the governor converges to in open sky.
+    pub fn most_relaxed(ranges: &KnobRanges) -> Self {
+        KnobSettings {
+            point_cloud_precision: ranges.precision_max,
+            map_to_planner_precision: ranges.precision_max,
+            octomap_volume: ranges.octomap_volume_max * 0.1,
+            map_to_planner_volume: ranges.map_to_planner_volume_max * 0.05,
+            planner_volume: ranges.planner_volume_max * 0.05,
+        }
+    }
+
+    /// Validates the settings against the given ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated bound.
+    pub fn validate(&self, ranges: &KnobRanges) -> Result<(), String> {
+        let check = |name: &str, value: f64, lo: f64, hi: f64| {
+            if value < lo - 1e-9 || value > hi + 1e-9 {
+                Err(format!("{name} = {value} outside [{lo}, {hi}]"))
+            } else {
+                Ok(())
+            }
+        };
+        check(
+            "point_cloud_precision",
+            self.point_cloud_precision,
+            ranges.precision_min,
+            ranges.precision_max,
+        )?;
+        check(
+            "map_to_planner_precision",
+            self.map_to_planner_precision,
+            ranges.precision_min,
+            ranges.precision_max,
+        )?;
+        check("octomap_volume", self.octomap_volume, 0.0, ranges.octomap_volume_max)?;
+        check(
+            "map_to_planner_volume",
+            self.map_to_planner_volume,
+            0.0,
+            ranges.map_to_planner_volume_max,
+        )?;
+        check("planner_volume", self.planner_volume, 0.0, ranges.planner_volume_max)?;
+        if self.point_cloud_precision > self.map_to_planner_precision + 1e-9 {
+            return Err(format!(
+                "perception precision ({}) must not be coarser than the export precision ({})",
+                self.point_cloud_precision, self.map_to_planner_precision
+            ));
+        }
+        if self.octomap_volume > self.map_to_planner_volume + 1e-9 {
+            // Eq. 3: v0 ≤ v1.
+            return Err(format!(
+                "octomap volume ({}) must not exceed the exported volume ({})",
+                self.octomap_volume, self.map_to_planner_volume
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for KnobSettings {
+    fn default() -> Self {
+        Self::static_baseline()
+    }
+}
+
+impl fmt::Display for KnobSettings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p0={:.2} m, p1={:.2} m, v0={:.0} m³, v1={:.0} m³, v2={:.0} m³",
+            self.point_cloud_precision,
+            self.map_to_planner_precision,
+            self.octomap_volume,
+            self.map_to_planner_volume,
+            self.planner_volume
+        )
+    }
+}
+
+/// The admissible ranges of every knob (paper Table II, "Dynamic" column)
+/// plus the precision lattice parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnobRanges {
+    /// Finest voxel size `vox_min` (metres).
+    pub precision_min: f64,
+    /// Coarsest voxel size (metres).
+    pub precision_max: f64,
+    /// Number of power-of-two precision levels between min and max.
+    pub precision_levels: usize,
+    /// Maximum OctoMap volume (m³).
+    pub octomap_volume_max: f64,
+    /// Maximum OctoMap-to-planner volume (m³).
+    pub map_to_planner_volume_max: f64,
+    /// Maximum planner exploration volume (m³).
+    pub planner_volume_max: f64,
+    /// Maximum volume the sensors can deliver per decision (m³) — the
+    /// `v_sensor` bound in Eq. 3.
+    pub sensor_volume_max: f64,
+}
+
+impl KnobRanges {
+    /// The paper's Table II dynamic ranges.
+    pub fn table_ii() -> Self {
+        KnobRanges {
+            precision_min: 0.3,
+            precision_max: 9.6,
+            precision_levels: 6,
+            octomap_volume_max: 60_000.0,
+            map_to_planner_volume_max: 1_000_000.0,
+            planner_volume_max: 1_000_000.0,
+            sensor_volume_max: 60_000.0,
+        }
+    }
+
+    /// The power-of-two precision lattice the solver searches
+    /// (`{vox_min · 2^n}` clipped to `precision_max`).
+    pub fn precision_lattice(&self) -> Vec<f64> {
+        precision_lattice(self.precision_min, self.precision_levels)
+            .into_iter()
+            .filter(|&p| p <= self.precision_max + 1e-9)
+            .collect()
+    }
+
+    /// Validates the ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.precision_min <= 0.0 {
+            return Err("precision_min must be positive".into());
+        }
+        if self.precision_max < self.precision_min {
+            return Err("precision_max must be >= precision_min".into());
+        }
+        if self.precision_levels == 0 {
+            return Err("precision_levels must be at least 1".into());
+        }
+        if self.octomap_volume_max <= 0.0
+            || self.map_to_planner_volume_max <= 0.0
+            || self.planner_volume_max <= 0.0
+            || self.sensor_volume_max <= 0.0
+        {
+            return Err("volume maxima must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for KnobRanges {
+    fn default() -> Self {
+        Self::table_ii()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_values() {
+        let r = KnobRanges::table_ii();
+        assert_eq!(r.precision_min, 0.3);
+        assert_eq!(r.precision_max, 9.6);
+        assert_eq!(r.octomap_volume_max, 60_000.0);
+        assert_eq!(r.map_to_planner_volume_max, 1_000_000.0);
+        assert_eq!(r.planner_volume_max, 1_000_000.0);
+        assert!(r.validate().is_ok());
+        assert_eq!(KnobRanges::default(), r);
+
+        let s = KnobSettings::static_baseline();
+        assert_eq!(s.point_cloud_precision, 0.3);
+        assert_eq!(s.map_to_planner_precision, 0.3);
+        assert_eq!(s.octomap_volume, 46_000.0);
+        assert_eq!(s.map_to_planner_volume, 150_000.0);
+        assert_eq!(s.planner_volume, 150_000.0);
+        assert_eq!(KnobSettings::default(), s);
+    }
+
+    #[test]
+    fn lattice_spans_table_ii_range() {
+        let lattice = KnobRanges::table_ii().precision_lattice();
+        assert_eq!(lattice, vec![0.3, 0.6, 1.2, 2.4, 4.8, 9.6]);
+    }
+
+    #[test]
+    fn static_baseline_is_valid_for_table_ii() {
+        let ranges = KnobRanges::table_ii();
+        assert!(KnobSettings::static_baseline().validate(&ranges).is_ok());
+        assert!(KnobSettings::most_relaxed(&ranges).validate(&ranges).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_values() {
+        let ranges = KnobRanges::table_ii();
+        let too_fine = KnobSettings {
+            point_cloud_precision: 0.1,
+            ..KnobSettings::static_baseline()
+        };
+        assert!(too_fine.validate(&ranges).is_err());
+        let too_much_volume = KnobSettings {
+            octomap_volume: 100_000.0,
+            map_to_planner_volume: 200_000.0,
+            ..KnobSettings::static_baseline()
+        };
+        assert!(too_much_volume.validate(&ranges).is_err());
+        // Constraint p0 <= p1.
+        let inverted_precision = KnobSettings {
+            point_cloud_precision: 2.4,
+            map_to_planner_precision: 0.6,
+            ..KnobSettings::static_baseline()
+        };
+        assert!(inverted_precision.validate(&ranges).is_err());
+        // Constraint v0 <= v1.
+        let inverted_volume = KnobSettings {
+            octomap_volume: 50_000.0,
+            map_to_planner_volume: 10_000.0,
+            ..KnobSettings::static_baseline()
+        };
+        assert!(inverted_volume.validate(&ranges).is_err());
+    }
+
+    #[test]
+    fn ranges_validation_rejects_nonsense() {
+        let mut r = KnobRanges::table_ii();
+        r.precision_min = 0.0;
+        assert!(r.validate().is_err());
+        let mut r2 = KnobRanges::table_ii();
+        r2.precision_max = 0.1;
+        assert!(r2.validate().is_err());
+        let mut r3 = KnobRanges::table_ii();
+        r3.precision_levels = 0;
+        assert!(r3.validate().is_err());
+        let mut r4 = KnobRanges::table_ii();
+        r4.planner_volume_max = 0.0;
+        assert!(r4.validate().is_err());
+    }
+
+    #[test]
+    fn display_lists_all_knobs() {
+        let s = format!("{}", KnobSettings::static_baseline());
+        assert!(s.contains("p0"));
+        assert!(s.contains("v2"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Runtime modes: spatial-aware (RoboRun) vs spatial-oblivious (baseline).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which runtime drives the navigation pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuntimeMode {
+    /// RoboRun: profilers + governor + operators, knobs re-tuned every
+    /// decision.
+    SpatialAware,
+    /// The state-of-the-art static baseline (MAVBench-style): worst-case
+    /// knobs fixed at design time, worst-case deadline.
+    SpatialOblivious,
+}
+
+impl RuntimeMode {
+    /// Both modes, in the order the paper's figures list them
+    /// (baseline first).
+    pub const ALL: [RuntimeMode; 2] = [RuntimeMode::SpatialOblivious, RuntimeMode::SpatialAware];
+
+    /// `true` for the RoboRun (spatial-aware) mode.
+    pub fn is_aware(self) -> bool {
+        matches!(self, RuntimeMode::SpatialAware)
+    }
+
+    /// Short label used in reports and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeMode::SpatialAware => "roborun",
+            RuntimeMode::SpatialOblivious => "baseline",
+        }
+    }
+}
+
+impl fmt::Display for RuntimeMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeMode::SpatialAware => f.write_str("spatial-aware (RoboRun)"),
+            RuntimeMode::SpatialOblivious => f.write_str("spatial-oblivious (static baseline)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_flags() {
+        assert!(RuntimeMode::SpatialAware.is_aware());
+        assert!(!RuntimeMode::SpatialOblivious.is_aware());
+        assert_eq!(RuntimeMode::SpatialAware.label(), "roborun");
+        assert_eq!(RuntimeMode::SpatialOblivious.label(), "baseline");
+        assert_eq!(RuntimeMode::ALL.len(), 2);
+        assert_eq!(RuntimeMode::ALL[0], RuntimeMode::SpatialOblivious);
+        assert!(format!("{}", RuntimeMode::SpatialAware).contains("RoboRun"));
+        assert!(format!("{}", RuntimeMode::SpatialOblivious).contains("static"));
+    }
+}

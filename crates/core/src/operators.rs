@@ -1,0 +1,175 @@
+//! Operators: enforcing a governor [`Policy`] on the pipeline stages.
+//!
+//! The paper's operators are small pieces of code inside each stage that
+//! read the policy and adjust that stage's behaviour (point-cloud sampling
+//! distance, OctoMap ray-trace step, export pruning, planner volume
+//! monitor). In this reproduction the stages live in the perception and
+//! planning crates; this module provides the single place where a
+//! [`Policy`]'s knob values are translated into the concrete per-stage
+//! configurations those crates consume, so that every pipeline (the mission
+//! runner, the examples, user code) applies the knobs the same way.
+
+use crate::Policy;
+use roborun_geom::Vec3;
+use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
+use serde::{Deserialize, Serialize};
+
+/// Work report of one perception-stage application (how much data survived
+/// each operator) — useful for telemetry and for validating that the knobs
+/// actually bite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerceptionWork {
+    /// Points in the raw cloud before any operator ran.
+    pub raw_points: usize,
+    /// Points left after the precision (down-sampling) operator.
+    pub after_precision: usize,
+    /// Points left after the volume operator.
+    pub after_volume: usize,
+    /// Voxel updates performed by the occupancy-map integration.
+    pub map_updates: usize,
+    /// Occupied boxes exported to the planner.
+    pub exported_boxes: usize,
+    /// Volume exported to the planner (m³).
+    pub exported_volume: f64,
+}
+
+/// Applies a [`Policy`]'s knobs to the pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Operators {
+    /// Minimum ray-trace carve step (metres); the simulation substrate never
+    /// carves finer than this regardless of the precision knob (the charged
+    /// latency comes from the calibrated model, not from the carve loop).
+    pub min_carve_step: f64,
+}
+
+impl Default for Operators {
+    fn default() -> Self {
+        Operators { min_carve_step: 0.5 }
+    }
+}
+
+impl Operators {
+    /// Applies the perception-side operators for one decision:
+    ///
+    /// 1. point-cloud precision operator (grid averaging at `p₀`),
+    /// 2. point-cloud volume operator (nearest-first integration up to `v₀`),
+    /// 3. OctoMap integration with the ray-trace step tied to `p₀`,
+    /// 4. perception-to-planning export at precision `p₁` and volume `v₁`.
+    ///
+    /// Returns the planner's map view and a [`PerceptionWork`] report.
+    pub fn apply_perception(
+        &self,
+        policy: &Policy,
+        raw_cloud: &PointCloud,
+        map: &mut OccupancyMap,
+        reference: Vec3,
+    ) -> (PlannerMap, PerceptionWork) {
+        let knobs = policy.knobs;
+        let raw_points = raw_cloud.len();
+        let downsampled = raw_cloud.downsampled(knobs.point_cloud_precision);
+        let after_precision = downsampled.len();
+        let limited = downsampled.volume_limited(reference, knobs.octomap_volume);
+        let after_volume = limited.len();
+        let carve_step = knobs.point_cloud_precision.max(self.min_carve_step);
+        let map_updates = map.integrate_cloud(&limited, carve_step);
+        let export = PlannerMap::export(
+            map,
+            &ExportConfig::new(
+                knobs.map_to_planner_precision,
+                knobs.map_to_planner_volume,
+                reference,
+            ),
+        );
+        let work = PerceptionWork {
+            raw_points,
+            after_precision,
+            after_volume,
+            map_updates,
+            exported_boxes: export.len(),
+            exported_volume: export.occupied_volume(),
+        };
+        (export, work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Governor, GovernorConfig, RuntimeMode, SpatialProfile};
+
+    fn dense_cloud(origin: Vec3) -> PointCloud {
+        let points: Vec<Vec3> = (-20..=20)
+            .flat_map(|y| {
+                (0..20).map(move |z| Vec3::new(12.0, y as f64 * 0.25, z as f64 * 0.25))
+            })
+            .collect();
+        PointCloud::new(origin, points)
+    }
+
+    #[test]
+    fn relaxed_policy_does_less_work_than_strict_policy() {
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let cloud = dense_cloud(origin);
+        let operators = Operators::default();
+
+        let aware = Governor::new(GovernorConfig::default());
+        let open_policy = aware.decide(&SpatialProfile::open_space(2.0, 40.0));
+        let oblivious = Governor::new(GovernorConfig {
+            mode: RuntimeMode::SpatialOblivious,
+            ..GovernorConfig::default()
+        });
+        let static_policy = oblivious.decide(&SpatialProfile::open_space(2.0, 40.0));
+
+        let mut map_a = OccupancyMap::new(0.3);
+        let (_, relaxed) = operators.apply_perception(&open_policy, &cloud, &mut map_a, origin);
+        let mut map_b = OccupancyMap::new(0.3);
+        let (_, strict) = operators.apply_perception(&static_policy, &cloud, &mut map_b, origin);
+
+        assert_eq!(relaxed.raw_points, strict.raw_points);
+        assert!(relaxed.after_precision < strict.after_precision);
+        assert!(relaxed.map_updates < strict.map_updates);
+        assert!(relaxed.exported_boxes <= strict.exported_boxes);
+    }
+
+    #[test]
+    fn operators_chain_is_monotone() {
+        // Each operator can only shrink (or keep) the data it receives.
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let cloud = dense_cloud(origin);
+        let operators = Operators::default();
+        let governor = Governor::new(GovernorConfig::default());
+        for profile in [
+            SpatialProfile::open_space(2.0, 40.0),
+            SpatialProfile::congested(0.5, 0.8, 2.0),
+            SpatialProfile::congested(1.0, 3.0, 8.0),
+        ] {
+            let policy = governor.decide(&profile);
+            let mut map = OccupancyMap::new(0.3);
+            let (export, work) = operators.apply_perception(&policy, &cloud, &mut map, origin);
+            assert!(work.after_precision <= work.raw_points);
+            assert!(work.after_volume <= work.after_precision);
+            assert_eq!(work.exported_boxes, export.len());
+            assert!((work.exported_volume - export.occupied_volume()).abs() < 1e-9);
+            // The exported volume respects the policy's budget (plus one voxel).
+            assert!(
+                work.exported_volume
+                    <= policy.knobs.map_to_planner_volume + export.voxel_size().powi(3) + 1e-6
+            );
+        }
+    }
+
+    #[test]
+    fn empty_cloud_produces_empty_work() {
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let operators = Operators::default();
+        let governor = Governor::new(GovernorConfig::default());
+        let policy = governor.decide(&SpatialProfile::open_space(1.0, 40.0));
+        let mut map = OccupancyMap::new(0.3);
+        let (export, work) =
+            operators.apply_perception(&policy, &PointCloud::empty(origin), &mut map, origin);
+        assert_eq!(work.raw_points, 0);
+        assert_eq!(work.after_volume, 0);
+        assert_eq!(work.map_updates, 0);
+        assert!(export.is_empty());
+    }
+}

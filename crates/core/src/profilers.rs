@@ -1,0 +1,414 @@
+//! Profilers: extracting the Table I variables from the pipeline's data
+//! structures.
+//!
+//! | variable profiled                   | pipeline stage                | used for              |
+//! |-------------------------------------|-------------------------------|-----------------------|
+//! | gap between obstacles               | point cloud                   | precision             |
+//! | closest obstacle, closest unknown   | point cloud, OctoMap, smoother| precision, volume, deadline |
+//! | sensor, map volume                  | point cloud, OctoMap          | volume                |
+//! | velocity, position                  | sensors                       | deadline              |
+//! | trajectory                          | smoother                      | deadline              |
+//!
+//! The profilers only read pipeline data structures (point cloud, occupancy
+//! map, trajectory, sensor state) — never the simulator's ground truth — so
+//! the governor sees the world exactly the way the real system would.
+
+use crate::budget::WaypointState;
+use roborun_env::gaps::aabb_gap;
+use roborun_geom::{Aabb, Vec3};
+use roborun_perception::{OccupancyMap, PointCloud};
+use roborun_planning::Trajectory;
+use serde::{Deserialize, Serialize};
+
+/// The spatial state the governor makes its decision from (one row of
+/// Table I per field group).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialProfile {
+    /// MAV position (metres).
+    pub position: Vec3,
+    /// MAV speed (m/s).
+    pub velocity: f64,
+    /// Average gap between nearby observed obstacles (metres).
+    pub gap_avg: f64,
+    /// Minimum gap between nearby observed obstacles (metres).
+    pub gap_min: f64,
+    /// Distance to the closest observed obstacle (metres).
+    pub closest_obstacle: f64,
+    /// Distance to the closest unknown space along the direction of travel
+    /// (metres).
+    pub closest_unknown: f64,
+    /// Visibility estimate used for the deadline (metres): the shorter of
+    /// the closest obstacle and closest unknown, capped by sensing range.
+    pub visibility: f64,
+    /// Volume delivered by the sensors this decision (m³).
+    pub sensor_volume: f64,
+    /// Volume of known space in the map (m³).
+    pub map_volume: f64,
+    /// Upcoming waypoints (position, planned speed, expected visibility)
+    /// for Algorithm 1.
+    pub upcoming_waypoints: Vec<WaypointState>,
+}
+
+impl SpatialProfile {
+    /// A profile describing completely open space — useful as a governor
+    /// input in examples and tests: `velocity` m/s and `visibility` metres,
+    /// no obstacles anywhere near.
+    pub fn open_space(velocity: f64, visibility: f64) -> Self {
+        SpatialProfile {
+            position: Vec3::ZERO,
+            velocity,
+            gap_avg: 100.0,
+            gap_min: 100.0,
+            closest_obstacle: 100.0,
+            closest_unknown: visibility,
+            visibility,
+            sensor_volume: 5_000.0,
+            map_volume: 20_000.0,
+            upcoming_waypoints: Vec::new(),
+        }
+    }
+
+    /// A profile describing a tight, congested aisle: near obstacles, small
+    /// gaps, short visibility.
+    pub fn congested(velocity: f64, gap: f64, obstacle_distance: f64) -> Self {
+        SpatialProfile {
+            position: Vec3::ZERO,
+            velocity,
+            gap_avg: gap * 1.5,
+            gap_min: gap,
+            closest_obstacle: obstacle_distance,
+            closest_unknown: obstacle_distance * 1.5,
+            visibility: obstacle_distance,
+            sensor_volume: 30_000.0,
+            map_volume: 50_000.0,
+            upcoming_waypoints: Vec::new(),
+        }
+    }
+
+    /// The waypoint state corresponding to the MAV's current situation
+    /// (W₀ of Algorithm 1).
+    pub fn current_waypoint(&self) -> WaypointState {
+        WaypointState {
+            position: self.position,
+            velocity: self.velocity,
+            visibility: self.visibility,
+        }
+    }
+}
+
+/// Configuration of the profilers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Profilers {
+    /// Radius around the MAV within which obstacles are clustered for the
+    /// gap analysis (metres).
+    pub gap_radius: f64,
+    /// Sensing range cap on the visibility estimate (metres).
+    pub max_visibility: f64,
+    /// Floor on the visibility estimate (metres).
+    pub min_visibility: f64,
+    /// Sampling step for the unknown-space probe (metres).
+    pub probe_step: f64,
+    /// Number of upcoming trajectory waypoints handed to Algorithm 1.
+    pub waypoint_horizon: usize,
+    /// Time spacing between the sampled upcoming waypoints (seconds).
+    pub waypoint_spacing: f64,
+}
+
+impl Default for Profilers {
+    fn default() -> Self {
+        Profilers {
+            gap_radius: 20.0,
+            max_visibility: 40.0,
+            min_visibility: 2.0,
+            probe_step: 0.5,
+            waypoint_horizon: 5,
+            waypoint_spacing: 2.0,
+        }
+    }
+}
+
+impl Profilers {
+    /// Builds a [`SpatialProfile`] from the pipeline's data structures.
+    ///
+    /// * `cloud` — this decision's (already down-sampled) point cloud.
+    /// * `map` — the occupancy map after integration.
+    /// * `trajectory` — the currently followed trajectory, if any.
+    /// * `position` / `velocity` — sensor (GPS/IMU) state.
+    /// * `heading` — direction of travel used for the unknown-space probe.
+    pub fn profile(
+        &self,
+        cloud: &PointCloud,
+        map: &OccupancyMap,
+        trajectory: Option<&Trajectory>,
+        position: Vec3,
+        velocity: f64,
+        heading: Vec3,
+    ) -> SpatialProfile {
+        // --- Gap analysis from the observed obstacle clusters. ---
+        let clusters = extract_obstacle_clusters(map, position, self.gap_radius);
+        let (gap_min, gap_avg) = cluster_gaps(&clusters);
+
+        // --- Closest obstacle / closest unknown. ---
+        let closest_obstacle = map
+            .nearest_occupied_distance(position, self.max_visibility)
+            .unwrap_or(self.max_visibility);
+        let probe_dir = if heading.norm() > 1e-9 { heading } else { Vec3::X };
+        let closest_unknown =
+            map.distance_to_unknown(position, probe_dir, self.max_visibility, self.probe_step);
+
+        // --- Visibility estimate for the deadline. ---
+        let visibility = closest_obstacle
+            .min(closest_unknown)
+            .clamp(self.min_visibility, self.max_visibility);
+
+        // --- Volumes. ---
+        // The sensed volume is the extent of this decision's returns,
+        // inflated by one metre so a planar wall (zero-thickness AABB) still
+        // registers a finite observed volume.
+        let sensor_volume = cloud
+            .bounds()
+            .map(|b| b.inflate(1.0).volume())
+            .unwrap_or(0.0);
+        let map_volume = map.known_volume();
+
+        // --- Upcoming waypoints from the smoother's trajectory. ---
+        let upcoming_waypoints = match trajectory {
+            Some(traj) if !traj.is_empty() => (1..=self.waypoint_horizon)
+                .filter_map(|i| {
+                    let t = i as f64 * self.waypoint_spacing;
+                    traj.sample_at(t).map(|sample| {
+                        // Expected visibility at a future waypoint: what the
+                        // map currently knows about that region.
+                        let future_obstacle = map
+                            .nearest_occupied_distance(sample.position, self.max_visibility)
+                            .unwrap_or(self.max_visibility);
+                        WaypointState {
+                            position: sample.position,
+                            velocity: sample.speed.max(0.1),
+                            visibility: future_obstacle
+                                .clamp(self.min_visibility, self.max_visibility),
+                        }
+                    })
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+
+        SpatialProfile {
+            position,
+            velocity,
+            gap_avg,
+            gap_min,
+            closest_obstacle,
+            closest_unknown,
+            visibility,
+            sensor_volume,
+            map_volume,
+            upcoming_waypoints,
+        }
+    }
+}
+
+/// Groups occupied voxels near `center` into connected obstacle clusters
+/// (26-neighbourhood union-find) and returns each cluster's bounding box.
+///
+/// To keep the per-decision cost bounded, voxels are first re-keyed at a
+/// coarse clustering resolution (≥ 1.2 m); gap estimates therefore carry
+/// roughly that granularity, which is ample for the governor's precision
+/// constraints.
+pub fn extract_obstacle_clusters(map: &OccupancyMap, center: Vec3, radius: f64) -> Vec<Aabb> {
+    let cluster_res = map.resolution().max(1.2);
+    let mut coarse: std::collections::HashMap<roborun_geom::VoxelKey, Aabb> =
+        std::collections::HashMap::new();
+    for (_, b) in map
+        .occupied_voxels()
+        .filter(|(_, b)| b.distance_to_point(center) <= radius)
+    {
+        let key = roborun_geom::VoxelKey::from_point(b.center(), cluster_res);
+        coarse
+            .entry(key)
+            .and_modify(|acc| *acc = Aabb::union(acc, &b))
+            .or_insert(b);
+    }
+    let nearby: Vec<(roborun_geom::VoxelKey, Aabb)> = coarse.into_iter().collect();
+    if nearby.is_empty() {
+        return Vec::new();
+    }
+    // Union-find over voxel indices.
+    let mut parent: Vec<usize> = (0..nearby.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..nearby.len() {
+        for j in (i + 1)..nearby.len() {
+            let (ka, kb) = (nearby[i].0, nearby[j].0);
+            if (ka.x - kb.x).abs() <= 1 && (ka.y - kb.y).abs() <= 1 && (ka.z - kb.z).abs() <= 1 {
+                let (ra, rb) = (find(&mut parent, i), find(&mut parent, j));
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        }
+    }
+    let mut clusters: std::collections::HashMap<usize, Aabb> = std::collections::HashMap::new();
+    for i in 0..nearby.len() {
+        let root = find(&mut parent, i);
+        clusters
+            .entry(root)
+            .and_modify(|b| *b = Aabb::union(b, &nearby[i].1))
+            .or_insert(nearby[i].1);
+    }
+    let mut out: Vec<Aabb> = clusters.into_values().collect();
+    out.sort_by(|a, b| {
+        a.distance_to_point(center)
+            .partial_cmp(&b.distance_to_point(center))
+            .expect("distances are never NaN")
+    });
+    out
+}
+
+/// Minimum and average surface-to-surface gap between obstacle clusters.
+/// Returns the open-space sentinel (100 m) when fewer than two clusters
+/// exist.
+fn cluster_gaps(clusters: &[Aabb]) -> (f64, f64) {
+    const OPEN: f64 = 100.0;
+    if clusters.len() < 2 {
+        return (OPEN, OPEN);
+    }
+    let mut min_gap = f64::INFINITY;
+    let mut sum = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..clusters.len() {
+        for j in (i + 1)..clusters.len() {
+            let gap = aabb_gap(&clusters[i], &clusters[j]);
+            min_gap = min_gap.min(gap);
+            sum += gap;
+            pairs += 1;
+        }
+    }
+    ((min_gap).min(OPEN), (sum / pairs as f64).min(OPEN))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roborun_planning::{smooth_path, SmoothingConfig};
+
+    fn map_from_points(points: Vec<Vec3>) -> OccupancyMap {
+        let mut map = OccupancyMap::new(0.3);
+        map.integrate_cloud(&PointCloud::new(Vec3::new(0.0, 0.0, 5.0), points), 0.3);
+        map
+    }
+
+    fn column(x: f64, y: f64) -> Vec<Vec3> {
+        (0..10)
+            .flat_map(move |k| {
+                (0..3).map(move |dy| Vec3::new(x, y + dy as f64 * 0.3, 4.0 + k as f64 * 0.3))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn open_space_profile_reports_large_gaps() {
+        let profilers = Profilers::default();
+        let map = OccupancyMap::new(0.3);
+        let cloud = PointCloud::empty(Vec3::new(0.0, 0.0, 5.0));
+        let profile = profilers.profile(&cloud, &map, None, Vec3::new(0.0, 0.0, 5.0), 2.0, Vec3::X);
+        assert_eq!(profile.gap_min, 100.0);
+        assert_eq!(profile.gap_avg, 100.0);
+        assert_eq!(profile.closest_obstacle, profilers.max_visibility);
+        assert_eq!(profile.sensor_volume, 0.0);
+        assert_eq!(profile.map_volume, 0.0);
+        // An empty map is all unknown, so the visibility estimate collapses
+        // to the floor — the governor must be conservative before it has
+        // seen anything.
+        assert_eq!(profile.visibility, profilers.min_visibility);
+        assert!(profile.upcoming_waypoints.is_empty());
+        assert_eq!(profile.current_waypoint().velocity, 2.0);
+    }
+
+    #[test]
+    fn two_columns_produce_a_measurable_gap() {
+        let profilers = Profilers::default();
+        // Two pillars ~4 m apart (surface to surface) ahead of the MAV.
+        let mut points = column(8.0, -2.5);
+        points.extend(column(8.0, 2.2));
+        let map = map_from_points(points.clone());
+        let cloud = PointCloud::new(Vec3::new(0.0, 0.0, 5.0), points);
+        let profile = profilers.profile(&cloud, &map, None, Vec3::new(0.0, 0.0, 5.0), 1.5, Vec3::X);
+        assert!(profile.gap_min < 6.0, "gap_min {}", profile.gap_min);
+        assert!(profile.gap_min > 2.0, "gap_min {}", profile.gap_min);
+        assert!(profile.gap_avg >= profile.gap_min);
+        assert!(profile.closest_obstacle < 10.0);
+        assert!(profile.visibility <= profile.closest_obstacle);
+        assert!(profile.sensor_volume > 0.0);
+        assert!(profile.map_volume > 0.0);
+    }
+
+    #[test]
+    fn single_cluster_reports_open_gap_but_near_obstacle() {
+        let profilers = Profilers::default();
+        let points = column(6.0, 0.0);
+        let map = map_from_points(points.clone());
+        let cloud = PointCloud::new(Vec3::new(0.0, 0.0, 5.0), points);
+        let profile = profilers.profile(&cloud, &map, None, Vec3::new(0.0, 0.0, 5.0), 1.0, Vec3::X);
+        assert_eq!(profile.gap_min, 100.0);
+        assert!(profile.closest_obstacle < 7.0);
+    }
+
+    #[test]
+    fn cluster_extraction_merges_adjacent_voxels() {
+        let map = map_from_points(column(8.0, 0.0));
+        let clusters = extract_obstacle_clusters(&map, Vec3::new(0.0, 0.0, 5.0), 30.0);
+        assert_eq!(clusters.len(), 1, "one pillar must form one cluster");
+        let far = extract_obstacle_clusters(&map, Vec3::new(200.0, 0.0, 5.0), 10.0);
+        assert!(far.is_empty());
+    }
+
+    #[test]
+    fn trajectory_produces_upcoming_waypoints() {
+        let profilers = Profilers::default();
+        let map = map_from_points(column(30.0, 0.0));
+        let cloud = PointCloud::empty(Vec3::new(0.0, 0.0, 5.0));
+        let traj = smooth_path(
+            &[Vec3::new(0.0, 0.0, 5.0), Vec3::new(40.0, 0.0, 5.0)],
+            3.0,
+            &SmoothingConfig::default(),
+        );
+        let profile = profilers.profile(
+            &cloud,
+            &map,
+            Some(&traj),
+            Vec3::new(0.0, 0.0, 5.0),
+            3.0,
+            Vec3::X,
+        );
+        assert!(!profile.upcoming_waypoints.is_empty());
+        assert!(profile.upcoming_waypoints.len() <= profilers.waypoint_horizon);
+        // Waypoints advance along the trajectory.
+        let xs: Vec<f64> = profile.upcoming_waypoints.iter().map(|w| w.position.x).collect();
+        for w in xs.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9);
+        }
+        // Visibility at each waypoint is clamped to the profiler's range.
+        for w in &profile.upcoming_waypoints {
+            assert!(w.visibility >= profilers.min_visibility);
+            assert!(w.visibility <= profilers.max_visibility);
+            assert!(w.velocity > 0.0);
+        }
+    }
+
+    #[test]
+    fn preset_profiles_are_sensible() {
+        let open = SpatialProfile::open_space(2.5, 40.0);
+        assert_eq!(open.visibility, 40.0);
+        assert!(open.gap_min > 10.0);
+        let tight = SpatialProfile::congested(0.5, 2.0, 3.0);
+        assert!(tight.gap_min < open.gap_min);
+        assert!(tight.visibility < open.visibility);
+    }
+}

@@ -1,0 +1,314 @@
+//! The governor's knob solver: the constrained optimisation of paper Eq. 3.
+//!
+//! > minimise  `(δ_d − Σ_i δ_i(p_i, v_i))²`
+//! >
+//! > subject to  `g_min ≤ p₀ ≤ min(p₁, g_avg, d_obs)`
+//! >             `v₀ ≤ v₁ ≤ min(v_sensor, v_map)`
+//! >             `p_i ∈ {vox_min · 2ⁿ}`  (and `p₁ = p₂`)
+//!
+//! The precision domain is a six-element power-of-two lattice and the
+//! volume knobs are searched over a small discretisation of their Table II
+//! ranges, so exhaustive enumeration is both exact over the discretised
+//! space and fast (a few thousand candidate evaluations of a cubic
+//! polynomial — well under a millisecond), playing the role of the paper's
+//! "mathematical solver".
+//!
+//! A note on the first constraint: the paper literally writes
+//! `g_min ≤ p₀`, i.e. the voxel may not be *finer* than the minimum gap.
+//! When the surroundings are open (`g_min` is the open-space sentinel) this
+//! lower bound exceeds the coarsest lattice level; we clamp it to the
+//! lattice so the solver simply picks the coarsest precision, which is the
+//! behaviour the paper describes for open space.
+
+use crate::{KnobRanges, KnobSettings, PipelineLatencyModel, SpatialProfile};
+use serde::{Deserialize, Serialize};
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Number of discretisation steps per volume knob.
+    pub volume_steps: usize,
+    /// Weight of the quality tie-breaker: among assignments with (nearly)
+    /// the same budget error, prefer finer precision and larger volumes.
+    pub quality_bias: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            volume_steps: 6,
+            quality_bias: 1e-3,
+        }
+    }
+}
+
+/// Outcome of one solver run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverOutcome {
+    /// Chosen knob assignment.
+    pub knobs: KnobSettings,
+    /// Latency the model predicts for the chosen knobs (seconds).
+    pub predicted_latency: f64,
+    /// The (δ_d − Σδ)² objective value at the chosen knobs.
+    pub objective: f64,
+    /// `true` when even the cheapest feasible assignment exceeds the budget
+    /// (the governor then runs at the cheapest point and accepts the
+    /// overrun, exactly like the paper's high-latency outliers near
+    /// obstacles).
+    pub budget_exceeded: bool,
+}
+
+/// The Eq. 3 solver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnobSolver {
+    /// Admissible knob ranges (Table II).
+    pub ranges: KnobRanges,
+    /// Solver configuration.
+    pub config: SolverConfig,
+}
+
+impl KnobSolver {
+    /// Creates a solver over the given ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges are invalid or `volume_steps < 2`.
+    pub fn new(ranges: KnobRanges, config: SolverConfig) -> Self {
+        ranges.validate().expect("invalid knob ranges");
+        assert!(config.volume_steps >= 2, "need at least two volume steps");
+        KnobSolver { ranges, config }
+    }
+
+    /// Solves Eq. 3 for the given time budget `delta_d` (seconds), spatial
+    /// profile and latency model.
+    pub fn solve(
+        &self,
+        delta_d: f64,
+        profile: &SpatialProfile,
+        model: &PipelineLatencyModel,
+    ) -> SolverOutcome {
+        let lattice = self.ranges.precision_lattice();
+        let coarsest = *lattice.last().expect("lattice is never empty");
+
+        // Constraint bounds for p0 from the profile.
+        let p0_upper_demand = profile
+            .gap_avg
+            .min(profile.closest_obstacle)
+            .clamp(self.ranges.precision_min, coarsest);
+        let p0_lower = profile.gap_min.min(coarsest).max(self.ranges.precision_min);
+
+        // Admissible p0 lattice points. When the [g_min, min(g_avg, d_obs)]
+        // window contains no lattice point, the safety-critical upper bound
+        // (the space's precision demand) wins and the paper's lower bound is
+        // dropped: we take the finest lattice value not exceeding the
+        // demand, falling back to the finest level overall.
+        let mut p0_candidates: Vec<f64> = lattice
+            .iter()
+            .copied()
+            .filter(|&p| p >= p0_lower - 1e-9 && p <= p0_upper_demand + 1e-9)
+            .collect();
+        if p0_candidates.is_empty() {
+            let fallback = lattice
+                .iter()
+                .copied()
+                .filter(|&p| p <= p0_upper_demand + 1e-9)
+                .fold(f64::NAN, f64::max);
+            p0_candidates.push(if fallback.is_nan() { lattice[0] } else { fallback });
+        }
+
+        // Volume upper bounds: v1 ≤ min(v_sensor, v_map) and the Table II caps.
+        let v1_cap = self
+            .ranges
+            .map_to_planner_volume_max
+            .min(self.ranges.sensor_volume_max.max(profile.sensor_volume))
+            .min(profile.map_volume.max(self.ranges.sensor_volume_max));
+        let v0_cap = self.ranges.octomap_volume_max;
+        let v2_cap = self.ranges.planner_volume_max;
+
+        let volume_grid = |cap: f64| -> Vec<f64> {
+            let n = self.config.volume_steps;
+            (1..=n).map(|i| cap * i as f64 / n as f64).collect()
+        };
+
+        let mut best: Option<(f64, f64, KnobSettings, f64)> = None; // (score, quality, knobs, latency)
+        for &p1 in &lattice {
+            for &p0 in &p0_candidates {
+                // Constraint: p0 ≤ p1.
+                if p0 > p1 + 1e-9 {
+                    continue;
+                }
+                for &v1 in &volume_grid(v1_cap) {
+                    for &v0 in &volume_grid(v0_cap) {
+                        if v0 > v1 + 1e-9 {
+                            continue;
+                        }
+                        for &v2 in &volume_grid(v2_cap) {
+                            let knobs = KnobSettings {
+                                point_cloud_precision: p0,
+                                map_to_planner_precision: p1,
+                                octomap_volume: v0,
+                                map_to_planner_volume: v1,
+                                planner_volume: v2,
+                            };
+                            let latency = model.predict(&knobs);
+                            let objective = (delta_d - latency).powi(2);
+                            // Quality: finer precision and more volume are
+                            // better world models; used only to break ties.
+                            let quality = (1.0 / p0) + (1.0 / p1) * 0.5
+                                + (v0 / v0_cap + v1 / v1_cap + v2 / v2_cap) * 0.25;
+                            let score = objective - self.config.quality_bias * quality;
+                            let better = match &best {
+                                None => true,
+                                Some((best_score, _, _, _)) => score < *best_score,
+                            };
+                            if better {
+                                best = Some((score, quality, knobs, latency));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let (_, _, knobs, predicted_latency) =
+            best.expect("solver always evaluates at least one candidate");
+        SolverOutcome {
+            knobs,
+            predicted_latency,
+            objective: (delta_d - predicted_latency).powi(2),
+            budget_exceeded: predicted_latency > delta_d + 1e-9,
+        }
+    }
+}
+
+impl Default for KnobSolver {
+    fn default() -> Self {
+        KnobSolver::new(KnobRanges::table_ii(), SolverConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roborun_sim::ComputeLatencyModel;
+
+    fn model() -> PipelineLatencyModel {
+        PipelineLatencyModel::from_simulation(&ComputeLatencyModel::calibrated(), true)
+    }
+
+    #[test]
+    fn generous_budget_buys_quality() {
+        let solver = KnobSolver::default();
+        let profile = SpatialProfile::congested(1.0, 1.0, 4.0);
+        let tight = solver.solve(0.5, &profile, &model());
+        let generous = solver.solve(8.0, &profile, &model());
+        // A larger budget must never produce a *cheaper* (lower-latency)
+        // plan than a smaller budget.
+        assert!(generous.predicted_latency >= tight.predicted_latency);
+        // And the generous plan should spend more of its budget on volume
+        // or precision.
+        let q = |k: &KnobSettings| 1.0 / k.point_cloud_precision + k.map_to_planner_volume / 1e6;
+        assert!(q(&generous.knobs) >= q(&tight.knobs));
+    }
+
+    #[test]
+    fn open_space_relaxes_precision_to_coarsest() {
+        let solver = KnobSolver::default();
+        let profile = SpatialProfile::open_space(2.0, 40.0);
+        let outcome = solver.solve(1.0, &profile, &model());
+        assert!(outcome.knobs.point_cloud_precision >= 4.8);
+        assert!(!outcome.budget_exceeded);
+        assert!(outcome.predicted_latency <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn congestion_demands_fine_precision() {
+        let solver = KnobSolver::default();
+        // Gaps of ~1 m demand sub-metre voxels.
+        let profile = SpatialProfile::congested(0.5, 0.8, 2.0);
+        let outcome = solver.solve(6.0, &profile, &model());
+        // Eq. 3 bounds p0 by min(g_avg, d_obs) = 1.2 m from above and by
+        // g_min = 0.8 m from below; the only admissible lattice point is
+        // 1.2 m, far finer than the 9.6 m open-space choice.
+        assert!(
+            outcome.knobs.point_cloud_precision <= 1.2 + 1e-9,
+            "precision {} too coarse for a 1.2 m average gap",
+            outcome.knobs.point_cloud_precision
+        );
+    }
+
+    #[test]
+    fn impossible_budget_reports_overrun_at_cheapest_plan() {
+        let solver = KnobSolver::default();
+        let profile = SpatialProfile::congested(0.5, 0.5, 1.0);
+        // A 1 ms budget cannot cover even the fixed pipeline costs.
+        let outcome = solver.solve(0.001, &profile, &model());
+        assert!(outcome.budget_exceeded);
+        assert!(outcome.predicted_latency > 0.001);
+        // The chosen plan should be (close to) the cheapest feasible one:
+        // coarse export precision and small volumes.
+        assert!(outcome.knobs.octomap_volume <= 20_000.0 + 1e-6);
+    }
+
+    #[test]
+    fn solution_always_satisfies_structural_constraints() {
+        let solver = KnobSolver::default();
+        let model = model();
+        let profiles = [
+            SpatialProfile::open_space(1.0, 40.0),
+            SpatialProfile::open_space(4.0, 10.0),
+            SpatialProfile::congested(0.5, 0.5, 1.0),
+            SpatialProfile::congested(2.0, 3.0, 8.0),
+        ];
+        let lattice = solver.ranges.precision_lattice();
+        for profile in &profiles {
+            for budget in [0.2, 1.0, 3.0, 10.0] {
+                let outcome = solver.solve(budget, profile, &model);
+                let k = outcome.knobs;
+                assert!(k.validate(&solver.ranges).is_ok(), "{k} violates Table II");
+                // Precisions on the lattice.
+                for p in [k.point_cloud_precision, k.map_to_planner_precision] {
+                    assert!(
+                        lattice.iter().any(|&l| (l - p).abs() < 1e-9),
+                        "precision {p} not on the lattice"
+                    );
+                }
+                // Eq. 3 orderings.
+                assert!(k.point_cloud_precision <= k.map_to_planner_precision + 1e-9);
+                assert!(k.octomap_volume <= k.map_to_planner_volume + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_latency_matches_model() {
+        let solver = KnobSolver::default();
+        let model = model();
+        let profile = SpatialProfile::congested(1.0, 2.0, 5.0);
+        let outcome = solver.solve(2.0, &profile, &model);
+        assert!((model.predict(&outcome.knobs) - outcome.predicted_latency).abs() < 1e-12);
+        assert!((outcome.objective - (2.0 - outcome.predicted_latency).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solver_is_fast_enough_for_per_decision_use() {
+        let solver = KnobSolver::default();
+        let model = model();
+        let profile = SpatialProfile::congested(1.0, 2.0, 5.0);
+        let start = std::time::Instant::now();
+        for _ in 0..50 {
+            let _ = solver.solve(2.0, &profile, &model);
+        }
+        let per_call = start.elapsed().as_secs_f64() / 50.0;
+        assert!(per_call < 0.05, "solver took {per_call} s per call");
+    }
+
+    #[test]
+    #[should_panic(expected = "volume steps")]
+    fn rejects_degenerate_volume_grid() {
+        let _ = KnobSolver::new(
+            KnobRanges::table_ii(),
+            SolverConfig { volume_steps: 1, ..SolverConfig::default() },
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the RoboRun runtime: time budgeting, the knob
+//! solver and the governor.
+
+use proptest::prelude::*;
+use roborun_core::{
+    Governor, GovernorConfig, KnobSolver, PipelineLatencyModel, RuntimeMode, SpatialProfile,
+    TimeBudgeter, WaypointState,
+};
+use roborun_geom::Vec3;
+use roborun_sim::ComputeLatencyModel;
+
+fn arb_profile() -> impl Strategy<Value = SpatialProfile> {
+    (
+        0.2f64..6.0,   // velocity
+        0.3f64..50.0,  // gap_min
+        1.0f64..60.0,  // closest obstacle
+        2.0f64..40.0,  // visibility
+        100.0f64..60_000.0, // sensor volume
+        100.0f64..200_000.0, // map volume
+    )
+        .prop_map(|(velocity, gap_min, obstacle, visibility, sensor_volume, map_volume)| {
+            SpatialProfile {
+                position: Vec3::ZERO,
+                velocity,
+                gap_avg: gap_min * 1.5,
+                gap_min,
+                closest_obstacle: obstacle,
+                closest_unknown: visibility,
+                visibility,
+                sensor_volume,
+                map_volume,
+                upcoming_waypoints: Vec::new(),
+            }
+        })
+}
+
+fn model() -> PipelineLatencyModel {
+    PipelineLatencyModel::from_simulation(&ComputeLatencyModel::calibrated(), true)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn local_budget_monotonicities(v1 in 0.2f64..8.0, v2 in 0.2f64..8.0,
+                                   d1 in 1.0f64..40.0, d2 in 1.0f64..40.0) {
+        let b = TimeBudgeter::default();
+        let (v_lo, v_hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        let (d_lo, d_hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        // Faster → never a longer deadline (same visibility).
+        prop_assert!(b.local_budget(v_hi, d_lo) <= b.local_budget(v_lo, d_lo) + 1e-9);
+        // Clearer → never a shorter deadline (same velocity).
+        prop_assert!(b.local_budget(v_lo, d_hi) + 1e-9 >= b.local_budget(v_lo, d_lo));
+        // Always within the clamps.
+        let budget = b.local_budget(v1, d1);
+        prop_assert!(budget >= b.min_budget && budget <= b.max_budget);
+    }
+
+    #[test]
+    fn global_budget_never_exceeds_benign_accumulation(vel in 0.3f64..5.0, vis in 3.0f64..40.0,
+                                                       n in 0usize..10) {
+        let b = TimeBudgeter::default();
+        let current = WaypointState { position: Vec3::ZERO, velocity: vel, visibility: vis };
+        let upcoming: Vec<WaypointState> = (1..=n)
+            .map(|i| WaypointState {
+                position: Vec3::new(i as f64 * 5.0, 0.0, 0.0),
+                velocity: vel,
+                visibility: vis,
+            })
+            .collect();
+        let global = b.global_budget(&current, &upcoming);
+        prop_assert!(global >= b.min_budget && global <= b.max_budget);
+        // Adding a blind, fast waypoint can only shrink the budget.
+        let mut worse = upcoming.clone();
+        worse.insert(
+            0,
+            WaypointState { position: Vec3::new(1.0, 0.0, 0.0), velocity: 8.0, visibility: 1.0 },
+        );
+        let worse_budget = b.global_budget(&current, &worse);
+        prop_assert!(worse_budget <= global + 1e-9);
+    }
+
+    #[test]
+    fn safe_velocity_is_consistent_with_budget(latency in 0.05f64..6.0, vis in 2.0f64..40.0) {
+        let b = TimeBudgeter::default();
+        let v = b.safe_velocity(latency, vis, 8.0);
+        prop_assert!(v >= b.velocity_floor - 1e-9 && v <= 8.0 + 1e-9);
+        // At the returned velocity (if above the floor), the budget covers
+        // the latency.
+        if v > b.velocity_floor + 1e-6 {
+            prop_assert!(b.local_budget_raw(v, vis) >= latency - 1e-6);
+        }
+    }
+
+    #[test]
+    fn solver_output_always_valid(profile in arb_profile(), budget in 0.05f64..20.0) {
+        let solver = KnobSolver::default();
+        let model = model();
+        let outcome = solver.solve(budget, &profile, &model);
+        // Structural validity (Table II ranges + Eq. 3 orderings).
+        prop_assert!(outcome.knobs.validate(&solver.ranges).is_ok());
+        // Lattice membership.
+        let lattice = solver.ranges.precision_lattice();
+        prop_assert!(lattice.iter().any(|&p| (p - outcome.knobs.point_cloud_precision).abs() < 1e-9));
+        prop_assert!(lattice.iter().any(|&p| (p - outcome.knobs.map_to_planner_precision).abs() < 1e-9));
+        // Predicted latency consistent with the model and the overrun flag.
+        let predicted = model.predict(&outcome.knobs);
+        prop_assert!((predicted - outcome.predicted_latency).abs() < 1e-9);
+        prop_assert_eq!(outcome.budget_exceeded, predicted > budget + 1e-9);
+    }
+
+    #[test]
+    fn solver_latency_monotone_in_budget(profile in arb_profile(), b1 in 0.05f64..20.0, b2 in 0.05f64..20.0) {
+        let solver = KnobSolver::default();
+        let model = model();
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        let small = solver.solve(lo, &profile, &model);
+        let large = solver.solve(hi, &profile, &model);
+        // A larger budget never buys a *cheaper* plan than a smaller budget.
+        prop_assert!(large.predicted_latency + 1e-9 >= small.predicted_latency);
+    }
+
+    #[test]
+    fn governor_policies_respect_mode_contract(profile in arb_profile()) {
+        let aware = Governor::new(GovernorConfig::default());
+        let oblivious = Governor::new(GovernorConfig {
+            mode: RuntimeMode::SpatialOblivious,
+            ..GovernorConfig::default()
+        });
+        let p_aware = aware.decide(&profile);
+        let p_oblivious = oblivious.decide(&profile);
+        prop_assert_eq!(p_aware.mode, RuntimeMode::SpatialAware);
+        prop_assert_eq!(p_oblivious.mode, RuntimeMode::SpatialOblivious);
+        // The oblivious policy ignores the profile entirely.
+        prop_assert_eq!(p_oblivious.knobs, roborun_core::KnobSettings::static_baseline());
+        // Both deadlines are positive and bounded.
+        prop_assert!(p_aware.deadline > 0.0 && p_aware.deadline <= 30.0 + 1e-9);
+        prop_assert!(p_oblivious.deadline > 0.0);
+        // The aware policy's precision never exceeds the coarsest lattice level.
+        prop_assert!(p_aware.knobs.point_cloud_precision <= 9.6 + 1e-9);
+    }
+
+    #[test]
+    fn governor_velocity_law_is_monotone(lat1 in 0.05f64..5.0, lat2 in 0.05f64..5.0, vis in 2.0f64..40.0) {
+        let gov = Governor::new(GovernorConfig::default());
+        let (lo, hi) = if lat1 <= lat2 { (lat1, lat2) } else { (lat2, lat1) };
+        prop_assert!(gov.safe_velocity(hi, vis) <= gov.safe_velocity(lo, vis) + 1e-9);
+    }
+}

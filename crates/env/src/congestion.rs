@@ -1,0 +1,191 @@
+//! Congestion heat-maps over the mission corridor (paper Fig. 9).
+//!
+//! Figure 9 visualises each point's congestion level as a heat map with the
+//! travelled trajectories overlaid. The [`CongestionMap`] rasterises the
+//! obstacle field's local density over a horizontal grid at cruise altitude
+//! so experiments can print the same map, and the runtime's profilers can
+//! cheaply query congestion along planned trajectories.
+
+use crate::{Environment, ObstacleField};
+use roborun_geom::{Aabb, CellIndex, Grid3, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A horizontal congestion (local obstacle density) map at cruise altitude.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CongestionMap {
+    grid: Grid3,
+    values: Vec<f64>,
+    altitude: f64,
+}
+
+impl CongestionMap {
+    /// Builds a congestion map for an environment with the given horizontal
+    /// cell size (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size <= 0`.
+    pub fn build(env: &Environment, cell_size: f64) -> Self {
+        Self::build_for_field(
+            env.field(),
+            env.bounds(),
+            env.start().z,
+            cell_size,
+        )
+    }
+
+    /// Builds a congestion map for an arbitrary obstacle field over the
+    /// given bounds, probing at `altitude`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size <= 0`.
+    pub fn build_for_field(
+        field: &ObstacleField,
+        bounds: Aabb,
+        altitude: f64,
+        cell_size: f64,
+    ) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        // Flatten to a single-cell-thick slab at the probe altitude.
+        let slab = Aabb::new(
+            Vec3::new(bounds.min.x, bounds.min.y, altitude - cell_size * 0.5),
+            Vec3::new(bounds.max.x, bounds.max.y, altitude + cell_size * 0.5),
+        );
+        let grid = Grid3::new(slab, cell_size);
+        let mut values = vec![0.0; grid.len()];
+        for idx in grid.iter() {
+            let center = grid.cell_center(idx);
+            let density = field.local_density(
+                Vec3::new(center.x, center.y, altitude),
+                cell_size,
+                3,
+            );
+            values[grid.linear_index(idx)] = density;
+        }
+        CongestionMap { grid, values, altitude }
+    }
+
+    /// The grid backing the map.
+    pub fn grid(&self) -> &Grid3 {
+        &self.grid
+    }
+
+    /// Altitude at which the congestion was probed.
+    pub fn altitude(&self) -> f64 {
+        self.altitude
+    }
+
+    /// Congestion (occupied fraction, `[0, 1]`) at a world position, or
+    /// `None` when the position is outside the map.
+    pub fn congestion_at(&self, p: Vec3) -> Option<f64> {
+        let probe = Vec3::new(p.x, p.y, self.altitude);
+        let idx = self.grid.cell_of(probe)?;
+        Some(self.values[self.grid.linear_index(idx)])
+    }
+
+    /// Congestion of a cell by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn congestion_of(&self, idx: CellIndex) -> f64 {
+        self.values[self.grid.linear_index(idx)]
+    }
+
+    /// Maximum congestion over the whole map.
+    pub fn peak(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean congestion over the whole map.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Renders the map as rows of numbers (one row per Y cell, X across),
+    /// for textual "heat map" output in the experiment harness.
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        let (nx, ny, _) = self.grid.dims();
+        let mut rows = Vec::with_capacity(ny);
+        for iy in 0..ny {
+            let mut row = Vec::with_capacity(nx);
+            for ix in 0..nx {
+                row.push(self.values[self.grid.linear_index(CellIndex::new(ix, iy, 0))]);
+            }
+            rows.push(row);
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DifficultyConfig, EnvironmentGenerator, Obstacle, Zone};
+
+    #[test]
+    fn empty_field_has_zero_congestion() {
+        let bounds = Aabb::new(Vec3::new(0.0, -20.0, 0.0), Vec3::new(100.0, 20.0, 20.0));
+        let map = CongestionMap::build_for_field(&ObstacleField::empty(), bounds, 5.0, 10.0);
+        assert_eq!(map.peak(), 0.0);
+        assert_eq!(map.mean(), 0.0);
+        assert_eq!(map.congestion_at(Vec3::new(50.0, 0.0, 5.0)), Some(0.0));
+        assert!(map.congestion_at(Vec3::new(-500.0, 0.0, 5.0)).is_none());
+    }
+
+    #[test]
+    fn congestion_peaks_near_obstacles() {
+        let bounds = Aabb::new(Vec3::new(0.0, -20.0, 0.0), Vec3::new(100.0, 20.0, 20.0));
+        let field = ObstacleField::new(vec![Obstacle::new(
+            0,
+            Aabb::new(Vec3::new(48.0, -4.0, 0.0), Vec3::new(56.0, 4.0, 20.0)),
+        )]);
+        let map = CongestionMap::build_for_field(&field, bounds, 5.0, 4.0);
+        let near = map.congestion_at(Vec3::new(52.0, 0.0, 5.0)).unwrap();
+        let far = map.congestion_at(Vec3::new(10.0, -15.0, 5.0)).unwrap();
+        assert!(near > far);
+        assert!(near > 0.3);
+        assert_eq!(far, 0.0);
+        assert!(map.peak() >= near);
+        assert!(map.mean() <= map.peak());
+    }
+
+    #[test]
+    fn generated_environment_congestion_matches_zones() {
+        let env = EnvironmentGenerator::new(DifficultyConfig::mid()).generate(4);
+        let map = CongestionMap::build(&env, 20.0);
+        // Average congestion in zones A and C should exceed zone B.
+        let mut zone_sum = [0.0f64; 3];
+        let mut zone_n = [0usize; 3];
+        for idx in map.grid().iter() {
+            let c = map.grid().cell_center(idx);
+            let zone = env.zone_at(c);
+            let v = map.congestion_of(idx);
+            let zi = match zone {
+                Zone::A => 0,
+                Zone::B => 1,
+                Zone::C => 2,
+            };
+            zone_sum[zi] += v;
+            zone_n[zi] += 1;
+        }
+        let avg = |i: usize| zone_sum[i] / zone_n[i].max(1) as f64;
+        assert!(avg(0) > avg(1), "zone A {} vs B {}", avg(0), avg(1));
+        assert!(avg(2) > avg(1), "zone C {} vs B {}", avg(2), avg(1));
+    }
+
+    #[test]
+    fn rows_cover_grid() {
+        let bounds = Aabb::new(Vec3::new(0.0, -10.0, 0.0), Vec3::new(40.0, 10.0, 20.0));
+        let map = CongestionMap::build_for_field(&ObstacleField::empty(), bounds, 5.0, 10.0);
+        let rows = map.to_rows();
+        let (nx, ny, _) = map.grid().dims();
+        assert_eq!(rows.len(), ny);
+        assert!(rows.iter().all(|r| r.len() == nx));
+    }
+}

@@ -1,0 +1,259 @@
+//! The paper's difficulty knobs and the 27-environment evaluation matrix.
+//!
+//! Figure 8a of the paper lists three environment knobs, each with three
+//! values, giving the 27 environments of Section V:
+//!
+//! | knob              | values              |
+//! |-------------------|---------------------|
+//! | obstacle density  | 0.3, 0.45, 0.6      |
+//! | obstacle spread   | 40 m, 80 m, 120 m   |
+//! | goal distance     | 600 m, 900 m, 1200 m|
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A low/mid/high setting of one difficulty knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DifficultyLevel {
+    /// Lowest value of the knob.
+    Low,
+    /// Middle value of the knob.
+    Mid,
+    /// Highest value of the knob.
+    High,
+}
+
+impl DifficultyLevel {
+    /// All three levels, in increasing order.
+    pub const ALL: [DifficultyLevel; 3] =
+        [DifficultyLevel::Low, DifficultyLevel::Mid, DifficultyLevel::High];
+
+    /// Index of the level (0, 1, 2).
+    pub fn index(self) -> usize {
+        match self {
+            DifficultyLevel::Low => 0,
+            DifficultyLevel::Mid => 1,
+            DifficultyLevel::High => 2,
+        }
+    }
+}
+
+impl fmt::Display for DifficultyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DifficultyLevel::Low => "low",
+            DifficultyLevel::Mid => "mid",
+            DifficultyLevel::High => "high",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Peak obstacle densities evaluated in the paper (Fig. 8a).
+pub const OBSTACLE_DENSITIES: [f64; 3] = [0.3, 0.45, 0.6];
+/// Obstacle spreads in metres evaluated in the paper (Fig. 8a).
+pub const OBSTACLE_SPREADS_M: [f64; 3] = [40.0, 80.0, 120.0];
+/// Goal distances in metres evaluated in the paper (Fig. 8a).
+pub const GOAL_DISTANCES_M: [f64; 3] = [600.0, 900.0, 1200.0];
+
+/// Concrete difficulty configuration for one generated environment.
+///
+/// # Example
+///
+/// ```
+/// use roborun_env::DifficultyConfig;
+/// let all = DifficultyConfig::evaluation_matrix();
+/// assert_eq!(all.len(), 27);
+/// assert!(all.iter().any(|c| (c.goal_distance - 1200.0).abs() < 1e-9));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DifficultyConfig {
+    /// Peak obstacle density in congestion clusters (ratio of occupied
+    /// cells at the cluster centre), paper values 0.3 / 0.45 / 0.6.
+    pub obstacle_density: f64,
+    /// Radius (metres) over which obstacles are scattered around a cluster
+    /// centre, paper values 40 / 80 / 120 m.
+    pub obstacle_spread: f64,
+    /// Straight-line distance (metres) from mission start to goal,
+    /// paper values 600 / 900 / 1200 m.
+    pub goal_distance: f64,
+}
+
+impl DifficultyConfig {
+    /// Builds a config from per-knob levels using the paper's values.
+    pub fn from_levels(
+        density: DifficultyLevel,
+        spread: DifficultyLevel,
+        goal: DifficultyLevel,
+    ) -> Self {
+        DifficultyConfig {
+            obstacle_density: OBSTACLE_DENSITIES[density.index()],
+            obstacle_spread: OBSTACLE_SPREADS_M[spread.index()],
+            goal_distance: GOAL_DISTANCES_M[goal.index()],
+        }
+    }
+
+    /// The easiest evaluated environment (all knobs low).
+    pub fn easy() -> Self {
+        Self::from_levels(DifficultyLevel::Low, DifficultyLevel::Low, DifficultyLevel::Low)
+    }
+
+    /// The mid-range environment used for the paper's representative
+    /// mission analysis (Section V-C: "an environment with the mid-range
+    /// difficulty level").
+    pub fn mid() -> Self {
+        Self::from_levels(DifficultyLevel::Mid, DifficultyLevel::Mid, DifficultyLevel::Mid)
+    }
+
+    /// The hardest evaluated environment (all knobs high).
+    pub fn hard() -> Self {
+        Self::from_levels(DifficultyLevel::High, DifficultyLevel::High, DifficultyLevel::High)
+    }
+
+    /// The full 3×3×3 evaluation matrix of Section V (27 environments).
+    ///
+    /// Ordered density-major, then spread, then goal distance, so indices
+    /// are stable across the sensitivity analyses.
+    pub fn evaluation_matrix() -> Vec<DifficultyConfig> {
+        let mut out = Vec::with_capacity(27);
+        for d in DifficultyLevel::ALL {
+            for s in DifficultyLevel::ALL {
+                for g in DifficultyLevel::ALL {
+                    out.push(Self::from_levels(d, s, g));
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates that the knob values are physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the density is outside
+    /// `[0, 1]`, or the spread / goal distance are not positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.obstacle_density) {
+            return Err(format!(
+                "obstacle density must be in [0, 1], got {}",
+                self.obstacle_density
+            ));
+        }
+        if self.obstacle_spread <= 0.0 {
+            return Err(format!(
+                "obstacle spread must be positive, got {}",
+                self.obstacle_spread
+            ));
+        }
+        if self.goal_distance <= 0.0 {
+            return Err(format!(
+                "goal distance must be positive, got {}",
+                self.goal_distance
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DifficultyConfig {
+    fn default() -> Self {
+        Self::mid()
+    }
+}
+
+impl fmt::Display for DifficultyConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "density {:.2}, spread {:.0} m, goal {:.0} m",
+            self.obstacle_density, self.obstacle_spread, self.goal_distance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_27_unique_entries() {
+        let m = DifficultyConfig::evaluation_matrix();
+        assert_eq!(m.len(), 27);
+        for i in 0..m.len() {
+            for j in (i + 1)..m.len() {
+                assert_ne!(m[i], m[j], "duplicate configs at {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_covers_paper_values() {
+        let m = DifficultyConfig::evaluation_matrix();
+        for d in OBSTACLE_DENSITIES {
+            assert!(m.iter().any(|c| (c.obstacle_density - d).abs() < 1e-12));
+        }
+        for s in OBSTACLE_SPREADS_M {
+            assert!(m.iter().any(|c| (c.obstacle_spread - s).abs() < 1e-12));
+        }
+        for g in GOAL_DISTANCES_M {
+            assert!(m.iter().any(|c| (c.goal_distance - g).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn named_presets_match_levels() {
+        assert_eq!(
+            DifficultyConfig::easy(),
+            DifficultyConfig {
+                obstacle_density: 0.3,
+                obstacle_spread: 40.0,
+                goal_distance: 600.0
+            }
+        );
+        assert_eq!(
+            DifficultyConfig::mid(),
+            DifficultyConfig {
+                obstacle_density: 0.45,
+                obstacle_spread: 80.0,
+                goal_distance: 900.0
+            }
+        );
+        assert_eq!(
+            DifficultyConfig::hard(),
+            DifficultyConfig {
+                obstacle_density: 0.6,
+                obstacle_spread: 120.0,
+                goal_distance: 1200.0
+            }
+        );
+        assert_eq!(DifficultyConfig::default(), DifficultyConfig::mid());
+    }
+
+    #[test]
+    fn levels_have_stable_indices() {
+        assert_eq!(DifficultyLevel::Low.index(), 0);
+        assert_eq!(DifficultyLevel::Mid.index(), 1);
+        assert_eq!(DifficultyLevel::High.index(), 2);
+        assert_eq!(DifficultyLevel::ALL.len(), 3);
+        assert_eq!(format!("{}", DifficultyLevel::Mid), "mid");
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(DifficultyConfig::mid().validate().is_ok());
+        let bad_density = DifficultyConfig { obstacle_density: 1.5, ..DifficultyConfig::mid() };
+        assert!(bad_density.validate().is_err());
+        let bad_spread = DifficultyConfig { obstacle_spread: 0.0, ..DifficultyConfig::mid() };
+        assert!(bad_spread.validate().is_err());
+        let bad_goal = DifficultyConfig { goal_distance: -5.0, ..DifficultyConfig::mid() };
+        assert!(bad_goal.validate().is_err());
+    }
+
+    #[test]
+    fn display_mentions_all_knobs() {
+        let s = format!("{}", DifficultyConfig::mid());
+        assert!(s.contains("density"));
+        assert!(s.contains("spread"));
+        assert!(s.contains("goal"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Gap analysis between obstacles (the paper's *space precision* demand).
+//!
+//! The governor's precision constraint (paper Eq. 3) bounds the perception
+//! precision `p₀` by `min(p₁, g_avg, d_obs)` and from below by `g_min`,
+//! where `g_avg` / `g_min` are the average / minimum gap between obstacles
+//! in the observed volume and `d_obs` is the distance to the nearest
+//! obstacle. This module computes those quantities from the set of
+//! obstacles near a position.
+
+use crate::{Obstacle, ObstacleField};
+use roborun_geom::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Gap statistics around a query position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GapAnalysis {
+    /// Minimum surface-to-surface gap between any pair of nearby obstacles
+    /// (metres). Equals `open_space_gap` when fewer than two obstacles are
+    /// nearby.
+    pub min_gap: f64,
+    /// Average surface-to-surface gap between nearby obstacle pairs.
+    pub avg_gap: f64,
+    /// Distance from the query position to the nearest obstacle surface
+    /// (the paper's `d_obs`). Equals `open_space_gap` with no obstacles.
+    pub nearest_obstacle: f64,
+    /// Number of obstacles considered.
+    pub obstacle_count: usize,
+}
+
+impl GapAnalysis {
+    /// Gap value reported in completely open space; chosen to exceed every
+    /// precision knob's coarsest setting so it never constrains the solver.
+    pub const OPEN_SPACE_GAP: f64 = 100.0;
+
+    /// Analyses the gaps around `position`, considering obstacles whose
+    /// surface lies within `radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius <= 0`.
+    pub fn analyze(field: &ObstacleField, position: Vec3, radius: f64) -> Self {
+        assert!(radius > 0.0, "analysis radius must be positive, got {radius}");
+        let nearby: Vec<&Obstacle> = field.obstacles_within(position, radius);
+        let nearest_obstacle = field
+            .distance_to_nearest(position)
+            .unwrap_or(Self::OPEN_SPACE_GAP)
+            .min(Self::OPEN_SPACE_GAP);
+
+        if nearby.len() < 2 {
+            return GapAnalysis {
+                min_gap: Self::OPEN_SPACE_GAP,
+                avg_gap: Self::OPEN_SPACE_GAP,
+                nearest_obstacle,
+                obstacle_count: nearby.len(),
+            };
+        }
+
+        let mut min_gap = f64::INFINITY;
+        let mut sum = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..nearby.len() {
+            for j in (i + 1)..nearby.len() {
+                let gap = aabb_gap(&nearby[i].bounds, &nearby[j].bounds);
+                min_gap = min_gap.min(gap);
+                sum += gap;
+                pairs += 1;
+            }
+        }
+        let avg_gap = sum / pairs as f64;
+        GapAnalysis {
+            min_gap: min_gap.min(Self::OPEN_SPACE_GAP),
+            avg_gap: avg_gap.min(Self::OPEN_SPACE_GAP),
+            nearest_obstacle,
+            obstacle_count: nearby.len(),
+        }
+    }
+
+    /// `true` when the surroundings are effectively open space.
+    pub fn is_open_space(&self) -> bool {
+        self.obstacle_count < 2 && self.nearest_obstacle >= Self::OPEN_SPACE_GAP * 0.5
+    }
+}
+
+/// Surface-to-surface distance between two AABBs (zero when they touch or
+/// overlap).
+pub fn aabb_gap(a: &Aabb, b: &Aabb) -> f64 {
+    let mut sq = 0.0;
+    for axis in 0..3 {
+        let lo_a = a.min[axis];
+        let hi_a = a.max[axis];
+        let lo_b = b.min[axis];
+        let hi_b = b.max[axis];
+        let d = if hi_a < lo_b {
+            lo_b - hi_a
+        } else if hi_b < lo_a {
+            lo_a - hi_b
+        } else {
+            0.0
+        };
+        sq += d * d;
+    }
+    sq.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn box_at(id: u32, x: f64, y: f64, half: f64) -> Obstacle {
+        Obstacle::new(
+            id,
+            Aabb::from_center_half_extents(Vec3::new(x, y, 5.0), Vec3::splat(half)),
+        )
+    }
+
+    #[test]
+    fn aabb_gap_cases() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let b = Aabb::new(Vec3::new(3.0, 0.0, 0.0), Vec3::new(4.0, 1.0, 1.0));
+        assert!((aabb_gap(&a, &b) - 2.0).abs() < 1e-12);
+        assert_eq!(aabb_gap(&a, &a), 0.0);
+        let overlapping = Aabb::new(Vec3::splat(0.5), Vec3::splat(2.0));
+        assert_eq!(aabb_gap(&a, &overlapping), 0.0);
+        // Diagonal separation combines axes.
+        let c = Aabb::new(Vec3::new(4.0, 4.0, 0.0), Vec3::new(5.0, 5.0, 1.0));
+        assert!((aabb_gap(&a, &c) - (18.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_space_analysis() {
+        let g = GapAnalysis::analyze(&ObstacleField::empty(), Vec3::ZERO, 30.0);
+        assert_eq!(g.min_gap, GapAnalysis::OPEN_SPACE_GAP);
+        assert_eq!(g.avg_gap, GapAnalysis::OPEN_SPACE_GAP);
+        assert_eq!(g.nearest_obstacle, GapAnalysis::OPEN_SPACE_GAP);
+        assert_eq!(g.obstacle_count, 0);
+        assert!(g.is_open_space());
+    }
+
+    #[test]
+    fn single_obstacle_reports_distance_not_gap() {
+        let field = ObstacleField::new(vec![box_at(0, 10.0, 0.0, 1.0)]);
+        let g = GapAnalysis::analyze(&field, Vec3::new(0.0, 0.0, 5.0), 30.0);
+        assert_eq!(g.obstacle_count, 1);
+        assert!((g.nearest_obstacle - 9.0).abs() < 1e-9);
+        assert_eq!(g.min_gap, GapAnalysis::OPEN_SPACE_GAP);
+        assert!(!g.is_open_space());
+    }
+
+    #[test]
+    fn tight_aisle_has_small_gaps() {
+        // Two rows of racks 3 m apart (surface to surface).
+        let field = ObstacleField::new(vec![
+            box_at(0, 10.0, -2.5, 1.0),
+            box_at(1, 10.0, 2.5, 1.0),
+            box_at(2, 14.0, -2.5, 1.0),
+            box_at(3, 14.0, 2.5, 1.0),
+        ]);
+        let g = GapAnalysis::analyze(&field, Vec3::new(12.0, 0.0, 5.0), 20.0);
+        assert_eq!(g.obstacle_count, 4);
+        assert!((g.min_gap - 2.0).abs() < 1e-9, "min gap {}", g.min_gap);
+        assert!(g.avg_gap >= g.min_gap);
+        assert!(g.nearest_obstacle < 3.0);
+        assert!(!g.is_open_space());
+    }
+
+    #[test]
+    fn denser_fields_have_smaller_average_gap() {
+        let sparse = ObstacleField::new(vec![box_at(0, 0.0, -15.0, 1.0), box_at(1, 0.0, 15.0, 1.0)]);
+        let dense = ObstacleField::new(vec![
+            box_at(0, 0.0, -4.0, 1.0),
+            box_at(1, 0.0, 0.0, 1.0),
+            box_at(2, 0.0, 4.0, 1.0),
+        ]);
+        let p = Vec3::new(0.0, 2.0, 5.0);
+        let gs = GapAnalysis::analyze(&sparse, p, 40.0);
+        let gd = GapAnalysis::analyze(&dense, p, 40.0);
+        assert!(gd.avg_gap < gs.avg_gap);
+        assert!(gd.min_gap <= gs.min_gap);
+    }
+
+    #[test]
+    fn radius_limits_the_obstacles_considered() {
+        let field = ObstacleField::new(vec![
+            box_at(0, 5.0, 0.0, 1.0),
+            box_at(1, 200.0, 0.0, 1.0),
+        ]);
+        let g = GapAnalysis::analyze(&field, Vec3::new(0.0, 0.0, 5.0), 20.0);
+        assert_eq!(g.obstacle_count, 1);
+        let g_all = GapAnalysis::analyze(&field, Vec3::new(0.0, 0.0, 5.0), 500.0);
+        assert_eq!(g_all.obstacle_count, 2);
+        // Far-apart pair still gets capped at the open-space gap.
+        assert!(g_all.min_gap <= GapAnalysis::OPEN_SPACE_GAP);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_radius_panics() {
+        let _ = GapAnalysis::analyze(&ObstacleField::empty(), Vec3::ZERO, 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Procedural MAV mission environments for the RoboRun reproduction.
+//!
+//! The paper evaluates RoboRun inside an Unreal/AirSim hardware-in-the-loop
+//! simulation whose worlds are produced by a custom *environment generator*
+//! that "adjusts environment difficulty with hyperparameters that change the
+//! number of congestion clusters, obstacle density, and spread" (Section IV).
+//! This crate is our from-scratch substitute: deterministic, laptop-scale
+//! obstacle worlds that expose exactly the spatial features RoboRun reasons
+//! about — obstacle gaps, visibility, congestion and zone structure.
+//!
+//! Key types:
+//!
+//! * [`Obstacle`] / [`ObstacleField`] — axis-aligned obstacles with nearest
+//!   -distance, occupancy and ray-cast queries.
+//! * [`DifficultyConfig`] — the paper's Fig. 8a difficulty knobs
+//!   (obstacle density, obstacle spread, goal distance), including the full
+//!   27-environment evaluation matrix.
+//! * [`EnvironmentGenerator`] / [`Environment`] — Gaussian congestion
+//!   clusters arranged into the paper's A (congested start), B (open
+//!   middle), C (congested end) zone layout.
+//! * [`visibility`] — how far the MAV can see along a direction, limited by
+//!   obstacles and a weather/fog ceiling (the paper's *space visibility*).
+//! * [`gaps`] — average/minimum gap between obstacles near a position (the
+//!   paper's *space precision* demand).
+//!
+//! # Example
+//!
+//! ```
+//! use roborun_env::{DifficultyConfig, EnvironmentGenerator};
+//!
+//! let config = DifficultyConfig::mid();
+//! let env = EnvironmentGenerator::new(config).generate(42);
+//! assert!(env.obstacles().len() > 0);
+//! assert!(env.start().distance(env.goal()) >= config.goal_distance * 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod congestion;
+pub mod difficulty;
+pub mod gaps;
+pub mod generator;
+pub mod obstacle;
+pub mod visibility;
+pub mod zones;
+
+pub use congestion::CongestionMap;
+pub use difficulty::{DifficultyConfig, DifficultyLevel};
+pub use gaps::GapAnalysis;
+pub use generator::{Environment, EnvironmentGenerator, GeneratorParams};
+pub use obstacle::{Obstacle, ObstacleField};
+pub use visibility::VisibilityModel;
+pub use zones::{Zone, ZoneLayout};

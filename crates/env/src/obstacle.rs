@@ -1,0 +1,387 @@
+//! Obstacles and the obstacle field the MAV navigates through.
+
+use roborun_geom::{Aabb, Ray, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A single static obstacle, modelled as an axis-aligned box.
+///
+/// Warehouse racks, building fragments and debris are all boxes in the
+/// reproduction; the navigation pipeline only ever observes them through
+/// depth rays, so the exact shape family is immaterial as long as it
+/// produces occlusion, gaps and collision hazards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Obstacle {
+    /// Stable identifier (index in the generated world).
+    pub id: u32,
+    /// Occupied region.
+    pub bounds: Aabb,
+}
+
+impl Obstacle {
+    /// Creates an obstacle.
+    pub fn new(id: u32, bounds: Aabb) -> Self {
+        Obstacle { id, bounds }
+    }
+
+    /// Centre of the obstacle.
+    pub fn center(&self) -> Vec3 {
+        self.bounds.center()
+    }
+}
+
+/// Result of casting a ray into the obstacle field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObstacleHit {
+    /// Index of the obstacle that was hit.
+    pub obstacle_id: u32,
+    /// Distance along the ray to the hit point.
+    pub distance: f64,
+    /// World-space hit point.
+    pub point: Vec3,
+}
+
+/// A collection of static obstacles with spatial queries.
+///
+/// This is the ground-truth world: sensors, visibility analysis and
+/// collision checks all query it. The navigation pipeline itself only sees
+/// the world through the perception stage (point clouds and the occupancy
+/// map), mirroring the paper's setup where AirSim owns the ground truth.
+///
+/// # Example
+///
+/// ```
+/// use roborun_env::{Obstacle, ObstacleField};
+/// use roborun_geom::{Aabb, Vec3};
+///
+/// let field = ObstacleField::new(vec![
+///     Obstacle::new(0, Aabb::from_center_half_extents(Vec3::new(5.0, 0.0, 1.0), Vec3::splat(1.0))),
+/// ]);
+/// assert!(field.is_occupied(Vec3::new(5.0, 0.0, 1.0)));
+/// assert!(!field.is_occupied(Vec3::ZERO));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ObstacleField {
+    obstacles: Vec<Obstacle>,
+}
+
+impl ObstacleField {
+    /// Creates a field from a list of obstacles.
+    pub fn new(obstacles: Vec<Obstacle>) -> Self {
+        ObstacleField { obstacles }
+    }
+
+    /// Creates an empty field (open sky).
+    pub fn empty() -> Self {
+        ObstacleField { obstacles: Vec::new() }
+    }
+
+    /// The obstacles in the field.
+    pub fn obstacles(&self) -> &[Obstacle] {
+        &self.obstacles
+    }
+
+    /// Number of obstacles.
+    pub fn len(&self) -> usize {
+        self.obstacles.len()
+    }
+
+    /// `true` when the field has no obstacles.
+    pub fn is_empty(&self) -> bool {
+        self.obstacles.is_empty()
+    }
+
+    /// Adds an obstacle to the field.
+    pub fn push(&mut self, obstacle: Obstacle) {
+        self.obstacles.push(obstacle);
+    }
+
+    /// `true` when the point lies inside any obstacle.
+    pub fn is_occupied(&self, p: Vec3) -> bool {
+        self.obstacles.iter().any(|o| o.bounds.contains(p))
+    }
+
+    /// `true` when a sphere of radius `margin` centred at `p` intersects
+    /// any obstacle — the collision predicate used with the MAV's body
+    /// radius.
+    pub fn is_occupied_with_margin(&self, p: Vec3, margin: f64) -> bool {
+        self.obstacles
+            .iter()
+            .any(|o| o.bounds.distance_to_point(p) <= margin)
+    }
+
+    /// Euclidean distance from `p` to the closest obstacle surface, or
+    /// `None` for an empty field.
+    pub fn distance_to_nearest(&self, p: Vec3) -> Option<f64> {
+        self.obstacles
+            .iter()
+            .map(|o| o.bounds.distance_to_point(p))
+            .min_by(|a, b| a.partial_cmp(b).expect("distance is never NaN"))
+    }
+
+    /// The closest obstacle to `p`, or `None` for an empty field.
+    pub fn nearest_obstacle(&self, p: Vec3) -> Option<&Obstacle> {
+        self.obstacles.iter().min_by(|a, b| {
+            a.bounds
+                .distance_to_point(p)
+                .partial_cmp(&b.bounds.distance_to_point(p))
+                .expect("distance is never NaN")
+        })
+    }
+
+    /// Obstacles whose surface lies within `radius` of `p`.
+    pub fn obstacles_within(&self, p: Vec3, radius: f64) -> Vec<&Obstacle> {
+        self.obstacles
+            .iter()
+            .filter(|o| o.bounds.distance_to_point(p) <= radius)
+            .collect()
+    }
+
+    /// Casts a ray and returns the first obstacle hit within `max_range`.
+    pub fn raycast(&self, ray: &Ray, max_range: f64) -> Option<ObstacleHit> {
+        let mut best: Option<ObstacleHit> = None;
+        for o in &self.obstacles {
+            if let Some(hit) = ray.intersect_aabb(&o.bounds) {
+                if hit.t_min <= max_range {
+                    let candidate = ObstacleHit {
+                        obstacle_id: o.id,
+                        distance: hit.t_min,
+                        point: ray.at(hit.t_min),
+                    };
+                    if best.map(|b| candidate.distance < b.distance).unwrap_or(true) {
+                        best = Some(candidate);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Distance the ray can travel before hitting an obstacle, capped at
+    /// `max_range`. This is the primitive behind the visibility model and
+    /// the simulated depth cameras.
+    pub fn free_distance(&self, ray: &Ray, max_range: f64) -> f64 {
+        self.raycast(ray, max_range)
+            .map(|h| h.distance)
+            .unwrap_or(max_range)
+    }
+
+    /// `true` when the straight segment between `a` and `b` passes within
+    /// `margin` of any obstacle. Ground-truth collision check used to
+    /// validate planned paths in tests and to detect crashes in the
+    /// simulator.
+    pub fn segment_blocked(&self, a: Vec3, b: Vec3, margin: f64) -> bool {
+        let length = a.distance(b);
+        if length < 1e-9 {
+            return self.is_occupied_with_margin(a, margin);
+        }
+        // Sample finely relative to the margin (at least 1 cm).
+        let step = (margin * 0.5).max(0.05).min(length);
+        let ray = Ray::new(a, b - a);
+        let mut t = 0.0;
+        while t <= length {
+            if self.is_occupied_with_margin(ray.at(t), margin) {
+                return true;
+            }
+            t += step;
+        }
+        self.is_occupied_with_margin(b, margin)
+    }
+
+    /// A new field containing only the obstacles whose surface lies within
+    /// `radius` of `p` — used by the sensor simulation to avoid testing
+    /// every obstacle in a kilometre-long mission corridor against every
+    /// depth ray.
+    pub fn subfield_within(&self, p: Vec3, radius: f64) -> ObstacleField {
+        ObstacleField {
+            obstacles: self
+                .obstacles
+                .iter()
+                .filter(|o| o.bounds.distance_to_point(p) <= radius)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Axis-aligned bounds enclosing every obstacle, or `None` when empty.
+    pub fn bounds(&self) -> Option<Aabb> {
+        let mut iter = self.obstacles.iter();
+        let first = iter.next()?.bounds;
+        Some(iter.fold(first, |acc, o| Aabb::union(&acc, &o.bounds)))
+    }
+
+    /// Fraction of sample points inside a cubic probe of half-extent
+    /// `probe_half` centred at `p` that are occupied — the local obstacle
+    /// density measure used by congestion maps (paper: "obstacle density
+    /// determines the ratio of occupied cells around a grid cell").
+    pub fn local_density(&self, p: Vec3, probe_half: f64, samples_per_axis: usize) -> f64 {
+        if samples_per_axis == 0 {
+            return 0.0;
+        }
+        let n = samples_per_axis;
+        let mut occupied = 0usize;
+        let mut total = 0usize;
+        for ix in 0..n {
+            for iy in 0..n {
+                for iz in 0..n {
+                    let frac = |i: usize| {
+                        if n == 1 {
+                            0.5
+                        } else {
+                            i as f64 / (n - 1) as f64
+                        }
+                    };
+                    let q = Vec3::new(
+                        p.x - probe_half + 2.0 * probe_half * frac(ix),
+                        p.y - probe_half + 2.0 * probe_half * frac(iy),
+                        p.z - probe_half + 2.0 * probe_half * frac(iz),
+                    );
+                    total += 1;
+                    if self.is_occupied(q) {
+                        occupied += 1;
+                    }
+                }
+            }
+        }
+        occupied as f64 / total as f64
+    }
+}
+
+impl FromIterator<Obstacle> for ObstacleField {
+    fn from_iter<T: IntoIterator<Item = Obstacle>>(iter: T) -> Self {
+        ObstacleField {
+            obstacles: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Obstacle> for ObstacleField {
+    fn extend<T: IntoIterator<Item = Obstacle>>(&mut self, iter: T) {
+        self.obstacles.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_box_field() -> ObstacleField {
+        ObstacleField::new(vec![Obstacle::new(
+            0,
+            Aabb::from_center_half_extents(Vec3::new(10.0, 0.0, 2.0), Vec3::splat(1.0)),
+        )])
+    }
+
+    fn two_box_field() -> ObstacleField {
+        ObstacleField::new(vec![
+            Obstacle::new(0, Aabb::from_center_half_extents(Vec3::new(10.0, 0.0, 2.0), Vec3::splat(1.0))),
+            Obstacle::new(1, Aabb::from_center_half_extents(Vec3::new(20.0, 5.0, 2.0), Vec3::splat(2.0))),
+        ])
+    }
+
+    #[test]
+    fn empty_field_queries() {
+        let f = ObstacleField::empty();
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+        assert!(!f.is_occupied(Vec3::ZERO));
+        assert!(f.distance_to_nearest(Vec3::ZERO).is_none());
+        assert!(f.nearest_obstacle(Vec3::ZERO).is_none());
+        assert!(f.bounds().is_none());
+        let ray = Ray::new(Vec3::ZERO, Vec3::X);
+        assert!(f.raycast(&ray, 100.0).is_none());
+        assert_eq!(f.free_distance(&ray, 100.0), 100.0);
+        assert!(!f.segment_blocked(Vec3::ZERO, Vec3::new(50.0, 0.0, 0.0), 0.5));
+    }
+
+    #[test]
+    fn occupancy_and_margin() {
+        let f = single_box_field();
+        assert!(f.is_occupied(Vec3::new(10.0, 0.0, 2.0)));
+        assert!(!f.is_occupied(Vec3::new(12.0, 0.0, 2.0)));
+        // Margin extends the effective footprint.
+        assert!(f.is_occupied_with_margin(Vec3::new(11.5, 0.0, 2.0), 0.6));
+        assert!(!f.is_occupied_with_margin(Vec3::new(11.5, 0.0, 2.0), 0.4));
+    }
+
+    #[test]
+    fn nearest_distance_and_obstacle() {
+        let f = two_box_field();
+        let d = f.distance_to_nearest(Vec3::new(13.0, 0.0, 2.0)).unwrap();
+        assert!((d - 2.0).abs() < 1e-9);
+        assert_eq!(f.nearest_obstacle(Vec3::new(13.0, 0.0, 2.0)).unwrap().id, 0);
+        assert_eq!(f.nearest_obstacle(Vec3::new(19.0, 5.0, 2.0)).unwrap().id, 1);
+        assert_eq!(f.obstacles_within(Vec3::new(10.0, 0.0, 2.0), 3.0).len(), 1);
+        assert_eq!(f.obstacles_within(Vec3::new(15.0, 2.0, 2.0), 100.0).len(), 2);
+    }
+
+    #[test]
+    fn raycast_hits_closest_obstacle() {
+        let f = two_box_field();
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 2.0), Vec3::X);
+        let hit = f.raycast(&ray, 100.0).unwrap();
+        assert_eq!(hit.obstacle_id, 0);
+        assert!((hit.distance - 9.0).abs() < 1e-9);
+        assert!((hit.point - Vec3::new(9.0, 0.0, 2.0)).norm() < 1e-9);
+        // Out of range.
+        assert!(f.raycast(&ray, 5.0).is_none());
+        assert_eq!(f.free_distance(&ray, 5.0), 5.0);
+        assert!((f.free_distance(&ray, 100.0) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_blocking() {
+        let f = single_box_field();
+        assert!(f.segment_blocked(Vec3::new(0.0, 0.0, 2.0), Vec3::new(20.0, 0.0, 2.0), 0.3));
+        assert!(!f.segment_blocked(Vec3::new(0.0, 10.0, 2.0), Vec3::new(20.0, 10.0, 2.0), 0.3));
+        // Degenerate zero-length segment.
+        assert!(f.segment_blocked(Vec3::new(10.0, 0.0, 2.0), Vec3::new(10.0, 0.0, 2.0), 0.1));
+    }
+
+    #[test]
+    fn bounds_cover_all_obstacles() {
+        let f = two_box_field();
+        let b = f.bounds().unwrap();
+        for o in f.obstacles() {
+            assert!(b.contains_aabb(&o.bounds));
+        }
+    }
+
+    #[test]
+    fn local_density_monotone_in_congestion() {
+        let sparse = single_box_field();
+        let mut dense = single_box_field();
+        dense.extend((1..6).map(|i| {
+            Obstacle::new(
+                i,
+                Aabb::from_center_half_extents(
+                    Vec3::new(10.0 + i as f64 * 1.5, 0.0, 2.0),
+                    Vec3::splat(1.0),
+                ),
+            )
+        }));
+        let p = Vec3::new(12.0, 0.0, 2.0);
+        let d_sparse = sparse.local_density(p, 4.0, 5);
+        let d_dense = dense.local_density(p, 4.0, 5);
+        assert!(d_dense > d_sparse);
+        assert!(d_dense <= 1.0 && d_sparse >= 0.0);
+        assert_eq!(sparse.local_density(p, 4.0, 0), 0.0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let field: ObstacleField = (0..5)
+            .map(|i| {
+                Obstacle::new(
+                    i,
+                    Aabb::from_center_half_extents(Vec3::new(i as f64 * 5.0, 0.0, 0.0), Vec3::splat(0.5)),
+                )
+            })
+            .collect();
+        assert_eq!(field.len(), 5);
+        let mut f2 = ObstacleField::empty();
+        f2.extend(field.obstacles().iter().copied());
+        assert_eq!(f2.len(), 5);
+        f2.push(Obstacle::new(99, Aabb::new(Vec3::ZERO, Vec3::splat(1.0))));
+        assert_eq!(f2.len(), 6);
+    }
+}

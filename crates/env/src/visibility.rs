@@ -1,0 +1,165 @@
+//! Space visibility (paper Section II-A, fourth spatial feature).
+//!
+//! "Visibility (measured in meters) depends on how occluded a MAV's view is
+//! due to obstacles or weather conditions (i.e., blue sky vs. fog).
+//! Visibility impacts the processing deadline as the further a MAV can see,
+//! the more time it has to spot and plan around obstacles."
+//!
+//! The model casts a small horizontal fan of rays around the direction of
+//! travel into the ground-truth obstacle field and takes the *minimum* free
+//! distance (the MAV must plan for the most occluded direction it may fly
+//! towards), capped by a weather ceiling.
+
+use crate::ObstacleField;
+use roborun_geom::{Ray, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Visibility model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VisibilityModel {
+    /// Weather/sensor ceiling on visibility (metres). Clear sky in the
+    /// paper's setups corresponds to ~40 m sensing range; fog lowers it.
+    pub max_visibility: f64,
+    /// Floor on reported visibility (metres); even brushing an obstacle the
+    /// MAV can "see" at least this far, preventing a zero time budget.
+    pub min_visibility: f64,
+    /// Half-angle of the horizontal fan of rays (radians).
+    pub fan_half_angle: f64,
+    /// Number of rays in the fan (≥ 1).
+    pub fan_rays: usize,
+}
+
+impl Default for VisibilityModel {
+    fn default() -> Self {
+        VisibilityModel {
+            max_visibility: 40.0,
+            min_visibility: 2.0,
+            fan_half_angle: 0.35, // ~20 degrees
+            fan_rays: 5,
+        }
+    }
+}
+
+impl VisibilityModel {
+    /// Creates a model with a given weather ceiling and the default fan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_visibility <= 0`.
+    pub fn with_ceiling(max_visibility: f64) -> Self {
+        assert!(max_visibility > 0.0, "visibility ceiling must be positive");
+        VisibilityModel {
+            max_visibility,
+            ..VisibilityModel::default()
+        }
+    }
+
+    /// Worst-case visibility a spatially-oblivious design must assume: the
+    /// floor value, because a static design cannot rely on the environment
+    /// ever being clearer than its most pessimistic assumption.
+    pub fn worst_case(&self) -> f64 {
+        self.min_visibility
+    }
+
+    /// Visibility (metres) from `position` when travelling towards
+    /// `direction`, limited by obstacles and the weather ceiling.
+    ///
+    /// Returns the ceiling when the direction is degenerate (zero vector).
+    pub fn visibility(&self, field: &ObstacleField, position: Vec3, direction: Vec3) -> f64 {
+        let Some(dir) = Vec3::new(direction.x, direction.y, 0.0).try_normalize() else {
+            return self.max_visibility;
+        };
+        let rays = self.fan_rays.max(1);
+        let mut min_free = self.max_visibility;
+        for i in 0..rays {
+            let frac = if rays == 1 {
+                0.0
+            } else {
+                (i as f64 / (rays - 1) as f64) * 2.0 - 1.0
+            };
+            let yaw = frac * self.fan_half_angle;
+            let ray = Ray::new(position, dir.rotate_z(yaw));
+            let free = field.free_distance(&ray, self.max_visibility);
+            min_free = min_free.min(free);
+        }
+        min_free.max(self.min_visibility)
+    }
+
+    /// Visibility towards a specific goal point.
+    pub fn visibility_towards(&self, field: &ObstacleField, position: Vec3, target: Vec3) -> f64 {
+        self.visibility(field, position, target - position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obstacle;
+    use roborun_geom::Aabb;
+
+    fn wall_at(x: f64) -> ObstacleField {
+        ObstacleField::new(vec![Obstacle::new(
+            0,
+            Aabb::new(Vec3::new(x, -50.0, 0.0), Vec3::new(x + 1.0, 50.0, 20.0)),
+        )])
+    }
+
+    #[test]
+    fn open_sky_reports_ceiling() {
+        let m = VisibilityModel::default();
+        let v = m.visibility(&ObstacleField::empty(), Vec3::new(0.0, 0.0, 5.0), Vec3::X);
+        assert_eq!(v, m.max_visibility);
+    }
+
+    #[test]
+    fn wall_limits_visibility() {
+        let m = VisibilityModel::default();
+        let field = wall_at(10.0);
+        let v = m.visibility(&field, Vec3::new(0.0, 0.0, 5.0), Vec3::X);
+        assert!(v < m.max_visibility);
+        assert!(v <= 10.5 && v >= m.min_visibility);
+        // Looking away from the wall restores the ceiling.
+        let away = m.visibility(&field, Vec3::new(0.0, 0.0, 5.0), -Vec3::X);
+        assert_eq!(away, m.max_visibility);
+    }
+
+    #[test]
+    fn visibility_never_below_floor() {
+        let m = VisibilityModel::default();
+        let field = wall_at(0.5);
+        let v = m.visibility(&field, Vec3::new(0.0, 0.0, 5.0), Vec3::X);
+        assert_eq!(v, m.min_visibility);
+        assert_eq!(m.worst_case(), m.min_visibility);
+    }
+
+    #[test]
+    fn fog_ceiling_caps_visibility() {
+        let clear = VisibilityModel::with_ceiling(40.0);
+        let foggy = VisibilityModel::with_ceiling(8.0);
+        let field = wall_at(30.0);
+        let p = Vec3::new(0.0, 0.0, 5.0);
+        assert!(clear.visibility(&field, p, Vec3::X) > foggy.visibility(&field, p, Vec3::X));
+        assert_eq!(foggy.visibility(&ObstacleField::empty(), p, Vec3::X), 8.0);
+    }
+
+    #[test]
+    fn degenerate_direction_returns_ceiling() {
+        let m = VisibilityModel::default();
+        let v = m.visibility(&wall_at(5.0), Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO);
+        assert_eq!(v, m.max_visibility);
+    }
+
+    #[test]
+    fn visibility_towards_goal() {
+        let m = VisibilityModel::default();
+        let field = wall_at(10.0);
+        let v = m.visibility_towards(&field, Vec3::new(0.0, 0.0, 5.0), Vec3::new(100.0, 0.0, 5.0));
+        assert!(v < m.max_visibility);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_ceiling() {
+        let _ = VisibilityModel::with_ceiling(0.0);
+    }
+}

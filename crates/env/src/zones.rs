@@ -1,0 +1,207 @@
+//! The A / B / C zone layout of the paper's evaluation environments.
+//!
+//! Section V-B: "Each randomly generated environment contains two congested
+//! (A and C) zones and one non-congested (B) zone. Congested zones are
+//! located at the beginning and end of the mission to emulate
+//! warehouse-building or hospital-building combinations. [...] zone B is
+//! homogeneous and bigger, representing a longer distance traveled, either
+//! in open skies or over a city."
+
+use roborun_geom::Vec3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the three mission zones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Zone {
+    /// Congested zone at the start of the mission (e.g. origin warehouse).
+    A,
+    /// Large, open, homogeneous middle zone (open sky / over the city).
+    B,
+    /// Congested zone at the end of the mission (e.g. destination warehouse
+    /// or disaster site).
+    C,
+}
+
+impl Zone {
+    /// All zones in mission order.
+    pub const ALL: [Zone; 3] = [Zone::A, Zone::B, Zone::C];
+
+    /// `true` for the congested zones (A and C).
+    pub fn is_congested(self) -> bool {
+        matches!(self, Zone::A | Zone::C)
+    }
+}
+
+impl fmt::Display for Zone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Zone::A => f.write_str("A"),
+            Zone::B => f.write_str("B"),
+            Zone::C => f.write_str("C"),
+        }
+    }
+}
+
+/// Partition of the mission corridor into zones along the mission axis.
+///
+/// The mission runs along the +X axis from `start_x` to
+/// `start_x + total_length`. Zone A occupies the first `congested_fraction`
+/// of the corridor, zone C the last `congested_fraction`, and zone B
+/// everything in between.
+///
+/// # Example
+///
+/// ```
+/// use roborun_env::{Zone, ZoneLayout};
+/// let layout = ZoneLayout::new(0.0, 900.0, 0.2);
+/// assert_eq!(layout.zone_at_x(50.0), Zone::A);
+/// assert_eq!(layout.zone_at_x(450.0), Zone::B);
+/// assert_eq!(layout.zone_at_x(880.0), Zone::C);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZoneLayout {
+    start_x: f64,
+    total_length: f64,
+    congested_fraction: f64,
+}
+
+impl ZoneLayout {
+    /// Creates a layout for a corridor starting at `start_x` with length
+    /// `total_length`; each congested zone takes `congested_fraction` of
+    /// the corridor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_length <= 0` or `congested_fraction` is outside
+    /// `(0, 0.5)`.
+    pub fn new(start_x: f64, total_length: f64, congested_fraction: f64) -> Self {
+        assert!(total_length > 0.0, "corridor length must be positive");
+        assert!(
+            congested_fraction > 0.0 && congested_fraction < 0.5,
+            "congested fraction must be in (0, 0.5), got {congested_fraction}"
+        );
+        ZoneLayout {
+            start_x,
+            total_length,
+            congested_fraction,
+        }
+    }
+
+    /// Mission corridor length.
+    pub fn total_length(&self) -> f64 {
+        self.total_length
+    }
+
+    /// X coordinate where the corridor starts.
+    pub fn start_x(&self) -> f64 {
+        self.start_x
+    }
+
+    /// X range `(min, max)` of a zone.
+    pub fn zone_range(&self, zone: Zone) -> (f64, f64) {
+        let a_end = self.start_x + self.total_length * self.congested_fraction;
+        let c_start = self.start_x + self.total_length * (1.0 - self.congested_fraction);
+        let end = self.start_x + self.total_length;
+        match zone {
+            Zone::A => (self.start_x, a_end),
+            Zone::B => (a_end, c_start),
+            Zone::C => (c_start, end),
+        }
+    }
+
+    /// Zone containing the given X coordinate (clamped to the corridor).
+    pub fn zone_at_x(&self, x: f64) -> Zone {
+        let (_, a_end) = self.zone_range(Zone::A);
+        let (c_start, _) = self.zone_range(Zone::C);
+        if x < a_end {
+            Zone::A
+        } else if x < c_start {
+            Zone::B
+        } else {
+            Zone::C
+        }
+    }
+
+    /// Zone containing a world point (only the X coordinate matters).
+    pub fn zone_at(&self, p: Vec3) -> Zone {
+        self.zone_at_x(p.x)
+    }
+
+    /// Centre of a congestion cluster for the given zone: the middle of
+    /// zone A / C, and the middle of the corridor for B.
+    pub fn cluster_center_x(&self, zone: Zone) -> f64 {
+        let (lo, hi) = self.zone_range(zone);
+        0.5 * (lo + hi)
+    }
+
+    /// Fraction of the corridor each congested zone occupies.
+    pub fn congested_fraction(&self) -> f64 {
+        self.congested_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zone_partitions_cover_corridor_without_overlap() {
+        let layout = ZoneLayout::new(10.0, 1000.0, 0.15);
+        let (a_lo, a_hi) = layout.zone_range(Zone::A);
+        let (b_lo, b_hi) = layout.zone_range(Zone::B);
+        let (c_lo, c_hi) = layout.zone_range(Zone::C);
+        assert_eq!(a_lo, 10.0);
+        assert_eq!(c_hi, 1010.0);
+        assert!((a_hi - b_lo).abs() < 1e-12);
+        assert!((b_hi - c_lo).abs() < 1e-12);
+        assert!((a_hi - a_lo) - 150.0 < 1e-9);
+        assert!((c_hi - c_lo) - 150.0 < 1e-9);
+        // Zone B is the biggest, per the paper.
+        assert!(b_hi - b_lo > (a_hi - a_lo));
+    }
+
+    #[test]
+    fn zone_lookup() {
+        let layout = ZoneLayout::new(0.0, 900.0, 0.2);
+        assert_eq!(layout.zone_at_x(-50.0), Zone::A); // before corridor clamps to A
+        assert_eq!(layout.zone_at_x(0.0), Zone::A);
+        assert_eq!(layout.zone_at_x(179.0), Zone::A);
+        assert_eq!(layout.zone_at_x(181.0), Zone::B);
+        assert_eq!(layout.zone_at_x(719.0), Zone::B);
+        assert_eq!(layout.zone_at_x(721.0), Zone::C);
+        assert_eq!(layout.zone_at_x(2000.0), Zone::C); // past corridor clamps to C
+        assert_eq!(layout.zone_at(Vec3::new(450.0, 33.0, 5.0)), Zone::B);
+    }
+
+    #[test]
+    fn cluster_centers_inside_their_zone() {
+        let layout = ZoneLayout::new(0.0, 600.0, 0.25);
+        for zone in Zone::ALL {
+            let cx = layout.cluster_center_x(zone);
+            let (lo, hi) = layout.zone_range(zone);
+            assert!(cx > lo && cx < hi);
+            assert_eq!(layout.zone_at_x(cx), zone);
+        }
+    }
+
+    #[test]
+    fn congested_flags() {
+        assert!(Zone::A.is_congested());
+        assert!(!Zone::B.is_congested());
+        assert!(Zone::C.is_congested());
+        assert_eq!(format!("{}", Zone::B), "B");
+    }
+
+    #[test]
+    #[should_panic(expected = "congested fraction")]
+    fn rejects_bad_fraction() {
+        let _ = ZoneLayout::new(0.0, 100.0, 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_length() {
+        let _ = ZoneLayout::new(0.0, 0.0, 0.2);
+    }
+}

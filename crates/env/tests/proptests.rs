@@ -1,0 +1,145 @@
+//! Property-based tests for environment generation, visibility and gaps.
+
+use proptest::prelude::*;
+use roborun_env::{
+    gaps::aabb_gap, DifficultyConfig, EnvironmentGenerator, GapAnalysis, Obstacle, ObstacleField,
+    VisibilityModel, Zone,
+};
+use roborun_geom::{Aabb, Ray, Vec3};
+
+fn arb_difficulty() -> impl Strategy<Value = DifficultyConfig> {
+    (0.1f64..0.7, 30.0f64..130.0, 100.0f64..400.0).prop_map(|(d, s, g)| DifficultyConfig {
+        obstacle_density: d,
+        obstacle_spread: s,
+        goal_distance: g,
+    })
+}
+
+fn arb_obstacle(id: u32) -> impl Strategy<Value = Obstacle> {
+    ((-50.0f64..50.0), (-50.0f64..50.0), (0.5f64..3.0)).prop_map(move |(x, y, half)| {
+        Obstacle::new(
+            id,
+            Aabb::from_center_half_extents(Vec3::new(x, y, 5.0), Vec3::splat(half)),
+        )
+    })
+}
+
+fn arb_field() -> impl Strategy<Value = ObstacleField> {
+    prop::collection::vec(0.0f64..1.0, 0..12).prop_flat_map(|seeds| {
+        let strategies: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, _)| arb_obstacle(i as u32))
+            .collect();
+        strategies.prop_map(ObstacleField::new)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_environments_have_invariants(cfg in arb_difficulty(), seed in 0u64..500) {
+        let env = EnvironmentGenerator::new(cfg).generate(seed);
+        // Start and goal are clear of obstacles and inside the bounds.
+        prop_assert!(!env.field().is_occupied_with_margin(env.start(), 0.5));
+        prop_assert!(!env.field().is_occupied_with_margin(env.goal(), 0.5));
+        prop_assert!(env.bounds().contains(env.start()));
+        prop_assert!(env.bounds().contains(env.goal()));
+        // Mission length matches the requested goal distance.
+        prop_assert!((env.mission_length() - cfg.goal_distance).abs() < 1e-6);
+        // Every obstacle is inside the world bounds and rises from the ground.
+        for o in env.obstacles() {
+            prop_assert!(env.bounds().contains_aabb(&o.bounds));
+            prop_assert!(o.bounds.min.z.abs() < 1e-9);
+        }
+        // Zone lookup is total and consistent with the layout ranges.
+        for o in env.obstacles() {
+            let zone = env.zone_at(o.center());
+            let (lo, hi) = env.layout().zone_range(zone);
+            prop_assert!(o.center().x >= lo - 1e-6 && o.center().x <= hi + 1e-6);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_environment(cfg in arb_difficulty(), seed in 0u64..100) {
+        let gen = EnvironmentGenerator::new(cfg);
+        let a = gen.generate(seed);
+        let b = gen.generate(seed);
+        prop_assert_eq!(a.obstacles().len(), b.obstacles().len());
+        for (oa, ob) in a.obstacles().iter().zip(b.obstacles()) {
+            prop_assert_eq!(oa.bounds, ob.bounds);
+        }
+    }
+
+    #[test]
+    fn raycast_distance_never_exceeds_range(field in arb_field(),
+                                            ox in -60.0f64..60.0, oy in -60.0f64..60.0,
+                                            dx in -1.0f64..1.0, dy in -1.0f64..1.0,
+                                            range in 1.0f64..80.0) {
+        prop_assume!(dx.abs() + dy.abs() > 1e-3);
+        let ray = Ray::new(Vec3::new(ox, oy, 5.0), Vec3::new(dx, dy, 0.0));
+        let free = field.free_distance(&ray, range);
+        prop_assert!(free >= 0.0 && free <= range + 1e-9);
+        if let Some(hit) = field.raycast(&ray, range) {
+            prop_assert!(hit.distance <= range + 1e-9);
+            // The reported hit point is on the ray at the reported distance.
+            prop_assert!((ray.at(hit.distance) - hit.point).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn visibility_bounded_and_monotone_in_ceiling(field in arb_field(),
+                                                  px in -60.0f64..60.0, py in -60.0f64..60.0,
+                                                  yaw in 0.0f64..6.28) {
+        let clear = VisibilityModel::with_ceiling(40.0);
+        let foggy = VisibilityModel::with_ceiling(10.0);
+        let p = Vec3::new(px, py, 5.0);
+        let dir = Vec3::new(yaw.cos(), yaw.sin(), 0.0);
+        let v_clear = clear.visibility(&field, p, dir);
+        let v_foggy = foggy.visibility(&field, p, dir);
+        prop_assert!(v_clear >= clear.min_visibility && v_clear <= clear.max_visibility);
+        prop_assert!(v_foggy >= foggy.min_visibility && v_foggy <= foggy.max_visibility);
+        prop_assert!(v_foggy <= v_clear + 1e-9);
+    }
+
+    #[test]
+    fn gap_analysis_invariants(field in arb_field(), px in -60.0f64..60.0, py in -60.0f64..60.0) {
+        let g = GapAnalysis::analyze(&field, Vec3::new(px, py, 5.0), 40.0);
+        prop_assert!(g.min_gap <= g.avg_gap + 1e-9);
+        prop_assert!(g.min_gap >= 0.0);
+        prop_assert!(g.nearest_obstacle >= 0.0);
+        prop_assert!(g.min_gap <= GapAnalysis::OPEN_SPACE_GAP);
+        prop_assert!(g.obstacle_count <= field.len());
+    }
+
+    #[test]
+    fn aabb_gap_is_symmetric_and_zero_on_overlap(ax in -20.0f64..20.0, ay in -20.0f64..20.0,
+                                                 bx in -20.0f64..20.0, by in -20.0f64..20.0,
+                                                 ha in 0.5f64..4.0, hb in 0.5f64..4.0) {
+        let a = Aabb::from_center_half_extents(Vec3::new(ax, ay, 5.0), Vec3::splat(ha));
+        let b = Aabb::from_center_half_extents(Vec3::new(bx, by, 5.0), Vec3::splat(hb));
+        let ab = aabb_gap(&a, &b);
+        let ba = aabb_gap(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        if a.intersects(&b) {
+            prop_assert!(ab < 1e-9);
+        } else {
+            prop_assert!(ab > 0.0);
+        }
+    }
+
+    #[test]
+    fn congested_zones_outweigh_open_zone(seed in 0u64..40) {
+        let env = EnvironmentGenerator::new(DifficultyConfig::mid()).generate(seed);
+        let mut counts = [0usize; 3];
+        for o in env.obstacles() {
+            match env.zone_at(o.center()) {
+                Zone::A => counts[0] += 1,
+                Zone::B => counts[1] += 1,
+                Zone::C => counts[2] += 1,
+            }
+        }
+        prop_assert!(counts[0] + counts[2] > counts[1]);
+    }
+}

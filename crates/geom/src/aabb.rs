@@ -1,0 +1,298 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Vec3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned bounding box defined by its minimum and maximum corners.
+///
+/// Obstacles in the simulated world, sensor field-of-view approximations
+/// and map regions are all represented as `Aabb`s.
+///
+/// # Example
+///
+/// ```
+/// use roborun_geom::{Aabb, Vec3};
+/// let b = Aabb::new(Vec3::ZERO, Vec3::new(2.0, 3.0, 4.0));
+/// assert!((b.volume() - 24.0).abs() < 1e-12);
+/// assert!(b.contains(Vec3::new(1.0, 1.0, 1.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner (inclusive).
+    pub min: Vec3,
+    /// Maximum corner (inclusive).
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from its two corners.
+    ///
+    /// The corners are re-ordered component-wise so the resulting box is
+    /// always well formed (`min ≤ max` on every axis).
+    pub fn new(a: Vec3, b: Vec3) -> Self {
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// Creates a box centred at `center` extending `half_extents` on each side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any half extent is negative.
+    pub fn from_center_half_extents(center: Vec3, half_extents: Vec3) -> Self {
+        assert!(
+            half_extents.x >= 0.0 && half_extents.y >= 0.0 && half_extents.z >= 0.0,
+            "half extents must be non-negative, got {half_extents:?}"
+        );
+        Aabb {
+            min: center - half_extents,
+            max: center + half_extents,
+        }
+    }
+
+    /// The smallest box containing both `a` and `b`.
+    pub fn union(a: &Aabb, b: &Aabb) -> Aabb {
+        Aabb {
+            min: a.min.min(b.min),
+            max: a.max.max(b.max),
+        }
+    }
+
+    /// The smallest box containing every point of the iterator, or `None`
+    /// for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Option<Aabb> {
+        let mut iter = points.into_iter();
+        let first = iter.next()?;
+        let mut aabb = Aabb { min: first, max: first };
+        for p in iter {
+            aabb.min = aabb.min.min(p);
+            aabb.max = aabb.max.max(p);
+        }
+        Some(aabb)
+    }
+
+    /// Geometric centre of the box.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Half extents (distance from centre to each face).
+    #[inline]
+    pub fn half_extents(&self) -> Vec3 {
+        (self.max - self.min) * 0.5
+    }
+
+    /// Edge lengths of the box.
+    #[inline]
+    pub fn size(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Volume in cubic metres.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let s = self.size();
+        s.x * s.y * s.z
+    }
+
+    /// Surface area.
+    #[inline]
+    pub fn surface_area(&self) -> f64 {
+        let s = self.size();
+        2.0 * (s.x * s.y + s.y * s.z + s.z * s.x)
+    }
+
+    /// `true` if the point lies inside or on the boundary of the box.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// `true` if `other` is entirely contained in `self`.
+    #[inline]
+    pub fn contains_aabb(&self, other: &Aabb) -> bool {
+        self.contains(other.min) && self.contains(other.max)
+    }
+
+    /// `true` if the two boxes overlap (sharing a face counts as overlap).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// The overlap region of two boxes, or `None` if they do not intersect.
+    pub fn intersection(&self, other: &Aabb) -> Option<Aabb> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Aabb {
+            min: self.min.max(other.min),
+            max: self.max.min(other.max),
+        })
+    }
+
+    /// Returns the box grown by `margin` on every side.
+    ///
+    /// A negative margin shrinks the box; the result is clamped so it never
+    /// inverts (each axis keeps `min ≤ max`).
+    pub fn inflate(&self, margin: f64) -> Aabb {
+        let m = Vec3::splat(margin);
+        let min = self.min - m;
+        let max = self.max + m;
+        Aabb {
+            min: min.min(self.center()),
+            max: max.max(self.center()),
+        }
+    }
+
+    /// Closest point inside the box to `p` (equals `p` when `p` is inside).
+    #[inline]
+    pub fn closest_point(&self, p: Vec3) -> Vec3 {
+        p.clamp(self.min, self.max)
+    }
+
+    /// Euclidean distance from `p` to the box (zero when inside).
+    #[inline]
+    pub fn distance_to_point(&self, p: Vec3) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// The eight corner points of the box.
+    pub fn corners(&self) -> [Vec3; 8] {
+        let (lo, hi) = (self.min, self.max);
+        [
+            Vec3::new(lo.x, lo.y, lo.z),
+            Vec3::new(hi.x, lo.y, lo.z),
+            Vec3::new(lo.x, hi.y, lo.z),
+            Vec3::new(hi.x, hi.y, lo.z),
+            Vec3::new(lo.x, lo.y, hi.z),
+            Vec3::new(hi.x, lo.y, hi.z),
+            Vec3::new(lo.x, hi.y, hi.z),
+            Vec3::new(hi.x, hi.y, hi.z),
+        ]
+    }
+}
+
+impl fmt::Display for Aabb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box() -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::splat(1.0))
+    }
+
+    #[test]
+    fn new_reorders_corners() {
+        let b = Aabb::new(Vec3::new(2.0, -1.0, 5.0), Vec3::new(-2.0, 1.0, 0.0));
+        assert_eq!(b.min, Vec3::new(-2.0, -1.0, 0.0));
+        assert_eq!(b.max, Vec3::new(2.0, 1.0, 5.0));
+    }
+
+    #[test]
+    fn center_extents_size_volume() {
+        let b = Aabb::from_center_half_extents(Vec3::new(1.0, 2.0, 3.0), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.center(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.half_extents(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.size(), Vec3::new(2.0, 4.0, 6.0));
+        assert!((b.volume() - 48.0).abs() < 1e-12);
+        assert!((b.surface_area() - 2.0 * (8.0 + 24.0 + 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_half_extents_panic() {
+        let _ = Aabb::from_center_half_extents(Vec3::ZERO, Vec3::new(-1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn containment() {
+        let b = unit_box();
+        assert!(b.contains(Vec3::splat(0.5)));
+        assert!(b.contains(Vec3::ZERO));
+        assert!(b.contains(Vec3::splat(1.0)));
+        assert!(!b.contains(Vec3::new(1.1, 0.5, 0.5)));
+        let inner = Aabb::new(Vec3::splat(0.25), Vec3::splat(0.75));
+        assert!(b.contains_aabb(&inner));
+        assert!(!inner.contains_aabb(&b));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = unit_box();
+        let b = Aabb::new(Vec3::splat(0.5), Vec3::splat(2.0));
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Aabb::new(Vec3::splat(0.5), Vec3::splat(1.0)));
+        let c = Aabb::new(Vec3::splat(5.0), Vec3::splat(6.0));
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_none());
+        let u = Aabb::union(&a, &c);
+        assert_eq!(u, Aabb::new(Vec3::ZERO, Vec3::splat(6.0)));
+    }
+
+    #[test]
+    fn from_points() {
+        let pts = vec![
+            Vec3::new(1.0, 5.0, -2.0),
+            Vec3::new(-3.0, 0.0, 4.0),
+            Vec3::new(0.0, 2.0, 0.0),
+        ];
+        let b = Aabb::from_points(pts).unwrap();
+        assert_eq!(b.min, Vec3::new(-3.0, 0.0, -2.0));
+        assert_eq!(b.max, Vec3::new(1.0, 5.0, 4.0));
+        assert!(Aabb::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn inflate_and_distance() {
+        let b = unit_box();
+        let g = b.inflate(1.0);
+        assert_eq!(g, Aabb::new(Vec3::splat(-1.0), Vec3::splat(2.0)));
+        // Shrinking more than the half extents clamps at the centre.
+        let s = b.inflate(-10.0);
+        assert!(s.min.x <= s.max.x && s.min.y <= s.max.y && s.min.z <= s.max.z);
+        assert!((b.distance_to_point(Vec3::new(3.0, 0.5, 0.5)) - 2.0).abs() < 1e-12);
+        assert_eq!(b.distance_to_point(Vec3::splat(0.5)), 0.0);
+    }
+
+    #[test]
+    fn corners_are_all_distinct_and_contained() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0));
+        let corners = b.corners();
+        for c in corners {
+            assert!(b.contains(c));
+        }
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_ne!(corners[i], corners[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn display_contains_corners() {
+        let s = format!("{}", unit_box());
+        assert!(s.contains("0.000"));
+        assert!(s.contains("1.000"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Dense uniform 3-D grids over an axis-aligned region.
+
+use crate::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Integer index of a grid cell along the three axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellIndex {
+    /// Cell index along X.
+    pub ix: usize,
+    /// Cell index along Y.
+    pub iy: usize,
+    /// Cell index along Z.
+    pub iz: usize,
+}
+
+impl CellIndex {
+    /// Creates a cell index.
+    pub const fn new(ix: usize, iy: usize, iz: usize) -> Self {
+        CellIndex { ix, iy, iz }
+    }
+}
+
+/// A uniform voxelisation of an [`Aabb`] with cubic cells of size
+/// `cell_size` metres.
+///
+/// The point-cloud precision operator uses a `Grid3` to average points per
+/// cell, and the environment generator uses it to rasterise congestion
+/// heat-maps.
+///
+/// # Example
+///
+/// ```
+/// use roborun_geom::{Grid3, Aabb, Vec3};
+/// let grid = Grid3::new(Aabb::new(Vec3::ZERO, Vec3::splat(10.0)), 1.0);
+/// assert_eq!(grid.dims(), (10, 10, 10));
+/// let idx = grid.cell_of(Vec3::new(2.5, 3.5, 4.5)).unwrap();
+/// assert_eq!((idx.ix, idx.iy, idx.iz), (2, 3, 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid3 {
+    bounds: Aabb,
+    cell_size: f64,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+}
+
+impl Grid3 {
+    /// Creates a grid covering `bounds` with cubic cells of `cell_size`.
+    ///
+    /// The number of cells per axis is rounded up so the grid always covers
+    /// the full bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size <= 0` or the bounds have zero size on any axis.
+    pub fn new(bounds: Aabb, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive, got {cell_size}");
+        let size = bounds.size();
+        assert!(
+            size.x > 0.0 && size.y > 0.0 && size.z > 0.0,
+            "grid bounds must have positive size, got {size:?}"
+        );
+        let count = |len: f64| ((len / cell_size).ceil() as usize).max(1);
+        Grid3 {
+            bounds,
+            cell_size,
+            nx: count(size.x),
+            ny: count(size.y),
+            nz: count(size.z),
+        }
+    }
+
+    /// The region covered by this grid.
+    pub fn bounds(&self) -> &Aabb {
+        &self.bounds
+    }
+
+    /// Edge length of every (cubic) cell.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of cells along each axis `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// `true` when the grid has no cells (never the case for a validly
+    /// constructed grid, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index of the cell containing `p`, or `None` when `p` lies outside
+    /// the grid bounds.
+    pub fn cell_of(&self, p: Vec3) -> Option<CellIndex> {
+        if !self.bounds.contains(p) {
+            return None;
+        }
+        let rel = p - self.bounds.min;
+        let clamp_idx = |v: f64, n: usize| ((v / self.cell_size) as usize).min(n - 1);
+        Some(CellIndex {
+            ix: clamp_idx(rel.x, self.nx),
+            iy: clamp_idx(rel.y, self.ny),
+            iz: clamp_idx(rel.z, self.nz),
+        })
+    }
+
+    /// World-space centre of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn cell_center(&self, idx: CellIndex) -> Vec3 {
+        assert!(self.in_range(idx), "cell index {idx:?} out of range");
+        self.bounds.min
+            + Vec3::new(
+                (idx.ix as f64 + 0.5) * self.cell_size,
+                (idx.iy as f64 + 0.5) * self.cell_size,
+                (idx.iz as f64 + 0.5) * self.cell_size,
+            )
+    }
+
+    /// Axis-aligned bounds of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn cell_bounds(&self, idx: CellIndex) -> Aabb {
+        let center = self.cell_center(idx);
+        Aabb::from_center_half_extents(center, Vec3::splat(self.cell_size * 0.5))
+    }
+
+    /// `true` when the index addresses an existing cell.
+    pub fn in_range(&self, idx: CellIndex) -> bool {
+        idx.ix < self.nx && idx.iy < self.ny && idx.iz < self.nz
+    }
+
+    /// Flattens a 3-D index into a linear offset (X fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn linear_index(&self, idx: CellIndex) -> usize {
+        assert!(self.in_range(idx), "cell index {idx:?} out of range");
+        idx.ix + self.nx * (idx.iy + self.ny * idx.iz)
+    }
+
+    /// Iterates over every cell index in the grid (X fastest).
+    pub fn iter(&self) -> impl Iterator<Item = CellIndex> + '_ {
+        let (nx, ny, nz) = self.dims();
+        (0..nz).flat_map(move |iz| {
+            (0..ny).flat_map(move |iy| (0..nx).map(move |ix| CellIndex::new(ix, iy, iz)))
+        })
+    }
+
+    /// Cell indices whose centre lies within `radius` of `p` (including the
+    /// cell containing `p` itself), useful for local congestion queries.
+    pub fn cells_within(&self, p: Vec3, radius: f64) -> Vec<CellIndex> {
+        let mut out = Vec::new();
+        if radius < 0.0 {
+            return out;
+        }
+        let lo = p - Vec3::splat(radius);
+        let hi = p + Vec3::splat(radius);
+        let region = Aabb::new(lo, hi);
+        for idx in self.iter() {
+            let c = self.cell_center(idx);
+            if region.contains(c) && c.distance(p) <= radius {
+                out.push(idx);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid10() -> Grid3 {
+        Grid3::new(Aabb::new(Vec3::ZERO, Vec3::splat(10.0)), 1.0)
+    }
+
+    #[test]
+    fn dims_round_up_to_cover_bounds() {
+        let g = Grid3::new(Aabb::new(Vec3::ZERO, Vec3::new(10.0, 5.5, 0.9)), 1.0);
+        assert_eq!(g.dims(), (10, 6, 1));
+        assert_eq!(g.len(), 60);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_panics() {
+        let _ = Grid3::new(Aabb::new(Vec3::ZERO, Vec3::splat(1.0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive size")]
+    fn flat_bounds_panic() {
+        let _ = Grid3::new(Aabb::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 1.0)), 0.5);
+    }
+
+    #[test]
+    fn cell_lookup_roundtrip() {
+        let g = grid10();
+        for &(p, expect) in &[
+            (Vec3::new(0.5, 0.5, 0.5), (0, 0, 0)),
+            (Vec3::new(9.9, 9.9, 9.9), (9, 9, 9)),
+            (Vec3::new(10.0, 10.0, 10.0), (9, 9, 9)), // boundary clamps into last cell
+            (Vec3::new(4.0, 7.2, 3.3), (4, 7, 3)),
+        ] {
+            let idx = g.cell_of(p).unwrap();
+            assert_eq!((idx.ix, idx.iy, idx.iz), expect, "point {p:?}");
+            assert!(g.cell_bounds(idx).contains(g.cell_center(idx)));
+        }
+        assert!(g.cell_of(Vec3::new(-0.1, 5.0, 5.0)).is_none());
+        assert!(g.cell_of(Vec3::new(5.0, 11.0, 5.0)).is_none());
+    }
+
+    #[test]
+    fn cell_center_inside_its_bounds() {
+        let g = grid10();
+        let idx = CellIndex::new(3, 4, 5);
+        let c = g.cell_center(idx);
+        assert_eq!(c, Vec3::new(3.5, 4.5, 5.5));
+        let b = g.cell_bounds(idx);
+        assert_eq!(b.min, Vec3::new(3.0, 4.0, 5.0));
+        assert_eq!(b.max, Vec3::new(4.0, 5.0, 6.0));
+    }
+
+    #[test]
+    fn linear_index_is_unique_and_dense() {
+        let g = Grid3::new(Aabb::new(Vec3::ZERO, Vec3::new(3.0, 2.0, 2.0)), 1.0);
+        let mut seen = vec![false; g.len()];
+        for idx in g.iter() {
+            let li = g.linear_index(idx);
+            assert!(!seen[li], "duplicate linear index {li}");
+            seen[li] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn linear_index_out_of_range_panics() {
+        let g = grid10();
+        let _ = g.linear_index(CellIndex::new(10, 0, 0));
+    }
+
+    #[test]
+    fn cells_within_radius() {
+        let g = grid10();
+        let near = g.cells_within(Vec3::splat(5.0), 1.0);
+        assert!(!near.is_empty());
+        for idx in &near {
+            assert!(g.cell_center(*idx).distance(Vec3::splat(5.0)) <= 1.0);
+        }
+        assert!(g.cells_within(Vec3::splat(5.0), -1.0).is_empty());
+        // Larger radius never returns fewer cells.
+        let wide = g.cells_within(Vec3::splat(5.0), 3.0);
+        assert!(wide.len() >= near.len());
+    }
+
+    #[test]
+    fn iter_visits_every_cell_once() {
+        let g = Grid3::new(Aabb::new(Vec3::ZERO, Vec3::new(2.0, 3.0, 4.0)), 1.0);
+        assert_eq!(g.iter().count(), g.len());
+    }
+}

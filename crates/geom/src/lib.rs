@@ -1,0 +1,59 @@
+//! Geometry, grid and statistics primitives shared by the RoboRun reproduction.
+//!
+//! This crate is dependency-light on purpose: every other crate in the
+//! workspace (environment generation, simulation, perception, planning,
+//! the RoboRun runtime itself) builds on these types.
+//!
+//! The main exports are:
+//!
+//! * [`Vec3`] — a 3-D double precision vector used for positions,
+//!   velocities and directions.
+//! * [`Aabb`] — axis-aligned bounding boxes used for obstacles, sensor
+//!   frusta approximations and map regions.
+//! * [`Ray`] — rays with slab-based AABB intersection and fixed-step
+//!   marching, the workhorse of the depth cameras, the occupancy-map
+//!   ray tracer and the planner's collision checker.
+//! * [`Grid3`] — a dense uniform voxelisation of an AABB with world/cell
+//!   coordinate conversions.
+//! * [`voxel`] — the power-of-two voxel-size lattice that the RoboRun
+//!   governor selects precisions from (paper Eq. 3 constraint
+//!   `p ∈ {vox_min · 2^n}`).
+//! * [`stats`] — running statistics, percentiles and simple least-squares
+//!   fitting used for latency-model calibration and result reporting.
+//! * [`sampling`] — a small deterministic RNG (SplitMix64) plus Gaussian
+//!   sampling so experiments are reproducible without depending on a
+//!   particular `rand` version in library code.
+//!
+//! # Example
+//!
+//! ```
+//! use roborun_geom::{Vec3, Aabb, Ray};
+//!
+//! let obstacle = Aabb::from_center_half_extents(Vec3::new(5.0, 0.0, 0.0), Vec3::splat(1.0));
+//! let ray = Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+//! let hit = ray.intersect_aabb(&obstacle).expect("ray points at the box");
+//! assert!((hit.t_min - 4.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aabb;
+pub mod grid;
+pub mod polynomial;
+pub mod pose;
+pub mod ray;
+pub mod sampling;
+pub mod stats;
+pub mod vec3;
+pub mod voxel;
+
+pub use aabb::Aabb;
+pub use grid::{CellIndex, Grid3};
+pub use polynomial::Polynomial;
+pub use pose::Pose;
+pub use ray::{Ray, RayHit};
+pub use sampling::SplitMix64;
+pub use stats::{linear_fit, percentile, RunningStats};
+pub use vec3::Vec3;
+pub use voxel::{precision_lattice, snap_to_lattice, VoxelKey};

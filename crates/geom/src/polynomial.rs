@@ -1,0 +1,208 @@
+//! Dense univariate polynomials.
+//!
+//! Used by the path smoother (piecewise polynomial trajectories in the
+//! spirit of Richter et al.) and by the latency/stopping-distance models
+//! (paper Eq. 2 and Eq. 4), which are low-degree polynomials in velocity
+//! and inverse precision.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A polynomial `c0 + c1·x + c2·x² + …` stored lowest-order first.
+///
+/// # Example
+///
+/// ```
+/// use roborun_geom::Polynomial;
+/// // 1 + 2x + 3x²
+/// let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+/// assert_eq!(p.eval(2.0), 17.0);
+/// assert_eq!(p.derivative().eval(2.0), 14.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients, lowest order first.
+    ///
+    /// Trailing (near-)zero coefficients are trimmed; the zero polynomial is
+    /// represented by a single zero coefficient.
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last().map(|c| c.abs() < 1e-300).unwrap_or(false) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Polynomial { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: vec![0.0] }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Polynomial::new(vec![c])
+    }
+
+    /// Coefficients, lowest order first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree of the polynomial (0 for constants).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's method).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// First derivative.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::zero();
+        }
+        Polynomial::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, &c)| c * i as f64)
+                .collect(),
+        )
+    }
+
+    /// Antiderivative with zero constant term.
+    pub fn integral(&self) -> Polynomial {
+        let mut coeffs = vec![0.0];
+        coeffs.extend(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c / (i as f64 + 1.0)),
+        );
+        Polynomial::new(coeffs)
+    }
+
+    /// Maximum absolute value of the polynomial sampled at `samples + 1`
+    /// evenly spaced points over `[a, b]`.
+    ///
+    /// Used by the smoother to bound velocity/acceleration along a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0` or `a > b`.
+    pub fn max_abs_on(&self, a: f64, b: f64, samples: usize) -> f64 {
+        assert!(samples > 0, "need at least one sample");
+        assert!(a <= b, "interval inverted: [{a}, {b}]");
+        (0..=samples)
+            .map(|i| {
+                let t = a + (b - a) * i as f64 / samples as f64;
+                self.eval(t).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Cubic Hermite segment through `(0, p0)` and `(1, p1)` with end
+    /// derivatives `m0`, `m1` (in normalised time `s ∈ [0,1]`).
+    ///
+    /// This is the building block of the path smoother: each trajectory
+    /// segment is one Hermite cubic per axis.
+    pub fn hermite(p0: f64, p1: f64, m0: f64, m1: f64) -> Polynomial {
+        // h(s) = (2s³-3s²+1)p0 + (s³-2s²+s)m0 + (-2s³+3s²)p1 + (s³-s²)m1
+        Polynomial::new(vec![
+            p0,
+            m0,
+            -3.0 * p0 + 3.0 * p1 - 2.0 * m0 - m1,
+            2.0 * p0 - 2.0 * p1 + m0 + m1,
+        ])
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let terms: Vec<String> = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| match i {
+                0 => format!("{c:.4}"),
+                1 => format!("{c:.4}·x"),
+                _ => format!("{c:.4}·x^{i}"),
+            })
+            .collect();
+        write!(f, "{}", terms.join(" + "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_degree() {
+        let p = Polynomial::new(vec![1.0, -2.0, 0.5]);
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(2.0), 1.0 - 4.0 + 2.0);
+        assert_eq!(Polynomial::constant(5.0).eval(123.0), 5.0);
+        assert_eq!(Polynomial::zero().eval(3.0), 0.0);
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+        let z = Polynomial::new(vec![]);
+        assert_eq!(z, Polynomial::zero());
+    }
+
+    #[test]
+    fn derivative_and_integral_are_inverse() {
+        let p = Polynomial::new(vec![3.0, -1.0, 4.0, 2.0]);
+        let d = p.derivative();
+        assert_eq!(d.coeffs(), &[-1.0, 8.0, 6.0]);
+        let back = d.integral();
+        // Integral has zero constant term; the rest matches.
+        assert_eq!(back.coeffs()[1..], p.coeffs()[1..]);
+        assert_eq!(Polynomial::constant(2.0).derivative(), Polynomial::zero());
+    }
+
+    #[test]
+    fn hermite_interpolates_endpoints_and_slopes() {
+        let h = Polynomial::hermite(1.0, 5.0, 0.5, -2.0);
+        assert!((h.eval(0.0) - 1.0).abs() < 1e-12);
+        assert!((h.eval(1.0) - 5.0).abs() < 1e-12);
+        let d = h.derivative();
+        assert!((d.eval(0.0) - 0.5).abs() < 1e-12);
+        assert!((d.eval(1.0) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_on_interval() {
+        // |x² - 1| on [-2, 2] has maximum 3 at the ends.
+        let p = Polynomial::new(vec![-1.0, 0.0, 1.0]);
+        let m = p.max_abs_on(-2.0, 2.0, 100);
+        assert!((m - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn max_abs_inverted_interval_panics() {
+        let _ = Polynomial::zero().max_abs_on(1.0, 0.0, 10);
+    }
+
+    #[test]
+    fn display_readable() {
+        let s = format!("{}", Polynomial::new(vec![1.0, 2.0, 3.0]));
+        assert!(s.contains("x^2"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Robot poses (position + yaw).
+
+use crate::Vec3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simplified MAV pose: 3-D position plus yaw about the world Z axis.
+///
+/// The navigation pipeline reproduced here never needs full attitude —
+/// the quadrotor is modelled as a point with a heading, which is how the
+/// paper's planner and governor treat it as well.
+///
+/// # Example
+///
+/// ```
+/// use roborun_geom::{Pose, Vec3};
+/// let pose = Pose::new(Vec3::new(1.0, 0.0, 2.0), std::f64::consts::FRAC_PI_2);
+/// let world = pose.body_to_world(Vec3::X);
+/// assert!((world - Vec3::new(1.0, 1.0, 2.0)).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Pose {
+    /// Position in the world frame (metres).
+    pub position: Vec3,
+    /// Heading about +Z, radians, wrapped to `(-π, π]`.
+    pub yaw: f64,
+}
+
+impl Pose {
+    /// Creates a pose, wrapping the yaw into `(-π, π]`.
+    pub fn new(position: Vec3, yaw: f64) -> Self {
+        Pose {
+            position,
+            yaw: wrap_angle(yaw),
+        }
+    }
+
+    /// Pose at the origin facing +X.
+    pub fn identity() -> Self {
+        Pose::default()
+    }
+
+    /// Unit vector the pose is facing (in the XY plane).
+    pub fn heading(&self) -> Vec3 {
+        Vec3::new(self.yaw.cos(), self.yaw.sin(), 0.0)
+    }
+
+    /// Transforms a point from the body frame to the world frame.
+    pub fn body_to_world(&self, body: Vec3) -> Vec3 {
+        self.position + body.rotate_z(self.yaw)
+    }
+
+    /// Transforms a point from the world frame to the body frame.
+    pub fn world_to_body(&self, world: Vec3) -> Vec3 {
+        (world - self.position).rotate_z(-self.yaw)
+    }
+
+    /// Returns the pose looking from `position` towards `target`.
+    ///
+    /// When the target is (nearly) vertically above/below the position the
+    /// yaw defaults to 0.
+    pub fn looking_at(position: Vec3, target: Vec3) -> Self {
+        let delta = target - position;
+        let yaw = if delta.x.abs() < 1e-12 && delta.y.abs() < 1e-12 {
+            0.0
+        } else {
+            delta.y.atan2(delta.x)
+        };
+        Pose::new(position, yaw)
+    }
+
+    /// Smallest signed yaw difference `other.yaw - self.yaw`, wrapped.
+    pub fn yaw_error_to(&self, other: &Pose) -> f64 {
+        wrap_angle(other.yaw - self.yaw)
+    }
+}
+
+impl fmt::Display for Pose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pos {} yaw {:.3} rad", self.position, self.yaw)
+    }
+}
+
+/// Wraps an angle in radians into `(-π, π]`.
+pub fn wrap_angle(angle: f64) -> f64 {
+    let two_pi = std::f64::consts::TAU;
+    let mut a = angle % two_pi;
+    if a <= -std::f64::consts::PI {
+        a += two_pi;
+    } else if a > std::f64::consts::PI {
+        a -= two_pi;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn wrap_angle_range() {
+        assert!((wrap_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_angle(-3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_angle(0.5) - 0.5).abs() < 1e-12);
+        for k in -10..10 {
+            let a = wrap_angle(0.3 + k as f64 * std::f64::consts::TAU);
+            assert!((a - 0.3).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn heading_matches_yaw() {
+        let p = Pose::new(Vec3::ZERO, FRAC_PI_2);
+        assert!((p.heading() - Vec3::Y).norm() < 1e-12);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let pose = Pose::new(Vec3::new(3.0, -2.0, 1.0), 0.7);
+        let body = Vec3::new(1.5, 0.5, -0.25);
+        let world = pose.body_to_world(body);
+        let back = pose.world_to_body(world);
+        assert!((back - body).norm() < 1e-12);
+    }
+
+    #[test]
+    fn looking_at_faces_target() {
+        let pose = Pose::looking_at(Vec3::ZERO, Vec3::new(0.0, 5.0, 0.0));
+        assert!((pose.yaw - FRAC_PI_2).abs() < 1e-12);
+        // Vertical target defaults yaw to zero.
+        let vert = Pose::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 3.0));
+        assert_eq!(vert.yaw, 0.0);
+    }
+
+    #[test]
+    fn yaw_error_wraps() {
+        let a = Pose::new(Vec3::ZERO, PI - 0.1);
+        let b = Pose::new(Vec3::ZERO, -PI + 0.1);
+        assert!((a.yaw_error_to(&b) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_yaw() {
+        let s = format!("{}", Pose::identity());
+        assert!(s.contains("yaw"));
+    }
+}

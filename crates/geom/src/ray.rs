@@ -1,0 +1,252 @@
+//! Rays, ray-AABB intersection and fixed-step ray marching.
+
+use crate::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Result of a ray/AABB intersection: the entry and exit parameters along
+/// the ray (`point = origin + direction * t`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RayHit {
+    /// Parameter at which the ray enters the box (clamped at 0 when the
+    /// origin is inside).
+    pub t_min: f64,
+    /// Parameter at which the ray leaves the box.
+    pub t_max: f64,
+}
+
+impl RayHit {
+    /// Length of the ray segment inside the box.
+    pub fn span(&self) -> f64 {
+        self.t_max - self.t_min
+    }
+}
+
+/// A half-line with an origin and a unit direction.
+///
+/// Rays are the shared primitive behind the simulated depth cameras, the
+/// occupancy-map ray tracer (whose step size is one of RoboRun's precision
+/// knobs) and the planner's collision checker.
+///
+/// # Example
+///
+/// ```
+/// use roborun_geom::{Ray, Aabb, Vec3};
+/// let ray = Ray::new(Vec3::ZERO, Vec3::X);
+/// let b = Aabb::new(Vec3::new(2.0, -1.0, -1.0), Vec3::new(4.0, 1.0, 1.0));
+/// let hit = ray.intersect_aabb(&b).unwrap();
+/// assert!((hit.t_min - 2.0).abs() < 1e-12);
+/// assert!((hit.t_max - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ray {
+    /// Starting point.
+    pub origin: Vec3,
+    /// Unit direction.
+    pub direction: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray; the direction is normalised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `direction` is (near-)zero.
+    pub fn new(origin: Vec3, direction: Vec3) -> Self {
+        Ray {
+            origin,
+            direction: direction.normalize(),
+        }
+    }
+
+    /// Creates a ray pointing from `from` towards `to`.
+    ///
+    /// Returns `None` if the two points coincide.
+    pub fn between(from: Vec3, to: Vec3) -> Option<Self> {
+        (to - from).try_normalize().map(|direction| Ray {
+            origin: from,
+            direction,
+        })
+    }
+
+    /// The point at parameter `t` along the ray.
+    #[inline]
+    pub fn at(&self, t: f64) -> Vec3 {
+        self.origin + self.direction * t
+    }
+
+    /// Slab-method ray/AABB intersection.
+    ///
+    /// Returns the entry/exit parameters, or `None` when the ray misses the
+    /// box or the box lies entirely behind the origin. When the origin is
+    /// inside the box, `t_min` is clamped to zero.
+    pub fn intersect_aabb(&self, aabb: &Aabb) -> Option<RayHit> {
+        let mut t_min = 0.0_f64;
+        let mut t_max = f64::INFINITY;
+        for axis in 0..3 {
+            let o = self.origin[axis];
+            let d = self.direction[axis];
+            let lo = aabb.min[axis];
+            let hi = aabb.max[axis];
+            if d.abs() < 1e-12 {
+                // Ray parallel to this slab: must already be between the planes.
+                if o < lo || o > hi {
+                    return None;
+                }
+            } else {
+                let inv = 1.0 / d;
+                let (t0, t1) = {
+                    let a = (lo - o) * inv;
+                    let b = (hi - o) * inv;
+                    if a <= b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                };
+                t_min = t_min.max(t0);
+                t_max = t_max.min(t1);
+                if t_min > t_max {
+                    return None;
+                }
+            }
+        }
+        Some(RayHit { t_min, t_max })
+    }
+
+    /// Marches the ray from `t = 0` to `t = max_range` in increments of
+    /// `step`, yielding each sample point.
+    ///
+    /// The RoboRun precision operators control `step`: a coarser step visits
+    /// fewer samples, trading accuracy for latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step <= 0` or `max_range < 0`.
+    pub fn march(&self, step: f64, max_range: f64) -> RayMarch {
+        assert!(step > 0.0, "ray march step must be positive, got {step}");
+        assert!(max_range >= 0.0, "max_range must be non-negative, got {max_range}");
+        RayMarch {
+            ray: *self,
+            step,
+            max_range,
+            t: 0.0,
+        }
+    }
+
+    /// Number of samples a march with the given step and range visits.
+    pub fn march_sample_count(step: f64, max_range: f64) -> usize {
+        if step <= 0.0 || max_range < 0.0 {
+            return 0;
+        }
+        (max_range / step).floor() as usize + 1
+    }
+}
+
+/// Iterator over the sample points of [`Ray::march`].
+#[derive(Debug, Clone)]
+pub struct RayMarch {
+    ray: Ray,
+    step: f64,
+    max_range: f64,
+    t: f64,
+}
+
+impl Iterator for RayMarch {
+    type Item = Vec3;
+
+    fn next(&mut self) -> Option<Vec3> {
+        if self.t > self.max_range + 1e-12 {
+            return None;
+        }
+        let p = self.ray.at(self.t);
+        self.t += self.step;
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_from_outside() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::X);
+        let b = Aabb::new(Vec3::new(5.0, -1.0, -1.0), Vec3::new(7.0, 1.0, 1.0));
+        let hit = ray.intersect_aabb(&b).unwrap();
+        assert!((hit.t_min - 5.0).abs() < 1e-12);
+        assert!((hit.t_max - 7.0).abs() < 1e-12);
+        assert!((hit.span() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_from_inside_clamps_tmin() {
+        let b = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+        let hit = ray.intersect_aabb(&b).unwrap();
+        assert_eq!(hit.t_min, 0.0);
+        assert!((hit.t_max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_behind_origin() {
+        let b = Aabb::new(Vec3::new(-5.0, -1.0, -1.0), Vec3::new(-3.0, 1.0, 1.0));
+        let ray = Ray::new(Vec3::ZERO, Vec3::X);
+        assert!(ray.intersect_aabb(&b).is_none());
+    }
+
+    #[test]
+    fn miss_parallel_outside_slab() {
+        let b = Aabb::new(Vec3::new(0.0, 2.0, 0.0), Vec3::new(10.0, 3.0, 1.0));
+        let ray = Ray::new(Vec3::ZERO, Vec3::X);
+        assert!(ray.intersect_aabb(&b).is_none());
+    }
+
+    #[test]
+    fn hit_parallel_inside_slab() {
+        let b = Aabb::new(Vec3::new(2.0, -1.0, -1.0), Vec3::new(4.0, 1.0, 1.0));
+        let ray = Ray::new(Vec3::new(0.0, 0.5, 0.0), Vec3::X);
+        assert!(ray.intersect_aabb(&b).is_some());
+    }
+
+    #[test]
+    fn diagonal_hit() {
+        let b = Aabb::new(Vec3::splat(1.0), Vec3::splat(2.0));
+        let ray = Ray::new(Vec3::ZERO, Vec3::splat(1.0));
+        let hit = ray.intersect_aabb(&b).unwrap();
+        let entry = ray.at(hit.t_min);
+        assert!((entry - Vec3::splat(1.0)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn between_constructor() {
+        let r = Ray::between(Vec3::ZERO, Vec3::new(0.0, 0.0, 3.0)).unwrap();
+        assert!((r.direction - Vec3::Z).norm() < 1e-12);
+        assert!(Ray::between(Vec3::ZERO, Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    fn march_counts_and_points() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::X);
+        let pts: Vec<Vec3> = ray.march(0.5, 2.0).collect();
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], Vec3::ZERO);
+        assert!((pts[4] - Vec3::new(2.0, 0.0, 0.0)).norm() < 1e-12);
+        assert_eq!(Ray::march_sample_count(0.5, 2.0), 5);
+        assert_eq!(Ray::march_sample_count(-1.0, 2.0), 0);
+    }
+
+    #[test]
+    fn march_step_controls_sample_count() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::Y);
+        let fine = ray.march(0.1, 10.0).count();
+        let coarse = ray.march(1.0, 10.0).count();
+        assert!(fine > coarse);
+        assert_eq!(coarse, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn march_zero_step_panics() {
+        let _ = Ray::new(Vec3::ZERO, Vec3::X).march(0.0, 1.0);
+    }
+}

@@ -1,0 +1,411 @@
+//! Running statistics, percentiles and least-squares fitting.
+//!
+//! These utilities back three parts of the reproduction:
+//!
+//! * mission metrics aggregation (mean/median mission time, energy, ...),
+//! * the latency-model calibration (paper Eq. 4 is fitted by least squares
+//!   and the paper reports `<8%` average MSE),
+//! * the stopping-distance model fit (paper Eq. 2, `2%` MSE).
+
+use serde::{Deserialize, Serialize};
+
+/// Incrementally computed summary statistics (count, mean, variance,
+/// min, max) using Welford's algorithm.
+///
+/// # Example
+///
+/// ```
+/// use roborun_geom::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Default for RunningStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = RunningStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Percentile of a data set by linear interpolation between closest ranks.
+///
+/// `q` is in `[0, 1]` — `0.5` gives the median. Returns `None` for an empty
+/// slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or the data contains NaN.
+pub fn percentile(data: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "percentile q must be in [0,1], got {q}");
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median convenience wrapper over [`percentile`].
+pub fn median(data: &[f64]) -> Option<f64> {
+    percentile(data, 0.5)
+}
+
+/// Ordinary least squares fit of `y ≈ a·x + b`.
+///
+/// Returns `(a, b)`. Returns `None` when fewer than two points are given or
+/// all x values coincide.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let a = (n * sxy - sx * sy) / denom;
+    let b = (sy - a * sx) / n;
+    Some((a, b))
+}
+
+/// Least-squares fit of a polynomial of degree `degree` through the points,
+/// returning coefficients lowest-order first (`c0 + c1 x + c2 x² + ...`).
+///
+/// Solves the normal equations with Gaussian elimination; adequate for the
+/// small fits used here (degree ≤ 3, dozens of samples).
+///
+/// Returns `None` when the system is singular or there are fewer points
+/// than coefficients.
+pub fn polyfit(points: &[(f64, f64)], degree: usize) -> Option<Vec<f64>> {
+    let m = degree + 1;
+    if points.len() < m {
+        return None;
+    }
+    // Build normal equations A^T A c = A^T y.
+    let mut ata = vec![vec![0.0f64; m]; m];
+    let mut aty = vec![0.0f64; m];
+    for &(x, y) in points {
+        let mut powers = vec![1.0f64; m];
+        for i in 1..m {
+            powers[i] = powers[i - 1] * x;
+        }
+        for i in 0..m {
+            aty[i] += powers[i] * y;
+            for j in 0..m {
+                ata[i][j] += powers[i] * powers[j];
+            }
+        }
+    }
+    solve_linear_system(&mut ata, &mut aty)
+}
+
+/// Solves `A x = b` in place via Gaussian elimination with partial pivoting.
+fn solve_linear_system(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate.
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for col in (row + 1)..n {
+            acc -= a[row][col] * x[col];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Mean squared error between predictions and observations.
+///
+/// Returns 0 for empty inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mean_squared_error(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        observed.len(),
+        "MSE inputs must have equal length"
+    );
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted
+        .iter()
+        .zip(observed)
+        .map(|(p, o)| (p - o) * (p - o))
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basic() {
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stats_empty() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_combined() {
+        let data = [1.0, 5.0, 2.0, 8.0, 3.0, 3.0, 9.0];
+        let combined: RunningStats = data.into_iter().collect();
+        let mut a: RunningStats = data[..3].iter().copied().collect();
+        let b: RunningStats = data[3..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert!((a.mean() - combined.mean()).abs() < 1e-12);
+        assert!((a.variance() - combined.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+
+        let mut empty = RunningStats::new();
+        empty.merge(&combined);
+        assert_eq!(empty.count(), combined.count());
+        let mut c = combined;
+        c.merge(&RunningStats::new());
+        assert_eq!(c.count(), combined.count());
+    }
+
+    #[test]
+    fn percentile_and_median() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 1.0), Some(5.0));
+        assert_eq!(median(&data), Some(3.0));
+        assert_eq!(percentile(&data, 0.25), Some(2.0));
+        assert_eq!(median(&[]), None);
+        assert_eq!(percentile(&[42.0], 0.9), Some(42.0));
+        // Interpolation between ranks.
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn percentile_out_of_range_panics() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 3.0 * i as f64 - 7.0)).collect();
+        let (a, b) = linear_fit(&pts).unwrap();
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b + 7.0).abs() < 1e-9);
+        assert!(linear_fit(&[(1.0, 1.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 1.0), (1.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn polyfit_recovers_quadratic() {
+        let pts: Vec<(f64, f64)> = (-10..=10)
+            .map(|i| {
+                let x = i as f64 * 0.5;
+                (x, 2.0 * x * x - 3.0 * x + 1.0)
+            })
+            .collect();
+        let c = polyfit(&pts, 2).unwrap();
+        assert!((c[0] - 1.0).abs() < 1e-6);
+        assert!((c[1] + 3.0).abs() < 1e-6);
+        assert!((c[2] - 2.0).abs() < 1e-6);
+        assert!(polyfit(&pts[..2], 2).is_none());
+    }
+
+    #[test]
+    fn polyfit_matches_paper_stopping_model_shape() {
+        // Synthesise stopping distances from the magnitude-corrected Eq. 2
+        // and confirm a degree-2 fit recovers the coefficients (the paper
+        // reports a 2% MSE fit of this form).
+        let pts: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let v = i as f64 * 0.25;
+                (v, 0.055 * v * v + 0.36 * v + 0.20)
+            })
+            .collect();
+        let c = polyfit(&pts, 2).unwrap();
+        assert!((c[0] - 0.20).abs() < 1e-6);
+        assert!((c[1] - 0.36).abs() < 1e-6);
+        assert!((c[2] - 0.055).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_behaviour() {
+        assert_eq!(mean_squared_error(&[], &[]), 0.0);
+        assert_eq!(mean_squared_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((mean_squared_error(&[0.0, 0.0], &[1.0, 3.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mse_length_mismatch_panics() {
+        let _ = mean_squared_error(&[1.0], &[1.0, 2.0]);
+    }
+}

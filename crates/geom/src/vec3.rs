@@ -1,0 +1,449 @@
+//! 3-D double precision vectors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-D vector of `f64` components.
+///
+/// Used throughout the workspace for positions (metres), velocities
+/// (metres/second) and unit directions.
+///
+/// # Example
+///
+/// ```
+/// use roborun_geom::Vec3;
+/// let a = Vec3::new(1.0, 2.0, 3.0);
+/// let b = Vec3::new(4.0, 5.0, 6.0);
+/// assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+/// assert!((a.dot(b) - 32.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component (altitude in world frames).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along +X.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along +Y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along +Z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (cheaper than [`Vec3::norm`]).
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn distance_squared(self, other: Vec3) -> f64 {
+        (self - other).norm_squared()
+    }
+
+    /// Horizontal (XY-plane) distance to `other`, ignoring altitude.
+    #[inline]
+    pub fn horizontal_distance(self, other: Vec3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Returns the vector normalised to unit length, or `None` if its norm
+    /// is smaller than `1e-12`.
+    #[inline]
+    pub fn try_normalize(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-12 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Returns the vector normalised to unit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector norm is smaller than `1e-12`.
+    #[inline]
+    pub fn normalize(self) -> Vec3 {
+        self.try_normalize()
+            .expect("cannot normalize a (near-)zero vector")
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    #[inline]
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Component-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Vec3 {
+        Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Clamps each component of the vector between the corresponding
+    /// components of `lo` and `hi`.
+    #[inline]
+    pub fn clamp(self, lo: Vec3, hi: Vec3) -> Vec3 {
+        self.max(lo).min(hi)
+    }
+
+    /// Largest component.
+    #[inline]
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component.
+    #[inline]
+    pub fn min_component(self) -> f64 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// `true` when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Projection of `self` onto `other`.
+    ///
+    /// Returns `Vec3::ZERO` if `other` is (near-)zero.
+    #[inline]
+    pub fn project_onto(self, other: Vec3) -> Vec3 {
+        let denom = other.norm_squared();
+        if denom < 1e-24 {
+            Vec3::ZERO
+        } else {
+            other * (self.dot(other) / denom)
+        }
+    }
+
+    /// Rotates the vector by `yaw` radians about the +Z axis.
+    #[inline]
+    pub fn rotate_z(self, yaw: f64) -> Vec3 {
+        let (s, c) = yaw.sin_cos();
+        Vec3::new(c * self.x - s * self.y, s * self.x + c * self.y, self.z)
+    }
+
+    /// Returns the components as an array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    fn from(v: Vec3) -> Self {
+        v.to_array()
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+
+    /// Indexes the vector: `0 → x`, `1 → y`, `2 → z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 2`.
+    fn index(&self, index: usize) -> &f64 {
+        match index {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {index}"),
+        }
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl std::iter::Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |acc, v| acc + v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut v = Vec3::new(1.0, 1.0, 1.0);
+        v += Vec3::splat(1.0);
+        v -= Vec3::new(0.0, 1.0, 0.0);
+        v *= 3.0;
+        v /= 2.0;
+        assert_eq!(v, Vec3::new(3.0, 1.5, 3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec3::X;
+        let b = Vec3::Y;
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), Vec3::Z);
+        assert_eq!(b.cross(a), -Vec3::Z);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert!((v.norm() - 5.0).abs() < 1e-12);
+        assert!((v.norm_squared() - 25.0).abs() < 1e-12);
+        assert!((Vec3::ZERO.distance(v) - 5.0).abs() < 1e-12);
+        assert!((Vec3::ZERO.distance_squared(v) - 25.0).abs() < 1e-12);
+        let w = Vec3::new(3.0, 4.0, 10.0);
+        assert!((Vec3::ZERO.horizontal_distance(w) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let v = Vec3::new(1.0, -2.0, 2.0).normalize();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert!(Vec3::ZERO.try_normalize().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot normalize")]
+    fn normalize_zero_panics() {
+        let _ = Vec3::ZERO.normalize();
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::ZERO;
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn min_max_clamp_abs() {
+        let a = Vec3::new(1.0, -5.0, 3.0);
+        let b = Vec3::new(0.0, 2.0, 4.0);
+        assert_eq!(a.min(b), Vec3::new(0.0, -5.0, 3.0));
+        assert_eq!(a.max(b), Vec3::new(1.0, 2.0, 4.0));
+        assert_eq!(a.abs(), Vec3::new(1.0, 5.0, 3.0));
+        assert_eq!(
+            a.clamp(Vec3::splat(-1.0), Vec3::splat(1.0)),
+            Vec3::new(1.0, -1.0, 1.0)
+        );
+        assert_eq!(a.max_component(), 3.0);
+        assert_eq!(a.min_component(), -5.0);
+    }
+
+    #[test]
+    fn projection() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        let onto_x = v.project_onto(Vec3::X * 10.0);
+        assert!((onto_x - Vec3::new(3.0, 0.0, 0.0)).norm() < 1e-12);
+        assert_eq!(v.project_onto(Vec3::ZERO), Vec3::ZERO);
+    }
+
+    #[test]
+    fn rotate_z_quarter_turn() {
+        let v = Vec3::X.rotate_z(std::f64::consts::FRAC_PI_2);
+        assert!((v - Vec3::Y).norm() < 1e-12);
+    }
+
+    #[test]
+    fn indexing_and_conversion() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v[2], 3.0);
+        let arr: [f64; 3] = v.into();
+        assert_eq!(arr, [1.0, 2.0, 3.0]);
+        assert_eq!(Vec3::from([1.0, 2.0, 3.0]), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indexing_out_of_range_panics() {
+        let _ = Vec3::ZERO[3];
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Vec3 = (0..4).map(|i| Vec3::splat(i as f64)).sum();
+        assert_eq!(total, Vec3::splat(6.0));
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(Vec3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Vec3::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(format!("{}", Vec3::new(1.0, 2.5, -3.0)), "(1.000, 2.500, -3.000)");
+    }
+}

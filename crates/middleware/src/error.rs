@@ -1,0 +1,102 @@
+//! Error type shared by the middleware.
+
+use std::fmt;
+
+/// Errors returned by the middleware layer.
+///
+/// Every variant carries enough context (topic or node names, the offending
+/// types) for the message to be actionable without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MiddlewareError {
+    /// A topic name did not follow the `/segment/segment` grammar.
+    InvalidTopicName {
+        /// The rejected name.
+        name: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A node name was empty or contained separators.
+    InvalidNodeName {
+        /// The rejected name.
+        name: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A node with this name already exists on the bus.
+    NodeNameTaken {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A publisher or subscription was created on a topic that already
+    /// carries a different message type.
+    TypeMismatch {
+        /// Topic on which the conflict occurred.
+        topic: String,
+        /// Type the topic already carries.
+        existing: &'static str,
+        /// Type the caller tried to attach.
+        requested: &'static str,
+    },
+    /// A publish was attempted on a topic whose bus has been shut down.
+    BusClosed,
+}
+
+impl fmt::Display for MiddlewareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiddlewareError::InvalidTopicName { name, reason } => {
+                write!(f, "invalid topic name `{name}`: {reason}")
+            }
+            MiddlewareError::InvalidNodeName { name, reason } => {
+                write!(f, "invalid node name `{name}`: {reason}")
+            }
+            MiddlewareError::NodeNameTaken { name } => {
+                write!(f, "a node named `{name}` already exists on this bus")
+            }
+            MiddlewareError::TypeMismatch {
+                topic,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "topic `{topic}` carries `{existing}` but `{requested}` was requested"
+            ),
+            MiddlewareError::BusClosed => write!(f, "the message bus has been shut down"),
+        }
+    }
+}
+
+impl std::error::Error for MiddlewareError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_offending_names() {
+        let e = MiddlewareError::TypeMismatch {
+            topic: "/sensors/points".into(),
+            existing: "PointCloudMsg",
+            requested: "OdometryMsg",
+        };
+        let text = e.to_string();
+        assert!(text.contains("/sensors/points"));
+        assert!(text.contains("PointCloudMsg"));
+        assert!(text.contains("OdometryMsg"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(MiddlewareError::BusClosed, MiddlewareError::BusClosed);
+        assert_ne!(
+            MiddlewareError::BusClosed,
+            MiddlewareError::NodeNameTaken { name: "x".into() }
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(MiddlewareError::BusClosed);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,292 @@
+//! A deterministic single-threaded executor over simulated time.
+//!
+//! The executor owns a set of named *tasks* (closures that typically drain
+//! a [`crate::Subscription`] and publish results) and *timers* (closures
+//! fired on a fixed simulated period). Each [`Executor::spin_once`] call
+//! advances the bus clock, fires due timers in registration order and then
+//! runs every task once — exactly the processing model a single-threaded
+//! ROS executor provides, minus the wall-clock nondeterminism.
+
+use crate::bus::MessageBus;
+
+/// A closure invoked with the current simulation time (seconds).
+pub type Callback = Box<dyn FnMut(f64) + Send>;
+
+struct TaskEntry {
+    name: String,
+    callback: Callback,
+    invocations: u64,
+}
+
+struct TimerEntry {
+    name: String,
+    period: f64,
+    next_fire: f64,
+    callback: Callback,
+    invocations: u64,
+    missed: u64,
+}
+
+/// Single-threaded, simulated-time executor.
+pub struct Executor {
+    bus: MessageBus,
+    tasks: Vec<TaskEntry>,
+    timers: Vec<TimerEntry>,
+    steps: u64,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("tasks", &self.tasks.iter().map(|t| t.name.as_str()).collect::<Vec<_>>())
+            .field("timers", &self.timers.iter().map(|t| t.name.as_str()).collect::<Vec<_>>())
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Creates an executor driving the given bus's clock.
+    pub fn new(bus: &MessageBus) -> Self {
+        Executor {
+            bus: bus.clone(),
+            tasks: Vec::new(),
+            timers: Vec::new(),
+            steps: 0,
+        }
+    }
+
+    /// The bus whose clock this executor advances.
+    pub fn bus(&self) -> &MessageBus {
+        &self.bus
+    }
+
+    /// Registers a task run once per spin, in registration order.
+    pub fn add_task(&mut self, name: &str, callback: impl FnMut(f64) + Send + 'static) {
+        self.tasks.push(TaskEntry {
+            name: name.to_string(),
+            callback: Box::new(callback),
+            invocations: 0,
+        });
+    }
+
+    /// Registers a timer fired every `period` simulated seconds (the first
+    /// firing happens once the clock reaches `period`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive.
+    pub fn add_timer(&mut self, name: &str, period: f64, callback: impl FnMut(f64) + Send + 'static) {
+        assert!(period > 0.0, "timer period must be positive, got {period}");
+        let now = self.bus.now();
+        self.timers.push(TimerEntry {
+            name: name.to_string(),
+            period,
+            next_fire: now + period,
+            callback: Box::new(callback),
+            invocations: 0,
+            missed: 0,
+        });
+    }
+
+    /// Advances simulated time by `dt` seconds, fires due timers, then runs
+    /// every task once. Returns the new simulation time.
+    pub fn spin_once(&mut self, dt: f64) -> f64 {
+        self.bus.advance_time(dt);
+        let now = self.bus.now();
+        self.steps += 1;
+
+        for timer in &mut self.timers {
+            if now + 1e-12 >= timer.next_fire {
+                (timer.callback)(now);
+                timer.invocations += 1;
+                timer.next_fire += timer.period;
+                // If the step jumped over several periods, account for the
+                // missed firings but only invoke the callback once — the
+                // same "fire once, catch up the phase" policy a wall-clock
+                // executor under overload exhibits.
+                while now + 1e-12 >= timer.next_fire {
+                    timer.missed += 1;
+                    timer.next_fire += timer.period;
+                }
+            }
+        }
+        for task in &mut self.tasks {
+            (task.callback)(now);
+            task.invocations += 1;
+        }
+        now
+    }
+
+    /// Spins with a fixed step until the bus clock reaches `t_end` or the
+    /// bus is shut down. Returns the number of spins executed.
+    pub fn spin_until(&mut self, t_end: f64, dt: f64) -> u64 {
+        assert!(dt > 0.0, "spin step must be positive, got {dt}");
+        let mut spins = 0;
+        while self.bus.now() + 1e-12 < t_end && !self.bus.is_shutdown() {
+            self.spin_once(dt);
+            spins += 1;
+        }
+        spins
+    }
+
+    /// Spins exactly `n` steps of `dt` seconds (stops early on shutdown).
+    /// Returns the number of spins executed.
+    pub fn spin_steps(&mut self, n: u64, dt: f64) -> u64 {
+        let mut spins = 0;
+        for _ in 0..n {
+            if self.bus.is_shutdown() {
+                break;
+            }
+            self.spin_once(dt);
+            spins += 1;
+        }
+        spins
+    }
+
+    /// Total spins executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Number of times the named task has run (`None` if unknown).
+    pub fn task_invocations(&self, name: &str) -> Option<u64> {
+        self.tasks.iter().find(|t| t.name == name).map(|t| t.invocations)
+    }
+
+    /// Number of times the named timer has fired (`None` if unknown).
+    pub fn timer_invocations(&self, name: &str) -> Option<u64> {
+        self.timers.iter().find(|t| t.name == name).map(|t| t.invocations)
+    }
+
+    /// Number of firings the named timer skipped because a spin step jumped
+    /// over more than one period (`None` if unknown).
+    pub fn timer_missed(&self, name: &str) -> Option<u64> {
+        self.timers.iter().find(|t| t.name == name).map(|t| t.missed)
+    }
+
+    /// Names of the registered tasks, in execution order.
+    pub fn task_names(&self) -> Vec<&str> {
+        self.tasks.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// Names of the registered timers, in registration order.
+    pub fn timer_names(&self) -> Vec<&str> {
+        self.timers.iter().map(|t| t.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Node;
+    use crate::qos::QosProfile;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn tasks_run_once_per_spin_in_registration_order() {
+        let bus = MessageBus::with_free_transport();
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut executor = Executor::new(&bus);
+        for name in ["first", "second", "third"] {
+            let order = Arc::clone(&order);
+            executor.add_task(name, move |_| order.lock().unwrap().push(name));
+        }
+        executor.spin_once(0.1);
+        executor.spin_once(0.1);
+        let seen = order.lock().unwrap().clone();
+        assert_eq!(seen, vec!["first", "second", "third", "first", "second", "third"]);
+        assert_eq!(executor.task_invocations("second"), Some(2));
+        assert_eq!(executor.steps(), 2);
+    }
+
+    #[test]
+    fn timers_fire_on_their_period() {
+        let bus = MessageBus::with_free_transport();
+        let count = Arc::new(AtomicU64::new(0));
+        let mut executor = Executor::new(&bus);
+        let c = Arc::clone(&count);
+        executor.add_timer("heartbeat", 1.0, move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        // 10 spins of 0.25 s = 2.5 s → the 1 Hz timer fires at t=1.0 and 2.0.
+        executor.spin_steps(10, 0.25);
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+        assert_eq!(executor.timer_invocations("heartbeat"), Some(2));
+        assert_eq!(executor.timer_missed("heartbeat"), Some(0));
+    }
+
+    #[test]
+    fn oversized_steps_fire_once_and_record_missed_periods() {
+        let bus = MessageBus::with_free_transport();
+        let count = Arc::new(AtomicU64::new(0));
+        let mut executor = Executor::new(&bus);
+        let c = Arc::clone(&count);
+        executor.add_timer("fast", 0.1, move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        executor.spin_once(1.05); // jumps over ~10 periods
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert!(executor.timer_missed("fast").unwrap() >= 8);
+    }
+
+    #[test]
+    fn spin_until_reaches_the_requested_time() {
+        let bus = MessageBus::with_free_transport();
+        let mut executor = Executor::new(&bus);
+        executor.add_task("noop", |_| {});
+        let spins = executor.spin_until(2.0, 0.5);
+        assert_eq!(spins, 4);
+        assert!((bus.now() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shutdown_stops_spinning() {
+        let bus = MessageBus::with_free_transport();
+        let mut executor = Executor::new(&bus);
+        let bus_for_task = bus.clone();
+        executor.add_task("stopper", move |now| {
+            if now >= 1.0 {
+                bus_for_task.shutdown();
+            }
+        });
+        let spins = executor.spin_until(100.0, 0.5);
+        assert!(spins <= 3, "executor spun {spins} times after shutdown");
+        assert!(bus.is_shutdown());
+    }
+
+    #[test]
+    fn a_task_can_pump_messages_between_nodes() {
+        let bus = MessageBus::with_free_transport();
+        let source = Node::new(&bus, "source").unwrap();
+        let sink = Node::new(&bus, "sink").unwrap();
+        let publisher = source.publisher::<u64>("/ticks").unwrap();
+        let subscription = sink.subscribe::<u64>("/ticks", QosProfile::reliable(32)).unwrap();
+        let received = Arc::new(AtomicU64::new(0));
+
+        let mut executor = Executor::new(&bus);
+        let mut tick = 0u64;
+        executor.add_task("producer", move |_| {
+            publisher.publish(tick).unwrap();
+            tick += 1;
+        });
+        let received_in_task = Arc::clone(&received);
+        executor.add_task("consumer", move |_| {
+            while subscription.try_recv().is_some() {
+                received_in_task.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+
+        executor.spin_steps(20, 0.1);
+        assert_eq!(received.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "timer period must be positive")]
+    fn zero_period_timer_panics() {
+        let bus = MessageBus::default();
+        let mut executor = Executor::new(&bus);
+        executor.add_timer("bad", 0.0, |_| {});
+    }
+}

@@ -1,0 +1,214 @@
+//! Node-graph introspection, the substitute for `rqt_graph` / `ros2 topic
+//! info`.
+//!
+//! [`GraphInfo::snapshot`] captures the bus's current topology — nodes,
+//! topics, message types, connectivity and per-topic traffic — as plain
+//! data that experiments print and tests assert on. A Graphviz export is
+//! provided for documentation.
+
+use crate::bus::MessageBus;
+use crate::latency::CommStats;
+use crate::topic::TopicName;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One topic's entry in the graph snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicInfo {
+    /// The topic name.
+    pub name: TopicName,
+    /// Message type carried by the topic.
+    pub type_name: String,
+    /// Nodes publishing on the topic.
+    pub publishers: Vec<String>,
+    /// Nodes subscribed to the topic.
+    pub subscribers: Vec<String>,
+    /// Traffic statistics accumulated so far.
+    pub stats: CommStats,
+}
+
+/// A point-in-time snapshot of the bus topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphInfo {
+    /// Node names, sorted.
+    pub nodes: Vec<String>,
+    /// Topic entries, sorted by topic name.
+    pub topics: Vec<TopicInfo>,
+}
+
+impl GraphInfo {
+    /// Captures the current topology of `bus`.
+    pub fn snapshot(bus: &MessageBus) -> Self {
+        let connections = bus.node_connections();
+        let nodes: Vec<String> = connections.keys().cloned().collect();
+
+        let mut publishers_by_topic: BTreeMap<TopicName, Vec<String>> = BTreeMap::new();
+        let mut subscribers_by_topic: BTreeMap<TopicName, Vec<String>> = BTreeMap::new();
+        for (node, conn) in &connections {
+            for topic in &conn.publishes {
+                publishers_by_topic.entry(topic.clone()).or_default().push(node.clone());
+            }
+            for topic in &conn.subscribes {
+                subscribers_by_topic.entry(topic.clone()).or_default().push(node.clone());
+            }
+        }
+
+        let topics = bus
+            .topic_names()
+            .into_iter()
+            .map(|name| TopicInfo {
+                type_name: bus.topic_type(&name).unwrap_or("<unknown>").to_string(),
+                publishers: publishers_by_topic.get(&name).cloned().unwrap_or_default(),
+                subscribers: subscribers_by_topic.get(&name).cloned().unwrap_or_default(),
+                stats: bus.topic_stats(&name),
+                name,
+            })
+            .collect();
+
+        GraphInfo { nodes, topics }
+    }
+
+    /// Looks up a topic entry by name.
+    pub fn topic(&self, name: &str) -> Option<&TopicInfo> {
+        self.topics.iter().find(|t| t.name.as_str() == name)
+    }
+
+    /// Total messages published across every topic.
+    pub fn total_messages(&self) -> u64 {
+        self.topics.iter().map(|t| t.stats.messages_published).sum()
+    }
+
+    /// Total payload bytes published across every topic.
+    pub fn total_bytes(&self) -> u64 {
+        self.topics.iter().map(|t| t.stats.bytes_published).sum()
+    }
+
+    /// Renders the graph in Graphviz DOT syntax: nodes as ellipses, topics
+    /// as boxes, publish/subscribe edges between them.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph rosgraph {\n  rankdir=LR;\n");
+        for node in &self.nodes {
+            let _ = writeln!(out, "  \"{node}\" [shape=ellipse];");
+        }
+        for topic in &self.topics {
+            let _ = writeln!(out, "  \"{}\" [shape=box, label=\"{}\\n{}\"];", topic.name, topic.name, topic.type_name);
+            for publisher in &topic.publishers {
+                let _ = writeln!(out, "  \"{publisher}\" -> \"{}\";", topic.name);
+            }
+            for subscriber in &topic.subscribers {
+                let _ = writeln!(out, "  \"{}\" -> \"{subscriber}\";", topic.name);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders a compact plain-text table (one line per topic) for
+    /// experiment logs.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<32} {:>4} {:>4} {:>10} {:>12} {:>10}",
+            "topic", "pubs", "subs", "msgs", "bytes", "mean ms"
+        );
+        for topic in &self.topics {
+            let _ = writeln!(
+                out,
+                "{:<32} {:>4} {:>4} {:>10} {:>12} {:>10.3}",
+                topic.name.as_str(),
+                topic.publishers.len(),
+                topic.subscribers.len(),
+                topic.stats.messages_published,
+                topic.stats.bytes_published,
+                topic.stats.mean_transport_latency() * 1e3,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Node;
+    use crate::qos::QosProfile;
+
+    fn sample_bus() -> MessageBus {
+        let bus = MessageBus::default();
+        let camera = Node::new(&bus, "camera").unwrap();
+        let mapper = Node::new(&bus, "mapper").unwrap();
+        let planner = Node::new(&bus, "planner").unwrap();
+        let cloud_pub = camera.publisher::<Vec<f64>>("/sensors/points").unwrap();
+        let _cloud_sub = mapper
+            .subscribe::<Vec<f64>>("/sensors/points", QosProfile::sensor_data())
+            .unwrap();
+        let map_pub = mapper.publisher::<Vec<f64>>("/perception/planner_map").unwrap();
+        let _map_sub = planner
+            .subscribe::<Vec<f64>>("/perception/planner_map", QosProfile::reliable(4))
+            .unwrap();
+        cloud_pub.publish(vec![0.0; 1000]).unwrap();
+        cloud_pub.publish(vec![0.0; 1000]).unwrap();
+        map_pub.publish(vec![0.0; 200]).unwrap();
+        // Keep the subscriptions alive beyond this function by leaking them
+        // into the bus? Not needed: the snapshot below is taken by the
+        // caller while the subscriptions are still alive only for the
+        // connectivity captured at registration time. For traffic stats the
+        // publishes above already happened while they were alive.
+        bus
+    }
+
+    #[test]
+    fn snapshot_captures_nodes_topics_and_traffic() {
+        let bus = MessageBus::default();
+        let camera = Node::new(&bus, "camera").unwrap();
+        let mapper = Node::new(&bus, "mapper").unwrap();
+        let cloud_pub = camera.publisher::<Vec<f64>>("/sensors/points").unwrap();
+        let cloud_sub = mapper
+            .subscribe::<Vec<f64>>("/sensors/points", QosProfile::sensor_data())
+            .unwrap();
+        cloud_pub.publish(vec![0.0; 1024]).unwrap();
+
+        let graph = GraphInfo::snapshot(&bus);
+        assert_eq!(graph.nodes, vec!["camera".to_string(), "mapper".to_string()]);
+        let topic = graph.topic("/sensors/points").expect("topic present");
+        assert_eq!(topic.publishers, vec!["camera".to_string()]);
+        assert_eq!(topic.subscribers, vec!["mapper".to_string()]);
+        assert_eq!(topic.stats.messages_published, 1);
+        assert_eq!(graph.total_messages(), 1);
+        assert_eq!(graph.total_bytes(), 8 * 1024);
+        drop(cloud_sub);
+    }
+
+    #[test]
+    fn dot_export_contains_every_node_and_topic() {
+        let bus = sample_bus();
+        let graph = GraphInfo::snapshot(&bus);
+        let dot = graph.to_dot();
+        assert!(dot.starts_with("digraph"));
+        for node in ["camera", "mapper", "planner"] {
+            assert!(dot.contains(node), "missing node {node}");
+        }
+        assert!(dot.contains("/sensors/points"));
+        assert!(dot.contains("/perception/planner_map"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn table_lists_one_line_per_topic() {
+        let bus = sample_bus();
+        let graph = GraphInfo::snapshot(&bus);
+        let table = graph.to_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 1 + graph.topics.len());
+        assert!(lines[0].contains("topic"));
+    }
+
+    #[test]
+    fn missing_topic_lookup_returns_none() {
+        let bus = sample_bus();
+        let graph = GraphInfo::snapshot(&bus);
+        assert!(graph.topic("/does/not_exist").is_none());
+    }
+}

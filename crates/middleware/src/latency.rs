@@ -1,0 +1,185 @@
+//! Communication-latency model and per-topic transport statistics.
+//!
+//! The paper's Fig. 11 breaks each decision's end-to-end latency into
+//! computation stages (shades of red) and *communication* hops (shades of
+//! blue) — the cost of moving point clouds, maps and trajectories between
+//! ROS nodes. This module provides the substitute for that transport cost:
+//! a simple affine model in the payload size, with a surcharge for reliable
+//! delivery, plus the bookkeeping needed to report per-topic traffic.
+
+use crate::qos::{QosProfile, Reliability};
+use serde::{Deserialize, Serialize};
+
+/// Affine model of one hop's transport latency.
+///
+/// `latency = base + per_kilobyte · size_kB`, multiplied by
+/// `1 + reliable_overhead` for reliable subscriptions. The defaults are
+/// calibrated so that a full-resolution point cloud (hundreds of kilobytes)
+/// costs tens of milliseconds — the same order as the "comm" slices in the
+/// paper's latency breakdown — while a small policy message is essentially
+/// free.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommLatencyModel {
+    /// Fixed per-message cost (seconds): serialization setup, scheduling.
+    pub base: f64,
+    /// Cost per kilobyte of payload (seconds/kB).
+    pub per_kilobyte: f64,
+    /// Fractional surcharge for [`Reliability::Reliable`] delivery
+    /// (acknowledgements, retransmission budget).
+    pub reliable_overhead: f64,
+}
+
+impl Default for CommLatencyModel {
+    fn default() -> Self {
+        CommLatencyModel {
+            base: 2.0e-4,
+            per_kilobyte: 8.0e-5,
+            reliable_overhead: 0.25,
+        }
+    }
+}
+
+impl CommLatencyModel {
+    /// A model in which every transfer is free. Useful for tests that want
+    /// deterministic zero-latency delivery.
+    pub fn free() -> Self {
+        CommLatencyModel {
+            base: 0.0,
+            per_kilobyte: 0.0,
+            reliable_overhead: 0.0,
+        }
+    }
+
+    /// Transport latency of a single message of `bytes` payload under the
+    /// given QoS profile (seconds).
+    pub fn transfer_latency(&self, bytes: usize, qos: &QosProfile) -> f64 {
+        let kilobytes = bytes as f64 / 1024.0;
+        let raw = self.base + self.per_kilobyte * kilobytes;
+        match qos.reliability {
+            Reliability::Reliable => raw * (1.0 + self.reliable_overhead),
+            Reliability::BestEffort => raw,
+        }
+    }
+}
+
+/// Accumulated transport statistics for one topic.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Messages published on the topic.
+    pub messages_published: u64,
+    /// Message deliveries (one per subscription that received a sample).
+    pub deliveries: u64,
+    /// Samples dropped because a subscription queue was full.
+    pub drops: u64,
+    /// Total payload bytes published.
+    pub bytes_published: u64,
+    /// Total transport latency charged across all deliveries (seconds).
+    pub total_transport_latency: f64,
+}
+
+impl CommStats {
+    /// Records one publish of `bytes` payload delivered to `deliveries`
+    /// subscriptions with `dropped` older samples evicted, each delivery
+    /// charged `latency` seconds.
+    pub fn record_publish(&mut self, bytes: usize, deliveries: u64, dropped: u64, latency: f64) {
+        self.messages_published += 1;
+        self.deliveries += deliveries;
+        self.drops += dropped;
+        self.bytes_published += bytes as u64;
+        self.total_transport_latency += latency * deliveries as f64;
+    }
+
+    /// Mean transport latency per delivery (seconds), 0 if nothing was
+    /// delivered yet.
+    pub fn mean_transport_latency(&self) -> f64 {
+        if self.deliveries == 0 {
+            0.0
+        } else {
+            self.total_transport_latency / self.deliveries as f64
+        }
+    }
+
+    /// Mean payload size per published message (bytes), 0 before the first
+    /// publish.
+    pub fn mean_message_bytes(&self) -> f64 {
+        if self.messages_published == 0 {
+            0.0
+        } else {
+            self.bytes_published as f64 / self.messages_published as f64
+        }
+    }
+
+    /// Merges another statistics record into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.messages_published += other.messages_published;
+        self.deliveries += other.deliveries;
+        self.drops += other.drops;
+        self.bytes_published += other.bytes_published;
+        self.total_transport_latency += other.total_transport_latency;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_payload_size() {
+        let model = CommLatencyModel::default();
+        let qos = QosProfile::default();
+        let small = model.transfer_latency(100, &qos);
+        let large = model.transfer_latency(500_000, &qos);
+        assert!(large > small);
+        assert!(small > 0.0);
+    }
+
+    #[test]
+    fn reliable_costs_more_than_best_effort() {
+        let model = CommLatencyModel::default();
+        let reliable = model.transfer_latency(10_000, &QosProfile::reliable(5));
+        let best_effort = model.transfer_latency(10_000, &QosProfile::sensor_data());
+        assert!(reliable > best_effort);
+        let expected_ratio = 1.0 + model.reliable_overhead;
+        assert!((reliable / best_effort - expected_ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let model = CommLatencyModel::free();
+        assert_eq!(model.transfer_latency(1 << 20, &QosProfile::default()), 0.0);
+    }
+
+    #[test]
+    fn point_cloud_scale_payload_costs_tens_of_milliseconds() {
+        // ~300 kB point cloud — the order of a 6-camera scan.
+        let model = CommLatencyModel::default();
+        let latency = model.transfer_latency(300 * 1024, &QosProfile::sensor_data());
+        assert!(latency > 0.005 && latency < 0.2, "latency {latency}");
+    }
+
+    #[test]
+    fn stats_accumulate_and_average() {
+        let mut stats = CommStats::default();
+        stats.record_publish(1000, 2, 0, 0.01);
+        stats.record_publish(3000, 2, 1, 0.02);
+        assert_eq!(stats.messages_published, 2);
+        assert_eq!(stats.deliveries, 4);
+        assert_eq!(stats.drops, 1);
+        assert_eq!(stats.bytes_published, 4000);
+        assert!((stats.mean_message_bytes() - 2000.0).abs() < 1e-9);
+        assert!((stats.mean_transport_latency() - 0.015).abs() < 1e-9);
+
+        let mut merged = CommStats::default();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.messages_published, 4);
+        assert_eq!(merged.deliveries, 8);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_averages() {
+        let stats = CommStats::default();
+        assert_eq!(stats.mean_transport_latency(), 0.0);
+        assert_eq!(stats.mean_message_bytes(), 0.0);
+    }
+}

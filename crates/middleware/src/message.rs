@@ -1,0 +1,154 @@
+//! The message contract and the stamped envelope.
+//!
+//! Anything cloneable and `Send` can travel over a topic; the only extra
+//! requirement is an approximate wire size so the communication-latency
+//! model ([`crate::CommLatencyModel`]) can charge a transport cost that
+//! scales with payload size, the way a serialized ROS message would.
+
+use serde::{Deserialize, Serialize};
+
+/// A value that can be published on a topic.
+///
+/// Implementors report an approximate serialized size; the default type
+/// name is derived from the Rust type. Domain crates wrap their types in
+/// thin newtype messages and implement this trait for them.
+pub trait Message: Clone + Send + 'static {
+    /// Approximate serialized size in bytes, used by the
+    /// communication-latency model. It does not need to be exact — only
+    /// roughly proportional to the real payload.
+    fn approx_size_bytes(&self) -> usize;
+
+    /// A short, human-readable type name used by graph introspection and
+    /// bag recording.
+    fn type_name() -> &'static str {
+        std::any::type_name::<Self>()
+    }
+}
+
+macro_rules! impl_message_for_pod {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Message for $ty {
+                fn approx_size_bytes(&self) -> usize {
+                    std::mem::size_of::<$ty>()
+                }
+            }
+        )*
+    };
+}
+
+impl_message_for_pod!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl Message for String {
+    fn approx_size_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Message for () {
+    fn approx_size_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl<T: Message> Message for Vec<T> {
+    fn approx_size_bytes(&self) -> usize {
+        self.iter().map(Message::approx_size_bytes).sum()
+    }
+}
+
+impl<T: Message> Message for Option<T> {
+    fn approx_size_bytes(&self) -> usize {
+        self.as_ref().map_or(1, |v| 1 + v.approx_size_bytes())
+    }
+}
+
+impl<A: Message, B: Message> Message for (A, B) {
+    fn approx_size_bytes(&self) -> usize {
+        self.0.approx_size_bytes() + self.1.approx_size_bytes()
+    }
+}
+
+/// A published sample together with its delivery metadata.
+///
+/// The bus stamps every sample with the publish time (simulation seconds),
+/// a per-topic sequence number and the transport latency the QoS class and
+/// payload size incurred. Subscribers that only care about the payload use
+/// [`Stamped::into_inner`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stamped<T> {
+    /// Simulation time at which the sample was published (seconds).
+    pub publish_time: f64,
+    /// Per-topic, monotonically increasing sequence number (starts at 0).
+    pub sequence: u64,
+    /// Transport latency charged for this sample (seconds).
+    pub transport_latency: f64,
+    /// The payload.
+    pub message: T,
+}
+
+impl<T> Stamped<T> {
+    /// Simulation time at which the sample becomes visible to subscribers.
+    pub fn arrival_time(&self) -> f64 {
+        self.publish_time + self.transport_latency
+    }
+
+    /// Consumes the envelope and returns the payload.
+    pub fn into_inner(self) -> T {
+        self.message
+    }
+
+    /// Maps the payload, preserving the metadata.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Stamped<U> {
+        Stamped {
+            publish_time: self.publish_time,
+            sequence: self.sequence,
+            transport_latency: self.transport_latency,
+            message: f(self.message),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_sizes_match_their_layout() {
+        assert_eq!(3.0f64.approx_size_bytes(), 8);
+        assert_eq!(1u32.approx_size_bytes(), 4);
+        assert_eq!(true.approx_size_bytes(), 1);
+        assert_eq!(().approx_size_bytes(), 0);
+    }
+
+    #[test]
+    fn container_sizes_sum_their_elements() {
+        let v = vec![1.0f64; 10];
+        assert_eq!(v.approx_size_bytes(), 80);
+        assert_eq!(String::from("hello").approx_size_bytes(), 5);
+        assert_eq!(Some(2.0f64).approx_size_bytes(), 9);
+        assert_eq!(Option::<f64>::None.approx_size_bytes(), 1);
+        assert_eq!((1.0f64, 7u8).approx_size_bytes(), 9);
+    }
+
+    #[test]
+    fn stamped_arrival_adds_transport_latency() {
+        let s = Stamped {
+            publish_time: 10.0,
+            sequence: 3,
+            transport_latency: 0.25,
+            message: 42u32,
+        };
+        assert!((s.arrival_time() - 10.25).abs() < 1e-12);
+        assert_eq!(s.clone().into_inner(), 42);
+        let mapped = s.map(|m| m as f64 * 2.0);
+        assert_eq!(mapped.sequence, 3);
+        assert!((mapped.message - 84.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_type_name_is_the_rust_path() {
+        assert!(String::type_name().contains("String"));
+        assert!(<Vec<f64>>::type_name().contains("Vec"));
+    }
+}

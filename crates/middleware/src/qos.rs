@@ -1,0 +1,132 @@
+//! Quality-of-service profiles for subscriptions.
+//!
+//! The middleware keeps the small subset of the ROS 2 QoS vocabulary that
+//! matters for a deterministic in-process simulation: a keep-last history
+//! depth, a reliability class (which the communication-latency model charges
+//! differently), and a durability class (latched topics re-deliver the last
+//! sample to late subscribers).
+
+use serde::{Deserialize, Serialize};
+
+/// Delivery reliability of a subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Reliability {
+    /// Every sample is acknowledged; transport costs more per message.
+    #[default]
+    Reliable,
+    /// Samples may be dropped under pressure; cheapest transport.
+    BestEffort,
+}
+
+/// Durability of a topic's last sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Durability {
+    /// Only samples published after subscribing are delivered.
+    #[default]
+    Volatile,
+    /// The most recent sample is retained and delivered to late subscribers
+    /// (ROS "transient local" / latched topics).
+    TransientLocal,
+}
+
+/// A subscription's quality-of-service profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QosProfile {
+    /// Keep-last history depth: the subscription queue holds at most this
+    /// many undelivered samples; older samples are dropped first.
+    pub depth: usize,
+    /// Reliability class.
+    pub reliability: Reliability,
+    /// Durability class.
+    pub durability: Durability,
+}
+
+impl Default for QosProfile {
+    fn default() -> Self {
+        QosProfile::reliable(10)
+    }
+}
+
+impl QosProfile {
+    /// A reliable, volatile profile with the given queue depth.
+    pub fn reliable(depth: usize) -> Self {
+        QosProfile {
+            depth: depth.max(1),
+            reliability: Reliability::Reliable,
+            durability: Durability::Volatile,
+        }
+    }
+
+    /// The profile used for high-rate sensor streams: best-effort, shallow
+    /// queue (depth 5), volatile — mirrors ROS 2's `SensorDataQoS`.
+    pub fn sensor_data() -> Self {
+        QosProfile {
+            depth: 5,
+            reliability: Reliability::BestEffort,
+            durability: Durability::Volatile,
+        }
+    }
+
+    /// A latched profile: reliable, and the last sample is re-delivered to
+    /// subscribers that join after it was published. Used for slowly
+    /// changing state such as the active policy or the mission goal.
+    pub fn latched(depth: usize) -> Self {
+        QosProfile {
+            depth: depth.max(1),
+            reliability: Reliability::Reliable,
+            durability: Durability::TransientLocal,
+        }
+    }
+
+    /// Returns a copy with a different depth (builder-style).
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth.max(1);
+        self
+    }
+
+    /// Returns a copy with best-effort reliability (builder-style).
+    pub fn best_effort(mut self) -> Self {
+        self.reliability = Reliability::BestEffort;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_reliable_depth_10() {
+        let qos = QosProfile::default();
+        assert_eq!(qos.depth, 10);
+        assert_eq!(qos.reliability, Reliability::Reliable);
+        assert_eq!(qos.durability, Durability::Volatile);
+    }
+
+    #[test]
+    fn sensor_data_is_best_effort() {
+        let qos = QosProfile::sensor_data();
+        assert_eq!(qos.reliability, Reliability::BestEffort);
+        assert!(qos.depth >= 1);
+    }
+
+    #[test]
+    fn latched_is_transient_local() {
+        let qos = QosProfile::latched(1);
+        assert_eq!(qos.durability, Durability::TransientLocal);
+        assert_eq!(qos.depth, 1);
+    }
+
+    #[test]
+    fn depth_is_never_zero() {
+        assert_eq!(QosProfile::reliable(0).depth, 1);
+        assert_eq!(QosProfile::default().with_depth(0).depth, 1);
+    }
+
+    #[test]
+    fn builders_adjust_fields() {
+        let qos = QosProfile::reliable(4).best_effort().with_depth(7);
+        assert_eq!(qos.depth, 7);
+        assert_eq!(qos.reliability, Reliability::BestEffort);
+    }
+}

@@ -1,0 +1,223 @@
+//! Bag recording and playback — the substitute for `rosbag`.
+//!
+//! Two recording granularities are provided:
+//!
+//! * [`BagIndex`] records the *metadata* of every sample on any number of
+//!   topics (time, topic, type, size, transport latency) — enough to
+//!   reconstruct traffic timelines and communication costs, which is what
+//!   the latency-breakdown experiments need.
+//! * [`TypedBag`] additionally keeps the payloads of a single message type
+//!   so a stream can be replayed into tests (e.g. re-feeding recorded
+//!   spatial profiles to a governor ablation).
+
+use crate::message::{Message, Stamped};
+use crate::topic::TopicName;
+use serde::{Deserialize, Serialize};
+
+/// Metadata of one recorded sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BagEntry {
+    /// Simulation time of the publish (seconds).
+    pub time: f64,
+    /// Topic the sample was published on.
+    pub topic: TopicName,
+    /// Message type name.
+    pub type_name: String,
+    /// Approximate payload size (bytes).
+    pub bytes: usize,
+    /// Transport latency charged to the recording subscription (seconds).
+    pub transport_latency: f64,
+    /// Per-topic sequence number.
+    pub sequence: u64,
+}
+
+/// An append-only index of recorded sample metadata.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BagIndex {
+    entries: Vec<BagEntry>,
+}
+
+impl BagIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        BagIndex::default()
+    }
+
+    /// Records one sample's metadata.
+    pub fn record<T: Message>(&mut self, topic: &TopicName, sample: &Stamped<T>) {
+        self.entries.push(BagEntry {
+            time: sample.publish_time,
+            topic: topic.clone(),
+            type_name: T::type_name().to_string(),
+            bytes: sample.message.approx_size_bytes(),
+            transport_latency: sample.transport_latency,
+            sequence: sample.sequence,
+        });
+    }
+
+    /// All recorded entries, in recording order.
+    pub fn entries(&self) -> &[BagEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries recorded on one topic, in recording order.
+    pub fn topic_entries(&self, topic: &str) -> Vec<&BagEntry> {
+        self.entries.iter().filter(|e| e.topic.as_str() == topic).collect()
+    }
+
+    /// Time span covered by the recording: (first, last) publish time, or
+    /// `None` when empty.
+    pub fn time_span(&self) -> Option<(f64, f64)> {
+        let first = self.entries.first()?.time;
+        let last = self.entries.iter().map(|e| e.time).fold(first, f64::max);
+        Some((self.entries.iter().map(|e| e.time).fold(first, f64::min), last))
+    }
+
+    /// Total recorded payload bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// A CSV rendering (`time,topic,type,bytes,transport_latency,sequence`),
+    /// one line per entry, with a header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time,topic,type,bytes,transport_latency,sequence\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:.6},{},{},{},{:.6},{}\n",
+                e.time, e.topic, e.type_name, e.bytes, e.transport_latency, e.sequence
+            ));
+        }
+        out
+    }
+}
+
+/// A recording of one topic's payloads, replayable in publish order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypedBag<T> {
+    topic: TopicName,
+    samples: Vec<Stamped<T>>,
+}
+
+impl<T: Message> TypedBag<T> {
+    /// Creates an empty bag for one topic.
+    pub fn new(topic: TopicName) -> Self {
+        TypedBag {
+            topic,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The topic this bag records.
+    pub fn topic(&self) -> &TopicName {
+        &self.topic
+    }
+
+    /// Appends a sample.
+    pub fn record(&mut self, sample: Stamped<T>) {
+        self.samples.push(sample);
+    }
+
+    /// Recorded samples, in recording order.
+    pub fn samples(&self) -> &[Stamped<T>] {
+        &self.samples
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Replays the payloads whose publish time falls within
+    /// `[t_start, t_end)`, in publish order.
+    pub fn replay_between(&self, t_start: f64, t_end: f64) -> Vec<&T> {
+        self.samples
+            .iter()
+            .filter(|s| s.publish_time >= t_start && s.publish_time < t_end)
+            .map(|s| &s.message)
+            .collect()
+    }
+
+    /// Consumes the bag and returns an iterator over the payloads.
+    pub fn into_messages(self) -> impl Iterator<Item = T> {
+        self.samples.into_iter().map(Stamped::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamped(t: f64, seq: u64, message: f64) -> Stamped<f64> {
+        Stamped {
+            publish_time: t,
+            sequence: seq,
+            transport_latency: 0.001,
+            message,
+        }
+    }
+
+    #[test]
+    fn index_records_metadata_and_spans() {
+        let mut index = BagIndex::new();
+        assert!(index.is_empty());
+        let cloud = TopicName::new("/sensors/points").unwrap();
+        let policy = TopicName::new("/runtime/policy").unwrap();
+        index.record(&cloud, &stamped(1.0, 0, 3.5));
+        index.record(&cloud, &stamped(2.0, 1, 4.5));
+        index.record(&policy, &stamped(1.5, 0, 9.9));
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.topic_entries("/sensors/points").len(), 2);
+        assert_eq!(index.time_span(), Some((1.0, 2.0)));
+        assert_eq!(index.total_bytes(), 24);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_entry() {
+        let mut index = BagIndex::new();
+        let topic = TopicName::new("/odom").unwrap();
+        index.record(&topic, &stamped(0.5, 0, 1.0));
+        index.record(&topic, &stamped(1.0, 1, 2.0));
+        let csv = index.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("time,topic"));
+        assert!(lines[1].contains("/odom"));
+    }
+
+    #[test]
+    fn typed_bag_replays_by_time_window() {
+        let topic = TopicName::new("/profile").unwrap();
+        let mut bag = TypedBag::new(topic.clone());
+        assert!(bag.is_empty());
+        for i in 0..10 {
+            bag.record(stamped(i as f64, i, i as f64 * 10.0));
+        }
+        assert_eq!(bag.len(), 10);
+        assert_eq!(bag.topic(), &topic);
+        let window: Vec<f64> = bag.replay_between(3.0, 6.0).into_iter().copied().collect();
+        assert_eq!(window, vec![30.0, 40.0, 50.0]);
+        let all: Vec<f64> = bag.into_messages().collect();
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn empty_index_has_no_span() {
+        assert_eq!(BagIndex::new().time_span(), None);
+    }
+}

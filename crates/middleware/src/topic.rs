@@ -1,0 +1,164 @@
+//! Topic names and their validation.
+//!
+//! Topic names follow the ROS convention: absolute, slash-separated
+//! segments of lower-case alphanumerics and underscores, e.g.
+//! `/perception/planner_map`. Validating names eagerly keeps typos from
+//! silently creating a second, disconnected topic.
+
+use crate::error::MiddlewareError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated, absolute topic name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TopicName(String);
+
+impl TopicName {
+    /// Parses and validates a topic name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::InvalidTopicName`] when the name is empty,
+    /// not absolute (missing the leading `/`), has empty segments, or
+    /// contains characters outside `[a-z0-9_]`.
+    pub fn new(name: &str) -> Result<Self, MiddlewareError> {
+        let reject = |reason: &str| MiddlewareError::InvalidTopicName {
+            name: name.to_string(),
+            reason: reason.to_string(),
+        };
+        if name.is_empty() {
+            return Err(reject("name is empty"));
+        }
+        if !name.starts_with('/') {
+            return Err(reject("topic names must be absolute (start with `/`)"));
+        }
+        if name.len() == 1 {
+            return Err(reject("`/` alone is not a topic"));
+        }
+        if name.ends_with('/') {
+            return Err(reject("trailing `/` creates an empty segment"));
+        }
+        for segment in name[1..].split('/') {
+            if segment.is_empty() {
+                return Err(reject("empty segment (`//`)"));
+            }
+            if !segment
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            {
+                return Err(reject(
+                    "segments may only contain lower-case letters, digits and `_`",
+                ));
+            }
+            if segment.starts_with(|c: char| c.is_ascii_digit()) {
+                return Err(reject("segments must not start with a digit"));
+            }
+        }
+        Ok(TopicName(name.to_string()))
+    }
+
+    /// The full name, including the leading `/`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The name's slash-separated segments (without the leading `/`).
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.0[1..].split('/')
+    }
+
+    /// The namespace: everything up to the last segment, or `/` for
+    /// single-segment topics.
+    pub fn namespace(&self) -> &str {
+        match self.0.rfind('/') {
+            Some(0) | None => "/",
+            Some(idx) => &self.0[..idx],
+        }
+    }
+
+    /// The last segment of the name.
+    pub fn base_name(&self) -> &str {
+        self.0.rsplit('/').next().unwrap_or(&self.0)
+    }
+}
+
+impl fmt::Display for TopicName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for TopicName {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl std::str::FromStr for TopicName {
+    type Err = MiddlewareError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TopicName::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_names() {
+        for name in [
+            "/points",
+            "/sensors/points",
+            "/perception/planner_map",
+            "/runtime/policy_2",
+            "/a/b/c/d",
+        ] {
+            assert!(TopicName::new(name).is_ok(), "{name} should be accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_names() {
+        for name in [
+            "",
+            "/",
+            "points",
+            "/Points",
+            "/sensors//points",
+            "/sensors/points/",
+            "/sensors/3d_points",
+            "/sensors/points!",
+            "/sensors/point cloud",
+        ] {
+            assert!(TopicName::new(name).is_err(), "{name} should be rejected");
+        }
+    }
+
+    #[test]
+    fn accessors_split_the_name() {
+        let t = TopicName::new("/perception/planner_map").unwrap();
+        assert_eq!(t.as_str(), "/perception/planner_map");
+        assert_eq!(t.namespace(), "/perception");
+        assert_eq!(t.base_name(), "planner_map");
+        assert_eq!(t.segments().collect::<Vec<_>>(), vec!["perception", "planner_map"]);
+
+        let single = TopicName::new("/odom").unwrap();
+        assert_eq!(single.namespace(), "/");
+        assert_eq!(single.base_name(), "odom");
+    }
+
+    #[test]
+    fn from_str_round_trips_display() {
+        let t: TopicName = "/runtime/policy".parse().unwrap();
+        assert_eq!(t.to_string(), "/runtime/policy");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = TopicName::new("/a").unwrap();
+        let b = TopicName::new("/b").unwrap();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the middleware's delivery semantics.
+
+use proptest::prelude::*;
+use roborun_middleware::{CommLatencyModel, MessageBus, Node, QosProfile};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the queue depth and publish count, the queue never exceeds
+    /// the depth, nothing is ever delivered out of order, and
+    /// published = delivered + evicted for a single subscriber.
+    #[test]
+    fn keep_last_accounting_is_exact(depth in 1usize..20, publishes in 0usize..60) {
+        let bus = MessageBus::with_free_transport();
+        let talker = Node::new(&bus, "talker").unwrap();
+        let listener = Node::new(&bus, "listener").unwrap();
+        let publisher = talker.publisher::<u64>("/stream").unwrap();
+        let subscription = listener
+            .subscribe::<u64>("/stream", QosProfile::reliable(depth))
+            .unwrap();
+
+        for i in 0..publishes {
+            publisher.publish(i as u64).unwrap();
+            prop_assert!(subscription.len() <= depth);
+        }
+
+        let received = subscription.drain();
+        // In-order, consecutive, and ending at the last published value.
+        for pair in received.windows(2) {
+            prop_assert_eq!(pair[1].message, pair[0].message + 1);
+            prop_assert!(pair[1].sequence > pair[0].sequence);
+        }
+        if publishes > 0 {
+            prop_assert_eq!(received.last().unwrap().message, publishes as u64 - 1);
+        }
+        let evicted = subscription.evictions() as usize;
+        prop_assert_eq!(received.len() + evicted, publishes);
+        prop_assert_eq!(received.len(), publishes.min(depth));
+    }
+
+    /// Every subscriber receives every sample (up to its own depth),
+    /// independent of how many other subscribers exist.
+    #[test]
+    fn fanout_is_independent_per_subscriber(
+        subscribers in 1usize..6,
+        publishes in 1usize..30,
+    ) {
+        let bus = MessageBus::with_free_transport();
+        let talker = Node::new(&bus, "talker").unwrap();
+        let publisher = talker.publisher::<u32>("/fanout").unwrap();
+        let subs: Vec<_> = (0..subscribers)
+            .map(|i| {
+                let node = Node::new(&bus, &format!("listener_{i}")).unwrap();
+                node.subscribe::<u32>("/fanout", QosProfile::reliable(64)).unwrap()
+            })
+            .collect();
+        for i in 0..publishes {
+            publisher.publish(i as u32).unwrap();
+        }
+        for sub in &subs {
+            let received = sub.drain();
+            prop_assert_eq!(received.len(), publishes);
+        }
+    }
+
+    /// Transport latency is monotone in payload size and never negative.
+    #[test]
+    fn transport_latency_is_monotone_in_size(
+        small in 0usize..10_000,
+        extra in 1usize..1_000_000,
+    ) {
+        let model = CommLatencyModel::default();
+        let qos = QosProfile::default();
+        let a = model.transfer_latency(small, &qos);
+        let b = model.transfer_latency(small + extra, &qos);
+        prop_assert!(a >= 0.0);
+        prop_assert!(b > a);
+    }
+
+    /// Publish stamps are monotone in bus time and sequence numbers are
+    /// strictly increasing per topic.
+    #[test]
+    fn stamps_follow_bus_time(steps in proptest::collection::vec(0.0f64..5.0, 1..40)) {
+        let bus = MessageBus::with_free_transport();
+        let node = Node::new(&bus, "solo").unwrap();
+        let publisher = node.publisher::<u8>("/beat").unwrap();
+        let subscription = node.subscribe::<u8>("/beat", QosProfile::reliable(128)).unwrap();
+        for dt in &steps {
+            bus.advance_time(*dt);
+            publisher.publish(0).unwrap();
+        }
+        let samples = subscription.drain();
+        prop_assert_eq!(samples.len(), steps.len());
+        for pair in samples.windows(2) {
+            prop_assert!(pair[1].publish_time >= pair[0].publish_time);
+            prop_assert_eq!(pair[1].sequence, pair[0].sequence + 1);
+        }
+    }
+}

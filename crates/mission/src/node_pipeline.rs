@@ -1,0 +1,954 @@
+//! The mission pipeline run as a middleware node graph.
+//!
+//! The paper implements RoboRun "on top of the Robot Operating System
+//! (ROS), which provides inter-process communication" (Section III-A); the
+//! direct [`crate::MissionRunner`] collapses that transport into a modeled
+//! `comm` term. This module is the faithful alternative: the same
+//! perception → runtime → planning → control loop, but with every stage a
+//! named node on a [`roborun_middleware::MessageBus`] and every
+//! stage-to-stage hand-off an actual typed message on a topic. The
+//! communication slice of each decision's latency breakdown is then
+//! *measured* from the bytes that really crossed the bus rather than
+//! modeled, and the node graph / per-topic traffic can be inspected the way
+//! `rqt_graph` and `ros2 topic info` would show them.
+//!
+//! The physics-facing edge (reading the drone state, applying velocity
+//! commands at the 4 Hz control substep) stays a direct call, exactly as the
+//! flight-controller interface does on a real MAV.
+
+use crate::metrics::MissionMetrics;
+use crate::runner::{direction_towards, planning_bounds, zone_label, MissionConfig, MissionResult};
+use roborun_control::TrajectoryFollower;
+use roborun_core::{DecisionRecord, Governor, MissionTelemetry, Policy, Profilers, RuntimeMode, SpatialProfile};
+use roborun_env::Environment;
+use roborun_geom::Vec3;
+use roborun_middleware::{
+    CommLatencyModel, GraphInfo, Message, MessageBus, Node, Publisher, QosProfile, Subscription,
+};
+use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
+use roborun_planning::{PlanError, Planner, PlannerConfig, RrtConfig, Trajectory};
+use roborun_sim::{CameraRig, DroneState, SimClock, StoppingModel};
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Message types
+// ---------------------------------------------------------------------------
+
+/// A point cloud sample on `/sensors/points`.
+#[derive(Debug, Clone)]
+pub struct PointCloudMsg(pub PointCloud);
+
+impl Message for PointCloudMsg {
+    fn approx_size_bytes(&self) -> usize {
+        // origin + 3 × f64 per point, the size a PointCloud2 payload would
+        // have at this density.
+        24 + self.0.len() * 24
+    }
+    fn type_name() -> &'static str {
+        "roborun/PointCloud"
+    }
+}
+
+/// Drone odometry on `/sensors/odometry`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OdometryMsg {
+    /// Position (metres).
+    pub position: Vec3,
+    /// Velocity vector (m/s).
+    pub velocity: Vec3,
+    /// Ground speed (m/s).
+    pub speed: f64,
+}
+
+impl Message for OdometryMsg {
+    fn approx_size_bytes(&self) -> usize {
+        56
+    }
+    fn type_name() -> &'static str {
+        "roborun/Odometry"
+    }
+}
+
+/// The profiled spatial state on `/runtime/profile`.
+#[derive(Debug, Clone)]
+pub struct ProfileMsg(pub SpatialProfile);
+
+impl Message for ProfileMsg {
+    fn approx_size_bytes(&self) -> usize {
+        96 + self.0.upcoming_waypoints.len() * 40
+    }
+    fn type_name() -> &'static str {
+        "roborun/SpatialProfile"
+    }
+}
+
+/// The governor's policy on `/runtime/policy`.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyMsg(pub Policy);
+
+impl Message for PolicyMsg {
+    fn approx_size_bytes(&self) -> usize {
+        80
+    }
+    fn type_name() -> &'static str {
+        "roborun/Policy"
+    }
+}
+
+/// The pruned planner map on `/perception/planner_map`.
+#[derive(Debug, Clone)]
+pub struct PlannerMapMsg(pub PlannerMap);
+
+impl Message for PlannerMapMsg {
+    fn approx_size_bytes(&self) -> usize {
+        // Two corners per occupied box.
+        32 + self.0.len() * 48
+    }
+    fn type_name() -> &'static str {
+        "roborun/PlannerMap"
+    }
+}
+
+/// A freshly planned trajectory on `/planning/trajectory`.
+#[derive(Debug, Clone)]
+pub struct TrajectoryMsg(pub Trajectory);
+
+impl Message for TrajectoryMsg {
+    fn approx_size_bytes(&self) -> usize {
+        16 + self.0.len() * 56
+    }
+    fn type_name() -> &'static str {
+        "roborun/Trajectory"
+    }
+}
+
+/// Planner feedback on `/planning/feedback`.
+///
+/// The perception node listens to this to fall back to the worst-case
+/// export precision when the planner reports that the drone's own position
+/// is swallowed by a coarse occupied voxel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanningFeedbackMsg {
+    /// `true` when the last planning attempt failed because the start
+    /// position was inside an occupied region of the exported map.
+    pub start_blocked: bool,
+}
+
+impl Message for PlanningFeedbackMsg {
+    fn approx_size_bytes(&self) -> usize {
+        8
+    }
+    fn type_name() -> &'static str {
+        "roborun/PlanningFeedback"
+    }
+}
+
+/// Controller progress feedback on `/control/status`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlStatusMsg {
+    /// `true` when the active trajectory has been completed.
+    pub finished: bool,
+    /// Progress (seconds of trajectory time) along the active trajectory.
+    pub progress_time: f64,
+    /// Current cross-track error (metres).
+    pub tracking_error: f64,
+}
+
+impl Message for ControlStatusMsg {
+    fn approx_size_bytes(&self) -> usize {
+        24
+    }
+    fn type_name() -> &'static str {
+        "roborun/ControlStatus"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline nodes
+// ---------------------------------------------------------------------------
+
+struct SensorNode {
+    rig: CameraRig,
+    points_pub: Publisher<PointCloudMsg>,
+    odom_pub: Publisher<OdometryMsg>,
+}
+
+impl SensorNode {
+    fn new(node: &Node, rig: CameraRig) -> Self {
+        SensorNode {
+            rig,
+            points_pub: node.publisher("/sensors/points").expect("points topic"),
+            odom_pub: node.publisher("/sensors/odometry").expect("odometry topic"),
+        }
+    }
+
+    fn spin(&self, env: &Environment, drone: &DroneState) {
+        let pose = drone.pose();
+        let scan = self.rig.capture(env.field(), &pose);
+        let cloud = PointCloud::new(pose.position, scan.points);
+        let _ = self.points_pub.publish(PointCloudMsg(cloud));
+        let _ = self.odom_pub.publish(OdometryMsg {
+            position: drone.position,
+            velocity: drone.velocity,
+            speed: drone.speed(),
+        });
+    }
+}
+
+struct PerceptionNode {
+    map: OccupancyMap,
+    profilers: Profilers,
+    map_retain_radius: f64,
+    cloud_sub: Subscription<PointCloudMsg>,
+    odom_sub: Subscription<OdometryMsg>,
+    policy_sub: Subscription<PolicyMsg>,
+    trajectory_sub: Subscription<TrajectoryMsg>,
+    feedback_sub: Subscription<PlanningFeedbackMsg>,
+    profile_pub: Publisher<ProfileMsg>,
+    map_pub: Publisher<PlannerMapMsg>,
+    latest_cloud: Option<PointCloud>,
+    latest_odom: Option<OdometryMsg>,
+    latest_policy: Option<Policy>,
+    latest_trajectory: Option<Trajectory>,
+    planner_start_blocked: bool,
+}
+
+impl PerceptionNode {
+    fn new(node: &Node, config: &MissionConfig, map_resolution: f64) -> Self {
+        PerceptionNode {
+            map: OccupancyMap::new(map_resolution),
+            profilers: config.profilers.clone(),
+            map_retain_radius: config.map_retain_radius,
+            cloud_sub: node
+                .subscribe("/sensors/points", QosProfile::sensor_data())
+                .expect("points subscription"),
+            odom_sub: node
+                .subscribe("/sensors/odometry", QosProfile::sensor_data())
+                .expect("odometry subscription"),
+            policy_sub: node
+                .subscribe("/runtime/policy", QosProfile::latched(1))
+                .expect("policy subscription"),
+            trajectory_sub: node
+                .subscribe("/planning/trajectory", QosProfile::latched(1))
+                .expect("trajectory subscription"),
+            feedback_sub: node
+                .subscribe("/planning/feedback", QosProfile::latched(1))
+                .expect("feedback subscription"),
+            profile_pub: node.publisher("/runtime/profile").expect("profile topic"),
+            map_pub: node.publisher("/perception/planner_map").expect("planner map topic"),
+            latest_cloud: None,
+            latest_odom: None,
+            latest_policy: None,
+            latest_trajectory: None,
+            planner_start_blocked: false,
+        }
+    }
+
+    /// First half of the perception stage: ingest the newest sensor data
+    /// and publish the profiled spatial state the governor needs.
+    fn profile_spin(&mut self, goal: Vec3) {
+        if let Some(sample) = self.cloud_sub.latest() {
+            self.latest_cloud = Some(sample.message.0);
+        }
+        if let Some(sample) = self.odom_sub.latest() {
+            self.latest_odom = Some(sample.message);
+        }
+        if let Some(sample) = self.trajectory_sub.latest() {
+            self.latest_trajectory = Some(sample.message.0);
+        }
+        let (Some(cloud), Some(odom)) = (self.latest_cloud.as_ref(), self.latest_odom) else {
+            return;
+        };
+        let heading = direction_towards(odom.position, goal, odom.velocity);
+        let profile = self.profilers.profile(
+            cloud,
+            &self.map,
+            self.latest_trajectory.as_ref(),
+            odom.position,
+            odom.speed,
+            heading,
+        );
+        let _ = self.profile_pub.publish(ProfileMsg(profile));
+    }
+
+    /// Second half of the perception stage: apply the governor's precision
+    /// and volume operators, update the occupancy map and publish the
+    /// pruned planner map.
+    fn map_spin(&mut self) {
+        if let Some(sample) = self.policy_sub.latest() {
+            self.latest_policy = Some(sample.message.0);
+        }
+        if let Some(sample) = self.feedback_sub.latest() {
+            self.planner_start_blocked = sample.message.start_blocked;
+        }
+        let (Some(cloud), Some(odom), Some(policy)) =
+            (self.latest_cloud.as_ref(), self.latest_odom, self.latest_policy)
+        else {
+            return;
+        };
+        let knobs = policy.knobs;
+        let downsampled = cloud.downsampled(knobs.point_cloud_precision);
+        let limited = downsampled.volume_limited(odom.position, knobs.octomap_volume);
+        let carve_step = knobs.point_cloud_precision.max(0.5);
+        self.map.integrate_cloud(&limited, carve_step);
+        self.map.retain_within(odom.position, self.map_retain_radius);
+        // When the planner reported that the drone's own position is
+        // swallowed by a coarse occupied voxel, export at the worst-case
+        // (finest) precision until it recovers — the same fallback a
+        // spatial-oblivious pipeline gets for free.
+        let export_precision = if self.planner_start_blocked {
+            self.map.resolution()
+        } else {
+            knobs.map_to_planner_precision
+        };
+        let export = PlannerMap::export(
+            &self.map,
+            &ExportConfig::new(export_precision, knobs.map_to_planner_volume, odom.position),
+        );
+        let _ = self.map_pub.publish(PlannerMapMsg(export));
+    }
+}
+
+struct RuntimeNode {
+    governor: Governor,
+    profile_sub: Subscription<ProfileMsg>,
+    policy_pub: Publisher<PolicyMsg>,
+    latest_profile: Option<SpatialProfile>,
+}
+
+impl RuntimeNode {
+    fn new(node: &Node, governor: Governor) -> Self {
+        RuntimeNode {
+            governor,
+            profile_sub: node
+                .subscribe("/runtime/profile", QosProfile::reliable(2))
+                .expect("profile subscription"),
+            policy_pub: node.publisher("/runtime/policy").expect("policy topic"),
+            latest_profile: None,
+        }
+    }
+
+    fn spin(&mut self) -> Option<Policy> {
+        if let Some(sample) = self.profile_sub.latest() {
+            self.latest_profile = Some(sample.message.0);
+        }
+        let profile = self.latest_profile.as_ref()?;
+        let policy = self.governor.decide(profile);
+        let _ = self.policy_pub.publish(PolicyMsg(policy));
+        Some(policy)
+    }
+
+    /// The velocity the runtime allows for the next epoch given the actual
+    /// decision latency.
+    fn commanded_velocity(&self, mode: RuntimeMode, latency: f64) -> f64 {
+        match mode {
+            RuntimeMode::SpatialOblivious => self.governor.baseline_velocity(),
+            RuntimeMode::SpatialAware => {
+                let visibility = self
+                    .latest_profile
+                    .as_ref()
+                    .map(|p| p.visibility)
+                    .unwrap_or(self.governor.config().oblivious_visibility);
+                self.governor.safe_velocity(latency, visibility)
+            }
+        }
+    }
+
+    fn latest_visibility(&self) -> f64 {
+        self.latest_profile
+            .as_ref()
+            .map(|p| p.visibility)
+            .unwrap_or(self.governor.config().oblivious_visibility)
+    }
+}
+
+struct PlanningNode {
+    seed_base: u64,
+    margin: f64,
+    planning_horizon: f64,
+    replan_every: usize,
+    stopping: StoppingModel,
+    map_sub: Subscription<PlannerMapMsg>,
+    policy_sub: Subscription<PolicyMsg>,
+    odom_sub: Subscription<OdometryMsg>,
+    status_sub: Subscription<ControlStatusMsg>,
+    trajectory_pub: Publisher<TrajectoryMsg>,
+    feedback_pub: Publisher<PlanningFeedbackMsg>,
+    latest_map: Option<PlannerMap>,
+    latest_policy: Option<Policy>,
+    latest_odom: Option<OdometryMsg>,
+    latest_status: Option<ControlStatusMsg>,
+    active_trajectory: Option<Trajectory>,
+    decisions_since_plan: usize,
+    decisions: usize,
+    emergency_stop: bool,
+}
+
+impl PlanningNode {
+    fn new(node: &Node, config: &MissionConfig, env_seed: u64) -> Self {
+        PlanningNode {
+            seed_base: config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(env_seed),
+            margin: config.drone.body_radius * config.planning_margin_factor,
+            planning_horizon: config.planning_horizon,
+            replan_every: config.replan_every,
+            stopping: StoppingModel::paper_default(),
+            map_sub: node
+                .subscribe("/perception/planner_map", QosProfile::reliable(2))
+                .expect("planner map subscription"),
+            policy_sub: node
+                .subscribe("/runtime/policy", QosProfile::latched(1))
+                .expect("policy subscription"),
+            odom_sub: node
+                .subscribe("/sensors/odometry", QosProfile::sensor_data())
+                .expect("odometry subscription"),
+            status_sub: node
+                .subscribe("/control/status", QosProfile::reliable(2))
+                .expect("status subscription"),
+            trajectory_pub: node.publisher("/planning/trajectory").expect("trajectory topic"),
+            feedback_pub: node.publisher("/planning/feedback").expect("feedback topic"),
+            latest_map: None,
+            latest_policy: None,
+            latest_odom: None,
+            latest_status: None,
+            active_trajectory: None,
+            decisions_since_plan: usize::MAX / 2,
+            decisions: 0,
+            emergency_stop: false,
+        }
+    }
+
+    /// `true` when the active trajectory was found to collide with the
+    /// latest map and no replacement plan was produced this decision — the
+    /// controller must brake until a valid plan exists.
+    fn emergency_stop_needed(&self) -> bool {
+        self.emergency_stop
+    }
+
+    fn local_goal(&self, env: &Environment, export: &PlannerMap, position: Vec3) -> Vec3 {
+        let goal = env.goal();
+        let to_goal = goal - position;
+        let distance = to_goal.norm();
+        if distance <= self.planning_horizon {
+            return goal;
+        }
+        let dir = to_goal / distance;
+        let base = position + dir * self.planning_horizon;
+        let probe_margin = self.margin * 0.9;
+        if !export.is_occupied(base, probe_margin) {
+            return base;
+        }
+        let lateral = Vec3::new(-dir.y, dir.x, 0.0);
+        for offset in [4.0, -4.0, 8.0, -8.0, 14.0, -14.0, 20.0, -20.0] {
+            let candidate = base + lateral * offset;
+            if env.bounds().contains(candidate) && !export.is_occupied(candidate, probe_margin) {
+                return candidate;
+            }
+        }
+        base
+    }
+
+    /// Distance from the drone to the first remaining-trajectory point that
+    /// collides with the latest map, or `None` when the trajectory is clear.
+    fn first_blockage_distance(&self, position: Vec3) -> Option<f64> {
+        let (Some(trajectory), Some(map)) =
+            (self.active_trajectory.as_ref(), self.latest_map.as_ref())
+        else {
+            return None;
+        };
+        let progress = self.latest_status.map(|s| s.progress_time).unwrap_or(0.0);
+        trajectory
+            .remaining_from(progress)
+            .points()
+            .iter()
+            .find(|p| map.is_occupied(p.position, self.margin * 0.6))
+            .map(|p| p.position.distance(position))
+    }
+
+    fn spin(&mut self, env: &Environment, commanded_velocity: f64) {
+        self.decisions += 1;
+        self.decisions_since_plan += 1;
+        if let Some(sample) = self.map_sub.latest() {
+            self.latest_map = Some(sample.message.0);
+        }
+        if let Some(sample) = self.policy_sub.latest() {
+            self.latest_policy = Some(sample.message.0);
+        }
+        if let Some(sample) = self.odom_sub.latest() {
+            self.latest_odom = Some(sample.message);
+        }
+        if let Some(sample) = self.status_sub.latest() {
+            self.latest_status = Some(sample.message);
+        }
+        let (Some(map), Some(policy), Some(odom)) = (
+            self.latest_map.as_ref(),
+            self.latest_policy,
+            self.latest_odom,
+        ) else {
+            return;
+        };
+        let finished = self
+            .latest_status
+            .map(|s| s.finished)
+            .unwrap_or(self.active_trajectory.is_none());
+        let blockage = self.first_blockage_distance(odom.position);
+        // Brake only when the blockage sits inside the stopping range: the
+        // budget law (Eq. 1) guarantees the MAV can react to anything it
+        // sees that close, while blockages further out leave time to keep
+        // flying and replan.
+        let imminent_blockage = blockage.is_some_and(|distance| {
+            // Stopping distance plus one second of reaction (≈ one decision
+            // epoch of continued motion before the next chance to brake).
+            distance <= self.stopping.stopping_distance(odom.speed) + odom.speed + 2.0 * self.margin
+        });
+        let need_plan = self.active_trajectory.is_none()
+            || finished
+            || self.decisions_since_plan >= self.replan_every
+            || blockage.is_some();
+        self.emergency_stop = false;
+        if !need_plan {
+            return;
+        }
+        let knobs = policy.knobs;
+        let local_goal = self.local_goal(env, map, odom.position);
+        let bounds = planning_bounds(odom.position, local_goal, env.bounds());
+        let planner = Planner::new(PlannerConfig {
+            rrt: RrtConfig {
+                seed: self.seed_base.wrapping_add(self.decisions as u64),
+                max_explored_volume: knobs.planner_volume,
+                max_samples: 900,
+                ..RrtConfig::default()
+            },
+            margin: self.margin,
+            collision_check_step: knobs.map_to_planner_precision.max(0.3),
+            ..PlannerConfig::default()
+        });
+        let outcome = planner.plan(
+            map,
+            odom.position,
+            local_goal,
+            &bounds,
+            commanded_velocity.max(0.5),
+        );
+        // Tell perception whether the exported map swallowed our own
+        // position, so it can fall back to the worst-case export precision.
+        let _ = self.feedback_pub.publish(PlanningFeedbackMsg {
+            start_blocked: matches!(outcome, Err(PlanError::StartBlocked)),
+        });
+        match outcome {
+            Ok((trajectory, _stats)) => {
+                self.active_trajectory = Some(trajectory.clone());
+                self.decisions_since_plan = 0;
+                let _ = self.trajectory_pub.publish(TrajectoryMsg(trajectory));
+            }
+            Err(_) if imminent_blockage => {
+                // The old trajectory collides within stopping range and no
+                // replacement was found: ask the controller to brake
+                // (Eq. 1's stopping-distance reaction) and drop the stale
+                // trajectory.
+                self.active_trajectory = None;
+                self.emergency_stop = true;
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+struct ControlNode {
+    follower: Option<TrajectoryFollower>,
+    lookahead: f64,
+    trajectory_sub: Subscription<TrajectoryMsg>,
+    status_pub: Publisher<ControlStatusMsg>,
+    last_tracking_error: f64,
+}
+
+impl ControlNode {
+    fn new(node: &Node) -> Self {
+        ControlNode {
+            follower: None,
+            lookahead: 0.5,
+            trajectory_sub: node
+                .subscribe("/planning/trajectory", QosProfile::latched(1))
+                .expect("trajectory subscription"),
+            status_pub: node.publisher("/control/status").expect("status topic"),
+            last_tracking_error: 0.0,
+        }
+    }
+
+    /// Adopts the newest trajectory (if one arrived) at the start of the
+    /// epoch.
+    fn begin_epoch(&mut self) {
+        if let Some(sample) = self.trajectory_sub.latest() {
+            let trajectory = sample.message.0;
+            match self.follower.as_mut() {
+                Some(f) => f.replace_trajectory(trajectory),
+                None => self.follower = Some(TrajectoryFollower::new(trajectory, self.lookahead)),
+            }
+        }
+    }
+
+    /// Drops the active trajectory so the drone brakes and hovers until a
+    /// new plan arrives.
+    fn brake(&mut self) {
+        self.follower = None;
+    }
+
+    /// One control substep: where to steer and how fast. Returns `None`
+    /// when no trajectory is active (hover in place).
+    fn update(&mut self, position: Vec3, dt: f64) -> Option<(Vec3, f64)> {
+        let follower = self.follower.as_mut()?;
+        if follower.finished() {
+            return None;
+        }
+        let cmd = follower.update(position, dt);
+        self.last_tracking_error = cmd.tracking_error;
+        Some((cmd.target, cmd.speed))
+    }
+
+    /// Publishes progress feedback at the end of the epoch.
+    fn end_epoch(&self) {
+        let (finished, progress) = match self.follower.as_ref() {
+            Some(f) => (f.finished(), f.progress_time()),
+            None => (true, 0.0),
+        };
+        let _ = self.status_pub.publish(ControlStatusMsg {
+            finished,
+            progress_time: progress,
+            tracking_error: self.last_tracking_error,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pipeline coordinator
+// ---------------------------------------------------------------------------
+
+/// Configuration of a node-graph mission run.
+#[derive(Debug, Clone)]
+pub struct NodePipelineConfig {
+    /// The underlying mission configuration (mode, drone, models, caps).
+    pub mission: MissionConfig,
+    /// Transport-cost model for the bus.
+    pub comm: CommLatencyModel,
+}
+
+impl NodePipelineConfig {
+    /// A default node-pipeline configuration for the given runtime mode.
+    pub fn new(mode: RuntimeMode) -> Self {
+        NodePipelineConfig {
+            mission: MissionConfig::new(mode),
+            comm: CommLatencyModel::default(),
+        }
+    }
+}
+
+/// Outcome of a node-graph mission run.
+#[derive(Debug, Clone)]
+pub struct NodePipelineResult {
+    /// The same metrics/telemetry a direct [`crate::MissionRunner`] run
+    /// produces (the `communication` slice of each breakdown is measured
+    /// from bus traffic).
+    pub mission: MissionResult,
+    /// Snapshot of the node graph and per-topic traffic at mission end.
+    pub graph: GraphInfo,
+    /// Measured transport latency charged per decision (seconds).
+    pub comm_per_decision: Vec<f64>,
+}
+
+/// Runs missions through the middleware node graph.
+#[derive(Debug, Clone)]
+pub struct NodePipeline {
+    config: NodePipelineConfig,
+}
+
+impl NodePipeline {
+    /// Creates a pipeline runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drone configuration is invalid.
+    pub fn new(config: NodePipelineConfig) -> Self {
+        config
+            .mission
+            .drone
+            .validate()
+            .expect("invalid drone configuration");
+        NodePipeline { config }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &NodePipelineConfig {
+        &self.config
+    }
+
+    /// Runs one mission in the given environment, returning the mission
+    /// result plus the node-graph view of it.
+    pub fn run(&self, env: &Environment) -> NodePipelineResult {
+        let cfg = &self.config.mission;
+        let bus = MessageBus::new(self.config.comm);
+        let governor = Governor::new(cfg.governor_config());
+        let map_resolution = governor.config().ranges.precision_min;
+
+        // Node handles. The coordinator (flight interface) owns the drone
+        // state and the physics stepping, like the autopilot board would.
+        let sensor_host = Node::new(&bus, "camera_rig").expect("sensor node");
+        let perception_host = Node::new(&bus, "perception").expect("perception node");
+        let runtime_host = Node::new(&bus, "runtime_governor").expect("runtime node");
+        let planning_host = Node::new(&bus, "planner").expect("planning node");
+        let control_host = Node::new(&bus, "controller").expect("control node");
+
+        let sensor = SensorNode::new(&sensor_host, cfg.camera_rig());
+        let mut perception = PerceptionNode::new(&perception_host, cfg, map_resolution);
+        let mut runtime = RuntimeNode::new(&runtime_host, governor);
+        let mut planning = PlanningNode::new(&planning_host, cfg, env.seed());
+        let mut control = ControlNode::new(&control_host);
+
+        let mut drone = DroneState::at(env.start());
+        let mut clock = SimClock::new();
+        let mut telemetry = MissionTelemetry::new(cfg.mode);
+        let mut flown_path = vec![drone.position];
+        let mut comm_per_decision = Vec::new();
+        let mut energy_joules = 0.0;
+        let mut collided = false;
+        let mut reached_goal = false;
+        let mut decisions = 0usize;
+        let mut comm_seen = 0.0;
+
+        while decisions < cfg.max_decisions && clock.now() < cfg.max_mission_time {
+            decisions += 1;
+            bus.set_time(clock.now());
+
+            // Sensor → perception profiling → governor → perception map →
+            // planning, all over topics.
+            sensor.spin(env, &drone);
+            perception.profile_spin(env.goal());
+            let Some(policy) = runtime.spin() else { break };
+            perception.map_spin();
+
+            let knobs = policy.knobs;
+            let mut breakdown = cfg.latency.decision_breakdown(
+                knobs.point_cloud_precision,
+                knobs.octomap_volume,
+                knobs.map_to_planner_precision,
+                knobs.map_to_planner_volume,
+                knobs.map_to_planner_precision,
+                knobs.planner_volume,
+                cfg.mode.is_aware(),
+            );
+            // Planning needs the commanded velocity; compute it from the
+            // model-predicted compute cost plus the comm charged so far this
+            // decision (the planning hop is added below and reflected in the
+            // recorded breakdown).
+            let comm_so_far = bus.total_transport_latency() - comm_seen;
+            let provisional_latency = breakdown.compute_total() + comm_so_far;
+            let commanded_velocity = runtime.commanded_velocity(cfg.mode, provisional_latency);
+
+            planning.spin(env, commanded_velocity);
+            control.begin_epoch();
+            if planning.emergency_stop_needed() {
+                control.brake();
+            }
+
+            // Replace the modeled comm term with what actually crossed the
+            // bus during this decision.
+            let comm_total = bus.total_transport_latency();
+            let comm_this_decision = comm_total - comm_seen;
+            comm_seen = comm_total;
+            breakdown.communication = comm_this_decision;
+            comm_per_decision.push(comm_this_decision);
+            let latency = breakdown.total();
+
+            let cpu_sample = cfg
+                .cpu
+                .sample(breakdown.compute_total(), latency.max(cfg.min_epoch));
+            telemetry.push(DecisionRecord {
+                time: clock.now(),
+                position: drone.position,
+                commanded_velocity,
+                visibility: runtime.latest_visibility(),
+                deadline: policy.deadline,
+                knobs,
+                breakdown,
+                cpu_utilization: cpu_sample.utilization,
+                zone: Some(zone_label(env.zone_at(drone.position))),
+            });
+
+            // Advance the physical world for the epoch.
+            let epoch = latency.max(cfg.min_epoch);
+            let substep = 0.25f64;
+            let mut remaining = epoch;
+            while remaining > 1e-9 {
+                let dt = substep.min(remaining);
+                remaining -= dt;
+                let (target, speed) = match control.update(drone.position, dt) {
+                    Some((target, speed)) => (target, speed.min(commanded_velocity)),
+                    // No active trajectory: brake along the current motion
+                    // direction (acceleration-limited), then hover.
+                    None => (drone.position + drone.velocity, 0.0),
+                };
+                drone.advance_towards(&cfg.drone, target, speed, dt);
+                energy_joules += cfg.energy.energy_for(drone.speed(), dt);
+                clock.advance(dt);
+                if env
+                    .field()
+                    .is_occupied_with_margin(drone.position, cfg.drone.body_radius * 0.8)
+                {
+                    collided = true;
+                    break;
+                }
+            }
+            control.end_epoch();
+            flown_path.push(drone.position);
+
+            if collided {
+                break;
+            }
+            if drone.position.distance(env.goal()) <= cfg.goal_tolerance {
+                reached_goal = true;
+                break;
+            }
+        }
+
+        let mission_time = clock.now().max(1e-9);
+        let metrics = MissionMetrics {
+            mode: cfg.mode,
+            mission_time,
+            energy_kj: energy_joules / 1000.0,
+            mean_velocity: drone.distance_travelled / mission_time,
+            mean_cpu_utilization: telemetry.mean_cpu_utilization(),
+            median_latency: telemetry.median_latency().unwrap_or(0.0),
+            decisions,
+            distance_travelled: drone.distance_travelled,
+            reached_goal,
+            collided,
+        };
+        let graph = GraphInfo::snapshot(&bus);
+        NodePipelineResult {
+            mission: MissionResult {
+                metrics,
+                telemetry,
+                flown_path,
+            },
+            graph,
+            comm_per_decision,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roborun_env::{DifficultyConfig, EnvironmentGenerator};
+
+    fn short_environment(seed: u64) -> Environment {
+        let cfg = DifficultyConfig {
+            obstacle_density: 0.35,
+            obstacle_spread: 40.0,
+            goal_distance: 120.0,
+        };
+        EnvironmentGenerator::new(cfg).generate(seed)
+    }
+
+    fn quick_config(mode: RuntimeMode) -> NodePipelineConfig {
+        let mut config = NodePipelineConfig::new(mode);
+        config.mission.max_decisions = 800;
+        config.mission.max_mission_time = 2_500.0;
+        config
+    }
+
+    #[test]
+    fn node_graph_mission_reaches_the_goal() {
+        let env = short_environment(21);
+        let pipeline = NodePipeline::new(quick_config(RuntimeMode::SpatialAware));
+        let result = pipeline.run(&env);
+        assert!(result.mission.metrics.reached_goal, "mission did not reach the goal");
+        assert!(!result.mission.metrics.collided);
+        assert_eq!(result.comm_per_decision.len(), result.mission.metrics.decisions);
+    }
+
+    #[test]
+    fn graph_contains_the_expected_nodes_and_topics() {
+        let env = short_environment(3);
+        let pipeline = NodePipeline::new(quick_config(RuntimeMode::SpatialAware));
+        let result = pipeline.run(&env);
+        let graph = &result.graph;
+        for node in ["camera_rig", "perception", "runtime_governor", "planner", "controller"] {
+            assert!(graph.nodes.iter().any(|n| n == node), "missing node {node}");
+        }
+        for topic in [
+            "/sensors/points",
+            "/sensors/odometry",
+            "/runtime/profile",
+            "/runtime/policy",
+            "/perception/planner_map",
+            "/planning/trajectory",
+            "/control/status",
+        ] {
+            let info = graph.topic(topic).unwrap_or_else(|| panic!("missing topic {topic}"));
+            assert!(info.stats.messages_published > 0, "no traffic on {topic}");
+        }
+        assert!(graph.total_bytes() > 0);
+        let dot = graph.to_dot();
+        assert!(dot.contains("/runtime/policy"));
+    }
+
+    #[test]
+    fn measured_comm_is_positive_and_heaviest_on_the_point_cloud() {
+        let env = short_environment(7);
+        let pipeline = NodePipeline::new(quick_config(RuntimeMode::SpatialAware));
+        let result = pipeline.run(&env);
+        assert!(result.comm_per_decision.iter().all(|&c| c >= 0.0));
+        assert!(result.comm_per_decision.iter().any(|&c| c > 0.0));
+        let graph = &result.graph;
+        let points = graph.topic("/sensors/points").unwrap().stats.bytes_published;
+        let policy = graph.topic("/runtime/policy").unwrap().stats.bytes_published;
+        assert!(points > policy, "point cloud traffic {points} vs policy {policy}");
+    }
+
+    #[test]
+    fn node_graph_preserves_the_aware_vs_oblivious_ordering() {
+        let env = short_environment(21);
+        let aware = NodePipeline::new(quick_config(RuntimeMode::SpatialAware)).run(&env);
+        let mut oblivious_cfg = quick_config(RuntimeMode::SpatialOblivious);
+        oblivious_cfg.mission.max_decisions = 1_500;
+        oblivious_cfg.mission.max_mission_time = 3_000.0;
+        let oblivious = NodePipeline::new(oblivious_cfg).run(&env);
+        assert!(oblivious.mission.metrics.reached_goal);
+        assert!(
+            aware.mission.metrics.mean_velocity > 1.5 * oblivious.mission.metrics.mean_velocity
+        );
+        assert!(aware.mission.metrics.mission_time < oblivious.mission.metrics.mission_time);
+        assert!(aware.mission.metrics.energy_kj < oblivious.mission.metrics.energy_kj);
+    }
+
+    #[test]
+    fn node_graph_matches_direct_runner_metrics_to_first_order() {
+        // The node-graph run and the direct runner share every model; the
+        // only difference is the measured (rather than modeled) comm term,
+        // so mission-level metrics must land in the same ballpark.
+        let env = short_environment(21);
+        let direct = crate::MissionRunner::new(crate::MissionConfig {
+            max_decisions: 800,
+            max_mission_time: 2_500.0,
+            ..crate::MissionConfig::new(RuntimeMode::SpatialAware)
+        })
+        .run(&env);
+        let graph = NodePipeline::new(quick_config(RuntimeMode::SpatialAware)).run(&env);
+        assert!(direct.metrics.reached_goal && graph.mission.metrics.reached_goal);
+        let ratio = graph.mission.metrics.mission_time / direct.metrics.mission_time;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "node-graph mission time diverged: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let env = short_environment(5);
+        let pipeline = NodePipeline::new(quick_config(RuntimeMode::SpatialAware));
+        let a = pipeline.run(&env);
+        let b = pipeline.run(&env);
+        assert_eq!(a.mission.metrics.decisions, b.mission.metrics.decisions);
+        assert!((a.mission.metrics.mission_time - b.mission.metrics.mission_time).abs() < 1e-9);
+        assert_eq!(a.comm_per_decision, b.comm_per_decision);
+    }
+}

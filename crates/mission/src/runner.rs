@@ -1,0 +1,718 @@
+//! The closed-loop mission runner.
+//!
+//! One [`MissionRunner::run`] call reproduces what the paper's HIL rig does
+//! for a single flight: the drone repeatedly senses, perceives, plans and
+//! flies until it reaches the goal (or crashes / times out), under either
+//! the RoboRun governor or the static baseline. The runner charges each
+//! decision the latency the calibrated compute model assigns to the knob
+//! values in force, advances the simulated drone for that long, and records
+//! the full telemetry the paper's figures are drawn from.
+
+use crate::metrics::MissionMetrics;
+use roborun_control::TrajectoryFollower;
+use roborun_core::{
+    DecisionRecord, Governor, GovernorConfig, KnobAblation, MissionTelemetry, Profilers,
+    RuntimeMode,
+};
+use roborun_env::{Environment, Zone};
+use roborun_geom::{Aabb, Vec3};
+use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
+use roborun_planning::{PlanError, Planner, PlannerConfig, RrtConfig};
+use roborun_sim::{
+    CameraRig, ComputeLatencyModel, CpuModel, DepthCamera, DroneConfig, DroneState,
+    EnergyModel, FaultConfig, FaultInjector, SimClock,
+};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one mission run.
+#[derive(Debug, Clone)]
+pub struct MissionConfig {
+    /// Runtime mode (RoboRun or the static baseline).
+    pub mode: RuntimeMode,
+    /// Drone platform limits.
+    pub drone: DroneConfig,
+    /// Profiler configuration.
+    pub profilers: Profilers,
+    /// Calibrated compute-latency model.
+    pub latency: ComputeLatencyModel,
+    /// Energy model.
+    pub energy: EnergyModel,
+    /// CPU-utilisation model.
+    pub cpu: CpuModel,
+    /// Distance at which the goal counts as reached (metres).
+    pub goal_tolerance: f64,
+    /// Hard cap on simulated mission time (seconds).
+    pub max_mission_time: f64,
+    /// Hard cap on the number of decisions.
+    pub max_decisions: usize,
+    /// Re-plan at least every this many decisions.
+    pub replan_every: usize,
+    /// Receding-horizon distance of the local planning goal (metres).
+    pub planning_horizon: f64,
+    /// Minimum decision epoch (seconds): even a very cheap decision only
+    /// advances the world by this much before the next one.
+    pub min_epoch: f64,
+    /// Map memory bound: voxels farther than this from the drone are
+    /// dropped (metres).
+    pub map_retain_radius: f64,
+    /// Planning clearance as a multiple of the body radius. Values above 1
+    /// keep planned paths away from *observed* obstacle surfaces, which
+    /// also protects against the unobserved sides of partially seen
+    /// obstacles (the depth cameras only ever see front faces).
+    pub planning_margin_factor: f64,
+    /// Ablation switch forwarded to the governor: `false` replaces the
+    /// waypoint-aware Algorithm 1 budget with the instantaneous Eq. 1
+    /// budget.
+    pub waypoint_budgeting: bool,
+    /// Per-knob ablation forwarded to the governor: frozen knobs stay at
+    /// their static Table II values while the rest keep adapting.
+    pub ablation: KnobAblation,
+    /// Sensing faults injected between the camera rig and the point-cloud
+    /// kernel (fog, dropouts, range noise). Healthy by default.
+    pub faults: FaultConfig,
+    /// Random seed for the stochastic planner.
+    pub seed: u64,
+}
+
+impl MissionConfig {
+    /// A default configuration for the given runtime mode.
+    ///
+    /// The camera rig used for sensing is the 6-camera rig with a reduced
+    /// per-camera resolution (the latency charged for perception comes from
+    /// the calibrated model, so the ray count only needs to be high enough
+    /// to populate the map faithfully).
+    pub fn new(mode: RuntimeMode) -> Self {
+        MissionConfig {
+            mode,
+            drone: DroneConfig::default(),
+            profilers: Profilers::default(),
+            latency: ComputeLatencyModel::calibrated(),
+            energy: EnergyModel::default(),
+            cpu: CpuModel::default(),
+            goal_tolerance: 6.0,
+            max_mission_time: 5_000.0,
+            max_decisions: 3_000,
+            replan_every: 6,
+            planning_horizon: 40.0,
+            min_epoch: 0.5,
+            map_retain_radius: 70.0,
+            planning_margin_factor: 1.7,
+            waypoint_budgeting: true,
+            ablation: KnobAblation::none(),
+            faults: FaultConfig::healthy(),
+            seed: 1,
+        }
+    }
+
+    /// The sensing rig: six cameras at reduced resolution.
+    pub fn camera_rig(&self) -> CameraRig {
+        CameraRig::new(
+            (0..6)
+                .map(|i| DepthCamera {
+                    h_res: 10,
+                    v_res: 5,
+                    ..DepthCamera::mounted_at(i as f64 * std::f64::consts::TAU / 6.0)
+                })
+                .collect(),
+        )
+    }
+
+    /// Governor configuration derived from this mission configuration.
+    pub fn governor_config(&self) -> GovernorConfig {
+        GovernorConfig {
+            mode: self.mode,
+            max_velocity: self.drone.max_speed,
+            oblivious_visibility: self.profilers.min_visibility,
+            waypoint_budgeting: self.waypoint_budgeting,
+            ablation: self.ablation,
+            ..GovernorConfig::default()
+        }
+    }
+}
+
+/// Outcome of one mission.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MissionResult {
+    /// Mission-level metrics (Fig. 7 quantities).
+    pub metrics: MissionMetrics,
+    /// Full per-decision telemetry (Figures 5, 10, 11).
+    pub telemetry: MissionTelemetry,
+    /// The trajectory of drone positions over the mission (one per
+    /// decision), for map plots like Fig. 9.
+    pub flown_path: Vec<Vec3>,
+}
+
+/// Runs missions in a given configuration.
+#[derive(Debug, Clone)]
+pub struct MissionRunner {
+    config: MissionConfig,
+}
+
+impl MissionRunner {
+    /// Creates a runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drone configuration is invalid.
+    pub fn new(config: MissionConfig) -> Self {
+        config.drone.validate().expect("invalid drone configuration");
+        MissionRunner { config }
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &MissionConfig {
+        &self.config
+    }
+
+    /// Runs one mission in the given environment.
+    pub fn run(&self, env: &Environment) -> MissionResult {
+        let cfg = &self.config;
+        let governor = Governor::new(cfg.governor_config());
+        let rig = cfg.camera_rig();
+        let planner_seed_base = cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(env.seed());
+
+        let mut fault_injector =
+            (!cfg.faults.is_healthy()).then(|| FaultInjector::new(cfg.faults));
+        let mut drone = DroneState::at(env.start());
+        let mut clock = SimClock::new();
+        let mut map = OccupancyMap::new(governor.config().ranges.precision_min);
+        let mut telemetry = MissionTelemetry::new(cfg.mode);
+        let mut flown_path = vec![drone.position];
+        let mut follower: Option<TrajectoryFollower> = None;
+        let mut energy_joules = 0.0;
+        let mut collided = false;
+        let mut reached_goal = false;
+        let mut decisions = 0usize;
+        let mut decisions_since_plan = usize::MAX / 2; // force an initial plan
+        let baseline_velocity = governor.baseline_velocity();
+        let planning_margin = cfg.drone.body_radius * cfg.planning_margin_factor;
+
+        while decisions < cfg.max_decisions && clock.now() < cfg.max_mission_time {
+            decisions += 1;
+
+            // ------------------------------------------------------ sensing
+            let pose = drone.pose();
+            let scan = rig.capture(env.field(), &pose);
+            let sensed_points = match fault_injector.as_mut() {
+                Some(injector) => injector.corrupt_sweep(pose.position, &scan.points),
+                None => scan.points.clone(),
+            };
+            let raw_cloud = PointCloud::new(pose.position, sensed_points);
+
+            // --------------------------------------------------- profiling
+            let heading = direction_towards(drone.position, env.goal(), drone.velocity);
+            let trajectory_ref = follower.as_ref().map(|f| f.trajectory().clone());
+            let mut profile = cfg.profilers.profile(
+                &raw_cloud,
+                &map,
+                trajectory_ref.as_ref(),
+                drone.position,
+                drone.speed(),
+                heading,
+            );
+            if let Some(injector) = fault_injector.as_ref() {
+                // Fog also limits how far the MAV can trust its view, which
+                // the deadline equation must see.
+                profile.visibility = profile.visibility.min(injector.visibility_cap());
+            }
+
+            // ---------------------------------------------------- governing
+            let policy = governor.decide(&profile);
+            let knobs = policy.knobs;
+
+            // ------------------------------------------- perception operators
+            let downsampled = raw_cloud.downsampled(knobs.point_cloud_precision);
+            let limited = downsampled.volume_limited(drone.position, knobs.octomap_volume);
+            // Substrate note: free-space carving uses a step no finer than
+            // 0.5 m regardless of the knob — the latency charged for the
+            // stage comes from the calibrated model, so the carve step only
+            // affects map fidelity, not the reported cost.
+            let carve_step = knobs.point_cloud_precision.max(0.5);
+            map.integrate_cloud(&limited, carve_step);
+            map.retain_within(drone.position, cfg.map_retain_radius);
+            let export = PlannerMap::export(
+                &map,
+                &ExportConfig::new(
+                    knobs.map_to_planner_precision,
+                    knobs.map_to_planner_volume,
+                    drone.position,
+                ),
+            );
+
+            // ------------------------------------------------ decision cost
+            let breakdown = cfg.latency.decision_breakdown(
+                knobs.point_cloud_precision,
+                knobs.octomap_volume,
+                knobs.map_to_planner_precision,
+                knobs.map_to_planner_volume,
+                knobs.map_to_planner_precision,
+                knobs.planner_volume,
+                cfg.mode.is_aware(),
+            );
+            let latency = breakdown.total();
+
+            // ------------------------------------------------- safe velocity
+            let commanded_velocity = match cfg.mode {
+                RuntimeMode::SpatialOblivious => baseline_velocity,
+                RuntimeMode::SpatialAware => governor.safe_velocity(latency, profile.visibility),
+            };
+
+            // --------------------------------------------------- (re)planning
+            decisions_since_plan += 1;
+            let blockage = first_blockage_distance(
+                follower.as_ref(),
+                &export,
+                planning_margin,
+                drone.position,
+            );
+            let need_plan = follower.as_ref().map(|f| f.finished()).unwrap_or(true)
+                || decisions_since_plan >= cfg.replan_every
+                || blockage.is_some();
+            let mut replanned = false;
+            if need_plan {
+                let local_goal = self.local_goal(env, &export, drone.position);
+                let bounds = planning_bounds(drone.position, local_goal, env.bounds());
+                let planner = Planner::new(PlannerConfig {
+                    rrt: RrtConfig {
+                        seed: planner_seed_base.wrapping_add(decisions as u64),
+                        max_explored_volume: knobs.planner_volume,
+                        max_samples: 900,
+                        ..RrtConfig::default()
+                    },
+                    margin: planning_margin,
+                    collision_check_step: knobs.map_to_planner_precision.max(0.3),
+                    ..PlannerConfig::default()
+                });
+                let mut outcome = planner.plan(
+                    &export,
+                    drone.position,
+                    local_goal,
+                    &bounds,
+                    commanded_velocity.max(0.5),
+                );
+                if matches!(outcome, Err(PlanError::StartBlocked)) {
+                    // A coarse export voxel can swallow the drone's own
+                    // (physically free) position. Fall back to the
+                    // worst-case export precision for this plan — the same
+                    // recovery a spatial-oblivious pipeline gets for free.
+                    let fine_export = PlannerMap::export(
+                        &map,
+                        &ExportConfig::new(
+                            map.resolution(),
+                            knobs.map_to_planner_volume,
+                            drone.position,
+                        ),
+                    );
+                    outcome = planner.plan(
+                        &fine_export,
+                        drone.position,
+                        local_goal,
+                        &bounds,
+                        commanded_velocity.max(0.5),
+                    );
+                }
+                if let Ok((trajectory, _stats)) = outcome {
+                    match follower.as_mut() {
+                        Some(f) => f.replace_trajectory(trajectory),
+                        None => follower = Some(TrajectoryFollower::new(trajectory, 0.5)),
+                    }
+                    decisions_since_plan = 0;
+                    replanned = true;
+                }
+            }
+            // Emergency stop: the remaining trajectory collides with the
+            // freshly observed map *within stopping range* and no
+            // replacement was found this decision — brake and hover until a
+            // valid plan exists. This is the reaction the stopping-distance
+            // term of Eq. 1 budgets for. Blockages further out leave time to
+            // keep flying while replanning (and coarse-voxel false positives
+            // resolve as the MAV gets close and precision tightens).
+            if let (Some(distance), false) = (blockage, replanned) {
+                let stop_distance = governor
+                    .config()
+                    .budgeter
+                    .stopping
+                    .stopping_distance(drone.speed());
+                // Reaction distance: the drone keeps moving for one decision
+                // epoch before the next chance to brake.
+                let reaction = drone.speed() * latency.max(cfg.min_epoch);
+                if distance <= stop_distance + reaction + 2.0 * cfg.drone.body_radius {
+                    follower = None;
+                }
+            }
+
+            // --------------------------------------------------- record
+            let cpu_sample = cfg
+                .cpu
+                .sample(breakdown.compute_total(), latency.max(cfg.min_epoch));
+            telemetry.push(DecisionRecord {
+                time: clock.now(),
+                position: drone.position,
+                commanded_velocity,
+                visibility: profile.visibility,
+                deadline: policy.deadline,
+                knobs,
+                breakdown,
+                cpu_utilization: cpu_sample.utilization,
+                zone: Some(zone_label(env.zone_at(drone.position))),
+            });
+
+            // ----------------------------------------- advance the world
+            let epoch = latency.max(cfg.min_epoch);
+            let substep = 0.25f64;
+            let mut remaining = epoch;
+            while remaining > 1e-9 {
+                let dt = substep.min(remaining);
+                remaining -= dt;
+                let (target, speed) = match follower.as_mut() {
+                    Some(f) if !f.finished() => {
+                        let cmd = f.update(drone.position, dt);
+                        (cmd.target, cmd.speed.min(commanded_velocity))
+                    }
+                    // No active trajectory: brake along the current motion
+                    // direction (acceleration-limited), then hover.
+                    _ => (drone.position + drone.velocity, 0.0),
+                };
+                drone.advance_towards(&cfg.drone, target, speed, dt);
+                energy_joules += cfg.energy.energy_for(drone.speed(), dt);
+                clock.advance(dt);
+                if env
+                    .field()
+                    .is_occupied_with_margin(drone.position, cfg.drone.body_radius * 0.8)
+                {
+                    collided = true;
+                    break;
+                }
+            }
+            flown_path.push(drone.position);
+
+            if collided {
+                break;
+            }
+            if drone.position.distance(env.goal()) <= cfg.goal_tolerance {
+                reached_goal = true;
+                break;
+            }
+        }
+
+        let mission_time = clock.now().max(1e-9);
+        let metrics = MissionMetrics {
+            mode: cfg.mode,
+            mission_time,
+            energy_kj: energy_joules / 1000.0,
+            mean_velocity: drone.distance_travelled / mission_time,
+            mean_cpu_utilization: telemetry.mean_cpu_utilization(),
+            median_latency: telemetry.median_latency().unwrap_or(0.0),
+            decisions,
+            distance_travelled: drone.distance_travelled,
+            reached_goal,
+            collided,
+        };
+        MissionResult {
+            metrics,
+            telemetry,
+            flown_path,
+        }
+    }
+
+    /// Receding-horizon local goal: a free point towards the mission goal,
+    /// at most `planning_horizon` metres ahead, nudged laterally when the
+    /// direct candidate is blocked in the exported map.
+    fn local_goal(&self, env: &Environment, export: &PlannerMap, position: Vec3) -> Vec3 {
+        let goal = env.goal();
+        let to_goal = goal - position;
+        let distance = to_goal.norm();
+        if distance <= self.config.planning_horizon {
+            return goal;
+        }
+        let dir = to_goal / distance;
+        let base = position + dir * self.config.planning_horizon;
+        let margin = self.config.drone.body_radius * 1.5;
+        if !export.is_occupied(base, margin) {
+            return base;
+        }
+        let lateral = Vec3::new(-dir.y, dir.x, 0.0);
+        for offset in [4.0, -4.0, 8.0, -8.0, 14.0, -14.0, 20.0, -20.0] {
+            let candidate = base + lateral * offset;
+            if env.bounds().contains(candidate) && !export.is_occupied(candidate, margin) {
+                return candidate;
+            }
+        }
+        base
+    }
+}
+
+/// Direction of travel used for the unknown-space probe: the current
+/// velocity when moving, otherwise straight at the goal.
+pub(crate) fn direction_towards(position: Vec3, goal: Vec3, velocity: Vec3) -> Vec3 {
+    if velocity.norm() > 0.3 {
+        velocity
+    } else {
+        goal - position
+    }
+}
+
+/// Distance (metres, straight-line from `position`) to the first point of
+/// the remaining trajectory that collides with the freshly exported map, or
+/// `None` when the remaining trajectory is clear (knowledge gained since
+/// the last plan has not invalidated it).
+pub(crate) fn first_blockage_distance(
+    follower: Option<&TrajectoryFollower>,
+    export: &PlannerMap,
+    margin: f64,
+    position: Vec3,
+) -> Option<f64> {
+    let f = follower?;
+    let remaining = f.trajectory().remaining_from(f.progress_time());
+    remaining
+        .points()
+        .iter()
+        .find(|p| export.is_occupied(p.position, margin * 0.6))
+        .map(|p| p.position.distance(position))
+}
+
+/// Axis-aligned sampling bounds for the local planning problem.
+pub(crate) fn planning_bounds(start: Vec3, goal: Vec3, world: Aabb) -> Aabb {
+    let corridor = Aabb::new(start, goal).inflate(25.0);
+    corridor
+        .intersection(&world)
+        .unwrap_or(corridor)
+}
+
+/// Zone enum → the single-character label used in telemetry.
+pub(crate) fn zone_label(zone: Zone) -> char {
+    match zone {
+        Zone::A => 'A',
+        Zone::B => 'B',
+        Zone::C => 'C',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roborun_env::{DifficultyConfig, EnvironmentGenerator};
+
+    /// A short mission (120 m) so unit tests stay fast.
+    fn short_environment(seed: u64) -> Environment {
+        let cfg = DifficultyConfig {
+            obstacle_density: 0.35,
+            obstacle_spread: 40.0,
+            goal_distance: 120.0,
+        };
+        EnvironmentGenerator::new(cfg).generate(seed)
+    }
+
+    fn quick_config(mode: RuntimeMode) -> MissionConfig {
+        MissionConfig {
+            max_decisions: 600,
+            max_mission_time: 1_500.0,
+            ..MissionConfig::new(mode)
+        }
+    }
+
+    #[test]
+    fn aware_mission_reaches_goal() {
+        let env = short_environment(21);
+        let runner = MissionRunner::new(quick_config(RuntimeMode::SpatialAware));
+        let result = runner.run(&env);
+        assert!(result.metrics.reached_goal, "mission did not reach the goal");
+        assert!(!result.metrics.collided, "mission collided");
+        assert!(result.metrics.mission_time > 0.0);
+        assert!(result.metrics.decisions > 1);
+        assert!(result.metrics.distance_travelled >= 100.0);
+        assert!(!result.telemetry.is_empty());
+        assert_eq!(result.telemetry.len(), result.metrics.decisions);
+        assert!(result.flown_path.len() > 2);
+    }
+
+    #[test]
+    fn oblivious_mission_reaches_goal_slowly() {
+        let env = short_environment(21);
+        let aware = MissionRunner::new(quick_config(RuntimeMode::SpatialAware)).run(&env);
+        let oblivious_cfg = MissionConfig {
+            max_decisions: 1_500,
+            max_mission_time: 3_000.0,
+            ..MissionConfig::new(RuntimeMode::SpatialOblivious)
+        };
+        let oblivious = MissionRunner::new(oblivious_cfg).run(&env);
+        assert!(oblivious.metrics.reached_goal, "baseline did not reach the goal");
+        // The headline directions: RoboRun is faster in both velocity and
+        // mission time, and uses less CPU per decision.
+        assert!(
+            aware.metrics.mean_velocity > 1.5 * oblivious.metrics.mean_velocity,
+            "aware {} vs oblivious {} m/s",
+            aware.metrics.mean_velocity,
+            oblivious.metrics.mean_velocity
+        );
+        assert!(aware.metrics.mission_time < oblivious.metrics.mission_time);
+        assert!(aware.metrics.energy_kj < oblivious.metrics.energy_kj);
+        assert!(
+            aware.metrics.mean_cpu_utilization < oblivious.metrics.mean_cpu_utilization,
+            "aware CPU {} vs oblivious {}",
+            aware.metrics.mean_cpu_utilization,
+            oblivious.metrics.mean_cpu_utilization
+        );
+        assert!(aware.metrics.median_latency < oblivious.metrics.median_latency);
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_seed() {
+        let env = short_environment(5);
+        let runner = MissionRunner::new(quick_config(RuntimeMode::SpatialAware));
+        let a = runner.run(&env);
+        let b = runner.run(&env);
+        assert_eq!(a.metrics.decisions, b.metrics.decisions);
+        assert!((a.metrics.mission_time - b.metrics.mission_time).abs() < 1e-9);
+        assert!((a.metrics.energy_kj - b.metrics.energy_kj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_world_mission_is_fast_for_aware_mode() {
+        // No obstacles at all: the aware design should sustain (near) the
+        // platform's maximum speed.
+        let cfg = DifficultyConfig {
+            obstacle_density: 0.01,
+            obstacle_spread: 40.0,
+            goal_distance: 100.0,
+        };
+        let env = EnvironmentGenerator::new(cfg).generate(3);
+        let runner = MissionRunner::new(quick_config(RuntimeMode::SpatialAware));
+        let result = runner.run(&env);
+        assert!(result.metrics.reached_goal);
+        assert!(
+            result.metrics.mean_velocity > 1.5,
+            "open-sky velocity {}",
+            result.metrics.mean_velocity
+        );
+    }
+
+    #[test]
+    fn telemetry_records_zones_and_deadlines() {
+        let env = short_environment(9);
+        let runner = MissionRunner::new(quick_config(RuntimeMode::SpatialAware));
+        let result = runner.run(&env);
+        let zones: std::collections::HashSet<char> = result
+            .telemetry
+            .records()
+            .iter()
+            .filter_map(|r| r.zone)
+            .collect();
+        assert!(zones.contains(&'A'));
+        for r in result.telemetry.records() {
+            assert!(r.deadline > 0.0);
+            assert!(r.latency() > 0.0);
+            assert!(r.commanded_velocity >= 0.0);
+            assert!((0.0..=1.0).contains(&r.cpu_utilization));
+        }
+    }
+
+    #[test]
+    fn foggy_missions_slow_down_but_mostly_stay_safe() {
+        // The planner is stochastic (the paper accepts ≥80% collision-free
+        // flights), so fog is assessed over several seeds: most runs must
+        // still succeed, and on the runs that do, fog must cost velocity
+        // relative to the clear-sky run of the same environment.
+        let mut successes = 0usize;
+        let mut velocity_ratios = Vec::new();
+        for seed in [21, 5, 9] {
+            let env = short_environment(seed);
+            let foggy_cfg = MissionConfig {
+                faults: FaultConfig::fog(8.0),
+                max_decisions: 1_500,
+                max_mission_time: 3_000.0,
+                ..MissionConfig::new(RuntimeMode::SpatialAware)
+            };
+            let foggy = MissionRunner::new(foggy_cfg).run(&env);
+            for r in foggy.telemetry.records() {
+                assert!(r.visibility <= 8.0 + 1e-9);
+            }
+            if foggy.metrics.reached_goal && !foggy.metrics.collided {
+                successes += 1;
+                let clear = MissionRunner::new(quick_config(RuntimeMode::SpatialAware)).run(&env);
+                if clear.metrics.reached_goal {
+                    velocity_ratios.push(foggy.metrics.mean_velocity / clear.metrics.mean_velocity);
+                }
+            }
+        }
+        assert!(successes >= 2, "only {successes}/3 foggy missions succeeded");
+        assert!(!velocity_ratios.is_empty());
+        let mean_ratio: f64 = velocity_ratios.iter().sum::<f64>() / velocity_ratios.len() as f64;
+        assert!(
+            mean_ratio < 1.0,
+            "fog did not cost velocity: mean foggy/clear ratio {mean_ratio}"
+        );
+    }
+
+    #[test]
+    fn flaky_sensors_do_not_crash_the_mission() {
+        let env = short_environment(9);
+        let cfg = MissionConfig {
+            faults: FaultConfig::flaky_sensors(0.1, 0.3),
+            max_decisions: 1_200,
+            max_mission_time: 3_000.0,
+            ..MissionConfig::new(RuntimeMode::SpatialAware)
+        };
+        let result = MissionRunner::new(cfg).run(&env);
+        assert!(result.metrics.reached_goal, "mission did not finish under sensor faults");
+        assert!(!result.metrics.collided);
+    }
+
+    #[test]
+    fn safety_report_audits_a_mission() {
+        use roborun_core::SafetyReport;
+        let env = short_environment(21);
+        let aware = MissionRunner::new(quick_config(RuntimeMode::SpatialAware)).run(&env);
+        let report = SafetyReport::from_telemetry(&aware.telemetry);
+        assert_eq!(report.decisions, aware.metrics.decisions);
+        assert!(report.mean_budget_consumption > 0.0);
+        assert!(report.tightest_deadline > 0.0);
+        // The enforced invariant — latency fits the budget at the velocity
+        // the runtime actually commanded — holds for almost every decision;
+        // the pre-decision deadline is routinely exceeded near obstacles and
+        // is reported for analysis only.
+        assert!(
+            report.velocity_violation_rate() < 0.1,
+            "velocity-budget violation rate {} (report: {report:?})",
+            report.velocity_violation_rate()
+        );
+        assert!(report.deadline_violations >= report.velocity_violations);
+        assert!(!report.summary().is_empty());
+    }
+
+    #[test]
+    fn knob_ablation_costs_mission_performance() {
+        // Freezing every knob keeps the dynamic deadline but removes knob
+        // adaptation, so the ablated design must be slower than full
+        // RoboRun (and no faster than it on mean velocity).
+        let env = short_environment(21);
+        let full = MissionRunner::new(quick_config(RuntimeMode::SpatialAware)).run(&env);
+        let ablated_cfg = MissionConfig {
+            ablation: KnobAblation::all(),
+            max_decisions: 1_500,
+            max_mission_time: 3_000.0,
+            ..MissionConfig::new(RuntimeMode::SpatialAware)
+        };
+        let ablated = MissionRunner::new(ablated_cfg).run(&env);
+        assert!(full.metrics.reached_goal && ablated.metrics.reached_goal);
+        assert!(
+            ablated.metrics.mission_time > full.metrics.mission_time,
+            "ablated {} s vs full {} s",
+            ablated.metrics.mission_time,
+            full.metrics.mission_time
+        );
+        assert!(ablated.metrics.mean_velocity <= full.metrics.mean_velocity * 1.05);
+        // Every decision's knobs are pinned at the static values.
+        for r in ablated.telemetry.records() {
+            assert_eq!(r.knobs, roborun_core::KnobSettings::static_baseline());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid drone configuration")]
+    fn invalid_drone_config_panics() {
+        let mut cfg = MissionConfig::new(RuntimeMode::SpatialAware);
+        cfg.drone.max_speed = 0.0;
+        let _ = MissionRunner::new(cfg);
+    }
+}

@@ -1,0 +1,160 @@
+//! Mission scenarios: the paper's motivating missions and the small
+//! environments behind Figures 3 and 4.
+
+use roborun_env::{
+    DifficultyConfig, Environment, EnvironmentGenerator, GeneratorParams, Obstacle, ObstacleField,
+    ZoneLayout,
+};
+use roborun_geom::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// The named scenarios used by the examples and the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Package delivery: warehouse → open sky → warehouse (tight aisles at
+    /// both ends, the paper's *high precision* emphasis).
+    PackageDelivery,
+    /// Search and rescue: hospital → disaster zone, long open stretch where
+    /// high velocity matters (the paper's *high velocity* emphasis).
+    SearchAndRescue,
+    /// The mid-difficulty environment of the representative mission
+    /// analysis (paper Section V-C, Figures 9–11).
+    Representative,
+}
+
+impl Scenario {
+    /// All scenarios.
+    pub const ALL: [Scenario; 3] = [
+        Scenario::PackageDelivery,
+        Scenario::SearchAndRescue,
+        Scenario::Representative,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::PackageDelivery => "package delivery",
+            Scenario::SearchAndRescue => "search and rescue",
+            Scenario::Representative => "representative mission",
+        }
+    }
+
+    /// The difficulty configuration backing the scenario.
+    pub fn difficulty(self) -> DifficultyConfig {
+        match self {
+            // Dense clusters, short-ish hop between warehouses.
+            Scenario::PackageDelivery => DifficultyConfig {
+                obstacle_density: 0.6,
+                obstacle_spread: 40.0,
+                goal_distance: 600.0,
+            },
+            // Sparse-but-wide debris, long transit leg.
+            Scenario::SearchAndRescue => DifficultyConfig {
+                obstacle_density: 0.3,
+                obstacle_spread: 120.0,
+                goal_distance: 1_200.0,
+            },
+            Scenario::Representative => DifficultyConfig::mid(),
+        }
+    }
+
+    /// Generates the scenario's environment for a seed.
+    pub fn environment(self, seed: u64) -> Environment {
+        EnvironmentGenerator::new(self.difficulty()).generate(seed)
+    }
+
+    /// A shortened variant of the scenario (same obstacle character, 150 m
+    /// goal) used by examples and tests that need to finish quickly.
+    pub fn short_environment(self, seed: u64) -> Environment {
+        let difficulty = DifficultyConfig {
+            goal_distance: 150.0,
+            ..self.difficulty()
+        };
+        EnvironmentGenerator::new(difficulty)
+            .with_params(GeneratorParams {
+                obstacles_per_density: 40.0,
+                ..GeneratorParams::default()
+            })
+            .generate(seed)
+    }
+}
+
+/// A hand-built warehouse-aisle world for the paper's *high precision
+/// mission* illustration (Fig. 3): two rows of racks forming a tight aisle
+/// the MAV must thread, followed by open space.
+pub fn warehouse_aisle_field(aisle_width: f64, aisle_length: f64) -> ObstacleField {
+    let rack = |id: u32, x: f64, y: f64| {
+        Obstacle::new(
+            id,
+            Aabb::new(Vec3::new(x, y, 0.0), Vec3::new(x + 2.0, y + 2.0, 14.0)),
+        )
+    };
+    let mut obstacles = Vec::new();
+    let mut id = 0;
+    let mut x = 8.0;
+    while x < 8.0 + aisle_length {
+        obstacles.push(rack(id, x, aisle_width * 0.5));
+        id += 1;
+        obstacles.push(rack(id, x, -aisle_width * 0.5 - 2.0));
+        id += 1;
+        x += 4.0;
+    }
+    ObstacleField::new(obstacles)
+}
+
+/// Zone layout used when analysing hand-built fields (a single congested
+/// stretch followed by open space).
+pub fn aisle_layout(total_length: f64) -> ZoneLayout {
+    ZoneLayout::new(0.0, total_length, 0.45)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roborun_env::Zone;
+
+    #[test]
+    fn scenario_difficulties_match_their_story() {
+        let pd = Scenario::PackageDelivery.difficulty();
+        let sar = Scenario::SearchAndRescue.difficulty();
+        // Package delivery is denser; search and rescue is longer.
+        assert!(pd.obstacle_density > sar.obstacle_density);
+        assert!(sar.goal_distance > pd.goal_distance);
+        assert_eq!(Scenario::Representative.difficulty(), DifficultyConfig::mid());
+        for s in Scenario::ALL {
+            assert!(!s.name().is_empty());
+            assert!(s.difficulty().validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn environments_generate_and_short_variants_are_short() {
+        for s in Scenario::ALL {
+            let full = s.environment(7);
+            let short = s.short_environment(7);
+            assert!(full.mission_length() > short.mission_length());
+            assert!((short.mission_length() - 150.0).abs() < 1e-9);
+            assert!(!short.field().is_empty());
+        }
+    }
+
+    #[test]
+    fn warehouse_aisle_has_a_navigable_gap() {
+        let field = warehouse_aisle_field(5.0, 40.0);
+        assert!(!field.is_empty());
+        // The aisle centre is free; the racks are not.
+        assert!(!field.is_occupied_with_margin(Vec3::new(20.0, 0.0, 5.0), 0.45));
+        assert!(field.is_occupied(Vec3::new(9.0, 3.5, 5.0)));
+        // Racks line both sides.
+        let left = field.obstacles().iter().filter(|o| o.center().y > 0.0).count();
+        let right = field.obstacles().iter().filter(|o| o.center().y < 0.0).count();
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn aisle_layout_marks_the_aisle_congested() {
+        let layout = aisle_layout(100.0);
+        assert_eq!(layout.zone_at_x(10.0), Zone::A);
+        assert_eq!(layout.zone_at_x(50.0), Zone::B);
+    }
+}

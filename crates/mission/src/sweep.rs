@@ -1,0 +1,257 @@
+//! The 27-environment evaluation sweep (paper Section V, Figures 7 and 8).
+
+use crate::{AggregateMetrics, MissionConfig, MissionMetrics, MissionRunner};
+use crate::metrics::ImprovementFactors;
+use roborun_core::RuntimeMode;
+use roborun_env::{DifficultyConfig, EnvironmentGenerator};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// The difficulty configurations to evaluate (defaults to the paper's
+    /// 27-environment matrix).
+    pub difficulties: Vec<DifficultyConfig>,
+    /// Seed used for environment generation and planning.
+    pub seed: u64,
+    /// Mission configuration template for the spatial-aware runs.
+    pub aware: MissionConfig,
+    /// Mission configuration template for the spatial-oblivious runs.
+    pub oblivious: MissionConfig,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            difficulties: DifficultyConfig::evaluation_matrix(),
+            seed: 7,
+            aware: MissionConfig::new(RuntimeMode::SpatialAware),
+            oblivious: MissionConfig::new(RuntimeMode::SpatialOblivious),
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A scaled-down sweep (shorter goal distances and fewer environments)
+    /// for tests and quick demos: every combination of the density and
+    /// spread knobs at a 150 m goal distance.
+    pub fn quick(seed: u64) -> Self {
+        let mut difficulties = Vec::new();
+        for &density in &[0.3, 0.6] {
+            for &spread in &[40.0, 80.0] {
+                difficulties.push(DifficultyConfig {
+                    obstacle_density: density,
+                    obstacle_spread: spread,
+                    goal_distance: 150.0,
+                });
+            }
+        }
+        SweepConfig {
+            difficulties,
+            seed,
+            ..SweepConfig::default()
+        }
+    }
+}
+
+/// One mission pair (baseline + RoboRun) of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// The environment's difficulty configuration.
+    pub difficulty: DifficultyConfig,
+    /// Metrics of the spatial-oblivious run.
+    pub oblivious: MissionMetrics,
+    /// Metrics of the spatial-aware run.
+    pub aware: MissionMetrics,
+}
+
+/// Mean flight time per level of one difficulty knob, for both designs
+/// (one Fig. 8 panel).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityRow {
+    /// The knob value (density, spread in metres, or goal distance in
+    /// metres).
+    pub knob_value: f64,
+    /// Mean flight time of the oblivious design at this knob value (s).
+    pub oblivious_time: f64,
+    /// Mean flight time of RoboRun at this knob value (s).
+    pub aware_time: f64,
+}
+
+/// Full results of a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResults {
+    rows: Vec<SweepRow>,
+}
+
+impl SweepResults {
+    /// The per-environment rows.
+    pub fn rows(&self) -> &[SweepRow] {
+        &self.rows
+    }
+
+    /// Aggregate metrics of the oblivious design over all environments.
+    pub fn oblivious_aggregate(&self) -> AggregateMetrics {
+        let mut agg = AggregateMetrics::new(RuntimeMode::SpatialOblivious);
+        for row in &self.rows {
+            agg.push(&row.oblivious);
+        }
+        agg
+    }
+
+    /// Aggregate metrics of RoboRun over all environments.
+    pub fn aware_aggregate(&self) -> AggregateMetrics {
+        let mut agg = AggregateMetrics::new(RuntimeMode::SpatialAware);
+        for row in &self.rows {
+            agg.push(&row.aware);
+        }
+        agg
+    }
+
+    /// The Fig. 7 headline improvement factors.
+    pub fn improvements(&self) -> ImprovementFactors {
+        ImprovementFactors::from_aggregates(&self.oblivious_aggregate(), &self.aware_aggregate())
+    }
+
+    /// Sensitivity of flight time to one knob (Fig. 8b/c/d): rows grouped
+    /// by the knob's distinct values, averaged over the other knobs.
+    pub fn sensitivity<F>(&self, knob: F) -> Vec<SensitivityRow>
+    where
+        F: Fn(&DifficultyConfig) -> f64,
+    {
+        let mut values: Vec<f64> = self.rows.iter().map(|r| knob(&r.difficulty)).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("knob values are never NaN"));
+        values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        values
+            .into_iter()
+            .map(|value| {
+                let matching: Vec<&SweepRow> = self
+                    .rows
+                    .iter()
+                    .filter(|r| (knob(&r.difficulty) - value).abs() < 1e-9)
+                    .collect();
+                let mean = |f: &dyn Fn(&SweepRow) -> f64| {
+                    matching.iter().map(|r| f(r)).sum::<f64>() / matching.len().max(1) as f64
+                };
+                SensitivityRow {
+                    knob_value: value,
+                    oblivious_time: mean(&|r| r.oblivious.mission_time),
+                    aware_time: mean(&|r| r.aware.mission_time),
+                }
+            })
+            .collect()
+    }
+
+    /// Worst-case flight-time ratio (highest ÷ lowest knob value) for each
+    /// design — the numbers the paper quotes per knob (e.g. 1.5X vs 1.1X
+    /// for density).
+    pub fn sensitivity_ratio<F>(&self, knob: F) -> (f64, f64)
+    where
+        F: Fn(&DifficultyConfig) -> f64,
+    {
+        let rows = self.sensitivity(knob);
+        if rows.len() < 2 {
+            return (1.0, 1.0);
+        }
+        let first = &rows[0];
+        let last = &rows[rows.len() - 1];
+        (
+            last.aware_time / first.aware_time.max(1e-9),
+            last.oblivious_time / first.oblivious_time.max(1e-9),
+        )
+    }
+}
+
+/// Runs the sweep: every difficulty configuration, both designs.
+pub fn run_sweep(config: &SweepConfig) -> SweepResults {
+    let mut rows = Vec::with_capacity(config.difficulties.len());
+    for (i, difficulty) in config.difficulties.iter().enumerate() {
+        let env = EnvironmentGenerator::new(*difficulty).generate(config.seed + i as u64);
+        let mut aware_cfg = config.aware.clone();
+        aware_cfg.seed = config.seed + i as u64;
+        let mut oblivious_cfg = config.oblivious.clone();
+        oblivious_cfg.seed = config.seed + i as u64;
+        let aware = MissionRunner::new(aware_cfg).run(&env);
+        let oblivious = MissionRunner::new(oblivious_cfg).run(&env);
+        rows.push(SweepRow {
+            difficulty: *difficulty,
+            oblivious: oblivious.metrics,
+            aware: aware.metrics,
+        });
+    }
+    SweepResults { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> SweepResults {
+        // Two environments only (spanning both density and spread levels),
+        // short missions, to keep the test quick.
+        let mut config = SweepConfig::quick(11);
+        config.difficulties = vec![config.difficulties[0], config.difficulties[3]];
+        config.aware.max_decisions = 600;
+        config.oblivious.max_decisions = 1_500;
+        run_sweep(&config)
+    }
+
+    #[test]
+    fn sweep_produces_one_row_per_environment() {
+        let results = tiny_sweep();
+        assert_eq!(results.rows().len(), 2);
+        for row in results.rows() {
+            assert_eq!(row.aware.mode, RuntimeMode::SpatialAware);
+            assert_eq!(row.oblivious.mode, RuntimeMode::SpatialOblivious);
+            assert!(row.aware.decisions > 0);
+            assert!(row.oblivious.decisions > 0);
+        }
+    }
+
+    #[test]
+    fn aggregates_and_improvements_have_paper_direction() {
+        let results = tiny_sweep();
+        let aware = results.aware_aggregate();
+        let oblivious = results.oblivious_aggregate();
+        assert_eq!(aware.count(), 2);
+        assert_eq!(oblivious.count(), 2);
+        let improvements = results.improvements();
+        assert!(
+            improvements.velocity_gain > 1.5,
+            "velocity gain {}",
+            improvements.velocity_gain
+        );
+        assert!(
+            improvements.mission_time_gain > 1.5,
+            "mission time gain {}",
+            improvements.mission_time_gain
+        );
+        assert!(improvements.energy_gain > 1.0);
+        assert!(improvements.cpu_reduction > 0.0);
+    }
+
+    #[test]
+    fn sensitivity_groups_by_knob_value() {
+        let results = tiny_sweep();
+        let density = results.sensitivity(|d| d.obstacle_density);
+        assert_eq!(density.len(), 2);
+        assert!(density[0].knob_value < density[1].knob_value);
+        for row in &density {
+            assert!(row.oblivious_time > 0.0);
+            assert!(row.aware_time > 0.0);
+        }
+        let (aware_ratio, oblivious_ratio) = results.sensitivity_ratio(|d| d.obstacle_density);
+        assert!(aware_ratio > 0.0);
+        assert!(oblivious_ratio > 0.0);
+        // Goal distance has a single level in the quick sweep → ratio 1.
+        let (g_aware, g_obl) = results.sensitivity_ratio(|d| d.goal_distance);
+        assert_eq!(g_aware, 1.0);
+        assert_eq!(g_obl, 1.0);
+    }
+
+    #[test]
+    fn quick_config_is_smaller_than_full_matrix() {
+        assert_eq!(SweepConfig::default().difficulties.len(), 27);
+        assert!(SweepConfig::quick(1).difficulties.len() < 27);
+    }
+}

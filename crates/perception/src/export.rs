@@ -1,0 +1,336 @@
+//! Perception-to-planning export: the pruned, volume-limited map view the
+//! planner receives.
+//!
+//! The paper's perception-to-planning operators are:
+//!
+//! * **Precision** — "enforced by sub-sampling and pruning the tree
+//!   structure of the encoded map": occupied voxels are re-keyed at a
+//!   coarser, power-of-two multiple of the map resolution.
+//! * **Volume** — "controls the space volume communicated to the planner,
+//!   limiting the planner's knowledge of the world. [...] we prune the map,
+//!   encoded in a tree, by selecting higher level trees (in the sorted
+//!   order) until the threshold is reached", sorted by proximity to the MAV.
+
+use crate::OccupancyMap;
+use roborun_geom::{snap_to_lattice, Aabb, Vec3, VoxelKey};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Configuration of one export (the two perception-to-planning knobs plus
+/// the sort reference).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExportConfig {
+    /// Export precision in metres. Values are snapped to the nearest
+    /// power-of-two multiple of the map resolution that does not exceed the
+    /// request (the OctoMap tree constraint from paper Eq. 3).
+    pub precision: f64,
+    /// Maximum exported occupied volume in cubic metres.
+    pub max_volume: f64,
+    /// Reference position (the MAV) voxels are sorted by proximity to.
+    pub reference: Vec3,
+}
+
+impl ExportConfig {
+    /// Creates an export configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision <= 0` or `max_volume < 0`.
+    pub fn new(precision: f64, max_volume: f64, reference: Vec3) -> Self {
+        assert!(precision > 0.0, "export precision must be positive");
+        assert!(max_volume >= 0.0, "export volume must be non-negative");
+        ExportConfig {
+            precision,
+            max_volume,
+            reference,
+        }
+    }
+}
+
+/// The planner's view of the world: coarse occupied boxes near the MAV.
+///
+/// # Example
+///
+/// ```
+/// use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
+/// use roborun_geom::Vec3;
+///
+/// let mut map = OccupancyMap::new(0.3);
+/// map.integrate_cloud(&PointCloud::new(Vec3::ZERO, vec![Vec3::new(5.0, 0.0, 0.0)]), 0.3);
+/// let planner_map = PlannerMap::export(&map, &ExportConfig::new(0.6, 1e6, Vec3::ZERO));
+/// assert!(planner_map.is_occupied(Vec3::new(5.0, 0.0, 0.0), 0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerMap {
+    voxel_size: f64,
+    boxes: Vec<Aabb>,
+    /// Occupied voxel keys at `voxel_size` resolution, for O(1) point
+    /// queries (the collision checker calls `is_occupied` millions of times
+    /// during an RRT* search).
+    keys: HashSet<VoxelKey>,
+}
+
+impl PlannerMap {
+    /// An empty planner map (open space) at the given voxel size.
+    pub fn empty(voxel_size: f64) -> Self {
+        PlannerMap {
+            voxel_size,
+            boxes: Vec::new(),
+            keys: HashSet::new(),
+        }
+    }
+
+    /// Exports a planner map from an occupancy map, applying the
+    /// perception-to-planning precision and volume operators.
+    pub fn export(map: &OccupancyMap, config: &ExportConfig) -> Self {
+        // Snap to the power-of-two lattice rooted at the map resolution.
+        // Eight levels cover a 128x coarsening, far beyond Table II's range.
+        let precision = snap_to_lattice(config.precision.max(map.resolution()), map.resolution(), 8);
+
+        // Re-key occupied voxels at the export resolution (tree pruning).
+        let mut coarse: HashSet<VoxelKey> = HashSet::new();
+        for (key, _) in map.occupied_voxels() {
+            let center = key.center(map.resolution());
+            coarse.insert(VoxelKey::from_point(center, precision));
+        }
+
+        // Sort coarse voxels by proximity to the MAV and keep them until the
+        // exported volume exceeds the budget.
+        let mut keys: Vec<VoxelKey> = coarse.into_iter().collect();
+        keys.sort_by(|a, b| {
+            let da = a.center(precision).distance_squared(config.reference);
+            let db = b.center(precision).distance_squared(config.reference);
+            da.partial_cmp(&db)
+                .expect("distances are never NaN")
+                .then_with(|| a.cmp(b))
+        });
+        let voxel_volume = precision.powi(3);
+        let mut boxes = Vec::new();
+        let mut kept_keys = HashSet::new();
+        let mut volume = 0.0;
+        for key in keys {
+            // Always export at least the closest obstacle (if any budget at
+            // all), otherwise the planner would fly blind next to a known
+            // hazard; stop once the budget is consumed.
+            if volume + voxel_volume > config.max_volume && !boxes.is_empty() {
+                break;
+            }
+            boxes.push(Aabb::from_center_half_extents(
+                key.center(precision),
+                Vec3::splat(precision * 0.5),
+            ));
+            kept_keys.insert(key);
+            volume += voxel_volume;
+            if volume >= config.max_volume && config.max_volume > 0.0 {
+                break;
+            }
+        }
+        if config.max_volume == 0.0 {
+            boxes.clear();
+            kept_keys.clear();
+        }
+        PlannerMap {
+            voxel_size: precision,
+            boxes,
+            keys: kept_keys,
+        }
+    }
+
+    /// Voxel size of the exported boxes (metres).
+    pub fn voxel_size(&self) -> f64 {
+        self.voxel_size
+    }
+
+    /// The exported occupied boxes.
+    pub fn boxes(&self) -> &[Aabb] {
+        &self.boxes
+    }
+
+    /// Number of exported boxes.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// `true` when nothing was exported.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Total exported occupied volume (m³).
+    pub fn occupied_volume(&self) -> f64 {
+        self.boxes.len() as f64 * self.voxel_size.powi(3)
+    }
+
+    /// `true` when `p` lies within `margin` of any exported occupied box.
+    ///
+    /// Implemented as a local voxel-neighbourhood lookup in a hash set, so a
+    /// query costs `O((margin / voxel_size + 2)³)` regardless of how many
+    /// boxes were exported.
+    pub fn is_occupied(&self, p: Vec3, margin: f64) -> bool {
+        if self.keys.is_empty() {
+            return false;
+        }
+        let reach = (margin / self.voxel_size).ceil() as i64 + 1;
+        let center = VoxelKey::from_point(p, self.voxel_size);
+        for dx in -reach..=reach {
+            for dy in -reach..=reach {
+                for dz in -reach..=reach {
+                    let key = VoxelKey {
+                        x: center.x + dx,
+                        y: center.y + dy,
+                        z: center.z + dz,
+                    };
+                    if self.keys.contains(&key) {
+                        let b = Aabb::from_center_half_extents(
+                            key.center(self.voxel_size),
+                            Vec3::splat(self.voxel_size * 0.5),
+                        );
+                        if b.distance_to_point(p) <= margin {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Distance from `p` to the nearest exported box surface, or `None`
+    /// when the map is empty.
+    pub fn distance_to_nearest(&self, p: Vec3) -> Option<f64> {
+        self.boxes
+            .iter()
+            .map(|b| b.distance_to_point(p))
+            .min_by(|a, b| a.partial_cmp(b).expect("distances are never NaN"))
+    }
+
+    /// Bounds enclosing every exported box, or `None` when empty.
+    pub fn bounds(&self) -> Option<Aabb> {
+        let mut iter = self.boxes.iter();
+        let first = *iter.next()?;
+        Some(iter.fold(first, |acc, b| Aabb::union(&acc, b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PointCloud;
+
+    fn wall_map() -> OccupancyMap {
+        let mut map = OccupancyMap::new(0.3);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let points: Vec<Vec3> = (-10..=10)
+            .flat_map(|y| {
+                (0..6).map(move |z| Vec3::new(12.0, y as f64 * 0.3, 4.0 + z as f64 * 0.3))
+            })
+            .collect();
+        map.integrate_cloud(&PointCloud::new(origin, points), 0.3);
+        map
+    }
+
+    #[test]
+    fn export_preserves_obstacles_at_native_precision() {
+        let map = wall_map();
+        let cfg = ExportConfig::new(0.3, 1e9, Vec3::new(0.0, 0.0, 5.0));
+        let pm = PlannerMap::export(&map, &cfg);
+        assert!(!pm.is_empty());
+        assert_eq!(pm.voxel_size(), 0.3);
+        assert!(pm.is_occupied(Vec3::new(12.0, 0.0, 5.0), 0.1));
+        assert!(!pm.is_occupied(Vec3::new(3.0, 0.0, 5.0), 0.1));
+        assert_eq!(pm.len(), map.stats().occupied);
+    }
+
+    #[test]
+    fn coarser_export_has_fewer_bigger_boxes() {
+        let map = wall_map();
+        let reference = Vec3::new(0.0, 0.0, 5.0);
+        let fine = PlannerMap::export(&map, &ExportConfig::new(0.3, 1e9, reference));
+        let coarse = PlannerMap::export(&map, &ExportConfig::new(2.4, 1e9, reference));
+        assert!(coarse.len() < fine.len());
+        assert!(coarse.voxel_size() > fine.voxel_size());
+        // Obstacles are still represented (conservatively inflated).
+        assert!(coarse.is_occupied(Vec3::new(12.0, 0.0, 5.0), 0.1));
+        // Coarse voxel size snapped to a power-of-two multiple of 0.3.
+        let ratio = coarse.voxel_size() / 0.3;
+        assert!((ratio - ratio.round()).abs() < 1e-9);
+        assert!((ratio.round() as u64).is_power_of_two());
+    }
+
+    #[test]
+    fn requested_precision_never_exceeded() {
+        let map = wall_map();
+        let reference = Vec3::ZERO;
+        // 1.0 m is not a power-of-two multiple of 0.3; snap down to 0.6.
+        let pm = PlannerMap::export(&map, &ExportConfig::new(1.0, 1e9, reference));
+        assert!((pm.voxel_size() - 0.6).abs() < 1e-9);
+        // Precision finer than the map resolution clamps to the resolution.
+        let pm2 = PlannerMap::export(&map, &ExportConfig::new(0.05, 1e9, reference));
+        assert!((pm2.voxel_size() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volume_budget_limits_export_and_prefers_near_voxels() {
+        let mut map = OccupancyMap::new(0.3);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        // Two walls: one near (x = 6), one far (x = 30).
+        let mut points = Vec::new();
+        for y in -5..=5 {
+            points.push(Vec3::new(6.0, y as f64 * 0.3, 5.0));
+            points.push(Vec3::new(30.0, y as f64 * 0.3, 5.0));
+        }
+        map.integrate_cloud(&PointCloud::new(origin, points), 0.3);
+        let full = PlannerMap::export(&map, &ExportConfig::new(0.3, 1e9, origin));
+        let voxel_volume = 0.3f64.powi(3);
+        let budget = full.occupied_volume() * 0.4; // less than half the voxels
+        let limited = PlannerMap::export(&map, &ExportConfig::new(0.3, budget, origin));
+        assert!(limited.len() < full.len());
+        assert!(limited.occupied_volume() <= budget + voxel_volume + 1e-9);
+        // The near wall survives; the far wall is dropped first.
+        assert!(limited.is_occupied(Vec3::new(6.0, 0.0, 5.0), 0.2));
+        assert!(!limited.is_occupied(Vec3::new(30.0, 0.0, 5.0), 0.2));
+    }
+
+    #[test]
+    fn zero_budget_exports_nothing() {
+        let map = wall_map();
+        let pm = PlannerMap::export(&map, &ExportConfig::new(0.3, 0.0, Vec3::ZERO));
+        assert!(pm.is_empty());
+        assert_eq!(pm.occupied_volume(), 0.0);
+        assert!(pm.distance_to_nearest(Vec3::ZERO).is_none());
+        assert!(pm.bounds().is_none());
+    }
+
+    #[test]
+    fn tiny_budget_still_exports_nearest_obstacle() {
+        let map = wall_map();
+        let pm = PlannerMap::export(&map, &ExportConfig::new(0.3, 1e-6, Vec3::new(0.0, 0.0, 5.0)));
+        assert_eq!(pm.len(), 1);
+    }
+
+    #[test]
+    fn empty_map_exports_empty() {
+        let map = OccupancyMap::new(0.3);
+        let pm = PlannerMap::export(&map, &ExportConfig::new(0.6, 1e6, Vec3::ZERO));
+        assert!(pm.is_empty());
+        assert_eq!(PlannerMap::empty(0.5).len(), 0);
+    }
+
+    #[test]
+    fn distance_and_bounds_queries() {
+        let map = wall_map();
+        let pm = PlannerMap::export(&map, &ExportConfig::new(0.3, 1e9, Vec3::new(0.0, 0.0, 5.0)));
+        let d = pm.distance_to_nearest(Vec3::new(0.0, 0.0, 5.0)).unwrap();
+        assert!(d > 10.0 && d < 12.5, "distance {d}");
+        let bounds = pm.bounds().unwrap();
+        for b in pm.boxes() {
+            assert!(bounds.contains_aabb(b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn export_config_rejects_zero_precision() {
+        let _ = ExportConfig::new(0.0, 10.0, Vec3::ZERO);
+    }
+}

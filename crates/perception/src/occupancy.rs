@@ -1,0 +1,374 @@
+//! Occupancy map (the OctoMap substitute) with the raytracer precision
+//! operator.
+//!
+//! The paper's OctoMap kernel "accumulates these point clouds into a 3D map
+//! and encodes them in a tree data structure where each leaf is a voxel";
+//! its precision operator "is enforced by controlling the step size of the
+//! raytracer". Our substitute stores voxels in a hash map keyed by integer
+//! voxel coordinates; the tree structure only matters to the paper for the
+//! power-of-two pruning performed at export time, which
+//! [`crate::PlannerMap`] reproduces by re-keying voxels at coarser
+//! power-of-two resolutions.
+
+use crate::PointCloud;
+use roborun_geom::{Aabb, Ray, Vec3, VoxelKey};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// State of a known voxel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VoxelState {
+    /// The voxel contains an observed obstacle surface.
+    Occupied,
+    /// The voxel was traversed by at least one sensor ray without a hit.
+    Free,
+}
+
+/// Summary statistics of an occupancy map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MapStats {
+    /// Number of occupied voxels.
+    pub occupied: usize,
+    /// Number of free voxels.
+    pub free: usize,
+    /// Voxel edge length (metres).
+    pub resolution: f64,
+    /// Total volume of known (occupied + free) space, cubic metres.
+    pub known_volume: f64,
+    /// Total volume of occupied space, cubic metres.
+    pub occupied_volume: f64,
+}
+
+/// A uniform-resolution occupancy map built from point clouds.
+///
+/// # Example
+///
+/// ```
+/// use roborun_perception::{OccupancyMap, PointCloud};
+/// use roborun_geom::Vec3;
+///
+/// let mut map = OccupancyMap::new(0.5);
+/// let cloud = PointCloud::new(Vec3::ZERO, vec![Vec3::new(3.0, 0.0, 0.0)]);
+/// map.integrate_cloud(&cloud, 0.5);
+/// assert!(map.is_occupied(Vec3::new(3.0, 0.0, 0.0)));
+/// assert!(!map.is_occupied(Vec3::new(1.0, 0.0, 0.0))); // carved free
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OccupancyMap {
+    resolution: f64,
+    voxels: HashMap<VoxelKey, VoxelState>,
+}
+
+impl OccupancyMap {
+    /// Creates an empty map with the given voxel size (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution <= 0`.
+    pub fn new(resolution: f64) -> Self {
+        assert!(resolution > 0.0, "map resolution must be positive, got {resolution}");
+        OccupancyMap {
+            resolution,
+            voxels: HashMap::new(),
+        }
+    }
+
+    /// Voxel edge length (metres).
+    pub fn resolution(&self) -> f64 {
+        self.resolution
+    }
+
+    /// Number of known voxels (occupied + free).
+    pub fn len(&self) -> usize {
+        self.voxels.len()
+    }
+
+    /// `true` when nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.voxels.is_empty()
+    }
+
+    /// Integrates a point cloud: every point marks its voxel occupied and
+    /// the ray from the cloud origin to the point carves free space.
+    ///
+    /// `raytrace_step` is the **OctoMap precision operator**: the distance
+    /// between free-space samples along each ray. A coarser step visits
+    /// fewer voxels (cheaper, as the paper's Eq. 4 models) at the cost of
+    /// possibly missing thin free corridors. Returns the number of voxel
+    /// updates performed (a direct measure of the work done).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raytrace_step <= 0`.
+    pub fn integrate_cloud(&mut self, cloud: &PointCloud, raytrace_step: f64) -> usize {
+        assert!(raytrace_step > 0.0, "raytrace step must be positive");
+        let origin = cloud.origin();
+        let mut updates = 0usize;
+        for &point in cloud.points() {
+            let distance = origin.distance(point);
+            if distance > 1e-9 {
+                let ray = Ray::new(origin, point - origin);
+                // Carve free space up to (but not including) the hit voxel.
+                let mut t = 0.0;
+                while t < distance - self.resolution {
+                    let key = VoxelKey::from_point(ray.at(t), self.resolution);
+                    // Never downgrade an occupied voxel to free: occupied
+                    // observations win, as in OctoMap's clamping policy.
+                    let entry = self.voxels.entry(key).or_insert(VoxelState::Free);
+                    if *entry != VoxelState::Occupied {
+                        *entry = VoxelState::Free;
+                    }
+                    updates += 1;
+                    t += raytrace_step;
+                }
+            }
+            let key = VoxelKey::from_point(point, self.resolution);
+            self.voxels.insert(key, VoxelState::Occupied);
+            updates += 1;
+        }
+        updates
+    }
+
+    /// State of the voxel containing `p`, or `None` when unknown.
+    pub fn state_at(&self, p: Vec3) -> Option<VoxelState> {
+        self.voxels
+            .get(&VoxelKey::from_point(p, self.resolution))
+            .copied()
+    }
+
+    /// `true` when the voxel containing `p` is known occupied.
+    pub fn is_occupied(&self, p: Vec3) -> bool {
+        self.state_at(p) == Some(VoxelState::Occupied)
+    }
+
+    /// `true` when the voxel containing `p` has never been observed.
+    pub fn is_unknown(&self, p: Vec3) -> bool {
+        self.state_at(p).is_none()
+    }
+
+    /// Iterates over occupied voxels as `(key, bounds)` pairs.
+    pub fn occupied_voxels(&self) -> impl Iterator<Item = (VoxelKey, Aabb)> + '_ {
+        let res = self.resolution;
+        self.voxels
+            .iter()
+            .filter(|(_, s)| **s == VoxelState::Occupied)
+            .map(move |(k, _)| {
+                (
+                    *k,
+                    Aabb::from_center_half_extents(k.center(res), Vec3::splat(res * 0.5)),
+                )
+            })
+    }
+
+    /// Distance from `p` to the centre of the nearest occupied voxel within
+    /// `max_radius`, or `None` when there is none. This is the map-derived
+    /// `d_obs` the profilers feed to the governor (as opposed to the
+    /// ground-truth distance the simulator knows).
+    pub fn nearest_occupied_distance(&self, p: Vec3, max_radius: f64) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for (key, state) in &self.voxels {
+            if *state != VoxelState::Occupied {
+                continue;
+            }
+            let d = key.center(self.resolution).distance(p);
+            if d <= max_radius && best.map(|b| d < b).unwrap_or(true) {
+                best = Some(d);
+            }
+        }
+        best
+    }
+
+    /// Distance from `p` along `direction` to the first *unknown* voxel,
+    /// sampled every `step` metres up to `max_range`. Unknown space ahead
+    /// shortens the distance the MAV can trust, which the profilers fold
+    /// into the visibility estimate ("closest unknown" in Table I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step <= 0` or `max_range < 0`.
+    pub fn distance_to_unknown(&self, p: Vec3, direction: Vec3, max_range: f64, step: f64) -> f64 {
+        assert!(step > 0.0, "step must be positive");
+        assert!(max_range >= 0.0, "max range must be non-negative");
+        let Some(dir) = direction.try_normalize() else {
+            return max_range;
+        };
+        let ray = Ray::new(p, dir);
+        let mut t = 0.0;
+        while t <= max_range {
+            if self.is_unknown(ray.at(t)) {
+                return t;
+            }
+            t += step;
+        }
+        max_range
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> MapStats {
+        let occupied = self
+            .voxels
+            .values()
+            .filter(|s| **s == VoxelState::Occupied)
+            .count();
+        let free = self.voxels.len() - occupied;
+        let voxel_volume = self.resolution.powi(3);
+        MapStats {
+            occupied,
+            free,
+            resolution: self.resolution,
+            known_volume: self.voxels.len() as f64 * voxel_volume,
+            occupied_volume: occupied as f64 * voxel_volume,
+        }
+    }
+
+    /// Known (observed) volume in cubic metres — the profiler's "map
+    /// volume" variable (Table I).
+    pub fn known_volume(&self) -> f64 {
+        self.voxels.len() as f64 * self.resolution.powi(3)
+    }
+
+    /// Drops every voxel whose centre lies farther than `radius` from
+    /// `center` — a memory bound for long missions (the map only needs to
+    /// cover the MAV's local neighbourhood for navigation).
+    pub fn retain_within(&mut self, center: Vec3, radius: f64) {
+        let res = self.resolution;
+        self.voxels
+            .retain(|k, _| k.center(res).distance(center) <= radius);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud_with_wall(origin: Vec3, wall_x: f64) -> PointCloud {
+        // A vertical line of points at x = wall_x spread in y.
+        PointCloud::new(
+            origin,
+            (-5..=5)
+                .map(|i| Vec3::new(wall_x, i as f64 * 0.5, origin.z))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn new_map_is_empty() {
+        let map = OccupancyMap::new(0.5);
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        assert_eq!(map.resolution(), 0.5);
+        assert!(map.is_unknown(Vec3::ZERO));
+        assert!(!map.is_occupied(Vec3::ZERO));
+        assert_eq!(map.known_volume(), 0.0);
+        assert!(map.nearest_occupied_distance(Vec3::ZERO, 100.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_resolution_panics() {
+        let _ = OccupancyMap::new(0.0);
+    }
+
+    #[test]
+    fn integration_marks_hits_occupied_and_path_free() {
+        let mut map = OccupancyMap::new(0.5);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let updates = map.integrate_cloud(&cloud_with_wall(origin, 8.0), 0.5);
+        assert!(updates > 0);
+        assert!(map.is_occupied(Vec3::new(8.0, 0.0, 5.0)));
+        assert_eq!(map.state_at(Vec3::new(4.0, 0.0, 5.0)), Some(VoxelState::Free));
+        // Behind the wall is unknown.
+        assert!(map.is_unknown(Vec3::new(12.0, 0.0, 5.0)));
+        let stats = map.stats();
+        assert!(stats.occupied > 0);
+        assert!(stats.free > stats.occupied);
+        assert!((stats.known_volume - map.known_volume()).abs() < 1e-9);
+        assert!(stats.occupied_volume < stats.known_volume);
+    }
+
+    #[test]
+    fn occupied_never_downgraded_to_free() {
+        let mut map = OccupancyMap::new(0.5);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        // First scan sees an obstacle at x=4.
+        map.integrate_cloud(&PointCloud::new(origin, vec![Vec3::new(4.0, 0.0, 5.0)]), 0.25);
+        assert!(map.is_occupied(Vec3::new(4.0, 0.0, 5.0)));
+        // Second scan's ray passes through the same voxel to a farther hit.
+        map.integrate_cloud(&PointCloud::new(origin, vec![Vec3::new(9.0, 0.0, 5.0)]), 0.25);
+        assert!(map.is_occupied(Vec3::new(4.0, 0.0, 5.0)), "occupied voxel was erased");
+        assert!(map.is_occupied(Vec3::new(9.0, 0.0, 5.0)));
+    }
+
+    #[test]
+    fn coarser_raytrace_step_does_less_work() {
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let cloud = cloud_with_wall(origin, 20.0);
+        let mut fine = OccupancyMap::new(0.5);
+        let mut coarse = OccupancyMap::new(0.5);
+        let fine_updates = fine.integrate_cloud(&cloud, 0.25);
+        let coarse_updates = coarse.integrate_cloud(&cloud, 2.0);
+        assert!(fine_updates > 2 * coarse_updates, "fine {fine_updates} coarse {coarse_updates}");
+        // Both agree on the occupied wall.
+        assert!(fine.is_occupied(Vec3::new(20.0, 0.0, 5.0)));
+        assert!(coarse.is_occupied(Vec3::new(20.0, 0.0, 5.0)));
+    }
+
+    #[test]
+    fn coarser_resolution_uses_fewer_voxels() {
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let cloud = cloud_with_wall(origin, 10.0);
+        let mut fine = OccupancyMap::new(0.3);
+        let mut coarse = OccupancyMap::new(2.4);
+        fine.integrate_cloud(&cloud, 0.3);
+        coarse.integrate_cloud(&cloud, 0.3);
+        assert!(fine.len() > coarse.len());
+        let fine_occ = fine.stats().occupied;
+        let coarse_occ = coarse.stats().occupied;
+        assert!(fine_occ >= coarse_occ);
+    }
+
+    #[test]
+    fn nearest_occupied_distance_matches_geometry() {
+        let mut map = OccupancyMap::new(0.5);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        map.integrate_cloud(&PointCloud::new(origin, vec![Vec3::new(6.0, 0.0, 5.0)]), 0.5);
+        let d = map
+            .nearest_occupied_distance(Vec3::new(0.0, 0.0, 5.0), 100.0)
+            .unwrap();
+        assert!((d - 6.0).abs() < 1.0, "distance {d}");
+        assert!(map.nearest_occupied_distance(Vec3::new(0.0, 0.0, 5.0), 2.0).is_none());
+    }
+
+    #[test]
+    fn distance_to_unknown_detects_frontier() {
+        let mut map = OccupancyMap::new(0.5);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        map.integrate_cloud(&PointCloud::new(origin, vec![Vec3::new(10.0, 0.0, 5.0)]), 0.25);
+        // Looking along the observed corridor, unknown space starts near the
+        // wall (the wall voxel is known-occupied, behind it is unknown).
+        let d = map.distance_to_unknown(origin, Vec3::X, 40.0, 0.25);
+        assert!(d > 8.0 && d <= 12.0, "frontier at {d}");
+        // Looking sideways where nothing was observed, unknown starts almost
+        // immediately (just outside the origin's free voxel).
+        let d_side = map.distance_to_unknown(origin, Vec3::Y, 40.0, 0.25);
+        assert!(d_side < 2.0);
+        // Degenerate direction returns the full range.
+        assert_eq!(map.distance_to_unknown(origin, Vec3::ZERO, 40.0, 0.25), 40.0);
+    }
+
+    #[test]
+    fn occupied_voxel_iteration_and_retain() {
+        let mut map = OccupancyMap::new(0.5);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        map.integrate_cloud(&cloud_with_wall(origin, 8.0), 0.5);
+        let occupied: Vec<_> = map.occupied_voxels().collect();
+        assert_eq!(occupied.len(), map.stats().occupied);
+        for (_, bounds) in &occupied {
+            assert!((bounds.size().x - 0.5).abs() < 1e-12);
+        }
+        // Retaining a small bubble around the origin drops the far wall.
+        map.retain_within(origin, 3.0);
+        assert!(map.stats().occupied == 0);
+        assert!(map.len() > 0, "nearby free voxels should remain");
+    }
+}

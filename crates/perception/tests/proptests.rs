@@ -1,0 +1,112 @@
+//! Property-based tests for the perception kernels and operators.
+
+use proptest::prelude::*;
+use roborun_geom::Vec3;
+use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Vec3>> {
+    prop::collection::vec(
+        ((-30.0f64..30.0), (-30.0f64..30.0), (0.0f64..15.0)).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn downsampling_never_increases_point_count(points in arb_points(200), cell in 0.1f64..5.0) {
+        let cloud = PointCloud::new(Vec3::ZERO, points);
+        let ds = cloud.downsampled(cell);
+        prop_assert!(ds.len() <= cloud.len());
+        // Downsampled points stay within the original bounds (averages of members).
+        if let (Some(orig), Some(new)) = (cloud.bounds(), ds.bounds()) {
+            prop_assert!(orig.inflate(1e-9).contains_aabb(&new));
+        }
+        // Coarser cells never yield more points than finer cells.
+        let coarser = cloud.downsampled(cell * 2.0);
+        prop_assert!(coarser.len() <= ds.len());
+    }
+
+    #[test]
+    fn volume_limit_is_respected(points in arb_points(150), budget in 0.0f64..5_000.0) {
+        let cloud = PointCloud::new(Vec3::ZERO, points);
+        let limited = cloud.volume_limited(Vec3::ZERO, budget);
+        prop_assert!(limited.len() <= cloud.len());
+        if let Some(bounds) = limited.bounds() {
+            // The accepted set's volume only exceeds the budget when a single
+            // point was kept (a degenerate AABB has zero volume anyway).
+            if limited.len() > 1 {
+                prop_assert!(bounds.volume() <= budget.max(0.0) + 1e-6);
+            }
+        }
+        if budget == 0.0 {
+            prop_assert!(limited.is_empty());
+        }
+    }
+
+    #[test]
+    fn occupancy_map_marks_every_hit_point(points in arb_points(80), step in 0.2f64..2.0) {
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let cloud = PointCloud::new(origin, points.clone());
+        let mut map = OccupancyMap::new(0.5);
+        let updates = map.integrate_cloud(&cloud, step);
+        prop_assert!(updates >= points.len());
+        for p in &points {
+            prop_assert!(map.is_occupied(*p), "hit point {p:?} not occupied");
+        }
+        // Stats are consistent.
+        let stats = map.stats();
+        prop_assert_eq!(stats.occupied + stats.free, map.len());
+        prop_assert!((map.known_volume() - stats.known_volume).abs() < 1e-9);
+    }
+
+    #[test]
+    fn export_respects_budget_and_precision_lattice(points in arb_points(120),
+                                                    precision in 0.3f64..5.0,
+                                                    budget in 1.0f64..2_000.0) {
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let cloud = PointCloud::new(origin, points);
+        let mut map = OccupancyMap::new(0.3);
+        map.integrate_cloud(&cloud, 0.6);
+        let export = PlannerMap::export(&map, &ExportConfig::new(precision, budget, origin));
+        // Exported voxel size is a power-of-two multiple of the map resolution
+        // and never finer than requested... but also never coarser than the
+        // request allows (snap goes downward).
+        let ratio = export.voxel_size() / 0.3;
+        prop_assert!((ratio - ratio.round()).abs() < 1e-6);
+        prop_assert!((ratio.round() as u64).is_power_of_two());
+        prop_assert!(export.voxel_size() <= precision.max(0.3) + 1e-9);
+        // Volume budget respected (allowing the always-export-one rule).
+        if export.len() > 1 {
+            prop_assert!(export.occupied_volume() <= budget + export.voxel_size().powi(3) + 1e-6);
+        }
+        // Every exported box is occupied space according to the map's own
+        // occupied voxels (conservatively: contains at least one).
+        if !map.is_empty() && budget > 1.0 {
+            for b in export.boxes() {
+                let found = map.occupied_voxels().any(|(_, vb)| b.intersects(&vb));
+                prop_assert!(found, "exported box {b:?} covers no occupied voxel");
+            }
+        }
+    }
+
+    #[test]
+    fn export_distance_is_conservative(points in arb_points(100)) {
+        // The exported (possibly coarsened) map must never report an
+        // obstacle as farther away than the fine map does: coarsening may
+        // inflate obstacles but must not shrink them.
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let cloud = PointCloud::new(origin, points);
+        let mut map = OccupancyMap::new(0.3);
+        map.integrate_cloud(&cloud, 0.6);
+        let fine = PlannerMap::export(&map, &ExportConfig::new(0.3, 1e9, origin));
+        let coarse = PlannerMap::export(&map, &ExportConfig::new(2.4, 1e9, origin));
+        let probe = Vec3::new(0.0, 0.0, 5.0);
+        match (fine.distance_to_nearest(probe), coarse.distance_to_nearest(probe)) {
+            (Some(df), Some(dc)) => prop_assert!(dc <= df + 1e-6, "coarse {dc} > fine {df}"),
+            (Some(_), None) => prop_assert!(false, "coarse export lost all obstacles"),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Collision checking against the exported planner map.
+//!
+//! The paper's planning precision operator modifies the planner's raytracer
+//! "similar to OctoMap": the distance between successive collision samples
+//! along a candidate edge. Coarse steps are cheaper but can thread through
+//! thin obstacles; the exported map's voxel inflation compensates, which is
+//! why the governor is allowed to relax this knob in open space.
+
+use roborun_perception::PlannerMap;
+use roborun_geom::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Collision checker over a [`PlannerMap`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollisionChecker {
+    map: PlannerMap,
+    /// Clearance margin added around obstacles (the MAV body radius).
+    margin: f64,
+    /// Sample spacing along checked segments (metres) — the planning
+    /// precision knob.
+    check_step: f64,
+    /// Number of point queries performed since construction (work metric).
+    queries: usize,
+}
+
+impl CollisionChecker {
+    /// Creates a checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin < 0` or `check_step <= 0`.
+    pub fn new(map: PlannerMap, margin: f64, check_step: f64) -> Self {
+        assert!(margin >= 0.0, "margin must be non-negative, got {margin}");
+        assert!(check_step > 0.0, "check step must be positive, got {check_step}");
+        CollisionChecker {
+            map,
+            margin,
+            check_step,
+            queries: 0,
+        }
+    }
+
+    /// The planner map being checked against.
+    pub fn map(&self) -> &PlannerMap {
+        &self.map
+    }
+
+    /// Clearance margin (metres).
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// Sample spacing (metres).
+    pub fn check_step(&self) -> f64 {
+        self.check_step
+    }
+
+    /// Number of point queries performed so far.
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
+
+    /// `true` when the point is free of obstacles (with margin).
+    pub fn point_free(&mut self, p: Vec3) -> bool {
+        self.queries += 1;
+        !self.map.is_occupied(p, self.margin)
+    }
+
+    /// `true` when the straight segment from `a` to `b` stays free of
+    /// obstacles, sampled every `check_step` metres.
+    pub fn segment_free(&mut self, a: Vec3, b: Vec3) -> bool {
+        let length = a.distance(b);
+        if length < 1e-9 {
+            return self.point_free(a);
+        }
+        let steps = (length / self.check_step).ceil() as usize;
+        for i in 0..=steps {
+            let t = i as f64 / steps as f64;
+            if !self.point_free(a.lerp(b, t)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `true` when every consecutive pair of waypoints is connected by a
+    /// free segment.
+    pub fn path_free(&mut self, waypoints: &[Vec3]) -> bool {
+        if waypoints.is_empty() {
+            return true;
+        }
+        if waypoints.len() == 1 {
+            return self.point_free(waypoints[0]);
+        }
+        waypoints
+            .windows(2)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .all(|w| self.segment_free(w[0], w[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roborun_perception::{ExportConfig, OccupancyMap, PointCloud};
+
+    fn map_with_wall() -> PlannerMap {
+        let mut map = OccupancyMap::new(0.3);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let points: Vec<Vec3> = (-20..=20)
+            .flat_map(|y| (0..20).map(move |z| Vec3::new(10.0, y as f64 * 0.3, z as f64 * 0.3)))
+            .collect();
+        map.integrate_cloud(&PointCloud::new(origin, points), 0.3);
+        PlannerMap::export(&map, &ExportConfig::new(0.3, 1e9, origin))
+    }
+
+    #[test]
+    fn free_and_occupied_points() {
+        let mut checker = CollisionChecker::new(map_with_wall(), 0.45, 0.3);
+        assert!(checker.point_free(Vec3::new(0.0, 0.0, 5.0)));
+        assert!(!checker.point_free(Vec3::new(10.0, 0.0, 5.0)));
+        // Margin inflates obstacles.
+        assert!(!checker.point_free(Vec3::new(9.5, 0.0, 5.0)));
+        assert!(checker.queries() >= 3);
+    }
+
+    #[test]
+    fn segment_through_wall_is_blocked() {
+        let mut checker = CollisionChecker::new(map_with_wall(), 0.45, 0.3);
+        assert!(!checker.segment_free(Vec3::new(0.0, 0.0, 5.0), Vec3::new(20.0, 0.0, 5.0)));
+        // A segment parallel to the wall on the near side is free.
+        assert!(checker.segment_free(Vec3::new(0.0, -5.0, 5.0), Vec3::new(0.0, 5.0, 5.0)));
+        // Degenerate segment behaves like a point query.
+        assert!(checker.segment_free(Vec3::new(1.0, 0.0, 5.0), Vec3::new(1.0, 0.0, 5.0)));
+    }
+
+    #[test]
+    fn path_check_covers_all_segments() {
+        let mut checker = CollisionChecker::new(map_with_wall(), 0.45, 0.3);
+        let around = vec![
+            Vec3::new(0.0, 0.0, 5.0),
+            Vec3::new(5.0, -10.0, 5.0),
+            Vec3::new(15.0, -10.0, 5.0),
+            Vec3::new(20.0, 0.0, 5.0),
+        ];
+        assert!(checker.path_free(&around));
+        let through = vec![Vec3::new(0.0, 0.0, 5.0), Vec3::new(20.0, 0.0, 5.0)];
+        assert!(!checker.path_free(&through));
+        assert!(checker.path_free(&[]));
+        assert!(checker.path_free(&[Vec3::new(0.0, 0.0, 5.0)]));
+    }
+
+    #[test]
+    fn coarser_step_does_fewer_queries() {
+        let mut fine = CollisionChecker::new(map_with_wall(), 0.45, 0.1);
+        let mut coarse = CollisionChecker::new(map_with_wall(), 0.45, 2.0);
+        let a = Vec3::new(0.0, -5.0, 5.0);
+        let b = Vec3::new(0.0, 5.0, 5.0);
+        assert!(fine.segment_free(a, b));
+        assert!(coarse.segment_free(a, b));
+        assert!(fine.queries() > coarse.queries());
+    }
+
+    #[test]
+    fn empty_map_is_all_free() {
+        let mut checker = CollisionChecker::new(PlannerMap::empty(0.3), 0.45, 0.5);
+        assert!(checker.segment_free(Vec3::ZERO, Vec3::new(100.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "check step")]
+    fn zero_step_panics() {
+        let _ = CollisionChecker::new(PlannerMap::empty(0.3), 0.45, 0.0);
+    }
+}

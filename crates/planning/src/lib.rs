@@ -1,0 +1,36 @@
+//! Planning substrate: collision checking, RRT* piece-wise planning and
+//! polynomial path smoothing.
+//!
+//! The paper's planning stage uses two kernels: "piece-wise planning and
+//! path smoothing. Piece-wise planning stochastically samples the map until
+//! a collision-free path to the destination is found. We use the RRT*
+//! planner from the OMPL library due to its asymptotic optimality. We use
+//! Richter, et al.'s Path Smoothing kernel to modify the piece-wise
+//! trajectory to incorporate the MAV's dynamic constraints such as maximum
+//! velocity."
+//!
+//! This crate re-implements both kernels from scratch:
+//!
+//! * [`CollisionChecker`] — segment collision checks against the exported
+//!   [`roborun_perception::PlannerMap`], with the ray-march step acting as
+//!   the *planning precision* operator.
+//! * [`RrtStar`] — a sampling-based planner with rewiring whose explored
+//!   volume is monitored and capped (the *planning volume* operator: "our
+//!   volume monitor stops the search upon exceeding the threshold").
+//! * [`smooth_path`] — piecewise cubic Hermite smoothing with velocity /
+//!   acceleration caps, producing a time-parameterised [`Trajectory`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collision;
+pub mod planner;
+pub mod rrtstar;
+pub mod smoothing;
+pub mod trajectory;
+
+pub use collision::CollisionChecker;
+pub use planner::{PlanError, Planner, PlannerConfig};
+pub use rrtstar::{RrtConfig, RrtResult, RrtStar};
+pub use smoothing::{smooth_path, SmoothingConfig};
+pub use trajectory::{Trajectory, TrajectoryPoint};

@@ -1,0 +1,445 @@
+//! RRT* piece-wise planner with the planning volume operator.
+//!
+//! A from-scratch replacement for the OMPL RRT* planner the paper uses:
+//! stochastic sampling inside a bounded exploration region, nearest-node
+//! extension, cost-aware parent selection and rewiring (the * part), plus
+//! the paper's **planning volume operator**: "RRT* sorts the points/paths
+//! within the explored space and our volume monitor stops the search upon
+//! exceeding the threshold" — implemented here by tracking the axis-aligned
+//! volume of the explored tree and terminating growth when it exceeds the
+//! governor's planner-volume knob.
+
+use crate::CollisionChecker;
+use roborun_geom::{Aabb, SplitMix64, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// RRT* configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RrtConfig {
+    /// Maximum number of samples drawn before giving up.
+    pub max_samples: usize,
+    /// Steering (edge) length in metres.
+    pub steer_length: f64,
+    /// Probability of sampling the goal directly (goal bias).
+    pub goal_bias: f64,
+    /// Radius used when searching for rewiring candidates.
+    pub rewire_radius: f64,
+    /// Distance at which the goal counts as reached.
+    pub goal_tolerance: f64,
+    /// Maximum explored volume (m³) — the planning volume knob.
+    pub max_explored_volume: f64,
+    /// Random seed (explicit for reproducibility).
+    pub seed: u64,
+}
+
+impl Default for RrtConfig {
+    fn default() -> Self {
+        RrtConfig {
+            max_samples: 4000,
+            steer_length: 6.0,
+            goal_bias: 0.15,
+            rewire_radius: 12.0,
+            goal_tolerance: 2.0,
+            max_explored_volume: 1.0e6,
+            seed: 1,
+        }
+    }
+}
+
+impl RrtConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_samples == 0 {
+            return Err("max_samples must be at least 1".into());
+        }
+        if self.steer_length <= 0.0 {
+            return Err(format!("steer_length must be positive, got {}", self.steer_length));
+        }
+        if !(0.0..=1.0).contains(&self.goal_bias) {
+            return Err(format!("goal_bias must be in [0,1], got {}", self.goal_bias));
+        }
+        if self.rewire_radius <= 0.0 {
+            return Err(format!("rewire_radius must be positive, got {}", self.rewire_radius));
+        }
+        if self.goal_tolerance <= 0.0 {
+            return Err(format!("goal_tolerance must be positive, got {}", self.goal_tolerance));
+        }
+        if self.max_explored_volume < 0.0 {
+            return Err(format!(
+                "max_explored_volume must be non-negative, got {}",
+                self.max_explored_volume
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Result of an RRT* search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RrtResult {
+    /// Waypoints from start to goal (inclusive); empty when no path found.
+    pub path: Vec<Vec3>,
+    /// Path cost (length in metres); infinite when no path was found.
+    pub cost: f64,
+    /// Number of samples drawn.
+    pub samples_drawn: usize,
+    /// Number of nodes in the final tree.
+    pub tree_size: usize,
+    /// Axis-aligned volume of the explored tree (m³).
+    pub explored_volume: f64,
+    /// `true` when the search stopped because the volume monitor tripped.
+    pub volume_capped: bool,
+}
+
+impl RrtResult {
+    /// `true` when a path to the goal was found.
+    pub fn found(&self) -> bool {
+        !self.path.is_empty()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    position: Vec3,
+    parent: Option<usize>,
+    cost: f64,
+}
+
+/// The RRT* planner.
+#[derive(Debug, Clone)]
+pub struct RrtStar {
+    config: RrtConfig,
+}
+
+impl RrtStar {
+    /// Creates a planner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: RrtConfig) -> Self {
+        config.validate().expect("invalid RRT* configuration");
+        RrtStar { config }
+    }
+
+    /// The planner's configuration.
+    pub fn config(&self) -> &RrtConfig {
+        &self.config
+    }
+
+    /// Searches for a collision-free path from `start` to `goal` inside
+    /// `sampling_bounds`, checking edges against `checker`.
+    pub fn plan(
+        &self,
+        checker: &mut CollisionChecker,
+        start: Vec3,
+        goal: Vec3,
+        sampling_bounds: &Aabb,
+    ) -> RrtResult {
+        let cfg = &self.config;
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut nodes = vec![Node {
+            position: start,
+            parent: None,
+            cost: 0.0,
+        }];
+        let mut explored = Aabb::new(start, start);
+        let mut best_goal_node: Option<usize> = None;
+        let mut samples_drawn = 0usize;
+        let mut volume_capped = false;
+
+        // Direct connection shortcut: open sky missions should not pay for
+        // tree growth at all.
+        if checker.segment_free(start, goal) {
+            return RrtResult {
+                path: vec![start, goal],
+                cost: start.distance(goal),
+                samples_drawn: 0,
+                tree_size: 1,
+                explored_volume: 0.0,
+                volume_capped: false,
+            };
+        }
+
+        for _ in 0..cfg.max_samples {
+            samples_drawn += 1;
+            // Volume monitor (planning volume operator).
+            if explored.volume() > cfg.max_explored_volume {
+                volume_capped = true;
+                break;
+            }
+            let target = if rng.chance(cfg.goal_bias) {
+                goal
+            } else {
+                rng.point_in_aabb(sampling_bounds)
+            };
+            // Nearest node.
+            let nearest_idx = nearest(&nodes, target);
+            let nearest_pos = nodes[nearest_idx].position;
+            let new_pos = steer(nearest_pos, target, cfg.steer_length);
+            if !checker.segment_free(nearest_pos, new_pos) {
+                continue;
+            }
+            // Choose the best parent within the rewire radius.
+            let neighbours = near(&nodes, new_pos, cfg.rewire_radius);
+            let mut best_parent = nearest_idx;
+            let mut best_cost = nodes[nearest_idx].cost + nearest_pos.distance(new_pos);
+            for &n in &neighbours {
+                let candidate_cost = nodes[n].cost + nodes[n].position.distance(new_pos);
+                if candidate_cost < best_cost && checker.segment_free(nodes[n].position, new_pos) {
+                    best_parent = n;
+                    best_cost = candidate_cost;
+                }
+            }
+            let new_idx = nodes.len();
+            nodes.push(Node {
+                position: new_pos,
+                parent: Some(best_parent),
+                cost: best_cost,
+            });
+            explored = Aabb::union(&explored, &Aabb::new(new_pos, new_pos));
+
+            // Rewire neighbours through the new node when cheaper.
+            for &n in &neighbours {
+                let through_new = best_cost + new_pos.distance(nodes[n].position);
+                if through_new + 1e-9 < nodes[n].cost
+                    && checker.segment_free(new_pos, nodes[n].position)
+                {
+                    nodes[n].parent = Some(new_idx);
+                    nodes[n].cost = through_new;
+                }
+            }
+
+            // Goal connection.
+            if new_pos.distance(goal) <= cfg.goal_tolerance
+                || (new_pos.distance(goal) <= cfg.steer_length
+                    && checker.segment_free(new_pos, goal))
+            {
+                let goal_cost = best_cost + new_pos.distance(goal);
+                let better = match best_goal_node {
+                    None => true,
+                    Some(idx) => goal_cost < nodes[idx].cost + nodes[idx].position.distance(goal),
+                };
+                if better {
+                    best_goal_node = Some(new_idx);
+                }
+            }
+        }
+
+        let explored_volume = explored.volume();
+        match best_goal_node {
+            Some(idx) => {
+                let mut path = vec![goal];
+                let mut cursor = Some(idx);
+                while let Some(i) = cursor {
+                    path.push(nodes[i].position);
+                    cursor = nodes[i].parent;
+                }
+                path.reverse();
+                let cost = path.windows(2).map(|w| w[0].distance(w[1])).sum();
+                RrtResult {
+                    path,
+                    cost,
+                    samples_drawn,
+                    tree_size: nodes.len(),
+                    explored_volume,
+                    volume_capped,
+                }
+            }
+            None => RrtResult {
+                path: Vec::new(),
+                cost: f64::INFINITY,
+                samples_drawn,
+                tree_size: nodes.len(),
+                explored_volume,
+                volume_capped,
+            },
+        }
+    }
+}
+
+fn nearest(nodes: &[Node], target: Vec3) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, n) in nodes.iter().enumerate() {
+        let d = n.position.distance_squared(target);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn near(nodes: &[Node], p: Vec3, radius: f64) -> Vec<usize> {
+    nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.position.distance(p) <= radius)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn steer(from: Vec3, towards: Vec3, max_len: f64) -> Vec3 {
+    let d = from.distance(towards);
+    if d <= max_len {
+        towards
+    } else {
+        from + (towards - from) * (max_len / d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roborun_geom::Vec3;
+    use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
+
+    fn open_checker() -> CollisionChecker {
+        CollisionChecker::new(PlannerMap::empty(0.3), 0.45, 0.5)
+    }
+
+    fn wall_with_gap_checker() -> CollisionChecker {
+        // A wall at x = 20 spanning y in [-30, 30] except a gap at y ∈ [6, 10].
+        let mut map = OccupancyMap::new(0.5);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let mut points = Vec::new();
+        for yi in -60..=60 {
+            let y = yi as f64 * 0.5;
+            if (6.0..=10.0).contains(&y) {
+                continue;
+            }
+            for zi in 0..30 {
+                points.push(Vec3::new(20.0, y, zi as f64 * 0.5));
+            }
+        }
+        map.integrate_cloud(&PointCloud::new(origin, points), 1.0);
+        let pm = PlannerMap::export(&map, &ExportConfig::new(0.5, 1e9, origin));
+        CollisionChecker::new(pm, 0.45, 0.5)
+    }
+
+    fn corridor_bounds() -> Aabb {
+        Aabb::new(Vec3::new(-5.0, -35.0, 1.0), Vec3::new(45.0, 35.0, 12.0))
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(RrtConfig::default().validate().is_ok());
+        assert!(RrtConfig { max_samples: 0, ..RrtConfig::default() }.validate().is_err());
+        assert!(RrtConfig { steer_length: 0.0, ..RrtConfig::default() }.validate().is_err());
+        assert!(RrtConfig { goal_bias: 1.5, ..RrtConfig::default() }.validate().is_err());
+        assert!(RrtConfig { rewire_radius: -1.0, ..RrtConfig::default() }.validate().is_err());
+        assert!(RrtConfig { goal_tolerance: 0.0, ..RrtConfig::default() }.validate().is_err());
+        assert!(RrtConfig { max_explored_volume: -1.0, ..RrtConfig::default() }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn open_space_uses_direct_connection() {
+        let planner = RrtStar::new(RrtConfig::default());
+        let mut checker = open_checker();
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        let result = planner.plan(&mut checker, start, goal, &corridor_bounds());
+        assert!(result.found());
+        assert_eq!(result.path.len(), 2);
+        assert_eq!(result.samples_drawn, 0);
+        assert!((result.cost - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finds_path_through_gap() {
+        let planner = RrtStar::new(RrtConfig { seed: 3, ..RrtConfig::default() });
+        let mut checker = wall_with_gap_checker();
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        let result = planner.plan(&mut checker, start, goal, &corridor_bounds());
+        assert!(result.found(), "no path found through the gap");
+        // Path starts and ends correctly.
+        assert!((result.path[0] - start).norm() < 1e-9);
+        assert!((result.path.last().unwrap().distance(goal)) < 1e-9);
+        // Path must be collision free at the checked resolution.
+        let mut verify = wall_with_gap_checker();
+        assert!(verify.path_free(&result.path));
+        // Path is longer than the straight line (it must detour to the gap).
+        assert!(result.cost >= 40.0);
+        assert!(result.tree_size > 1);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let planner = RrtStar::new(RrtConfig { seed: 7, ..RrtConfig::default() });
+        let mut c1 = wall_with_gap_checker();
+        let mut c2 = wall_with_gap_checker();
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        let r1 = planner.plan(&mut c1, start, goal, &corridor_bounds());
+        let r2 = planner.plan(&mut c2, start, goal, &corridor_bounds());
+        assert_eq!(r1.path, r2.path);
+        assert_eq!(r1.samples_drawn, r2.samples_drawn);
+    }
+
+    #[test]
+    fn volume_monitor_caps_exploration() {
+        // Unreachable goal (fully blocked wall) with a tiny volume budget:
+        // the search must terminate early via the volume monitor.
+        let mut map = OccupancyMap::new(0.5);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let mut points = Vec::new();
+        for yi in -70..=70 {
+            for zi in 0..30 {
+                points.push(Vec3::new(20.0, yi as f64 * 0.5, zi as f64 * 0.5));
+            }
+        }
+        map.integrate_cloud(&PointCloud::new(origin, points), 1.0);
+        let pm = PlannerMap::export(&map, &ExportConfig::new(0.5, 1e9, origin));
+        let mut checker = CollisionChecker::new(pm, 0.45, 0.5);
+        let planner = RrtStar::new(RrtConfig {
+            max_explored_volume: 500.0,
+            max_samples: 100_000,
+            seed: 5,
+            ..RrtConfig::default()
+        });
+        let result = planner.plan(
+            &mut checker,
+            Vec3::new(0.0, 0.0, 5.0),
+            Vec3::new(40.0, 0.0, 5.0),
+            &Aabb::new(Vec3::new(-5.0, -35.0, 1.0), Vec3::new(18.0, 35.0, 12.0)),
+        );
+        assert!(result.volume_capped, "volume monitor should have tripped");
+        assert!(result.samples_drawn < 100_000);
+        assert!(!result.found());
+        assert_eq!(result.cost, f64::INFINITY);
+    }
+
+    #[test]
+    fn larger_volume_budget_explores_more() {
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        let run = |budget: f64| {
+            let planner = RrtStar::new(RrtConfig {
+                max_explored_volume: budget,
+                max_samples: 600,
+                seed: 11,
+                ..RrtConfig::default()
+            });
+            let mut checker = wall_with_gap_checker();
+            planner.plan(&mut checker, start, goal, &corridor_bounds())
+        };
+        let small = run(200.0);
+        let large = run(1.0e7);
+        assert!(large.explored_volume >= small.explored_volume);
+        assert!(large.tree_size >= small.tree_size);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RRT*")]
+    fn invalid_config_panics() {
+        let _ = RrtStar::new(RrtConfig { steer_length: -1.0, ..RrtConfig::default() });
+    }
+}

@@ -1,0 +1,282 @@
+//! Path smoothing (Richter-et-al.-style polynomial trajectories).
+//!
+//! The piece-wise RRT* path is a chain of straight segments with corners a
+//! real quadrotor cannot track at speed. The paper runs Richter et al.'s
+//! polynomial smoothing kernel to "incorporate the MAV's dynamic constraints
+//! such as maximum velocity". Our smoother fits a cubic Hermite segment per
+//! waypoint pair (catmull-rom style tangents) and time-parameterises the
+//! result so that the commanded speed never exceeds the velocity cap and the
+//! speed ramps respect the acceleration cap.
+
+use crate::{Trajectory, TrajectoryPoint};
+use roborun_geom::{Polynomial, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Smoothing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmoothingConfig {
+    /// Maximum commanded speed along the trajectory (m/s).
+    pub max_speed: f64,
+    /// Maximum acceleration (m/s²) used for the speed ramps.
+    pub max_acceleration: f64,
+    /// Number of samples generated per segment.
+    pub samples_per_segment: usize,
+}
+
+impl Default for SmoothingConfig {
+    fn default() -> Self {
+        SmoothingConfig {
+            max_speed: 5.0,
+            max_acceleration: 2.5,
+            samples_per_segment: 8,
+        }
+    }
+}
+
+impl SmoothingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_speed <= 0.0 {
+            return Err(format!("max_speed must be positive, got {}", self.max_speed));
+        }
+        if self.max_acceleration <= 0.0 {
+            return Err(format!(
+                "max_acceleration must be positive, got {}",
+                self.max_acceleration
+            ));
+        }
+        if self.samples_per_segment == 0 {
+            return Err("samples_per_segment must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Smooths a piece-wise path into a time-parameterised [`Trajectory`].
+///
+/// The speed profile is a trapezoid: it ramps from zero at the start, holds
+/// `cruise_speed` (capped by the config's `max_speed`), and ramps back to
+/// zero at the goal, with ramp lengths dictated by `max_acceleration`.
+///
+/// Returns an empty trajectory for an empty path and a single hovering
+/// point for a single-waypoint path.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `cruise_speed < 0`.
+pub fn smooth_path(path: &[Vec3], cruise_speed: f64, config: &SmoothingConfig) -> Trajectory {
+    config.validate().expect("invalid smoothing configuration");
+    assert!(cruise_speed >= 0.0, "cruise speed must be non-negative");
+    if path.is_empty() {
+        return Trajectory::empty();
+    }
+    if path.len() == 1 {
+        return Trajectory::new(vec![TrajectoryPoint {
+            time: 0.0,
+            position: path[0],
+            speed: 0.0,
+        }]);
+    }
+
+    let cruise = cruise_speed.min(config.max_speed).max(0.05);
+
+    // 1. Geometric smoothing: cubic Hermite per segment with Catmull-Rom
+    //    tangents, sampled densely.
+    let mut positions: Vec<Vec3> = Vec::new();
+    for i in 0..path.len() - 1 {
+        let p0 = path[i];
+        let p1 = path[i + 1];
+        let prev = if i == 0 { p0 } else { path[i - 1] };
+        let next = if i + 2 < path.len() { path[i + 2] } else { p1 };
+        let m0 = (p1 - prev) * 0.5;
+        let m1 = (next - p0) * 0.5;
+        let hx = Polynomial::hermite(p0.x, p1.x, m0.x, m1.x);
+        let hy = Polynomial::hermite(p0.y, p1.y, m0.y, m1.y);
+        let hz = Polynomial::hermite(p0.z, p1.z, m0.z, m1.z);
+        let n = config.samples_per_segment;
+        let start_s = if i == 0 { 0 } else { 1 };
+        for s in start_s..=n {
+            let u = s as f64 / n as f64;
+            positions.push(Vec3::new(hx.eval(u), hy.eval(u), hz.eval(u)));
+        }
+    }
+
+    // 2. Arc-length along the smoothed geometry.
+    let mut arc = vec![0.0f64];
+    for w in positions.windows(2) {
+        let last = *arc.last().expect("arc always has an element");
+        arc.push(last + w[0].distance(w[1]));
+    }
+    let total_length = *arc.last().expect("arc always has an element");
+    if total_length < 1e-9 {
+        return Trajectory::new(vec![TrajectoryPoint {
+            time: 0.0,
+            position: positions[0],
+            speed: 0.0,
+        }]);
+    }
+
+    // 3. Trapezoidal speed profile along the arc length.
+    let accel = config.max_acceleration;
+    let ramp_length = cruise * cruise / (2.0 * accel);
+    let (ramp, cruise) = if 2.0 * ramp_length > total_length {
+        // Triangle profile: never reaches the requested cruise speed.
+        let peak = (accel * total_length).sqrt();
+        (total_length / 2.0, peak)
+    } else {
+        (ramp_length, cruise)
+    };
+
+    let speed_at = |s: f64| -> f64 {
+        if s < ramp {
+            (2.0 * accel * s).sqrt().min(cruise)
+        } else if s > total_length - ramp {
+            (2.0 * accel * (total_length - s)).max(0.0).sqrt().min(cruise)
+        } else {
+            cruise
+        }
+    };
+
+    // 4. Integrate time along the arc.
+    let mut points = Vec::with_capacity(positions.len());
+    let mut time = 0.0;
+    for (i, &pos) in positions.iter().enumerate() {
+        if i > 0 {
+            let ds = arc[i] - arc[i - 1];
+            let v_avg = 0.5 * (speed_at(arc[i - 1]) + speed_at(arc[i])).max(0.05);
+            time += ds / v_avg;
+        }
+        points.push(TrajectoryPoint {
+            time,
+            position: pos,
+            speed: speed_at(arc[i]),
+        });
+    }
+    Trajectory::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shaped_path() -> Vec<Vec3> {
+        vec![
+            Vec3::new(0.0, 0.0, 5.0),
+            Vec3::new(20.0, 0.0, 5.0),
+            Vec3::new(20.0, 20.0, 5.0),
+        ]
+    }
+
+    #[test]
+    fn empty_and_single_point_paths() {
+        let cfg = SmoothingConfig::default();
+        assert!(smooth_path(&[], 2.0, &cfg).is_empty());
+        let single = smooth_path(&[Vec3::new(1.0, 2.0, 3.0)], 2.0, &cfg);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.duration(), 0.0);
+        assert_eq!(single.points()[0].speed, 0.0);
+    }
+
+    #[test]
+    fn endpoints_are_preserved() {
+        let cfg = SmoothingConfig::default();
+        let path = l_shaped_path();
+        let traj = smooth_path(&path, 3.0, &cfg);
+        assert!((traj.start_position().unwrap() - path[0]).norm() < 1e-9);
+        assert!((traj.end_position().unwrap() - *path.last().unwrap()).norm() < 1e-9);
+        assert!(traj.len() > path.len());
+    }
+
+    #[test]
+    fn speed_never_exceeds_caps() {
+        let cfg = SmoothingConfig { max_speed: 4.0, ..SmoothingConfig::default() };
+        // Commanded cruise above the cap gets clamped.
+        let traj = smooth_path(&l_shaped_path(), 10.0, &cfg);
+        assert!(traj.max_speed() <= 4.0 + 1e-9);
+        for p in traj.points() {
+            assert!(p.speed >= 0.0);
+        }
+        // Starts and ends at (near) rest.
+        assert!(traj.points()[0].speed < 0.5);
+        assert!(traj.points().last().unwrap().speed < 0.5);
+    }
+
+    #[test]
+    fn acceleration_respected_between_samples() {
+        let cfg = SmoothingConfig { max_acceleration: 2.0, ..SmoothingConfig::default() };
+        let traj = smooth_path(&l_shaped_path(), 5.0, &cfg);
+        for w in traj.points().windows(2) {
+            let dt = (w[1].time - w[0].time).max(1e-9);
+            let dv = (w[1].speed - w[0].speed).abs();
+            assert!(dv / dt <= cfg.max_acceleration * 1.5 + 1e-6, "accel {}", dv / dt);
+        }
+    }
+
+    #[test]
+    fn slower_cruise_takes_longer() {
+        let cfg = SmoothingConfig::default();
+        let slow = smooth_path(&l_shaped_path(), 0.5, &cfg);
+        let fast = smooth_path(&l_shaped_path(), 4.0, &cfg);
+        assert!(slow.duration() > fast.duration());
+        // Both cover roughly the same geometry.
+        assert!((slow.length() - fast.length()).abs() < 1.0);
+    }
+
+    #[test]
+    fn short_path_uses_triangle_profile() {
+        let cfg = SmoothingConfig::default();
+        let path = vec![Vec3::new(0.0, 0.0, 5.0), Vec3::new(1.0, 0.0, 5.0)];
+        let traj = smooth_path(&path, 5.0, &cfg);
+        // 1 m at 2.5 m/s² can never reach 5 m/s.
+        assert!(traj.max_speed() < 2.0);
+        assert!(traj.duration() > 0.0);
+    }
+
+    #[test]
+    fn smoothed_geometry_stays_near_waypoints() {
+        let cfg = SmoothingConfig::default();
+        let path = l_shaped_path();
+        let traj = smooth_path(&path, 3.0, &cfg);
+        // Every original waypoint should have a nearby trajectory sample
+        // (Catmull-Rom interpolates the waypoints).
+        for wp in &path {
+            let min_d = traj
+                .points()
+                .iter()
+                .map(|p| p.position.distance(*wp))
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_d < 1.0, "waypoint {wp:?} is {min_d} m from the trajectory");
+        }
+    }
+
+    #[test]
+    fn times_are_strictly_increasing() {
+        let cfg = SmoothingConfig::default();
+        let traj = smooth_path(&l_shaped_path(), 2.0, &cfg);
+        for w in traj.points().windows(2) {
+            assert!(w[1].time > w[0].time);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid smoothing")]
+    fn invalid_config_panics() {
+        let bad = SmoothingConfig { max_speed: 0.0, ..SmoothingConfig::default() };
+        let _ = smooth_path(&l_shaped_path(), 1.0, &bad);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SmoothingConfig::default().validate().is_ok());
+        assert!(SmoothingConfig { max_acceleration: 0.0, ..SmoothingConfig::default() }
+            .validate()
+            .is_err());
+        assert!(SmoothingConfig { samples_per_segment: 0, ..SmoothingConfig::default() }
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Time-parameterised trajectories.
+
+use roborun_geom::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// One sample of a trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Time since the start of the trajectory (seconds).
+    pub time: f64,
+    /// Position (metres).
+    pub position: Vec3,
+    /// Planned speed at this point (m/s).
+    pub speed: f64,
+}
+
+/// A time-parameterised path the control stage follows.
+///
+/// The smoother produces these; the runtime's profilers read the upcoming
+/// waypoints (positions, times and speeds) to run the waypoint-aware time
+/// budgeting of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<TrajectoryPoint>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample times are not non-decreasing.
+    pub fn new(points: Vec<TrajectoryPoint>) -> Self {
+        for w in points.windows(2) {
+            assert!(
+                w[1].time >= w[0].time,
+                "trajectory times must be non-decreasing ({} then {})",
+                w[0].time,
+                w[1].time
+            );
+        }
+        Trajectory { points }
+    }
+
+    /// An empty trajectory.
+    pub fn empty() -> Self {
+        Trajectory { points: Vec::new() }
+    }
+
+    /// The trajectory samples.
+    pub fn points(&self) -> &[TrajectoryPoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the trajectory has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total duration (seconds); zero for empty or single-point trajectories.
+    pub fn duration(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => b.time - a.time,
+            _ => 0.0,
+        }
+    }
+
+    /// Total path length (metres).
+    pub fn length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].position.distance(w[1].position))
+            .sum()
+    }
+
+    /// Final position, or `None` when empty.
+    pub fn end_position(&self) -> Option<Vec3> {
+        self.points.last().map(|p| p.position)
+    }
+
+    /// First position, or `None` when empty.
+    pub fn start_position(&self) -> Option<Vec3> {
+        self.points.first().map(|p| p.position)
+    }
+
+    /// Maximum planned speed along the trajectory.
+    pub fn max_speed(&self) -> f64 {
+        self.points.iter().map(|p| p.speed).fold(0.0, f64::max)
+    }
+
+    /// Position and speed at time `t` (clamped to the trajectory's time
+    /// range), interpolated linearly between samples. Returns `None` when
+    /// the trajectory is empty.
+    pub fn sample_at(&self, t: f64) -> Option<TrajectoryPoint> {
+        let first = self.points.first()?;
+        let last = self.points.last()?;
+        if t <= first.time {
+            return Some(*first);
+        }
+        if t >= last.time {
+            return Some(*last);
+        }
+        let idx = self
+            .points
+            .windows(2)
+            .position(|w| w[0].time <= t && t <= w[1].time)?;
+        let a = self.points[idx];
+        let b = self.points[idx + 1];
+        let span = (b.time - a.time).max(1e-12);
+        let frac = (t - a.time) / span;
+        Some(TrajectoryPoint {
+            time: t,
+            position: a.position.lerp(b.position, frac),
+            speed: a.speed + (b.speed - a.speed) * frac,
+        })
+    }
+
+    /// The waypoints (positions only) of the trajectory.
+    pub fn waypoints(&self) -> Vec<Vec3> {
+        self.points.iter().map(|p| p.position).collect()
+    }
+
+    /// Remaining sub-trajectory from time `t` onwards (times re-zeroed),
+    /// used when re-planning mid-flight.
+    pub fn remaining_from(&self, t: f64) -> Trajectory {
+        if self.points.is_empty() {
+            return Trajectory::empty();
+        }
+        let mut points: Vec<TrajectoryPoint> = Vec::new();
+        if let Some(current) = self.sample_at(t) {
+            points.push(TrajectoryPoint {
+                time: 0.0,
+                ..current
+            });
+        }
+        for p in &self.points {
+            if p.time > t {
+                points.push(TrajectoryPoint {
+                    time: p.time - t,
+                    ..*p
+                });
+            }
+        }
+        Trajectory::new(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_line() -> Trajectory {
+        Trajectory::new(
+            (0..=10)
+                .map(|i| TrajectoryPoint {
+                    time: i as f64,
+                    position: Vec3::new(i as f64 * 2.0, 0.0, 5.0),
+                    speed: 2.0,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn empty_trajectory() {
+        let t = Trajectory::empty();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.duration(), 0.0);
+        assert_eq!(t.length(), 0.0);
+        assert!(t.sample_at(1.0).is_none());
+        assert!(t.end_position().is_none());
+        assert!(t.start_position().is_none());
+        assert_eq!(t.max_speed(), 0.0);
+        assert!(t.remaining_from(5.0).is_empty());
+    }
+
+    #[test]
+    fn duration_length_and_endpoints() {
+        let t = straight_line();
+        assert_eq!(t.duration(), 10.0);
+        assert!((t.length() - 20.0).abs() < 1e-12);
+        assert_eq!(t.start_position().unwrap(), Vec3::new(0.0, 0.0, 5.0));
+        assert_eq!(t.end_position().unwrap(), Vec3::new(20.0, 0.0, 5.0));
+        assert_eq!(t.max_speed(), 2.0);
+        assert_eq!(t.waypoints().len(), 11);
+    }
+
+    #[test]
+    fn sampling_interpolates_and_clamps() {
+        let t = straight_line();
+        let mid = t.sample_at(2.5).unwrap();
+        assert!((mid.position - Vec3::new(5.0, 0.0, 5.0)).norm() < 1e-12);
+        assert_eq!(mid.speed, 2.0);
+        assert_eq!(t.sample_at(-1.0).unwrap().position, Vec3::new(0.0, 0.0, 5.0));
+        assert_eq!(t.sample_at(99.0).unwrap().position, Vec3::new(20.0, 0.0, 5.0));
+    }
+
+    #[test]
+    fn remaining_from_rezeros_time() {
+        let t = straight_line();
+        let rest = t.remaining_from(4.5);
+        assert!((rest.duration() - 5.5).abs() < 1e-9);
+        assert!((rest.start_position().unwrap() - Vec3::new(9.0, 0.0, 5.0)).norm() < 1e-9);
+        assert_eq!(rest.end_position().unwrap(), t.end_position().unwrap());
+        assert_eq!(rest.points()[0].time, 0.0);
+        // Past the end: a single clamped point remains.
+        let tail = t.remaining_from(100.0);
+        assert_eq!(tail.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_unsorted_times() {
+        let _ = Trajectory::new(vec![
+            TrajectoryPoint { time: 1.0, position: Vec3::ZERO, speed: 1.0 },
+            TrajectoryPoint { time: 0.5, position: Vec3::X, speed: 1.0 },
+        ]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Simulated depth cameras and the six-camera rig.
+//!
+//! The paper's MAV carries "6 cameras, an IMU, and a GPS"; the perception
+//! stage converts camera pixels into 3-D points (the *Point cloud* kernel).
+//! Here each camera is a pinhole depth sensor realised by ray casting into
+//! the ground-truth obstacle field: each pixel ray either hits an obstacle
+//! (producing a point) or reports free space up to the maximum range.
+
+use roborun_env::ObstacleField;
+use roborun_geom::{Pose, Ray, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A single simulated depth camera.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepthCamera {
+    /// Yaw of the camera's optical axis relative to the drone body (radians).
+    pub mount_yaw: f64,
+    /// Horizontal field of view (radians).
+    pub h_fov: f64,
+    /// Vertical field of view (radians).
+    pub v_fov: f64,
+    /// Horizontal resolution (rays).
+    pub h_res: usize,
+    /// Vertical resolution (rays).
+    pub v_res: usize,
+    /// Maximum sensing range (metres).
+    pub max_range: f64,
+}
+
+impl DepthCamera {
+    /// Creates a camera with the given mount yaw and otherwise default
+    /// intrinsics (60°×45° FOV, 16×8 rays, 40 m range).
+    pub fn mounted_at(mount_yaw: f64) -> Self {
+        DepthCamera {
+            mount_yaw,
+            h_fov: 60f64.to_radians(),
+            v_fov: 45f64.to_radians(),
+            h_res: 16,
+            v_res: 8,
+            max_range: 40.0,
+        }
+    }
+
+    /// Number of rays this camera casts per frame.
+    pub fn ray_count(&self) -> usize {
+        self.h_res * self.v_res
+    }
+
+    /// Captures one depth frame from `pose` into `field`, appending hit
+    /// points to `hits` and returning the number of rays that hit an
+    /// obstacle within range.
+    pub fn capture_into(
+        &self,
+        field: &ObstacleField,
+        pose: &Pose,
+        hits: &mut Vec<Vec3>,
+    ) -> usize {
+        let mut hit_count = 0;
+        for iy in 0..self.v_res {
+            for ix in 0..self.h_res {
+                let fx = if self.h_res == 1 {
+                    0.0
+                } else {
+                    ix as f64 / (self.h_res - 1) as f64 - 0.5
+                };
+                let fy = if self.v_res == 1 {
+                    0.0
+                } else {
+                    iy as f64 / (self.v_res - 1) as f64 - 0.5
+                };
+                let yaw = pose.yaw + self.mount_yaw + fx * self.h_fov;
+                let pitch = fy * self.v_fov;
+                let dir = Vec3::new(
+                    yaw.cos() * pitch.cos(),
+                    yaw.sin() * pitch.cos(),
+                    pitch.sin(),
+                );
+                let ray = Ray::new(pose.position, dir);
+                if let Some(hit) = field.raycast(&ray, self.max_range) {
+                    hits.push(hit.point);
+                    hit_count += 1;
+                }
+            }
+        }
+        hit_count
+    }
+}
+
+/// One full sweep of the camera rig.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DepthScan {
+    /// World-frame points where rays hit obstacles.
+    pub points: Vec<Vec3>,
+    /// Total number of rays cast across the rig.
+    pub rays_cast: usize,
+    /// Pose the scan was captured from.
+    pub pose: Pose,
+    /// Maximum sensing range of the rig's cameras (metres).
+    pub max_range: f64,
+}
+
+impl DepthScan {
+    /// Fraction of rays that hit an obstacle (a cheap congestion proxy).
+    pub fn hit_fraction(&self) -> f64 {
+        if self.rays_cast == 0 {
+            0.0
+        } else {
+            self.points.len() as f64 / self.rays_cast as f64
+        }
+    }
+}
+
+/// The MAV's camera rig: several depth cameras mounted around the airframe.
+///
+/// # Example
+///
+/// ```
+/// use roborun_sim::CameraRig;
+/// let rig = CameraRig::hexa_rig();
+/// assert_eq!(rig.cameras().len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CameraRig {
+    cameras: Vec<DepthCamera>,
+}
+
+impl CameraRig {
+    /// The paper's six-camera rig covering the full 360° horizontal FOV.
+    pub fn hexa_rig() -> Self {
+        let cameras = (0..6)
+            .map(|i| DepthCamera::mounted_at(i as f64 * std::f64::consts::TAU / 6.0))
+            .collect();
+        CameraRig { cameras }
+    }
+
+    /// A single forward-facing camera (useful for cheap tests).
+    pub fn mono_rig() -> Self {
+        CameraRig {
+            cameras: vec![DepthCamera::mounted_at(0.0)],
+        }
+    }
+
+    /// Creates a rig from explicit cameras.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cameras` is empty.
+    pub fn new(cameras: Vec<DepthCamera>) -> Self {
+        assert!(!cameras.is_empty(), "a camera rig needs at least one camera");
+        CameraRig { cameras }
+    }
+
+    /// The cameras in the rig.
+    pub fn cameras(&self) -> &[DepthCamera] {
+        &self.cameras
+    }
+
+    /// Total rays cast per sweep.
+    pub fn rays_per_sweep(&self) -> usize {
+        self.cameras.iter().map(|c| c.ray_count()).sum()
+    }
+
+    /// Maximum sensing range across the rig.
+    pub fn max_range(&self) -> f64 {
+        self.cameras
+            .iter()
+            .map(|c| c.max_range)
+            .fold(0.0, f64::max)
+    }
+
+    /// Captures a full sweep from the given pose.
+    ///
+    /// Only obstacles within the rig's sensing range can produce returns,
+    /// so the field is pre-filtered to that neighbourhood before the
+    /// per-ray casts — the mission corridor holds hundreds of obstacles but
+    /// only the local cluster is ever visible.
+    pub fn capture(&self, field: &ObstacleField, pose: &Pose) -> DepthScan {
+        let local = field.subfield_within(pose.position, self.max_range() + 1.0);
+        let mut points = Vec::new();
+        for cam in &self.cameras {
+            cam.capture_into(&local, pose, &mut points);
+        }
+        DepthScan {
+            points,
+            rays_cast: self.rays_per_sweep(),
+            pose: *pose,
+            max_range: self.max_range(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roborun_env::Obstacle;
+    use roborun_geom::Aabb;
+
+    fn wall_field() -> ObstacleField {
+        ObstacleField::new(vec![Obstacle::new(
+            0,
+            Aabb::new(Vec3::new(10.0, -30.0, 0.0), Vec3::new(11.0, 30.0, 20.0)),
+        )])
+    }
+
+    #[test]
+    fn hexa_rig_covers_six_directions() {
+        let rig = CameraRig::hexa_rig();
+        assert_eq!(rig.cameras().len(), 6);
+        assert!(rig.rays_per_sweep() >= 6 * 16 * 8);
+        assert!(rig.max_range() > 0.0);
+    }
+
+    #[test]
+    fn empty_world_produces_no_points() {
+        let rig = CameraRig::hexa_rig();
+        let scan = rig.capture(&ObstacleField::empty(), &Pose::new(Vec3::new(0.0, 0.0, 5.0), 0.0));
+        assert!(scan.points.is_empty());
+        assert_eq!(scan.hit_fraction(), 0.0);
+        assert_eq!(scan.rays_cast, rig.rays_per_sweep());
+    }
+
+    #[test]
+    fn forward_camera_sees_wall() {
+        let rig = CameraRig::mono_rig();
+        let field = wall_field();
+        let scan = rig.capture(&field, &Pose::new(Vec3::new(0.0, 0.0, 5.0), 0.0));
+        assert!(!scan.points.is_empty());
+        assert!(scan.hit_fraction() > 0.0);
+        // All points lie on the wall's front face (x ≈ 10) within range.
+        for p in &scan.points {
+            assert!(p.x >= 9.9 && p.x <= 11.1, "unexpected hit {p:?}");
+        }
+    }
+
+    #[test]
+    fn camera_facing_away_sees_nothing() {
+        let rig = CameraRig::mono_rig();
+        let field = wall_field();
+        let scan = rig.capture(&field, &Pose::new(Vec3::new(0.0, 0.0, 5.0), std::f64::consts::PI));
+        assert!(scan.points.is_empty());
+    }
+
+    #[test]
+    fn hexa_rig_sees_wall_regardless_of_yaw() {
+        let rig = CameraRig::hexa_rig();
+        let field = wall_field();
+        for yaw_deg in [0.0, 45.0, 123.0, 270.0] {
+            let yaw = (yaw_deg as f64).to_radians();
+            let scan = rig.capture(&field, &Pose::new(Vec3::new(0.0, 0.0, 5.0), yaw));
+            assert!(!scan.points.is_empty(), "no hits at yaw {yaw_deg}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_wall_is_invisible() {
+        let rig = CameraRig::mono_rig();
+        let field = ObstacleField::new(vec![Obstacle::new(
+            0,
+            Aabb::new(Vec3::new(100.0, -30.0, 0.0), Vec3::new(101.0, 30.0, 20.0)),
+        )]);
+        let scan = rig.capture(&field, &Pose::new(Vec3::new(0.0, 0.0, 5.0), 0.0));
+        assert!(scan.points.is_empty());
+    }
+
+    #[test]
+    fn ray_counts() {
+        let cam = DepthCamera::mounted_at(0.0);
+        assert_eq!(cam.ray_count(), 16 * 8);
+        let rig = CameraRig::new(vec![cam]);
+        assert_eq!(rig.rays_per_sweep(), cam.ray_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one camera")]
+    fn empty_rig_panics() {
+        let _ = CameraRig::new(vec![]);
+    }
+}

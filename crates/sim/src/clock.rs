@@ -1,0 +1,99 @@
+//! Simulation wall-clock bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing mission clock.
+///
+/// The mission runner advances the clock by each decision's end-to-end
+/// latency and by the flight slices between decisions; metrics (mission
+/// time, energy) integrate against it.
+///
+/// # Example
+///
+/// ```
+/// use roborun_sim::SimClock;
+/// let mut clock = SimClock::new();
+/// clock.advance(1.5);
+/// clock.advance(0.5);
+/// assert_eq!(clock.now(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimClock {
+    now: f64,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        SimClock { now: 0.0 }
+    }
+
+    /// Current simulation time (seconds since mission start).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances the clock by `dt` seconds and returns the new time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt < 0` (time never flows backwards).
+    pub fn advance(&mut self, dt: f64) -> f64 {
+        assert!(dt >= 0.0, "cannot advance the clock by a negative duration ({dt})");
+        self.now += dt;
+        self.now
+    }
+
+    /// Elapsed time since an earlier reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `since` is in the future.
+    pub fn elapsed_since(&self, since: f64) -> f64 {
+        assert!(
+            since <= self.now + 1e-12,
+            "reference time {since} is in the future (now {})",
+            self.now
+        );
+        self.now - since
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_accumulates() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now(), 0.0);
+        assert_eq!(c.advance(2.5), 2.5);
+        assert_eq!(c.advance(0.0), 2.5);
+        assert_eq!(c.advance(1.5), 4.0);
+        assert_eq!(c.now(), 4.0);
+    }
+
+    #[test]
+    fn elapsed_since_earlier_reading() {
+        let mut c = SimClock::new();
+        c.advance(3.0);
+        let mark = c.now();
+        c.advance(2.0);
+        assert!((c.elapsed_since(mark) - 2.0).abs() < 1e-12);
+        assert_eq!(c.elapsed_since(c.now()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn negative_advance_panics() {
+        let mut c = SimClock::new();
+        c.advance(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the future")]
+    fn future_reference_panics() {
+        let c = SimClock::new();
+        let _ = c.elapsed_since(10.0);
+    }
+}

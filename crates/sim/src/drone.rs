@@ -1,0 +1,251 @@
+//! Kinematic quadrotor model.
+//!
+//! The reproduction does not need full quadrotor dynamics: the paper's
+//! governor and operators only consume the MAV's position, velocity and the
+//! dynamic limits the path smoother must respect. The model here is a
+//! velocity-controlled point mass with acceleration and speed limits and a
+//! collision (body) radius.
+
+use roborun_geom::{Pose, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of the simulated MAV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DroneConfig {
+    /// Maximum commanded speed (m/s). The paper selects this experimentally
+    /// so that at least 80% of flights are collision free; the spatial
+    /// aware design can afford a much higher value than the oblivious one.
+    pub max_speed: f64,
+    /// Maximum acceleration magnitude (m/s²).
+    pub max_acceleration: f64,
+    /// Collision radius of the airframe (metres).
+    pub body_radius: f64,
+    /// Cruise altitude the missions fly at (metres).
+    pub cruise_altitude: f64,
+}
+
+impl Default for DroneConfig {
+    fn default() -> Self {
+        DroneConfig {
+            max_speed: 5.0,
+            max_acceleration: 2.5,
+            body_radius: 0.45,
+            cruise_altitude: 5.0,
+        }
+    }
+}
+
+impl DroneConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when any limit is non-positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_speed <= 0.0 {
+            return Err(format!("max speed must be positive, got {}", self.max_speed));
+        }
+        if self.max_acceleration <= 0.0 {
+            return Err(format!(
+                "max acceleration must be positive, got {}",
+                self.max_acceleration
+            ));
+        }
+        if self.body_radius <= 0.0 {
+            return Err(format!("body radius must be positive, got {}", self.body_radius));
+        }
+        if self.cruise_altitude <= 0.0 {
+            return Err(format!(
+                "cruise altitude must be positive, got {}",
+                self.cruise_altitude
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Dynamic state of the simulated MAV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DroneState {
+    /// Current position (metres, world frame).
+    pub position: Vec3,
+    /// Current velocity (m/s, world frame).
+    pub velocity: Vec3,
+    /// Distance travelled since the state was created (metres).
+    pub distance_travelled: f64,
+}
+
+impl DroneState {
+    /// Creates a state at rest at `position`.
+    pub fn at(position: Vec3) -> Self {
+        DroneState {
+            position,
+            velocity: Vec3::ZERO,
+            distance_travelled: 0.0,
+        }
+    }
+
+    /// Current speed (m/s).
+    pub fn speed(&self) -> f64 {
+        self.velocity.norm()
+    }
+
+    /// Pose of the drone (yaw follows the velocity vector; facing +X when
+    /// hovering).
+    pub fn pose(&self) -> Pose {
+        match Vec3::new(self.velocity.x, self.velocity.y, 0.0).try_normalize() {
+            Some(dir) => Pose::new(self.position, dir.y.atan2(dir.x)),
+            None => Pose::new(self.position, 0.0),
+        }
+    }
+
+    /// Advances the drone towards `target` for `dt` seconds, commanding a
+    /// cruise speed of `commanded_speed`, subject to the configuration's
+    /// acceleration and speed limits.
+    ///
+    /// The drone decelerates to stop exactly at the target when it is
+    /// closer than the commanded speed would overshoot. Returns the actual
+    /// distance moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `commanded_speed < 0`.
+    pub fn advance_towards(
+        &mut self,
+        config: &DroneConfig,
+        target: Vec3,
+        commanded_speed: f64,
+        dt: f64,
+    ) -> f64 {
+        assert!(dt > 0.0, "time step must be positive, got {dt}");
+        assert!(commanded_speed >= 0.0, "commanded speed must be non-negative");
+        let to_target = target - self.position;
+        let distance = to_target.norm();
+        if distance < 1e-9 {
+            self.velocity = Vec3::ZERO;
+            return 0.0;
+        }
+        let direction = to_target / distance;
+        let desired_speed = commanded_speed.min(config.max_speed);
+        // Velocity update limited by acceleration.
+        let desired_velocity = direction * desired_speed;
+        let delta_v = desired_velocity - self.velocity;
+        let max_dv = config.max_acceleration * dt;
+        let new_velocity = if delta_v.norm() <= max_dv {
+            desired_velocity
+        } else {
+            self.velocity + delta_v.normalize() * max_dv
+        };
+        self.velocity = new_velocity;
+        // Never overshoot the target within this step.
+        let step = (self.velocity.norm() * dt).min(distance);
+        let move_dir = match self.velocity.try_normalize() {
+            Some(d) => d,
+            None => direction,
+        };
+        self.position += move_dir * step;
+        self.distance_travelled += step;
+        if step >= distance - 1e-9 {
+            // Arrived (or passed) — snap to target and keep velocity heading.
+            self.position = target;
+        }
+        step
+    }
+
+    /// `true` when the drone is within `tolerance` of `target`.
+    pub fn reached(&self, target: Vec3, tolerance: f64) -> bool {
+        self.position.distance(target) <= tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(DroneConfig::default().validate().is_ok());
+        let bad = DroneConfig { max_speed: 0.0, ..DroneConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad2 = DroneConfig { body_radius: -1.0, ..DroneConfig::default() };
+        assert!(bad2.validate().is_err());
+        let bad3 = DroneConfig { max_acceleration: 0.0, ..DroneConfig::default() };
+        assert!(bad3.validate().is_err());
+        let bad4 = DroneConfig { cruise_altitude: 0.0, ..DroneConfig::default() };
+        assert!(bad4.validate().is_err());
+    }
+
+    #[test]
+    fn starts_at_rest() {
+        let s = DroneState::at(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(s.speed(), 0.0);
+        assert_eq!(s.distance_travelled, 0.0);
+        assert_eq!(s.pose().yaw, 0.0);
+    }
+
+    #[test]
+    fn accelerates_towards_target_respecting_limits() {
+        let cfg = DroneConfig::default();
+        let mut s = DroneState::at(Vec3::ZERO);
+        let target = Vec3::new(100.0, 0.0, 0.0);
+        let moved = s.advance_towards(&cfg, target, 10.0, 1.0);
+        // Speed is limited by acceleration (2.5 m/s after 1 s from rest).
+        assert!(s.speed() <= cfg.max_acceleration + 1e-9);
+        assert!(moved <= cfg.max_acceleration + 1e-9);
+        // After enough steps the speed saturates at max_speed (commanded 10 > max 5).
+        for _ in 0..10 {
+            s.advance_towards(&cfg, target, 10.0, 1.0);
+        }
+        assert!((s.speed() - cfg.max_speed).abs() < 1e-6);
+    }
+
+    #[test]
+    fn does_not_overshoot_target() {
+        let cfg = DroneConfig::default();
+        let mut s = DroneState::at(Vec3::ZERO);
+        let target = Vec3::new(1.0, 0.0, 0.0);
+        for _ in 0..20 {
+            s.advance_towards(&cfg, target, 5.0, 0.5);
+        }
+        assert!(s.reached(target, 1e-6));
+        assert!(s.position.distance(target) < 1e-6);
+    }
+
+    #[test]
+    fn distance_travelled_accumulates() {
+        let cfg = DroneConfig::default();
+        let mut s = DroneState::at(Vec3::ZERO);
+        let mut total = 0.0;
+        for _ in 0..5 {
+            total += s.advance_towards(&cfg, Vec3::new(50.0, 0.0, 0.0), 2.0, 1.0);
+        }
+        assert!((s.distance_travelled - total).abs() < 1e-9);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn pose_faces_velocity() {
+        let cfg = DroneConfig::default();
+        let mut s = DroneState::at(Vec3::ZERO);
+        s.advance_towards(&cfg, Vec3::new(0.0, 10.0, 0.0), 2.0, 1.0);
+        let yaw = s.pose().yaw;
+        assert!((yaw - std::f64::consts::FRAC_PI_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_distance_target_stops() {
+        let cfg = DroneConfig::default();
+        let mut s = DroneState::at(Vec3::new(3.0, 3.0, 3.0));
+        let moved = s.advance_towards(&cfg, Vec3::new(3.0, 3.0, 3.0), 5.0, 1.0);
+        assert_eq!(moved, 0.0);
+        assert_eq!(s.speed(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time step")]
+    fn non_positive_dt_panics() {
+        let cfg = DroneConfig::default();
+        let mut s = DroneState::at(Vec3::ZERO);
+        let _ = s.advance_towards(&cfg, Vec3::X, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Sensor-fault injection.
+//!
+//! The paper's HIL evaluation assumes healthy sensing; a runtime that
+//! adapts its knobs to *observed* space should nevertheless degrade
+//! gracefully when sensing degrades — fog shortens visibility (which the
+//! deadline equation already responds to), cameras drop frames, and depth
+//! returns get noisy. This module injects those faults deterministically so
+//! the robustness experiments and tests can quantify the effect: RoboRun is
+//! expected to slow down (shorter deadlines, tighter knobs) but keep the
+//! flight collision-free.
+
+use roborun_geom::{SplitMix64, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the injected sensing faults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that an entire sweep of the camera rig is lost
+    /// (per decision), in `[0, 1]`.
+    pub sweep_dropout_probability: f64,
+    /// Probability that an individual depth return is lost, in `[0, 1]`.
+    pub point_dropout_probability: f64,
+    /// Standard deviation of the radial noise added to each surviving depth
+    /// return (metres).
+    pub range_noise_std: f64,
+    /// Fog: depth returns (and profiled visibility) beyond this range are
+    /// discarded (metres). `f64::INFINITY` disables the cap.
+    pub fog_visibility_cap: f64,
+    /// Seed of the fault injector's private random stream.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            sweep_dropout_probability: 0.0,
+            point_dropout_probability: 0.0,
+            range_noise_std: 0.0,
+            fog_visibility_cap: f64::INFINITY,
+            seed: 0x5EED_FA17,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// No faults at all (the default).
+    pub fn healthy() -> Self {
+        FaultConfig::default()
+    }
+
+    /// A foggy mission: visibility capped at `cap` metres and mild range
+    /// noise.
+    pub fn fog(cap: f64) -> Self {
+        FaultConfig {
+            fog_visibility_cap: cap.max(1.0),
+            range_noise_std: 0.05,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// A flaky sensing stack: a fraction of sweeps and points are lost and
+    /// depth returns carry noise.
+    pub fn flaky_sensors(sweep_dropout: f64, point_dropout: f64) -> Self {
+        FaultConfig {
+            sweep_dropout_probability: sweep_dropout.clamp(0.0, 1.0),
+            point_dropout_probability: point_dropout.clamp(0.0, 1.0),
+            range_noise_std: 0.08,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// `true` when every fault channel is disabled.
+    pub fn is_healthy(&self) -> bool {
+        self.sweep_dropout_probability <= 0.0
+            && self.point_dropout_probability <= 0.0
+            && self.range_noise_std <= 0.0
+            && !self.fog_visibility_cap.is_finite()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field (probabilities
+    /// outside `[0, 1]`, negative noise, non-positive fog cap).
+    pub fn validate(&self) -> Result<(), String> {
+        let check_p = |name: &str, p: f64| {
+            if !(0.0..=1.0).contains(&p) {
+                Err(format!("{name} must be in [0, 1], got {p}"))
+            } else {
+                Ok(())
+            }
+        };
+        check_p("sweep_dropout_probability", self.sweep_dropout_probability)?;
+        check_p("point_dropout_probability", self.point_dropout_probability)?;
+        if self.range_noise_std < 0.0 {
+            return Err(format!(
+                "range_noise_std must be non-negative, got {}",
+                self.range_noise_std
+            ));
+        }
+        if self.fog_visibility_cap <= 0.0 {
+            return Err(format!(
+                "fog_visibility_cap must be positive, got {}",
+                self.fog_visibility_cap
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Statistics of what the injector actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Sweeps processed.
+    pub sweeps: u64,
+    /// Sweeps dropped entirely.
+    pub sweeps_dropped: u64,
+    /// Individual points dropped.
+    pub points_dropped: u64,
+    /// Points removed by the fog range cap.
+    pub points_fogged: u64,
+    /// Points that received range noise.
+    pub points_noised: u64,
+}
+
+/// Deterministic fault injector applied between the camera rig and the
+/// point-cloud kernel.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: SplitMix64,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`FaultConfig::validate`]).
+    pub fn new(config: FaultConfig) -> Self {
+        config.validate().expect("invalid fault configuration");
+        FaultInjector {
+            config,
+            rng: SplitMix64::new(config.seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The injector's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// What has been injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The visibility cap the profilers must honour (metres);
+    /// `f64::INFINITY` when fog is disabled.
+    pub fn visibility_cap(&self) -> f64 {
+        self.config.fog_visibility_cap
+    }
+
+    /// Applies the configured faults to one sweep of depth returns measured
+    /// from `origin`. Returns the surviving (possibly perturbed) points.
+    pub fn corrupt_sweep(&mut self, origin: Vec3, points: &[Vec3]) -> Vec<Vec3> {
+        self.stats.sweeps += 1;
+        if self.config.sweep_dropout_probability > 0.0
+            && self.rng.chance(self.config.sweep_dropout_probability)
+        {
+            self.stats.sweeps_dropped += 1;
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(points.len());
+        for &p in points {
+            if self.config.point_dropout_probability > 0.0
+                && self.rng.chance(self.config.point_dropout_probability)
+            {
+                self.stats.points_dropped += 1;
+                continue;
+            }
+            let offset = p - origin;
+            let range = offset.norm();
+            if range > self.config.fog_visibility_cap {
+                self.stats.points_fogged += 1;
+                continue;
+            }
+            let point = if self.config.range_noise_std > 0.0 && range > 1e-9 {
+                self.stats.points_noised += 1;
+                let noisy_range =
+                    (range + self.rng.gaussian_with(0.0, self.config.range_noise_std)).max(0.05);
+                origin + offset * (noisy_range / range)
+            } else {
+                p
+            };
+            out.push(point);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_of_points(origin: Vec3, count: usize, range: f64) -> Vec<Vec3> {
+        (0..count)
+            .map(|i| {
+                let angle = i as f64 / count as f64 * std::f64::consts::TAU;
+                origin + Vec3::new(angle.cos() * range, angle.sin() * range, 0.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn healthy_injector_is_a_pass_through() {
+        let mut injector = FaultInjector::new(FaultConfig::healthy());
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let points = ring_of_points(origin, 40, 12.0);
+        let out = injector.corrupt_sweep(origin, &points);
+        assert_eq!(out, points);
+        assert!(FaultConfig::healthy().is_healthy());
+        assert_eq!(injector.stats().points_dropped, 0);
+    }
+
+    #[test]
+    fn fog_removes_far_points_and_keeps_near_ones() {
+        let mut injector = FaultInjector::new(FaultConfig {
+            fog_visibility_cap: 10.0,
+            ..FaultConfig::default()
+        });
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let near = ring_of_points(origin, 20, 6.0);
+        let far = ring_of_points(origin, 20, 25.0);
+        let mut all = near.clone();
+        all.extend(far);
+        let out = injector.corrupt_sweep(origin, &all);
+        assert_eq!(out.len(), near.len());
+        assert_eq!(injector.stats().points_fogged, 20);
+        assert!(out.iter().all(|p| p.distance(origin) <= 10.0 + 1e-9));
+    }
+
+    #[test]
+    fn point_dropout_removes_roughly_the_requested_fraction() {
+        let mut injector = FaultInjector::new(FaultConfig {
+            point_dropout_probability: 0.5,
+            ..FaultConfig::default()
+        });
+        let origin = Vec3::ZERO;
+        let points = ring_of_points(origin, 2_000, 8.0);
+        let out = injector.corrupt_sweep(origin, &points);
+        let kept = out.len() as f64 / points.len() as f64;
+        assert!((0.4..0.6).contains(&kept), "kept fraction {kept}");
+    }
+
+    #[test]
+    fn sweep_dropout_loses_entire_sweeps() {
+        let mut injector = FaultInjector::new(FaultConfig {
+            sweep_dropout_probability: 1.0,
+            ..FaultConfig::default()
+        });
+        let origin = Vec3::ZERO;
+        let points = ring_of_points(origin, 10, 5.0);
+        assert!(injector.corrupt_sweep(origin, &points).is_empty());
+        assert_eq!(injector.stats().sweeps_dropped, 1);
+    }
+
+    #[test]
+    fn range_noise_perturbs_along_the_ray() {
+        let mut injector = FaultInjector::new(FaultConfig {
+            range_noise_std: 0.2,
+            ..FaultConfig::default()
+        });
+        let origin = Vec3::new(1.0, 2.0, 5.0);
+        let points = ring_of_points(origin, 200, 10.0);
+        let out = injector.corrupt_sweep(origin, &points);
+        assert_eq!(out.len(), points.len());
+        let mean_range: f64 =
+            out.iter().map(|p| p.distance(origin)).sum::<f64>() / out.len() as f64;
+        assert!((mean_range - 10.0).abs() < 0.2, "mean range {mean_range}");
+        // Direction is preserved: each noisy point stays on its original ray.
+        for (noisy, original) in out.iter().zip(points.iter()) {
+            let a = (*noisy - origin).normalize();
+            let b = (*original - origin).normalize();
+            assert!(a.dot(b) > 0.999);
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_for_a_seed() {
+        let config = FaultConfig::flaky_sensors(0.1, 0.3);
+        let origin = Vec3::ZERO;
+        let points = ring_of_points(origin, 500, 15.0);
+        let a = FaultInjector::new(config).corrupt_sweep(origin, &points);
+        let b = FaultInjector::new(config).corrupt_sweep(origin, &points);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(FaultConfig {
+            sweep_dropout_probability: 1.5,
+            ..FaultConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig {
+            range_noise_std: -0.1,
+            ..FaultConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig {
+            fog_visibility_cap: 0.0,
+            ..FaultConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig::fog(20.0).validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault configuration")]
+    fn injector_panics_on_invalid_config() {
+        let _ = FaultInjector::new(FaultConfig {
+            point_dropout_probability: 2.0,
+            ..FaultConfig::default()
+        });
+    }
+}

@@ -1,0 +1,408 @@
+//! Simulated compute latency of the navigation pipeline (paper Eq. 4 form).
+//!
+//! The paper profiles each application-layer stage over a representative
+//! set of precision/volume combinations and fits
+//!
+//! > `δ_i(p_i, v_i) = (q_{i,0}·p̂³ + q_{i,1}·p̂² + q_{i,2}·p̂) · (q_{i,3}·v_i)`
+//!
+//! with `p̂ = 1/p` (inverse precision) and `<8%` average MSE. The cubic in
+//! inverse precision reflects the voxel count growing with `1/p³`, and the
+//! linear term in volume reflects the processed region growing linearly
+//! with the volume knob.
+//!
+//! Our substrate cannot reproduce the authors' wall-clock numbers (their
+//! kernels run on a dedicated i9 testbed), so the simulated latency of each
+//! stage uses the same functional form with coefficients **calibrated so the
+//! static baseline (Table II knobs) lands at paper-scale end-to-end
+//! latencies (~4–5 s per decision)** and RoboRun's relaxed knobs land near
+//! the paper's ~0.3–0.5 s (Section V-C: a fixed 210 ms point-cloud cost plus
+//! 50 ms of runtime overhead). Who wins and by how much is therefore decided
+//! by the same mechanism as the paper: the knob values the governor picks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The stages of the navigation pipeline whose latency is modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PipelineStage {
+    /// Point-cloud generation from camera frames (fixed cost in the paper).
+    PointCloud,
+    /// Perception: OctoMap insertion / occupancy-map update (`i = 0`).
+    Perception,
+    /// Perception-to-planning hand-off: map pruning and export (`i = 1`).
+    PerceptionToPlanning,
+    /// Planning: piece-wise planning + path smoothing (`i = 2`).
+    Planning,
+    /// Control loop (PID) — cheap and constant.
+    Control,
+}
+
+impl PipelineStage {
+    /// The three governor-controlled stages, in paper order (`i = 0, 1, 2`).
+    pub const GOVERNED: [PipelineStage; 3] = [
+        PipelineStage::Perception,
+        PipelineStage::PerceptionToPlanning,
+        PipelineStage::Planning,
+    ];
+}
+
+impl fmt::Display for PipelineStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PipelineStage::PointCloud => "point cloud",
+            PipelineStage::Perception => "octomap",
+            PipelineStage::PerceptionToPlanning => "octomap-to-planner",
+            PipelineStage::Planning => "planning",
+            PipelineStage::Control => "control",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Coefficient vector `q ∈ R⁴` of one stage's latency model (paper Eq. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageCoefficients {
+    /// Coefficient of `p̂³` (seconds).
+    pub q0: f64,
+    /// Coefficient of `p̂²` (seconds).
+    pub q1: f64,
+    /// Coefficient of `p̂` (seconds).
+    pub q2: f64,
+    /// Volume scale factor (per cubic metre).
+    pub q3: f64,
+}
+
+impl StageCoefficients {
+    /// Evaluates Eq. 4 for a precision `p` (metres) and volume `v` (m³).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision <= 0` or `volume < 0`.
+    pub fn latency(&self, precision: f64, volume: f64) -> f64 {
+        assert!(precision > 0.0, "precision must be positive, got {precision}");
+        assert!(volume >= 0.0, "volume must be non-negative, got {volume}");
+        let p_hat = 1.0 / precision;
+        let precision_term = self.q0 * p_hat.powi(3) + self.q1 * p_hat.powi(2) + self.q2 * p_hat;
+        (precision_term * (self.q3 * volume)).max(0.0)
+    }
+}
+
+/// End-to-end latency breakdown of one navigation decision.
+///
+/// Mirrors the stages of the paper's Fig. 11: computation stages in "shades
+/// of red" (point cloud, OctoMap, planning, smoothing — here folded into
+/// planning — and control) and communication in "shades of blue", plus
+/// RoboRun's own runtime overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Point-cloud kernel latency (seconds).
+    pub point_cloud: f64,
+    /// OctoMap / occupancy-map update latency (seconds).
+    pub perception: f64,
+    /// Map pruning/export to the planner (seconds).
+    pub perception_to_planning: f64,
+    /// Piece-wise planning + smoothing latency (seconds).
+    pub planning: f64,
+    /// Control-loop latency (seconds).
+    pub control: f64,
+    /// Inter-stage communication latency (seconds).
+    pub communication: f64,
+    /// RoboRun runtime overhead: profilers + governor + solver (seconds).
+    pub runtime_overhead: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total end-to-end decision latency (seconds).
+    pub fn total(&self) -> f64 {
+        self.point_cloud
+            + self.perception
+            + self.perception_to_planning
+            + self.planning
+            + self.control
+            + self.communication
+            + self.runtime_overhead
+    }
+
+    /// Total compute-only latency (excludes communication).
+    pub fn compute_total(&self) -> f64 {
+        self.total() - self.communication
+    }
+
+    /// Per-stage `(label, seconds)` pairs in pipeline order, for reports.
+    pub fn stages(&self) -> [(&'static str, f64); 7] {
+        [
+            ("point_cloud", self.point_cloud),
+            ("octomap", self.perception),
+            ("octomap_to_planner", self.perception_to_planning),
+            ("planning", self.planning),
+            ("control", self.control),
+            ("communication", self.communication),
+            ("runtime", self.runtime_overhead),
+        ]
+    }
+
+    /// Normalised per-stage shares of the total (all zeros for a zero
+    /// total), for Fig. 11b-style plots.
+    pub fn normalized(&self) -> [(&'static str, f64); 7] {
+        let total = self.total();
+        let mut out = self.stages();
+        if total > 0.0 {
+            for entry in &mut out {
+                entry.1 /= total;
+            }
+        }
+        out
+    }
+}
+
+/// Calibrated latency model of the whole pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeLatencyModel {
+    /// Fixed point-cloud kernel cost (seconds) — 210 ms in the paper.
+    pub point_cloud_fixed: f64,
+    /// Fixed RoboRun runtime overhead (seconds) — 50 ms in the paper.
+    pub runtime_overhead: f64,
+    /// Fixed control-loop cost (seconds).
+    pub control_fixed: f64,
+    /// Fixed communication cost per decision (seconds).
+    pub comm_base: f64,
+    /// Additional communication cost per cubic metre of map volume shipped
+    /// from perception to planning (seconds per m³).
+    pub comm_per_volume: f64,
+    /// Perception (OctoMap) stage coefficients.
+    pub perception: StageCoefficients,
+    /// Perception-to-planning stage coefficients.
+    pub perception_to_planning: StageCoefficients,
+    /// Planning stage coefficients.
+    pub planning: StageCoefficients,
+}
+
+impl ComputeLatencyModel {
+    /// The calibrated default described in the module documentation.
+    pub fn calibrated() -> Self {
+        ComputeLatencyModel {
+            point_cloud_fixed: 0.210,
+            runtime_overhead: 0.050,
+            control_fixed: 0.010,
+            comm_base: 0.080,
+            comm_per_volume: 1.0e-6,
+            // Baseline knobs (p = 0.3 m, v = 46 000 m³) → ≈1.9 s.
+            perception: StageCoefficients {
+                q0: 0.040,
+                q1: 0.010,
+                q2: 0.005,
+                q3: 2.6e-5,
+            },
+            // Baseline knobs (p = 0.3 m, v = 150 000 m³) → ≈0.8 s.
+            perception_to_planning: StageCoefficients {
+                q0: 0.040,
+                q1: 0.010,
+                q2: 0.005,
+                q3: 3.3e-6,
+            },
+            // Baseline knobs (p = 0.3 m, v = 150 000 m³) → ≈1.5 s.
+            planning: StageCoefficients {
+                q0: 0.040,
+                q1: 0.010,
+                q2: 0.005,
+                q3: 6.2e-6,
+            },
+        }
+    }
+
+    /// Coefficients of a governed stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`PipelineStage::PointCloud`] / [`PipelineStage::Control`],
+    /// which are fixed-cost stages without Eq. 4 coefficients.
+    pub fn coefficients(&self, stage: PipelineStage) -> StageCoefficients {
+        match stage {
+            PipelineStage::Perception => self.perception,
+            PipelineStage::PerceptionToPlanning => self.perception_to_planning,
+            PipelineStage::Planning => self.planning,
+            PipelineStage::PointCloud | PipelineStage::Control => {
+                panic!("{stage} is a fixed-cost stage with no Eq. 4 coefficients")
+            }
+        }
+    }
+
+    /// Latency of a single stage at the given precision/volume setting.
+    ///
+    /// Fixed-cost stages ignore the knob values.
+    pub fn stage_latency(&self, stage: PipelineStage, precision: f64, volume: f64) -> f64 {
+        match stage {
+            PipelineStage::PointCloud => self.point_cloud_fixed,
+            PipelineStage::Control => self.control_fixed,
+            _ => self.coefficients(stage).latency(precision, volume),
+        }
+    }
+
+    /// Communication latency for shipping `exported_volume` m³ of map to
+    /// the planner.
+    pub fn communication_latency(&self, exported_volume: f64) -> f64 {
+        self.comm_base + self.comm_per_volume * exported_volume.max(0.0)
+    }
+
+    /// Full decision breakdown for a knob assignment.
+    ///
+    /// * `perception_precision` / `perception_volume` — OctoMap knobs.
+    /// * `export_precision` / `export_volume` — perception-to-planning knobs.
+    /// * `planner_precision` / `planner_volume` — planner knobs.
+    /// * `with_runtime` — include RoboRun's own overhead (false for the
+    ///   spatial-oblivious baseline, which has no governor).
+    #[allow(clippy::too_many_arguments)]
+    pub fn decision_breakdown(
+        &self,
+        perception_precision: f64,
+        perception_volume: f64,
+        export_precision: f64,
+        export_volume: f64,
+        planner_precision: f64,
+        planner_volume: f64,
+        with_runtime: bool,
+    ) -> LatencyBreakdown {
+        LatencyBreakdown {
+            point_cloud: self.point_cloud_fixed,
+            perception: self
+                .perception
+                .latency(perception_precision, perception_volume),
+            perception_to_planning: self
+                .perception_to_planning
+                .latency(export_precision, export_volume),
+            planning: self.planning.latency(planner_precision, planner_volume),
+            control: self.control_fixed,
+            communication: self.communication_latency(export_volume),
+            runtime_overhead: if with_runtime { self.runtime_overhead } else { 0.0 },
+        }
+    }
+}
+
+impl Default for ComputeLatencyModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE_PRECISION: f64 = 0.3;
+    const BASELINE_PERCEPTION_VOL: f64 = 46_000.0;
+    const BASELINE_EXPORT_VOL: f64 = 150_000.0;
+    const BASELINE_PLANNER_VOL: f64 = 150_000.0;
+
+    #[test]
+    fn latency_grows_with_volume_linearly() {
+        // Paper Fig. 2a: "a 2X increase in volume requires processing twice
+        // as many voxels and hence a 2X increase in latency".
+        let m = ComputeLatencyModel::calibrated();
+        let base = m.stage_latency(PipelineStage::Perception, 0.3, 10_000.0);
+        let double = m.stage_latency(PipelineStage::Perception, 0.3, 20_000.0);
+        assert!((double / base - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_grows_cubically_with_precision() {
+        // Paper Fig. 2a: 2X the precision (half the voxel size) → 8X voxels
+        // → up to an 8X increase in latency. The cubic term dominates at
+        // fine precisions.
+        let m = ComputeLatencyModel::calibrated();
+        let coarse = m.stage_latency(PipelineStage::Perception, 0.6, 46_000.0);
+        let fine = m.stage_latency(PipelineStage::Perception, 0.3, 46_000.0);
+        let ratio = fine / coarse;
+        assert!(ratio > 5.0 && ratio < 8.5, "precision doubling ratio {ratio}");
+    }
+
+    #[test]
+    fn baseline_knobs_land_at_paper_scale() {
+        let m = ComputeLatencyModel::calibrated();
+        let b = m.decision_breakdown(
+            BASELINE_PRECISION,
+            BASELINE_PERCEPTION_VOL,
+            BASELINE_PRECISION,
+            BASELINE_EXPORT_VOL,
+            BASELINE_PRECISION,
+            BASELINE_PLANNER_VOL,
+            false,
+        );
+        let total = b.total();
+        assert!(total > 3.0 && total < 6.5, "baseline total {total}");
+        assert!((b.point_cloud - 0.210).abs() < 1e-12);
+        assert_eq!(b.runtime_overhead, 0.0);
+        assert!(b.perception > b.perception_to_planning);
+    }
+
+    #[test]
+    fn relaxed_knobs_are_an_order_of_magnitude_cheaper() {
+        let m = ComputeLatencyModel::calibrated();
+        let baseline = m
+            .decision_breakdown(
+                BASELINE_PRECISION,
+                BASELINE_PERCEPTION_VOL,
+                BASELINE_PRECISION,
+                BASELINE_EXPORT_VOL,
+                BASELINE_PRECISION,
+                BASELINE_PLANNER_VOL,
+                false,
+            )
+            .total();
+        // Open-sky knobs the governor would pick in zone B.
+        let relaxed = m
+            .decision_breakdown(9.6, 5_000.0, 9.6, 10_000.0, 9.6, 10_000.0, true)
+            .total();
+        let ratio = baseline / relaxed;
+        assert!(ratio > 8.0, "median-latency-style reduction {ratio}");
+        // Relaxed decisions are dominated by the fixed point-cloud cost,
+        // mirroring Fig. 11b's zone-B bottleneck shift.
+        let relaxed_bd = m.decision_breakdown(9.6, 5_000.0, 9.6, 10_000.0, 9.6, 10_000.0, true);
+        assert!(relaxed_bd.point_cloud > relaxed_bd.perception);
+        assert!(relaxed_bd.point_cloud > relaxed_bd.planning);
+    }
+
+    #[test]
+    fn breakdown_totals_are_consistent() {
+        let m = ComputeLatencyModel::calibrated();
+        let b = m.decision_breakdown(0.6, 20_000.0, 1.2, 50_000.0, 1.2, 80_000.0, true);
+        let sum: f64 = b.stages().iter().map(|(_, v)| v).sum();
+        assert!((sum - b.total()).abs() < 1e-12);
+        assert!((b.compute_total() + b.communication - b.total()).abs() < 1e-12);
+        let norm = b.normalized();
+        let norm_sum: f64 = norm.iter().map(|(_, v)| v).sum();
+        assert!((norm_sum - 1.0).abs() < 1e-9);
+        // Zero breakdown normalises to zeros without dividing by zero.
+        let zero = LatencyBreakdown::default();
+        assert!(zero.normalized().iter().all(|&(_, v)| v == 0.0));
+    }
+
+    #[test]
+    fn communication_scales_with_exported_volume() {
+        let m = ComputeLatencyModel::calibrated();
+        let small = m.communication_latency(10_000.0);
+        let large = m.communication_latency(500_000.0);
+        assert!(large > small);
+        assert!(small >= m.comm_base);
+        assert_eq!(m.communication_latency(-5.0), m.comm_base);
+    }
+
+    #[test]
+    fn governed_stage_list_matches_paper_indices() {
+        assert_eq!(PipelineStage::GOVERNED.len(), 3);
+        assert_eq!(PipelineStage::GOVERNED[0], PipelineStage::Perception);
+        assert_eq!(PipelineStage::GOVERNED[2], PipelineStage::Planning);
+        assert_eq!(format!("{}", PipelineStage::Perception), "octomap");
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-cost stage")]
+    fn fixed_stage_has_no_coefficients() {
+        let _ = ComputeLatencyModel::calibrated().coefficients(PipelineStage::PointCloud);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision must be positive")]
+    fn zero_precision_panics() {
+        let _ = ComputeLatencyModel::calibrated().stage_latency(PipelineStage::Planning, 0.0, 10.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Stopping-distance model (paper Eq. 2).
+//!
+//! The time budget (Eq. 1) divides the *safe margin* — visibility minus the
+//! distance the MAV needs to come to a full stop — by the current velocity.
+//! The paper models the stopping distance by flying the drone at various
+//! velocities in simulation, measuring the stopping distance and fitting a
+//! quadratic with 2% MSE:
+//!
+//! > `d_stop(v) = −0.055·v² − 0.36·v + 0.20`    (as printed)
+//!
+//! As printed the polynomial is negative for every `v > 0`, which cannot be
+//! a distance and would make the budget *grow* with velocity, contradicting
+//! Eq. 1 and Fig. 2b. We therefore use the magnitude-preserving,
+//! sign-corrected form `d_stop(v) = 0.055·v² + 0.36·v + 0.20`, which matches
+//! the physical intuition (quadratic in speed, positive reaction-time term)
+//! and reproduces the published deadline curves' shape. The substitution is
+//! documented in DESIGN.md.
+
+use roborun_geom::stats::polyfit;
+use serde::{Deserialize, Serialize};
+
+/// Quadratic stopping-distance model `d_stop(v) = a·v² + b·v + c`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoppingModel {
+    /// Quadratic coefficient (s²/m · m = m·s²/m² — metres per (m/s)²).
+    pub a: f64,
+    /// Linear coefficient (seconds — effectively a reaction-time term).
+    pub b: f64,
+    /// Constant offset (metres).
+    pub c: f64,
+}
+
+impl StoppingModel {
+    /// The paper's fitted model with the sign correction described in the
+    /// module documentation.
+    pub fn paper_default() -> Self {
+        StoppingModel {
+            a: 0.055,
+            b: 0.36,
+            c: 0.20,
+        }
+    }
+
+    /// Fits a quadratic stopping model from `(velocity, stopping distance)`
+    /// samples, mirroring the paper's calibration flights.
+    ///
+    /// Returns `None` when fewer than three samples are given or the fit is
+    /// singular.
+    pub fn fit(samples: &[(f64, f64)]) -> Option<Self> {
+        let coeffs = polyfit(samples, 2)?;
+        Some(StoppingModel {
+            a: coeffs[2],
+            b: coeffs[1],
+            c: coeffs[0],
+        })
+    }
+
+    /// Stopping distance (metres) when travelling at `velocity` m/s.
+    ///
+    /// Negative velocities are treated as their magnitude; the result is
+    /// never negative.
+    pub fn stopping_distance(&self, velocity: f64) -> f64 {
+        let v = velocity.abs();
+        (self.a * v * v + self.b * v + self.c).max(0.0)
+    }
+
+    /// Largest velocity whose stopping distance fits within `distance`
+    /// metres (solved by bisection). Returns 0 when even a hovering drone
+    /// does not fit (i.e. `distance < c`).
+    pub fn max_velocity_for_distance(&self, distance: f64) -> f64 {
+        if distance <= self.stopping_distance(0.0) {
+            return 0.0;
+        }
+        let mut lo = 0.0f64;
+        let mut hi = 100.0f64;
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.stopping_distance(mid) <= distance {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Mean squared error of this model against observed samples.
+    pub fn mse(&self, samples: &[(f64, f64)]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples
+            .iter()
+            .map(|&(v, d)| {
+                let e = self.stopping_distance(v) - d;
+                e * e
+            })
+            .sum::<f64>()
+            / samples.len() as f64
+    }
+}
+
+impl Default for StoppingModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_coefficients() {
+        let m = StoppingModel::paper_default();
+        assert!((m.a - 0.055).abs() < 1e-12);
+        assert!((m.b - 0.36).abs() < 1e-12);
+        assert!((m.c - 0.20).abs() < 1e-12);
+        assert_eq!(StoppingModel::default(), m);
+    }
+
+    #[test]
+    fn stopping_distance_monotone_in_speed() {
+        let m = StoppingModel::paper_default();
+        let mut last = 0.0;
+        for i in 0..50 {
+            let v = i as f64 * 0.2;
+            let d = m.stopping_distance(v);
+            assert!(d >= last);
+            last = d;
+        }
+        // Hovering still has the constant offset.
+        assert!((m.stopping_distance(0.0) - 0.20).abs() < 1e-12);
+        // Symmetric in sign.
+        assert_eq!(m.stopping_distance(-2.0), m.stopping_distance(2.0));
+    }
+
+    #[test]
+    fn specific_values() {
+        let m = StoppingModel::paper_default();
+        // d(1) = 0.055 + 0.36 + 0.2 = 0.615
+        assert!((m.stopping_distance(1.0) - 0.615).abs() < 1e-12);
+        // d(5) = 1.375 + 1.8 + 0.2 = 3.375
+        assert!((m.stopping_distance(5.0) - 3.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_velocity_inverse_of_distance() {
+        let m = StoppingModel::paper_default();
+        for d in [0.5, 1.0, 3.0, 10.0, 40.0] {
+            let v = m.max_velocity_for_distance(d);
+            assert!(m.stopping_distance(v) <= d + 1e-6);
+            // Slightly faster would not fit.
+            assert!(m.stopping_distance(v + 0.01) > d - 1e-6);
+        }
+        assert_eq!(m.max_velocity_for_distance(0.1), 0.0);
+        assert_eq!(m.max_velocity_for_distance(0.0), 0.0);
+    }
+
+    #[test]
+    fn fit_recovers_known_model() {
+        let truth = StoppingModel { a: 0.08, b: 0.25, c: 0.15 };
+        let samples: Vec<(f64, f64)> = (1..=30)
+            .map(|i| {
+                let v = i as f64 * 0.3;
+                (v, truth.stopping_distance(v))
+            })
+            .collect();
+        let fitted = StoppingModel::fit(&samples).unwrap();
+        assert!((fitted.a - truth.a).abs() < 1e-6);
+        assert!((fitted.b - truth.b).abs() < 1e-6);
+        assert!((fitted.c - truth.c).abs() < 1e-6);
+        assert!(fitted.mse(&samples) < 1e-10);
+        assert!(StoppingModel::fit(&samples[..2]).is_none());
+    }
+
+    #[test]
+    fn mse_detects_bad_model() {
+        let m = StoppingModel::paper_default();
+        let samples: Vec<(f64, f64)> = (1..=10)
+            .map(|i| {
+                let v = i as f64 * 0.5;
+                (v, m.stopping_distance(v) + 1.0) // offset by one metre
+            })
+            .collect();
+        assert!((m.mse(&samples) - 1.0).abs() < 1e-9);
+        assert_eq!(m.mse(&[]), 0.0);
+    }
+}

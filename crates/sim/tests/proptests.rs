@@ -1,0 +1,98 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use roborun_env::{DifficultyConfig, EnvironmentGenerator};
+use roborun_geom::{Pose, Vec3};
+use roborun_sim::{
+    CameraRig, ComputeLatencyModel, CpuModel, DroneConfig, DroneState, EnergyModel, PipelineStage,
+    StoppingModel,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn stopping_distance_monotone_and_invertible(v1 in 0.0f64..12.0, v2 in 0.0f64..12.0) {
+        let m = StoppingModel::paper_default();
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(m.stopping_distance(lo) <= m.stopping_distance(hi) + 1e-12);
+        // max_velocity_for_distance inverts stopping_distance.
+        let d = m.stopping_distance(hi);
+        let v_back = m.max_velocity_for_distance(d);
+        prop_assert!((v_back - hi).abs() < 1e-3 || hi < 1e-3);
+    }
+
+    #[test]
+    fn latency_model_monotone_in_both_knobs(p1 in 0.3f64..9.6, p2 in 0.3f64..9.6,
+                                            v1 in 0.0f64..200_000.0, v2 in 0.0f64..200_000.0) {
+        let m = ComputeLatencyModel::calibrated();
+        let (p_fine, p_coarse) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let (v_small, v_large) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        for stage in PipelineStage::GOVERNED {
+            // Finer precision (smaller voxel) at the same volume costs more.
+            prop_assert!(
+                m.stage_latency(stage, p_fine, v_large) + 1e-12
+                    >= m.stage_latency(stage, p_coarse, v_large)
+            );
+            // More volume at the same precision costs more.
+            prop_assert!(
+                m.stage_latency(stage, p_fine, v_large) + 1e-12
+                    >= m.stage_latency(stage, p_fine, v_small)
+            );
+            // Latency is never negative.
+            prop_assert!(m.stage_latency(stage, p_fine, v_small) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn drone_never_exceeds_speed_limit(speed_cmd in 0.0f64..20.0, steps in 1usize..60) {
+        let cfg = DroneConfig::default();
+        let mut drone = DroneState::at(Vec3::ZERO);
+        let target = Vec3::new(500.0, 0.0, 0.0);
+        for _ in 0..steps {
+            drone.advance_towards(&cfg, target, speed_cmd, 0.5);
+            prop_assert!(drone.speed() <= cfg.max_speed + 1e-9);
+        }
+        // It never flies past the target either.
+        prop_assert!(drone.position.x <= target.x + 1e-9);
+        prop_assert!(drone.distance_travelled >= 0.0);
+    }
+
+    #[test]
+    fn energy_monotone_in_time_and_speed(t1 in 0.0f64..100.0, t2 in 0.0f64..100.0,
+                                         s1 in 0.0f64..8.0, s2 in 0.0f64..8.0) {
+        let m = EnergyModel::default();
+        let (t_lo, t_hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let (s_lo, s_hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(m.energy_for(s_lo, t_hi) >= m.energy_for(s_lo, t_lo));
+        prop_assert!(m.energy_for(s_hi, t_hi) >= m.energy_for(s_lo, t_hi));
+    }
+
+    #[test]
+    fn cpu_utilization_bounded(latency in 0.0f64..20.0, interval in 0.0f64..20.0) {
+        let m = CpuModel::default();
+        let s = m.sample(latency, interval);
+        prop_assert!((0.0..=1.0).contains(&s.utilization));
+        prop_assert!(s.interval_seconds >= latency);
+    }
+
+    #[test]
+    fn camera_hits_lie_on_obstacle_surfaces(seed in 0u64..30, x_off in 5.0f64..60.0) {
+        let env = EnvironmentGenerator::new(DifficultyConfig {
+            goal_distance: 150.0,
+            ..DifficultyConfig::mid()
+        })
+        .generate(seed);
+        let rig = CameraRig::mono_rig();
+        let pose = Pose::new(env.start() + Vec3::new(x_off, 0.0, 0.0), 0.0);
+        let scan = rig.capture(env.field(), &pose);
+        prop_assert_eq!(scan.rays_cast, rig.rays_per_sweep());
+        for p in &scan.points {
+            // Every returned point is on (or just inside) some obstacle and
+            // within sensing range.
+            let d = env.field().distance_to_nearest(*p).unwrap_or(f64::INFINITY);
+            prop_assert!(d < 1e-6, "hit point {p:?} is {d} m from every obstacle");
+            prop_assert!(pose.position.distance(*p) <= scan.max_range + 1e-6);
+        }
+    }
+}

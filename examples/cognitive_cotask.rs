@@ -1,0 +1,59 @@
+//! What the freed-up CPU buys: run the same mission under the
+//! spatial-aware and spatial-oblivious designs, then replay each mission's
+//! CPU profile through the cognitive co-task scheduler (semantic labeling,
+//! gesture detection, object tracking) and compare the cognitive
+//! throughput each design sustains *while navigating*.
+//!
+//! ```bash
+//! cargo run --release --example cognitive_cotask
+//! ```
+
+use roborun::cognitive::intervals_from_telemetry;
+use roborun::prelude::*;
+
+fn main() {
+    let env = Scenario::SearchAndRescue.short_environment(7);
+
+    let mut reports = Vec::new();
+    for (label, mode, cap) in [
+        ("spatial-aware (RoboRun)", RuntimeMode::SpatialAware, 900),
+        ("spatial-oblivious (baseline)", RuntimeMode::SpatialOblivious, 1_800),
+    ] {
+        let config = MissionConfig {
+            max_decisions: cap,
+            ..MissionConfig::new(mode)
+        };
+        let result = MissionRunner::new(config.clone()).run(&env);
+
+        // Replay the navigation CPU profile through the co-task scheduler.
+        let intervals = intervals_from_telemetry(&result.telemetry, config.min_epoch);
+        let scheduler =
+            HeadroomScheduler::new(SchedulerConfig::default(), CognitiveTask::standard_mix());
+        let report = scheduler.run(&intervals);
+
+        println!("## {label}");
+        println!(
+            "mission: {:.0} s, mean velocity {:.2} m/s, nav CPU {:.0}%",
+            result.metrics.mission_time,
+            result.metrics.mean_velocity,
+            result.metrics.mean_cpu_utilization * 100.0
+        );
+        println!("{}", report.to_table());
+        reports.push((label, report));
+    }
+
+    let comparison = CoTaskComparison::between(
+        reports[0].0,
+        &reports[0].1,
+        reports[1].0,
+        &reports[1].1,
+    );
+    println!(
+        "cognitive attainment ratio (aware / oblivious): {:.2}x",
+        comparison.attainment_ratio
+    );
+    println!(
+        "cognitive frames-per-second ratio (aware / oblivious): {:.2}x",
+        comparison.throughput_ratio
+    );
+}

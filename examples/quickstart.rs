@@ -1,0 +1,45 @@
+//! Quickstart: run one short mission under the RoboRun governor and print
+//! the mission-level metrics.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use roborun::prelude::*;
+
+fn main() {
+    // 1. Generate a mission environment. `Scenario` bundles the paper's
+    //    difficulty knobs; the short variant keeps this example fast.
+    let env = Scenario::PackageDelivery.short_environment(42);
+    println!(
+        "environment: {} obstacles, {:.0} m mission, difficulty [{}]",
+        env.obstacles().len(),
+        env.mission_length(),
+        env.difficulty()
+    );
+
+    // 2. Configure and run the mission with the spatial-aware runtime.
+    let config = MissionConfig {
+        max_decisions: 800,
+        ..MissionConfig::new(RuntimeMode::SpatialAware)
+    };
+    let result = MissionRunner::new(config).run(&env);
+
+    // 3. Inspect what happened.
+    let m = &result.metrics;
+    println!("reached goal:      {}", m.reached_goal);
+    println!("mission time:      {:.1} s", m.mission_time);
+    println!("mean velocity:     {:.2} m/s", m.mean_velocity);
+    println!("flight energy:     {:.1} kJ", m.energy_kj);
+    println!("CPU utilization:   {:.0}%", m.mean_cpu_utilization * 100.0);
+    println!("decisions taken:   {}", m.decisions);
+    println!("median latency:    {:.2} s", m.median_latency);
+
+    // 4. The governor's view of a single decision, for flavour: ask it what
+    //    it would do in open sky vs a tight aisle.
+    let governor = Governor::new(GovernorConfig::default());
+    let open = governor.decide(&SpatialProfile::open_space(2.0, 40.0));
+    let tight = governor.decide(&SpatialProfile::congested(0.6, 0.8, 2.0));
+    println!("\ngovernor policy in open sky:    {}", open.knobs);
+    println!("governor policy in a tight aisle: {}", tight.knobs);
+}

@@ -1,0 +1,78 @@
+//! The representative-mission deep dive of the paper's Section V-C
+//! (Figures 9, 10 and 11): run one mid-difficulty mission with both designs
+//! and print the per-zone behaviour, the precision-over-time series and the
+//! latency breakdown.
+//!
+//! ```bash
+//! cargo run --release --example representative_mission
+//! ```
+
+use roborun::env::CongestionMap;
+use roborun::mission::breakdown::ZoneBreakdown;
+use roborun::mission::report;
+use roborun::prelude::*;
+
+fn main() {
+    // The paper uses the mid-range difficulty for this analysis; a shorter
+    // goal distance keeps the example quick while preserving the A/B/C
+    // structure.
+    let difficulty = DifficultyConfig {
+        goal_distance: 240.0,
+        ..DifficultyConfig::mid()
+    };
+    let env = EnvironmentGenerator::new(difficulty).generate(23);
+
+    // Fig. 9: the congestion heat map of the environment (down-sampled).
+    let congestion = CongestionMap::build(&env, 30.0);
+    println!("=== congestion map (Fig. 9 analogue, peak {:.2}) ===", congestion.peak());
+    for row in congestion.to_rows() {
+        let line: String = row
+            .iter()
+            .map(|&v| {
+                if v > 0.2 { '#' } else if v > 0.05 { '+' } else if v > 0.0 { '.' } else { ' ' }
+            })
+            .collect();
+        println!("  |{line}|");
+    }
+    println!();
+
+    for mode in [RuntimeMode::SpatialOblivious, RuntimeMode::SpatialAware] {
+        let config = MissionConfig {
+            max_decisions: 2_500,
+            ..MissionConfig::new(mode)
+        };
+        let result = MissionRunner::new(config).run(&env);
+        let m = result.metrics;
+        println!("=== {mode} ===");
+        println!(
+            "mission time {:.1} s | velocity {:.2} m/s | energy {:.1} kJ | median latency {:.2} s | reached: {}",
+            m.mission_time, m.mean_velocity, m.energy_kj, m.median_latency, m.reached_goal
+        );
+
+        // Fig. 10/11: zone behaviour and the latency breakdown shares.
+        let breakdown = ZoneBreakdown::from_telemetry(&result.telemetry);
+        for z in &breakdown.zones {
+            println!(
+                "  zone {} | {:>4} decisions | precision {:>4.1} m | velocity {:>4.2} m/s | latency {:>5.2} s (spread {:>5.2} s)",
+                z.zone, z.decisions, z.mean_precision, z.mean_velocity, z.mean_latency, z.latency_spread
+            );
+        }
+        print!("  latency shares:");
+        for (stage, share) in &breakdown.stage_shares {
+            if *share > 0.005 {
+                print!(" {stage} {:.0}%", share * 100.0);
+            }
+        }
+        println!("\n");
+
+        // A compact precision-over-time series (Fig. 10c): sample every
+        // tenth decision.
+        let series = report::telemetry_csv(&result.telemetry);
+        let lines: Vec<&str> = series.lines().collect();
+        println!("  time series sample (time, latency, deadline, precision, velocity, visibility):");
+        for line in lines.iter().skip(1).step_by((lines.len() / 8).max(1)) {
+            println!("    {line}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,137 @@
+//! Workspace-level integration tests: the full pipeline, both runtime
+//! modes, on real generated environments.
+
+use roborun::mission::breakdown::ZoneBreakdown;
+use roborun::prelude::*;
+
+fn short_env(seed: u64) -> Environment {
+    let difficulty = DifficultyConfig {
+        obstacle_density: 0.4,
+        obstacle_spread: 40.0,
+        goal_distance: 130.0,
+    };
+    EnvironmentGenerator::new(difficulty).generate(seed)
+}
+
+fn quick_config(mode: RuntimeMode) -> MissionConfig {
+    MissionConfig {
+        max_decisions: 1_200,
+        max_mission_time: 2_500.0,
+        ..MissionConfig::new(mode)
+    }
+}
+
+#[test]
+fn aware_and_oblivious_complete_the_same_mission() {
+    let env = short_env(31);
+    let aware = MissionRunner::new(quick_config(RuntimeMode::SpatialAware)).run(&env);
+    let oblivious = MissionRunner::new(quick_config(RuntimeMode::SpatialOblivious)).run(&env);
+
+    assert!(aware.metrics.reached_goal, "spatial-aware run failed to reach the goal");
+    assert!(oblivious.metrics.reached_goal, "baseline run failed to reach the goal");
+    assert!(!aware.metrics.collided);
+    assert!(!oblivious.metrics.collided);
+}
+
+#[test]
+fn roborun_beats_the_baseline_on_the_paper_metrics() {
+    let env = short_env(32);
+    let aware = MissionRunner::new(quick_config(RuntimeMode::SpatialAware)).run(&env);
+    let oblivious = MissionRunner::new(quick_config(RuntimeMode::SpatialOblivious)).run(&env);
+
+    let a = &aware.metrics;
+    let o = &oblivious.metrics;
+    assert!(a.reached_goal && o.reached_goal);
+    // The four Fig. 7 directions.
+    assert!(a.mean_velocity > o.mean_velocity, "velocity {} vs {}", a.mean_velocity, o.mean_velocity);
+    assert!(a.mission_time < o.mission_time, "time {} vs {}", a.mission_time, o.mission_time);
+    assert!(a.energy_kj < o.energy_kj, "energy {} vs {}", a.energy_kj, o.energy_kj);
+    assert!(
+        a.mean_cpu_utilization < o.mean_cpu_utilization,
+        "cpu {} vs {}",
+        a.mean_cpu_utilization,
+        o.mean_cpu_utilization
+    );
+    // And the Section V-C median-latency reduction direction.
+    assert!(a.median_latency < o.median_latency);
+}
+
+#[test]
+fn governor_knobs_follow_zone_congestion_in_a_real_mission() {
+    let env = short_env(33);
+    let result = MissionRunner::new(quick_config(RuntimeMode::SpatialAware)).run(&env);
+    assert!(result.metrics.reached_goal);
+    let breakdown = ZoneBreakdown::from_telemetry(&result.telemetry);
+    let a = breakdown.zone('A');
+    let b = breakdown.zone('B');
+    if let (Some(a), Some(b)) = (a, b) {
+        // Zone B (open) should run coarser precision and higher velocity
+        // than the congested start zone.
+        assert!(
+            b.mean_precision >= a.mean_precision,
+            "zone B precision {} should be coarser than zone A {}",
+            b.mean_precision,
+            a.mean_precision
+        );
+        assert!(
+            b.mean_velocity >= a.mean_velocity,
+            "zone B velocity {} should exceed zone A {}",
+            b.mean_velocity,
+            a.mean_velocity
+        );
+    } else {
+        panic!("mission did not traverse both zone A and zone B");
+    }
+}
+
+#[test]
+fn baseline_knobs_never_change_during_a_mission() {
+    let env = short_env(34);
+    let result = MissionRunner::new(quick_config(RuntimeMode::SpatialOblivious)).run(&env);
+    let first = result.telemetry.records()[0].knobs;
+    assert_eq!(first, KnobSettings::static_baseline());
+    for record in result.telemetry.records() {
+        assert_eq!(record.knobs, first, "baseline knobs changed mid-mission");
+    }
+}
+
+#[test]
+fn aware_knobs_do_change_during_a_mission() {
+    let env = short_env(34);
+    let result = MissionRunner::new(quick_config(RuntimeMode::SpatialAware)).run(&env);
+    let precisions: std::collections::BTreeSet<u64> = result
+        .telemetry
+        .records()
+        .iter()
+        .map(|r| (r.knobs.point_cloud_precision * 1000.0) as u64)
+        .collect();
+    assert!(
+        precisions.len() > 1,
+        "the spatial-aware governor never changed the precision knob"
+    );
+}
+
+#[test]
+fn mission_results_are_reproducible() {
+    let env = short_env(35);
+    let runner = MissionRunner::new(quick_config(RuntimeMode::SpatialAware));
+    let a = runner.run(&env);
+    let b = runner.run(&env);
+    assert_eq!(a.metrics.decisions, b.metrics.decisions);
+    assert!((a.metrics.mission_time - b.metrics.mission_time).abs() < 1e-9);
+    assert!((a.metrics.energy_kj - b.metrics.energy_kj).abs() < 1e-9);
+    assert_eq!(a.flown_path.len(), b.flown_path.len());
+}
+
+#[test]
+fn quick_sweep_reproduces_fig7_directions() {
+    let mut config = SweepConfig::quick(77);
+    config.difficulties.truncate(2);
+    let results = run_sweep(&config);
+    let improvements = results.improvements();
+    assert!(improvements.velocity_gain > 1.0);
+    assert!(improvements.mission_time_gain > 1.0);
+    assert!(improvements.energy_gain > 1.0);
+    assert!(improvements.cpu_reduction > 0.0);
+    assert!(results.aware_aggregate().success_rate() >= 0.5);
+}
