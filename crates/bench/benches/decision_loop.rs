@@ -3,7 +3,9 @@
 //! settings each design uses — the per-decision work Fig. 11 breaks down.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use roborun_core::{Governor, GovernorConfig, KnobSettings, Profilers, RuntimeMode, SpatialProfile};
+use roborun_core::{
+    Governor, GovernorConfig, KnobSettings, Profilers, RuntimeMode, SpatialProfile,
+};
 use roborun_env::{DifficultyConfig, EnvironmentGenerator};
 use roborun_geom::{Pose, Vec3};
 use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
@@ -51,7 +53,10 @@ fn bench_perception_update(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("perception_update");
     group.sample_size(30);
-    for (name, knobs) in [("roborun_relaxed", aware_knobs), ("baseline_static", baseline_knobs)] {
+    for (name, knobs) in [
+        ("roborun_relaxed", aware_knobs),
+        ("baseline_static", baseline_knobs),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut map = OccupancyMap::new(0.3);
@@ -88,17 +93,15 @@ fn bench_profilers(c: &mut Criterion) {
     let profilers = Profilers::default();
     c.bench_function("profilers_profile", |b| {
         b.iter(|| {
-            std::hint::black_box(profilers.profile(
-                &cloud,
-                &map,
-                None,
-                pose.position,
-                2.0,
-                Vec3::X,
-            ))
+            std::hint::black_box(profilers.profile(&cloud, &map, None, pose.position, 2.0, Vec3::X))
         })
     });
 }
 
-criterion_group!(benches, bench_governor_decision, bench_perception_update, bench_profilers);
+criterion_group!(
+    benches,
+    bench_governor_decision,
+    bench_perception_update,
+    bench_profilers
+);
 criterion_main!(benches);

@@ -48,7 +48,8 @@ fn bench_fanout(c: &mut Criterion) {
                 let subs: Vec<_> = (0..subscribers)
                     .map(|i| {
                         let node = Node::new(&bus, &format!("listener_{i}")).unwrap();
-                        node.subscribe::<Vec<f64>>("/fanout", QosProfile::reliable(4)).unwrap()
+                        node.subscribe::<Vec<f64>>("/fanout", QosProfile::reliable(4))
+                            .unwrap()
                     })
                     .collect();
                 let payload = vec![1.5f64; 1_000];
@@ -73,21 +74,31 @@ fn bench_executor_spin(c: &mut Criterion) {
         let source = Node::new(&bus, "source").unwrap();
         let sink = Node::new(&bus, "sink").unwrap();
         let publisher = source.publisher::<u64>("/ticks").unwrap();
-        let subscription = sink.subscribe::<u64>("/ticks", QosProfile::reliable(32)).unwrap();
+        let subscription = sink
+            .subscribe::<u64>("/ticks", QosProfile::reliable(32))
+            .unwrap();
         let mut executor = Executor::new(&bus);
         let mut tick = 0u64;
         executor.add_task("producer", move |_| {
             let _ = publisher.publish(tick);
             tick += 1;
         });
-        executor.add_task("consumer", move |_| {
-            while subscription.try_recv().is_some() {}
-        });
+        executor.add_task(
+            "consumer",
+            move |_| {
+                while subscription.try_recv().is_some() {}
+            },
+        );
         executor.add_timer("heartbeat", 1.0, |_| {});
         b.iter(|| std::hint::black_box(executor.spin_once(0.1)));
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_pub_sub_round_trip, bench_fanout, bench_executor_spin);
+criterion_group!(
+    benches,
+    bench_pub_sub_round_trip,
+    bench_fanout,
+    bench_executor_spin
+);
 criterion_main!(benches);

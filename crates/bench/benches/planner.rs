@@ -64,24 +64,32 @@ fn bench_collision_check_precision(c: &mut Criterion) {
     let map = gap_map();
     let mut group = c.benchmark_group("collision_check_step");
     for &step in &[0.3, 0.6, 1.2, 2.4] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{step}m")), &step, |b, &s| {
-            b.iter(|| {
-                let mut checker = CollisionChecker::new(map.clone(), 0.45, s);
-                let mut free = 0usize;
-                for y in -20..20 {
-                    if checker.segment_free(
-                        Vec3::new(0.0, y as f64, 5.0),
-                        Vec3::new(45.0, y as f64, 5.0),
-                    ) {
-                        free += 1;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{step}m")),
+            &step,
+            |b, &s| {
+                b.iter(|| {
+                    let mut checker = CollisionChecker::new(map.clone(), 0.45, s);
+                    let mut free = 0usize;
+                    for y in -20..20 {
+                        if checker.segment_free(
+                            Vec3::new(0.0, y as f64, 5.0),
+                            Vec3::new(45.0, y as f64, 5.0),
+                        ) {
+                            free += 1;
+                        }
                     }
-                }
-                std::hint::black_box(free)
-            })
-        });
+                    std::hint::black_box(free)
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_rrt_volume_knob, bench_collision_check_precision);
+criterion_group!(
+    benches,
+    bench_rrt_volume_knob,
+    bench_collision_check_precision
+);
 criterion_main!(benches);

@@ -146,7 +146,10 @@ fn ablation_knobs(full: bool) {
             format!("{:.2}", result.metrics.mean_velocity),
             format!("{:.0}%", result.metrics.mean_cpu_utilization * 100.0),
             format!("{:.2}", result.metrics.median_latency),
-            format!("{}", result.metrics.reached_goal && !result.metrics.collided),
+            format!(
+                "{}",
+                result.metrics.reached_goal && !result.metrics.collided
+            ),
         ]);
     }
     println!(
@@ -212,8 +215,12 @@ fn cotask(full: bool) {
         );
         reports.push(report);
     }
-    let comparison =
-        CoTaskComparison::between("spatial-aware", &reports[0], "spatial-oblivious", &reports[1]);
+    let comparison = CoTaskComparison::between(
+        "spatial-aware",
+        &reports[0],
+        "spatial-oblivious",
+        &reports[1],
+    );
     println!(
         "attainment ratio (aware/oblivious): {:.2}x   throughput ratio: {:.2}x\n",
         comparison.attainment_ratio, comparison.throughput_ratio
@@ -327,7 +334,10 @@ fn ablation(full: bool) {
     };
     let env = EnvironmentGenerator::new(difficulty).generate(29);
     let mut rows = Vec::new();
-    for (name, waypoint_budgeting) in [("Algorithm 1 (paper)", true), ("Eq. 1 only (ablated)", false)] {
+    for (name, waypoint_budgeting) in [
+        ("Algorithm 1 (paper)", true),
+        ("Eq. 1 only (ablated)", false),
+    ] {
         let config = MissionConfig {
             waypoint_budgeting,
             max_decisions: if full { 6_000 } else { 2_500 },
@@ -339,13 +349,22 @@ fn ablation(full: bool) {
             format!("{:.1}", result.metrics.mission_time),
             format!("{:.2}", result.metrics.mean_velocity),
             format!("{:.1}%", result.telemetry.deadline_hit_rate() * 100.0),
-            format!("{}", result.metrics.reached_goal && !result.metrics.collided),
+            format!(
+                "{}",
+                result.metrics.reached_goal && !result.metrics.collided
+            ),
         ]);
     }
     println!(
         "{}",
         report::format_table(
-            &["budgeting", "mission time (s)", "velocity (m/s)", "deadline hit rate", "success"],
+            &[
+                "budgeting",
+                "mission time (s)",
+                "velocity (m/s)",
+                "deadline hit rate",
+                "success"
+            ],
             &rows
         )
     );
@@ -388,7 +407,10 @@ fn table2() {
             format!("[0 .. {}]", ranges.planner_volume_max),
         ],
     ];
-    println!("{}", report::format_table(&["knob", "static", "dynamic"], &rows));
+    println!(
+        "{}",
+        report::format_table(&["knob", "static", "dynamic"], &rows)
+    );
     println!(
         "precision lattice searched by the solver: {:?}\n",
         ranges.precision_lattice()
@@ -398,14 +420,26 @@ fn table2() {
 fn table1() {
     println!("## Table I — variables collected by the profilers\n");
     let rows = vec![
-        vec!["gap between obstacles".into(), "point cloud".into(), "precision".into()],
+        vec![
+            "gap between obstacles".into(),
+            "point cloud".into(),
+            "precision".into(),
+        ],
         vec![
             "closest obstacle, closest unknown".into(),
             "point cloud, octomap, smoother".into(),
             "precision, volume, deadline".into(),
         ],
-        vec!["sensor, map volume".into(), "point cloud, octomap".into(), "volume".into()],
-        vec!["velocity, position".into(), "sensors".into(), "deadline".into()],
+        vec![
+            "sensor, map volume".into(),
+            "point cloud, octomap".into(),
+            "volume".into(),
+        ],
+        vec![
+            "velocity, position".into(),
+            "sensors".into(),
+            "deadline".into(),
+        ],
         vec!["trajectory".into(), "smoother".into(), "deadline".into()],
     ];
     println!(
@@ -491,7 +525,13 @@ fn fig2a() {
     println!(
         "{}",
         report::format_csv(
-            &["volume_m3", "lat_p0.3_s", "lat_p0.6_s", "lat_p1.2_s", "lat_p2.4_s"],
+            &[
+                "volume_m3",
+                "lat_p0.3_s",
+                "lat_p0.6_s",
+                "lat_p1.2_s",
+                "lat_p2.4_s"
+            ],
             &rows
         )
     );
@@ -514,7 +554,13 @@ fn fig2b() {
     println!(
         "{}",
         report::format_csv(
-            &["velocity_mps", "ddl_vis5_s", "ddl_vis10_s", "ddl_vis20_s", "ddl_vis40_s"],
+            &[
+                "velocity_mps",
+                "ddl_vis5_s",
+                "ddl_vis10_s",
+                "ddl_vis20_s",
+                "ddl_vis40_s"
+            ],
             &rows
         )
     );
@@ -550,7 +596,7 @@ fn fig3(full: bool) {
     for (name, result) in [("spatial-oblivious", &oblivious), ("spatial-aware", &aware)] {
         let records = result.telemetry.records();
         let mean = |f: &dyn Fn(&roborun_core::DecisionRecord) -> f64| {
-            records.iter().map(|r| f(r)).sum::<f64>() / records.len().max(1) as f64
+            records.iter().map(f).sum::<f64>() / records.len().max(1) as f64
         };
         let distinct_precisions: std::collections::BTreeSet<u64> = records
             .iter()
@@ -565,14 +611,30 @@ fn fig3(full: bool) {
         );
     }
     println!("\nper-decision series (spatial-aware) — precision/volume/latency (Fig. 3d/e/f):");
-    print_series_sample(&aware, &["time_s", "precision_m", "octomap_volume_m3", "latency_s"], |r| {
-        vec![r.time, r.knobs.point_cloud_precision, r.knobs.octomap_volume, r.latency()]
-    });
+    print_series_sample(
+        &aware,
+        &["time_s", "precision_m", "octomap_volume_m3", "latency_s"],
+        |r| {
+            vec![
+                r.time,
+                r.knobs.point_cloud_precision,
+                r.knobs.octomap_volume,
+                r.latency(),
+            ]
+        },
+    );
     println!("per-decision series (spatial-oblivious) — constant worst case (Fig. 3a/b/c):");
     print_series_sample(
         &oblivious,
         &["time_s", "precision_m", "octomap_volume_m3", "latency_s"],
-        |r| vec![r.time, r.knobs.point_cloud_precision, r.knobs.octomap_volume, r.latency()],
+        |r| {
+            vec![
+                r.time,
+                r.knobs.point_cloud_precision,
+                r.knobs.octomap_volume,
+                r.latency(),
+            ]
+        },
     );
 }
 
@@ -587,7 +649,7 @@ fn fig4(full: bool) {
     for (name, result) in [("spatial-oblivious", &oblivious), ("spatial-aware", &aware)] {
         let records = result.telemetry.records();
         let mean = |f: &dyn Fn(&roborun_core::DecisionRecord) -> f64| {
-            records.iter().map(|r| f(r)).sum::<f64>() / records.len().max(1) as f64
+            records.iter().map(f).sum::<f64>() / records.len().max(1) as f64
         };
         println!(
             "{name:<20} mean velocity {:.2} m/s | mean visibility {:>5.1} m | mean deadline {:>5.2} s | mission time {:>7.1} s",
@@ -598,13 +660,17 @@ fn fig4(full: bool) {
         );
     }
     println!("\nper-decision series (spatial-aware) — velocity/visibility/deadline (Fig. 4d/e/f):");
-    print_series_sample(&aware, &["time_s", "velocity_mps", "visibility_m", "deadline_s"], |r| {
-        vec![r.time, r.commanded_velocity, r.visibility, r.deadline]
-    });
+    print_series_sample(
+        &aware,
+        &["time_s", "velocity_mps", "visibility_m", "deadline_s"],
+        |r| vec![r.time, r.commanded_velocity, r.visibility, r.deadline],
+    );
     println!("per-decision series (spatial-oblivious) — constant worst case (Fig. 4a/b/c):");
-    print_series_sample(&oblivious, &["time_s", "velocity_mps", "visibility_m", "deadline_s"], |r| {
-        vec![r.time, r.commanded_velocity, r.visibility, r.deadline]
-    });
+    print_series_sample(
+        &oblivious,
+        &["time_s", "velocity_mps", "visibility_m", "deadline_s"],
+        |r| vec![r.time, r.commanded_velocity, r.visibility, r.deadline],
+    );
 }
 
 fn print_series_sample(
@@ -636,12 +702,29 @@ fn representative_mission(full: bool) -> (Environment, MissionResult, MissionRes
 
 fn fig9(env: &Environment, oblivious: &MissionResult, aware: &MissionResult) {
     println!("## Figure 9 — representative mission map (congestion heat map + trajectories)\n");
-    let map = CongestionMap::build(env, if env.mission_length() > 500.0 { 60.0 } else { 30.0 });
+    let map = CongestionMap::build(
+        env,
+        if env.mission_length() > 500.0 {
+            60.0
+        } else {
+            30.0
+        },
+    );
     println!("congestion heat map ('#' dense, '+' moderate, '.' sparse):");
     for row in map.to_rows() {
         let line: String = row
             .iter()
-            .map(|&v| if v > 0.2 { '#' } else if v > 0.05 { '+' } else if v > 0.0 { '.' } else { ' ' })
+            .map(|&v| {
+                if v > 0.2 {
+                    '#'
+                } else if v > 0.05 {
+                    '+'
+                } else if v > 0.0 {
+                    '.'
+                } else {
+                    ' '
+                }
+            })
             .collect();
         println!("  |{line}|");
     }
@@ -709,7 +792,10 @@ fn fig10(oblivious: &MissionResult, aware: &MissionResult) {
             ),
         ],
     ];
-    println!("{}", report::format_table(&["metric", "baseline", "RoboRun", "ratio"], &rows));
+    println!(
+        "{}",
+        report::format_table(&["metric", "baseline", "RoboRun", "ratio"], &rows)
+    );
     println!("precision over time, spatial-aware (Fig. 10c) — varies in zones A/C, flat in B:");
     print_series_sample(aware, &["time_s", "precision_m", "zone"], |r| {
         vec![
@@ -852,6 +938,7 @@ fn sweep(full: bool) -> roborun_mission::SweepResults {
                 max_decisions: 4_000,
                 ..MissionConfig::new(RuntimeMode::SpatialOblivious)
             },
+            ..SweepConfig::default()
         })
     }
 }
@@ -877,7 +964,10 @@ fn fig8(results: &roborun_mission::SweepResults) {
     println!("Fig. 8d — goal distance:");
     println!(
         "{}",
-        report::fig8_table("goal distance (m)", &results.sensitivity(|d| d.goal_distance))
+        report::fig8_table(
+            "goal distance (m)",
+            &results.sensitivity(|d| d.goal_distance)
+        )
     );
     let (a_density, o_density) = results.sensitivity_ratio(|d| d.obstacle_density);
     let (a_spread, o_spread) = results.sensitivity_ratio(|d| d.obstacle_spread);
@@ -885,6 +975,8 @@ fn fig8(results: &roborun_mission::SweepResults) {
     println!("flight-time ratios (highest / lowest knob value):");
     println!("  density:       RoboRun {a_density:.2}x vs baseline {o_density:.2}x   (paper: 1.5x vs 1.1x)");
     println!("  spread:        RoboRun {a_spread:.2}x vs baseline {o_spread:.2}x   (paper: 1.4x vs 1.1x)");
-    println!("  goal distance: RoboRun {a_goal:.2}x vs baseline {o_goal:.2}x   (paper: 1.3x vs 2.0x)");
+    println!(
+        "  goal distance: RoboRun {a_goal:.2}x vs baseline {o_goal:.2}x   (paper: 1.3x vs 2.0x)"
+    );
     println!();
 }

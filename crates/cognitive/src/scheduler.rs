@@ -33,7 +33,9 @@ impl CpuInterval {
     /// not finite.
     pub fn new(duration: f64, navigation_utilization: f64) -> Result<Self, String> {
         if !duration.is_finite() || duration <= 0.0 {
-            return Err(format!("interval duration must be positive, got {duration}"));
+            return Err(format!(
+                "interval duration must be positive, got {duration}"
+            ));
         }
         Ok(CpuInterval {
             duration,
@@ -69,7 +71,7 @@ impl SchedulerConfig {
     ///
     /// Returns a description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.cores > 0.0) {
+        if self.cores <= 0.0 || self.cores.is_nan() {
             return Err(format!("cores must be positive, got {}", self.cores));
         }
         if !(self.headroom_fraction > 0.0 && self.headroom_fraction <= 1.0) {
@@ -250,7 +252,11 @@ mod tests {
         let report = scheduler.run(&uniform_profile(200, 0.5, 0.05));
         // 100 s at ~4 idle cores: the whole mix (≈2.0 cores steady demand)
         // fits comfortably.
-        assert!(report.mean_attainment() > 0.9, "attainment {}", report.mean_attainment());
+        assert!(
+            report.mean_attainment() > 0.9,
+            "attainment {}",
+            report.mean_attainment()
+        );
         assert_eq!(report.total_dropped(), 0);
         assert!(report.headroom_core_seconds > 300.0);
     }
@@ -260,7 +266,11 @@ mod tests {
         let scheduler =
             HeadroomScheduler::new(SchedulerConfig::default(), CognitiveTask::standard_mix());
         let report = scheduler.run(&uniform_profile(200, 0.5, 0.98));
-        assert!(report.mean_attainment() < 0.3, "attainment {}", report.mean_attainment());
+        assert!(
+            report.mean_attainment() < 0.3,
+            "attainment {}",
+            report.mean_attainment()
+        );
         assert!(report.total_dropped() > 0);
     }
 

@@ -39,11 +39,15 @@ impl CognitiveTask {
         desired_period: f64,
         max_backlog: usize,
     ) -> Result<Self, String> {
-        if !(cost_per_frame > 0.0) {
-            return Err(format!("cost_per_frame must be positive, got {cost_per_frame}"));
+        if cost_per_frame <= 0.0 || cost_per_frame.is_nan() {
+            return Err(format!(
+                "cost_per_frame must be positive, got {cost_per_frame}"
+            ));
         }
-        if !(desired_period > 0.0) {
-            return Err(format!("desired_period must be positive, got {desired_period}"));
+        if desired_period <= 0.0 || desired_period.is_nan() {
+            return Err(format!(
+                "desired_period must be positive, got {desired_period}"
+            ));
         }
         if max_backlog == 0 {
             return Err("max_backlog must be at least 1".to_string());

@@ -42,7 +42,10 @@ impl TrajectoryFollower {
     ///
     /// Panics if `lookahead <= 0`.
     pub fn new(trajectory: Trajectory, lookahead: f64) -> Self {
-        assert!(lookahead > 0.0, "lookahead must be positive, got {lookahead}");
+        assert!(
+            lookahead > 0.0,
+            "lookahead must be positive, got {lookahead}"
+        );
         TrajectoryFollower {
             trajectory,
             progress_time: 0.0,
@@ -108,7 +111,8 @@ impl TrajectoryFollower {
             .expect("non-empty trajectory always samples");
         // Slow down proportionally to the tracking error.
         let correction = self.speed_pid.update(tracking_error, dt);
-        let speed = (target_sample.speed - 0.5 * correction).clamp(0.2, target_sample.speed.max(0.2));
+        let speed =
+            (target_sample.speed - 0.5 * correction).clamp(0.2, target_sample.speed.max(0.2));
         FollowCommand {
             target: target_sample.position,
             speed,

@@ -30,7 +30,10 @@ impl Pid {
     ///
     /// Panics if any gain is negative or `output_limit <= 0`.
     pub fn new(kp: f64, ki: f64, kd: f64, output_limit: f64) -> Self {
-        assert!(kp >= 0.0 && ki >= 0.0 && kd >= 0.0, "PID gains must be non-negative");
+        assert!(
+            kp >= 0.0 && ki >= 0.0 && kd >= 0.0,
+            "PID gains must be non-negative"
+        );
         assert!(output_limit > 0.0, "output limit must be positive");
         Pid {
             kp,

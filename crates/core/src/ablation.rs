@@ -224,8 +224,14 @@ mod tests {
         let knobs = relaxed();
         let ablated = KnobAblation::precision_frozen().apply(knobs);
         let baseline = KnobSettings::static_baseline();
-        assert_eq!(ablated.point_cloud_precision, baseline.point_cloud_precision);
-        assert_eq!(ablated.map_to_planner_precision, baseline.map_to_planner_precision);
+        assert_eq!(
+            ablated.point_cloud_precision,
+            baseline.point_cloud_precision
+        );
+        assert_eq!(
+            ablated.map_to_planner_precision,
+            baseline.map_to_planner_precision
+        );
         assert_eq!(ablated.octomap_volume, knobs.octomap_volume);
         assert_eq!(ablated.map_to_planner_volume, knobs.map_to_planner_volume);
         assert_eq!(ablated.planner_volume, knobs.planner_volume);

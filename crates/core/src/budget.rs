@@ -106,7 +106,9 @@ impl TimeBudgeter {
         } else if global == 0.0 {
             // The first upcoming waypoint already exhausts the budget: fall
             // back to the instantaneous budget, clamped below.
-            global = remaining.max(0.0).min(self.local_budget_raw(current.velocity, current.visibility));
+            global = remaining
+                .max(0.0)
+                .min(self.local_budget_raw(current.velocity, current.visibility));
         }
         global.clamp(self.min_budget, self.max_budget)
     }
@@ -216,7 +218,10 @@ mod tests {
         let upcoming = [wp(1.0, 4.0, 2.0)];
         let global = b.global_budget(&current, &upcoming);
         let local_only = b.local_budget(0.5, 30.0);
-        assert!(global < local_only, "global {global} should be below local {local_only}");
+        assert!(
+            global < local_only,
+            "global {global} should be below local {local_only}"
+        );
     }
 
     #[test]
@@ -225,7 +230,11 @@ mod tests {
         let current = wp(0.0, 2.0, 40.0);
         // Waypoints 10 m apart at 2 m/s with clear visibility: each hop adds
         // 5 s of flight time to the accumulated budget.
-        let upcoming = [wp(10.0, 2.0, 40.0), wp(20.0, 2.0, 40.0), wp(30.0, 2.0, 40.0)];
+        let upcoming = [
+            wp(10.0, 2.0, 40.0),
+            wp(20.0, 2.0, 40.0),
+            wp(30.0, 2.0, 40.0),
+        ];
         let global = b.global_budget(&current, &upcoming);
         assert!(global >= 10.0, "accumulated budget {global}");
         assert!(global <= b.max_budget);

@@ -163,7 +163,11 @@ impl Governor {
                 let outcome = self.solver.solve(deadline, profile, &self.model);
                 let (knobs, predicted_latency, budget_exceeded) = if self.config.ablation.is_none()
                 {
-                    (outcome.knobs, outcome.predicted_latency, outcome.budget_exceeded)
+                    (
+                        outcome.knobs,
+                        outcome.predicted_latency,
+                        outcome.budget_exceeded,
+                    )
                 } else {
                     // Frozen knobs revert to their static values; the
                     // predicted latency must reflect what the pipeline will
@@ -281,7 +285,10 @@ mod tests {
         let aware_velocity = aware_gov.safe_velocity(open_policy.predicted_latency, 40.0);
         let baseline_velocity = oblivious_gov.baseline_velocity();
         let ratio = aware_velocity / baseline_velocity;
-        assert!(ratio > 3.0, "velocity ratio {ratio} too small for the paper's 5X headline");
+        assert!(
+            ratio > 3.0,
+            "velocity ratio {ratio} too small for the paper's 5X headline"
+        );
     }
 
     #[test]

@@ -85,14 +85,24 @@ impl KnobSettings {
             ranges.precision_min,
             ranges.precision_max,
         )?;
-        check("octomap_volume", self.octomap_volume, 0.0, ranges.octomap_volume_max)?;
+        check(
+            "octomap_volume",
+            self.octomap_volume,
+            0.0,
+            ranges.octomap_volume_max,
+        )?;
         check(
             "map_to_planner_volume",
             self.map_to_planner_volume,
             0.0,
             ranges.map_to_planner_volume_max,
         )?;
-        check("planner_volume", self.planner_volume, 0.0, ranges.planner_volume_max)?;
+        check(
+            "planner_volume",
+            self.planner_volume,
+            0.0,
+            ranges.planner_volume_max,
+        )?;
         if self.point_cloud_precision > self.map_to_planner_precision + 1e-9 {
             return Err(format!(
                 "perception precision ({}) must not be coarser than the export precision ({})",
@@ -240,7 +250,9 @@ mod tests {
     fn static_baseline_is_valid_for_table_ii() {
         let ranges = KnobRanges::table_ii();
         assert!(KnobSettings::static_baseline().validate(&ranges).is_ok());
-        assert!(KnobSettings::most_relaxed(&ranges).validate(&ranges).is_ok());
+        assert!(KnobSettings::most_relaxed(&ranges)
+            .validate(&ranges)
+            .is_ok());
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl PipelineLatencyModel {
             fixed: sim.point_cloud_fixed
                 + sim.control_fixed
                 + sim.comm_base
-                + if with_runtime_overhead { sim.runtime_overhead } else { 0.0 },
+                + if with_runtime_overhead {
+                    sim.runtime_overhead
+                } else {
+                    0.0
+                },
             comm_per_volume: sim.comm_per_volume,
         }
     }
@@ -160,8 +164,9 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
         b.swap(col, pivot);
         for row in (col + 1)..3 {
             let factor = a[row][col] / a[col][col];
-            for k in col..3 {
-                a[row][k] -= factor * a[col][k];
+            let pivot_row = a[col];
+            for (entry, pivot_entry) in a[row][col..3].iter_mut().zip(&pivot_row[col..3]) {
+                *entry -= factor * pivot_entry;
             }
             b[row] -= factor * b[col];
         }
@@ -253,7 +258,10 @@ mod tests {
                 true,
             )
             .total();
-        assert!((predicted - simulated).abs() < 1e-9, "{predicted} vs {simulated}");
+        assert!(
+            (predicted - simulated).abs() < 1e-9,
+            "{predicted} vs {simulated}"
+        );
     }
 
     #[test]
@@ -270,7 +278,10 @@ mod tests {
         };
         assert!(model.predict(&strict) > 5.0 * model.predict(&relaxed));
         assert!(model.stage_latency(PipelineStage::Perception, 0.3, 46_000.0) > 0.0);
-        assert_eq!(model.stage_latency(PipelineStage::PointCloud, 0.3, 1.0), 0.0);
+        assert_eq!(
+            model.stage_latency(PipelineStage::PointCloud, 0.3, 1.0),
+            0.0
+        );
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub struct Operators {
 
 impl Default for Operators {
     fn default() -> Self {
-        Operators { min_carve_step: 0.5 }
+        Operators {
+            min_carve_step: 0.5,
+        }
     }
 }
 
@@ -99,9 +101,7 @@ mod tests {
 
     fn dense_cloud(origin: Vec3) -> PointCloud {
         let points: Vec<Vec3> = (-20..=20)
-            .flat_map(|y| {
-                (0..20).map(move |z| Vec3::new(12.0, y as f64 * 0.25, z as f64 * 0.25))
-            })
+            .flat_map(|y| (0..20).map(move |z| Vec3::new(12.0, y as f64 * 0.25, z as f64 * 0.25)))
             .collect();
         PointCloud::new(origin, points)
     }

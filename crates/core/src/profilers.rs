@@ -152,7 +152,11 @@ impl Profilers {
         let closest_obstacle = map
             .nearest_occupied_distance(position, self.max_visibility)
             .unwrap_or(self.max_visibility);
-        let probe_dir = if heading.norm() > 1e-9 { heading } else { Vec3::X };
+        let probe_dir = if heading.norm() > 1e-9 {
+            heading
+        } else {
+            Vec3::X
+        };
         let closest_unknown =
             map.distance_to_unknown(position, probe_dir, self.max_visibility, self.probe_step);
 
@@ -255,12 +259,12 @@ pub fn extract_obstacle_clusters(map: &OccupancyMap, center: Vec3, radius: f64) 
         }
     }
     let mut clusters: std::collections::HashMap<usize, Aabb> = std::collections::HashMap::new();
-    for i in 0..nearby.len() {
+    for (i, (_, bounds)) in nearby.iter().enumerate() {
         let root = find(&mut parent, i);
         clusters
             .entry(root)
-            .and_modify(|b| *b = Aabb::union(b, &nearby[i].1))
-            .or_insert(nearby[i].1);
+            .and_modify(|b| *b = Aabb::union(b, bounds))
+            .or_insert(*bounds);
     }
     let mut out: Vec<Aabb> = clusters.into_values().collect();
     out.sort_by(|a, b| {
@@ -390,7 +394,11 @@ mod tests {
         assert!(!profile.upcoming_waypoints.is_empty());
         assert!(profile.upcoming_waypoints.len() <= profilers.waypoint_horizon);
         // Waypoints advance along the trajectory.
-        let xs: Vec<f64> = profile.upcoming_waypoints.iter().map(|w| w.position.x).collect();
+        let xs: Vec<f64> = profile
+            .upcoming_waypoints
+            .iter()
+            .map(|w| w.position.x)
+            .collect();
         for w in xs.windows(2) {
             assert!(w[1] >= w[0] - 1e-9);
         }

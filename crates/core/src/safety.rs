@@ -218,7 +218,8 @@ mod tests {
 
     #[test]
     fn empty_telemetry_is_trivially_clean() {
-        let report = SafetyReport::from_telemetry(&MissionTelemetry::new(RuntimeMode::SpatialAware));
+        let report =
+            SafetyReport::from_telemetry(&MissionTelemetry::new(RuntimeMode::SpatialAware));
         assert!(report.is_clean());
         assert_eq!(report.decisions, 0);
         assert_eq!(report.mean_budget_consumption, 0.0);

@@ -113,7 +113,11 @@ impl KnobSolver {
                 .copied()
                 .filter(|&p| p <= p0_upper_demand + 1e-9)
                 .fold(f64::NAN, f64::max);
-            p0_candidates.push(if fallback.is_nan() { lattice[0] } else { fallback });
+            p0_candidates.push(if fallback.is_nan() {
+                lattice[0]
+            } else {
+                fallback
+            });
         }
 
         // Volume upper bounds: v1 ≤ min(v_sensor, v_map) and the Table II caps.
@@ -154,7 +158,8 @@ impl KnobSolver {
                             let objective = (delta_d - latency).powi(2);
                             // Quality: finer precision and more volume are
                             // better world models; used only to break ties.
-                            let quality = (1.0 / p0) + (1.0 / p1) * 0.5
+                            let quality = (1.0 / p0)
+                                + (1.0 / p1) * 0.5
                                 + (v0 / v0_cap + v1 / v1_cap + v2 / v2_cap) * 0.25;
                             let score = objective - self.config.quality_bias * quality;
                             let better = match &best {
@@ -308,7 +313,10 @@ mod tests {
     fn rejects_degenerate_volume_grid() {
         let _ = KnobSolver::new(
             KnobRanges::table_ii(),
-            SolverConfig { volume_steps: 1, ..SolverConfig::default() },
+            SolverConfig {
+                volume_steps: 1,
+                ..SolverConfig::default()
+            },
         );
     }
 }

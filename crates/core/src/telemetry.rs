@@ -101,7 +101,11 @@ impl MissionTelemetry {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(|r| r.commanded_velocity).sum::<f64>() / self.records.len() as f64
+        self.records
+            .iter()
+            .map(|r| r.commanded_velocity)
+            .sum::<f64>()
+            / self.records.len() as f64
     }
 
     /// Fraction of decisions that met their deadline.

@@ -11,15 +11,15 @@ use roborun_sim::ComputeLatencyModel;
 
 fn arb_profile() -> impl Strategy<Value = SpatialProfile> {
     (
-        0.2f64..6.0,   // velocity
-        0.3f64..50.0,  // gap_min
-        1.0f64..60.0,  // closest obstacle
-        2.0f64..40.0,  // visibility
-        100.0f64..60_000.0, // sensor volume
+        0.2f64..6.0,         // velocity
+        0.3f64..50.0,        // gap_min
+        1.0f64..60.0,        // closest obstacle
+        2.0f64..40.0,        // visibility
+        100.0f64..60_000.0,  // sensor volume
         100.0f64..200_000.0, // map volume
     )
-        .prop_map(|(velocity, gap_min, obstacle, visibility, sensor_volume, map_volume)| {
-            SpatialProfile {
+        .prop_map(
+            |(velocity, gap_min, obstacle, visibility, sensor_volume, map_volume)| SpatialProfile {
                 position: Vec3::ZERO,
                 velocity,
                 gap_avg: gap_min * 1.5,
@@ -30,8 +30,8 @@ fn arb_profile() -> impl Strategy<Value = SpatialProfile> {
                 sensor_volume,
                 map_volume,
                 upcoming_waypoints: Vec::new(),
-            }
-        })
+            },
+        )
 }
 
 fn model() -> PipelineLatencyModel {

@@ -26,12 +26,7 @@ impl CongestionMap {
     ///
     /// Panics if `cell_size <= 0`.
     pub fn build(env: &Environment, cell_size: f64) -> Self {
-        Self::build_for_field(
-            env.field(),
-            env.bounds(),
-            env.start().z,
-            cell_size,
-        )
+        Self::build_for_field(env.field(), env.bounds(), env.start().z, cell_size)
     }
 
     /// Builds a congestion map for an arbitrary obstacle field over the
@@ -56,14 +51,15 @@ impl CongestionMap {
         let mut values = vec![0.0; grid.len()];
         for idx in grid.iter() {
             let center = grid.cell_center(idx);
-            let density = field.local_density(
-                Vec3::new(center.x, center.y, altitude),
-                cell_size,
-                3,
-            );
+            let density =
+                field.local_density(Vec3::new(center.x, center.y, altitude), cell_size, 3);
             values[grid.linear_index(idx)] = density;
         }
-        CongestionMap { grid, values, altitude }
+        CongestionMap {
+            grid,
+            values,
+            altitude,
+        }
     }
 
     /// The grid backing the map.

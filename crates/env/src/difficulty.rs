@@ -25,8 +25,11 @@ pub enum DifficultyLevel {
 
 impl DifficultyLevel {
     /// All three levels, in increasing order.
-    pub const ALL: [DifficultyLevel; 3] =
-        [DifficultyLevel::Low, DifficultyLevel::Mid, DifficultyLevel::High];
+    pub const ALL: [DifficultyLevel; 3] = [
+        DifficultyLevel::Low,
+        DifficultyLevel::Mid,
+        DifficultyLevel::High,
+    ];
 
     /// Index of the level (0, 1, 2).
     pub fn index(self) -> usize {
@@ -95,19 +98,31 @@ impl DifficultyConfig {
 
     /// The easiest evaluated environment (all knobs low).
     pub fn easy() -> Self {
-        Self::from_levels(DifficultyLevel::Low, DifficultyLevel::Low, DifficultyLevel::Low)
+        Self::from_levels(
+            DifficultyLevel::Low,
+            DifficultyLevel::Low,
+            DifficultyLevel::Low,
+        )
     }
 
     /// The mid-range environment used for the paper's representative
     /// mission analysis (Section V-C: "an environment with the mid-range
     /// difficulty level").
     pub fn mid() -> Self {
-        Self::from_levels(DifficultyLevel::Mid, DifficultyLevel::Mid, DifficultyLevel::Mid)
+        Self::from_levels(
+            DifficultyLevel::Mid,
+            DifficultyLevel::Mid,
+            DifficultyLevel::Mid,
+        )
     }
 
     /// The hardest evaluated environment (all knobs high).
     pub fn hard() -> Self {
-        Self::from_levels(DifficultyLevel::High, DifficultyLevel::High, DifficultyLevel::High)
+        Self::from_levels(
+            DifficultyLevel::High,
+            DifficultyLevel::High,
+            DifficultyLevel::High,
+        )
     }
 
     /// The full 3×3×3 evaluation matrix of Section V (27 environments).
@@ -241,11 +256,20 @@ mod tests {
     #[test]
     fn validation_rejects_nonsense() {
         assert!(DifficultyConfig::mid().validate().is_ok());
-        let bad_density = DifficultyConfig { obstacle_density: 1.5, ..DifficultyConfig::mid() };
+        let bad_density = DifficultyConfig {
+            obstacle_density: 1.5,
+            ..DifficultyConfig::mid()
+        };
         assert!(bad_density.validate().is_err());
-        let bad_spread = DifficultyConfig { obstacle_spread: 0.0, ..DifficultyConfig::mid() };
+        let bad_spread = DifficultyConfig {
+            obstacle_spread: 0.0,
+            ..DifficultyConfig::mid()
+        };
         assert!(bad_spread.validate().is_err());
-        let bad_goal = DifficultyConfig { goal_distance: -5.0, ..DifficultyConfig::mid() };
+        let bad_goal = DifficultyConfig {
+            goal_distance: -5.0,
+            ..DifficultyConfig::mid()
+        };
         assert!(bad_goal.validate().is_err());
     }
 

@@ -39,7 +39,10 @@ impl GapAnalysis {
     ///
     /// Panics if `radius <= 0`.
     pub fn analyze(field: &ObstacleField, position: Vec3, radius: f64) -> Self {
-        assert!(radius > 0.0, "analysis radius must be positive, got {radius}");
+        assert!(
+            radius > 0.0,
+            "analysis radius must be positive, got {radius}"
+        );
         let nearby: Vec<&Obstacle> = field.obstacles_within(position, radius);
         let nearest_obstacle = field
             .distance_to_nearest(position)
@@ -165,7 +168,8 @@ mod tests {
 
     #[test]
     fn denser_fields_have_smaller_average_gap() {
-        let sparse = ObstacleField::new(vec![box_at(0, 0.0, -15.0, 1.0), box_at(1, 0.0, 15.0, 1.0)]);
+        let sparse =
+            ObstacleField::new(vec![box_at(0, 0.0, -15.0, 1.0), box_at(1, 0.0, 15.0, 1.0)]);
         let dense = ObstacleField::new(vec![
             box_at(0, 0.0, -4.0, 1.0),
             box_at(1, 0.0, 0.0, 1.0),
@@ -180,10 +184,7 @@ mod tests {
 
     #[test]
     fn radius_limits_the_obstacles_considered() {
-        let field = ObstacleField::new(vec![
-            box_at(0, 5.0, 0.0, 1.0),
-            box_at(1, 200.0, 0.0, 1.0),
-        ]);
+        let field = ObstacleField::new(vec![box_at(0, 5.0, 0.0, 1.0), box_at(1, 200.0, 0.0, 1.0)]);
         let g = GapAnalysis::analyze(&field, Vec3::new(0.0, 0.0, 5.0), 20.0);
         assert_eq!(g.obstacle_count, 1);
         let g_all = GapAnalysis::analyze(&field, Vec3::new(0.0, 0.0, 5.0), 500.0);

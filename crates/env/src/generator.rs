@@ -228,10 +228,9 @@ impl EnvironmentGenerator {
                     {
                         continue;
                     }
-                    let half_xy = cluster_rng
-                        .uniform(p.obstacle_half_extent_min, p.obstacle_half_extent_max);
-                    let height =
-                        cluster_rng.uniform(p.obstacle_height_min, p.obstacle_height_max);
+                    let half_xy =
+                        cluster_rng.uniform(p.obstacle_half_extent_min, p.obstacle_half_extent_max);
+                    let height = cluster_rng.uniform(p.obstacle_height_min, p.obstacle_height_max);
                     let bounds = Aabb::new(
                         Vec3::new(c.x - half_xy, c.y - half_xy, 0.0),
                         Vec3::new(c.x + half_xy, c.y + half_xy, height),
@@ -343,14 +342,25 @@ mod tests {
                 Zone::C => per_zone[2] += 1,
             }
         }
-        assert!(per_zone[0] > per_zone[1], "zone A {} vs B {}", per_zone[0], per_zone[1]);
-        assert!(per_zone[2] > per_zone[1], "zone C {} vs B {}", per_zone[2], per_zone[1]);
+        assert!(
+            per_zone[0] > per_zone[1],
+            "zone A {} vs B {}",
+            per_zone[0],
+            per_zone[1]
+        );
+        assert!(
+            per_zone[2] > per_zone[1],
+            "zone C {} vs B {}",
+            per_zone[2],
+            per_zone[1]
+        );
     }
 
     #[test]
     fn density_knob_increases_obstacle_count() {
         let mk = |level| {
-            let cfg = DifficultyConfig::from_levels(level, DifficultyLevel::Mid, DifficultyLevel::Mid);
+            let cfg =
+                DifficultyConfig::from_levels(level, DifficultyLevel::Mid, DifficultyLevel::Mid);
             EnvironmentGenerator::new(cfg).generate(3).obstacles().len()
         };
         let low = mk(DifficultyLevel::Low);
@@ -363,7 +373,8 @@ mod tests {
     #[test]
     fn spread_knob_increases_congested_area() {
         let extent = |level| {
-            let cfg = DifficultyConfig::from_levels(DifficultyLevel::Mid, level, DifficultyLevel::Mid);
+            let cfg =
+                DifficultyConfig::from_levels(DifficultyLevel::Mid, level, DifficultyLevel::Mid);
             let env = EnvironmentGenerator::new(cfg).generate(3);
             // Lateral spread of obstacles in zone A.
             let ys: Vec<f64> = env
@@ -390,7 +401,10 @@ mod tests {
         for o in env.obstacles() {
             assert_eq!(o.bounds.min.z, 0.0);
             assert!(o.bounds.max.z >= p.obstacle_height_min);
-            assert!(o.bounds.max.z > p.cruise_altitude, "pillars must exceed cruise altitude");
+            assert!(
+                o.bounds.max.z > p.cruise_altitude,
+                "pillars must exceed cruise altitude"
+            );
         }
     }
 

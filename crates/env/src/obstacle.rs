@@ -1,6 +1,14 @@
 //! Obstacles and the obstacle field the MAV navigates through.
+//!
+//! The field keeps a uniform broad-phase grid over its obstacles: every
+//! query (occupancy, nearest distance, radius gathers, ray casts) visits
+//! only the cells near the query instead of scanning every obstacle. The
+//! grid is an exact accelerator — each query returns the same result as the
+//! retained `*_linear` reference scans, which the equivalence proptests in
+//! `tests/proptests.rs` enforce on random worlds.
 
-use roborun_geom::{Aabb, Ray, Vec3};
+use roborun_geom::index::{cell_min_distance_squared, for_each_shell_key_in, GridRayWalk};
+use roborun_geom::{Aabb, FxHashMap, Ray, Vec3, VoxelKey};
 use serde::{Deserialize, Serialize};
 
 /// A single static obstacle, modelled as an axis-aligned box.
@@ -40,7 +48,122 @@ pub struct ObstacleHit {
     pub point: Vec3,
 }
 
-/// A collection of static obstacles with spatial queries.
+/// Broad-phase cell size used when a field starts empty (metres).
+const DEFAULT_CELL: f64 = 8.0;
+
+/// The uniform broad-phase grid: obstacle indices bucketed by every cell
+/// their bounds overlap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BroadPhase {
+    cell: f64,
+    cells: FxHashMap<VoxelKey, Vec<u32>>,
+    /// Key-space bounds of all inserted obstacles (valid when `cells` is
+    /// non-empty).
+    key_min: VoxelKey,
+    key_max: VoxelKey,
+}
+
+impl Default for BroadPhase {
+    fn default() -> Self {
+        BroadPhase {
+            cell: DEFAULT_CELL,
+            cells: FxHashMap::default(),
+            key_min: VoxelKey { x: 0, y: 0, z: 0 },
+            key_max: VoxelKey { x: 0, y: 0, z: 0 },
+        }
+    }
+}
+
+impl BroadPhase {
+    /// Builds a grid for `obstacles`, sizing cells from the mean obstacle
+    /// extent so each obstacle lands in O(1) cells.
+    fn build(obstacles: &[Obstacle]) -> Self {
+        let cell = if obstacles.is_empty() {
+            DEFAULT_CELL
+        } else {
+            let mean_extent: f64 = obstacles
+                .iter()
+                .map(|o| o.bounds.size().max_component())
+                .sum::<f64>()
+                / obstacles.len() as f64;
+            (2.0 * mean_extent).clamp(1.0, 64.0)
+        };
+        let mut grid = BroadPhase {
+            cell,
+            ..BroadPhase::default()
+        };
+        for (i, o) in obstacles.iter().enumerate() {
+            grid.insert(i as u32, &o.bounds);
+        }
+        grid
+    }
+
+    fn insert(&mut self, index: u32, bounds: &Aabb) {
+        let lo = VoxelKey::from_point(bounds.min, self.cell);
+        let hi = VoxelKey::from_point(bounds.max, self.cell);
+        if self.cells.is_empty() {
+            self.key_min = lo;
+            self.key_max = hi;
+        } else {
+            self.key_min = VoxelKey {
+                x: self.key_min.x.min(lo.x),
+                y: self.key_min.y.min(lo.y),
+                z: self.key_min.z.min(lo.z),
+            };
+            self.key_max = VoxelKey {
+                x: self.key_max.x.max(hi.x),
+                y: self.key_max.y.max(hi.y),
+                z: self.key_max.z.max(hi.z),
+            };
+        }
+        for x in lo.x..=hi.x {
+            for y in lo.y..=hi.y {
+                for z in lo.z..=hi.z {
+                    self.cells
+                        .entry(VoxelKey { x, y, z })
+                        .or_default()
+                        .push(index);
+                }
+            }
+        }
+    }
+
+    /// Clamps a key range to the occupied key bounds.
+    fn clamp_range(&self, lo: VoxelKey, hi: VoxelKey) -> (VoxelKey, VoxelKey) {
+        (
+            VoxelKey {
+                x: lo.x.max(self.key_min.x),
+                y: lo.y.max(self.key_min.y),
+                z: lo.z.max(self.key_min.z),
+            },
+            VoxelKey {
+                x: hi.x.min(self.key_max.x),
+                y: hi.y.min(self.key_max.y),
+                z: hi.z.min(self.key_max.z),
+            },
+        )
+    }
+
+    /// Highest Chebyshev ring around `center` that can contain an occupied
+    /// cell.
+    fn max_ring(&self, center: VoxelKey) -> i64 {
+        let dx = (center.x - self.key_min.x).max(self.key_max.x - center.x);
+        let dy = (center.y - self.key_min.y).max(self.key_max.y - center.y);
+        let dz = (center.z - self.key_min.z).max(self.key_max.z - center.z);
+        dx.max(dy).max(dz).max(0)
+    }
+
+    /// Lowest Chebyshev ring around `center` that can contain an occupied
+    /// cell (0 when `center` lies inside the occupied key bounds).
+    fn start_ring(&self, center: VoxelKey) -> i64 {
+        let dx = (self.key_min.x - center.x).max(center.x - self.key_max.x);
+        let dy = (self.key_min.y - center.y).max(center.y - self.key_max.y);
+        let dz = (self.key_min.z - center.z).max(center.z - self.key_max.z);
+        dx.max(dy).max(dz).max(0)
+    }
+}
+
+/// A collection of static obstacles with grid-accelerated spatial queries.
 ///
 /// This is the ground-truth world: sensors, visibility analysis and
 /// collision checks all query it. The navigation pipeline itself only sees
@@ -62,17 +185,19 @@ pub struct ObstacleHit {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ObstacleField {
     obstacles: Vec<Obstacle>,
+    grid: BroadPhase,
 }
 
 impl ObstacleField {
     /// Creates a field from a list of obstacles.
     pub fn new(obstacles: Vec<Obstacle>) -> Self {
-        ObstacleField { obstacles }
+        let grid = BroadPhase::build(&obstacles);
+        ObstacleField { obstacles, grid }
     }
 
     /// Creates an empty field (open sky).
     pub fn empty() -> Self {
-        ObstacleField { obstacles: Vec::new() }
+        ObstacleField::default()
     }
 
     /// The obstacles in the field.
@@ -90,70 +215,228 @@ impl ObstacleField {
         self.obstacles.is_empty()
     }
 
+    /// Broad-phase cell edge length (metres).
+    pub fn broad_phase_cell(&self) -> f64 {
+        self.grid.cell
+    }
+
     /// Adds an obstacle to the field.
     pub fn push(&mut self, obstacle: Obstacle) {
+        let index = self.obstacles.len() as u32;
+        self.grid.insert(index, &obstacle.bounds);
         self.obstacles.push(obstacle);
     }
 
     /// `true` when the point lies inside any obstacle.
     pub fn is_occupied(&self, p: Vec3) -> bool {
-        self.obstacles.iter().any(|o| o.bounds.contains(p))
+        let key = VoxelKey::from_point(p, self.grid.cell);
+        self.grid
+            .cells
+            .get(&key)
+            .map(|ids| {
+                ids.iter()
+                    .any(|&i| self.obstacles[i as usize].bounds.contains(p))
+            })
+            .unwrap_or(false)
     }
 
     /// `true` when a sphere of radius `margin` centred at `p` intersects
     /// any obstacle — the collision predicate used with the MAV's body
     /// radius.
     pub fn is_occupied_with_margin(&self, p: Vec3, margin: f64) -> bool {
-        self.obstacles
-            .iter()
-            .any(|o| o.bounds.distance_to_point(p) <= margin)
+        if self.obstacles.is_empty() {
+            return false;
+        }
+        let lo = VoxelKey::from_point(p - Vec3::splat(margin), self.grid.cell);
+        let hi = VoxelKey::from_point(p + Vec3::splat(margin), self.grid.cell);
+        let (lo, hi) = self.grid.clamp_range(lo, hi);
+        for x in lo.x..=hi.x {
+            for y in lo.y..=hi.y {
+                for z in lo.z..=hi.z {
+                    if let Some(ids) = self.grid.cells.get(&VoxelKey { x, y, z }) {
+                        if ids.iter().any(|&i| {
+                            self.obstacles[i as usize].bounds.distance_to_point(p) <= margin
+                        }) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
     }
 
     /// Euclidean distance from `p` to the closest obstacle surface, or
     /// `None` for an empty field.
     pub fn distance_to_nearest(&self, p: Vec3) -> Option<f64> {
-        self.obstacles
-            .iter()
-            .map(|o| o.bounds.distance_to_point(p))
-            .min_by(|a, b| a.partial_cmp(b).expect("distance is never NaN"))
+        self.nearest_indexed(p).map(|(d, _)| d)
     }
 
     /// The closest obstacle to `p`, or `None` for an empty field.
     pub fn nearest_obstacle(&self, p: Vec3) -> Option<&Obstacle> {
-        self.obstacles.iter().min_by(|a, b| {
-            a.bounds
-                .distance_to_point(p)
-                .partial_cmp(&b.bounds.distance_to_point(p))
-                .expect("distance is never NaN")
-        })
+        self.nearest_indexed(p)
+            .map(|(_, i)| &self.obstacles[i as usize])
+    }
+
+    /// Expanding-ring nearest search; returns `(distance, obstacle index)`,
+    /// breaking distance ties towards the lowest index (the same winner as
+    /// a first-minimum linear scan). Falls back to the linear scan when the
+    /// rings visit more cells than a scan would cost.
+    fn nearest_indexed(&self, p: Vec3) -> Option<(f64, u32)> {
+        if self.obstacles.is_empty() {
+            return None;
+        }
+        let center = VoxelKey::from_point(p, self.grid.cell);
+        let max_ring = self.grid.max_ring(center);
+        // Rings closer than the occupied key bounds are empty — skip them.
+        let start_ring = self.grid.start_ring(center);
+        let mut best: Option<(f64, u32)> = None;
+        let mut visited_cells = 0usize;
+        for ring in start_ring..=max_ring {
+            if let Some((best_d, _)) = best {
+                let ring_min = (ring as f64 - 1.0).max(0.0) * self.grid.cell;
+                if ring_min > best_d {
+                    break;
+                }
+            }
+            if visited_cells > 2 * self.obstacles.len() {
+                // The ring search has grown more expensive than a scan:
+                // finish linearly (same comparison, so the result and its
+                // tie-breaking are unchanged).
+                for (i, o) in self.obstacles.iter().enumerate() {
+                    let d = o.bounds.distance_to_point(p);
+                    let better = match best {
+                        None => true,
+                        Some((bd, bi)) => d < bd || (d == bd && (i as u32) < bi),
+                    };
+                    if better {
+                        best = Some((d, i as u32));
+                    }
+                }
+                return best;
+            }
+            for_each_shell_key_in(center, ring, self.grid.key_min, self.grid.key_max, |key| {
+                visited_cells += 1;
+                // Skip cells that cannot contain a closer obstacle: the
+                // nearest obstacle's closest point lies in a cell passing
+                // this bound, and that cell also holds the obstacle.
+                if let Some((bd, _)) = best {
+                    let d2 = cell_min_distance_squared(key, self.grid.cell, p);
+                    if d2 > bd * bd {
+                        return;
+                    }
+                }
+                if let Some(ids) = self.grid.cells.get(&key) {
+                    for &i in ids {
+                        let d = self.obstacles[i as usize].bounds.distance_to_point(p);
+                        let better = match best {
+                            None => true,
+                            Some((bd, bi)) => d < bd || (d == bd && i < bi),
+                        };
+                        if better {
+                            best = Some((d, i));
+                        }
+                    }
+                }
+            });
+        }
+        best
     }
 
     /// Obstacles whose surface lies within `radius` of `p`.
     pub fn obstacles_within(&self, p: Vec3, radius: f64) -> Vec<&Obstacle> {
-        self.obstacles
-            .iter()
-            .filter(|o| o.bounds.distance_to_point(p) <= radius)
+        self.within_indices(p, radius)
+            .into_iter()
+            .map(|i| &self.obstacles[i as usize])
             .collect()
     }
 
-    /// Casts a ray and returns the first obstacle hit within `max_range`.
-    pub fn raycast(&self, ray: &Ray, max_range: f64) -> Option<ObstacleHit> {
-        let mut best: Option<ObstacleHit> = None;
-        for o in &self.obstacles {
-            if let Some(hit) = ray.intersect_aabb(&o.bounds) {
-                if hit.t_min <= max_range {
-                    let candidate = ObstacleHit {
-                        obstacle_id: o.id,
-                        distance: hit.t_min,
-                        point: ray.at(hit.t_min),
-                    };
-                    if best.map(|b| candidate.distance < b.distance).unwrap_or(true) {
-                        best = Some(candidate);
+    /// Indices (ascending) of obstacles within `radius` of `p`.
+    fn within_indices(&self, p: Vec3, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        if self.obstacles.is_empty() || radius < 0.0 {
+            return out;
+        }
+        let lo = VoxelKey::from_point(p - Vec3::splat(radius), self.grid.cell);
+        let hi = VoxelKey::from_point(p + Vec3::splat(radius), self.grid.cell);
+        let (lo, hi) = self.grid.clamp_range(lo, hi);
+        let cube_cells = (hi.x - lo.x + 1).max(0) as u128
+            * (hi.y - lo.y + 1).max(0) as u128
+            * (hi.z - lo.z + 1).max(0) as u128;
+        if cube_cells > self.grid.cells.len() as u128 {
+            for (key, ids) in &self.grid.cells {
+                if key.x >= lo.x
+                    && key.x <= hi.x
+                    && key.y >= lo.y
+                    && key.y <= hi.y
+                    && key.z >= lo.z
+                    && key.z <= hi.z
+                {
+                    out.extend(ids.iter().copied());
+                }
+            }
+        } else {
+            for x in lo.x..=hi.x {
+                for y in lo.y..=hi.y {
+                    for z in lo.z..=hi.z {
+                        if let Some(ids) = self.grid.cells.get(&VoxelKey { x, y, z }) {
+                            out.extend(ids.iter().copied());
+                        }
                     }
                 }
             }
         }
-        best
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&i| self.obstacles[i as usize].bounds.distance_to_point(p) <= radius);
+        out
+    }
+
+    /// Casts a ray and returns the first obstacle hit within `max_range`.
+    ///
+    /// Walks only the grid cells along the ray (DDA traversal) and stops as
+    /// soon as no later cell can contain a closer hit.
+    pub fn raycast(&self, ray: &Ray, max_range: f64) -> Option<ObstacleHit> {
+        if self.obstacles.is_empty() {
+            return None;
+        }
+        // Track the winning obstacle *index* so distance ties resolve to
+        // the lowest index — the same winner as the linear first-wins scan.
+        let mut best: Option<(ObstacleHit, u32)> = None;
+        for (key, t_entry) in GridRayWalk::new(ray, self.grid.cell, max_range) {
+            if let Some((b, _)) = &best {
+                if t_entry > b.distance {
+                    break;
+                }
+            }
+            let Some(ids) = self.grid.cells.get(&key) else {
+                continue;
+            };
+            for &i in ids {
+                let o = &self.obstacles[i as usize];
+                if let Some(hit) = ray.intersect_aabb(&o.bounds) {
+                    if hit.t_min <= max_range {
+                        let better = match &best {
+                            None => true,
+                            Some((b, bi)) => {
+                                hit.t_min < b.distance || (hit.t_min == b.distance && i < *bi)
+                            }
+                        };
+                        if better {
+                            best = Some((
+                                ObstacleHit {
+                                    obstacle_id: o.id,
+                                    distance: hit.t_min,
+                                    point: ray.at(hit.t_min),
+                                },
+                                i,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(hit, _)| hit)
     }
 
     /// Distance the ray can travel before hitting an obstacle, capped at
@@ -192,14 +475,12 @@ impl ObstacleField {
     /// every obstacle in a kilometre-long mission corridor against every
     /// depth ray.
     pub fn subfield_within(&self, p: Vec3, radius: f64) -> ObstacleField {
-        ObstacleField {
-            obstacles: self
-                .obstacles
-                .iter()
-                .filter(|o| o.bounds.distance_to_point(p) <= radius)
-                .copied()
+        ObstacleField::new(
+            self.within_indices(p, radius)
+                .into_iter()
+                .map(|i| self.obstacles[i as usize])
                 .collect(),
-        }
+        )
     }
 
     /// Axis-aligned bounds enclosing every obstacle, or `None` when empty.
@@ -244,19 +525,87 @@ impl ObstacleField {
         }
         occupied as f64 / total as f64
     }
+
+    // --- Retained linear reference implementations -----------------------
+    //
+    // These are the pre-index O(n) scans. They define the exact semantics
+    // the grid-accelerated queries must reproduce; the equivalence
+    // proptests compare both on random worlds, and the kernel-scaling
+    // benches measure the speedup against them.
+
+    /// Linear-scan reference for [`ObstacleField::is_occupied`].
+    pub fn is_occupied_linear(&self, p: Vec3) -> bool {
+        self.obstacles.iter().any(|o| o.bounds.contains(p))
+    }
+
+    /// Linear-scan reference for [`ObstacleField::is_occupied_with_margin`].
+    pub fn is_occupied_with_margin_linear(&self, p: Vec3, margin: f64) -> bool {
+        self.obstacles
+            .iter()
+            .any(|o| o.bounds.distance_to_point(p) <= margin)
+    }
+
+    /// Linear-scan reference for [`ObstacleField::distance_to_nearest`].
+    pub fn distance_to_nearest_linear(&self, p: Vec3) -> Option<f64> {
+        self.obstacles
+            .iter()
+            .map(|o| o.bounds.distance_to_point(p))
+            .min_by(|a, b| a.partial_cmp(b).expect("distance is never NaN"))
+    }
+
+    /// Linear-scan reference for [`ObstacleField::nearest_obstacle`].
+    pub fn nearest_obstacle_linear(&self, p: Vec3) -> Option<&Obstacle> {
+        self.obstacles.iter().min_by(|a, b| {
+            a.bounds
+                .distance_to_point(p)
+                .partial_cmp(&b.bounds.distance_to_point(p))
+                .expect("distance is never NaN")
+        })
+    }
+
+    /// Linear-scan reference for [`ObstacleField::obstacles_within`].
+    pub fn obstacles_within_linear(&self, p: Vec3, radius: f64) -> Vec<&Obstacle> {
+        self.obstacles
+            .iter()
+            .filter(|o| o.bounds.distance_to_point(p) <= radius)
+            .collect()
+    }
+
+    /// Linear-scan reference for [`ObstacleField::raycast`].
+    pub fn raycast_linear(&self, ray: &Ray, max_range: f64) -> Option<ObstacleHit> {
+        let mut best: Option<ObstacleHit> = None;
+        for o in &self.obstacles {
+            if let Some(hit) = ray.intersect_aabb(&o.bounds) {
+                if hit.t_min <= max_range {
+                    let candidate = ObstacleHit {
+                        obstacle_id: o.id,
+                        distance: hit.t_min,
+                        point: ray.at(hit.t_min),
+                    };
+                    if best
+                        .map(|b| candidate.distance < b.distance)
+                        .unwrap_or(true)
+                    {
+                        best = Some(candidate);
+                    }
+                }
+            }
+        }
+        best
+    }
 }
 
 impl FromIterator<Obstacle> for ObstacleField {
     fn from_iter<T: IntoIterator<Item = Obstacle>>(iter: T) -> Self {
-        ObstacleField {
-            obstacles: iter.into_iter().collect(),
-        }
+        ObstacleField::new(iter.into_iter().collect())
     }
 }
 
 impl Extend<Obstacle> for ObstacleField {
     fn extend<T: IntoIterator<Item = Obstacle>>(&mut self, iter: T) {
-        self.obstacles.extend(iter);
+        for obstacle in iter {
+            self.push(obstacle);
+        }
     }
 }
 
@@ -273,8 +622,14 @@ mod tests {
 
     fn two_box_field() -> ObstacleField {
         ObstacleField::new(vec![
-            Obstacle::new(0, Aabb::from_center_half_extents(Vec3::new(10.0, 0.0, 2.0), Vec3::splat(1.0))),
-            Obstacle::new(1, Aabb::from_center_half_extents(Vec3::new(20.0, 5.0, 2.0), Vec3::splat(2.0))),
+            Obstacle::new(
+                0,
+                Aabb::from_center_half_extents(Vec3::new(10.0, 0.0, 2.0), Vec3::splat(1.0)),
+            ),
+            Obstacle::new(
+                1,
+                Aabb::from_center_half_extents(Vec3::new(20.0, 5.0, 2.0), Vec3::splat(2.0)),
+            ),
         ])
     }
 
@@ -311,7 +666,10 @@ mod tests {
         assert_eq!(f.nearest_obstacle(Vec3::new(13.0, 0.0, 2.0)).unwrap().id, 0);
         assert_eq!(f.nearest_obstacle(Vec3::new(19.0, 5.0, 2.0)).unwrap().id, 1);
         assert_eq!(f.obstacles_within(Vec3::new(10.0, 0.0, 2.0), 3.0).len(), 1);
-        assert_eq!(f.obstacles_within(Vec3::new(15.0, 2.0, 2.0), 100.0).len(), 2);
+        assert_eq!(
+            f.obstacles_within(Vec3::new(15.0, 2.0, 2.0), 100.0).len(),
+            2
+        );
     }
 
     #[test]
@@ -373,7 +731,10 @@ mod tests {
             .map(|i| {
                 Obstacle::new(
                     i,
-                    Aabb::from_center_half_extents(Vec3::new(i as f64 * 5.0, 0.0, 0.0), Vec3::splat(0.5)),
+                    Aabb::from_center_half_extents(
+                        Vec3::new(i as f64 * 5.0, 0.0, 0.0),
+                        Vec3::splat(0.5),
+                    ),
                 )
             })
             .collect();
@@ -383,5 +744,36 @@ mod tests {
         assert_eq!(f2.len(), 5);
         f2.push(Obstacle::new(99, Aabb::new(Vec3::ZERO, Vec3::splat(1.0))));
         assert_eq!(f2.len(), 6);
+    }
+
+    #[test]
+    fn subfield_keeps_nearby_obstacles_only() {
+        let f = two_box_field();
+        let sub = f.subfield_within(Vec3::new(10.0, 0.0, 2.0), 3.0);
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.obstacles()[0].id, 0);
+        let all = f.subfield_within(Vec3::new(15.0, 2.0, 2.0), 100.0);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn incremental_push_is_queryable() {
+        let mut f = ObstacleField::empty();
+        for i in 0..50u32 {
+            f.push(Obstacle::new(
+                i,
+                Aabb::from_center_half_extents(
+                    Vec3::new(i as f64 * 3.0, (i % 7) as f64, 2.0),
+                    Vec3::splat(0.8),
+                ),
+            ));
+            // The freshly inserted obstacle is immediately visible to every
+            // query family.
+            let c = f.obstacles()[i as usize].center();
+            assert!(f.is_occupied(c));
+            assert_eq!(f.nearest_obstacle(c).unwrap().id, i);
+            assert!(f.obstacles_within(c, 0.1).iter().any(|o| o.id == i));
+        }
+        assert_eq!(f.len(), 50);
     }
 }

@@ -91,7 +91,7 @@ proptest! {
     #[test]
     fn visibility_bounded_and_monotone_in_ceiling(field in arb_field(),
                                                   px in -60.0f64..60.0, py in -60.0f64..60.0,
-                                                  yaw in 0.0f64..6.28) {
+                                                  yaw in 0.0f64..std::f64::consts::TAU) {
         let clear = VisibilityModel::with_ceiling(40.0);
         let foggy = VisibilityModel::with_ceiling(10.0);
         let p = Vec3::new(px, py, 5.0);
@@ -127,6 +127,46 @@ proptest! {
         } else {
             prop_assert!(ab > 0.0);
         }
+    }
+
+    #[test]
+    fn grid_point_queries_match_linear_scans(field in arb_field(),
+                                             px in -60.0f64..60.0, py in -60.0f64..60.0,
+                                             pz in 0.0f64..12.0,
+                                             margin in 0.0f64..8.0,
+                                             radius in 0.0f64..100.0) {
+        let p = Vec3::new(px, py, pz);
+        prop_assert_eq!(field.is_occupied(p), field.is_occupied_linear(p));
+        prop_assert_eq!(
+            field.is_occupied_with_margin(p, margin),
+            field.is_occupied_with_margin_linear(p, margin)
+        );
+        prop_assert_eq!(field.distance_to_nearest(p), field.distance_to_nearest_linear(p));
+        prop_assert_eq!(
+            field.nearest_obstacle(p).map(|o| o.id),
+            field.nearest_obstacle_linear(p).map(|o| o.id)
+        );
+        let indexed: Vec<u32> = field.obstacles_within(p, radius).iter().map(|o| o.id).collect();
+        let linear: Vec<u32> = field.obstacles_within_linear(p, radius).iter().map(|o| o.id).collect();
+        prop_assert_eq!(indexed, linear);
+    }
+
+    #[test]
+    fn grid_raycast_matches_linear_scan(field in arb_field(),
+                                        ox in -60.0f64..60.0, oy in -60.0f64..60.0,
+                                        oz in 0.0f64..12.0,
+                                        dx in -1.0f64..1.0, dy in -1.0f64..1.0,
+                                        dz in -1.0f64..1.0,
+                                        range in 1.0f64..120.0) {
+        prop_assume!(dx.abs() + dy.abs() + dz.abs() > 1e-3);
+        let ray = Ray::new(Vec3::new(ox, oy, oz), Vec3::new(dx, dy, dz));
+        let indexed = field.raycast(&ray, range);
+        let linear = field.raycast_linear(&ray, range);
+        prop_assert_eq!(indexed, linear);
+        prop_assert_eq!(
+            field.free_distance(&ray, range),
+            linear.map(|h| h.distance).unwrap_or(range)
+        );
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl Aabb {
     pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Option<Aabb> {
         let mut iter = points.into_iter();
         let first = iter.next()?;
-        let mut aabb = Aabb { min: first, max: first };
+        let mut aabb = Aabb {
+            min: first,
+            max: first,
+        };
         for p in iter {
             aabb.min = aabb.min.min(p);
             aabb.max = aabb.max.max(p);

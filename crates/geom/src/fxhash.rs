@@ -1,0 +1,128 @@
+//! A fast, deterministic hasher for small fixed-size keys.
+//!
+//! The spatial indices probe `VoxelKey`-keyed hash maps millions of times
+//! per planning decision; the standard library's SipHash costs more than
+//! the rest of the probe combined. This is the Firefox `FxHash` algorithm
+//! (multiply-xor, not DoS-resistant), which hashes a `VoxelKey` in a few
+//! multiplies. All grid structures in the workspace key their maps with it.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `BuildHasher` for [`FxHasher`]; plugs into `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher (the rustc/Firefox `FxHash` function).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VoxelKey;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let key = VoxelKey {
+            x: 17,
+            y: -4,
+            z: 88,
+        };
+        let mut map_a: FxHashMap<VoxelKey, u32> = FxHashMap::default();
+        let mut map_b: FxHashMap<VoxelKey, u32> = FxHashMap::default();
+        map_a.insert(key, 1);
+        map_b.insert(key, 2);
+        assert_eq!(map_a.get(&key), Some(&1));
+        assert_eq!(map_b.get(&key), Some(&2));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_buckets_mostly() {
+        let mut set: FxHashSet<VoxelKey> = FxHashSet::default();
+        for x in -10..10 {
+            for y in -10..10 {
+                for z in -3..3 {
+                    set.insert(VoxelKey { x, y, z });
+                }
+            }
+        }
+        assert_eq!(set.len(), 20 * 20 * 6);
+    }
+
+    #[test]
+    fn partial_byte_writes_hash() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3]);
+        let a = h.finish();
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 4]);
+        assert_ne!(a, h.finish());
+    }
+}

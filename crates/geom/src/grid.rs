@@ -56,7 +56,10 @@ impl Grid3 {
     ///
     /// Panics if `cell_size <= 0` or the bounds have zero size on any axis.
     pub fn new(bounds: Aabb, cell_size: f64) -> Self {
-        assert!(cell_size > 0.0, "cell size must be positive, got {cell_size}");
+        assert!(
+            cell_size > 0.0,
+            "cell size must be positive, got {cell_size}"
+        );
         let size = bounds.size();
         assert!(
             size.x > 0.0 && size.y > 0.0 && size.z > 0.0,

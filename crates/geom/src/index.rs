@@ -1,0 +1,644 @@
+//! Spatial acceleration structures: a uniform-grid point index and a
+//! DDA voxel ray walker.
+//!
+//! These are the broad-phase primitives behind the workspace's hot
+//! kernels: RRT* nearest/near queries ([`PointGridIndex`]), the obstacle
+//! field's ray casts and the sensor simulation ([`GridRayWalk`]). Both are
+//! exact accelerators — every query is specified to return the same result
+//! as the corresponding linear scan, which the equivalence proptests in
+//! each consumer crate enforce.
+
+use crate::fxhash::FxHashMap;
+use crate::{Ray, Vec3, VoxelKey};
+
+/// A uniform-grid index over an incrementally grown set of points.
+///
+/// Points are bucketed by the [`VoxelKey`] of the cell containing them.
+/// [`PointGridIndex::nearest`] and [`PointGridIndex::within_radius`] visit
+/// only the cells an expanding search ring (respectively a bounding cube)
+/// touches, turning the O(n) scans of a growing RRT* tree into near-O(1)
+/// lookups.
+///
+/// # Example
+///
+/// ```
+/// use roborun_geom::index::PointGridIndex;
+/// use roborun_geom::Vec3;
+///
+/// let mut index = PointGridIndex::new(4.0);
+/// index.insert(Vec3::ZERO);
+/// index.insert(Vec3::new(10.0, 0.0, 0.0));
+/// assert_eq!(index.nearest(Vec3::new(9.0, 0.0, 0.0)), Some(1));
+/// assert_eq!(index.within_radius(Vec3::ZERO, 2.0), vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PointGridIndex {
+    cell: f64,
+    points: Vec<Vec3>,
+    cells: FxHashMap<VoxelKey, Vec<u32>>,
+    key_min: VoxelKey,
+    key_max: VoxelKey,
+}
+
+impl PointGridIndex {
+    /// Creates an empty index with the given cell edge length (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size <= 0` or is not finite.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell size must be positive and finite, got {cell_size}"
+        );
+        PointGridIndex {
+            cell: cell_size,
+            points: Vec::new(),
+            cells: FxHashMap::default(),
+            key_min: VoxelKey { x: 0, y: 0, z: 0 },
+            key_max: VoxelKey { x: 0, y: 0, z: 0 },
+        }
+    }
+
+    /// Cell edge length (metres).
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points, in insertion order (the point's id is its index).
+    pub fn points(&self) -> &[Vec3] {
+        &self.points
+    }
+
+    /// Position of the point with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn position(&self, id: u32) -> Vec3 {
+        self.points[id as usize]
+    }
+
+    /// Inserts a point and returns its id (insertion index).
+    pub fn insert(&mut self, p: Vec3) -> u32 {
+        let id = u32::try_from(self.points.len()).expect("point index overflow");
+        let key = VoxelKey::from_point(p, self.cell);
+        if self.points.is_empty() {
+            self.key_min = key;
+            self.key_max = key;
+        } else {
+            self.key_min = VoxelKey {
+                x: self.key_min.x.min(key.x),
+                y: self.key_min.y.min(key.y),
+                z: self.key_min.z.min(key.z),
+            };
+            self.key_max = VoxelKey {
+                x: self.key_max.x.max(key.x),
+                y: self.key_max.y.max(key.y),
+                z: self.key_max.z.max(key.z),
+            };
+        }
+        self.points.push(p);
+        self.cells.entry(key).or_default().push(id);
+        id
+    }
+
+    /// Id of the point closest to `target` (squared-distance metric), or
+    /// `None` when empty. Ties resolve to the lowest id, matching a linear
+    /// first-wins scan.
+    pub fn nearest(&self, target: Vec3) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let center = VoxelKey::from_point(target, self.cell);
+        let max_ring = self.max_ring(center);
+        // Rings closer than the occupied key bounds are empty — skip them.
+        let start_ring = self.start_ring(center);
+        let mut best: Option<(f64, u32)> = None;
+        for ring in start_ring..=max_ring {
+            if let Some((best_d2, _)) = best {
+                // Every cell in this ring is at least (ring-1) cells away
+                // from the query point, so once that lower bound exceeds the
+                // best distance no further ring can improve it.
+                let ring_min = (ring as f64 - 1.0).max(0.0) * self.cell;
+                if ring_min * ring_min > best_d2 {
+                    break;
+                }
+            }
+            for_each_shell_key_in(center, ring, self.key_min, self.key_max, |key| {
+                // Exact lower bound on the distance from `target` to any
+                // point in this cell; skip the cell when it cannot beat the
+                // current best (ties keep the cell, preserving tie-breaks).
+                if let Some((bd2, _)) = best {
+                    if cell_min_distance_squared(key, self.cell, target) > bd2 {
+                        return;
+                    }
+                }
+                let Some(ids) = self.cells.get(&key) else {
+                    return;
+                };
+                for &id in ids {
+                    let d2 = self.points[id as usize].distance_squared(target);
+                    let better = match best {
+                        None => true,
+                        Some((bd2, bid)) => d2 < bd2 || (d2 == bd2 && id < bid),
+                    };
+                    if better {
+                        best = Some((d2, id));
+                    }
+                }
+            });
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Ids of all points within `radius` of `p` (Euclidean `<=` test, the
+    /// same predicate as a linear scan), in ascending id order.
+    pub fn within_radius(&self, p: Vec3, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        if self.points.is_empty() || radius < 0.0 {
+            return out;
+        }
+        let lo = VoxelKey::from_point(p - Vec3::splat(radius), self.cell);
+        let hi = VoxelKey::from_point(p + Vec3::splat(radius), self.cell);
+        let lo = VoxelKey {
+            x: lo.x.max(self.key_min.x),
+            y: lo.y.max(self.key_min.y),
+            z: lo.z.max(self.key_min.z),
+        };
+        let hi = VoxelKey {
+            x: hi.x.min(self.key_max.x),
+            y: hi.y.min(self.key_max.y),
+            z: hi.z.min(self.key_max.z),
+        };
+        let cube_cells = (hi.x - lo.x + 1).max(0) as u128
+            * (hi.y - lo.y + 1).max(0) as u128
+            * (hi.z - lo.z + 1).max(0) as u128;
+        if cube_cells > self.cells.len() as u128 {
+            // The cube covers more cells than exist: walking the occupied
+            // cells directly is cheaper.
+            for (key, ids) in &self.cells {
+                if key.x >= lo.x
+                    && key.x <= hi.x
+                    && key.y >= lo.y
+                    && key.y <= hi.y
+                    && key.z >= lo.z
+                    && key.z <= hi.z
+                {
+                    out.extend(ids.iter().copied());
+                }
+            }
+        } else {
+            for x in lo.x..=hi.x {
+                for y in lo.y..=hi.y {
+                    for z in lo.z..=hi.z {
+                        if let Some(ids) = self.cells.get(&VoxelKey { x, y, z }) {
+                            out.extend(ids.iter().copied());
+                        }
+                    }
+                }
+            }
+        }
+        // Filter before sorting: the distance test typically discards most
+        // gathered ids, and sorting the survivors is much cheaper.
+        out.retain(|&id| self.points[id as usize].distance(p) <= radius);
+        out.sort_unstable();
+        out
+    }
+
+    /// Highest Chebyshev ring around `center` that can contain an occupied
+    /// cell.
+    fn max_ring(&self, center: VoxelKey) -> i64 {
+        let dx = (center.x - self.key_min.x).max(self.key_max.x - center.x);
+        let dy = (center.y - self.key_min.y).max(self.key_max.y - center.y);
+        let dz = (center.z - self.key_min.z).max(self.key_max.z - center.z);
+        dx.max(dy).max(dz).max(0)
+    }
+
+    /// Lowest Chebyshev ring around `center` that can contain an occupied
+    /// cell (0 when `center` lies inside the occupied key bounds).
+    fn start_ring(&self, center: VoxelKey) -> i64 {
+        let dx = (self.key_min.x - center.x).max(center.x - self.key_max.x);
+        let dy = (self.key_min.y - center.y).max(center.y - self.key_max.y);
+        let dz = (self.key_min.z - center.z).max(center.z - self.key_max.z);
+        dx.max(dy).max(dz).max(0)
+    }
+}
+
+/// Squared distance from `p` to the closest point of the cell `key` at the
+/// given cell size (zero when `p` lies inside the cell).
+pub fn cell_min_distance_squared(key: VoxelKey, cell: f64, p: Vec3) -> f64 {
+    let mut d2 = 0.0;
+    for (k, coord) in [(key.x, p.x), (key.y, p.y), (key.z, p.z)] {
+        let lo = k as f64 * cell;
+        let hi = lo + cell;
+        let d = (lo - coord).max(coord - hi).max(0.0);
+        d2 += d * d;
+    }
+    d2
+}
+
+/// Calls `visit` for every key in the Chebyshev shell of radius `ring`
+/// around `center` (each key exactly once). Ring 0 is the centre cell
+/// itself. This is the building block of every expanding-ring search in the
+/// workspace.
+pub fn for_each_shell_key(center: VoxelKey, ring: i64, visit: impl FnMut(VoxelKey)) {
+    const NO_LO: VoxelKey = VoxelKey {
+        x: i64::MIN,
+        y: i64::MIN,
+        z: i64::MIN,
+    };
+    const NO_HI: VoxelKey = VoxelKey {
+        x: i64::MAX,
+        y: i64::MAX,
+        z: i64::MAX,
+    };
+    for_each_shell_key_in(center, ring, NO_LO, NO_HI, visit);
+}
+
+/// [`for_each_shell_key`] restricted to the key box `[lo, hi]`: keys
+/// outside the box are skipped without being enumerated, which keeps thin
+/// or small grids cheap even for large rings.
+pub fn for_each_shell_key_in(
+    center: VoxelKey,
+    ring: i64,
+    lo: VoxelKey,
+    hi: VoxelKey,
+    mut visit: impl FnMut(VoxelKey),
+) {
+    if ring <= 0 {
+        if center.x >= lo.x
+            && center.x <= hi.x
+            && center.y >= lo.y
+            && center.y <= hi.y
+            && center.z >= lo.z
+            && center.z <= hi.z
+        {
+            visit(center);
+        }
+        return;
+    }
+    let y_full = (center.y - ring).max(lo.y)..=(center.y + ring).min(hi.y);
+    let z_full = (center.z - ring).max(lo.z)..=(center.z + ring).min(hi.z);
+    // Two full faces orthogonal to X, then the remaining strips of the
+    // Y and Z faces, so each shell cell is visited exactly once.
+    for &x in &[center.x - ring, center.x + ring] {
+        if x < lo.x || x > hi.x {
+            continue;
+        }
+        for y in y_full.clone() {
+            for z in z_full.clone() {
+                visit(VoxelKey { x, y, z });
+            }
+        }
+    }
+    let x_inner = (center.x - ring + 1).max(lo.x)..(center.x + ring).min(hi.x.saturating_add(1));
+    for x in x_inner {
+        for &y in &[center.y - ring, center.y + ring] {
+            if y < lo.y || y > hi.y {
+                continue;
+            }
+            for z in z_full.clone() {
+                visit(VoxelKey { x, y, z });
+            }
+        }
+        let y_inner =
+            (center.y - ring + 1).max(lo.y)..(center.y + ring).min(hi.y.saturating_add(1));
+        for y in y_inner {
+            for &z in &[center.z - ring, center.z + ring] {
+                if z < lo.z || z > hi.z {
+                    continue;
+                }
+                visit(VoxelKey { x, y, z });
+            }
+        }
+    }
+}
+
+/// Amanatides–Woo voxel traversal: iterates the grid cells a ray passes
+/// through, in increasing-`t` order, together with each cell's entry
+/// parameter.
+///
+/// The walk starts in the cell containing the ray origin (entry `t = 0`)
+/// and ends once the next cell would be entered beyond `max_t`.
+///
+/// # Example
+///
+/// ```
+/// use roborun_geom::index::GridRayWalk;
+/// use roborun_geom::{Ray, Vec3, VoxelKey};
+///
+/// let ray = Ray::new(Vec3::new(0.5, 0.5, 0.5), Vec3::X);
+/// let cells: Vec<(VoxelKey, f64)> = GridRayWalk::new(&ray, 1.0, 2.0).collect();
+/// assert_eq!(cells.len(), 3);
+/// assert_eq!(cells[0].0, VoxelKey { x: 0, y: 0, z: 0 });
+/// assert_eq!(cells[1].0, VoxelKey { x: 1, y: 0, z: 0 });
+/// assert!((cells[1].1 - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridRayWalk {
+    key: VoxelKey,
+    step: [i64; 3],
+    t_next: [f64; 3],
+    t_delta: [f64; 3],
+    max_t: f64,
+    started: bool,
+    done: bool,
+}
+
+impl GridRayWalk {
+    /// Starts a walk along `ray` over a grid of `cell_size` cells, ending
+    /// at parameter `max_t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size <= 0` or is not finite.
+    pub fn new(ray: &Ray, cell_size: f64, max_t: f64) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell size must be positive and finite, got {cell_size}"
+        );
+        let key = VoxelKey::from_point(ray.origin, cell_size);
+        let cells = [key.x, key.y, key.z];
+        let mut step = [0i64; 3];
+        let mut t_next = [f64::INFINITY; 3];
+        let mut t_delta = [f64::INFINITY; 3];
+        for axis in 0..3 {
+            let d = ray.direction[axis];
+            if d.abs() < 1e-12 {
+                continue;
+            }
+            step[axis] = if d > 0.0 { 1 } else { -1 };
+            let boundary_cell = cells[axis] + i64::from(d > 0.0);
+            let boundary = boundary_cell as f64 * cell_size;
+            t_next[axis] = (boundary - ray.origin[axis]) / d;
+            t_delta[axis] = cell_size / d.abs();
+        }
+        GridRayWalk {
+            key,
+            step,
+            t_next,
+            t_delta,
+            max_t,
+            started: false,
+            done: max_t < 0.0,
+        }
+    }
+}
+
+impl Iterator for GridRayWalk {
+    type Item = (VoxelKey, f64);
+
+    fn next(&mut self) -> Option<(VoxelKey, f64)> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some((self.key, 0.0));
+        }
+        let axis = (0..3)
+            .min_by(|&a, &b| {
+                self.t_next[a]
+                    .partial_cmp(&self.t_next[b])
+                    .expect("traversal times are never NaN")
+            })
+            .expect("three axes");
+        let t_entry = self.t_next[axis];
+        if !t_entry.is_finite() || t_entry > self.max_t {
+            self.done = true;
+            return None;
+        }
+        match axis {
+            0 => self.key.x += self.step[0],
+            1 => self.key.y += self.step[1],
+            _ => self.key.z += self.step[2],
+        }
+        self.t_next[axis] += self.t_delta[axis];
+        Some((self.key, t_entry))
+    }
+}
+
+/// Reference linear nearest-point scan (squared-distance metric, first
+/// minimal index wins) — retained for equivalence tests and benchmarks.
+pub fn nearest_linear(points: &[Vec3], target: Vec3) -> Option<u32> {
+    let mut best: Option<(f64, u32)> = None;
+    for (i, p) in points.iter().enumerate() {
+        let d2 = p.distance_squared(target);
+        if best.map(|(bd2, _)| d2 < bd2).unwrap_or(true) {
+            best = Some((d2, i as u32));
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+/// Reference linear radius scan (`distance <= radius`, ascending index) —
+/// retained for equivalence tests and benchmarks.
+pub fn within_radius_linear(points: &[Vec3], p: Vec3, radius: f64) -> Vec<u32> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, q)| q.distance(p) <= radius)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    fn random_points(seed: u64, n: usize, span: f64) -> Vec<Vec3> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.uniform(-span, span),
+                    rng.uniform(-span, span),
+                    rng.uniform(-span, span),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_index_queries() {
+        let index = PointGridIndex::new(2.0);
+        assert!(index.is_empty());
+        assert_eq!(index.len(), 0);
+        assert_eq!(index.nearest(Vec3::ZERO), None);
+        assert!(index.within_radius(Vec3::ZERO, 10.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_panics() {
+        let _ = PointGridIndex::new(0.0);
+    }
+
+    #[test]
+    fn nearest_matches_linear_on_random_points() {
+        for seed in 0..20 {
+            let points = random_points(seed, 200, 50.0);
+            let mut index = PointGridIndex::new(4.0);
+            for &p in &points {
+                index.insert(p);
+            }
+            let queries = random_points(seed + 1000, 50, 80.0);
+            for q in queries {
+                assert_eq!(index.nearest(q), nearest_linear(&points, q), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn within_radius_matches_linear_on_random_points() {
+        for seed in 0..20 {
+            let points = random_points(seed, 200, 50.0);
+            let mut index = PointGridIndex::new(4.0);
+            for &p in &points {
+                index.insert(p);
+            }
+            let mut rng = SplitMix64::new(seed + 2000);
+            for _ in 0..30 {
+                let q = Vec3::new(
+                    rng.uniform(-80.0, 80.0),
+                    rng.uniform(-80.0, 80.0),
+                    rng.uniform(-80.0, 80.0),
+                );
+                let radius = rng.uniform(0.0, 60.0);
+                assert_eq!(
+                    index.within_radius(q, radius),
+                    within_radius_linear(&points, q, radius),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_ties_resolve_to_lowest_id() {
+        let mut index = PointGridIndex::new(1.0);
+        // Two points equidistant from the query, in different cells.
+        index.insert(Vec3::new(-2.0, 0.0, 0.0));
+        index.insert(Vec3::new(2.0, 0.0, 0.0));
+        assert_eq!(index.nearest(Vec3::ZERO), Some(0));
+    }
+
+    #[test]
+    fn incremental_growth_extends_bounds() {
+        let mut index = PointGridIndex::new(2.0);
+        index.insert(Vec3::ZERO);
+        // Far point inserted later must still be found.
+        index.insert(Vec3::new(500.0, -300.0, 120.0));
+        assert_eq!(index.nearest(Vec3::new(490.0, -290.0, 110.0)), Some(1));
+        assert_eq!(
+            index.within_radius(Vec3::new(500.0, -300.0, 120.0), 1.0),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn ray_walk_visits_marched_cells() {
+        // Every cell a fine march visits must appear in the walk, in order.
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..50 {
+            let origin = Vec3::new(
+                rng.uniform(-10.0, 10.0),
+                rng.uniform(-10.0, 10.0),
+                rng.uniform(-10.0, 10.0),
+            );
+            let dir = Vec3::new(
+                rng.uniform(-1.0, 1.0),
+                rng.uniform(-1.0, 1.0),
+                rng.uniform(-1.0, 1.0),
+            );
+            if dir.norm() < 1e-6 {
+                continue;
+            }
+            let ray = Ray::new(origin, dir);
+            let cell = 2.0;
+            let max_t = 40.0;
+            let walked: Vec<VoxelKey> = GridRayWalk::new(&ray, cell, max_t)
+                .map(|(k, _)| k)
+                .collect();
+            let mut cursor = 0usize;
+            let mut t = 0.0;
+            while t <= max_t {
+                let key = VoxelKey::from_point(ray.at(t), cell);
+                // Advance the walk cursor to this key; boundary samples may
+                // land one cell ahead, so allow skipping walked cells but
+                // never going backwards.
+                if let Some(pos) = walked[cursor..].iter().position(|&k| k == key) {
+                    cursor += pos;
+                } else {
+                    panic!("marched cell {key:?} missing from walk at t={t}");
+                }
+                t += 0.05;
+            }
+        }
+    }
+
+    #[test]
+    fn ray_walk_entry_parameters_are_monotone() {
+        let ray = Ray::new(Vec3::new(0.3, 0.7, -0.2), Vec3::new(1.0, -0.5, 0.25));
+        let walk: Vec<(VoxelKey, f64)> = GridRayWalk::new(&ray, 1.5, 30.0).collect();
+        assert!(walk.len() > 10);
+        for pair in walk.windows(2) {
+            assert!(pair[1].1 > pair[0].1 - 1e-12);
+            assert!(pair[0].0.manhattan_distance(&pair[1].0) == 1);
+        }
+        assert_eq!(walk[0].1, 0.0);
+        assert!(walk.last().unwrap().1 <= 30.0);
+    }
+
+    #[test]
+    fn shell_keys_partition_the_cube() {
+        use std::collections::HashSet;
+        let center = VoxelKey { x: 3, y: -2, z: 7 };
+        let mut seen: HashSet<VoxelKey> = HashSet::new();
+        let mut count = 0usize;
+        for ring in 0..=3 {
+            for_each_shell_key(center, ring, |key| {
+                assert!(seen.insert(key), "key {key:?} visited twice");
+                let cheb = (key.x - center.x)
+                    .abs()
+                    .max((key.y - center.y).abs())
+                    .max((key.z - center.z).abs());
+                assert_eq!(cheb, ring);
+                count += 1;
+            });
+        }
+        // Rings 0..=3 exactly tile the 7x7x7 cube.
+        assert_eq!(count, 7 * 7 * 7);
+    }
+
+    #[test]
+    fn ray_walk_axis_aligned_and_degenerate() {
+        let ray = Ray::new(Vec3::new(0.5, 0.5, 0.5), Vec3::X);
+        let walk: Vec<(VoxelKey, f64)> = GridRayWalk::new(&ray, 1.0, 5.25).collect();
+        assert_eq!(walk.len(), 6);
+        for (i, (key, _)) in walk.iter().enumerate() {
+            assert_eq!(
+                *key,
+                VoxelKey {
+                    x: i as i64,
+                    y: 0,
+                    z: 0
+                }
+            );
+        }
+        // Negative max_t yields nothing.
+        assert_eq!(GridRayWalk::new(&ray, 1.0, -1.0).count(), 0);
+    }
+}

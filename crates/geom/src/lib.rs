@@ -39,7 +39,9 @@
 #![warn(missing_docs)]
 
 pub mod aabb;
+pub mod fxhash;
 pub mod grid;
+pub mod index;
 pub mod polynomial;
 pub mod pose;
 pub mod ray;
@@ -49,7 +51,12 @@ pub mod vec3;
 pub mod voxel;
 
 pub use aabb::Aabb;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use grid::{CellIndex, Grid3};
+pub use index::{
+    cell_min_distance_squared, for_each_shell_key, for_each_shell_key_in, GridRayWalk,
+    PointGridIndex,
+};
 pub use polynomial::Polynomial;
 pub use pose::Pose;
 pub use ray::{Ray, RayHit};

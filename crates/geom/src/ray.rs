@@ -124,7 +124,10 @@ impl Ray {
     /// Panics if `step <= 0` or `max_range < 0`.
     pub fn march(&self, step: f64, max_range: f64) -> RayMarch {
         assert!(step > 0.0, "ray march step must be positive, got {step}");
-        assert!(max_range >= 0.0, "max_range must be non-negative, got {max_range}");
+        assert!(
+            max_range >= 0.0,
+            "max_range must be non-negative, got {max_range}"
+        );
         RayMarch {
             ray: *self,
             step,

@@ -193,11 +193,14 @@ mod tests {
     fn point_around_spreads_with_sigma() {
         let mut rng = SplitMix64::new(77);
         let center = Vec3::new(100.0, 50.0, 5.0);
-        let tight: Vec<Vec3> = (0..2000).map(|_| rng.point_around(center, Vec3::splat(1.0))).collect();
-        let wide: Vec<Vec3> = (0..2000).map(|_| rng.point_around(center, Vec3::splat(10.0))).collect();
-        let spread = |pts: &[Vec3]| {
-            pts.iter().map(|p| p.distance(center)).sum::<f64>() / pts.len() as f64
-        };
+        let tight: Vec<Vec3> = (0..2000)
+            .map(|_| rng.point_around(center, Vec3::splat(1.0)))
+            .collect();
+        let wide: Vec<Vec3> = (0..2000)
+            .map(|_| rng.point_around(center, Vec3::splat(10.0)))
+            .collect();
+        let spread =
+            |pts: &[Vec3]| pts.iter().map(|p| p.distance(center)).sum::<f64>() / pts.len() as f64;
         assert!(spread(&wide) > 4.0 * spread(&tight));
     }
 

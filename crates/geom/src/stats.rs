@@ -155,7 +155,10 @@ impl FromIterator<f64> for RunningStats {
 ///
 /// Panics if `q` is outside `[0, 1]` or the data contains NaN.
 pub fn percentile(data: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "percentile q must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "percentile q must be in [0,1], got {q}"
+    );
     if data.is_empty() {
         return None;
     }
@@ -245,13 +248,16 @@ fn solve_linear_system(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
         }
         a.swap(col, pivot);
         b.swap(col, pivot);
-        // Eliminate.
-        for row in (col + 1)..n {
-            let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+        // Eliminate. Split the rows so the pivot row can be read while the
+        // later rows are updated, without cloning it per row.
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for (offset, row) in rest.iter_mut().enumerate() {
+            let factor = row[col] / pivot_row[col];
+            for (entry, pivot_entry) in row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *entry -= factor * pivot_entry;
             }
-            b[row] -= factor * b[col];
+            b[col + 1 + offset] -= factor * b[col];
         }
     }
     // Back substitution.
@@ -296,7 +302,9 @@ mod tests {
 
     #[test]
     fn running_stats_basic() {
-        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.variance() - 4.0).abs() < 1e-12);

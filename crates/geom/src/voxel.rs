@@ -30,7 +30,10 @@ impl VoxelKey {
     ///
     /// Panics if `voxel_size <= 0`.
     pub fn from_point(p: Vec3, voxel_size: f64) -> Self {
-        assert!(voxel_size > 0.0, "voxel size must be positive, got {voxel_size}");
+        assert!(
+            voxel_size > 0.0,
+            "voxel size must be positive, got {voxel_size}"
+        );
         VoxelKey {
             x: (p.x / voxel_size).floor() as i64,
             y: (p.y / voxel_size).floor() as i64,
@@ -79,7 +82,10 @@ impl VoxelKey {
 /// assert_eq!(precision_lattice(0.3, 6), vec![0.3, 0.6, 1.2, 2.4, 4.8, 9.6]);
 /// ```
 pub fn precision_lattice(vox_min: f64, levels: usize) -> Vec<f64> {
-    assert!(vox_min > 0.0, "minimum voxel size must be positive, got {vox_min}");
+    assert!(
+        vox_min > 0.0,
+        "minimum voxel size must be positive, got {vox_min}"
+    );
     assert!(levels > 0, "lattice must have at least one level");
     (0..levels).map(|n| vox_min * (1u64 << n) as f64).collect()
 }
@@ -182,7 +188,10 @@ mod tests {
     fn snapping_never_exceeds_demand() {
         for desired in [0.1, 0.3, 0.5, 0.7, 1.3, 2.5, 5.0, 9.6, 20.0] {
             let snapped = snap_to_lattice(desired, 0.3, 6);
-            assert!(snapped <= desired.max(0.3) + 1e-12, "desired {desired} snapped {snapped}");
+            assert!(
+                snapped <= desired.max(0.3) + 1e-12,
+                "desired {desired} snapped {snapped}"
+            );
             assert!(snapped >= 0.3);
             assert!(snapped <= 9.6);
         }

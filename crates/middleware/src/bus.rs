@@ -228,7 +228,9 @@ impl MessageBus {
                 name: name.to_string(),
             });
         }
-        inner.nodes.insert(name.to_string(), NodeConnections::default());
+        inner
+            .nodes
+            .insert(name.to_string(), NodeConnections::default());
         Ok(())
     }
 
@@ -514,8 +516,8 @@ mod tests {
         }
         assert_eq!(bus.queue_len(&t, sub), 3);
         assert_eq!(bus.subscription_evictions(&t, sub), 7);
-        let newest: Vec<u64> = std::iter::from_fn(|| bus.take::<u64>(&t, sub).map(|s| s.message))
-            .collect();
+        let newest: Vec<u64> =
+            std::iter::from_fn(|| bus.take::<u64>(&t, sub).map(|s| s.message)).collect();
         assert_eq!(newest, vec![7, 8, 9]);
     }
 
@@ -538,7 +540,12 @@ mod tests {
         let bus = MessageBus::default();
         bus.register_node("governor").unwrap();
         let err = bus.register_node("governor").unwrap_err();
-        assert_eq!(err, MiddlewareError::NodeNameTaken { name: "governor".into() });
+        assert_eq!(
+            err,
+            MiddlewareError::NodeNameTaken {
+                name: "governor".into()
+            }
+        );
         assert!(bus.register_node("Governor").is_err());
         assert!(bus.register_node("").is_err());
     }
@@ -611,7 +618,10 @@ mod tests {
         bus.publish(&t, 7u8).unwrap();
         bus.shutdown();
         assert!(bus.is_shutdown());
-        assert_eq!(bus.publish(&t, 8u8).unwrap_err(), MiddlewareError::BusClosed);
+        assert_eq!(
+            bus.publish(&t, 8u8).unwrap_err(),
+            MiddlewareError::BusClosed
+        );
         assert_eq!(bus.take::<u8>(&t, sub).unwrap().message, 7);
     }
 

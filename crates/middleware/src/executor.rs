@@ -38,8 +38,22 @@ pub struct Executor {
 impl std::fmt::Debug for Executor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Executor")
-            .field("tasks", &self.tasks.iter().map(|t| t.name.as_str()).collect::<Vec<_>>())
-            .field("timers", &self.timers.iter().map(|t| t.name.as_str()).collect::<Vec<_>>())
+            .field(
+                "tasks",
+                &self
+                    .tasks
+                    .iter()
+                    .map(|t| t.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "timers",
+                &self
+                    .timers
+                    .iter()
+                    .map(|t| t.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
             .field("steps", &self.steps)
             .finish()
     }
@@ -76,7 +90,12 @@ impl Executor {
     /// # Panics
     ///
     /// Panics if `period` is not strictly positive.
-    pub fn add_timer(&mut self, name: &str, period: f64, callback: impl FnMut(f64) + Send + 'static) {
+    pub fn add_timer(
+        &mut self,
+        name: &str,
+        period: f64,
+        callback: impl FnMut(f64) + Send + 'static,
+    ) {
         assert!(period > 0.0, "timer period must be positive, got {period}");
         let now = self.bus.now();
         self.timers.push(TimerEntry {
@@ -151,18 +170,27 @@ impl Executor {
 
     /// Number of times the named task has run (`None` if unknown).
     pub fn task_invocations(&self, name: &str) -> Option<u64> {
-        self.tasks.iter().find(|t| t.name == name).map(|t| t.invocations)
+        self.tasks
+            .iter()
+            .find(|t| t.name == name)
+            .map(|t| t.invocations)
     }
 
     /// Number of times the named timer has fired (`None` if unknown).
     pub fn timer_invocations(&self, name: &str) -> Option<u64> {
-        self.timers.iter().find(|t| t.name == name).map(|t| t.invocations)
+        self.timers
+            .iter()
+            .find(|t| t.name == name)
+            .map(|t| t.invocations)
     }
 
     /// Number of firings the named timer skipped because a spin step jumped
     /// over more than one period (`None` if unknown).
     pub fn timer_missed(&self, name: &str) -> Option<u64> {
-        self.timers.iter().find(|t| t.name == name).map(|t| t.missed)
+        self.timers
+            .iter()
+            .find(|t| t.name == name)
+            .map(|t| t.missed)
     }
 
     /// Names of the registered tasks, in execution order.
@@ -196,7 +224,10 @@ mod tests {
         executor.spin_once(0.1);
         executor.spin_once(0.1);
         let seen = order.lock().unwrap().clone();
-        assert_eq!(seen, vec!["first", "second", "third", "first", "second", "third"]);
+        assert_eq!(
+            seen,
+            vec!["first", "second", "third", "first", "second", "third"]
+        );
         assert_eq!(executor.task_invocations("second"), Some(2));
         assert_eq!(executor.steps(), 2);
     }
@@ -262,7 +293,9 @@ mod tests {
         let source = Node::new(&bus, "source").unwrap();
         let sink = Node::new(&bus, "sink").unwrap();
         let publisher = source.publisher::<u64>("/ticks").unwrap();
-        let subscription = sink.subscribe::<u64>("/ticks", QosProfile::reliable(32)).unwrap();
+        let subscription = sink
+            .subscribe::<u64>("/ticks", QosProfile::reliable(32))
+            .unwrap();
         let received = Arc::new(AtomicU64::new(0));
 
         let mut executor = Executor::new(&bus);

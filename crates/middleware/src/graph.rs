@@ -47,10 +47,16 @@ impl GraphInfo {
         let mut subscribers_by_topic: BTreeMap<TopicName, Vec<String>> = BTreeMap::new();
         for (node, conn) in &connections {
             for topic in &conn.publishes {
-                publishers_by_topic.entry(topic.clone()).or_default().push(node.clone());
+                publishers_by_topic
+                    .entry(topic.clone())
+                    .or_default()
+                    .push(node.clone());
             }
             for topic in &conn.subscribes {
-                subscribers_by_topic.entry(topic.clone()).or_default().push(node.clone());
+                subscribers_by_topic
+                    .entry(topic.clone())
+                    .or_default()
+                    .push(node.clone());
             }
         }
 
@@ -92,7 +98,11 @@ impl GraphInfo {
             let _ = writeln!(out, "  \"{node}\" [shape=ellipse];");
         }
         for topic in &self.topics {
-            let _ = writeln!(out, "  \"{}\" [shape=box, label=\"{}\\n{}\"];", topic.name, topic.name, topic.type_name);
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape=box, label=\"{}\\n{}\"];",
+                topic.name, topic.name, topic.type_name
+            );
             for publisher in &topic.publishers {
                 let _ = writeln!(out, "  \"{publisher}\" -> \"{}\";", topic.name);
             }
@@ -144,7 +154,9 @@ mod tests {
         let _cloud_sub = mapper
             .subscribe::<Vec<f64>>("/sensors/points", QosProfile::sensor_data())
             .unwrap();
-        let map_pub = mapper.publisher::<Vec<f64>>("/perception/planner_map").unwrap();
+        let map_pub = mapper
+            .publisher::<Vec<f64>>("/perception/planner_map")
+            .unwrap();
         let _map_sub = planner
             .subscribe::<Vec<f64>>("/perception/planner_map", QosProfile::reliable(4))
             .unwrap();
@@ -171,7 +183,10 @@ mod tests {
         cloud_pub.publish(vec![0.0; 1024]).unwrap();
 
         let graph = GraphInfo::snapshot(&bus);
-        assert_eq!(graph.nodes, vec!["camera".to_string(), "mapper".to_string()]);
+        assert_eq!(
+            graph.nodes,
+            vec!["camera".to_string(), "mapper".to_string()]
+        );
         let topic = graph.topic("/sensors/points").expect("topic present");
         assert_eq!(topic.publishers, vec!["camera".to_string()]);
         assert_eq!(topic.subscribers, vec!["mapper".to_string()]);

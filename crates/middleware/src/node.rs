@@ -75,7 +75,9 @@ impl Node {
         qos: QosProfile,
     ) -> Result<Subscription<T>, MiddlewareError> {
         let topic = TopicName::new(topic)?;
-        let id = self.bus.register_subscription::<T>(&self.name, &topic, qos)?;
+        let id = self
+            .bus
+            .register_subscription::<T>(&self.name, &topic, qos)?;
         Ok(Subscription {
             bus: self.bus.clone(),
             topic,
@@ -225,7 +227,9 @@ mod tests {
         let bus = MessageBus::with_free_transport();
         let node = Node::new(&bus, "solo").unwrap();
         let publisher = node.publisher::<u32>("/counter").unwrap();
-        let subscription = node.subscribe::<u32>("/counter", QosProfile::reliable(8)).unwrap();
+        let subscription = node
+            .subscribe::<u32>("/counter", QosProfile::reliable(8))
+            .unwrap();
         for i in 0..5 {
             publisher.publish(i).unwrap();
         }
@@ -239,11 +243,17 @@ mod tests {
         let bus = MessageBus::with_free_transport();
         let node = Node::new(&bus, "solo").unwrap();
         let publisher = node.publisher::<u32>("/counter").unwrap();
-        let subscription = node.subscribe::<u32>("/counter", QosProfile::reliable(8)).unwrap();
+        let subscription = node
+            .subscribe::<u32>("/counter", QosProfile::reliable(8))
+            .unwrap();
         for i in 0..4 {
             publisher.publish(i).unwrap();
         }
-        let values: Vec<u32> = subscription.drain().into_iter().map(|s| s.message).collect();
+        let values: Vec<u32> = subscription
+            .drain()
+            .into_iter()
+            .map(|s| s.message)
+            .collect();
         assert_eq!(values, vec![0, 1, 2, 3]);
     }
 
@@ -265,7 +275,9 @@ mod tests {
         let node = Node::new(&bus, "solo").unwrap();
         let publisher = node.publisher::<u8>("/beat").unwrap();
         {
-            let _subscription = node.subscribe::<u8>("/beat", QosProfile::default()).unwrap();
+            let _subscription = node
+                .subscribe::<u8>("/beat", QosProfile::default())
+                .unwrap();
             assert_eq!(publisher.subscriber_count(), 1);
         }
         assert_eq!(publisher.subscriber_count(), 0);
@@ -277,7 +289,9 @@ mod tests {
         assert!(Node::new(&bus, "Bad Name").is_err());
         let node = Node::new(&bus, "ok").unwrap();
         assert!(node.publisher::<u8>("no_leading_slash").is_err());
-        assert!(node.subscribe::<u8>("/UPPER", QosProfile::default()).is_err());
+        assert!(node
+            .subscribe::<u8>("/UPPER", QosProfile::default())
+            .is_err());
     }
 
     #[test]
@@ -287,8 +301,12 @@ mod tests {
         let a = Node::new(&bus, "a").unwrap();
         let b = Node::new(&bus, "b").unwrap();
         let publisher = talker.publisher::<u32>("/fanout").unwrap();
-        let sub_a = a.subscribe::<u32>("/fanout", QosProfile::reliable(8)).unwrap();
-        let sub_b = b.subscribe::<u32>("/fanout", QosProfile::reliable(8)).unwrap();
+        let sub_a = a
+            .subscribe::<u32>("/fanout", QosProfile::reliable(8))
+            .unwrap();
+        let sub_b = b
+            .subscribe::<u32>("/fanout", QosProfile::reliable(8))
+            .unwrap();
         for i in 0..3 {
             publisher.publish(i).unwrap();
         }

@@ -72,7 +72,10 @@ impl BagIndex {
 
     /// Entries recorded on one topic, in recording order.
     pub fn topic_entries(&self, topic: &str) -> Vec<&BagEntry> {
-        self.entries.iter().filter(|e| e.topic.as_str() == topic).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.topic.as_str() == topic)
+            .collect()
     }
 
     /// Time span covered by the recording: (first, last) publish time, or
@@ -80,7 +83,10 @@ impl BagIndex {
     pub fn time_span(&self) -> Option<(f64, f64)> {
         let first = self.entries.first()?.time;
         let last = self.entries.iter().map(|e| e.time).fold(first, f64::max);
-        Some((self.entries.iter().map(|e| e.time).fold(first, f64::min), last))
+        Some((
+            self.entries.iter().map(|e| e.time).fold(first, f64::min),
+            last,
+        ))
     }
 
     /// Total recorded payload bytes.

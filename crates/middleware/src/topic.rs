@@ -142,7 +142,10 @@ mod tests {
         assert_eq!(t.as_str(), "/perception/planner_map");
         assert_eq!(t.namespace(), "/perception");
         assert_eq!(t.base_name(), "planner_map");
-        assert_eq!(t.segments().collect::<Vec<_>>(), vec!["perception", "planner_map"]);
+        assert_eq!(
+            t.segments().collect::<Vec<_>>(),
+            vec!["perception", "planner_map"]
+        );
 
         let single = TopicName::new("/odom").unwrap();
         assert_eq!(single.namespace(), "/");

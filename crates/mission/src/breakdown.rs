@@ -63,7 +63,10 @@ impl ZoneBreakdown {
             .into_iter()
             .map(|(name, share)| (name.to_string(), share))
             .collect();
-        ZoneBreakdown { zones, stage_shares }
+        ZoneBreakdown {
+            zones,
+            stage_shares,
+        }
     }
 
     /// Statistics of a specific zone, if it was visited.

@@ -166,9 +166,15 @@ mod tests {
     fn success_flag() {
         let good = metrics(RuntimeMode::SpatialAware, 400.0, 2.5, 0.5);
         assert!(good.successful());
-        let crashed = MissionMetrics { collided: true, ..good };
+        let crashed = MissionMetrics {
+            collided: true,
+            ..good
+        };
         assert!(!crashed.successful());
-        let lost = MissionMetrics { reached_goal: false, ..good };
+        let lost = MissionMetrics {
+            reached_goal: false,
+            ..good
+        };
         assert!(!lost.successful());
     }
 

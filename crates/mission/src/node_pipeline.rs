@@ -19,7 +19,9 @@
 use crate::metrics::MissionMetrics;
 use crate::runner::{direction_towards, planning_bounds, zone_label, MissionConfig, MissionResult};
 use roborun_control::TrajectoryFollower;
-use roborun_core::{DecisionRecord, Governor, MissionTelemetry, Policy, Profilers, RuntimeMode, SpatialProfile};
+use roborun_core::{
+    DecisionRecord, Governor, MissionTelemetry, Policy, Profilers, RuntimeMode, SpatialProfile,
+};
 use roborun_env::Environment;
 use roborun_geom::Vec3;
 use roborun_middleware::{
@@ -217,7 +219,7 @@ impl PerceptionNode {
     fn new(node: &Node, config: &MissionConfig, map_resolution: f64) -> Self {
         PerceptionNode {
             map: OccupancyMap::new(map_resolution),
-            profilers: config.profilers.clone(),
+            profilers: config.profilers,
             map_retain_radius: config.map_retain_radius,
             cloud_sub: node
                 .subscribe("/sensors/points", QosProfile::sensor_data())
@@ -235,7 +237,9 @@ impl PerceptionNode {
                 .subscribe("/planning/feedback", QosProfile::latched(1))
                 .expect("feedback subscription"),
             profile_pub: node.publisher("/runtime/profile").expect("profile topic"),
-            map_pub: node.publisher("/perception/planner_map").expect("planner map topic"),
+            map_pub: node
+                .publisher("/perception/planner_map")
+                .expect("planner map topic"),
             latest_cloud: None,
             latest_odom: None,
             latest_policy: None,
@@ -281,9 +285,11 @@ impl PerceptionNode {
         if let Some(sample) = self.feedback_sub.latest() {
             self.planner_start_blocked = sample.message.start_blocked;
         }
-        let (Some(cloud), Some(odom), Some(policy)) =
-            (self.latest_cloud.as_ref(), self.latest_odom, self.latest_policy)
-        else {
+        let (Some(cloud), Some(odom), Some(policy)) = (
+            self.latest_cloud.as_ref(),
+            self.latest_odom,
+            self.latest_policy,
+        ) else {
             return;
         };
         let knobs = policy.knobs;
@@ -291,7 +297,8 @@ impl PerceptionNode {
         let limited = downsampled.volume_limited(odom.position, knobs.octomap_volume);
         let carve_step = knobs.point_cloud_precision.max(0.5);
         self.map.integrate_cloud(&limited, carve_step);
-        self.map.retain_within(odom.position, self.map_retain_radius);
+        self.map
+            .retain_within(odom.position, self.map_retain_radius);
         // When the planner reported that the drone's own position is
         // swallowed by a coarse occupied voxel, export at the worst-case
         // (finest) precision until it recovers — the same fallback a
@@ -404,8 +411,12 @@ impl PlanningNode {
             status_sub: node
                 .subscribe("/control/status", QosProfile::reliable(2))
                 .expect("status subscription"),
-            trajectory_pub: node.publisher("/planning/trajectory").expect("trajectory topic"),
-            feedback_pub: node.publisher("/planning/feedback").expect("feedback topic"),
+            trajectory_pub: node
+                .publisher("/planning/trajectory")
+                .expect("trajectory topic"),
+            feedback_pub: node
+                .publisher("/planning/feedback")
+                .expect("feedback topic"),
             latest_map: None,
             latest_policy: None,
             latest_odom: None,
@@ -860,9 +871,15 @@ mod tests {
         let env = short_environment(21);
         let pipeline = NodePipeline::new(quick_config(RuntimeMode::SpatialAware));
         let result = pipeline.run(&env);
-        assert!(result.mission.metrics.reached_goal, "mission did not reach the goal");
+        assert!(
+            result.mission.metrics.reached_goal,
+            "mission did not reach the goal"
+        );
         assert!(!result.mission.metrics.collided);
-        assert_eq!(result.comm_per_decision.len(), result.mission.metrics.decisions);
+        assert_eq!(
+            result.comm_per_decision.len(),
+            result.mission.metrics.decisions
+        );
     }
 
     #[test]
@@ -871,7 +888,13 @@ mod tests {
         let pipeline = NodePipeline::new(quick_config(RuntimeMode::SpatialAware));
         let result = pipeline.run(&env);
         let graph = &result.graph;
-        for node in ["camera_rig", "perception", "runtime_governor", "planner", "controller"] {
+        for node in [
+            "camera_rig",
+            "perception",
+            "runtime_governor",
+            "planner",
+            "controller",
+        ] {
             assert!(graph.nodes.iter().any(|n| n == node), "missing node {node}");
         }
         for topic in [
@@ -883,7 +906,9 @@ mod tests {
             "/planning/trajectory",
             "/control/status",
         ] {
-            let info = graph.topic(topic).unwrap_or_else(|| panic!("missing topic {topic}"));
+            let info = graph
+                .topic(topic)
+                .unwrap_or_else(|| panic!("missing topic {topic}"));
             assert!(info.stats.messages_published > 0, "no traffic on {topic}");
         }
         assert!(graph.total_bytes() > 0);
@@ -899,9 +924,20 @@ mod tests {
         assert!(result.comm_per_decision.iter().all(|&c| c >= 0.0));
         assert!(result.comm_per_decision.iter().any(|&c| c > 0.0));
         let graph = &result.graph;
-        let points = graph.topic("/sensors/points").unwrap().stats.bytes_published;
-        let policy = graph.topic("/runtime/policy").unwrap().stats.bytes_published;
-        assert!(points > policy, "point cloud traffic {points} vs policy {policy}");
+        let points = graph
+            .topic("/sensors/points")
+            .unwrap()
+            .stats
+            .bytes_published;
+        let policy = graph
+            .topic("/runtime/policy")
+            .unwrap()
+            .stats
+            .bytes_published;
+        assert!(
+            points > policy,
+            "point cloud traffic {points} vs policy {policy}"
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! CSV time/parameter series (curves like Fig. 2, 5, 10, 11a) that can be
 //! plotted with any external tool.
 
-use crate::{SensitivityRow, SweepResults};
 use crate::metrics::ImprovementFactors;
+use crate::{SensitivityRow, SweepResults};
 use roborun_core::MissionTelemetry;
 
 /// Formats a simple aligned table from a header and rows.
@@ -24,7 +24,13 @@ pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{:width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };
@@ -118,7 +124,11 @@ pub fn fig8_table(knob_name: &str, rows: &[SensitivityRow]) -> String {
         })
         .collect();
     format_table(
-        &[knob_name, "baseline flight time (s)", "RoboRun flight time (s)"],
+        &[
+            knob_name,
+            "baseline flight time (s)",
+            "RoboRun flight time (s)",
+        ],
         &body,
     )
 }
@@ -141,7 +151,14 @@ pub fn telemetry_csv(telemetry: &MissionTelemetry) -> String {
         })
         .collect();
     format_csv(
-        &["time_s", "latency_s", "deadline_s", "precision_m", "velocity_mps", "visibility_m"],
+        &[
+            "time_s",
+            "latency_s",
+            "deadline_s",
+            "precision_m",
+            "velocity_mps",
+            "visibility_m",
+        ],
         &rows,
     )
 }
@@ -241,8 +258,16 @@ mod tests {
     #[test]
     fn fig8_table_formats_rows() {
         let rows = vec![
-            SensitivityRow { knob_value: 0.3, oblivious_time: 2000.0, aware_time: 450.0 },
-            SensitivityRow { knob_value: 0.6, oblivious_time: 2200.0, aware_time: 650.0 },
+            SensitivityRow {
+                knob_value: 0.3,
+                oblivious_time: 2000.0,
+                aware_time: 450.0,
+            },
+            SensitivityRow {
+                knob_value: 0.6,
+                oblivious_time: 2200.0,
+                aware_time: 650.0,
+            },
         ];
         let t = fig8_table("obstacle density", &rows);
         assert!(t.contains("obstacle density"));

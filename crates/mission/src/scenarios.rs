@@ -120,7 +120,10 @@ mod tests {
         // Package delivery is denser; search and rescue is longer.
         assert!(pd.obstacle_density > sar.obstacle_density);
         assert!(sar.goal_distance > pd.goal_distance);
-        assert_eq!(Scenario::Representative.difficulty(), DifficultyConfig::mid());
+        assert_eq!(
+            Scenario::Representative.difficulty(),
+            DifficultyConfig::mid()
+        );
         for s in Scenario::ALL {
             assert!(!s.name().is_empty());
             assert!(s.difficulty().validate().is_ok());
@@ -146,8 +149,16 @@ mod tests {
         assert!(!field.is_occupied_with_margin(Vec3::new(20.0, 0.0, 5.0), 0.45));
         assert!(field.is_occupied(Vec3::new(9.0, 3.5, 5.0)));
         // Racks line both sides.
-        let left = field.obstacles().iter().filter(|o| o.center().y > 0.0).count();
-        let right = field.obstacles().iter().filter(|o| o.center().y < 0.0).count();
+        let left = field
+            .obstacles()
+            .iter()
+            .filter(|o| o.center().y > 0.0)
+            .count();
+        let right = field
+            .obstacles()
+            .iter()
+            .filter(|o| o.center().y < 0.0)
+            .count();
         assert_eq!(left, right);
     }
 

@@ -1,7 +1,7 @@
 //! The 27-environment evaluation sweep (paper Section V, Figures 7 and 8).
 
-use crate::{AggregateMetrics, MissionConfig, MissionMetrics, MissionRunner};
 use crate::metrics::ImprovementFactors;
+use crate::{AggregateMetrics, MissionConfig, MissionMetrics, MissionRunner};
 use roborun_core::RuntimeMode;
 use roborun_env::{DifficultyConfig, EnvironmentGenerator};
 use serde::{Deserialize, Serialize};
@@ -18,6 +18,9 @@ pub struct SweepConfig {
     pub aware: MissionConfig,
     /// Mission configuration template for the spatial-oblivious runs.
     pub oblivious: MissionConfig,
+    /// Worker threads for [`run_sweep`]; `None` picks the machine's
+    /// available parallelism. `Some(1)` forces the serial path.
+    pub threads: Option<usize>,
 }
 
 impl Default for SweepConfig {
@@ -27,6 +30,7 @@ impl Default for SweepConfig {
             seed: 7,
             aware: MissionConfig::new(RuntimeMode::SpatialAware),
             oblivious: MissionConfig::new(RuntimeMode::SpatialOblivious),
+            threads: None,
         }
     }
 }
@@ -162,24 +166,82 @@ impl SweepResults {
     }
 }
 
-/// Runs the sweep: every difficulty configuration, both designs.
-pub fn run_sweep(config: &SweepConfig) -> SweepResults {
-    let mut rows = Vec::with_capacity(config.difficulties.len());
-    for (i, difficulty) in config.difficulties.iter().enumerate() {
-        let env = EnvironmentGenerator::new(*difficulty).generate(config.seed + i as u64);
-        let mut aware_cfg = config.aware.clone();
-        aware_cfg.seed = config.seed + i as u64;
-        let mut oblivious_cfg = config.oblivious.clone();
-        oblivious_cfg.seed = config.seed + i as u64;
-        let aware = MissionRunner::new(aware_cfg).run(&env);
-        let oblivious = MissionRunner::new(oblivious_cfg).run(&env);
-        rows.push(SweepRow {
-            difficulty: *difficulty,
-            oblivious: oblivious.metrics,
-            aware: aware.metrics,
-        });
+/// Computes one row of the sweep: environment `i`, both designs.
+///
+/// Each row owns its seed (`config.seed + i`), so rows are independent of
+/// each other and of the order they are computed in.
+fn run_sweep_row(config: &SweepConfig, i: usize) -> SweepRow {
+    let difficulty = config.difficulties[i];
+    let env = EnvironmentGenerator::new(difficulty).generate(config.seed + i as u64);
+    let mut aware_cfg = config.aware.clone();
+    aware_cfg.seed = config.seed + i as u64;
+    let mut oblivious_cfg = config.oblivious.clone();
+    oblivious_cfg.seed = config.seed + i as u64;
+    let aware = MissionRunner::new(aware_cfg).run(&env);
+    let oblivious = MissionRunner::new(oblivious_cfg).run(&env);
+    SweepRow {
+        difficulty,
+        oblivious: oblivious.metrics,
+        aware: aware.metrics,
     }
-    SweepResults { rows }
+}
+
+/// Runs the sweep: every difficulty configuration, both designs.
+///
+/// Environments are evaluated in parallel on a scoped worker pool (rows
+/// already own their seeds, so the result is bit-identical to the serial
+/// reference — [`run_sweep_serial`] — and rows stay in configuration
+/// order). `config.threads` overrides the worker count.
+pub fn run_sweep(config: &SweepConfig) -> SweepResults {
+    let n = config.difficulties.len();
+    let threads = config
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return run_sweep_serial(config);
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SweepRow>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let row = run_sweep_row(config, i);
+                *slots[i].lock().expect("sweep row lock poisoned") = Some(row);
+            });
+        }
+    });
+    SweepResults {
+        rows: slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("sweep row lock poisoned")
+                    .expect("every sweep row was computed")
+            })
+            .collect(),
+    }
+}
+
+/// The retained serial reference for [`run_sweep`]: one environment at a
+/// time, in configuration order.
+pub fn run_sweep_serial(config: &SweepConfig) -> SweepResults {
+    SweepResults {
+        rows: (0..config.difficulties.len())
+            .map(|i| run_sweep_row(config, i))
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +256,21 @@ mod tests {
         config.aware.max_decisions = 600;
         config.oblivious.max_decisions = 1_500;
         run_sweep(&config)
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_reference() {
+        let mut config = SweepConfig::quick(23);
+        config.difficulties.truncate(3);
+        config.aware.max_decisions = 400;
+        config.oblivious.max_decisions = 1_000;
+        config.threads = Some(3);
+        let parallel = run_sweep(&config);
+        let serial = run_sweep_serial(&config);
+        assert_eq!(parallel.rows().len(), serial.rows().len());
+        for (p, s) in parallel.rows().iter().zip(serial.rows()) {
+            assert_eq!(p, s);
+        }
     }
 
     #[test]

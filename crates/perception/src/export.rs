@@ -12,9 +12,11 @@
 //!   order) until the threshold is reached", sorted by proximity to the MAV.
 
 use crate::OccupancyMap;
-use roborun_geom::{snap_to_lattice, Aabb, Vec3, VoxelKey};
+use roborun_geom::{
+    cell_min_distance_squared, for_each_shell_key_in, snap_to_lattice, Aabb, FxHashSet, Vec3,
+    VoxelKey,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// Configuration of one export (the two perception-to-planning knobs plus
 /// the sort reference).
@@ -67,7 +69,11 @@ pub struct PlannerMap {
     /// Occupied voxel keys at `voxel_size` resolution, for O(1) point
     /// queries (the collision checker calls `is_occupied` millions of times
     /// during an RRT* search).
-    keys: HashSet<VoxelKey>,
+    keys: FxHashSet<VoxelKey>,
+    /// Key-space bounds of `keys` (valid when non-empty) — they cap the
+    /// expanding-ring search of [`PlannerMap::distance_to_nearest`].
+    key_min: VoxelKey,
+    key_max: VoxelKey,
 }
 
 impl PlannerMap {
@@ -76,7 +82,9 @@ impl PlannerMap {
         PlannerMap {
             voxel_size,
             boxes: Vec::new(),
-            keys: HashSet::new(),
+            keys: FxHashSet::default(),
+            key_min: VoxelKey { x: 0, y: 0, z: 0 },
+            key_max: VoxelKey { x: 0, y: 0, z: 0 },
         }
     }
 
@@ -85,10 +93,11 @@ impl PlannerMap {
     pub fn export(map: &OccupancyMap, config: &ExportConfig) -> Self {
         // Snap to the power-of-two lattice rooted at the map resolution.
         // Eight levels cover a 128x coarsening, far beyond Table II's range.
-        let precision = snap_to_lattice(config.precision.max(map.resolution()), map.resolution(), 8);
+        let precision =
+            snap_to_lattice(config.precision.max(map.resolution()), map.resolution(), 8);
 
         // Re-key occupied voxels at the export resolution (tree pruning).
-        let mut coarse: HashSet<VoxelKey> = HashSet::new();
+        let mut coarse: FxHashSet<VoxelKey> = FxHashSet::default();
         for (key, _) in map.occupied_voxels() {
             let center = key.center(map.resolution());
             coarse.insert(VoxelKey::from_point(center, precision));
@@ -106,7 +115,7 @@ impl PlannerMap {
         });
         let voxel_volume = precision.powi(3);
         let mut boxes = Vec::new();
-        let mut kept_keys = HashSet::new();
+        let mut kept_keys = FxHashSet::default();
         let mut volume = 0.0;
         for key in keys {
             // Always export at least the closest obstacle (if any budget at
@@ -129,10 +138,31 @@ impl PlannerMap {
             boxes.clear();
             kept_keys.clear();
         }
+        let mut key_min = VoxelKey { x: 0, y: 0, z: 0 };
+        let mut key_max = VoxelKey { x: 0, y: 0, z: 0 };
+        for (i, key) in kept_keys.iter().enumerate() {
+            if i == 0 {
+                key_min = *key;
+                key_max = *key;
+            } else {
+                key_min = VoxelKey {
+                    x: key_min.x.min(key.x),
+                    y: key_min.y.min(key.y),
+                    z: key_min.z.min(key.z),
+                };
+                key_max = VoxelKey {
+                    x: key_max.x.max(key.x),
+                    y: key_max.y.max(key.y),
+                    z: key_max.z.max(key.z),
+                };
+            }
+        }
         PlannerMap {
             voxel_size: precision,
             boxes,
             keys: kept_keys,
+            key_min,
+            key_max,
         }
     }
 
@@ -170,7 +200,10 @@ impl PlannerMap {
         if self.keys.is_empty() {
             return false;
         }
-        let reach = (margin / self.voxel_size).ceil() as i64 + 1;
+        // A box within `margin` of `p` has its closest point within
+        // `margin` per axis, so its key offset is at most
+        // floor(margin / voxel) + 1 in each direction.
+        let reach = (margin / self.voxel_size).floor() as i64 + 1;
         let center = VoxelKey::from_point(p, self.voxel_size);
         for dx in -reach..=reach {
             for dy in -reach..=reach {
@@ -197,7 +230,65 @@ impl PlannerMap {
 
     /// Distance from `p` to the nearest exported box surface, or `None`
     /// when the map is empty.
+    ///
+    /// Searches voxel keys in expanding Chebyshev rings around `p`, so the
+    /// cost depends on how close the nearest box is, not on how many boxes
+    /// were exported; once the ring search would visit more cells than a
+    /// scan of the box list, it falls back to the linear reference (whose
+    /// result is identical).
     pub fn distance_to_nearest(&self, p: Vec3) -> Option<f64> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let center = VoxelKey::from_point(p, self.voxel_size);
+        let dx = (center.x - self.key_min.x).max(self.key_max.x - center.x);
+        let dy = (center.y - self.key_min.y).max(self.key_max.y - center.y);
+        let dz = (center.z - self.key_min.z).max(self.key_max.z - center.z);
+        let max_ring = dx.max(dy).max(dz).max(0);
+        // Rings closer than the occupied key bounds are empty — skip them.
+        let sx = (self.key_min.x - center.x).max(center.x - self.key_max.x);
+        let sy = (self.key_min.y - center.y).max(center.y - self.key_max.y);
+        let sz = (self.key_min.z - center.z).max(center.z - self.key_max.z);
+        let start_ring = sx.max(sy).max(sz).max(0);
+        let mut best: Option<f64> = None;
+        let mut visited = 0usize;
+        for ring in start_ring..=max_ring {
+            if let Some(bd) = best {
+                let ring_min = (ring as f64 - 1.0).max(0.0) * self.voxel_size;
+                if ring_min > bd {
+                    break;
+                }
+            }
+            if visited > 2 * self.keys.len() {
+                return self.distance_to_nearest_linear(p);
+            }
+            for_each_shell_key_in(center, ring, self.key_min, self.key_max, |key| {
+                visited += 1;
+                // Cell-level lower bound: skip cells that cannot beat the
+                // current best distance.
+                if let Some(bd) = best {
+                    if cell_min_distance_squared(key, self.voxel_size, p) > bd * bd {
+                        return;
+                    }
+                }
+                if self.keys.contains(&key) {
+                    let b = Aabb::from_center_half_extents(
+                        key.center(self.voxel_size),
+                        Vec3::splat(self.voxel_size * 0.5),
+                    );
+                    let d = b.distance_to_point(p);
+                    if best.map(|bd| d < bd).unwrap_or(true) {
+                        best = Some(d);
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    /// Linear-scan reference for [`PlannerMap::distance_to_nearest`] —
+    /// retained for the equivalence proptests and benches.
+    pub fn distance_to_nearest_linear(&self, p: Vec3) -> Option<f64> {
         self.boxes
             .iter()
             .map(|b| b.distance_to_point(p))
@@ -304,7 +395,10 @@ mod tests {
     #[test]
     fn tiny_budget_still_exports_nearest_obstacle() {
         let map = wall_map();
-        let pm = PlannerMap::export(&map, &ExportConfig::new(0.3, 1e-6, Vec3::new(0.0, 0.0, 5.0)));
+        let pm = PlannerMap::export(
+            &map,
+            &ExportConfig::new(0.3, 1e-6, Vec3::new(0.0, 0.0, 5.0)),
+        );
         assert_eq!(pm.len(), 1);
     }
 

@@ -11,9 +11,11 @@
 //! power-of-two resolutions.
 
 use crate::PointCloud;
-use roborun_geom::{Aabb, Ray, Vec3, VoxelKey};
+use roborun_geom::{
+    cell_min_distance_squared, for_each_shell_key_in, Aabb, FxHashMap, FxHashSet, Ray, Vec3,
+    VoxelKey,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// State of a known voxel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,7 +58,14 @@ pub struct MapStats {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OccupancyMap {
     resolution: f64,
-    voxels: HashMap<VoxelKey, VoxelState>,
+    voxels: FxHashMap<VoxelKey, VoxelState>,
+    /// The occupied subset of `voxels`' keys, kept in sync so nearest-
+    /// obstacle searches never iterate the (far more numerous) free voxels.
+    occupied: FxHashSet<VoxelKey>,
+    /// Key-space bounds of `occupied` (valid when non-empty); they let the
+    /// ring search skip shells that cannot contain an occupied voxel.
+    occupied_min: VoxelKey,
+    occupied_max: VoxelKey,
 }
 
 impl OccupancyMap {
@@ -66,10 +75,35 @@ impl OccupancyMap {
     ///
     /// Panics if `resolution <= 0`.
     pub fn new(resolution: f64) -> Self {
-        assert!(resolution > 0.0, "map resolution must be positive, got {resolution}");
+        assert!(
+            resolution > 0.0,
+            "map resolution must be positive, got {resolution}"
+        );
         OccupancyMap {
             resolution,
-            voxels: HashMap::new(),
+            voxels: FxHashMap::default(),
+            occupied: FxHashSet::default(),
+            occupied_min: VoxelKey { x: 0, y: 0, z: 0 },
+            occupied_max: VoxelKey { x: 0, y: 0, z: 0 },
+        }
+    }
+
+    /// Extends the occupied key bounds to cover `key`.
+    fn grow_occupied_bounds(&mut self, key: VoxelKey) {
+        if self.occupied.is_empty() {
+            self.occupied_min = key;
+            self.occupied_max = key;
+        } else {
+            self.occupied_min = VoxelKey {
+                x: self.occupied_min.x.min(key.x),
+                y: self.occupied_min.y.min(key.y),
+                z: self.occupied_min.z.min(key.z),
+            };
+            self.occupied_max = VoxelKey {
+                x: self.occupied_max.x.max(key.x),
+                y: self.occupied_max.y.max(key.y),
+                z: self.occupied_max.z.max(key.z),
+            };
         }
     }
 
@@ -124,6 +158,8 @@ impl OccupancyMap {
             }
             let key = VoxelKey::from_point(point, self.resolution);
             self.voxels.insert(key, VoxelState::Occupied);
+            self.grow_occupied_bounds(key);
+            self.occupied.insert(key);
             updates += 1;
         }
         updates
@@ -164,7 +200,68 @@ impl OccupancyMap {
     /// `max_radius`, or `None` when there is none. This is the map-derived
     /// `d_obs` the profilers feed to the governor (as opposed to the
     /// ground-truth distance the simulator knows).
+    ///
+    /// Searches voxel keys in expanding Chebyshev rings around `p` — the
+    /// common case (an obstacle a few voxels away) costs a handful of hash
+    /// probes instead of a scan of the whole map. When the rings would
+    /// visit more cells than the map holds (sparse maps, large radii), the
+    /// search falls back to the retained linear reference, whose result is
+    /// identical.
     pub fn nearest_occupied_distance(&self, p: Vec3, max_radius: f64) -> Option<f64> {
+        if self.occupied.is_empty() || max_radius < 0.0 {
+            return None;
+        }
+        let center = VoxelKey::from_point(p, self.resolution);
+        // An occupied voxel centre within `max_radius` lies within this
+        // many rings of the centre cell.
+        let max_ring = (max_radius / self.resolution).ceil() as i64 + 1;
+        // Rings closer than the occupied key bounds are empty — skip them.
+        let sx = (self.occupied_min.x - center.x).max(center.x - self.occupied_max.x);
+        let sy = (self.occupied_min.y - center.y).max(center.y - self.occupied_max.y);
+        let sz = (self.occupied_min.z - center.z).max(center.z - self.occupied_max.z);
+        let start_ring = sx.max(sy).max(sz).max(0);
+        let mut best: Option<f64> = None;
+        let mut visited = 0usize;
+        for ring in start_ring..=max_ring {
+            let ring_min = (ring as f64 - 1.0).max(0.0) * self.resolution;
+            if ring_min > best.unwrap_or(max_radius) {
+                break;
+            }
+            if visited > 2 * self.occupied.len() {
+                // The rings have cost more than a scan of the occupied set:
+                // finish with a direct scan (same minimum, same result).
+                let mut best = best;
+                for key in &self.occupied {
+                    let d = key.center(self.resolution).distance(p);
+                    if d <= max_radius && best.map(|b| d < b).unwrap_or(true) {
+                        best = Some(d);
+                    }
+                }
+                return best;
+            }
+            for_each_shell_key_in(center, ring, self.occupied_min, self.occupied_max, |key| {
+                visited += 1;
+                // Cell-level lower bound (distance to the cell box never
+                // exceeds the distance to its centre): skip cells that
+                // cannot hold a closer occupied voxel.
+                let cutoff = best.unwrap_or(max_radius);
+                if cell_min_distance_squared(key, self.resolution, p) > cutoff * cutoff {
+                    return;
+                }
+                if self.occupied.contains(&key) {
+                    let d = key.center(self.resolution).distance(p);
+                    if d <= max_radius && best.map(|b| d < b).unwrap_or(true) {
+                        best = Some(d);
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    /// Linear-scan reference for [`OccupancyMap::nearest_occupied_distance`]
+    /// — retained for the equivalence proptests and benches.
+    pub fn nearest_occupied_distance_linear(&self, p: Vec3, max_radius: f64) -> Option<f64> {
         let mut best: Option<f64> = None;
         for (key, state) in &self.voxels {
             if *state != VoxelState::Occupied {
@@ -234,6 +331,30 @@ impl OccupancyMap {
         let res = self.resolution;
         self.voxels
             .retain(|k, _| k.center(res).distance(center) <= radius);
+        self.occupied
+            .retain(|k| k.center(res).distance(center) <= radius);
+        // Recompute the occupied bounds from the surviving keys.
+        let mut iter = self.occupied.iter();
+        if let Some(first) = iter.next() {
+            let (mut lo, mut hi) = (*first, *first);
+            for k in iter {
+                lo = VoxelKey {
+                    x: lo.x.min(k.x),
+                    y: lo.y.min(k.y),
+                    z: lo.z.min(k.z),
+                };
+                hi = VoxelKey {
+                    x: hi.x.max(k.x),
+                    y: hi.y.max(k.y),
+                    z: hi.z.max(k.z),
+                };
+            }
+            self.occupied_min = lo;
+            self.occupied_max = hi;
+        } else {
+            self.occupied_min = VoxelKey { x: 0, y: 0, z: 0 };
+            self.occupied_max = VoxelKey { x: 0, y: 0, z: 0 };
+        }
     }
 }
 
@@ -276,7 +397,10 @@ mod tests {
         let updates = map.integrate_cloud(&cloud_with_wall(origin, 8.0), 0.5);
         assert!(updates > 0);
         assert!(map.is_occupied(Vec3::new(8.0, 0.0, 5.0)));
-        assert_eq!(map.state_at(Vec3::new(4.0, 0.0, 5.0)), Some(VoxelState::Free));
+        assert_eq!(
+            map.state_at(Vec3::new(4.0, 0.0, 5.0)),
+            Some(VoxelState::Free)
+        );
         // Behind the wall is unknown.
         assert!(map.is_unknown(Vec3::new(12.0, 0.0, 5.0)));
         let stats = map.stats();
@@ -291,11 +415,20 @@ mod tests {
         let mut map = OccupancyMap::new(0.5);
         let origin = Vec3::new(0.0, 0.0, 5.0);
         // First scan sees an obstacle at x=4.
-        map.integrate_cloud(&PointCloud::new(origin, vec![Vec3::new(4.0, 0.0, 5.0)]), 0.25);
+        map.integrate_cloud(
+            &PointCloud::new(origin, vec![Vec3::new(4.0, 0.0, 5.0)]),
+            0.25,
+        );
         assert!(map.is_occupied(Vec3::new(4.0, 0.0, 5.0)));
         // Second scan's ray passes through the same voxel to a farther hit.
-        map.integrate_cloud(&PointCloud::new(origin, vec![Vec3::new(9.0, 0.0, 5.0)]), 0.25);
-        assert!(map.is_occupied(Vec3::new(4.0, 0.0, 5.0)), "occupied voxel was erased");
+        map.integrate_cloud(
+            &PointCloud::new(origin, vec![Vec3::new(9.0, 0.0, 5.0)]),
+            0.25,
+        );
+        assert!(
+            map.is_occupied(Vec3::new(4.0, 0.0, 5.0)),
+            "occupied voxel was erased"
+        );
         assert!(map.is_occupied(Vec3::new(9.0, 0.0, 5.0)));
     }
 
@@ -307,7 +440,10 @@ mod tests {
         let mut coarse = OccupancyMap::new(0.5);
         let fine_updates = fine.integrate_cloud(&cloud, 0.25);
         let coarse_updates = coarse.integrate_cloud(&cloud, 2.0);
-        assert!(fine_updates > 2 * coarse_updates, "fine {fine_updates} coarse {coarse_updates}");
+        assert!(
+            fine_updates > 2 * coarse_updates,
+            "fine {fine_updates} coarse {coarse_updates}"
+        );
         // Both agree on the occupied wall.
         assert!(fine.is_occupied(Vec3::new(20.0, 0.0, 5.0)));
         assert!(coarse.is_occupied(Vec3::new(20.0, 0.0, 5.0)));
@@ -331,19 +467,27 @@ mod tests {
     fn nearest_occupied_distance_matches_geometry() {
         let mut map = OccupancyMap::new(0.5);
         let origin = Vec3::new(0.0, 0.0, 5.0);
-        map.integrate_cloud(&PointCloud::new(origin, vec![Vec3::new(6.0, 0.0, 5.0)]), 0.5);
+        map.integrate_cloud(
+            &PointCloud::new(origin, vec![Vec3::new(6.0, 0.0, 5.0)]),
+            0.5,
+        );
         let d = map
             .nearest_occupied_distance(Vec3::new(0.0, 0.0, 5.0), 100.0)
             .unwrap();
         assert!((d - 6.0).abs() < 1.0, "distance {d}");
-        assert!(map.nearest_occupied_distance(Vec3::new(0.0, 0.0, 5.0), 2.0).is_none());
+        assert!(map
+            .nearest_occupied_distance(Vec3::new(0.0, 0.0, 5.0), 2.0)
+            .is_none());
     }
 
     #[test]
     fn distance_to_unknown_detects_frontier() {
         let mut map = OccupancyMap::new(0.5);
         let origin = Vec3::new(0.0, 0.0, 5.0);
-        map.integrate_cloud(&PointCloud::new(origin, vec![Vec3::new(10.0, 0.0, 5.0)]), 0.25);
+        map.integrate_cloud(
+            &PointCloud::new(origin, vec![Vec3::new(10.0, 0.0, 5.0)]),
+            0.25,
+        );
         // Looking along the observed corridor, unknown space starts near the
         // wall (the wall voxel is known-occupied, behind it is unknown).
         let d = map.distance_to_unknown(origin, Vec3::X, 40.0, 0.25);
@@ -353,7 +497,10 @@ mod tests {
         let d_side = map.distance_to_unknown(origin, Vec3::Y, 40.0, 0.25);
         assert!(d_side < 2.0);
         // Degenerate direction returns the full range.
-        assert_eq!(map.distance_to_unknown(origin, Vec3::ZERO, 40.0, 0.25), 40.0);
+        assert_eq!(
+            map.distance_to_unknown(origin, Vec3::ZERO, 40.0, 0.25),
+            40.0
+        );
     }
 
     #[test]
@@ -369,6 +516,6 @@ mod tests {
         // Retaining a small bubble around the origin drops the far wall.
         map.retain_within(origin, 3.0);
         assert!(map.stats().occupied == 0);
-        assert!(map.len() > 0, "nearby free voxels should remain");
+        assert!(!map.is_empty(), "nearby free voxels should remain");
     }
 }

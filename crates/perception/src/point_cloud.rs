@@ -79,7 +79,10 @@ impl PointCloud {
     ///
     /// Panics if `cell_size <= 0`.
     pub fn downsampled(&self, cell_size: f64) -> PointCloud {
-        assert!(cell_size > 0.0, "cell size must be positive, got {cell_size}");
+        assert!(
+            cell_size > 0.0,
+            "cell size must be positive, got {cell_size}"
+        );
         let mut cells: HashMap<VoxelKey, (Vec3, usize)> = HashMap::new();
         for &p in &self.points {
             let key = VoxelKey::from_point(p, cell_size);
@@ -87,10 +90,7 @@ impl PointCloud {
             entry.0 += p;
             entry.1 += 1;
         }
-        let mut points: Vec<Vec3> = cells
-            .into_values()
-            .map(|(sum, n)| sum / n as f64)
-            .collect();
+        let mut points: Vec<Vec3> = cells.into_values().map(|(sum, n)| sum / n as f64).collect();
         // Deterministic ordering regardless of hash-map iteration order.
         points.sort_by(|a, b| {
             (a.x, a.y, a.z)
@@ -162,7 +162,9 @@ mod tests {
         // 100 points spaced 0.1 m apart along X at y=z=0.
         PointCloud::new(
             Vec3::ZERO,
-            (0..100).map(|i| Vec3::new(i as f64 * 0.1, 0.0, 0.0)).collect(),
+            (0..100)
+                .map(|i| Vec3::new(i as f64 * 0.1, 0.0, 0.0))
+                .collect(),
         )
     }
 
@@ -186,7 +188,7 @@ mod tests {
         assert!(fine.len() >= mid.len());
         assert!(mid.len() > coarse.len());
         assert_eq!(coarse.len(), 5); // 10 m line / 2 m cells
-        // Origin preserved.
+                                     // Origin preserved.
         assert_eq!(coarse.origin(), cloud.origin());
     }
 

@@ -6,7 +6,8 @@ use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
 
 fn arb_points(max: usize) -> impl Strategy<Value = Vec<Vec3>> {
     prop::collection::vec(
-        ((-30.0f64..30.0), (-30.0f64..30.0), (0.0f64..15.0)).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+        ((-30.0f64..30.0), (-30.0f64..30.0), (0.0f64..15.0))
+            .prop_map(|(x, y, z)| Vec3::new(x, y, z)),
         0..max,
     )
 }
@@ -26,6 +27,27 @@ proptest! {
         // Coarser cells never yield more points than finer cells.
         let coarser = cloud.downsampled(cell * 2.0);
         prop_assert!(coarser.len() <= ds.len());
+    }
+
+    /// The expanding-ring nearest queries must return exactly what the
+    /// retained linear scans return, on random maps and random queries.
+    #[test]
+    fn ring_nearest_queries_match_linear_scans(points in arb_points(150),
+                                               resolution in 0.2f64..2.0,
+                                               qx in -40.0f64..40.0, qy in -40.0f64..40.0,
+                                               qz in -5.0f64..20.0,
+                                               max_radius in 0.0f64..60.0,
+                                               precision in 0.2f64..5.0) {
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let mut map = OccupancyMap::new(resolution);
+        map.integrate_cloud(&PointCloud::new(origin, points), resolution);
+        let q = Vec3::new(qx, qy, qz);
+        prop_assert_eq!(
+            map.nearest_occupied_distance(q, max_radius),
+            map.nearest_occupied_distance_linear(q, max_radius)
+        );
+        let pm = PlannerMap::export(&map, &ExportConfig::new(precision, 1e9, origin));
+        prop_assert_eq!(pm.distance_to_nearest(q), pm.distance_to_nearest_linear(q));
     }
 
     #[test]

@@ -5,10 +5,144 @@
 //! along a candidate edge. Coarse steps are cheaper but can thread through
 //! thin obstacles; the exported map's voxel inflation compensates, which is
 //! why the governor is allowed to relax this knob in open space.
+//!
+//! Because the checker's clearance margin is fixed at construction, it
+//! builds a margin-aware broad-phase: for every voxel cell, the exported
+//! boxes whose margin-inflated bounds overlap it, mirrored by a dense
+//! one-bit-per-cell occupancy mask. A point query is then a bounds test
+//! plus (usually) one bit test in free space, or one hash probe plus exact
+//! distance tests near obstacles — the same boolean as
+//! [`PlannerMap::is_occupied`], at a fraction of the probes (the RRT*
+//! search issues millions of these per plan). The broad-phase is built
+//! lazily once enough queries have arrived to amortise its O(boxes) cost,
+//! so trivial plans (direct connections in open space) never pay for it.
 
+use roborun_geom::{FxHashMap, Vec3, VoxelKey};
 use roborun_perception::PlannerMap;
-use roborun_geom::Vec3;
 use serde::{Deserialize, Serialize};
+
+/// Maximum cell count for the dense occupancy bitset (8 MiB of bits).
+const MAX_BITSET_CELLS: i64 = 1 << 26;
+
+/// Point queries answered by the map directly before the broad-phase is
+/// built; past this count the build cost is amortised.
+const LAZY_BUILD_QUERIES: usize = 128;
+
+/// The margin-aware broad-phase acceleration structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BroadPhase {
+    /// Box indices per voxel cell (cells overlapping a margin-inflated box).
+    candidates: FxHashMap<VoxelKey, Vec<u32>>,
+    /// Key bounds of `candidates`; queries outside are free with no probe.
+    key_min: VoxelKey,
+    key_max: VoxelKey,
+    /// Dense one-bit-per-cell mirror of `candidates` over the key bounds
+    /// (absent when the region is too large): most free-space queries
+    /// resolve with one bit test instead of a hash probe.
+    bitset: Option<Vec<u64>>,
+}
+
+impl BroadPhase {
+    fn build(map: &PlannerMap, margin: f64) -> Self {
+        let voxel = map.voxel_size();
+        let mut candidates: FxHashMap<VoxelKey, Vec<u32>> = FxHashMap::default();
+        let mut key_min = VoxelKey { x: 0, y: 0, z: 0 };
+        let mut key_max = VoxelKey {
+            x: -1,
+            y: -1,
+            z: -1,
+        };
+        for (i, b) in map.boxes().iter().enumerate() {
+            // Any point within `margin` of the box lies inside its inflated
+            // bounds, so registering the box over the inflated key range
+            // makes the candidate list complete for the exact test below.
+            let inflated = b.inflate(margin);
+            let lo = VoxelKey::from_point(inflated.min, voxel);
+            let hi = VoxelKey::from_point(inflated.max, voxel);
+            if i == 0 {
+                key_min = lo;
+                key_max = hi;
+            } else {
+                key_min = VoxelKey {
+                    x: key_min.x.min(lo.x),
+                    y: key_min.y.min(lo.y),
+                    z: key_min.z.min(lo.z),
+                };
+                key_max = VoxelKey {
+                    x: key_max.x.max(hi.x),
+                    y: key_max.y.max(hi.y),
+                    z: key_max.z.max(hi.z),
+                };
+            }
+            for x in lo.x..=hi.x {
+                for y in lo.y..=hi.y {
+                    for z in lo.z..=hi.z {
+                        candidates
+                            .entry(VoxelKey { x, y, z })
+                            .or_default()
+                            .push(i as u32);
+                    }
+                }
+            }
+        }
+        let bitset = if candidates.is_empty() {
+            None
+        } else {
+            let nx = key_max.x - key_min.x + 1;
+            let ny = key_max.y - key_min.y + 1;
+            let nz = key_max.z - key_min.z + 1;
+            let cells = nx.checked_mul(ny).and_then(|v| v.checked_mul(nz));
+            match cells {
+                Some(cells) if cells <= MAX_BITSET_CELLS => {
+                    let mut bits = vec![0u64; (cells as usize).div_ceil(64)];
+                    for key in candidates.keys() {
+                        let idx = ((key.x - key_min.x) * ny + (key.y - key_min.y)) * nz
+                            + (key.z - key_min.z);
+                        bits[(idx / 64) as usize] |= 1u64 << (idx % 64);
+                    }
+                    Some(bits)
+                }
+                _ => None,
+            }
+        };
+        BroadPhase {
+            candidates,
+            key_min,
+            key_max,
+            bitset,
+        }
+    }
+
+    /// `true` when `p` lies within `margin` of any box — exactly
+    /// `map.is_occupied(p, margin)`, accelerated.
+    fn occupied(&self, map: &PlannerMap, p: Vec3, margin: f64) -> bool {
+        let key = VoxelKey::from_point(p, map.voxel_size());
+        if key.x < self.key_min.x
+            || key.x > self.key_max.x
+            || key.y < self.key_min.y
+            || key.y > self.key_max.y
+            || key.z < self.key_min.z
+            || key.z > self.key_max.z
+        {
+            return false;
+        }
+        if let Some(bits) = &self.bitset {
+            let ny = self.key_max.y - self.key_min.y + 1;
+            let nz = self.key_max.z - self.key_min.z + 1;
+            let idx = ((key.x - self.key_min.x) * ny + (key.y - self.key_min.y)) * nz
+                + (key.z - self.key_min.z);
+            if bits[(idx / 64) as usize] & (1u64 << (idx % 64)) == 0 {
+                return false;
+            }
+        }
+        let Some(ids) = self.candidates.get(&key) else {
+            return false;
+        };
+        let boxes = map.boxes();
+        ids.iter()
+            .any(|&i| boxes[i as usize].distance_to_point(p) <= margin)
+    }
+}
 
 /// Collision checker over a [`PlannerMap`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -21,6 +155,8 @@ pub struct CollisionChecker {
     check_step: f64,
     /// Number of point queries performed since construction (work metric).
     queries: usize,
+    /// Broad-phase, built lazily after [`LAZY_BUILD_QUERIES`] queries.
+    broad_phase: Option<BroadPhase>,
 }
 
 impl CollisionChecker {
@@ -31,12 +167,16 @@ impl CollisionChecker {
     /// Panics if `margin < 0` or `check_step <= 0`.
     pub fn new(map: PlannerMap, margin: f64, check_step: f64) -> Self {
         assert!(margin >= 0.0, "margin must be non-negative, got {margin}");
-        assert!(check_step > 0.0, "check step must be positive, got {check_step}");
+        assert!(
+            check_step > 0.0,
+            "check step must be positive, got {check_step}"
+        );
         CollisionChecker {
             map,
             margin,
             check_step,
             queries: 0,
+            broad_phase: None,
         }
     }
 
@@ -61,9 +201,29 @@ impl CollisionChecker {
     }
 
     /// `true` when the point is free of obstacles (with margin).
+    ///
+    /// Early queries delegate to the map's voxel-neighbourhood lookup; once
+    /// enough queries have arrived to amortise it, a broad-phase is built
+    /// and a query becomes a bounds test (and usually one bit test) in free
+    /// space, or one hash probe plus exact distance tests near obstacles.
+    /// Always returns the same boolean as
+    /// `!self.map().is_occupied(p, self.margin())`.
     pub fn point_free(&mut self, p: Vec3) -> bool {
         self.queries += 1;
-        !self.map.is_occupied(p, self.margin)
+        if self.broad_phase.is_none() {
+            if self.queries < LAZY_BUILD_QUERIES {
+                return !self.map.is_occupied(p, self.margin);
+            }
+            self.broad_phase = Some(BroadPhase::build(&self.map, self.margin));
+        }
+        let broad_phase = self.broad_phase.as_ref().expect("broad phase just built");
+        !broad_phase.occupied(&self.map, p, self.margin)
+    }
+
+    /// Linear reference for [`CollisionChecker::point_free`], delegating to
+    /// the map's voxel-neighbourhood query — retained for equivalence tests.
+    pub fn point_free_reference(map: &PlannerMap, p: Vec3, margin: f64) -> bool {
+        !map.is_occupied(p, margin)
     }
 
     /// `true` when the straight segment from `a` to `b` stays free of
@@ -92,11 +252,7 @@ impl CollisionChecker {
         if waypoints.len() == 1 {
             return self.point_free(waypoints[0]);
         }
-        waypoints
-            .windows(2)
-            .collect::<Vec<_>>()
-            .into_iter()
-            .all(|w| self.segment_free(w[0], w[1]))
+        waypoints.windows(2).all(|w| self.segment_free(w[0], w[1]))
     }
 }
 
@@ -160,6 +316,26 @@ mod tests {
         assert!(fine.segment_free(a, b));
         assert!(coarse.segment_free(a, b));
         assert!(fine.queries() > coarse.queries());
+    }
+
+    #[test]
+    fn broad_phase_matches_map_query() {
+        let map = map_with_wall();
+        let mut checker = CollisionChecker::new(map.clone(), 0.45, 0.3);
+        // Dense probe lattice across the wall region, including points far
+        // from any box.
+        for xi in 0..40 {
+            for yi in -12..=12 {
+                for zi in 0..14 {
+                    let p = Vec3::new(xi as f64 * 0.5, yi as f64 * 0.5, zi as f64 * 0.5);
+                    assert_eq!(
+                        checker.point_free(p),
+                        CollisionChecker::point_free_reference(&map, p, 0.45),
+                        "mismatch at {p}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -142,8 +142,11 @@ impl Planner {
         bounds: &Aabb,
         cruise_speed: f64,
     ) -> Result<(Trajectory, PlanStats), PlanError> {
-        let mut checker =
-            CollisionChecker::new(map.clone(), self.config.margin, self.config.collision_check_step);
+        let mut checker = CollisionChecker::new(
+            map.clone(),
+            self.config.margin,
+            self.config.collision_check_step,
+        );
         if !checker.point_free(start) {
             return Err(PlanError::StartBlocked);
         }
@@ -218,7 +221,10 @@ mod tests {
     fn plans_around_wall_and_is_collision_free() {
         let map = map_with_gap();
         let planner = Planner::new(PlannerConfig {
-            rrt: RrtConfig { seed: 13, ..RrtConfig::default() },
+            rrt: RrtConfig {
+                seed: 13,
+                ..RrtConfig::default()
+            },
             ..PlannerConfig::default()
         });
         let start = Vec3::new(0.0, 0.0, 5.0);
@@ -244,11 +250,15 @@ mod tests {
         let inside_wall = Vec3::new(25.0, -10.0, 5.0);
         let free = Vec3::new(0.0, 0.0, 5.0);
         assert_eq!(
-            planner.plan(&map, inside_wall, free, &bounds(), 2.0).unwrap_err(),
+            planner
+                .plan(&map, inside_wall, free, &bounds(), 2.0)
+                .unwrap_err(),
             PlanError::StartBlocked
         );
         assert_eq!(
-            planner.plan(&map, free, inside_wall, &bounds(), 2.0).unwrap_err(),
+            planner
+                .plan(&map, free, inside_wall, &bounds(), 2.0)
+                .unwrap_err(),
             PlanError::GoalBlocked
         );
     }
@@ -272,7 +282,11 @@ mod tests {
         map.integrate_cloud(&PointCloud::new(origin, points), 2.0);
         let pm = PlannerMap::export(&map, &ExportConfig::new(0.5, 1e9, origin));
         let planner = Planner::new(PlannerConfig {
-            rrt: RrtConfig { max_samples: 300, seed: 2, ..RrtConfig::default() },
+            rrt: RrtConfig {
+                max_samples: 300,
+                seed: 2,
+                ..RrtConfig::default()
+            },
             ..PlannerConfig::default()
         });
         let err = planner
@@ -292,7 +306,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = PlanError::NoPathFound { samples_drawn: 42, volume_capped: true };
+        let e = PlanError::NoPathFound {
+            samples_drawn: 42,
+            volume_capped: true,
+        };
         let s = format!("{e}");
         assert!(s.contains("42"));
         assert!(format!("{}", PlanError::StartBlocked).contains("start"));
@@ -302,6 +319,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "collision check step")]
     fn invalid_config_panics() {
-        let _ = Planner::new(PlannerConfig { collision_check_step: 0.0, ..PlannerConfig::default() });
+        let _ = Planner::new(PlannerConfig {
+            collision_check_step: 0.0,
+            ..PlannerConfig::default()
+        });
     }
 }

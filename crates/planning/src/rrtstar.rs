@@ -8,9 +8,17 @@
 //! exceeding the threshold" — implemented here by tracking the axis-aligned
 //! volume of the explored tree and terminating growth when it exceeds the
 //! governor's planner-volume knob.
+//!
+//! The tree's nearest/near queries run against a
+//! [`roborun_geom::PointGridIndex`] that grows incrementally with the tree,
+//! so a search over n samples costs ~O(n) instead of the O(n²) of the
+//! retained linear scans. [`RrtStar::plan_linear_reference`] runs the same
+//! search with linear neighbor scans; both paths share one generic core
+//! and are specified to return bit-identical results (enforced by the
+//! equivalence proptests in `tests/proptests.rs`).
 
 use crate::CollisionChecker;
-use roborun_geom::{Aabb, SplitMix64, Vec3};
+use roborun_geom::{Aabb, PointGridIndex, SplitMix64, Vec3};
 use serde::{Deserialize, Serialize};
 
 /// RRT* configuration.
@@ -57,16 +65,28 @@ impl RrtConfig {
             return Err("max_samples must be at least 1".into());
         }
         if self.steer_length <= 0.0 {
-            return Err(format!("steer_length must be positive, got {}", self.steer_length));
+            return Err(format!(
+                "steer_length must be positive, got {}",
+                self.steer_length
+            ));
         }
         if !(0.0..=1.0).contains(&self.goal_bias) {
-            return Err(format!("goal_bias must be in [0,1], got {}", self.goal_bias));
+            return Err(format!(
+                "goal_bias must be in [0,1], got {}",
+                self.goal_bias
+            ));
         }
         if self.rewire_radius <= 0.0 {
-            return Err(format!("rewire_radius must be positive, got {}", self.rewire_radius));
+            return Err(format!(
+                "rewire_radius must be positive, got {}",
+                self.rewire_radius
+            ));
         }
         if self.goal_tolerance <= 0.0 {
-            return Err(format!("goal_tolerance must be positive, got {}", self.goal_tolerance));
+            return Err(format!(
+                "goal_tolerance must be positive, got {}",
+                self.goal_tolerance
+            ));
         }
         if self.max_explored_volume < 0.0 {
             return Err(format!(
@@ -133,12 +153,46 @@ impl RrtStar {
 
     /// Searches for a collision-free path from `start` to `goal` inside
     /// `sampling_bounds`, checking edges against `checker`.
+    ///
+    /// Neighbor queries run against an incrementally grown grid index;
+    /// the result is identical to [`RrtStar::plan_linear_reference`].
     pub fn plan(
         &self,
         checker: &mut CollisionChecker,
         start: Vec3,
         goal: Vec3,
         sampling_bounds: &Aabb,
+    ) -> RrtResult {
+        // Cells at the rewire radius: a near() query touches at most 3^3
+        // cells, and nearest() usually terminates in the first ring.
+        let cell = self.config.rewire_radius.max(1e-3);
+        let mut neighbors = GridNeighbors {
+            index: PointGridIndex::new(cell),
+        };
+        self.plan_with(checker, start, goal, sampling_bounds, &mut neighbors)
+    }
+
+    /// The retained linear-scan reference: the same search with O(n)
+    /// nearest/near scans per sample. Kept for the equivalence proptests
+    /// and the kernel-scaling benches; prefer [`RrtStar::plan`].
+    pub fn plan_linear_reference(
+        &self,
+        checker: &mut CollisionChecker,
+        start: Vec3,
+        goal: Vec3,
+        sampling_bounds: &Aabb,
+    ) -> RrtResult {
+        let mut neighbors = LinearNeighbors { points: Vec::new() };
+        self.plan_with(checker, start, goal, sampling_bounds, &mut neighbors)
+    }
+
+    fn plan_with<N: NeighborSearch>(
+        &self,
+        checker: &mut CollisionChecker,
+        start: Vec3,
+        goal: Vec3,
+        sampling_bounds: &Aabb,
+        neighbors: &mut N,
     ) -> RrtResult {
         let cfg = &self.config;
         let mut rng = SplitMix64::new(cfg.seed);
@@ -147,6 +201,7 @@ impl RrtStar {
             parent: None,
             cost: 0.0,
         }];
+        neighbors.insert(start);
         let mut explored = Aabb::new(start, start);
         let mut best_goal_node: Option<usize> = None;
         let mut samples_drawn = 0usize;
@@ -178,14 +233,14 @@ impl RrtStar {
                 rng.point_in_aabb(sampling_bounds)
             };
             // Nearest node.
-            let nearest_idx = nearest(&nodes, target);
+            let nearest_idx = neighbors.nearest(target);
             let nearest_pos = nodes[nearest_idx].position;
             let new_pos = steer(nearest_pos, target, cfg.steer_length);
             if !checker.segment_free(nearest_pos, new_pos) {
                 continue;
             }
             // Choose the best parent within the rewire radius.
-            let neighbours = near(&nodes, new_pos, cfg.rewire_radius);
+            let neighbours = neighbors.near(new_pos, cfg.rewire_radius);
             let mut best_parent = nearest_idx;
             let mut best_cost = nodes[nearest_idx].cost + nearest_pos.distance(new_pos);
             for &n in &neighbours {
@@ -201,6 +256,7 @@ impl RrtStar {
                 parent: Some(best_parent),
                 cost: best_cost,
             });
+            neighbors.insert(new_pos);
             explored = Aabb::union(&explored, &Aabb::new(new_pos, new_pos));
 
             // Rewire neighbours through the new node when cheaper.
@@ -262,26 +318,69 @@ impl RrtStar {
     }
 }
 
-fn nearest(nodes: &[Node], target: Vec3) -> usize {
-    let mut best = 0usize;
-    let mut best_d = f64::INFINITY;
-    for (i, n) in nodes.iter().enumerate() {
-        let d = n.position.distance_squared(target);
-        if d < best_d {
-            best_d = d;
-            best = i;
-        }
-    }
-    best
+/// Neighbor queries over the growing tree. The two implementations must
+/// agree exactly: nearest uses the squared-distance metric with ties to the
+/// lowest index, near uses `distance <= radius` in ascending index order.
+trait NeighborSearch {
+    fn insert(&mut self, p: Vec3);
+    fn nearest(&self, target: Vec3) -> usize;
+    fn near(&self, p: Vec3, radius: f64) -> Vec<usize>;
 }
 
-fn near(nodes: &[Node], p: Vec3, radius: f64) -> Vec<usize> {
-    nodes
-        .iter()
-        .enumerate()
-        .filter(|(_, n)| n.position.distance(p) <= radius)
-        .map(|(i, _)| i)
-        .collect()
+/// Grid-accelerated neighbor queries (the default).
+struct GridNeighbors {
+    index: PointGridIndex,
+}
+
+impl NeighborSearch for GridNeighbors {
+    fn insert(&mut self, p: Vec3) {
+        self.index.insert(p);
+    }
+
+    fn nearest(&self, target: Vec3) -> usize {
+        self.index.nearest(target).expect("tree is never empty") as usize
+    }
+
+    fn near(&self, p: Vec3, radius: f64) -> Vec<usize> {
+        self.index
+            .within_radius(p, radius)
+            .into_iter()
+            .map(|i| i as usize)
+            .collect()
+    }
+}
+
+/// Linear-scan neighbor queries (the retained reference).
+struct LinearNeighbors {
+    points: Vec<Vec3>,
+}
+
+impl NeighborSearch for LinearNeighbors {
+    fn insert(&mut self, p: Vec3) {
+        self.points.push(p);
+    }
+
+    fn nearest(&self, target: Vec3) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, p) in self.points.iter().enumerate() {
+            let d = p.distance_squared(target);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn near(&self, p: Vec3, radius: f64) -> Vec<usize> {
+        self.points
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.distance(p) <= radius)
+            .map(|(i, _)| i)
+            .collect()
+    }
 }
 
 fn steer(from: Vec3, towards: Vec3, max_len: f64) -> Vec3 {
@@ -329,14 +428,42 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         assert!(RrtConfig::default().validate().is_ok());
-        assert!(RrtConfig { max_samples: 0, ..RrtConfig::default() }.validate().is_err());
-        assert!(RrtConfig { steer_length: 0.0, ..RrtConfig::default() }.validate().is_err());
-        assert!(RrtConfig { goal_bias: 1.5, ..RrtConfig::default() }.validate().is_err());
-        assert!(RrtConfig { rewire_radius: -1.0, ..RrtConfig::default() }.validate().is_err());
-        assert!(RrtConfig { goal_tolerance: 0.0, ..RrtConfig::default() }.validate().is_err());
-        assert!(RrtConfig { max_explored_volume: -1.0, ..RrtConfig::default() }
-            .validate()
-            .is_err());
+        assert!(RrtConfig {
+            max_samples: 0,
+            ..RrtConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RrtConfig {
+            steer_length: 0.0,
+            ..RrtConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RrtConfig {
+            goal_bias: 1.5,
+            ..RrtConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RrtConfig {
+            rewire_radius: -1.0,
+            ..RrtConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RrtConfig {
+            goal_tolerance: 0.0,
+            ..RrtConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RrtConfig {
+            max_explored_volume: -1.0,
+            ..RrtConfig::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -354,7 +481,10 @@ mod tests {
 
     #[test]
     fn finds_path_through_gap() {
-        let planner = RrtStar::new(RrtConfig { seed: 3, ..RrtConfig::default() });
+        let planner = RrtStar::new(RrtConfig {
+            seed: 3,
+            ..RrtConfig::default()
+        });
         let mut checker = wall_with_gap_checker();
         let start = Vec3::new(0.0, 0.0, 5.0);
         let goal = Vec3::new(40.0, 0.0, 5.0);
@@ -373,7 +503,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let planner = RrtStar::new(RrtConfig { seed: 7, ..RrtConfig::default() });
+        let planner = RrtStar::new(RrtConfig {
+            seed: 7,
+            ..RrtConfig::default()
+        });
         let mut c1 = wall_with_gap_checker();
         let mut c2 = wall_with_gap_checker();
         let start = Vec3::new(0.0, 0.0, 5.0);
@@ -440,6 +573,29 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid RRT*")]
     fn invalid_config_panics() {
-        let _ = RrtStar::new(RrtConfig { steer_length: -1.0, ..RrtConfig::default() });
+        let _ = RrtStar::new(RrtConfig {
+            steer_length: -1.0,
+            ..RrtConfig::default()
+        });
+    }
+
+    #[test]
+    fn indexed_and_linear_reference_plans_are_identical() {
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        for seed in 0..8 {
+            let planner = RrtStar::new(RrtConfig {
+                seed,
+                max_samples: 800,
+                ..RrtConfig::default()
+            });
+            let mut c1 = wall_with_gap_checker();
+            let mut c2 = wall_with_gap_checker();
+            let indexed = planner.plan(&mut c1, start, goal, &corridor_bounds());
+            let linear = planner.plan_linear_reference(&mut c2, start, goal, &corridor_bounds());
+            assert_eq!(indexed, linear, "seed {seed}");
+            // Both paths consumed the collision checker identically too.
+            assert_eq!(c1.queries(), c2.queries(), "seed {seed}");
+        }
     }
 }

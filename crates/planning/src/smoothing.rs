@@ -41,7 +41,10 @@ impl SmoothingConfig {
     /// Returns a message describing the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         if self.max_speed <= 0.0 {
-            return Err(format!("max_speed must be positive, got {}", self.max_speed));
+            return Err(format!(
+                "max_speed must be positive, got {}",
+                self.max_speed
+            ));
         }
         if self.max_acceleration <= 0.0 {
             return Err(format!(
@@ -135,7 +138,10 @@ pub fn smooth_path(path: &[Vec3], cruise_speed: f64, config: &SmoothingConfig) -
         if s < ramp {
             (2.0 * accel * s).sqrt().min(cruise)
         } else if s > total_length - ramp {
-            (2.0 * accel * (total_length - s)).max(0.0).sqrt().min(cruise)
+            (2.0 * accel * (total_length - s))
+                .max(0.0)
+                .sqrt()
+                .min(cruise)
         } else {
             cruise
         }
@@ -193,7 +199,10 @@ mod tests {
 
     #[test]
     fn speed_never_exceeds_caps() {
-        let cfg = SmoothingConfig { max_speed: 4.0, ..SmoothingConfig::default() };
+        let cfg = SmoothingConfig {
+            max_speed: 4.0,
+            ..SmoothingConfig::default()
+        };
         // Commanded cruise above the cap gets clamped.
         let traj = smooth_path(&l_shaped_path(), 10.0, &cfg);
         assert!(traj.max_speed() <= 4.0 + 1e-9);
@@ -207,12 +216,19 @@ mod tests {
 
     #[test]
     fn acceleration_respected_between_samples() {
-        let cfg = SmoothingConfig { max_acceleration: 2.0, ..SmoothingConfig::default() };
+        let cfg = SmoothingConfig {
+            max_acceleration: 2.0,
+            ..SmoothingConfig::default()
+        };
         let traj = smooth_path(&l_shaped_path(), 5.0, &cfg);
         for w in traj.points().windows(2) {
             let dt = (w[1].time - w[0].time).max(1e-9);
             let dv = (w[1].speed - w[0].speed).abs();
-            assert!(dv / dt <= cfg.max_acceleration * 1.5 + 1e-6, "accel {}", dv / dt);
+            assert!(
+                dv / dt <= cfg.max_acceleration * 1.5 + 1e-6,
+                "accel {}",
+                dv / dt
+            );
         }
     }
 
@@ -249,7 +265,10 @@ mod tests {
                 .iter()
                 .map(|p| p.position.distance(*wp))
                 .fold(f64::INFINITY, f64::min);
-            assert!(min_d < 1.0, "waypoint {wp:?} is {min_d} m from the trajectory");
+            assert!(
+                min_d < 1.0,
+                "waypoint {wp:?} is {min_d} m from the trajectory"
+            );
         }
     }
 
@@ -265,18 +284,27 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid smoothing")]
     fn invalid_config_panics() {
-        let bad = SmoothingConfig { max_speed: 0.0, ..SmoothingConfig::default() };
+        let bad = SmoothingConfig {
+            max_speed: 0.0,
+            ..SmoothingConfig::default()
+        };
         let _ = smooth_path(&l_shaped_path(), 1.0, &bad);
     }
 
     #[test]
     fn config_validation() {
         assert!(SmoothingConfig::default().validate().is_ok());
-        assert!(SmoothingConfig { max_acceleration: 0.0, ..SmoothingConfig::default() }
-            .validate()
-            .is_err());
-        assert!(SmoothingConfig { samples_per_segment: 0, ..SmoothingConfig::default() }
-            .validate()
-            .is_err());
+        assert!(SmoothingConfig {
+            max_acceleration: 0.0,
+            ..SmoothingConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SmoothingConfig {
+            samples_per_segment: 0,
+            ..SmoothingConfig::default()
+        }
+        .validate()
+        .is_err());
     }
 }

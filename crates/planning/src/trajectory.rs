@@ -197,8 +197,14 @@ mod tests {
         let mid = t.sample_at(2.5).unwrap();
         assert!((mid.position - Vec3::new(5.0, 0.0, 5.0)).norm() < 1e-12);
         assert_eq!(mid.speed, 2.0);
-        assert_eq!(t.sample_at(-1.0).unwrap().position, Vec3::new(0.0, 0.0, 5.0));
-        assert_eq!(t.sample_at(99.0).unwrap().position, Vec3::new(20.0, 0.0, 5.0));
+        assert_eq!(
+            t.sample_at(-1.0).unwrap().position,
+            Vec3::new(0.0, 0.0, 5.0)
+        );
+        assert_eq!(
+            t.sample_at(99.0).unwrap().position,
+            Vec3::new(20.0, 0.0, 5.0)
+        );
     }
 
     #[test]
@@ -218,8 +224,16 @@ mod tests {
     #[should_panic(expected = "non-decreasing")]
     fn rejects_unsorted_times() {
         let _ = Trajectory::new(vec![
-            TrajectoryPoint { time: 1.0, position: Vec3::ZERO, speed: 1.0 },
-            TrajectoryPoint { time: 0.5, position: Vec3::X, speed: 1.0 },
+            TrajectoryPoint {
+                time: 1.0,
+                position: Vec3::ZERO,
+                speed: 1.0,
+            },
+            TrajectoryPoint {
+                time: 0.5,
+                position: Vec3::X,
+                speed: 1.0,
+            },
         ]);
     }
 }

@@ -49,12 +49,7 @@ impl DepthCamera {
     /// Captures one depth frame from `pose` into `field`, appending hit
     /// points to `hits` and returning the number of rays that hit an
     /// obstacle within range.
-    pub fn capture_into(
-        &self,
-        field: &ObstacleField,
-        pose: &Pose,
-        hits: &mut Vec<Vec3>,
-    ) -> usize {
+    pub fn capture_into(&self, field: &ObstacleField, pose: &Pose, hits: &mut Vec<Vec3>) -> usize {
         let mut hit_count = 0;
         for iy in 0..self.v_res {
             for ix in 0..self.h_res {
@@ -146,7 +141,10 @@ impl CameraRig {
     ///
     /// Panics if `cameras` is empty.
     pub fn new(cameras: Vec<DepthCamera>) -> Self {
-        assert!(!cameras.is_empty(), "a camera rig needs at least one camera");
+        assert!(
+            !cameras.is_empty(),
+            "a camera rig needs at least one camera"
+        );
         CameraRig { cameras }
     }
 
@@ -162,10 +160,7 @@ impl CameraRig {
 
     /// Maximum sensing range across the rig.
     pub fn max_range(&self) -> f64 {
-        self.cameras
-            .iter()
-            .map(|c| c.max_range)
-            .fold(0.0, f64::max)
+        self.cameras.iter().map(|c| c.max_range).fold(0.0, f64::max)
     }
 
     /// Captures a full sweep from the given pose.
@@ -213,7 +208,10 @@ mod tests {
     #[test]
     fn empty_world_produces_no_points() {
         let rig = CameraRig::hexa_rig();
-        let scan = rig.capture(&ObstacleField::empty(), &Pose::new(Vec3::new(0.0, 0.0, 5.0), 0.0));
+        let scan = rig.capture(
+            &ObstacleField::empty(),
+            &Pose::new(Vec3::new(0.0, 0.0, 5.0), 0.0),
+        );
         assert!(scan.points.is_empty());
         assert_eq!(scan.hit_fraction(), 0.0);
         assert_eq!(scan.rays_cast, rig.rays_per_sweep());
@@ -236,7 +234,10 @@ mod tests {
     fn camera_facing_away_sees_nothing() {
         let rig = CameraRig::mono_rig();
         let field = wall_field();
-        let scan = rig.capture(&field, &Pose::new(Vec3::new(0.0, 0.0, 5.0), std::f64::consts::PI));
+        let scan = rig.capture(
+            &field,
+            &Pose::new(Vec3::new(0.0, 0.0, 5.0), std::f64::consts::PI),
+        );
         assert!(scan.points.is_empty());
     }
 
@@ -245,7 +246,7 @@ mod tests {
         let rig = CameraRig::hexa_rig();
         let field = wall_field();
         for yaw_deg in [0.0, 45.0, 123.0, 270.0] {
-            let yaw = (yaw_deg as f64).to_radians();
+            let yaw = f64::to_radians(yaw_deg);
             let scan = rig.capture(&field, &Pose::new(Vec3::new(0.0, 0.0, 5.0), yaw));
             assert!(!scan.points.is_empty(), "no hits at yaw {yaw_deg}");
         }

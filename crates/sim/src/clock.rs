@@ -39,7 +39,10 @@ impl SimClock {
     ///
     /// Panics if `dt < 0` (time never flows backwards).
     pub fn advance(&mut self, dt: f64) -> f64 {
-        assert!(dt >= 0.0, "cannot advance the clock by a negative duration ({dt})");
+        assert!(
+            dt >= 0.0,
+            "cannot advance the clock by a negative duration ({dt})"
+        );
         self.now += dt;
         self.now
     }

@@ -86,7 +86,10 @@ impl CpuModel {
     ///
     /// Panics if `compute_latency < 0` or `interval < 0`.
     pub fn sample(&self, compute_latency: f64, interval: f64) -> CpuSample {
-        assert!(compute_latency >= 0.0, "compute latency must be non-negative");
+        assert!(
+            compute_latency >= 0.0,
+            "compute latency must be non-negative"
+        );
         assert!(interval >= 0.0, "interval must be non-negative");
         let interval = interval.max(compute_latency).max(1e-9);
         let busy_core_seconds = compute_latency * self.stage_parallelism.min(self.cores);
@@ -121,13 +124,24 @@ mod tests {
     #[test]
     fn default_model_valid() {
         assert!(CpuModel::default().validate().is_ok());
-        assert!(CpuModel { cores: 0.0, ..CpuModel::default() }.validate().is_err());
-        assert!(CpuModel { stage_parallelism: 0.0, ..CpuModel::default() }
-            .validate()
-            .is_err());
-        assert!(CpuModel { background_utilization: 1.5, ..CpuModel::default() }
-            .validate()
-            .is_err());
+        assert!(CpuModel {
+            cores: 0.0,
+            ..CpuModel::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CpuModel {
+            stage_parallelism: 0.0,
+            ..CpuModel::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CpuModel {
+            background_utilization: 1.5,
+            ..CpuModel::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl DroneConfig {
     /// Returns a message when any limit is non-positive.
     pub fn validate(&self) -> Result<(), String> {
         if self.max_speed <= 0.0 {
-            return Err(format!("max speed must be positive, got {}", self.max_speed));
+            return Err(format!(
+                "max speed must be positive, got {}",
+                self.max_speed
+            ));
         }
         if self.max_acceleration <= 0.0 {
             return Err(format!(
@@ -52,7 +55,10 @@ impl DroneConfig {
             ));
         }
         if self.body_radius <= 0.0 {
-            return Err(format!("body radius must be positive, got {}", self.body_radius));
+            return Err(format!(
+                "body radius must be positive, got {}",
+                self.body_radius
+            ));
         }
         if self.cruise_altitude <= 0.0 {
             return Err(format!(
@@ -118,7 +124,10 @@ impl DroneState {
         dt: f64,
     ) -> f64 {
         assert!(dt > 0.0, "time step must be positive, got {dt}");
-        assert!(commanded_speed >= 0.0, "commanded speed must be non-negative");
+        assert!(
+            commanded_speed >= 0.0,
+            "commanded speed must be non-negative"
+        );
         let to_target = target - self.position;
         let distance = to_target.norm();
         if distance < 1e-9 {
@@ -165,13 +174,25 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         assert!(DroneConfig::default().validate().is_ok());
-        let bad = DroneConfig { max_speed: 0.0, ..DroneConfig::default() };
+        let bad = DroneConfig {
+            max_speed: 0.0,
+            ..DroneConfig::default()
+        };
         assert!(bad.validate().is_err());
-        let bad2 = DroneConfig { body_radius: -1.0, ..DroneConfig::default() };
+        let bad2 = DroneConfig {
+            body_radius: -1.0,
+            ..DroneConfig::default()
+        };
         assert!(bad2.validate().is_err());
-        let bad3 = DroneConfig { max_acceleration: 0.0, ..DroneConfig::default() };
+        let bad3 = DroneConfig {
+            max_acceleration: 0.0,
+            ..DroneConfig::default()
+        };
         assert!(bad3.validate().is_err());
-        let bad4 = DroneConfig { cruise_altitude: 0.0, ..DroneConfig::default() };
+        let bad4 = DroneConfig {
+            cruise_altitude: 0.0,
+            ..DroneConfig::default()
+        };
         assert!(bad4.validate().is_err());
     }
 

@@ -54,7 +54,10 @@ impl EnergyModel {
     ///
     /// Panics if `duration < 0`.
     pub fn energy_for(&self, speed: f64, duration: f64) -> f64 {
-        assert!(duration >= 0.0, "duration must be non-negative, got {duration}");
+        assert!(
+            duration >= 0.0,
+            "duration must be non-negative, got {duration}"
+        );
         self.total_power(speed) * duration
     }
 
@@ -109,7 +112,10 @@ mod tests {
         let hover = m.propulsion_power(0.0);
         let slow = m.propulsion_power(0.5);
         assert!(hover > 300.0);
-        assert!((slow - hover) / hover < 0.01, "hover should dominate at low speed");
+        assert!(
+            (slow - hover) / hover < 0.01,
+            "hover should dominate at low speed"
+        );
     }
 
     #[test]
@@ -154,7 +160,10 @@ mod tests {
         let mut fast = EnergyAccumulator::new();
         fast.add_interval(&m, 2.5, 465.0);
         let fast_kj = fast.total_kilojoules();
-        assert!(fast_kj > 150.0 && fast_kj < 400.0, "roborun-scale energy {fast_kj} kJ");
+        assert!(
+            fast_kj > 150.0 && fast_kj < 400.0,
+            "roborun-scale energy {fast_kj} kJ"
+        );
         // The ratio should be roughly the paper's 4X.
         let ratio = kj / fast_kj;
         assert!(ratio > 3.0 && ratio < 6.0, "energy ratio {ratio}");

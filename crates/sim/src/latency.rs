@@ -79,7 +79,10 @@ impl StageCoefficients {
     ///
     /// Panics if `precision <= 0` or `volume < 0`.
     pub fn latency(&self, precision: f64, volume: f64) -> f64 {
-        assert!(precision > 0.0, "precision must be positive, got {precision}");
+        assert!(
+            precision > 0.0,
+            "precision must be positive, got {precision}"
+        );
         assert!(volume >= 0.0, "volume must be non-negative, got {volume}");
         let p_hat = 1.0 / precision;
         let precision_term = self.q0 * p_hat.powi(3) + self.q1 * p_hat.powi(2) + self.q2 * p_hat;
@@ -273,7 +276,11 @@ impl ComputeLatencyModel {
             planning: self.planning.latency(planner_precision, planner_volume),
             control: self.control_fixed,
             communication: self.communication_latency(export_volume),
-            runtime_overhead: if with_runtime { self.runtime_overhead } else { 0.0 },
+            runtime_overhead: if with_runtime {
+                self.runtime_overhead
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -312,7 +319,10 @@ mod tests {
         let coarse = m.stage_latency(PipelineStage::Perception, 0.6, 46_000.0);
         let fine = m.stage_latency(PipelineStage::Perception, 0.3, 46_000.0);
         let ratio = fine / coarse;
-        assert!(ratio > 5.0 && ratio < 8.5, "precision doubling ratio {ratio}");
+        assert!(
+            ratio > 5.0 && ratio < 8.5,
+            "precision doubling ratio {ratio}"
+        );
     }
 
     #[test]

@@ -159,7 +159,11 @@ mod tests {
 
     #[test]
     fn fit_recovers_known_model() {
-        let truth = StoppingModel { a: 0.08, b: 0.25, c: 0.15 };
+        let truth = StoppingModel {
+            a: 0.08,
+            b: 0.25,
+            c: 0.15,
+        };
         let samples: Vec<(f64, f64)> = (1..=30)
             .map(|i| {
                 let v = i as f64 * 0.3;

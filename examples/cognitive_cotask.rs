@@ -17,7 +17,11 @@ fn main() {
     let mut reports = Vec::new();
     for (label, mode, cap) in [
         ("spatial-aware (RoboRun)", RuntimeMode::SpatialAware, 900),
-        ("spatial-oblivious (baseline)", RuntimeMode::SpatialOblivious, 1_800),
+        (
+            "spatial-oblivious (baseline)",
+            RuntimeMode::SpatialOblivious,
+            1_800,
+        ),
     ] {
         let config = MissionConfig {
             max_decisions: cap,
@@ -42,12 +46,8 @@ fn main() {
         reports.push((label, report));
     }
 
-    let comparison = CoTaskComparison::between(
-        reports[0].0,
-        &reports[0].1,
-        reports[1].0,
-        &reports[1].1,
-    );
+    let comparison =
+        CoTaskComparison::between(reports[0].0, &reports[0].1, reports[1].0, &reports[1].1);
     println!(
         "cognitive attainment ratio (aware / oblivious): {:.2}x",
         comparison.attainment_ratio

@@ -13,7 +13,10 @@ fn main() {
     for (label, faults) in [
         ("healthy sensing", FaultConfig::healthy()),
         ("fog (8 m visibility)", FaultConfig::fog(8.0)),
-        ("flaky cameras (10% sweeps, 30% points lost)", FaultConfig::flaky_sensors(0.1, 0.3)),
+        (
+            "flaky cameras (10% sweeps, 30% points lost)",
+            FaultConfig::flaky_sensors(0.1, 0.3),
+        ),
     ] {
         let config = MissionConfig {
             faults,

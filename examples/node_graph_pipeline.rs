@@ -33,7 +33,14 @@ fn main() {
     println!("mean comm per decision: {:.1} ms", comm_mean * 1e3);
 
     // 4. The node graph, as a traffic table and as Graphviz DOT.
-    println!("\n# node graph: {} nodes, {} topics", result.graph.nodes.len(), result.graph.topics.len());
+    println!(
+        "\n# node graph: {} nodes, {} topics",
+        result.graph.nodes.len(),
+        result.graph.topics.len()
+    );
     println!("{}", result.graph.to_table());
-    println!("# graphviz (paste into `dot -Tpng`):\n{}", result.graph.to_dot());
+    println!(
+        "# graphviz (paste into `dot -Tpng`):\n{}",
+        result.graph.to_dot()
+    );
 }

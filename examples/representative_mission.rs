@@ -24,12 +24,23 @@ fn main() {
 
     // Fig. 9: the congestion heat map of the environment (down-sampled).
     let congestion = CongestionMap::build(&env, 30.0);
-    println!("=== congestion map (Fig. 9 analogue, peak {:.2}) ===", congestion.peak());
+    println!(
+        "=== congestion map (Fig. 9 analogue, peak {:.2}) ===",
+        congestion.peak()
+    );
     for row in congestion.to_rows() {
         let line: String = row
             .iter()
             .map(|&v| {
-                if v > 0.2 { '#' } else if v > 0.05 { '+' } else if v > 0.0 { '.' } else { ' ' }
+                if v > 0.2 {
+                    '#'
+                } else if v > 0.05 {
+                    '+'
+                } else if v > 0.0 {
+                    '.'
+                } else {
+                    ' '
+                }
             })
             .collect();
         println!("  |{line}|");
@@ -69,7 +80,9 @@ fn main() {
         // tenth decision.
         let series = report::telemetry_csv(&result.telemetry);
         let lines: Vec<&str> = series.lines().collect();
-        println!("  time series sample (time, latency, deadline, precision, velocity, visibility):");
+        println!(
+            "  time series sample (time, latency, deadline, precision, velocity, visibility):"
+        );
         for line in lines.iter().skip(1).step_by((lines.len() / 8).max(1)) {
             println!("    {line}");
         }

@@ -18,12 +18,36 @@ fn main() {
     let mut config = SweepConfig::quick(19);
     // Cover three densities at two spreads (6 environments).
     config.difficulties = vec![
-        DifficultyConfig { obstacle_density: 0.3, obstacle_spread: 40.0, goal_distance: 150.0 },
-        DifficultyConfig { obstacle_density: 0.45, obstacle_spread: 40.0, goal_distance: 150.0 },
-        DifficultyConfig { obstacle_density: 0.6, obstacle_spread: 40.0, goal_distance: 150.0 },
-        DifficultyConfig { obstacle_density: 0.3, obstacle_spread: 80.0, goal_distance: 150.0 },
-        DifficultyConfig { obstacle_density: 0.45, obstacle_spread: 80.0, goal_distance: 150.0 },
-        DifficultyConfig { obstacle_density: 0.6, obstacle_spread: 80.0, goal_distance: 150.0 },
+        DifficultyConfig {
+            obstacle_density: 0.3,
+            obstacle_spread: 40.0,
+            goal_distance: 150.0,
+        },
+        DifficultyConfig {
+            obstacle_density: 0.45,
+            obstacle_spread: 40.0,
+            goal_distance: 150.0,
+        },
+        DifficultyConfig {
+            obstacle_density: 0.6,
+            obstacle_spread: 40.0,
+            goal_distance: 150.0,
+        },
+        DifficultyConfig {
+            obstacle_density: 0.3,
+            obstacle_spread: 80.0,
+            goal_distance: 150.0,
+        },
+        DifficultyConfig {
+            obstacle_density: 0.45,
+            obstacle_spread: 80.0,
+            goal_distance: 150.0,
+        },
+        DifficultyConfig {
+            obstacle_density: 0.6,
+            obstacle_spread: 80.0,
+            goal_distance: 150.0,
+        },
     ];
     println!(
         "running {} environments x 2 designs (short 150 m missions)...\n",
@@ -37,13 +61,19 @@ fn main() {
     println!("=== sensitivity to obstacle density (Fig. 8b analogue) ===");
     println!(
         "{}",
-        report::fig8_table("obstacle density", &results.sensitivity(|d| d.obstacle_density))
+        report::fig8_table(
+            "obstacle density",
+            &results.sensitivity(|d| d.obstacle_density)
+        )
     );
 
     println!("=== sensitivity to obstacle spread (Fig. 8c analogue) ===");
     println!(
         "{}",
-        report::fig8_table("obstacle spread (m)", &results.sensitivity(|d| d.obstacle_spread))
+        report::fig8_table(
+            "obstacle spread (m)",
+            &results.sensitivity(|d| d.obstacle_spread)
+        )
     );
 
     let (aware_ratio, oblivious_ratio) = results.sensitivity_ratio(|d| d.obstacle_density);

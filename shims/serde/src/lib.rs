@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses `serde` purely as derive decoration — nothing is
+//! serialised at runtime and no API requires the traits as bounds — and the
+//! build environment cannot reach crates.io. This shim keeps every
+//! `use serde::{Deserialize, Serialize}` and `#[derive(Serialize,
+//! Deserialize)]` compiling: the traits are empty markers with blanket
+//! implementations and the derives expand to nothing.
+//!
+//! To switch back to the real `serde`, change the `serde` entry in the
+//! workspace `[workspace.dependencies]` table.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! decoration (no code actually serialises anything and no bounds require
+//! the traits), and the build environment has no crates.io access, so the
+//! derives expand to nothing. The `serde` shim crate provides blanket
+//! implementations of the marker traits, so any future `T: Serialize`
+//! bound is satisfied without per-type impls.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -52,7 +52,7 @@ pub use roborun_sim as sim;
 /// The most commonly used types, importable in one line.
 pub mod prelude {
     pub use roborun_cognitive::{
-        CognitiveTask, CoTaskComparison, CoTaskReport, CpuInterval, HeadroomScheduler,
+        CoTaskComparison, CoTaskReport, CognitiveTask, CpuInterval, HeadroomScheduler,
         SchedulerConfig,
     };
     pub use roborun_core::{

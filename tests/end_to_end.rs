@@ -27,8 +27,14 @@ fn aware_and_oblivious_complete_the_same_mission() {
     let aware = MissionRunner::new(quick_config(RuntimeMode::SpatialAware)).run(&env);
     let oblivious = MissionRunner::new(quick_config(RuntimeMode::SpatialOblivious)).run(&env);
 
-    assert!(aware.metrics.reached_goal, "spatial-aware run failed to reach the goal");
-    assert!(oblivious.metrics.reached_goal, "baseline run failed to reach the goal");
+    assert!(
+        aware.metrics.reached_goal,
+        "spatial-aware run failed to reach the goal"
+    );
+    assert!(
+        oblivious.metrics.reached_goal,
+        "baseline run failed to reach the goal"
+    );
     assert!(!aware.metrics.collided);
     assert!(!oblivious.metrics.collided);
 }
@@ -43,9 +49,24 @@ fn roborun_beats_the_baseline_on_the_paper_metrics() {
     let o = &oblivious.metrics;
     assert!(a.reached_goal && o.reached_goal);
     // The four Fig. 7 directions.
-    assert!(a.mean_velocity > o.mean_velocity, "velocity {} vs {}", a.mean_velocity, o.mean_velocity);
-    assert!(a.mission_time < o.mission_time, "time {} vs {}", a.mission_time, o.mission_time);
-    assert!(a.energy_kj < o.energy_kj, "energy {} vs {}", a.energy_kj, o.energy_kj);
+    assert!(
+        a.mean_velocity > o.mean_velocity,
+        "velocity {} vs {}",
+        a.mean_velocity,
+        o.mean_velocity
+    );
+    assert!(
+        a.mission_time < o.mission_time,
+        "time {} vs {}",
+        a.mission_time,
+        o.mission_time
+    );
+    assert!(
+        a.energy_kj < o.energy_kj,
+        "energy {} vs {}",
+        a.energy_kj,
+        o.energy_kj
+    );
     assert!(
         a.mean_cpu_utilization < o.mean_cpu_utilization,
         "cpu {} vs {}",

@@ -72,12 +72,8 @@ fn freed_cpu_translates_into_cognitive_throughput() {
         aware_report.mean_attainment(),
         oblivious_report.mean_attainment()
     );
-    let comparison = CoTaskComparison::between(
-        "aware",
-        &aware_report,
-        "oblivious",
-        &oblivious_report,
-    );
+    let comparison =
+        CoTaskComparison::between("aware", &aware_report, "oblivious", &oblivious_report);
     assert!(comparison.attainment_ratio >= 1.0 - 1e-9);
 }
 
@@ -94,7 +90,11 @@ fn ablation_fault_injection_and_safety_audit_compose() {
         ..MissionConfig::new(RuntimeMode::SpatialAware)
     };
     let result = MissionRunner::new(config).run(&env);
-    assert!(result.metrics.reached_goal, "mission failed: {:?}", result.metrics);
+    assert!(
+        result.metrics.reached_goal,
+        "mission failed: {:?}",
+        result.metrics
+    );
 
     // Frozen volume knobs show up in the telemetry; precision still adapts.
     let static_knobs = KnobSettings::static_baseline();
@@ -144,5 +144,12 @@ fn middleware_is_usable_standalone_through_the_facade() {
     assert!(dash_sub.latest().is_some());
     let graph = GraphInfo::snapshot(&bus);
     assert_eq!(graph.nodes.len(), 3);
-    assert_eq!(graph.topic("/telemetry/battery").unwrap().stats.messages_published, 20);
+    assert_eq!(
+        graph
+            .topic("/telemetry/battery")
+            .unwrap()
+            .stats
+            .messages_published,
+        20
+    );
 }
