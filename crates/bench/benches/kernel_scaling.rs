@@ -74,6 +74,99 @@ fn bench_octomap_insert_volume(c: &mut Criterion) {
     group.finish();
 }
 
+/// DDA-batched `integrate_cloud` against the retained per-sample
+/// reference, on a 10⁴-point cloud, across map-resolution / raytrace-step
+/// pairs from the paper's power-of-two precision lattice. The batched
+/// path hash-keys each traversed voxel once per run instead of once per
+/// sample, so the win grows with the oversampling ratio (coarse map in
+/// open space, fine raytracer): ~8 samples/voxel at 2.4 m / 0.3 m. At
+/// step >= resolution the carve routes to the per-sample path, so the two
+/// columns are within noise there (regression guard for the mission
+/// loop's own regime).
+fn bench_integrate_cloud_batched_vs_reference(c: &mut Criterion) {
+    let cloud = wall_cloud(15.0, 100); // 10_000 points
+    let mut group = c.benchmark_group("octomap_integrate_10k_points");
+    group.sample_size(10);
+    for &(resolution, step) in &[(0.3, 0.3), (0.6, 0.3), (1.2, 0.3), (2.4, 0.3)] {
+        let label = format!("res{resolution}m_step{step}m");
+        group.bench_with_input(
+            BenchmarkId::new("batched", &label),
+            &(resolution, step),
+            |b, &(r, s)| {
+                b.iter(|| {
+                    let mut map = OccupancyMap::new(r);
+                    std::hint::black_box(map.integrate_cloud(&cloud, s))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", &label),
+            &(resolution, step),
+            |b, &(r, s)| {
+                b.iter(|| {
+                    let mut map = OccupancyMap::new(r);
+                    std::hint::black_box(map.integrate_cloud_reference(&cloud, s))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Incremental broad-phase patching against a from-scratch rebuild, on a
+/// single-delta map refresh over a ~7k-box export — the per-decision cost
+/// the mission runner pays now that its collision checker lives across
+/// replans.
+fn bench_collision_patch_vs_rebuild(c: &mut Criterion) {
+    let origin = Vec3::new(0.0, 0.0, 5.0);
+    let mut base = OccupancyMap::new(0.3);
+    // A dense multi-wall region: ~7k occupied voxels once integrated.
+    let mut points = Vec::new();
+    for &x in &[12.0, 18.0, 24.0] {
+        for yi in -26..=26 {
+            for zi in 0..30 {
+                points.push(Vec3::new(x, yi as f64 * 0.3, zi as f64 * 0.3));
+            }
+        }
+    }
+    base.integrate_cloud(&PointCloud::new(origin, points), 0.3);
+    let map1 = PlannerMap::export(&base, &ExportConfig::new(0.3, 1e9, origin));
+    // One extra voxel inside the existing bounds: the canonical
+    // single-delta refresh (new frontier observation near a known wall).
+    let mut evolved = base.clone();
+    evolved.integrate_cloud(
+        &PointCloud::new(origin, vec![Vec3::new(18.0, 0.15, 9.15)]),
+        0.3,
+    );
+    let map2 = PlannerMap::export(&evolved, &ExportConfig::new(0.3, 1e9, origin));
+    let delta = map2.delta_from(&map1).expect("same voxel size");
+    assert!(!delta.is_empty() && delta.len() <= 2, "delta: {delta:?}");
+
+    let mut group = c.benchmark_group("collision_broadphase_single_delta");
+    group.sample_size(10);
+    group.bench_function(format!("patch/{}boxes", map2.len()), |b| {
+        let mut checker = CollisionChecker::new(map1.clone(), 0.45, 0.3);
+        checker.prebuild_broad_phase();
+        b.iter(|| {
+            // Patch forward and back: two single-delta updates per iter,
+            // always exercising the incremental path.
+            checker.update_map(map2.clone());
+            checker.update_map(map1.clone());
+            std::hint::black_box(checker.queries())
+        })
+    });
+    group.bench_function(format!("rebuild/{}boxes", map2.len()), |b| {
+        b.iter(|| {
+            let mut a = CollisionChecker::new(map2.clone(), 0.45, 0.3);
+            a.prebuild_broad_phase();
+            let mut b2 = CollisionChecker::new(map1.clone(), 0.45, 0.3);
+            b2.prebuild_broad_phase();
+            std::hint::black_box((a.queries(), b2.queries()))
+        })
+    });
+    group.finish();
+}
+
 fn bench_export_precision(c: &mut Criterion) {
     let cloud = wall_cloud(15.0, 48);
     let mut map = OccupancyMap::new(0.3);
@@ -347,6 +440,8 @@ criterion_group!(
     bench_point_cloud_precision,
     bench_octomap_insert_precision,
     bench_octomap_insert_volume,
+    bench_integrate_cloud_batched_vs_reference,
+    bench_collision_patch_vs_rebuild,
     bench_export_precision,
     bench_obstacle_raycast_scaling,
     bench_obstacle_nearest_scaling,

@@ -1,0 +1,249 @@
+//! Shared conformance-test harness for the exact-equivalence suites.
+//!
+//! Every spatial accelerator in the workspace (grid indexes, ring
+//! searches, DDA walks, incremental caches) is specified to return *the
+//! same result* as a retained linear or from-scratch reference. The
+//! per-crate proptests enforce that on random inputs; this crate supplies
+//! the *adversarial* inputs random sampling is unlikely to produce —
+//! empty worlds, single voxels, dense uniform lattices, tight clusters and
+//! points placed exactly on voxel/margin boundaries — so each suite can
+//! sweep the same pathological shapes without copy-pasting generators.
+//!
+//! The generators only depend on `roborun-geom`: consumers wrap the raw
+//! point sets into their own structures (point clouds, obstacle fields,
+//! occupancy maps).
+//!
+//! # Example
+//!
+//! ```
+//! use roborun_conformance::{adversarial_point_sets, boundary_probes};
+//!
+//! for scenario in adversarial_point_sets(7, 1.0) {
+//!     for probe in boundary_probes(7, 1.0) {
+//!         // index the scenario's points, query at `probe`, compare
+//!         // against the linear reference ...
+//!         let _ = (scenario.name, scenario.points.len(), probe);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use roborun_geom::{Aabb, SplitMix64, Vec3};
+
+/// One named adversarial point-set scenario.
+#[derive(Debug, Clone)]
+pub struct PointScenario {
+    /// Short scenario label, included in assertion messages.
+    pub name: &'static str,
+    /// The scenario's points.
+    pub points: Vec<Vec3>,
+}
+
+/// The adversarial point-set family, parameterised by a seed and the cell
+/// size of the structure under test (so boundary cases land exactly on
+/// that structure's voxel faces).
+///
+/// Scenarios:
+///
+/// * **empty** — no points: every query must agree on "nothing found".
+/// * **single-voxel** — several points inside one cell: degenerate key
+///   bounds, ring searches start and end on one ring.
+/// * **dense-uniform** — a full lattice at half-cell pitch: every ring is
+///   populated, pruning must still terminate on the first ring.
+/// * **clustered** — a few tight clusters separated by wide gaps: the
+///   start-ring skip and the budgeted fallback both trigger.
+/// * **margin-boundary** — points placed exactly on voxel corners, faces
+///   and at exact margin offsets: distance ties and `<=` predicates must
+///   break identically to the linear reference.
+pub fn adversarial_point_sets(seed: u64, cell: f64) -> Vec<PointScenario> {
+    let mut rng = SplitMix64::new(seed);
+    let mut scenarios = Vec::new();
+
+    scenarios.push(PointScenario {
+        name: "empty",
+        points: Vec::new(),
+    });
+
+    let anchor = Vec3::new(
+        rng.uniform(-20.0, 20.0),
+        rng.uniform(-20.0, 20.0),
+        rng.uniform(0.0, 10.0),
+    );
+    scenarios.push(PointScenario {
+        name: "single-voxel",
+        points: (0..5)
+            .map(|_| {
+                anchor
+                    + Vec3::new(
+                        rng.uniform(0.0, cell * 0.49),
+                        rng.uniform(0.0, cell * 0.49),
+                        rng.uniform(0.0, cell * 0.49),
+                    )
+            })
+            .collect(),
+    });
+
+    let mut dense = Vec::new();
+    for ix in -4..=4 {
+        for iy in -4..=4 {
+            for iz in 0..=4 {
+                dense.push(Vec3::new(
+                    ix as f64 * cell * 0.5,
+                    iy as f64 * cell * 0.5,
+                    iz as f64 * cell * 0.5 + 2.0,
+                ));
+            }
+        }
+    }
+    scenarios.push(PointScenario {
+        name: "dense-uniform",
+        points: dense,
+    });
+
+    let mut clustered = Vec::new();
+    for _ in 0..4 {
+        let center = Vec3::new(
+            rng.uniform(-40.0, 40.0),
+            rng.uniform(-40.0, 40.0),
+            rng.uniform(0.0, 12.0),
+        );
+        for _ in 0..8 {
+            clustered.push(
+                center
+                    + Vec3::new(
+                        rng.uniform(-cell, cell),
+                        rng.uniform(-cell, cell),
+                        rng.uniform(-cell, cell),
+                    ),
+            );
+        }
+    }
+    scenarios.push(PointScenario {
+        name: "clustered",
+        points: clustered,
+    });
+
+    // Exact voxel-face / corner / margin-offset placements. These sit on
+    // the discontinuities of `VoxelKey::from_point` and of `<=` distance
+    // predicates, where an accelerator that rounds differently from its
+    // reference would diverge.
+    let mut boundary = Vec::new();
+    for i in -2i64..=2 {
+        let face = i as f64 * cell;
+        boundary.push(Vec3::new(face, 0.25 * cell, 5.0));
+        boundary.push(Vec3::new(face, face, 5.0));
+        boundary.push(Vec3::new(face, face, face + 4.0 * cell));
+    }
+    scenarios.push(PointScenario {
+        name: "margin-boundary",
+        points: boundary,
+    });
+
+    scenarios
+}
+
+/// Probe points that stress the same discontinuities as the
+/// `margin-boundary` scenario: queries exactly on voxel faces and corners,
+/// mid-cell, far outside the populated region, plus a few random ones.
+pub fn boundary_probes(seed: u64, cell: f64) -> Vec<Vec3> {
+    let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9);
+    let mut probes = vec![
+        Vec3::ZERO,
+        Vec3::new(cell, 0.0, 0.0),
+        Vec3::new(-cell, -cell, -cell),
+        Vec3::new(0.5 * cell, 0.5 * cell, 0.5 * cell),
+        Vec3::new(2.0 * cell, 2.0 * cell, 2.0 * cell),
+        Vec3::new(500.0, -500.0, 120.0),
+    ];
+    for _ in 0..10 {
+        probes.push(Vec3::new(
+            rng.uniform(-60.0, 60.0),
+            rng.uniform(-60.0, 60.0),
+            rng.uniform(-10.0, 20.0),
+        ));
+    }
+    probes
+}
+
+/// Axis-aligned boxes mirroring [`adversarial_point_sets`] for structures
+/// indexed over volumes (the obstacle broad-phase, the collision checker):
+/// each point becomes a box, with half-extents that tile cleanly into the
+/// grid in the boundary scenario (so inflated bounds land on cell faces).
+pub fn adversarial_box_sets(seed: u64, cell: f64) -> Vec<(&'static str, Vec<Aabb>)> {
+    let mut rng = SplitMix64::new(seed ^ 0x5851_f42d);
+    adversarial_point_sets(seed, cell)
+        .into_iter()
+        .map(|scenario| {
+            let half = if scenario.name == "margin-boundary" {
+                // Boxes whose faces land exactly on grid planes.
+                Vec3::splat(cell * 0.5)
+            } else {
+                Vec3::new(
+                    rng.uniform(0.2, 1.5),
+                    rng.uniform(0.2, 1.5),
+                    rng.uniform(0.2, 1.5),
+                )
+            };
+            let boxes = scenario
+                .points
+                .iter()
+                .map(|&c| Aabb::from_center_half_extents(c, half))
+                .collect();
+            (scenario.name, boxes)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_family_is_complete_and_deterministic() {
+        let a = adversarial_point_sets(3, 0.5);
+        let b = adversarial_point_sets(3, 0.5);
+        let names: Vec<_> = a.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "empty",
+                "single-voxel",
+                "dense-uniform",
+                "clustered",
+                "margin-boundary"
+            ]
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.points, y.points, "{} not deterministic", x.name);
+        }
+        assert!(a[0].points.is_empty());
+        assert!(a.iter().skip(1).all(|s| !s.points.is_empty()));
+    }
+
+    #[test]
+    fn boundary_points_sit_on_voxel_faces() {
+        let cell = 0.7;
+        let sets = adversarial_point_sets(9, cell);
+        let boundary = &sets.last().unwrap().points;
+        assert!(boundary
+            .iter()
+            .any(|p| (p.x / cell).fract().abs() < 1e-12 && p.x != 0.0));
+    }
+
+    #[test]
+    fn box_sets_mirror_point_scenarios() {
+        let boxes = adversarial_box_sets(3, 0.5);
+        assert_eq!(boxes.len(), 5);
+        assert!(boxes[0].1.is_empty());
+        assert!(!boxes[2].1.is_empty());
+    }
+
+    #[test]
+    fn probes_include_exact_faces() {
+        let probes = boundary_probes(1, 1.0);
+        assert!(probes.contains(&Vec3::new(1.0, 0.0, 0.0)));
+        assert!(probes.len() > 10);
+    }
+}

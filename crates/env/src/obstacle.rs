@@ -7,7 +7,7 @@
 //! retained `*_linear` reference scans, which the equivalence proptests in
 //! `tests/proptests.rs` enforce on random worlds.
 
-use roborun_geom::index::{cell_min_distance_squared, for_each_shell_key_in, GridRayWalk};
+use roborun_geom::index::{GridRayWalk, RingSearch, RingSearchOutcome};
 use roborun_geom::{Aabb, FxHashMap, Ray, Vec3, VoxelKey};
 use serde::{Deserialize, Serialize};
 
@@ -105,16 +105,8 @@ impl BroadPhase {
             self.key_min = lo;
             self.key_max = hi;
         } else {
-            self.key_min = VoxelKey {
-                x: self.key_min.x.min(lo.x),
-                y: self.key_min.y.min(lo.y),
-                z: self.key_min.z.min(lo.z),
-            };
-            self.key_max = VoxelKey {
-                x: self.key_max.x.max(hi.x),
-                y: self.key_max.y.max(hi.y),
-                z: self.key_max.z.max(hi.z),
-            };
+            self.key_min = self.key_min.componentwise_min(lo);
+            self.key_max = self.key_max.componentwise_max(hi);
         }
         for x in lo.x..=hi.x {
             for y in lo.y..=hi.y {
@@ -131,35 +123,9 @@ impl BroadPhase {
     /// Clamps a key range to the occupied key bounds.
     fn clamp_range(&self, lo: VoxelKey, hi: VoxelKey) -> (VoxelKey, VoxelKey) {
         (
-            VoxelKey {
-                x: lo.x.max(self.key_min.x),
-                y: lo.y.max(self.key_min.y),
-                z: lo.z.max(self.key_min.z),
-            },
-            VoxelKey {
-                x: hi.x.min(self.key_max.x),
-                y: hi.y.min(self.key_max.y),
-                z: hi.z.min(self.key_max.z),
-            },
+            lo.componentwise_max(self.key_min),
+            hi.componentwise_min(self.key_max),
         )
-    }
-
-    /// Highest Chebyshev ring around `center` that can contain an occupied
-    /// cell.
-    fn max_ring(&self, center: VoxelKey) -> i64 {
-        let dx = (center.x - self.key_min.x).max(self.key_max.x - center.x);
-        let dy = (center.y - self.key_min.y).max(self.key_max.y - center.y);
-        let dz = (center.z - self.key_min.z).max(self.key_max.z - center.z);
-        dx.max(dy).max(dz).max(0)
-    }
-
-    /// Lowest Chebyshev ring around `center` that can contain an occupied
-    /// cell (0 when `center` lies inside the occupied key bounds).
-    fn start_ring(&self, center: VoxelKey) -> i64 {
-        let dx = (self.key_min.x - center.x).max(center.x - self.key_max.x);
-        let dy = (self.key_min.y - center.y).max(center.y - self.key_max.y);
-        let dz = (self.key_min.z - center.z).max(center.z - self.key_max.z);
-        dx.max(dy).max(dz).max(0)
     }
 }
 
@@ -185,6 +151,10 @@ impl BroadPhase {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ObstacleField {
     obstacles: Vec<Obstacle>,
+    /// Broad-phase acceleration grid — fully derivable from `obstacles`,
+    /// so it is excluded from serialized forms and rebuilt on load (see
+    /// [`ObstacleField::rebuild_spatial_caches`]).
+    #[serde(skip)]
     grid: BroadPhase,
 }
 
@@ -218,6 +188,17 @@ impl ObstacleField {
     /// Broad-phase cell edge length (metres).
     pub fn broad_phase_cell(&self) -> f64 {
         self.grid.cell
+    }
+
+    /// Rebuilds the broad-phase grid from the obstacle list.
+    ///
+    /// The grid is `#[serde(skip)]`: it is derivable state, so serialized
+    /// fields carry only the obstacles and a deserialized field holds a
+    /// default (empty) grid. Deserializers must call this before querying —
+    /// after it, every query answers exactly as on the original field
+    /// (enforced by the round-trip test).
+    pub fn rebuild_spatial_caches(&mut self) {
+        self.grid = BroadPhase::build(&self.obstacles);
     }
 
     /// Adds an obstacle to the field.
@@ -286,46 +267,10 @@ impl ObstacleField {
         if self.obstacles.is_empty() {
             return None;
         }
-        let center = VoxelKey::from_point(p, self.grid.cell);
-        let max_ring = self.grid.max_ring(center);
-        // Rings closer than the occupied key bounds are empty — skip them.
-        let start_ring = self.grid.start_ring(center);
         let mut best: Option<(f64, u32)> = None;
-        let mut visited_cells = 0usize;
-        for ring in start_ring..=max_ring {
-            if let Some((best_d, _)) = best {
-                let ring_min = (ring as f64 - 1.0).max(0.0) * self.grid.cell;
-                if ring_min > best_d {
-                    break;
-                }
-            }
-            if visited_cells > 2 * self.obstacles.len() {
-                // The ring search has grown more expensive than a scan:
-                // finish linearly (same comparison, so the result and its
-                // tie-breaking are unchanged).
-                for (i, o) in self.obstacles.iter().enumerate() {
-                    let d = o.bounds.distance_to_point(p);
-                    let better = match best {
-                        None => true,
-                        Some((bd, bi)) => d < bd || (d == bd && (i as u32) < bi),
-                    };
-                    if better {
-                        best = Some((d, i as u32));
-                    }
-                }
-                return best;
-            }
-            for_each_shell_key_in(center, ring, self.grid.key_min, self.grid.key_max, |key| {
-                visited_cells += 1;
-                // Skip cells that cannot contain a closer obstacle: the
-                // nearest obstacle's closest point lies in a cell passing
-                // this bound, and that cell also holds the obstacle.
-                if let Some((bd, _)) = best {
-                    let d2 = cell_min_distance_squared(key, self.grid.cell, p);
-                    if d2 > bd * bd {
-                        return;
-                    }
-                }
+        let outcome = RingSearch::new(self.grid.cell, self.grid.key_min, self.grid.key_max)
+            .with_fallback_budget(2 * self.obstacles.len())
+            .run(p, None, |key| {
                 if let Some(ids) = self.grid.cells.get(&key) {
                     for &i in ids {
                         let d = self.obstacles[i as usize].bounds.distance_to_point(p);
@@ -338,7 +283,22 @@ impl ObstacleField {
                         }
                     }
                 }
+                best.map(|(d, _)| d * d)
             });
+        if outcome == RingSearchOutcome::BudgetExhausted {
+            // The ring search has grown more expensive than a scan: finish
+            // linearly (same comparison, so the result and its tie-breaking
+            // are unchanged).
+            for (i, o) in self.obstacles.iter().enumerate() {
+                let d = o.bounds.distance_to_point(p);
+                let better = match best {
+                    None => true,
+                    Some((bd, bi)) => d < bd || (d == bd && (i as u32) < bi),
+                };
+                if better {
+                    best = Some((d, i as u32));
+                }
+            }
         }
         best
     }
@@ -754,6 +714,49 @@ mod tests {
         assert_eq!(sub.obstacles()[0].id, 0);
         let all = f.subfield_within(Vec3::new(15.0, 2.0, 2.0), 100.0);
         assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn serde_skip_round_trip_answers_identically() {
+        // What a serde round trip produces with `#[serde(skip)]` on the
+        // grid: the data fields restored, the skipped cache at its
+        // `Default`. Before the rebuild the grid is empty (queries would
+        // miss); after `rebuild_spatial_caches` every query family answers
+        // exactly like the original field.
+        let original = two_box_field();
+        let mut restored = ObstacleField {
+            obstacles: original.obstacles.clone(),
+            grid: BroadPhase::default(),
+        };
+        assert!(
+            !restored.is_occupied(Vec3::new(10.0, 0.0, 2.0)),
+            "an unrebuilt grid must be observably stale, or the test is vacuous"
+        );
+        restored.rebuild_spatial_caches();
+        let probes = [
+            Vec3::new(10.0, 0.0, 2.0),
+            Vec3::new(13.0, 0.0, 2.0),
+            Vec3::new(19.0, 5.0, 2.0),
+            Vec3::new(-30.0, 7.0, 1.0),
+        ];
+        for p in probes {
+            assert_eq!(restored.is_occupied(p), original.is_occupied(p));
+            assert_eq!(
+                restored.is_occupied_with_margin(p, 0.6),
+                original.is_occupied_with_margin(p, 0.6)
+            );
+            assert_eq!(
+                restored.distance_to_nearest(p),
+                original.distance_to_nearest(p)
+            );
+            assert_eq!(
+                restored.nearest_obstacle(p).map(|o| o.id),
+                original.nearest_obstacle(p).map(|o| o.id)
+            );
+            let ray = Ray::new(p, Vec3::new(1.0, 0.2, 0.0));
+            assert_eq!(restored.raycast(&ray, 80.0), original.raycast(&ray, 80.0));
+        }
+        assert_eq!(restored.broad_phase_cell(), original.broad_phase_cell());
     }
 
     #[test]

@@ -183,3 +183,36 @@ proptest! {
         prop_assert!(counts[0] + counts[2] > counts[1]);
     }
 }
+
+/// The obstacle-field queries swept over the shared adversarial box
+/// scenarios (empty world, one box, dense lattice, clusters, boxes whose
+/// faces land exactly on broad-phase cell planes).
+#[test]
+fn adversarial_box_scenarios_match_linear_references() {
+    for (name, boxes) in roborun_conformance::adversarial_box_sets(17, 8.0) {
+        let field: ObstacleField = boxes
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Obstacle::new(i as u32, *b))
+            .collect();
+        for q in roborun_conformance::boundary_probes(17, field.broad_phase_cell()) {
+            assert_eq!(
+                field.distance_to_nearest(q),
+                field.distance_to_nearest_linear(q),
+                "distance diverged on {name} at {q}"
+            );
+            assert_eq!(
+                field.nearest_obstacle(q).map(|o| o.id),
+                field.nearest_obstacle_linear(q).map(|o| o.id),
+                "nearest diverged on {name} at {q}"
+            );
+            for margin in [0.0, 0.45, 2.0] {
+                assert_eq!(
+                    field.is_occupied_with_margin(q, margin),
+                    field.is_occupied_with_margin_linear(q, margin),
+                    "margin occupancy diverged on {name} at {q} m={margin}"
+                );
+            }
+        }
+    }
+}

@@ -1,15 +1,199 @@
-//! Spatial acceleration structures: a uniform-grid point index and a
-//! DDA voxel ray walker.
+//! Spatial acceleration structures: a uniform-grid point index, the shared
+//! expanding-ring search driver and a DDA voxel ray walker.
 //!
 //! These are the broad-phase primitives behind the workspace's hot
 //! kernels: RRT* nearest/near queries ([`PointGridIndex`]), the obstacle
-//! field's ray casts and the sensor simulation ([`GridRayWalk`]). Both are
+//! field's ray casts and the sensor simulation ([`GridRayWalk`]), and every
+//! nearest-obstacle query in the workspace ([`RingSearch`]). All are
 //! exact accelerators — every query is specified to return the same result
 //! as the corresponding linear scan, which the equivalence proptests in
 //! each consumer crate enforce.
+//!
+//! # The `RingSearch` contract
+//!
+//! [`RingSearch`] is the single driver behind the four nearest-something
+//! queries that used to hand-roll the same loop
+//! (`PointGridIndex::nearest`, `ObstacleField::nearest_indexed`,
+//! `PlannerMap::distance_to_nearest`,
+//! `OccupancyMap::nearest_occupied_distance`). It enumerates the Chebyshev
+//! shells around the query's cell, from the first ring that can touch the
+//! occupied key bounds outward, and stops as soon as no further ring can
+//! improve the caller's current best. Callers provide a single
+//! `visit_cell` closure that inspects one candidate cell and returns the
+//! updated **squared** distance bound.
+//!
+//! Two invariants make the search exact:
+//!
+//! * **Pruning invariant** — the bound returned by `visit_cell` (and the
+//!   `initial_bound_squared` seed) must never be smaller than the squared
+//!   distance of an answer the caller would still accept. The driver skips
+//!   a cell only when its exact lower bound
+//!   ([`cell_min_distance_squared`]) *strictly* exceeds the bound, and
+//!   stops only when a whole ring strictly exceeds it, so bound-equal
+//!   candidates (ties) are always visited and the caller's tie-breaking
+//!   matches a linear first-wins scan.
+//! * **Fallback budget** — a caller whose linear reference is cheap can
+//!   configure [`RingSearch::with_fallback_budget`]: once the driver has
+//!   enumerated more cells than the budget, it stops and reports
+//!   [`RingSearchOutcome::BudgetExhausted`], and the *caller* finishes the
+//!   query with its retained linear scan (the pluggable fallback policy).
+//!   Because the linear reference is exact by definition, the fallback
+//!   never changes the result, only the cost curve.
 
 use crate::fxhash::FxHashMap;
 use crate::{Ray, Vec3, VoxelKey};
+
+/// How a [`RingSearch::run`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingSearchOutcome {
+    /// Every ring that could improve the bound was enumerated; the caller's
+    /// accumulated best is the final answer.
+    Complete,
+    /// The configured fallback budget was exhausted before the rings
+    /// converged; the caller must finish the query with its linear
+    /// reference scan.
+    BudgetExhausted,
+}
+
+/// The shared expanding-ring nearest-search driver (see the module docs for
+/// the exactness contract).
+///
+/// A `RingSearch` is configured with the grid geometry (cell size and the
+/// occupied key bounds) plus two optional policies: a hard cap on the ring
+/// radius (for radius-limited queries) and a cell-visit budget past which
+/// the search abandons the rings in favour of the caller's linear fallback.
+///
+/// # Example
+///
+/// ```
+/// use roborun_geom::index::{RingSearch, RingSearchOutcome};
+/// use roborun_geom::{Vec3, VoxelKey};
+///
+/// // One occupied cell at the origin of a 1 m grid.
+/// let occupied = VoxelKey { x: 0, y: 0, z: 0 };
+/// let search = RingSearch::new(1.0, occupied, occupied);
+/// let mut best: Option<f64> = None;
+/// let outcome = search.run(Vec3::new(3.2, 0.1, 0.3), None, |key| {
+///     if key == occupied {
+///         best = Some(2.7); // pretend distance to the cell's content
+///     }
+///     best.map(|d| d * d)
+/// });
+/// assert_eq!(outcome, RingSearchOutcome::Complete);
+/// assert_eq!(best, Some(2.7));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RingSearch {
+    cell: f64,
+    key_min: VoxelKey,
+    key_max: VoxelKey,
+    max_ring_cap: Option<i64>,
+    fallback_budget: Option<usize>,
+}
+
+impl RingSearch {
+    /// Creates a driver over a grid of `cell`-sized voxels whose occupied
+    /// keys all lie inside `[key_min, key_max]` (componentwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell <= 0` or is not finite.
+    pub fn new(cell: f64, key_min: VoxelKey, key_max: VoxelKey) -> Self {
+        assert!(
+            cell > 0.0 && cell.is_finite(),
+            "cell size must be positive and finite, got {cell}"
+        );
+        RingSearch {
+            cell,
+            key_min,
+            key_max,
+            max_ring_cap: None,
+            fallback_budget: None,
+        }
+    }
+
+    /// Limits the search to rings of Chebyshev radius `<= cap` — used by
+    /// radius-limited queries whose answer beyond the cap is "none".
+    pub fn cap_max_ring(mut self, cap: i64) -> Self {
+        self.max_ring_cap = Some(cap);
+        self
+    }
+
+    /// Stops the ring search once more than `cells` candidate cells have
+    /// been enumerated and reports [`RingSearchOutcome::BudgetExhausted`]
+    /// instead, letting the caller finish with its linear reference. The
+    /// budget is checked between rings, exactly like the hand-rolled loops
+    /// this driver replaced.
+    pub fn with_fallback_budget(mut self, cells: usize) -> Self {
+        self.fallback_budget = Some(cells);
+        self
+    }
+
+    /// Runs the search around `query`.
+    ///
+    /// `visit_cell` is called for every candidate cell that passes the
+    /// lower-bound prune (innermost rings first) and returns the updated
+    /// squared distance bound — `None` while no acceptable candidate has
+    /// been found. `initial_bound_squared` seeds the bound for queries that
+    /// start with a cutoff (e.g. a maximum radius).
+    pub fn run(
+        &self,
+        query: Vec3,
+        initial_bound_squared: Option<f64>,
+        mut visit_cell: impl FnMut(VoxelKey) -> Option<f64>,
+    ) -> RingSearchOutcome {
+        let center = VoxelKey::from_point(query, self.cell);
+        // Rings closer than the occupied key bounds are empty — skip them;
+        // rings beyond the bounds cannot hold an occupied cell — stop there.
+        let start_ring = {
+            let dx = (self.key_min.x - center.x).max(center.x - self.key_max.x);
+            let dy = (self.key_min.y - center.y).max(center.y - self.key_max.y);
+            let dz = (self.key_min.z - center.z).max(center.z - self.key_max.z);
+            dx.max(dy).max(dz).max(0)
+        };
+        let mut max_ring = {
+            let dx = (center.x - self.key_min.x).max(self.key_max.x - center.x);
+            let dy = (center.y - self.key_min.y).max(self.key_max.y - center.y);
+            let dz = (center.z - self.key_min.z).max(self.key_max.z - center.z);
+            dx.max(dy).max(dz).max(0)
+        };
+        if let Some(cap) = self.max_ring_cap {
+            max_ring = max_ring.min(cap);
+        }
+        let mut bound = initial_bound_squared;
+        let mut visited = 0usize;
+        for ring in start_ring..=max_ring {
+            if let Some(b2) = bound {
+                // Every cell in this ring is at least (ring-1) cells away
+                // from the query point, so once that lower bound exceeds
+                // the best distance no further ring can improve it.
+                let ring_min = (ring as f64 - 1.0).max(0.0) * self.cell;
+                if ring_min * ring_min > b2 {
+                    break;
+                }
+            }
+            if let Some(budget) = self.fallback_budget {
+                if visited > budget {
+                    return RingSearchOutcome::BudgetExhausted;
+                }
+            }
+            for_each_shell_key_in(center, ring, self.key_min, self.key_max, |key| {
+                visited += 1;
+                // Exact lower bound on the distance from `query` to any
+                // content of this cell; skip the cell when it cannot beat
+                // the current bound (ties keep the cell, preserving the
+                // caller's tie-breaking).
+                if let Some(b2) = bound {
+                    if cell_min_distance_squared(key, self.cell, query) > b2 {
+                        return;
+                    }
+                }
+                bound = visit_cell(key);
+            });
+        }
+        RingSearchOutcome::Complete
+    }
+}
 
 /// A uniform-grid index over an incrementally grown set of points.
 ///
@@ -97,16 +281,8 @@ impl PointGridIndex {
             self.key_min = key;
             self.key_max = key;
         } else {
-            self.key_min = VoxelKey {
-                x: self.key_min.x.min(key.x),
-                y: self.key_min.y.min(key.y),
-                z: self.key_min.z.min(key.z),
-            };
-            self.key_max = VoxelKey {
-                x: self.key_max.x.max(key.x),
-                y: self.key_max.y.max(key.y),
-                z: self.key_max.z.max(key.z),
-            };
+            self.key_min = self.key_min.componentwise_min(key);
+            self.key_max = self.key_max.componentwise_max(key);
         }
         self.points.push(p);
         self.cells.entry(key).or_default().push(id);
@@ -120,33 +296,9 @@ impl PointGridIndex {
         if self.points.is_empty() {
             return None;
         }
-        let center = VoxelKey::from_point(target, self.cell);
-        let max_ring = self.max_ring(center);
-        // Rings closer than the occupied key bounds are empty — skip them.
-        let start_ring = self.start_ring(center);
         let mut best: Option<(f64, u32)> = None;
-        for ring in start_ring..=max_ring {
-            if let Some((best_d2, _)) = best {
-                // Every cell in this ring is at least (ring-1) cells away
-                // from the query point, so once that lower bound exceeds the
-                // best distance no further ring can improve it.
-                let ring_min = (ring as f64 - 1.0).max(0.0) * self.cell;
-                if ring_min * ring_min > best_d2 {
-                    break;
-                }
-            }
-            for_each_shell_key_in(center, ring, self.key_min, self.key_max, |key| {
-                // Exact lower bound on the distance from `target` to any
-                // point in this cell; skip the cell when it cannot beat the
-                // current best (ties keep the cell, preserving tie-breaks).
-                if let Some((bd2, _)) = best {
-                    if cell_min_distance_squared(key, self.cell, target) > bd2 {
-                        return;
-                    }
-                }
-                let Some(ids) = self.cells.get(&key) else {
-                    return;
-                };
+        RingSearch::new(self.cell, self.key_min, self.key_max).run(target, None, |key| {
+            if let Some(ids) = self.cells.get(&key) {
                 for &id in ids {
                     let d2 = self.points[id as usize].distance_squared(target);
                     let better = match best {
@@ -157,8 +309,9 @@ impl PointGridIndex {
                         best = Some((d2, id));
                     }
                 }
-            });
-        }
+            }
+            best.map(|(d2, _)| d2)
+        });
         best.map(|(_, id)| id)
     }
 
@@ -169,18 +322,10 @@ impl PointGridIndex {
         if self.points.is_empty() || radius < 0.0 {
             return out;
         }
-        let lo = VoxelKey::from_point(p - Vec3::splat(radius), self.cell);
-        let hi = VoxelKey::from_point(p + Vec3::splat(radius), self.cell);
-        let lo = VoxelKey {
-            x: lo.x.max(self.key_min.x),
-            y: lo.y.max(self.key_min.y),
-            z: lo.z.max(self.key_min.z),
-        };
-        let hi = VoxelKey {
-            x: hi.x.min(self.key_max.x),
-            y: hi.y.min(self.key_max.y),
-            z: hi.z.min(self.key_max.z),
-        };
+        let lo = VoxelKey::from_point(p - Vec3::splat(radius), self.cell)
+            .componentwise_max(self.key_min);
+        let hi = VoxelKey::from_point(p + Vec3::splat(radius), self.cell)
+            .componentwise_min(self.key_max);
         let cube_cells = (hi.x - lo.x + 1).max(0) as u128
             * (hi.y - lo.y + 1).max(0) as u128
             * (hi.z - lo.z + 1).max(0) as u128;
@@ -214,24 +359,6 @@ impl PointGridIndex {
         out.retain(|&id| self.points[id as usize].distance(p) <= radius);
         out.sort_unstable();
         out
-    }
-
-    /// Highest Chebyshev ring around `center` that can contain an occupied
-    /// cell.
-    fn max_ring(&self, center: VoxelKey) -> i64 {
-        let dx = (center.x - self.key_min.x).max(self.key_max.x - center.x);
-        let dy = (center.y - self.key_min.y).max(self.key_max.y - center.y);
-        let dz = (center.z - self.key_min.z).max(self.key_max.z - center.z);
-        dx.max(dy).max(dz).max(0)
-    }
-
-    /// Lowest Chebyshev ring around `center` that can contain an occupied
-    /// cell (0 when `center` lies inside the occupied key bounds).
-    fn start_ring(&self, center: VoxelKey) -> i64 {
-        let dx = (self.key_min.x - center.x).max(center.x - self.key_max.x);
-        let dy = (self.key_min.y - center.y).max(center.y - self.key_max.y);
-        let dz = (self.key_min.z - center.z).max(center.z - self.key_max.z);
-        dx.max(dy).max(dz).max(0)
     }
 }
 
@@ -621,6 +748,90 @@ mod tests {
         }
         // Rings 0..=3 exactly tile the 7x7x7 cube.
         assert_eq!(count, 7 * 7 * 7);
+    }
+
+    #[test]
+    fn ring_search_reports_budget_exhaustion() {
+        // A wide occupied key box with a tiny budget: the driver must give
+        // up between rings instead of enumerating the whole box.
+        let lo = VoxelKey {
+            x: -20,
+            y: -20,
+            z: -20,
+        };
+        let hi = VoxelKey {
+            x: 20,
+            y: 20,
+            z: 20,
+        };
+        let mut visited = 0usize;
+        let outcome =
+            RingSearch::new(1.0, lo, hi)
+                .with_fallback_budget(5)
+                .run(Vec3::ZERO, None, |_| {
+                    visited += 1;
+                    None // never found: forces the search outward
+                });
+        assert_eq!(outcome, RingSearchOutcome::BudgetExhausted);
+        assert!(visited > 5, "budget is checked between rings");
+    }
+
+    #[test]
+    fn ring_search_cap_limits_radius() {
+        let lo = VoxelKey {
+            x: -10,
+            y: -10,
+            z: -10,
+        };
+        let hi = VoxelKey {
+            x: 10,
+            y: 10,
+            z: 10,
+        };
+        let mut max_seen = 0i64;
+        let outcome = RingSearch::new(1.0, lo, hi).cap_max_ring(2).run(
+            Vec3::new(0.5, 0.5, 0.5),
+            Some(1e9),
+            |key| {
+                max_seen = max_seen.max(key.x.abs().max(key.y.abs()).max(key.z.abs()));
+                Some(1e9)
+            },
+        );
+        assert_eq!(outcome, RingSearchOutcome::Complete);
+        assert_eq!(max_seen, 2);
+    }
+
+    #[test]
+    fn ring_search_initial_bound_prunes_far_rings() {
+        // With a 2-cell initial bound, rings past the bound are never
+        // enumerated even though the key box is huge.
+        let lo = VoxelKey {
+            x: -100,
+            y: -100,
+            z: -100,
+        };
+        let hi = VoxelKey {
+            x: 100,
+            y: 100,
+            z: 100,
+        };
+        let mut rings_seen = std::collections::HashSet::new();
+        RingSearch::new(1.0, lo, hi).run(Vec3::new(0.5, 0.5, 0.5), Some(4.0), |key| {
+            rings_seen.insert(key.x.abs().max(key.y.abs()).max(key.z.abs()));
+            Some(4.0)
+        });
+        // The ring loop breaks once (ring-1)² > 4 (ring 4); ring-3 cells
+        // are all at least 2.5 m away, so the cell prune skips every one.
+        assert!(rings_seen.contains(&2));
+        assert!(!rings_seen.contains(&3));
+        assert!(!rings_seen.contains(&4));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn ring_search_rejects_bad_cell() {
+        let k = VoxelKey { x: 0, y: 0, z: 0 };
+        let _ = RingSearch::new(-1.0, k, k);
     }
 
     #[test]

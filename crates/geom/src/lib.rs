@@ -55,7 +55,7 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use grid::{CellIndex, Grid3};
 pub use index::{
     cell_min_distance_squared, for_each_shell_key, for_each_shell_key_in, GridRayWalk,
-    PointGridIndex,
+    PointGridIndex, RingSearch, RingSearchOutcome,
 };
 pub use polynomial::Polynomial;
 pub use pose::Pose;

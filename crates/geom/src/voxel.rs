@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 ///
 /// Keys are obtained by flooring the world coordinate divided by the voxel
 /// size, so all points inside a voxel share one key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct VoxelKey {
     /// Voxel index along X.
     pub x: i64,
@@ -63,6 +65,26 @@ impl VoxelKey {
     /// Manhattan distance between two keys, in voxel units.
     pub fn manhattan_distance(&self, other: &VoxelKey) -> i64 {
         (self.x - other.x).abs() + (self.y - other.y).abs() + (self.z - other.z).abs()
+    }
+
+    /// Componentwise minimum of two keys — the lower-corner fold used by
+    /// every key-bounds tracker in the workspace.
+    pub fn componentwise_min(self, other: VoxelKey) -> VoxelKey {
+        VoxelKey {
+            x: self.x.min(other.x),
+            y: self.y.min(other.y),
+            z: self.z.min(other.z),
+        }
+    }
+
+    /// Componentwise maximum of two keys — the upper-corner fold used by
+    /// every key-bounds tracker in the workspace.
+    pub fn componentwise_max(self, other: VoxelKey) -> VoxelKey {
+        VoxelKey {
+            x: self.x.max(other.x),
+            y: self.y.max(other.y),
+            z: self.z.max(other.z),
+        }
     }
 }
 

@@ -150,3 +150,35 @@ proptest! {
         }
     }
 }
+
+/// The point-grid nearest/radius queries swept over the shared adversarial
+/// scenario family (exact voxel-face points, dense lattices, clusters) at
+/// several cell sizes — shapes uniform random sampling rarely produces.
+#[test]
+fn adversarial_point_scenarios_match_linear_references() {
+    use roborun_geom::index::{nearest_linear, within_radius_linear, PointGridIndex};
+    for cell in [0.5, 1.0, 4.0] {
+        for scenario in roborun_conformance::adversarial_point_sets(5, cell) {
+            let mut index = PointGridIndex::new(cell);
+            for &p in &scenario.points {
+                index.insert(p);
+            }
+            for q in roborun_conformance::boundary_probes(5, cell) {
+                assert_eq!(
+                    index.nearest(q),
+                    nearest_linear(&scenario.points, q),
+                    "nearest diverged on {} cell={cell} q={q}",
+                    scenario.name
+                );
+                for radius in [0.0, cell * 0.5, cell, 13.7] {
+                    assert_eq!(
+                        index.within_radius(q, radius),
+                        within_radius_linear(&scenario.points, q, radius),
+                        "within_radius diverged on {} cell={cell} q={q} r={radius}",
+                        scenario.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -17,7 +17,7 @@ use roborun_core::{
 use roborun_env::{Environment, Zone};
 use roborun_geom::{Aabb, Vec3};
 use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
-use roborun_planning::{PlanError, Planner, PlannerConfig, RrtConfig};
+use roborun_planning::{CollisionChecker, PlanError, Planner, PlannerConfig, RrtConfig};
 use roborun_sim::{
     CameraRig, ComputeLatencyModel, CpuModel, DepthCamera, DroneConfig, DroneState, EnergyModel,
     FaultConfig, FaultInjector, SimClock,
@@ -181,6 +181,10 @@ impl MissionRunner {
         let mut telemetry = MissionTelemetry::new(cfg.mode);
         let mut flown_path = vec![drone.position];
         let mut follower: Option<TrajectoryFollower> = None;
+        // One collision checker lives across the whole mission: each
+        // replan patches its broad-phase from the export delta instead of
+        // rebuilding it from scratch (the margin never changes mid-run).
+        let mut collision: Option<CollisionChecker> = None;
         let mut energy_joules = 0.0;
         let mut collided = false;
         let mut reached_goal = false;
@@ -274,6 +278,7 @@ impl MissionRunner {
             if need_plan {
                 let local_goal = self.local_goal(env, &export, drone.position);
                 let bounds = planning_bounds(drone.position, local_goal, env.bounds());
+                let check_step = knobs.map_to_planner_precision.max(0.3);
                 let planner = Planner::new(PlannerConfig {
                     rrt: RrtConfig {
                         seed: planner_seed_base.wrapping_add(decisions as u64),
@@ -282,11 +287,25 @@ impl MissionRunner {
                         ..RrtConfig::default()
                     },
                     margin: planning_margin,
-                    collision_check_step: knobs.map_to_planner_precision.max(0.3),
+                    collision_check_step: check_step,
                     ..PlannerConfig::default()
                 });
-                let mut outcome = planner.plan(
-                    &export,
+                match collision.as_mut() {
+                    Some(checker) => {
+                        checker.update_map(export.clone());
+                        checker.set_check_step(check_step);
+                    }
+                    None => {
+                        collision = Some(CollisionChecker::new(
+                            export.clone(),
+                            planning_margin,
+                            check_step,
+                        ));
+                    }
+                }
+                let checker = collision.as_mut().expect("checker just initialised");
+                let mut outcome = planner.plan_with_checker(
+                    checker,
                     drone.position,
                     local_goal,
                     &bounds,

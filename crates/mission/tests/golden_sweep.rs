@@ -1,0 +1,130 @@
+//! Golden-scenario regression lock: a small deterministic sweep whose
+//! metrics rows must stay **bit-identical** to a checked-in fixture.
+//!
+//! The equivalence proptests guarantee each accelerated kernel matches its
+//! retained reference; this test guards the other direction — an
+//! *intentional-looking* change (a new index, a reordered reduction, a
+//! "harmless" float refactor) that silently shifts mission outcomes. Every
+//! `f64` is serialized via its raw bit pattern, so even a 1-ulp drift
+//! fails the comparison.
+//!
+//! To regenerate after a *deliberate* behaviour change, run
+//!
+//! ```text
+//! ROBORUN_UPDATE_GOLDEN=1 cargo test -p roborun-mission --test golden_sweep
+//! ```
+//!
+//! and commit the updated fixture together with an explanation of why the
+//! mission outcomes were expected to move.
+
+use roborun_core::RuntimeMode;
+use roborun_env::DifficultyConfig;
+use roborun_mission::sweep::run_sweep;
+use roborun_mission::{MissionConfig, MissionMetrics, SweepConfig};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_sweep.txt"
+);
+
+/// Three short environments spanning the density/spread grid, fixed seed.
+fn golden_config() -> SweepConfig {
+    let difficulties = vec![
+        DifficultyConfig {
+            obstacle_density: 0.3,
+            obstacle_spread: 40.0,
+            goal_distance: 120.0,
+        },
+        DifficultyConfig {
+            obstacle_density: 0.6,
+            obstacle_spread: 40.0,
+            goal_distance: 120.0,
+        },
+        DifficultyConfig {
+            obstacle_density: 0.45,
+            obstacle_spread: 80.0,
+            goal_distance: 120.0,
+        },
+    ];
+    let mut aware = MissionConfig::new(RuntimeMode::SpatialAware);
+    aware.max_decisions = 600;
+    aware.max_mission_time = 1_500.0;
+    let mut oblivious = MissionConfig::new(RuntimeMode::SpatialOblivious);
+    oblivious.max_decisions = 1_500;
+    oblivious.max_mission_time = 3_000.0;
+    SweepConfig {
+        difficulties,
+        seed: 41,
+        aware,
+        oblivious,
+        threads: None,
+    }
+}
+
+fn push_f64(out: &mut String, label: &str, v: f64) {
+    out.push_str(&format!(" {label}={:016x}", v.to_bits()));
+}
+
+fn render_metrics(out: &mut String, label: &str, m: &MissionMetrics) {
+    out.push_str(&format!("{label} mode={:?}", m.mode));
+    push_f64(out, "mission_time", m.mission_time);
+    push_f64(out, "energy_kj", m.energy_kj);
+    push_f64(out, "mean_velocity", m.mean_velocity);
+    push_f64(out, "mean_cpu", m.mean_cpu_utilization);
+    push_f64(out, "median_latency", m.median_latency);
+    out.push_str(&format!(" decisions={}", m.decisions));
+    push_f64(out, "distance", m.distance_travelled);
+    out.push_str(&format!(
+        " reached_goal={} collided={}\n",
+        m.reached_goal, m.collided
+    ));
+}
+
+fn render_rows() -> String {
+    let results = run_sweep(&golden_config());
+    let mut out = String::new();
+    out.push_str("# Golden sweep fixture: 3 environments, seed 41, 120 m missions.\n");
+    out.push_str("# Regenerate with ROBORUN_UPDATE_GOLDEN=1 (see tests/golden_sweep.rs).\n");
+    for (i, row) in results.rows().iter().enumerate() {
+        out.push_str(&format!(
+            "row {i} density={:016x} spread={:016x} goal={:016x}\n",
+            row.difficulty.obstacle_density.to_bits(),
+            row.difficulty.obstacle_spread.to_bits(),
+            row.difficulty.goal_distance.to_bits(),
+        ));
+        render_metrics(&mut out, "  oblivious", &row.oblivious);
+        render_metrics(&mut out, "  aware", &row.aware);
+    }
+    out
+}
+
+#[test]
+fn golden_sweep_rows_are_bit_identical_to_fixture() {
+    let rendered = render_rows();
+    if std::env::var_os("ROBORUN_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().unwrap()).unwrap();
+        std::fs::write(FIXTURE, &rendered).unwrap();
+        eprintln!("golden fixture rewritten: {FIXTURE}");
+        return;
+    }
+    let expected = std::fs::read_to_string(FIXTURE).unwrap_or_else(|e| {
+        panic!("missing golden fixture {FIXTURE} ({e}); regenerate with ROBORUN_UPDATE_GOLDEN=1")
+    });
+    if rendered != expected {
+        // A line-level diff reads far better than two multi-kB strings.
+        for (i, (got, want)) in rendered.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(
+                got,
+                want,
+                "golden sweep diverged at fixture line {} — if this change \
+                 was intentional, regenerate with ROBORUN_UPDATE_GOLDEN=1",
+                i + 1
+            );
+        }
+        panic!(
+            "golden sweep line count changed: got {}, fixture {}",
+            rendered.lines().count(),
+            expected.lines().count()
+        );
+    }
+}

@@ -13,8 +13,7 @@
 
 use crate::OccupancyMap;
 use roborun_geom::{
-    cell_min_distance_squared, for_each_shell_key_in, snap_to_lattice, Aabb, FxHashSet, Vec3,
-    VoxelKey,
+    snap_to_lattice, Aabb, FxHashSet, RingSearch, RingSearchOutcome, Vec3, VoxelKey,
 };
 use serde::{Deserialize, Serialize};
 
@@ -145,16 +144,8 @@ impl PlannerMap {
                 key_min = *key;
                 key_max = *key;
             } else {
-                key_min = VoxelKey {
-                    x: key_min.x.min(key.x),
-                    y: key_min.y.min(key.y),
-                    z: key_min.z.min(key.z),
-                };
-                key_max = VoxelKey {
-                    x: key_max.x.max(key.x),
-                    y: key_max.y.max(key.y),
-                    z: key_max.z.max(key.z),
-                };
+                key_min = key_min.componentwise_min(*key);
+                key_max = key_max.componentwise_max(*key);
             }
         }
         PlannerMap {
@@ -240,37 +231,10 @@ impl PlannerMap {
         if self.keys.is_empty() {
             return None;
         }
-        let center = VoxelKey::from_point(p, self.voxel_size);
-        let dx = (center.x - self.key_min.x).max(self.key_max.x - center.x);
-        let dy = (center.y - self.key_min.y).max(self.key_max.y - center.y);
-        let dz = (center.z - self.key_min.z).max(self.key_max.z - center.z);
-        let max_ring = dx.max(dy).max(dz).max(0);
-        // Rings closer than the occupied key bounds are empty — skip them.
-        let sx = (self.key_min.x - center.x).max(center.x - self.key_max.x);
-        let sy = (self.key_min.y - center.y).max(center.y - self.key_max.y);
-        let sz = (self.key_min.z - center.z).max(center.z - self.key_max.z);
-        let start_ring = sx.max(sy).max(sz).max(0);
         let mut best: Option<f64> = None;
-        let mut visited = 0usize;
-        for ring in start_ring..=max_ring {
-            if let Some(bd) = best {
-                let ring_min = (ring as f64 - 1.0).max(0.0) * self.voxel_size;
-                if ring_min > bd {
-                    break;
-                }
-            }
-            if visited > 2 * self.keys.len() {
-                return self.distance_to_nearest_linear(p);
-            }
-            for_each_shell_key_in(center, ring, self.key_min, self.key_max, |key| {
-                visited += 1;
-                // Cell-level lower bound: skip cells that cannot beat the
-                // current best distance.
-                if let Some(bd) = best {
-                    if cell_min_distance_squared(key, self.voxel_size, p) > bd * bd {
-                        return;
-                    }
-                }
+        let outcome = RingSearch::new(self.voxel_size, self.key_min, self.key_max)
+            .with_fallback_budget(2 * self.keys.len())
+            .run(p, None, |key| {
                 if self.keys.contains(&key) {
                     let b = Aabb::from_center_half_extents(
                         key.center(self.voxel_size),
@@ -281,9 +245,66 @@ impl PlannerMap {
                         best = Some(d);
                     }
                 }
+                best.map(|d| d * d)
             });
+        if outcome == RingSearchOutcome::BudgetExhausted {
+            return self.distance_to_nearest_linear(p);
         }
         best
+    }
+
+    /// The occupied voxel keys of the export, in no particular order.
+    ///
+    /// Every exported box is exactly one voxel at [`PlannerMap::voxel_size`]
+    /// resolution, so the key set identifies the boxes: consumers that keep
+    /// derived per-box state (the collision checker's broad-phase) address
+    /// it by key and patch it from a [`PlannerMapDelta`].
+    pub fn occupied_keys(&self) -> impl Iterator<Item = VoxelKey> + '_ {
+        self.keys.iter().copied()
+    }
+
+    /// `true` when `key` is one of the exported occupied voxels.
+    pub fn contains_key(&self, key: VoxelKey) -> bool {
+        self.keys.contains(&key)
+    }
+
+    /// The axis-aligned box of one exported voxel key.
+    pub fn key_box(&self, key: VoxelKey) -> Aabb {
+        Aabb::from_center_half_extents(
+            key.center(self.voxel_size),
+            Vec3::splat(self.voxel_size * 0.5),
+        )
+    }
+
+    /// The key-level difference `self − previous`, or `None` when the two
+    /// exports use different voxel sizes (a precision-knob change re-keys
+    /// the whole map, so consumers must rebuild rather than patch).
+    ///
+    /// Successive exports along a mission share most of their voxels — the
+    /// MAV only uncovers (and forgets) map content near the frontier — so
+    /// the delta is usually a handful of keys even when the export holds
+    /// thousands of boxes.
+    pub fn delta_from(&self, previous: &PlannerMap) -> Option<PlannerMapDelta> {
+        if self.voxel_size != previous.voxel_size {
+            return None;
+        }
+        let added = self
+            .keys
+            .iter()
+            .filter(|k| !previous.keys.contains(k))
+            .copied()
+            .collect();
+        let removed = previous
+            .keys
+            .iter()
+            .filter(|k| !self.keys.contains(k))
+            .copied()
+            .collect();
+        Some(PlannerMapDelta {
+            voxel_size: self.voxel_size,
+            added,
+            removed,
+        })
     }
 
     /// Linear-scan reference for [`PlannerMap::distance_to_nearest`] —
@@ -300,6 +321,42 @@ impl PlannerMap {
         let mut iter = self.boxes.iter();
         let first = *iter.next()?;
         Some(iter.fold(first, |acc, b| Aabb::union(&acc, b)))
+    }
+}
+
+/// The key-level difference between two [`PlannerMap`] exports at the same
+/// voxel size (see [`PlannerMap::delta_from`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerMapDelta {
+    voxel_size: f64,
+    added: Vec<VoxelKey>,
+    removed: Vec<VoxelKey>,
+}
+
+impl PlannerMapDelta {
+    /// Voxel size both exports share (metres).
+    pub fn voxel_size(&self) -> f64 {
+        self.voxel_size
+    }
+
+    /// Keys present in the new export but not the previous one.
+    pub fn added(&self) -> &[VoxelKey] {
+        &self.added
+    }
+
+    /// Keys present in the previous export but not the new one.
+    pub fn removed(&self) -> &[VoxelKey] {
+        &self.removed
+    }
+
+    /// `true` when the two exports held identical key sets.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Number of changed keys (added + removed).
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
     }
 }
 

@@ -27,6 +27,6 @@ pub mod export;
 pub mod occupancy;
 pub mod point_cloud;
 
-pub use export::{ExportConfig, PlannerMap};
+pub use export::{ExportConfig, PlannerMap, PlannerMapDelta};
 pub use occupancy::{MapStats, OccupancyMap, VoxelState};
 pub use point_cloud::PointCloud;

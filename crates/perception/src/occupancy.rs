@@ -12,10 +12,17 @@
 
 use crate::PointCloud;
 use roborun_geom::{
-    cell_min_distance_squared, for_each_shell_key_in, Aabb, FxHashMap, FxHashSet, Ray, Vec3,
-    VoxelKey,
+    Aabb, FxHashMap, FxHashSet, Ray, RingSearch, RingSearchOutcome, Vec3, VoxelKey,
 };
 use serde::{Deserialize, Serialize};
+
+/// `true` when two voxel keys are equal or differ by one grid step along
+/// exactly one axis — the only transitions between consecutive run heads
+/// for which the batched carve's two-key argument holds (see
+/// [`OccupancyMap::carve_free_batched`]).
+fn unit_step_apart(a: VoxelKey, b: VoxelKey) -> bool {
+    a.manhattan_distance(&b) <= 1
+}
 
 /// State of a known voxel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,16 +62,22 @@ pub struct MapStats {
 /// assert!(map.is_occupied(Vec3::new(3.0, 0.0, 0.0)));
 /// assert!(!map.is_occupied(Vec3::new(1.0, 0.0, 0.0))); // carved free
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OccupancyMap {
     resolution: f64,
     voxels: FxHashMap<VoxelKey, VoxelState>,
     /// The occupied subset of `voxels`' keys, kept in sync so nearest-
     /// obstacle searches never iterate the (far more numerous) free voxels.
+    /// Derivable from `voxels`, so excluded from serialized forms and
+    /// rebuilt on load (see [`OccupancyMap::rebuild_spatial_caches`]).
+    #[serde(skip)]
     occupied: FxHashSet<VoxelKey>,
     /// Key-space bounds of `occupied` (valid when non-empty); they let the
     /// ring search skip shells that cannot contain an occupied voxel.
+    /// Derivable like `occupied` and skipped with it.
+    #[serde(skip)]
     occupied_min: VoxelKey,
+    #[serde(skip)]
     occupied_max: VoxelKey,
 }
 
@@ -94,16 +107,8 @@ impl OccupancyMap {
             self.occupied_min = key;
             self.occupied_max = key;
         } else {
-            self.occupied_min = VoxelKey {
-                x: self.occupied_min.x.min(key.x),
-                y: self.occupied_min.y.min(key.y),
-                z: self.occupied_min.z.min(key.z),
-            };
-            self.occupied_max = VoxelKey {
-                x: self.occupied_max.x.max(key.x),
-                y: self.occupied_max.y.max(key.y),
-                z: self.occupied_max.z.max(key.z),
-            };
+            self.occupied_min = self.occupied_min.componentwise_min(key);
+            self.occupied_max = self.occupied_max.componentwise_max(key);
         }
     }
 
@@ -137,24 +142,22 @@ impl OccupancyMap {
     pub fn integrate_cloud(&mut self, cloud: &PointCloud, raytrace_step: f64) -> usize {
         assert!(raytrace_step > 0.0, "raytrace step must be positive");
         let origin = cloud.origin();
+        // Batching pays off when several samples share a voxel — measured,
+        // the crossover sits above two samples per voxel; below that the
+        // per-sample loop is already optimal, so use it directly.
+        let batch = raytrace_step * 2.0 < self.resolution;
         let mut updates = 0usize;
         for &point in cloud.points() {
             let distance = origin.distance(point);
             if distance > 1e-9 {
                 let ray = Ray::new(origin, point - origin);
                 // Carve free space up to (but not including) the hit voxel.
-                let mut t = 0.0;
-                while t < distance - self.resolution {
-                    let key = VoxelKey::from_point(ray.at(t), self.resolution);
-                    // Never downgrade an occupied voxel to free: occupied
-                    // observations win, as in OctoMap's clamping policy.
-                    let entry = self.voxels.entry(key).or_insert(VoxelState::Free);
-                    if *entry != VoxelState::Occupied {
-                        *entry = VoxelState::Free;
-                    }
-                    updates += 1;
-                    t += raytrace_step;
-                }
+                let limit = distance - self.resolution;
+                updates += if batch {
+                    self.carve_free_batched(&ray, limit, raytrace_step)
+                } else {
+                    self.carve_free_per_sample(&ray, limit, raytrace_step)
+                };
             }
             let key = VoxelKey::from_point(point, self.resolution);
             self.voxels.insert(key, VoxelState::Occupied);
@@ -163,6 +166,172 @@ impl OccupancyMap {
             updates += 1;
         }
         updates
+    }
+
+    /// Reference implementation of [`OccupancyMap::integrate_cloud`]: every
+    /// ray sample is keyed and hashed independently
+    /// ([`OccupancyMap::carve_free_per_sample`], unconditionally). Retained
+    /// for the exact-equivalence proptests and the kernel-scaling benches;
+    /// the production path batches samples per traversed voxel when the
+    /// step is finer than a voxel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raytrace_step <= 0`.
+    pub fn integrate_cloud_reference(&mut self, cloud: &PointCloud, raytrace_step: f64) -> usize {
+        assert!(raytrace_step > 0.0, "raytrace step must be positive");
+        let origin = cloud.origin();
+        let mut updates = 0usize;
+        for &point in cloud.points() {
+            let distance = origin.distance(point);
+            if distance > 1e-9 {
+                let ray = Ray::new(origin, point - origin);
+                updates +=
+                    self.carve_free_per_sample(&ray, distance - self.resolution, raytrace_step);
+            }
+            let key = VoxelKey::from_point(point, self.resolution);
+            self.voxels.insert(key, VoxelState::Occupied);
+            self.grow_occupied_bounds(key);
+            self.occupied.insert(key);
+            updates += 1;
+        }
+        updates
+    }
+
+    /// Marks one voxel as observed free. Never downgrades an occupied
+    /// voxel: occupied observations win, as in OctoMap's clamping policy.
+    #[inline]
+    fn mark_free(&mut self, key: VoxelKey) {
+        self.voxels.entry(key).or_insert(VoxelState::Free);
+    }
+
+    /// The per-sample free-space carve: every sample `t = 0, step, 2·step,
+    /// … < limit` is keyed and marked independently. This *is* the
+    /// reference semantics; [`OccupancyMap::carve_free_batched`] must
+    /// reproduce it bit for bit.
+    fn carve_free_per_sample(&mut self, ray: &Ray, limit: f64, step: f64) -> usize {
+        let mut updates = 0usize;
+        let mut t = 0.0;
+        while t < limit {
+            let key = VoxelKey::from_point(ray.at(t), self.resolution);
+            self.mark_free(key);
+            updates += 1;
+            t += step;
+        }
+        updates
+    }
+
+    /// The batched free-space carve: samples sharing a voxel are grouped
+    /// into runs and each run costs one keying and one hash operation
+    /// instead of one per sample. Exactly equivalent to
+    /// [`OccupancyMap::carve_free_per_sample`]; returns the same sample
+    /// count.
+    ///
+    /// Voxel boundaries are proposed by the same Amanatides–Woo crossing
+    /// recurrence as [`roborun_geom::GridRayWalk`], inlined because only
+    /// the crossing parameters are needed here. Correctness does not rest
+    /// on the proposal; it rests on per-axis monotonicity: each component
+    /// of `VoxelKey::from_point(ray.at(t), res)` is a monotone function of
+    /// `t` even in floating point (products, sums, divisions and floors
+    /// are all monotone), so every sample between two samples with equal
+    /// keys shares that key, and every sample between two samples whose
+    /// keys differ by one grid step along one axis holds one of those two
+    /// keys. Each run is therefore marked from its first sample's key
+    /// alone and validated against the *next* run's first key; the rare
+    /// runs that fail validation (a boundary crossed twice within one
+    /// proposed cell, or a corner-diagonal crossing) are replayed sample
+    /// by sample.
+    fn carve_free_batched(&mut self, ray: &Ray, limit: f64, step: f64) -> usize {
+        let mut t = 0.0;
+        if t >= limit {
+            return 0;
+        }
+        // Amanatides–Woo crossing state: t_next[axis] is the parameter of
+        // the next grid-plane crossing along that axis, t_delta[axis] the
+        // spacing between crossings.
+        let res = self.resolution;
+        let origin_key = VoxelKey::from_point(ray.origin, res);
+        let origin_cell = [origin_key.x, origin_key.y, origin_key.z];
+        let mut t_next = [f64::INFINITY; 3];
+        let mut t_delta = [f64::INFINITY; 3];
+        for axis in 0..3 {
+            let d = ray.direction[axis];
+            if d.abs() < 1e-12 {
+                continue;
+            }
+            let boundary_cell = origin_cell[axis] + i64::from(d > 0.0);
+            t_next[axis] = (boundary_cell as f64 * res - ray.origin[axis]) / d;
+            t_delta[axis] = res / d.abs();
+        }
+        let mut updates = 0usize;
+        // The previous run, pending validation against this run's first
+        // key: (first sample parameter, sample count, first sample's key).
+        let mut prev: Option<(f64, usize, VoxelKey)> = None;
+        while t < limit {
+            // Proposed exit of the voxel containing `t`: advance every
+            // crossing at or before `t`, then take the nearest remaining.
+            // (t_delta >= res > 0, so this terminates.)
+            while t_next[0] <= t {
+                t_next[0] += t_delta[0];
+            }
+            while t_next[1] <= t {
+                t_next[1] += t_delta[1];
+            }
+            while t_next[2] <= t {
+                t_next[2] += t_delta[2];
+            }
+            let exit = t_next[0].min(t_next[1]).min(t_next[2]);
+            let run_start = t;
+            let first_key = VoxelKey::from_point(ray.at(run_start), res);
+            self.mark_free(first_key);
+            let stop = if exit < limit { exit } else { limit };
+            let mut count = 1usize;
+            t += step;
+            while t < stop {
+                count += 1;
+                t += step;
+            }
+            updates += count;
+            if let Some((p_start, p_count, p_key)) = prev {
+                if !unit_step_apart(p_key, first_key) {
+                    self.replay_run(ray, p_start, p_count, step);
+                }
+            }
+            prev = Some((run_start, count, first_key));
+        }
+        // The final run has no successor: validate it against its own last
+        // sample (equal keys ⟹ the run shares one voxel, by monotonicity).
+        if let Some((p_start, p_count, p_key)) = prev {
+            if p_count > 1 {
+                let mut rt = p_start;
+                for _ in 1..p_count {
+                    rt += step;
+                }
+                if VoxelKey::from_point(ray.at(rt), res) != p_key {
+                    self.replay_run(ray, p_start, p_count, step);
+                }
+            }
+        }
+        updates
+    }
+
+    /// Re-carves one run sample by sample — the exact fallback for runs
+    /// the batched validation rejects. Regenerating `t` by repeated
+    /// addition from the run's first sample reproduces the original float
+    /// sequence, and `mark_free` is idempotent, so replaying over already
+    /// marked voxels cannot diverge from the reference.
+    fn replay_run(&mut self, ray: &Ray, start: f64, count: usize, step: f64) {
+        let res = self.resolution;
+        let mut t = start;
+        let mut prev = None;
+        for _ in 0..count {
+            let key = VoxelKey::from_point(ray.at(t), res);
+            if prev != Some(key) {
+                self.mark_free(key);
+                prev = Some(key);
+            }
+            t += step;
+        }
     }
 
     /// State of the voxel containing `p`, or `None` when unknown.
@@ -211,50 +380,33 @@ impl OccupancyMap {
         if self.occupied.is_empty() || max_radius < 0.0 {
             return None;
         }
-        let center = VoxelKey::from_point(p, self.resolution);
         // An occupied voxel centre within `max_radius` lies within this
-        // many rings of the centre cell.
-        let max_ring = (max_radius / self.resolution).ceil() as i64 + 1;
-        // Rings closer than the occupied key bounds are empty — skip them.
-        let sx = (self.occupied_min.x - center.x).max(center.x - self.occupied_max.x);
-        let sy = (self.occupied_min.y - center.y).max(center.y - self.occupied_max.y);
-        let sz = (self.occupied_min.z - center.z).max(center.z - self.occupied_max.z);
-        let start_ring = sx.max(sy).max(sz).max(0);
+        // many rings of the centre cell; `max_radius` also seeds the prune
+        // bound so farther cells are skipped before the first hit.
+        let ring_cap = (max_radius / self.resolution).ceil() as i64 + 1;
         let mut best: Option<f64> = None;
-        let mut visited = 0usize;
-        for ring in start_ring..=max_ring {
-            let ring_min = (ring as f64 - 1.0).max(0.0) * self.resolution;
-            if ring_min > best.unwrap_or(max_radius) {
-                break;
-            }
-            if visited > 2 * self.occupied.len() {
-                // The rings have cost more than a scan of the occupied set:
-                // finish with a direct scan (same minimum, same result).
-                let mut best = best;
-                for key in &self.occupied {
-                    let d = key.center(self.resolution).distance(p);
-                    if d <= max_radius && best.map(|b| d < b).unwrap_or(true) {
-                        best = Some(d);
-                    }
-                }
-                return best;
-            }
-            for_each_shell_key_in(center, ring, self.occupied_min, self.occupied_max, |key| {
-                visited += 1;
-                // Cell-level lower bound (distance to the cell box never
-                // exceeds the distance to its centre): skip cells that
-                // cannot hold a closer occupied voxel.
-                let cutoff = best.unwrap_or(max_radius);
-                if cell_min_distance_squared(key, self.resolution, p) > cutoff * cutoff {
-                    return;
-                }
+        let outcome = RingSearch::new(self.resolution, self.occupied_min, self.occupied_max)
+            .cap_max_ring(ring_cap)
+            .with_fallback_budget(2 * self.occupied.len())
+            .run(p, Some(max_radius * max_radius), |key| {
                 if self.occupied.contains(&key) {
                     let d = key.center(self.resolution).distance(p);
                     if d <= max_radius && best.map(|b| d < b).unwrap_or(true) {
                         best = Some(d);
                     }
                 }
+                let cutoff = best.unwrap_or(max_radius);
+                Some(cutoff * cutoff)
             });
+        if outcome == RingSearchOutcome::BudgetExhausted {
+            // The rings have cost more than a scan of the occupied set:
+            // finish with a direct scan (same minimum, same result).
+            for key in &self.occupied {
+                let d = key.center(self.resolution).distance(p);
+                if d <= max_radius && best.map(|b| d < b).unwrap_or(true) {
+                    best = Some(d);
+                }
+            }
         }
         best
     }
@@ -333,21 +485,34 @@ impl OccupancyMap {
             .retain(|k, _| k.center(res).distance(center) <= radius);
         self.occupied
             .retain(|k| k.center(res).distance(center) <= radius);
-        // Recompute the occupied bounds from the surviving keys.
+        self.recompute_occupied_bounds();
+    }
+
+    /// Rebuilds the occupied-key set and its bounds from the voxel map.
+    ///
+    /// Both are `#[serde(skip)]`: they are derivable state, so serialized
+    /// forms carry only `voxels` and a deserialized map holds empty caches.
+    /// Deserializers must call this before querying — after it, every query
+    /// answers exactly as on the original map (enforced by the round-trip
+    /// test).
+    pub fn rebuild_spatial_caches(&mut self) {
+        self.occupied = self
+            .voxels
+            .iter()
+            .filter(|(_, s)| **s == VoxelState::Occupied)
+            .map(|(k, _)| *k)
+            .collect();
+        self.recompute_occupied_bounds();
+    }
+
+    /// Recomputes the occupied key bounds from the occupied set.
+    fn recompute_occupied_bounds(&mut self) {
         let mut iter = self.occupied.iter();
         if let Some(first) = iter.next() {
             let (mut lo, mut hi) = (*first, *first);
             for k in iter {
-                lo = VoxelKey {
-                    x: lo.x.min(k.x),
-                    y: lo.y.min(k.y),
-                    z: lo.z.min(k.z),
-                };
-                hi = VoxelKey {
-                    x: hi.x.max(k.x),
-                    y: hi.y.max(k.y),
-                    z: hi.z.max(k.z),
-                };
+                lo = lo.componentwise_min(*k);
+                hi = hi.componentwise_max(*k);
             }
             self.occupied_min = lo;
             self.occupied_max = hi;
@@ -501,6 +666,45 @@ mod tests {
             map.distance_to_unknown(origin, Vec3::ZERO, 40.0, 0.25),
             40.0
         );
+    }
+
+    #[test]
+    fn serde_skip_round_trip_answers_identically() {
+        // What a serde round trip produces with `#[serde(skip)]` on the
+        // occupied-key caches: `voxels` restored, the skipped fields at
+        // their defaults. After `rebuild_spatial_caches` the map compares
+        // equal to the original and answers nearest queries identically.
+        let mut original = OccupancyMap::new(0.5);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        original.integrate_cloud(&cloud_with_wall(origin, 8.0), 0.5);
+        let mut restored = OccupancyMap {
+            resolution: original.resolution,
+            voxels: original.voxels.clone(),
+            occupied: FxHashSet::default(),
+            occupied_min: VoxelKey::default(),
+            occupied_max: VoxelKey::default(),
+        };
+        assert!(
+            restored.nearest_occupied_distance(origin, 100.0).is_none(),
+            "an unrebuilt cache must be observably stale, or the test is vacuous"
+        );
+        restored.rebuild_spatial_caches();
+        assert_eq!(restored, original);
+        for probe in [
+            origin,
+            Vec3::new(8.0, 0.0, 5.0),
+            Vec3::new(-20.0, 3.0, 1.0),
+            Vec3::new(7.75, -2.5, 5.0),
+        ] {
+            for radius in [0.0, 2.0, 50.0] {
+                assert_eq!(
+                    restored.nearest_occupied_distance(probe, radius),
+                    original.nearest_occupied_distance(probe, radius)
+                );
+            }
+            assert_eq!(restored.state_at(probe), original.state_at(probe));
+        }
+        assert_eq!(restored.stats(), original.stats());
     }
 
     #[test]

@@ -131,4 +131,100 @@ proptest! {
             _ => {}
         }
     }
+
+    /// The DDA-batched `integrate_cloud` must leave the map bit-identical
+    /// to the retained per-sample reference — same voxel states, same
+    /// occupied set and bounds (via `PartialEq`), same update count — for
+    /// any resolution/step combination, including steps finer and coarser
+    /// than a voxel.
+    #[test]
+    fn batched_integration_matches_reference(points in arb_points(120),
+                                             resolution in 0.2f64..2.0,
+                                             step in 0.05f64..2.5,
+                                             ox in -10.0f64..10.0, oy in -10.0f64..10.0) {
+        let origin = Vec3::new(ox, oy, 5.0);
+        let cloud = PointCloud::new(origin, points);
+        let mut batched = OccupancyMap::new(resolution);
+        let mut reference = OccupancyMap::new(resolution);
+        let u1 = batched.integrate_cloud(&cloud, step);
+        let u2 = reference.integrate_cloud_reference(&cloud, step);
+        prop_assert_eq!(u1, u2, "update counts diverged");
+        prop_assert_eq!(&batched, &reference);
+        // A second cloud over the partially known map exercises the
+        // no-downgrade clamping through the batched path too.
+        let second = PointCloud::new(
+            origin + Vec3::new(1.0, -0.5, 0.0),
+            cloud.points().iter().map(|p| *p + Vec3::new(0.7, 0.7, 0.0)).collect(),
+        );
+        let u1 = batched.integrate_cloud(&second, step);
+        let u2 = reference.integrate_cloud_reference(&second, step);
+        prop_assert_eq!(u1, u2, "second-cloud update counts diverged");
+        prop_assert_eq!(&batched, &reference);
+    }
+
+    /// `PlannerMap::delta_from` must be the exact set difference between
+    /// two exports: applying it to the previous key set reproduces the new
+    /// one.
+    #[test]
+    fn export_delta_is_exact_set_difference(points in arb_points(120),
+                                            extra in arb_points(40),
+                                            precision in 0.3f64..3.0) {
+        use std::collections::BTreeSet;
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let mut map = OccupancyMap::new(0.3);
+        map.integrate_cloud(&PointCloud::new(origin, points), 0.6);
+        let before = PlannerMap::export(&map, &ExportConfig::new(precision, 1e9, origin));
+        map.integrate_cloud(&PointCloud::new(origin, extra), 0.6);
+        map.retain_within(origin, 25.0);
+        let after = PlannerMap::export(&map, &ExportConfig::new(precision, 1e9, origin));
+        let delta = after.delta_from(&before).expect("same voxel size");
+        prop_assert_eq!(delta.voxel_size(), after.voxel_size());
+        let mut keys: BTreeSet<_> = before.occupied_keys().collect();
+        for k in delta.removed() {
+            prop_assert!(keys.remove(k), "removed key {k:?} not in previous export");
+        }
+        for k in delta.added() {
+            prop_assert!(keys.insert(*k), "added key {k:?} already present");
+        }
+        let new_keys: BTreeSet<_> = after.occupied_keys().collect();
+        prop_assert_eq!(keys, new_keys);
+        prop_assert_eq!(delta.len(), delta.added().len() + delta.removed().len());
+    }
+}
+
+/// The ring queries swept over the shared adversarial scenario family —
+/// shapes random sampling is unlikely to produce (exact voxel-face points,
+/// dense lattices, tight clusters).
+#[test]
+fn adversarial_scenarios_match_linear_references() {
+    for resolution in [0.3, 0.5, 1.0] {
+        for scenario in roborun_conformance::adversarial_point_sets(11, resolution) {
+            let origin = Vec3::new(0.0, 0.0, 5.0);
+            // A step fine enough (< res/2) to route through the batched
+            // carve, so the adversarial shapes exercise it too.
+            let step = resolution * 0.2;
+            let mut map = OccupancyMap::new(resolution);
+            map.integrate_cloud(&PointCloud::new(origin, scenario.points.clone()), step);
+            let mut reference = OccupancyMap::new(resolution);
+            reference.integrate_cloud_reference(&PointCloud::new(origin, scenario.points), step);
+            assert_eq!(map, reference, "integration diverged on {}", scenario.name);
+            let pm = PlannerMap::export(&map, &ExportConfig::new(resolution, 1e9, origin));
+            for q in roborun_conformance::boundary_probes(11, resolution) {
+                for radius in [0.0, resolution, 7.3, 1e4] {
+                    assert_eq!(
+                        map.nearest_occupied_distance(q, radius),
+                        map.nearest_occupied_distance_linear(q, radius),
+                        "occupancy nearest diverged on {} at {q} r={radius}",
+                        scenario.name
+                    );
+                }
+                assert_eq!(
+                    pm.distance_to_nearest(q),
+                    pm.distance_to_nearest_linear(q),
+                    "export nearest diverged on {} at {q}",
+                    scenario.name
+                );
+            }
+        }
+    }
 }

@@ -147,6 +147,27 @@ impl Planner {
             self.config.margin,
             self.config.collision_check_step,
         );
+        self.plan_with_checker(&mut checker, start, goal, bounds, cruise_speed)
+    }
+
+    /// [`Planner::plan`] against a caller-owned collision checker.
+    ///
+    /// Long-lived callers (the mission runner plans every few decisions
+    /// against a lightly changed export) keep one checker alive, refresh it
+    /// with [`CollisionChecker::update_map`] — which patches the built
+    /// broad-phase from the export delta instead of rebuilding it — and
+    /// retune the sample spacing with [`CollisionChecker::set_check_step`].
+    /// The checker's own margin and step are used; the planner config's
+    /// copies apply only to the one-shot [`Planner::plan`] path.
+    pub fn plan_with_checker(
+        &self,
+        checker: &mut CollisionChecker,
+        start: Vec3,
+        goal: Vec3,
+        bounds: &Aabb,
+        cruise_speed: f64,
+    ) -> Result<(Trajectory, PlanStats), PlanError> {
+        let queries_before = checker.queries();
         if !checker.point_free(start) {
             return Err(PlanError::StartBlocked);
         }
@@ -154,7 +175,7 @@ impl Planner {
             return Err(PlanError::GoalBlocked);
         }
         let rrt = RrtStar::new(self.config.rrt);
-        let result = rrt.plan(&mut checker, start, goal, bounds);
+        let result = rrt.plan(checker, start, goal, bounds);
         if !result.found() {
             return Err(PlanError::NoPathFound {
                 samples_drawn: result.samples_drawn,
@@ -166,7 +187,7 @@ impl Planner {
             samples_drawn: result.samples_drawn,
             tree_size: result.tree_size,
             explored_volume: result.explored_volume,
-            collision_queries: checker.queries(),
+            collision_queries: checker.queries() - queries_before,
             volume_capped: result.volume_capped,
         };
         Ok((trajectory, stats))

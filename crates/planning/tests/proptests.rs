@@ -160,3 +160,66 @@ proptest! {
         prop_assert!(traj.duration() >= 0.0);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite conformance for the incremental broad-phase: a random
+    /// sequence of `PlannerMap` delta applications (growing scans plus a
+    /// retain-radius contraction) must leave the patched candidate grid
+    /// equal to a from-scratch rebuild after every step — cell for cell,
+    /// and on every probe query.
+    #[test]
+    fn incremental_broad_phase_matches_rebuild_after_every_delta(
+        scans in prop::collection::vec(
+            prop::collection::vec(
+                ((-20.0f64..20.0), (-20.0f64..20.0), (0.0f64..12.0))
+                    .prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+                1..40,
+            ),
+            1..6,
+        ),
+        retain_radius in 8.0f64..30.0,
+        margin in 0.1f64..1.2,
+    ) {
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let mut map = OccupancyMap::new(0.5);
+        let mut patched: Option<CollisionChecker> = None;
+        let n_scans = scans.len();
+        for (i, scan) in scans.into_iter().enumerate() {
+            map.integrate_cloud(&PointCloud::new(origin, scan), 0.5);
+            if i + 1 == n_scans {
+                // The final step also removes keys, exercising the
+                // removal side of the patch.
+                map.retain_within(origin, retain_radius);
+            }
+            let export = PlannerMap::export(&map, &ExportConfig::new(0.5, 1e9, origin));
+            match patched.as_mut() {
+                Some(checker) => checker.update_map(export.clone()),
+                None => {
+                    let mut checker = CollisionChecker::new(export.clone(), margin, 0.5);
+                    checker.prebuild_broad_phase();
+                    patched = Some(checker);
+                }
+            }
+            let patched = patched.as_mut().unwrap();
+            let mut rebuilt = CollisionChecker::new(export.clone(), margin, 0.5);
+            rebuilt.prebuild_broad_phase();
+            prop_assert_eq!(
+                patched.broad_phase_cells(),
+                rebuilt.broad_phase_cells(),
+                "candidate grids diverged after delta step {}",
+                i
+            );
+            for q in roborun_conformance::boundary_probes(i as u64, 0.5) {
+                prop_assert_eq!(
+                    patched.point_free(q),
+                    CollisionChecker::point_free_reference(&export, q, margin),
+                    "patched query diverged at {} after step {}",
+                    q,
+                    i
+                );
+            }
+        }
+    }
+}

@@ -43,9 +43,28 @@ macro_rules! proptest {
             $(#[$attr])*
             fn $name() {
                 let __config: $crate::test_runner::ProptestConfig = $cfg;
-                let mut __rng = $crate::test_runner::TestRng::for_test(
-                    concat!(module_path!(), "::", stringify!($name)),
-                );
+                let __test_name = concat!(module_path!(), "::", stringify!($name));
+                let __manifest_dir = env!("CARGO_MANIFEST_DIR");
+                // Replay persisted counterexamples first: once a failing
+                // case is found (locally or in CI), its RNG state is
+                // committed under proptest-regressions/ and re-checked on
+                // every run until the end of time.
+                for __state in $crate::test_runner::load_regressions(__manifest_dir, __test_name) {
+                    let mut __rng = $crate::test_runner::TestRng::with_seed(__state);
+                    $(let $p = $crate::strategy::Strategy::generate(&($s), &mut __rng);)*
+                    let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body;
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) = __outcome {
+                        panic!(
+                            "proptest: persisted regression {:016x} still fails: {}",
+                            __state, msg
+                        );
+                    }
+                }
+                let mut __rng = $crate::test_runner::TestRng::for_test(__test_name);
                 let __max_attempts = __config.cases.saturating_mul(20).max(1000);
                 let mut __case = 0u32;
                 let mut __attempts = 0u32;
@@ -57,6 +76,7 @@ macro_rules! proptest {
                         __attempts - __case,
                         __config.cases,
                     );
+                    let __state = __rng.state();
                     $(let $p = $crate::strategy::Strategy::generate(&($s), &mut __rng);)*
                     let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
                         (move || {
@@ -69,7 +89,15 @@ macro_rules! proptest {
                         }
                         ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
                         ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
-                            panic!("proptest case #{} failed: {}", __case, msg);
+                            $crate::test_runner::persist_regression(
+                                __manifest_dir,
+                                __test_name,
+                                __state,
+                            );
+                            panic!(
+                                "proptest case #{} failed (state {:016x} persisted to proptest-regressions/): {}",
+                                __case, __state, msg
+                            );
                         }
                     }
                 }

@@ -39,6 +39,60 @@ impl std::fmt::Display for TestCaseError {
     }
 }
 
+/// Relative path of the regression file inside a crate (mirrors real
+/// proptest's `proptest-regressions/` convention; one shared file because
+/// the shim keys entries by fully qualified test name).
+const REGRESSION_FILE: &str = "proptest-regressions/shim-cases.txt";
+
+/// Loads the persisted failing-case RNG states for `test_name` from
+/// `<manifest_dir>/proptest-regressions/shim-cases.txt`.
+///
+/// Mirrors real proptest's regression persistence: every line is
+/// `cc <test_name> <rng_state_hex>`, committed to version control, and the
+/// `proptest!` macro replays each state before drawing fresh cases — so a
+/// counterexample found once (locally or in CI) is re-checked forever.
+/// Unknown or malformed lines are ignored, matching the real crate's
+/// tolerance for hand-edited files.
+pub fn load_regressions(manifest_dir: &str, test_name: &str) -> Vec<u64> {
+    let path = std::path::Path::new(manifest_dir).join(REGRESSION_FILE);
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .filter_map(|line| {
+            let mut parts = line.split_whitespace();
+            (parts.next() == Some("cc") && parts.next() == Some(test_name))
+                .then(|| parts.next().and_then(|s| u64::from_str_radix(s, 16).ok()))
+                .flatten()
+        })
+        .collect()
+}
+
+/// Appends one failing-case RNG state for `test_name` to the crate's
+/// regression file (creating `proptest-regressions/` if needed), unless an
+/// identical entry is already present. Failures to write are swallowed —
+/// persistence must never mask the assertion failure being reported.
+pub fn persist_regression(manifest_dir: &str, test_name: &str, state: u64) {
+    let dir = std::path::Path::new(manifest_dir).join("proptest-regressions");
+    let path = dir.join("shim-cases.txt");
+    let entry = format!("cc {test_name} {state:016x}");
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        if existing.lines().any(|line| line.trim() == entry) {
+            return;
+        }
+    }
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| {
+            use std::io::Write;
+            writeln!(f, "{entry}")
+        });
+}
+
 /// Deterministic RNG (SplitMix64) used for all value generation.
 ///
 /// Each test seeds its stream from its fully qualified name, so failures
@@ -65,6 +119,13 @@ impl TestRng {
         TestRng { state: seed }
     }
 
+    /// The current internal state. Captured before each test case so a
+    /// failing case can be persisted and replayed from exactly this point
+    /// in the stream (see [`load_regressions`] / [`persist_regression`]).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -83,5 +144,41 @@ impl TestRng {
     pub fn below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0);
         self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regressions_persist_load_and_dedupe() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-shim-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_str = dir.to_str().unwrap();
+        assert!(load_regressions(dir_str, "a::b").is_empty());
+        persist_regression(dir_str, "a::b", 0xdead_beef);
+        persist_regression(dir_str, "a::b", 0xdead_beef); // duplicate: dropped
+        persist_regression(dir_str, "a::c", 7);
+        assert_eq!(load_regressions(dir_str, "a::b"), vec![0xdead_beef]);
+        assert_eq!(load_regressions(dir_str, "a::c"), vec![7]);
+        assert!(load_regressions(dir_str, "a::d").is_empty());
+        let file = std::fs::read_to_string(dir.join(REGRESSION_FILE)).unwrap();
+        assert_eq!(file.lines().count(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rng_state_resumes_stream() {
+        let mut a = TestRng::for_test("some::test");
+        let _ = a.next_u64();
+        let state = a.state();
+        let mut b = TestRng::with_seed(state);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 }

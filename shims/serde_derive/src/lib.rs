@@ -6,17 +6,22 @@
 //! derives expand to nothing. The `serde` shim crate provides blanket
 //! implementations of the marker traits, so any future `T: Serialize`
 //! bound is satisfied without per-type impls.
+//!
+//! Both derives register the `serde` helper attribute, so field- and
+//! container-level `#[serde(...)]` annotations (`skip`, `default`, …)
+//! compile today and take effect the day the real crates are swapped back
+//! in.
 
 use proc_macro::TokenStream;
 
 /// Expands to nothing; see the crate docs.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// Expands to nothing; see the crate docs.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
