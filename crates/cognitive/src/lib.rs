@@ -72,6 +72,7 @@ mod tests {
             },
             cpu_utilization: cpu,
             zone: Some('B'),
+            masked_latency: 0.0,
         }
     }
 

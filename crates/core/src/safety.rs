@@ -161,6 +161,7 @@ mod tests {
             },
             cpu_utilization: 0.4,
             zone: Some('B'),
+            masked_latency: 0.0,
         }
     }
 

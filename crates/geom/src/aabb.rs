@@ -196,6 +196,121 @@ impl fmt::Display for Aabb {
     }
 }
 
+/// Four axis-aligned boxes in struct-of-arrays layout, the batch unit of
+/// the SIMD-ready slab test [`crate::Ray::intersect_aabb4`].
+///
+/// Broad-phase cells store many small boxes whose slab tests the raycast
+/// inner loop evaluates one after another; laying four of them out
+/// coordinate-by-coordinate (`min_x[0..4]`, `min_y[0..4]`, …) turns the
+/// per-axis slab arithmetic into four independent lanes over contiguous
+/// `f64`s — the shape an auto-vectoriser (or an explicit `f64x4` port)
+/// needs, with no gather step. A partial pack records how many lanes are
+/// real in [`Aabb4::len`]; the batched test masks the padding lanes to
+/// misses after the (branch-free) lane arithmetic, so a partial pack
+/// answers exactly like the scalar loop over its real boxes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb4 {
+    /// Minimum x of each lane.
+    pub min_x: [f64; 4],
+    /// Minimum y of each lane.
+    pub min_y: [f64; 4],
+    /// Minimum z of each lane.
+    pub min_z: [f64; 4],
+    /// Maximum x of each lane.
+    pub max_x: [f64; 4],
+    /// Maximum y of each lane.
+    pub max_y: [f64; 4],
+    /// Maximum z of each lane.
+    pub max_z: [f64; 4],
+    /// Number of real lanes (`0..=4`); the rest are padding.
+    len: usize,
+}
+
+impl Default for Aabb4 {
+    fn default() -> Self {
+        Aabb4::empty()
+    }
+}
+
+impl Aabb4 {
+    /// A pack with no real lanes: every query misses.
+    pub fn empty() -> Self {
+        Aabb4 {
+            min_x: [0.0; 4],
+            min_y: [0.0; 4],
+            min_z: [0.0; 4],
+            max_x: [0.0; 4],
+            max_y: [0.0; 4],
+            max_z: [0.0; 4],
+            len: 0,
+        }
+    }
+
+    /// Packs up to four boxes; remaining lanes are padding and never hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when given more than four boxes.
+    pub fn pack(boxes: &[Aabb]) -> Self {
+        assert!(boxes.len() <= 4, "Aabb4 holds at most 4 boxes");
+        let mut pack = Aabb4::empty();
+        for b in boxes {
+            pack.push(b);
+        }
+        pack
+    }
+
+    /// Appends a box to the next free lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when all four lanes are already filled.
+    pub fn push(&mut self, b: &Aabb) {
+        assert!(self.len < 4, "Aabb4 holds at most 4 boxes");
+        let lane = self.len;
+        self.min_x[lane] = b.min.x;
+        self.min_y[lane] = b.min.y;
+        self.min_z[lane] = b.min.z;
+        self.max_x[lane] = b.max.x;
+        self.max_y[lane] = b.max.y;
+        self.max_z[lane] = b.max.z;
+        self.len += 1;
+    }
+
+    /// Number of real lanes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The box stored in one real lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane >= self.len()`.
+    pub fn lane(&self, lane: usize) -> Aabb {
+        assert!(
+            lane < self.len,
+            "lane {lane} out of range (len {})",
+            self.len
+        );
+        Aabb {
+            min: Vec3::new(self.min_x[lane], self.min_y[lane], self.min_z[lane]),
+            max: Vec3::new(self.max_x[lane], self.max_y[lane], self.max_z[lane]),
+        }
+    }
+
+    /// The per-lane slab bounds of one axis (`0 = x`, `1 = y`, `2 = z`).
+    #[inline]
+    pub(crate) fn axis_slabs(&self, axis: usize) -> (&[f64; 4], &[f64; 4]) {
+        match axis {
+            0 => (&self.min_x, &self.max_x),
+            1 => (&self.min_y, &self.max_y),
+            _ => (&self.min_z, &self.max_z),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,5 +412,38 @@ mod tests {
         let s = format!("{}", unit_box());
         assert!(s.contains("0.000"));
         assert!(s.contains("1.000"));
+    }
+
+    #[test]
+    fn aabb4_packs_and_unpacks_lanes() {
+        let boxes = [
+            unit_box(),
+            Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0)),
+            Aabb::new(Vec3::new(-5.0, 0.0, 1.0), Vec3::new(-1.0, 4.0, 2.0)),
+        ];
+        let pack = Aabb4::pack(&boxes);
+        assert_eq!(pack.len(), 3);
+        for (i, b) in boxes.iter().enumerate() {
+            assert_eq!(pack.lane(i), *b);
+        }
+        assert_eq!(Aabb4::empty().len(), 0);
+        assert_eq!(Aabb4::default(), Aabb4::empty());
+        let mut grown = Aabb4::empty();
+        grown.push(&unit_box());
+        assert_eq!(grown.len(), 1);
+        assert_eq!(grown.lane(0), unit_box());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 4")]
+    fn aabb4_rejects_oversized_packs() {
+        let _ = Aabb4::pack(&[unit_box(); 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn aabb4_padding_lane_is_inaccessible() {
+        let pack = Aabb4::pack(&[unit_box()]);
+        let _ = pack.lane(1);
     }
 }

@@ -50,7 +50,7 @@ pub mod stats;
 pub mod vec3;
 pub mod voxel;
 
-pub use aabb::Aabb;
+pub use aabb::{Aabb, Aabb4};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use grid::{CellIndex, Grid3};
 pub use index::{

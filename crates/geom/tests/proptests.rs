@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use roborun_geom::{
-    percentile, precision_lattice, snap_to_lattice, Aabb, Polynomial, Pose, Ray, RunningStats,
-    SplitMix64, Vec3, VoxelKey,
+    percentile, precision_lattice, snap_to_lattice, Aabb, Aabb4, Polynomial, Pose, Ray,
+    RunningStats, SplitMix64, Vec3, VoxelKey,
 };
 
 fn finite_coord() -> impl Strategy<Value = f64> {
@@ -74,6 +74,55 @@ proptest! {
             let grown = aabb.inflate(1e-6);
             prop_assert!(grown.contains(ray.at(hit.t_min)));
             prop_assert!(grown.contains(ray.at(hit.t_max)));
+        }
+    }
+
+    #[test]
+    fn batched_aabb4_slab_test_is_bit_identical_to_scalar(
+        origin in arb_vec3(),
+        dir in arb_vec3(),
+        boxes in prop::collection::vec(arb_aabb(), 0..5),
+    ) {
+        prop_assume!(dir.norm() > 1e-6);
+        // Axis-aligned (slab-parallel) directions are exercised too: zero
+        // out components sometimes by snapping tiny ones.
+        let ray = Ray::new(origin, dir);
+        let pack = Aabb4::pack(&boxes);
+        let batched = ray.intersect_aabb4(&pack);
+        for (lane, b) in boxes.iter().enumerate() {
+            let scalar = ray.intersect_aabb(b);
+            prop_assert_eq!(
+                batched[lane].map(|h| (h.t_min.to_bits(), h.t_max.to_bits())),
+                scalar.map(|h| (h.t_min.to_bits(), h.t_max.to_bits())),
+                "lane {} of {:?}", lane, b
+            );
+        }
+        for (lane, result) in batched.iter().enumerate().skip(boxes.len()) {
+            prop_assert!(result.is_none(), "padding lane {} hit", lane);
+        }
+    }
+
+    #[test]
+    fn batched_aabb4_axis_parallel_rays_match_scalar(
+        origin in arb_vec3(),
+        axis in 0usize..3,
+        sign in any::<bool>(),
+        boxes in prop::collection::vec(arb_aabb(), 1..5),
+    ) {
+        // Exactly axis-parallel rays drive the `d.abs() < 1e-12` slab
+        // branch in every lane.
+        let mut c = [0.0f64; 3];
+        c[axis] = if sign { 1.0 } else { -1.0 };
+        let ray = Ray::new(origin, Vec3::new(c[0], c[1], c[2]));
+        let pack = Aabb4::pack(&boxes);
+        let batched = ray.intersect_aabb4(&pack);
+        for (lane, b) in boxes.iter().enumerate() {
+            let scalar = ray.intersect_aabb(b);
+            prop_assert_eq!(
+                batched[lane].map(|h| (h.t_min.to_bits(), h.t_max.to_bits())),
+                scalar.map(|h| (h.t_min.to_bits(), h.t_max.to_bits())),
+                "lane {} of {:?}", lane, b
+            );
         }
     }
 

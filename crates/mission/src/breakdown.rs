@@ -102,6 +102,7 @@ mod tests {
             },
             cpu_utilization: 0.5,
             zone: Some(zone),
+            masked_latency: 0.0,
         }
     }
 

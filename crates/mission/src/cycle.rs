@@ -1,0 +1,966 @@
+//! The shared decision-cycle core and the plan-ahead (speculative
+//! planning) machinery built on top of it.
+//!
+//! One navigation decision is the same sequence of stages regardless of
+//! the transport that carries it: **sense → profile → govern → operate
+//! (perception) → cost → plan → follow**, plus the local-goal and
+//! emergency-stop policies around the planning stage. Before this module
+//! existed that sequence lived twice — inline in
+//! [`crate::MissionRunner::run`] and re-expressed as bus nodes in
+//! [`crate::node_pipeline`] — and drifted subtly (two `local_goal`
+//! variants, two `first_blockage_distance` copies, two epoch-advance
+//! loops). Both drivers are now thin: the direct runner drives a
+//! [`DecisionCycle`] (which owns the whole per-mission state), and the
+//! node pipeline's nodes delegate every policy decision to the free
+//! functions here, keeping only the topic plumbing to themselves.
+//!
+//! # Plan-ahead: the snapshot / validation contract
+//!
+//! With [`crate::MissionConfig::plan_ahead`] enabled, a planner worker
+//! thread speculatively plans decision *k + 1* while control executes the
+//! epoch of decision *k*, hiding the planning stage's latency behind the
+//! execution window (the ROADMAP's "concurrent planner instances" item;
+//! the same overlap discipline Π-RT applies to heterogeneous pipeline
+//! stages). The contract has three parts:
+//!
+//! 1. **Snapshot.** A speculation is a *pure function* of its request:
+//!    a cloned [`Planner`] whose RRT* seed is the one decision *k + 1*
+//!    owns (`seed_base + (k + 1)`), a cloned [`CollisionChecker`] with
+//!    its broad-phase already built (so the worker never rebuilds), the
+//!    drone position at the end of epoch *k* (bit-exact: nothing moves
+//!    the drone between the epoch end and the next planning stage), and
+//!    the local goal computed from the *snapshot* export. Determinism of
+//!    the whole mission therefore survives the extra thread: the main
+//!    loop blocks on the worker's answer before using it.
+//!
+//! 2. **Validation.** At decision *k + 1* the fresh export may differ
+//!    from the snapshot. The speculative trajectory is re-checked
+//!    *incrementally*: only the voxel keys the
+//!    [`PlannerMapDelta`](roborun_perception::PlannerMapDelta) **added**
+//!    since the snapshot can invalidate it (removed keys only free
+//!    space, and the plan is already collision-free against the
+//!    snapshot), so [`CollisionChecker::path_clear_of_added`] walks the
+//!    trajectory polyline against those keys alone — sampled every
+//!    `check_step` metres like a synchronous edge check, at the same
+//!    `margin * 0.6` clearance the blockage detector uses, so an adopted
+//!    plan is never immediately re-flagged as blocked by the very delta
+//!    it was validated against and no added voxel can slip between two
+//!    trajectory samples. The verdict is
+//!    [`SpeculationVerdict::Adopted`] (plan valid, goal unchanged),
+//!    [`SpeculationVerdict::Patched`] (plan valid but the local goal
+//!    drifted with the new export — the trajectory is still adopted and
+//!    the regular replan cadence corrects the goal), or
+//!    [`SpeculationVerdict::Discarded`] (planning failed, the export
+//!    precision knob changed the voxel size, or the re-check found an
+//!    added voxel on the trajectory) — which falls back to a synchronous
+//!    replan, exactly as if plan-ahead were off.
+//!
+//! 3. **Accounting.** An adopted (or patched) speculation removes the
+//!    planning stage from the decision's critical path, but only up to
+//!    the *overlap window*: work can only hide behind the previous
+//!    epoch's duration, so `masked = min(planning, previous_epoch)`
+//!    ([`roborun_sim::LatencyBreakdown::critical_path`]). The governor's
+//!    budget law and the epoch advance then see the critical-path
+//!    latency, and [`roborun_core::DecisionRecord::masked_latency`]
+//!    records what overlap bought each decision.
+//!
+//! With plan-ahead **off**, no worker exists, every masked term is zero
+//! and the decision sequence is bit-identical to the pre-refactor
+//! behaviour (locked by the `golden_sweep` fixture).
+
+use crate::metrics::MissionMetrics;
+use crate::runner::{MissionConfig, MissionResult};
+use roborun_control::TrajectoryFollower;
+use roborun_core::{
+    DecisionRecord, Governor, KnobSettings, MissionTelemetry, Policy, RuntimeMode, SpatialProfile,
+};
+use roborun_env::{Environment, Zone};
+use roborun_geom::{Aabb, Vec3};
+use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
+use roborun_planning::{
+    CollisionChecker, PlanError, PlanStats, Planner, PlannerConfig, RrtConfig, Trajectory,
+};
+use roborun_sim::{
+    CameraRig, DroneConfig, DroneState, EnergyModel, FaultInjector, LatencyBreakdown, SimClock,
+};
+use std::sync::mpsc::{Receiver, Sender};
+
+// ---------------------------------------------------------------------------
+// Shared per-decision policies (used by both drivers)
+// ---------------------------------------------------------------------------
+
+/// Direction of travel used for the unknown-space probe: the current
+/// velocity when moving, otherwise straight at the goal.
+pub fn direction_towards(position: Vec3, goal: Vec3, velocity: Vec3) -> Vec3 {
+    if velocity.norm() > 0.3 {
+        velocity
+    } else {
+        goal - position
+    }
+}
+
+/// Distance (metres, straight-line from `position`) to the first point of
+/// the remaining trajectory (past `progress_time`) that collides with the
+/// freshly exported map, or `None` when the remaining trajectory is clear
+/// (knowledge gained since the last plan has not invalidated it). The
+/// probe clearance is `margin * 0.6`, matching the planner's inflated
+/// export voxels without double-counting the full margin.
+pub fn first_blockage_distance(
+    trajectory: &Trajectory,
+    progress_time: f64,
+    export: &PlannerMap,
+    margin: f64,
+    position: Vec3,
+) -> Option<f64> {
+    trajectory
+        .remaining_from(progress_time)
+        .points()
+        .iter()
+        .find(|p| export.is_occupied(p.position, margin * 0.6))
+        .map(|p| p.position.distance(position))
+}
+
+/// Axis-aligned sampling bounds for the local planning problem.
+pub fn planning_bounds(start: Vec3, goal: Vec3, world: Aabb) -> Aabb {
+    let corridor = Aabb::new(start, goal).inflate(25.0);
+    corridor.intersection(&world).unwrap_or(corridor)
+}
+
+/// Zone enum → the single-character label used in telemetry.
+pub fn zone_label(zone: Zone) -> char {
+    match zone {
+        Zone::A => 'A',
+        Zone::B => 'B',
+        Zone::C => 'C',
+    }
+}
+
+/// Receding-horizon local goal: a free point towards the mission goal, at
+/// most `horizon` metres ahead, nudged laterally when the direct candidate
+/// is blocked in the exported map at `probe_margin` clearance.
+pub fn local_goal(
+    env: &Environment,
+    export: &PlannerMap,
+    position: Vec3,
+    horizon: f64,
+    probe_margin: f64,
+) -> Vec3 {
+    let goal = env.goal();
+    let to_goal = goal - position;
+    let distance = to_goal.norm();
+    if distance <= horizon {
+        return goal;
+    }
+    let dir = to_goal / distance;
+    let base = position + dir * horizon;
+    if !export.is_occupied(base, probe_margin) {
+        return base;
+    }
+    let lateral = Vec3::new(-dir.y, dir.x, 0.0);
+    for offset in [4.0, -4.0, 8.0, -8.0, 14.0, -14.0, 20.0, -20.0] {
+        let candidate = base + lateral * offset;
+        if env.bounds().contains(candidate) && !export.is_occupied(candidate, probe_margin) {
+            return candidate;
+        }
+    }
+    base
+}
+
+/// The per-decision planner both drivers instantiate: decision-owned RRT*
+/// seed, the governor's planner-volume knob, and the planning-precision
+/// knob as the collision sample spacing.
+pub fn planner_for(seed_base: u64, decision: usize, knobs: &KnobSettings, margin: f64) -> Planner {
+    Planner::new(PlannerConfig {
+        rrt: RrtConfig {
+            seed: seed_base.wrapping_add(decision as u64),
+            max_explored_volume: knobs.planner_volume,
+            max_samples: 900,
+            ..RrtConfig::default()
+        },
+        margin,
+        collision_check_step: planning_check_step(knobs),
+        ..PlannerConfig::default()
+    })
+}
+
+/// Collision-check sample spacing for a knob assignment (the planning
+/// precision knob, floored at the substrate's 0.3 m).
+pub fn planning_check_step(knobs: &KnobSettings) -> f64 {
+    knobs.map_to_planner_precision.max(0.3)
+}
+
+/// The emergency-stop rule shared by both drivers: a blockage is imminent
+/// when it sits inside the stopping distance plus the driver's reaction
+/// window plus a body-clearance allowance — the reaction the
+/// stopping-distance term of Eq. 1 budgets for. Blockages further out
+/// leave time to keep flying while replanning (and coarse-voxel false
+/// positives resolve as the MAV gets close and precision tightens).
+pub fn blockage_is_imminent(
+    blockage: f64,
+    stopping_distance: f64,
+    reaction: f64,
+    body_clearance: f64,
+) -> bool {
+    blockage <= stopping_distance + reaction + body_clearance
+}
+
+/// Advances the physical world for one decision epoch in fixed 0.25 s
+/// substeps, charging energy and detecting collisions. `command` yields
+/// the active trajectory's steering target and speed for a substep (or
+/// `None` to brake along the current motion direction and hover); the
+/// speed is clamped to the commanded velocity. Returns `true` when the
+/// drone collided during the epoch.
+#[allow(clippy::too_many_arguments)]
+pub fn advance_epoch(
+    drone: &mut DroneState,
+    clock: &mut SimClock,
+    energy_joules: &mut f64,
+    env: &Environment,
+    drone_cfg: &DroneConfig,
+    energy_model: &EnergyModel,
+    epoch: f64,
+    commanded_velocity: f64,
+    mut command: impl FnMut(Vec3, f64) -> Option<(Vec3, f64)>,
+) -> bool {
+    let substep = 0.25f64;
+    let mut remaining = epoch;
+    while remaining > 1e-9 {
+        let dt = substep.min(remaining);
+        remaining -= dt;
+        let (target, speed) = match command(drone.position, dt) {
+            Some((target, speed)) => (target, speed.min(commanded_velocity)),
+            // No active trajectory: brake along the current motion
+            // direction (acceleration-limited), then hover.
+            None => (drone.position + drone.velocity, 0.0),
+        };
+        drone.advance_towards(drone_cfg, target, speed, dt);
+        *energy_joules += energy_model.energy_for(drone.speed(), dt);
+        clock.advance(dt);
+        if env
+            .field()
+            .is_occupied_with_margin(drone.position, drone_cfg.body_radius * 0.8)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Assembles the mission-level metrics both drivers report.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finalize_metrics(
+    mode: RuntimeMode,
+    mission_time: f64,
+    energy_joules: f64,
+    telemetry: &MissionTelemetry,
+    drone: &DroneState,
+    decisions: usize,
+    reached_goal: bool,
+    collided: bool,
+    plan_ahead: &PlanAheadStats,
+) -> MissionMetrics {
+    MissionMetrics {
+        mode,
+        mission_time,
+        energy_kj: energy_joules / 1000.0,
+        mean_velocity: drone.distance_travelled / mission_time,
+        mean_cpu_utilization: telemetry.mean_cpu_utilization(),
+        median_latency: telemetry.median_latency().unwrap_or(0.0),
+        decisions,
+        distance_travelled: drone.distance_travelled,
+        reached_goal,
+        collided,
+        masked_planning_latency: plan_ahead.masked_latency,
+        plan_ahead_attempts: plan_ahead.attempts,
+        plan_ahead_hits: plan_ahead.hits,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan-ahead machinery
+// ---------------------------------------------------------------------------
+
+/// Running totals of the plan-ahead machinery over one mission.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanAheadStats {
+    /// Speculations launched.
+    pub attempts: usize,
+    /// Speculations adopted (including goal-drift patches).
+    pub hits: usize,
+    /// Planning latency masked from the critical path (seconds).
+    pub masked_latency: f64,
+}
+
+/// A speculation request: everything the worker needs to plan decision
+/// *k + 1* as a pure function (see the module docs' snapshot contract).
+pub(crate) struct SpeculationRequest {
+    planner: Planner,
+    checker: CollisionChecker,
+    start: Vec3,
+    goal: Vec3,
+    bounds: Aabb,
+    cruise: f64,
+}
+
+/// The worker's answer to a [`SpeculationRequest`].
+pub(crate) struct SpeculationOutcome {
+    outcome: Result<(Trajectory, PlanStats), PlanError>,
+}
+
+/// Serves speculation requests until the requesting side hangs up. Runs on
+/// the scoped worker thread [`crate::MissionRunner::run`] spawns when
+/// plan-ahead is enabled.
+pub(crate) fn speculation_worker(
+    requests: Receiver<SpeculationRequest>,
+    outcomes: Sender<SpeculationOutcome>,
+) {
+    while let Ok(mut request) = requests.recv() {
+        let outcome = request.planner.plan_with_checker(
+            &mut request.checker,
+            request.start,
+            request.goal,
+            &request.bounds,
+            request.cruise,
+        );
+        if outcomes.send(SpeculationOutcome { outcome }).is_err() {
+            break;
+        }
+    }
+}
+
+/// The mission loop's handle on the speculation worker.
+pub(crate) struct PlanAheadWorker {
+    requests: Sender<SpeculationRequest>,
+    outcomes: Receiver<SpeculationOutcome>,
+}
+
+impl PlanAheadWorker {
+    pub(crate) fn new(
+        requests: Sender<SpeculationRequest>,
+        outcomes: Receiver<SpeculationOutcome>,
+    ) -> Self {
+        PlanAheadWorker { requests, outcomes }
+    }
+}
+
+/// The snapshot-side metadata of an in-flight speculation, kept by the
+/// main loop while the worker plans.
+struct PendingSpeculation {
+    /// Export snapshot the speculation planned against.
+    snapshot: PlannerMap,
+    /// Start position handed to the worker (the drone position at the end
+    /// of the previous epoch — must still hold bit-exactly on arrival).
+    start: Vec3,
+    /// Local goal computed from the snapshot export.
+    goal: Vec3,
+    /// Overlap window: the previous epoch's duration (seconds). Masked
+    /// planning latency can never exceed it.
+    window: f64,
+}
+
+/// Verdict of validating an arrived speculation against the fresh export.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpeculationVerdict {
+    /// Plan valid under the incremental re-check and the local goal is
+    /// unchanged: execute it.
+    Adopted(Trajectory),
+    /// Plan valid under the incremental re-check but the local goal
+    /// drifted with the new export: execute it anyway; the replan cadence
+    /// corrects the goal within `replan_every` decisions.
+    Patched(Trajectory),
+    /// Planning failed, the export voxel size changed, the start moved,
+    /// or an added voxel blocks the trajectory: fall back to a
+    /// synchronous replan.
+    Discarded,
+}
+
+/// Validates a speculative plan against the export that actually arrived:
+/// the incremental re-check of the module docs' validation contract.
+/// `clearance` is the blockage-detector clearance (`margin * 0.6`);
+/// `sample_step` is the planning-precision collision sample spacing the
+/// synchronous path would use for this decision's knobs.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_speculation(
+    outcome: &Result<(Trajectory, PlanStats), PlanError>,
+    snapshot: &PlannerMap,
+    speculated_start: Vec3,
+    speculated_goal: Vec3,
+    fresh_export: &PlannerMap,
+    fresh_goal: Vec3,
+    position: Vec3,
+    clearance: f64,
+    sample_step: f64,
+) -> SpeculationVerdict {
+    let Ok((trajectory, _stats)) = outcome else {
+        return SpeculationVerdict::Discarded;
+    };
+    if speculated_start != position {
+        return SpeculationVerdict::Discarded;
+    }
+    let Some(delta) = fresh_export.delta_from(snapshot) else {
+        // The export precision knob changed the voxel size: no key-level
+        // delta exists, so the plan cannot be re-validated incrementally.
+        return SpeculationVerdict::Discarded;
+    };
+    if !CollisionChecker::path_clear_of_added(
+        &delta,
+        trajectory.points().iter().map(|p| p.position),
+        clearance,
+        sample_step,
+    ) {
+        return SpeculationVerdict::Discarded;
+    }
+    if speculated_goal == fresh_goal {
+        SpeculationVerdict::Adopted(trajectory.clone())
+    } else {
+        SpeculationVerdict::Patched(trajectory.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The decision cycle (direct-driver core)
+// ---------------------------------------------------------------------------
+
+/// Output of the sensing stage.
+pub(crate) struct Sensed {
+    /// The (possibly fault-corrupted) point cloud of this decision.
+    pub raw_cloud: PointCloud,
+}
+
+/// Output of the planning stage.
+struct Planned {
+    /// Straight-line distance to the first blockage on the remaining
+    /// trajectory, if any.
+    blockage: Option<f64>,
+    /// Whether a replacement trajectory was installed this decision.
+    replanned: bool,
+}
+
+/// The full per-mission state of the direct driver, advanced one decision
+/// at a time by [`DecisionCycle::run_decision`]. [`crate::MissionRunner`]
+/// owns nothing beyond its config; everything the loop touches lives here.
+pub(crate) struct DecisionCycle<'m> {
+    cfg: &'m MissionConfig,
+    env: &'m Environment,
+    governor: Governor,
+    rig: CameraRig,
+    planner_seed_base: u64,
+    planning_margin: f64,
+    baseline_velocity: f64,
+    fault_injector: Option<FaultInjector>,
+    drone: DroneState,
+    clock: SimClock,
+    map: OccupancyMap,
+    telemetry: MissionTelemetry,
+    flown_path: Vec<Vec3>,
+    follower: Option<TrajectoryFollower>,
+    // One collision checker lives across the whole mission: each replan
+    // patches its broad-phase from the export delta instead of rebuilding
+    // it from scratch (the margin never changes mid-run).
+    collision: Option<CollisionChecker>,
+    energy_joules: f64,
+    collided: bool,
+    reached_goal: bool,
+    decisions: usize,
+    decisions_since_plan: usize,
+    pending: Option<PendingSpeculation>,
+    stats: PlanAheadStats,
+}
+
+impl<'m> DecisionCycle<'m> {
+    pub(crate) fn new(cfg: &'m MissionConfig, env: &'m Environment) -> Self {
+        let governor = Governor::new(cfg.governor_config());
+        let rig = cfg.camera_rig();
+        let planner_seed_base = cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(env.seed());
+        let fault_injector = (!cfg.faults.is_healthy()).then(|| FaultInjector::new(cfg.faults));
+        let drone = DroneState::at(env.start());
+        let map = OccupancyMap::new(governor.config().ranges.precision_min);
+        let baseline_velocity = governor.baseline_velocity();
+        let planning_margin = cfg.drone.body_radius * cfg.planning_margin_factor;
+        DecisionCycle {
+            cfg,
+            env,
+            governor,
+            rig,
+            planner_seed_base,
+            planning_margin,
+            baseline_velocity,
+            fault_injector,
+            flown_path: vec![drone.position],
+            drone,
+            clock: SimClock::new(),
+            map,
+            telemetry: MissionTelemetry::new(cfg.mode),
+            follower: None,
+            collision: None,
+            energy_joules: 0.0,
+            collided: false,
+            reached_goal: false,
+            decisions: 0,
+            decisions_since_plan: usize::MAX / 2, // force an initial plan
+            pending: None,
+            stats: PlanAheadStats::default(),
+        }
+    }
+
+    /// `true` while the mission should take another decision.
+    pub(crate) fn mission_open(&self) -> bool {
+        !self.collided
+            && !self.reached_goal
+            && self.decisions < self.cfg.max_decisions
+            && self.clock.now() < self.cfg.max_mission_time
+    }
+
+    // ------------------------------------------------------------ stages
+
+    /// Sensing: capture the camera rig, apply sensor faults.
+    fn sense(&mut self) -> Sensed {
+        let pose = self.drone.pose();
+        let scan = self.rig.capture(self.env.field(), &pose);
+        let sensed_points = match self.fault_injector.as_mut() {
+            Some(injector) => injector.corrupt_sweep(pose.position, &scan.points),
+            None => scan.points.clone(),
+        };
+        Sensed {
+            raw_cloud: PointCloud::new(pose.position, sensed_points),
+        }
+    }
+
+    /// Profiling: the spatial profile the governor decides from.
+    fn profile(&self, sensed: &Sensed) -> SpatialProfile {
+        let heading = direction_towards(self.drone.position, self.env.goal(), self.drone.velocity);
+        let trajectory_ref = self.follower.as_ref().map(|f| f.trajectory().clone());
+        let mut profile = self.cfg.profilers.profile(
+            &sensed.raw_cloud,
+            &self.map,
+            trajectory_ref.as_ref(),
+            self.drone.position,
+            self.drone.speed(),
+            heading,
+        );
+        if let Some(injector) = self.fault_injector.as_ref() {
+            // Fog also limits how far the MAV can trust its view, which
+            // the deadline equation must see.
+            profile.visibility = profile.visibility.min(injector.visibility_cap());
+        }
+        profile
+    }
+
+    /// Governing: profile → policy.
+    fn govern(&self, profile: &SpatialProfile) -> Policy {
+        self.governor.decide(profile)
+    }
+
+    /// Perception operators: downsample, volume-limit, integrate, retain,
+    /// export under the policy's knobs.
+    fn apply_operators(&mut self, sensed: &Sensed, knobs: &KnobSettings) -> PlannerMap {
+        let downsampled = sensed.raw_cloud.downsampled(knobs.point_cloud_precision);
+        let limited = downsampled.volume_limited(self.drone.position, knobs.octomap_volume);
+        // Substrate note: free-space carving uses a step no finer than
+        // 0.5 m regardless of the knob — the latency charged for the
+        // stage comes from the calibrated model, so the carve step only
+        // affects map fidelity, not the reported cost.
+        let carve_step = knobs.point_cloud_precision.max(0.5);
+        self.map.integrate_cloud(&limited, carve_step);
+        self.map
+            .retain_within(self.drone.position, self.cfg.map_retain_radius);
+        PlannerMap::export(
+            &self.map,
+            &ExportConfig::new(
+                knobs.map_to_planner_precision,
+                knobs.map_to_planner_volume,
+                self.drone.position,
+            ),
+        )
+    }
+
+    /// Decision cost: the calibrated model's latency breakdown for the
+    /// knob assignment.
+    fn decision_cost(&self, knobs: &KnobSettings) -> LatencyBreakdown {
+        self.cfg.latency.decision_breakdown(
+            knobs.point_cloud_precision,
+            knobs.octomap_volume,
+            knobs.map_to_planner_precision,
+            knobs.map_to_planner_volume,
+            knobs.map_to_planner_precision,
+            knobs.planner_volume,
+            self.cfg.mode.is_aware(),
+        )
+    }
+
+    /// Planning: blockage detection, speculation validation (plan-ahead),
+    /// synchronous replanning with the fine-export fallback. Returns the
+    /// blockage distance and whether a plan was installed; the masked
+    /// planning latency of an adopted speculation is returned separately
+    /// by [`DecisionCycle::take_speculation`].
+    fn plan(
+        &mut self,
+        export: &PlannerMap,
+        knobs: &KnobSettings,
+        commanded_velocity: f64,
+        speculative: Option<SpeculationVerdict>,
+    ) -> Planned {
+        let blockage = self.first_blockage(export);
+        let need_plan = self.need_plan(blockage);
+        let mut replanned = false;
+        if need_plan {
+            match speculative {
+                Some(SpeculationVerdict::Adopted(trajectory))
+                | Some(SpeculationVerdict::Patched(trajectory)) => {
+                    self.install_trajectory(trajectory);
+                    replanned = true;
+                }
+                Some(SpeculationVerdict::Discarded) | None => {
+                    replanned = self.plan_synchronously(export, knobs, commanded_velocity);
+                }
+            }
+        }
+        Planned {
+            blockage,
+            replanned,
+        }
+    }
+
+    fn first_blockage(&self, export: &PlannerMap) -> Option<f64> {
+        let f = self.follower.as_ref()?;
+        first_blockage_distance(
+            f.trajectory(),
+            f.progress_time(),
+            export,
+            self.planning_margin,
+            self.drone.position,
+        )
+    }
+
+    fn need_plan(&self, blockage: Option<f64>) -> bool {
+        self.follower.as_ref().map(|f| f.finished()).unwrap_or(true)
+            || self.decisions_since_plan >= self.cfg.replan_every
+            || blockage.is_some()
+    }
+
+    fn install_trajectory(&mut self, trajectory: Trajectory) {
+        match self.follower.as_mut() {
+            Some(f) => f.replace_trajectory(trajectory),
+            None => self.follower = Some(TrajectoryFollower::new(trajectory, 0.5)),
+        }
+        self.decisions_since_plan = 0;
+    }
+
+    /// The synchronous planning path (identical to the pre-plan-ahead
+    /// behaviour): refresh the long-lived checker from the export delta,
+    /// plan, and on `StartBlocked` retry against a worst-case-precision
+    /// export.
+    fn plan_synchronously(
+        &mut self,
+        export: &PlannerMap,
+        knobs: &KnobSettings,
+        commanded_velocity: f64,
+    ) -> bool {
+        let local_goal = self.local_goal(export);
+        let bounds = planning_bounds(self.drone.position, local_goal, self.env.bounds());
+        let check_step = planning_check_step(knobs);
+        let planner = planner_for(
+            self.planner_seed_base,
+            self.decisions,
+            knobs,
+            self.planning_margin,
+        );
+        match self.collision.as_mut() {
+            Some(checker) => {
+                checker.update_map(export.clone());
+                checker.set_check_step(check_step);
+            }
+            None => {
+                self.collision = Some(CollisionChecker::new(
+                    export.clone(),
+                    self.planning_margin,
+                    check_step,
+                ));
+            }
+        }
+        let checker = self.collision.as_mut().expect("checker just initialised");
+        let mut outcome = planner.plan_with_checker(
+            checker,
+            self.drone.position,
+            local_goal,
+            &bounds,
+            commanded_velocity.max(0.5),
+        );
+        if matches!(outcome, Err(PlanError::StartBlocked)) {
+            // A coarse export voxel can swallow the drone's own
+            // (physically free) position. Fall back to the worst-case
+            // export precision for this plan — the same recovery a
+            // spatial-oblivious pipeline gets for free.
+            let fine_export = PlannerMap::export(
+                &self.map,
+                &ExportConfig::new(
+                    self.map.resolution(),
+                    knobs.map_to_planner_volume,
+                    self.drone.position,
+                ),
+            );
+            outcome = planner.plan(
+                &fine_export,
+                self.drone.position,
+                local_goal,
+                &bounds,
+                commanded_velocity.max(0.5),
+            );
+        }
+        match outcome {
+            Ok((trajectory, _stats)) => {
+                self.install_trajectory(trajectory);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn local_goal(&self, export: &PlannerMap) -> Vec3 {
+        local_goal(
+            self.env,
+            export,
+            self.drone.position,
+            self.cfg.planning_horizon,
+            self.cfg.drone.body_radius * 1.5,
+        )
+    }
+
+    /// Emergency stop: the remaining trajectory collides with the freshly
+    /// observed map *within stopping range* and no replacement was found
+    /// this decision — brake and hover until a valid plan exists.
+    fn emergency_stop(&mut self, planned: &Planned, latency: f64) {
+        if let (Some(distance), false) = (planned.blockage, planned.replanned) {
+            let stop_distance = self
+                .governor
+                .config()
+                .budgeter
+                .stopping
+                .stopping_distance(self.drone.speed());
+            // Reaction distance: the drone keeps moving for one decision
+            // epoch before the next chance to brake.
+            let reaction = self.drone.speed() * latency.max(self.cfg.min_epoch);
+            if blockage_is_imminent(
+                distance,
+                stop_distance,
+                reaction,
+                2.0 * self.cfg.drone.body_radius,
+            ) {
+                self.follower = None;
+            }
+        }
+    }
+
+    // ----------------------------------------------------- plan-ahead
+
+    /// Joins the in-flight speculation (if any) and validates it against
+    /// the fresh export. Returns the verdict and, for an adopted or
+    /// patched plan, the planning latency masked by the overlap window.
+    fn take_speculation(
+        &mut self,
+        worker: Option<&mut PlanAheadWorker>,
+        export: &PlannerMap,
+        knobs: &KnobSettings,
+        breakdown: &LatencyBreakdown,
+    ) -> (Option<SpeculationVerdict>, f64) {
+        let (Some(worker), Some(pending)) = (worker, self.pending.take()) else {
+            return (None, 0.0);
+        };
+        let outcome = worker
+            .outcomes
+            .recv()
+            .expect("speculation worker hung up mid-mission");
+        let fresh_goal = self.local_goal(export);
+        let verdict = validate_speculation(
+            &outcome.outcome,
+            &pending.snapshot,
+            pending.start,
+            pending.goal,
+            export,
+            fresh_goal,
+            self.drone.position,
+            self.planning_margin * 0.6,
+            planning_check_step(knobs),
+        );
+        let masked = match verdict {
+            SpeculationVerdict::Adopted(_) | SpeculationVerdict::Patched(_) => {
+                self.stats.hits += 1;
+                let masked = breakdown.planning.min(pending.window);
+                self.stats.masked_latency += masked;
+                masked
+            }
+            SpeculationVerdict::Discarded => 0.0,
+        };
+        (Some(verdict), masked)
+    }
+
+    /// Launches a speculation for the next decision when a replan is
+    /// predictably due (`replan_every` cadence or a finished trajectory —
+    /// blockages cannot be predicted) and the long-lived checker exists to
+    /// snapshot. Runs at the end of a decision, after the epoch advance:
+    /// the drone position is exactly what the next planning stage will
+    /// see.
+    fn speculate(
+        &mut self,
+        worker: Option<&mut PlanAheadWorker>,
+        export: &PlannerMap,
+        knobs: &KnobSettings,
+        commanded_velocity: f64,
+        window: f64,
+    ) {
+        let Some(worker) = worker else { return };
+        if !self.mission_open() {
+            return;
+        }
+        let predicted_need = self.follower.as_ref().map(|f| f.finished()).unwrap_or(true)
+            || self.decisions_since_plan + 1 >= self.cfg.replan_every;
+        if !predicted_need {
+            return;
+        }
+        if self.collision.is_none() {
+            return;
+        }
+        let goal = self.local_goal(export);
+        let planner = planner_for(
+            self.planner_seed_base,
+            self.decisions + 1,
+            knobs,
+            self.planning_margin,
+        );
+        let bounds = planning_bounds(self.drone.position, goal, self.env.bounds());
+        // Refresh the snapshot checker to this decision's export (an exact
+        // delta patch, same as the synchronous path would apply) and build
+        // its broad-phase so the worker never pays for it.
+        let checker = self.collision.as_mut().expect("checked above");
+        checker.update_map(export.clone());
+        checker.set_check_step(planning_check_step(knobs));
+        checker.prebuild_broad_phase();
+        let request = SpeculationRequest {
+            planner,
+            checker: checker.clone(),
+            start: self.drone.position,
+            goal,
+            bounds,
+            cruise: commanded_velocity.max(0.5),
+        };
+        if worker.requests.send(request).is_ok() {
+            self.stats.attempts += 1;
+            self.pending = Some(PendingSpeculation {
+                snapshot: export.clone(),
+                start: self.drone.position,
+                goal,
+                window,
+            });
+        }
+    }
+
+    // ------------------------------------------------------- the driver
+
+    /// Runs one full decision: every stage in order, the plan-ahead
+    /// join/validate and re-launch included. The caller loops while
+    /// [`DecisionCycle::mission_open`].
+    pub(crate) fn run_decision(&mut self, mut worker: Option<&mut PlanAheadWorker>) {
+        self.decisions += 1;
+
+        // sense → profile → govern → operate → cost.
+        let sensed = self.sense();
+        let profile = self.profile(&sensed);
+        let policy = self.govern(&profile);
+        let knobs = policy.knobs;
+        let export = self.apply_operators(&sensed, &knobs);
+        let breakdown = self.decision_cost(&knobs);
+
+        // Plan-ahead join: an adopted speculation masks the planning stage
+        // up to the overlap window; everything downstream (safe velocity,
+        // epoch, telemetry) sees the critical-path latency.
+        self.decisions_since_plan += 1;
+        let (speculative, masked) =
+            self.take_speculation(worker.as_deref_mut(), &export, &knobs, &breakdown);
+        let latency = breakdown.critical_path(masked);
+
+        // Safe velocity under the budget law (Eq. 1), on the critical path:
+        // masked planning work never delayed the MAV's reaction.
+        let commanded_velocity = match self.cfg.mode {
+            RuntimeMode::SpatialOblivious => self.baseline_velocity,
+            RuntimeMode::SpatialAware => {
+                self.governor
+                    .safe_velocity_overlapped(&breakdown, masked, profile.visibility)
+            }
+        };
+
+        // Plan (or adopt), then the emergency-stop policy.
+        let planned = self.plan(&export, &knobs, commanded_velocity, speculative);
+        self.emergency_stop(&planned, latency);
+
+        // Record.
+        let cpu_sample = self
+            .cfg
+            .cpu
+            .sample(breakdown.compute_total(), latency.max(self.cfg.min_epoch));
+        self.telemetry.push(DecisionRecord {
+            time: self.clock.now(),
+            position: self.drone.position,
+            commanded_velocity,
+            visibility: profile.visibility,
+            deadline: policy.deadline,
+            knobs,
+            breakdown,
+            cpu_utilization: cpu_sample.utilization,
+            zone: Some(zone_label(self.env.zone_at(self.drone.position))),
+            masked_latency: masked,
+        });
+
+        // Advance the world for the (critical-path) epoch.
+        let epoch = latency.max(self.cfg.min_epoch);
+        let follower = &mut self.follower;
+        self.collided = advance_epoch(
+            &mut self.drone,
+            &mut self.clock,
+            &mut self.energy_joules,
+            self.env,
+            &self.cfg.drone,
+            &self.cfg.energy,
+            epoch,
+            commanded_velocity,
+            |position, dt| match follower.as_mut() {
+                Some(f) if !f.finished() => {
+                    let cmd = f.update(position, dt);
+                    Some((cmd.target, cmd.speed))
+                }
+                _ => None,
+            },
+        );
+        self.flown_path.push(self.drone.position);
+        if !self.collided
+            && self.drone.position.distance(self.env.goal()) <= self.cfg.goal_tolerance
+        {
+            self.reached_goal = true;
+        }
+
+        // Plan-ahead launch: speculate the next decision's plan while the
+        // epoch just charged "executes" (the worker overlaps with the next
+        // decision's sensing/perception work on this thread).
+        self.speculate(worker, &export, &knobs, commanded_velocity, epoch);
+    }
+
+    /// Final mission result.
+    pub(crate) fn finish(self) -> MissionResult {
+        let mission_time = self.clock.now().max(1e-9);
+        let metrics = finalize_metrics(
+            self.cfg.mode,
+            mission_time,
+            self.energy_joules,
+            &self.telemetry,
+            &self.drone,
+            self.decisions,
+            self.reached_goal,
+            self.collided,
+            &self.stats,
+        );
+        MissionResult {
+            metrics,
+            telemetry: self.telemetry,
+            flown_path: self.flown_path,
+        }
+    }
+}

@@ -16,6 +16,9 @@
 //!   runtime mode ([`roborun_core::RuntimeMode`]) and produce a
 //!   [`MissionResult`] (metrics + full per-decision telemetry), with
 //!   optional per-knob ablation and sensor-fault injection.
+//! * [`cycle`] — the shared decision-cycle core both drivers execute
+//!   (stage policies, epoch advance) and the plan-ahead machinery that
+//!   overlaps speculative planning with trajectory execution.
 //! * [`node_pipeline`] — the same closed loop executed as a
 //!   `roborun-middleware` node graph, with the communication term measured
 //!   from real per-topic traffic instead of modeled.
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod breakdown;
+pub mod cycle;
 pub mod metrics;
 pub mod node_pipeline;
 pub mod report;

@@ -27,6 +27,14 @@ pub struct MissionMetrics {
     pub reached_goal: bool,
     /// `true` when the MAV collided with an obstacle.
     pub collided: bool,
+    /// Total planning latency masked from the critical path by plan-ahead
+    /// overlap (seconds). Zero when plan-ahead is disabled.
+    pub masked_planning_latency: f64,
+    /// Speculative plans launched by the plan-ahead worker.
+    pub plan_ahead_attempts: usize,
+    /// Speculative plans adopted (including goal-drift patches) instead
+    /// of a synchronous replan.
+    pub plan_ahead_hits: usize,
 }
 
 impl MissionMetrics {
@@ -34,6 +42,14 @@ impl MissionMetrics {
     /// free (the paper requires ≥80% of flights to be collision free).
     pub fn successful(&self) -> bool {
         self.reached_goal && !self.collided
+    }
+
+    /// Fraction of launched speculations that survived the incremental
+    /// re-check and were adopted, or `None` when plan-ahead never
+    /// speculated (disabled, or no replan was ever predictable).
+    pub fn plan_ahead_hit_rate(&self) -> Option<f64> {
+        (self.plan_ahead_attempts > 0)
+            .then(|| self.plan_ahead_hits as f64 / self.plan_ahead_attempts as f64)
     }
 }
 
@@ -47,6 +63,7 @@ pub struct AggregateMetrics {
     velocity: RunningStats,
     cpu: RunningStats,
     median_latency: RunningStats,
+    masked_latency: RunningStats,
     successes: usize,
     total: usize,
 }
@@ -67,6 +84,7 @@ impl AggregateMetrics {
         self.velocity.push(m.mean_velocity);
         self.cpu.push(m.mean_cpu_utilization);
         self.median_latency.push(m.median_latency);
+        self.masked_latency.push(m.masked_planning_latency);
         if m.successful() {
             self.successes += 1;
         }
@@ -101,6 +119,12 @@ impl AggregateMetrics {
     /// Mean of the per-mission median latencies (seconds).
     pub fn mean_median_latency(&self) -> f64 {
         self.median_latency.mean()
+    }
+
+    /// Mean of the per-mission masked planning latencies (seconds; zero
+    /// across the board when plan-ahead was disabled).
+    pub fn mean_masked_latency(&self) -> f64 {
+        self.masked_latency.mean()
     }
 
     /// Fraction of missions that reached the goal without colliding.
@@ -159,6 +183,9 @@ mod tests {
             distance_travelled: time * velocity,
             reached_goal: true,
             collided: false,
+            masked_planning_latency: 0.0,
+            plan_ahead_attempts: 0,
+            plan_ahead_hits: 0,
         }
     }
 
@@ -192,6 +219,23 @@ mod tests {
         assert!((agg.success_rate() - 1.0).abs() < 1e-12);
         assert!(agg.mean_energy_kj() > 0.0);
         assert!((agg.mean_median_latency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_ahead_hit_rate_reporting() {
+        let base = metrics(RuntimeMode::SpatialAware, 400.0, 2.5, 0.5);
+        assert_eq!(base.plan_ahead_hit_rate(), None);
+        let overlapped = MissionMetrics {
+            masked_planning_latency: 12.5,
+            plan_ahead_attempts: 40,
+            plan_ahead_hits: 30,
+            ..base
+        };
+        assert!((overlapped.plan_ahead_hit_rate().unwrap() - 0.75).abs() < 1e-12);
+        let mut agg = AggregateMetrics::new(RuntimeMode::SpatialAware);
+        agg.push(&base);
+        agg.push(&overlapped);
+        assert!((agg.mean_masked_latency() - 6.25).abs() < 1e-12);
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //! commands at the 4 Hz control substep) stays a direct call, exactly as the
 //! flight-controller interface does on a real MAV.
 
-use crate::metrics::MissionMetrics;
-use crate::runner::{direction_towards, planning_bounds, zone_label, MissionConfig, MissionResult};
+use crate::cycle::{self, direction_towards, planning_bounds, zone_label, PlanAheadStats};
+use crate::runner::{MissionConfig, MissionResult};
 use roborun_control::TrajectoryFollower;
 use roborun_core::{
     DecisionRecord, Governor, MissionTelemetry, Policy, Profilers, RuntimeMode, SpatialProfile,
@@ -28,7 +28,7 @@ use roborun_middleware::{
     CommLatencyModel, GraphInfo, Message, MessageBus, Node, Publisher, QosProfile, Subscription,
 };
 use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
-use roborun_planning::{PlanError, Planner, PlannerConfig, RrtConfig, Trajectory};
+use roborun_planning::{PlanError, Trajectory};
 use roborun_sim::{CameraRig, DroneState, SimClock, StoppingModel};
 use serde::{Deserialize, Serialize};
 
@@ -436,26 +436,13 @@ impl PlanningNode {
     }
 
     fn local_goal(&self, env: &Environment, export: &PlannerMap, position: Vec3) -> Vec3 {
-        let goal = env.goal();
-        let to_goal = goal - position;
-        let distance = to_goal.norm();
-        if distance <= self.planning_horizon {
-            return goal;
-        }
-        let dir = to_goal / distance;
-        let base = position + dir * self.planning_horizon;
-        let probe_margin = self.margin * 0.9;
-        if !export.is_occupied(base, probe_margin) {
-            return base;
-        }
-        let lateral = Vec3::new(-dir.y, dir.x, 0.0);
-        for offset in [4.0, -4.0, 8.0, -8.0, 14.0, -14.0, 20.0, -20.0] {
-            let candidate = base + lateral * offset;
-            if env.bounds().contains(candidate) && !export.is_occupied(candidate, probe_margin) {
-                return candidate;
-            }
-        }
-        base
+        cycle::local_goal(
+            env,
+            export,
+            position,
+            self.planning_horizon,
+            self.margin * 0.9,
+        )
     }
 
     /// Distance from the drone to the first remaining-trajectory point that
@@ -467,12 +454,7 @@ impl PlanningNode {
             return None;
         };
         let progress = self.latest_status.map(|s| s.progress_time).unwrap_or(0.0);
-        trajectory
-            .remaining_from(progress)
-            .points()
-            .iter()
-            .find(|p| map.is_occupied(p.position, self.margin * 0.6))
-            .map(|p| p.position.distance(position))
+        cycle::first_blockage_distance(trajectory, progress, map, self.margin, position)
     }
 
     fn spin(&mut self, env: &Environment, commanded_velocity: f64) {
@@ -509,7 +491,12 @@ impl PlanningNode {
         let imminent_blockage = blockage.is_some_and(|distance| {
             // Stopping distance plus one second of reaction (≈ one decision
             // epoch of continued motion before the next chance to brake).
-            distance <= self.stopping.stopping_distance(odom.speed) + odom.speed + 2.0 * self.margin
+            cycle::blockage_is_imminent(
+                distance,
+                self.stopping.stopping_distance(odom.speed),
+                odom.speed,
+                2.0 * self.margin,
+            )
         });
         let need_plan = self.active_trajectory.is_none()
             || finished
@@ -522,17 +509,7 @@ impl PlanningNode {
         let knobs = policy.knobs;
         let local_goal = self.local_goal(env, map, odom.position);
         let bounds = planning_bounds(odom.position, local_goal, env.bounds());
-        let planner = Planner::new(PlannerConfig {
-            rrt: RrtConfig {
-                seed: self.seed_base.wrapping_add(self.decisions as u64),
-                max_explored_volume: knobs.planner_volume,
-                max_samples: 900,
-                ..RrtConfig::default()
-            },
-            margin: self.margin,
-            collision_check_step: knobs.map_to_planner_precision.max(0.3),
-            ..PlannerConfig::default()
-        });
+        let planner = cycle::planner_for(self.seed_base, self.decisions, &knobs, self.margin);
         let outcome = planner.plan(
             map,
             odom.position,
@@ -781,32 +758,22 @@ impl NodePipeline {
                 breakdown,
                 cpu_utilization: cpu_sample.utilization,
                 zone: Some(zone_label(env.zone_at(drone.position))),
+                masked_latency: 0.0,
             });
 
             // Advance the physical world for the epoch.
             let epoch = latency.max(cfg.min_epoch);
-            let substep = 0.25f64;
-            let mut remaining = epoch;
-            while remaining > 1e-9 {
-                let dt = substep.min(remaining);
-                remaining -= dt;
-                let (target, speed) = match control.update(drone.position, dt) {
-                    Some((target, speed)) => (target, speed.min(commanded_velocity)),
-                    // No active trajectory: brake along the current motion
-                    // direction (acceleration-limited), then hover.
-                    None => (drone.position + drone.velocity, 0.0),
-                };
-                drone.advance_towards(&cfg.drone, target, speed, dt);
-                energy_joules += cfg.energy.energy_for(drone.speed(), dt);
-                clock.advance(dt);
-                if env
-                    .field()
-                    .is_occupied_with_margin(drone.position, cfg.drone.body_radius * 0.8)
-                {
-                    collided = true;
-                    break;
-                }
-            }
+            collided = cycle::advance_epoch(
+                &mut drone,
+                &mut clock,
+                &mut energy_joules,
+                env,
+                &cfg.drone,
+                &cfg.energy,
+                epoch,
+                commanded_velocity,
+                |position, dt| control.update(position, dt),
+            );
             control.end_epoch();
             flown_path.push(drone.position);
 
@@ -820,18 +787,19 @@ impl NodePipeline {
         }
 
         let mission_time = clock.now().max(1e-9);
-        let metrics = MissionMetrics {
-            mode: cfg.mode,
+        // The node graph plans synchronously on the bus, so no latency is
+        // ever masked.
+        let metrics = cycle::finalize_metrics(
+            cfg.mode,
             mission_time,
-            energy_kj: energy_joules / 1000.0,
-            mean_velocity: drone.distance_travelled / mission_time,
-            mean_cpu_utilization: telemetry.mean_cpu_utilization(),
-            median_latency: telemetry.median_latency().unwrap_or(0.0),
+            energy_joules,
+            &telemetry,
+            &drone,
             decisions,
-            distance_travelled: drone.distance_travelled,
             reached_goal,
             collided,
-        };
+            &PlanAheadStats::default(),
+        );
         let graph = GraphInfo::snapshot(&bus);
         NodePipelineResult {
             mission: MissionResult {

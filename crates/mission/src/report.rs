@@ -163,6 +163,28 @@ pub fn telemetry_csv(telemetry: &MissionTelemetry) -> String {
     )
 }
 
+/// Per-decision overlap series: end-to-end latency, critical-path latency
+/// and the planning latency plan-ahead masked. With plan-ahead disabled
+/// the first two columns coincide and the third is zero.
+pub fn overlap_csv(telemetry: &MissionTelemetry) -> String {
+    let rows: Vec<Vec<f64>> = telemetry
+        .records()
+        .iter()
+        .map(|r| {
+            vec![
+                r.time,
+                r.latency(),
+                r.critical_path_latency(),
+                r.masked_latency,
+            ]
+        })
+        .collect();
+    format_csv(
+        &["time_s", "latency_s", "critical_path_s", "masked_s"],
+        &rows,
+    )
+}
+
 /// The Fig. 11a-style per-decision latency breakdown CSV.
 pub fn breakdown_csv(telemetry: &MissionTelemetry) -> String {
     let rows: Vec<Vec<f64>> = telemetry
@@ -246,6 +268,7 @@ mod tests {
                 },
                 cpu_utilization: 0.4,
                 zone: Some('A'),
+                masked_latency: 0.0,
             });
         }
         let series = telemetry_csv(&telemetry);
@@ -253,6 +276,15 @@ mod tests {
         let breakdown = breakdown_csv(&telemetry);
         assert_eq!(breakdown.lines().count(), 5);
         assert!(breakdown.lines().next().unwrap().contains("octomap_s"));
+        let overlap = overlap_csv(&telemetry);
+        assert_eq!(overlap.lines().count(), 5);
+        assert!(overlap.lines().next().unwrap().contains("critical_path_s"));
+        // No masking in these records: the two latency columns agree.
+        for line in overlap.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            assert_eq!(cells[1], cells[2]);
+            assert_eq!(cells[3], "0.000000");
+        }
     }
 
     #[test]

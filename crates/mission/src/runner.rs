@@ -7,22 +7,24 @@
 //! decision the latency the calibrated compute model assigns to the knob
 //! values in force, advances the simulated drone for that long, and records
 //! the full telemetry the paper's figures are drawn from.
+//!
+//! The per-decision logic itself lives in [`crate::cycle`]: the runner is a
+//! thin driver that loops a [`cycle::DecisionCycle`](crate::cycle) until the
+//! mission closes, and — when [`MissionConfig::plan_ahead`] is enabled —
+//! hosts the scoped planner worker that speculatively plans each next
+//! decision while control executes the current trajectory (see the
+//! snapshot/validation contract in the [`crate::cycle`] module docs).
 
+use crate::cycle::{self, DecisionCycle, PlanAheadWorker};
 use crate::metrics::MissionMetrics;
-use roborun_control::TrajectoryFollower;
-use roborun_core::{
-    DecisionRecord, Governor, GovernorConfig, KnobAblation, MissionTelemetry, Profilers,
-    RuntimeMode,
-};
-use roborun_env::{Environment, Zone};
-use roborun_geom::{Aabb, Vec3};
-use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
-use roborun_planning::{CollisionChecker, PlanError, Planner, PlannerConfig, RrtConfig};
+use roborun_core::{KnobAblation, MissionTelemetry, Profilers, RuntimeMode};
+use roborun_env::Environment;
+use roborun_geom::Vec3;
 use roborun_sim::{
-    CameraRig, ComputeLatencyModel, CpuModel, DepthCamera, DroneConfig, DroneState, EnergyModel,
-    FaultConfig, FaultInjector, SimClock,
+    CameraRig, ComputeLatencyModel, CpuModel, DepthCamera, DroneConfig, EnergyModel, FaultConfig,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::mpsc;
 
 /// Configuration of one mission run.
 #[derive(Debug, Clone)]
@@ -70,6 +72,13 @@ pub struct MissionConfig {
     /// Sensing faults injected between the camera rig and the point-cloud
     /// kernel (fog, dropouts, range noise). Healthy by default.
     pub faults: FaultConfig,
+    /// Overlap planning with execution: speculatively plan the next
+    /// decision on a worker thread while control executes the current
+    /// trajectory, masking the planning stage's latency when the
+    /// speculation survives the incremental re-check (see the
+    /// [`crate::cycle`] module docs). Off by default; with it off every
+    /// mission is bit-identical to the non-overlapped behaviour.
+    pub plan_ahead: bool,
     /// Random seed for the stochastic planner.
     pub seed: u64,
 }
@@ -100,6 +109,7 @@ impl MissionConfig {
             waypoint_budgeting: true,
             ablation: KnobAblation::none(),
             faults: FaultConfig::healthy(),
+            plan_ahead: false,
             seed: 1,
         }
     }
@@ -118,14 +128,14 @@ impl MissionConfig {
     }
 
     /// Governor configuration derived from this mission configuration.
-    pub fn governor_config(&self) -> GovernorConfig {
-        GovernorConfig {
+    pub fn governor_config(&self) -> roborun_core::GovernorConfig {
+        roborun_core::GovernorConfig {
             mode: self.mode,
             max_velocity: self.drone.max_speed,
             oblivious_visibility: self.profilers.min_visibility,
             waypoint_budgeting: self.waypoint_budgeting,
             ablation: self.ablation,
-            ..GovernorConfig::default()
+            ..roborun_core::GovernorConfig::default()
         }
     }
 }
@@ -168,342 +178,35 @@ impl MissionRunner {
     }
 
     /// Runs one mission in the given environment.
+    ///
+    /// With [`MissionConfig::plan_ahead`] enabled, a scoped worker thread
+    /// serves speculative planning requests for the duration of the run;
+    /// the mission stays deterministic because each speculation is a pure
+    /// function of its snapshot and the loop joins the worker's answer
+    /// before using it.
     pub fn run(&self, env: &Environment) -> MissionResult {
-        let cfg = &self.config;
-        let governor = Governor::new(cfg.governor_config());
-        let rig = cfg.camera_rig();
-        let planner_seed_base = cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(env.seed());
-
-        let mut fault_injector = (!cfg.faults.is_healthy()).then(|| FaultInjector::new(cfg.faults));
-        let mut drone = DroneState::at(env.start());
-        let mut clock = SimClock::new();
-        let mut map = OccupancyMap::new(governor.config().ranges.precision_min);
-        let mut telemetry = MissionTelemetry::new(cfg.mode);
-        let mut flown_path = vec![drone.position];
-        let mut follower: Option<TrajectoryFollower> = None;
-        // One collision checker lives across the whole mission: each
-        // replan patches its broad-phase from the export delta instead of
-        // rebuilding it from scratch (the margin never changes mid-run).
-        let mut collision: Option<CollisionChecker> = None;
-        let mut energy_joules = 0.0;
-        let mut collided = false;
-        let mut reached_goal = false;
-        let mut decisions = 0usize;
-        let mut decisions_since_plan = usize::MAX / 2; // force an initial plan
-        let baseline_velocity = governor.baseline_velocity();
-        let planning_margin = cfg.drone.body_radius * cfg.planning_margin_factor;
-
-        while decisions < cfg.max_decisions && clock.now() < cfg.max_mission_time {
-            decisions += 1;
-
-            // ------------------------------------------------------ sensing
-            let pose = drone.pose();
-            let scan = rig.capture(env.field(), &pose);
-            let sensed_points = match fault_injector.as_mut() {
-                Some(injector) => injector.corrupt_sweep(pose.position, &scan.points),
-                None => scan.points.clone(),
-            };
-            let raw_cloud = PointCloud::new(pose.position, sensed_points);
-
-            // --------------------------------------------------- profiling
-            let heading = direction_towards(drone.position, env.goal(), drone.velocity);
-            let trajectory_ref = follower.as_ref().map(|f| f.trajectory().clone());
-            let mut profile = cfg.profilers.profile(
-                &raw_cloud,
-                &map,
-                trajectory_ref.as_ref(),
-                drone.position,
-                drone.speed(),
-                heading,
-            );
-            if let Some(injector) = fault_injector.as_ref() {
-                // Fog also limits how far the MAV can trust its view, which
-                // the deadline equation must see.
-                profile.visibility = profile.visibility.min(injector.visibility_cap());
-            }
-
-            // ---------------------------------------------------- governing
-            let policy = governor.decide(&profile);
-            let knobs = policy.knobs;
-
-            // ------------------------------------------- perception operators
-            let downsampled = raw_cloud.downsampled(knobs.point_cloud_precision);
-            let limited = downsampled.volume_limited(drone.position, knobs.octomap_volume);
-            // Substrate note: free-space carving uses a step no finer than
-            // 0.5 m regardless of the knob — the latency charged for the
-            // stage comes from the calibrated model, so the carve step only
-            // affects map fidelity, not the reported cost.
-            let carve_step = knobs.point_cloud_precision.max(0.5);
-            map.integrate_cloud(&limited, carve_step);
-            map.retain_within(drone.position, cfg.map_retain_radius);
-            let export = PlannerMap::export(
-                &map,
-                &ExportConfig::new(
-                    knobs.map_to_planner_precision,
-                    knobs.map_to_planner_volume,
-                    drone.position,
-                ),
-            );
-
-            // ------------------------------------------------ decision cost
-            let breakdown = cfg.latency.decision_breakdown(
-                knobs.point_cloud_precision,
-                knobs.octomap_volume,
-                knobs.map_to_planner_precision,
-                knobs.map_to_planner_volume,
-                knobs.map_to_planner_precision,
-                knobs.planner_volume,
-                cfg.mode.is_aware(),
-            );
-            let latency = breakdown.total();
-
-            // ------------------------------------------------- safe velocity
-            let commanded_velocity = match cfg.mode {
-                RuntimeMode::SpatialOblivious => baseline_velocity,
-                RuntimeMode::SpatialAware => governor.safe_velocity(latency, profile.visibility),
-            };
-
-            // --------------------------------------------------- (re)planning
-            decisions_since_plan += 1;
-            let blockage = first_blockage_distance(
-                follower.as_ref(),
-                &export,
-                planning_margin,
-                drone.position,
-            );
-            let need_plan = follower.as_ref().map(|f| f.finished()).unwrap_or(true)
-                || decisions_since_plan >= cfg.replan_every
-                || blockage.is_some();
-            let mut replanned = false;
-            if need_plan {
-                let local_goal = self.local_goal(env, &export, drone.position);
-                let bounds = planning_bounds(drone.position, local_goal, env.bounds());
-                let check_step = knobs.map_to_planner_precision.max(0.3);
-                let planner = Planner::new(PlannerConfig {
-                    rrt: RrtConfig {
-                        seed: planner_seed_base.wrapping_add(decisions as u64),
-                        max_explored_volume: knobs.planner_volume,
-                        max_samples: 900,
-                        ..RrtConfig::default()
-                    },
-                    margin: planning_margin,
-                    collision_check_step: check_step,
-                    ..PlannerConfig::default()
-                });
-                match collision.as_mut() {
-                    Some(checker) => {
-                        checker.update_map(export.clone());
-                        checker.set_check_step(check_step);
-                    }
-                    None => {
-                        collision = Some(CollisionChecker::new(
-                            export.clone(),
-                            planning_margin,
-                            check_step,
-                        ));
-                    }
-                }
-                let checker = collision.as_mut().expect("checker just initialised");
-                let mut outcome = planner.plan_with_checker(
-                    checker,
-                    drone.position,
-                    local_goal,
-                    &bounds,
-                    commanded_velocity.max(0.5),
-                );
-                if matches!(outcome, Err(PlanError::StartBlocked)) {
-                    // A coarse export voxel can swallow the drone's own
-                    // (physically free) position. Fall back to the
-                    // worst-case export precision for this plan — the same
-                    // recovery a spatial-oblivious pipeline gets for free.
-                    let fine_export = PlannerMap::export(
-                        &map,
-                        &ExportConfig::new(
-                            map.resolution(),
-                            knobs.map_to_planner_volume,
-                            drone.position,
-                        ),
-                    );
-                    outcome = planner.plan(
-                        &fine_export,
-                        drone.position,
-                        local_goal,
-                        &bounds,
-                        commanded_velocity.max(0.5),
-                    );
-                }
-                if let Ok((trajectory, _stats)) = outcome {
-                    match follower.as_mut() {
-                        Some(f) => f.replace_trajectory(trajectory),
-                        None => follower = Some(TrajectoryFollower::new(trajectory, 0.5)),
-                    }
-                    decisions_since_plan = 0;
-                    replanned = true;
-                }
-            }
-            // Emergency stop: the remaining trajectory collides with the
-            // freshly observed map *within stopping range* and no
-            // replacement was found this decision — brake and hover until a
-            // valid plan exists. This is the reaction the stopping-distance
-            // term of Eq. 1 budgets for. Blockages further out leave time to
-            // keep flying while replanning (and coarse-voxel false positives
-            // resolve as the MAV gets close and precision tightens).
-            if let (Some(distance), false) = (blockage, replanned) {
-                let stop_distance = governor
-                    .config()
-                    .budgeter
-                    .stopping
-                    .stopping_distance(drone.speed());
-                // Reaction distance: the drone keeps moving for one decision
-                // epoch before the next chance to brake.
-                let reaction = drone.speed() * latency.max(cfg.min_epoch);
-                if distance <= stop_distance + reaction + 2.0 * cfg.drone.body_radius {
-                    follower = None;
-                }
-            }
-
-            // --------------------------------------------------- record
-            let cpu_sample = cfg
-                .cpu
-                .sample(breakdown.compute_total(), latency.max(cfg.min_epoch));
-            telemetry.push(DecisionRecord {
-                time: clock.now(),
-                position: drone.position,
-                commanded_velocity,
-                visibility: profile.visibility,
-                deadline: policy.deadline,
-                knobs,
-                breakdown,
-                cpu_utilization: cpu_sample.utilization,
-                zone: Some(zone_label(env.zone_at(drone.position))),
-            });
-
-            // ----------------------------------------- advance the world
-            let epoch = latency.max(cfg.min_epoch);
-            let substep = 0.25f64;
-            let mut remaining = epoch;
-            while remaining > 1e-9 {
-                let dt = substep.min(remaining);
-                remaining -= dt;
-                let (target, speed) = match follower.as_mut() {
-                    Some(f) if !f.finished() => {
-                        let cmd = f.update(drone.position, dt);
-                        (cmd.target, cmd.speed.min(commanded_velocity))
-                    }
-                    // No active trajectory: brake along the current motion
-                    // direction (acceleration-limited), then hover.
-                    _ => (drone.position + drone.velocity, 0.0),
-                };
-                drone.advance_towards(&cfg.drone, target, speed, dt);
-                energy_joules += cfg.energy.energy_for(drone.speed(), dt);
-                clock.advance(dt);
-                if env
-                    .field()
-                    .is_occupied_with_margin(drone.position, cfg.drone.body_radius * 0.8)
-                {
-                    collided = true;
-                    break;
-                }
-            }
-            flown_path.push(drone.position);
-
-            if collided {
-                break;
-            }
-            if drone.position.distance(env.goal()) <= cfg.goal_tolerance {
-                reached_goal = true;
-                break;
-            }
+        if !self.config.plan_ahead {
+            return self.drive(env, None);
         }
-
-        let mission_time = clock.now().max(1e-9);
-        let metrics = MissionMetrics {
-            mode: cfg.mode,
-            mission_time,
-            energy_kj: energy_joules / 1000.0,
-            mean_velocity: drone.distance_travelled / mission_time,
-            mean_cpu_utilization: telemetry.mean_cpu_utilization(),
-            median_latency: telemetry.median_latency().unwrap_or(0.0),
-            decisions,
-            distance_travelled: drone.distance_travelled,
-            reached_goal,
-            collided,
-        };
-        MissionResult {
-            metrics,
-            telemetry,
-            flown_path,
-        }
+        let (req_tx, req_rx) = mpsc::channel();
+        let (out_tx, out_rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            scope.spawn(move || cycle::speculation_worker(req_rx, out_tx));
+            let mut worker = PlanAheadWorker::new(req_tx, out_rx);
+            // `worker` (and with it the request sender) drops when this
+            // closure returns, which hangs up the channel and lets the
+            // scoped thread exit before the scope joins it.
+            self.drive(env, Some(&mut worker))
+        })
     }
 
-    /// Receding-horizon local goal: a free point towards the mission goal,
-    /// at most `planning_horizon` metres ahead, nudged laterally when the
-    /// direct candidate is blocked in the exported map.
-    fn local_goal(&self, env: &Environment, export: &PlannerMap, position: Vec3) -> Vec3 {
-        let goal = env.goal();
-        let to_goal = goal - position;
-        let distance = to_goal.norm();
-        if distance <= self.config.planning_horizon {
-            return goal;
+    /// The decision loop: a thin driver of [`cycle::DecisionCycle`].
+    fn drive(&self, env: &Environment, mut worker: Option<&mut PlanAheadWorker>) -> MissionResult {
+        let mut cycle = DecisionCycle::new(&self.config, env);
+        while cycle.mission_open() {
+            cycle.run_decision(worker.as_deref_mut());
         }
-        let dir = to_goal / distance;
-        let base = position + dir * self.config.planning_horizon;
-        let margin = self.config.drone.body_radius * 1.5;
-        if !export.is_occupied(base, margin) {
-            return base;
-        }
-        let lateral = Vec3::new(-dir.y, dir.x, 0.0);
-        for offset in [4.0, -4.0, 8.0, -8.0, 14.0, -14.0, 20.0, -20.0] {
-            let candidate = base + lateral * offset;
-            if env.bounds().contains(candidate) && !export.is_occupied(candidate, margin) {
-                return candidate;
-            }
-        }
-        base
-    }
-}
-
-/// Direction of travel used for the unknown-space probe: the current
-/// velocity when moving, otherwise straight at the goal.
-pub(crate) fn direction_towards(position: Vec3, goal: Vec3, velocity: Vec3) -> Vec3 {
-    if velocity.norm() > 0.3 {
-        velocity
-    } else {
-        goal - position
-    }
-}
-
-/// Distance (metres, straight-line from `position`) to the first point of
-/// the remaining trajectory that collides with the freshly exported map, or
-/// `None` when the remaining trajectory is clear (knowledge gained since
-/// the last plan has not invalidated it).
-pub(crate) fn first_blockage_distance(
-    follower: Option<&TrajectoryFollower>,
-    export: &PlannerMap,
-    margin: f64,
-    position: Vec3,
-) -> Option<f64> {
-    let f = follower?;
-    let remaining = f.trajectory().remaining_from(f.progress_time());
-    remaining
-        .points()
-        .iter()
-        .find(|p| export.is_occupied(p.position, margin * 0.6))
-        .map(|p| p.position.distance(position))
-}
-
-/// Axis-aligned sampling bounds for the local planning problem.
-pub(crate) fn planning_bounds(start: Vec3, goal: Vec3, world: Aabb) -> Aabb {
-    let corridor = Aabb::new(start, goal).inflate(25.0);
-    corridor.intersection(&world).unwrap_or(corridor)
-}
-
-/// Zone enum → the single-character label used in telemetry.
-pub(crate) fn zone_label(zone: Zone) -> char {
-    match zone {
-        Zone::A => 'A',
-        Zone::B => 'B',
-        Zone::C => 'C',
+        cycle.finish()
     }
 }
 

@@ -56,6 +56,15 @@ impl SweepConfig {
             ..SweepConfig::default()
         }
     }
+
+    /// The same sweep with plan-ahead (speculative planning overlap)
+    /// forced on for both designs — the configuration of the overlapped
+    /// golden fixture and the `decision_overlap` bench.
+    pub fn with_plan_ahead(mut self) -> Self {
+        self.aware.plan_ahead = true;
+        self.oblivious.plan_ahead = true;
+        self
+    }
 }
 
 /// One mission pair (baseline + RoboRun) of the sweep.
@@ -330,5 +339,13 @@ mod tests {
     fn quick_config_is_smaller_than_full_matrix() {
         assert_eq!(SweepConfig::default().difficulties.len(), 27);
         assert!(SweepConfig::quick(1).difficulties.len() < 27);
+    }
+
+    #[test]
+    fn with_plan_ahead_enables_overlap_on_both_designs() {
+        let config = SweepConfig::quick(1).with_plan_ahead();
+        assert!(config.aware.plan_ahead);
+        assert!(config.oblivious.plan_ahead);
+        assert!(!SweepConfig::quick(1).aware.plan_ahead);
     }
 }

@@ -27,6 +27,15 @@ const FIXTURE: &str = concat!(
     "/tests/fixtures/golden_sweep.txt"
 );
 
+/// Second fixture: the same sweep with plan-ahead (speculative planning
+/// overlap) forced on for both designs. Guards the overlapped decision
+/// path — speculation launch, validation, masked-latency accounting —
+/// against silent drift, and additionally locks the masked/hit counters.
+const PLAN_AHEAD_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_sweep_plan_ahead.txt"
+);
+
 /// Three short environments spanning the density/spread grid, fixed seed.
 fn golden_config() -> SweepConfig {
     let difficulties = vec![
@@ -65,7 +74,7 @@ fn push_f64(out: &mut String, label: &str, v: f64) {
     out.push_str(&format!(" {label}={:016x}", v.to_bits()));
 }
 
-fn render_metrics(out: &mut String, label: &str, m: &MissionMetrics) {
+fn render_metrics(out: &mut String, label: &str, m: &MissionMetrics, with_overlap: bool) {
     out.push_str(&format!("{label} mode={:?}", m.mode));
     push_f64(out, "mission_time", m.mission_time);
     push_f64(out, "energy_kj", m.energy_kj);
@@ -75,15 +84,23 @@ fn render_metrics(out: &mut String, label: &str, m: &MissionMetrics) {
     out.push_str(&format!(" decisions={}", m.decisions));
     push_f64(out, "distance", m.distance_travelled);
     out.push_str(&format!(
-        " reached_goal={} collided={}\n",
+        " reached_goal={} collided={}",
         m.reached_goal, m.collided
     ));
+    if with_overlap {
+        push_f64(out, "masked", m.masked_planning_latency);
+        out.push_str(&format!(
+            " attempts={} hits={}",
+            m.plan_ahead_attempts, m.plan_ahead_hits
+        ));
+    }
+    out.push('\n');
 }
 
-fn render_rows() -> String {
-    let results = run_sweep(&golden_config());
+fn render_rows(config: &SweepConfig, header: &str, with_overlap: bool) -> String {
+    let results = run_sweep(config);
     let mut out = String::new();
-    out.push_str("# Golden sweep fixture: 3 environments, seed 41, 120 m missions.\n");
+    out.push_str(header);
     out.push_str("# Regenerate with ROBORUN_UPDATE_GOLDEN=1 (see tests/golden_sweep.rs).\n");
     for (i, row) in results.rows().iter().enumerate() {
         out.push_str(&format!(
@@ -92,23 +109,21 @@ fn render_rows() -> String {
             row.difficulty.obstacle_spread.to_bits(),
             row.difficulty.goal_distance.to_bits(),
         ));
-        render_metrics(&mut out, "  oblivious", &row.oblivious);
-        render_metrics(&mut out, "  aware", &row.aware);
+        render_metrics(&mut out, "  oblivious", &row.oblivious, with_overlap);
+        render_metrics(&mut out, "  aware", &row.aware, with_overlap);
     }
     out
 }
 
-#[test]
-fn golden_sweep_rows_are_bit_identical_to_fixture() {
-    let rendered = render_rows();
+fn assert_matches_fixture(rendered: &str, fixture: &str) {
     if std::env::var_os("ROBORUN_UPDATE_GOLDEN").is_some() {
-        std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().unwrap()).unwrap();
-        std::fs::write(FIXTURE, &rendered).unwrap();
-        eprintln!("golden fixture rewritten: {FIXTURE}");
+        std::fs::create_dir_all(std::path::Path::new(fixture).parent().unwrap()).unwrap();
+        std::fs::write(fixture, rendered).unwrap();
+        eprintln!("golden fixture rewritten: {fixture}");
         return;
     }
-    let expected = std::fs::read_to_string(FIXTURE).unwrap_or_else(|e| {
-        panic!("missing golden fixture {FIXTURE} ({e}); regenerate with ROBORUN_UPDATE_GOLDEN=1")
+    let expected = std::fs::read_to_string(fixture).unwrap_or_else(|e| {
+        panic!("missing golden fixture {fixture} ({e}); regenerate with ROBORUN_UPDATE_GOLDEN=1")
     });
     if rendered != expected {
         // A line-level diff reads far better than two multi-kB strings.
@@ -127,4 +142,24 @@ fn golden_sweep_rows_are_bit_identical_to_fixture() {
             expected.lines().count()
         );
     }
+}
+
+#[test]
+fn golden_sweep_rows_are_bit_identical_to_fixture() {
+    let rendered = render_rows(
+        &golden_config(),
+        "# Golden sweep fixture: 3 environments, seed 41, 120 m missions.\n",
+        false,
+    );
+    assert_matches_fixture(&rendered, FIXTURE);
+}
+
+#[test]
+fn plan_ahead_golden_sweep_rows_are_bit_identical_to_fixture() {
+    let rendered = render_rows(
+        &golden_config().with_plan_ahead(),
+        "# Golden sweep fixture with plan-ahead forced on: 3 environments, seed 41, 120 m missions.\n",
+        true,
+    );
+    assert_matches_fixture(&rendered, PLAN_AHEAD_FIXTURE);
 }

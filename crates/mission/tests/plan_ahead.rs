@@ -1,0 +1,309 @@
+//! Plan-ahead conformance: determinism, masked-latency accounting, and the
+//! safety of the incremental re-check.
+//!
+//! The *off ≡ seed* direction — a mission with plan-ahead disabled being
+//! bit-for-bit the pre-overlap behaviour — is locked by the unchanged
+//! `golden_sweep` fixture; the tests here pin the remaining contract:
+//! disabled runs report nothing, enabled runs stay deterministic and
+//! account masked latency honestly, and a speculative plan invalidated by
+//! an injected obstacle delta is never executed.
+
+use roborun_core::RuntimeMode;
+use roborun_env::{DifficultyConfig, Environment, EnvironmentGenerator};
+use roborun_geom::{Aabb, SplitMix64, Vec3};
+use roborun_mission::cycle::{validate_speculation, SpeculationVerdict};
+use roborun_mission::{MissionConfig, MissionRunner};
+use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
+use roborun_planning::{
+    CollisionChecker, PlanError, PlanStats, Planner, PlannerConfig, Trajectory,
+};
+
+fn short_environment(seed: u64) -> Environment {
+    let cfg = DifficultyConfig {
+        obstacle_density: 0.35,
+        obstacle_spread: 40.0,
+        goal_distance: 120.0,
+    };
+    EnvironmentGenerator::new(cfg).generate(seed)
+}
+
+fn quick_config(plan_ahead: bool) -> MissionConfig {
+    MissionConfig {
+        max_decisions: 600,
+        max_mission_time: 1_500.0,
+        plan_ahead,
+        ..MissionConfig::new(RuntimeMode::SpatialAware)
+    }
+}
+
+#[test]
+fn disabled_plan_ahead_reports_nothing() {
+    let env = short_environment(21);
+    let result = MissionRunner::new(quick_config(false)).run(&env);
+    assert!(result.metrics.reached_goal);
+    assert_eq!(result.metrics.plan_ahead_attempts, 0);
+    assert_eq!(result.metrics.plan_ahead_hits, 0);
+    assert_eq!(result.metrics.plan_ahead_hit_rate(), None);
+    assert_eq!(result.metrics.masked_planning_latency, 0.0);
+    assert_eq!(result.telemetry.total_masked_latency(), 0.0);
+    for r in result.telemetry.records() {
+        assert_eq!(r.masked_latency, 0.0);
+        assert_eq!(
+            r.critical_path_latency().to_bits(),
+            r.latency().to_bits(),
+            "critical path must equal the total when nothing is masked"
+        );
+    }
+}
+
+#[test]
+fn plan_ahead_masks_latency_and_reports_the_hit_rate() {
+    let env = short_environment(21);
+    let result = MissionRunner::new(quick_config(true)).run(&env);
+    assert!(
+        result.metrics.reached_goal && !result.metrics.collided,
+        "plan-ahead mission failed: {:?}",
+        result.metrics
+    );
+    assert!(result.metrics.plan_ahead_attempts > 0, "never speculated");
+    assert!(
+        result.metrics.plan_ahead_hits > 0,
+        "no speculation survived validation over {} attempts",
+        result.metrics.plan_ahead_attempts
+    );
+    let hit_rate = result.metrics.plan_ahead_hit_rate().unwrap();
+    assert!((0.0..=1.0).contains(&hit_rate));
+    assert!(
+        result.metrics.masked_planning_latency > 0.0,
+        "no planning latency was masked"
+    );
+    assert!(
+        (result.telemetry.total_masked_latency() - result.metrics.masked_planning_latency).abs()
+            < 1e-12
+    );
+    let mut masked_decisions = 0usize;
+    for r in result.telemetry.records() {
+        assert!(r.masked_latency >= 0.0);
+        assert!(
+            r.masked_latency <= r.breakdown.planning + 1e-12,
+            "masked {} exceeds the planning stage {}",
+            r.masked_latency,
+            r.breakdown.planning
+        );
+        if r.masked_latency > 0.0 {
+            masked_decisions += 1;
+            assert!(r.critical_path_latency() < r.latency());
+        }
+    }
+    assert_eq!(masked_decisions, result.metrics.plan_ahead_hits);
+    // Overlap can only help the median reaction time.
+    assert!(
+        result.telemetry.median_critical_path_latency().unwrap()
+            <= result.telemetry.median_latency().unwrap() + 1e-12
+    );
+}
+
+#[test]
+fn plan_ahead_runs_are_deterministic() {
+    let env = short_environment(5);
+    let runner = MissionRunner::new(quick_config(true));
+    let a = runner.run(&env);
+    let b = runner.run(&env);
+    assert_eq!(a.metrics.decisions, b.metrics.decisions);
+    assert_eq!(
+        a.metrics.mission_time.to_bits(),
+        b.metrics.mission_time.to_bits()
+    );
+    assert_eq!(
+        a.metrics.masked_planning_latency.to_bits(),
+        b.metrics.masked_planning_latency.to_bits()
+    );
+    assert_eq!(a.metrics.plan_ahead_attempts, b.metrics.plan_ahead_attempts);
+    assert_eq!(a.metrics.plan_ahead_hits, b.metrics.plan_ahead_hits);
+    assert_eq!(a.telemetry.records(), b.telemetry.records());
+    assert_eq!(a.flown_path, b.flown_path);
+}
+
+// ---------------------------------------------------------------------------
+// Validation-contract unit cases
+// ---------------------------------------------------------------------------
+
+const CLEARANCE: f64 = 0.45 * 0.6;
+
+fn export_of(map: &OccupancyMap, origin: Vec3) -> PlannerMap {
+    PlannerMap::export(map, &ExportConfig::new(0.3, 1e9, origin))
+}
+
+/// A speculative plan across open space, exactly as the worker would
+/// produce it from a snapshot.
+fn open_space_speculation(
+    snapshot: &PlannerMap,
+    start: Vec3,
+    goal: Vec3,
+) -> Result<(Trajectory, PlanStats), PlanError> {
+    let planner = Planner::new(PlannerConfig::default());
+    let mut checker = CollisionChecker::new(snapshot.clone(), 0.45, 0.3);
+    let bounds = Aabb::new(start, goal).inflate(25.0);
+    planner.plan_with_checker(&mut checker, start, goal, &bounds, 3.0)
+}
+
+#[test]
+fn injected_obstacle_delta_discards_the_speculation() {
+    let origin = Vec3::new(0.0, 0.0, 5.0);
+    let start = Vec3::new(0.0, 0.0, 5.0);
+    let goal = Vec3::new(30.0, 0.0, 5.0);
+    let map = OccupancyMap::new(0.3);
+    let snapshot = export_of(&map, origin);
+    let outcome = open_space_speculation(&snapshot, start, goal);
+    assert!(outcome.is_ok());
+
+    // Inject an obstacle squarely on the speculative trajectory.
+    let mut evolved = map.clone();
+    evolved.integrate_cloud(
+        &PointCloud::new(origin, vec![Vec3::new(15.0, 0.0, 5.0)]),
+        0.3,
+    );
+    let fresh = export_of(&evolved, origin);
+    assert!(!fresh.delta_from(&snapshot).unwrap().added().is_empty());
+    let verdict = validate_speculation(
+        &outcome, &snapshot, start, goal, &fresh, goal, start, CLEARANCE, 0.3,
+    );
+    assert_eq!(
+        verdict,
+        SpeculationVerdict::Discarded,
+        "an invalidated speculation must never be executed"
+    );
+
+    // The identical delta-free world adopts the plan.
+    let verdict = validate_speculation(
+        &outcome, &snapshot, start, goal, &snapshot, goal, start, CLEARANCE, 0.3,
+    );
+    assert!(matches!(verdict, SpeculationVerdict::Adopted(_)));
+
+    // A drifted local goal is patched (adopted with the stale goal) but a
+    // moved start is discarded.
+    let drifted_goal = Vec3::new(30.0, 4.0, 5.0);
+    let verdict = validate_speculation(
+        &outcome,
+        &snapshot,
+        start,
+        goal,
+        &snapshot,
+        drifted_goal,
+        start,
+        CLEARANCE,
+        0.3,
+    );
+    assert!(matches!(verdict, SpeculationVerdict::Patched(_)));
+    let moved_start = start + Vec3::new(0.5, 0.0, 0.0);
+    let verdict = validate_speculation(
+        &outcome,
+        &snapshot,
+        start,
+        goal,
+        &snapshot,
+        goal,
+        moved_start,
+        CLEARANCE,
+        0.3,
+    );
+    assert_eq!(verdict, SpeculationVerdict::Discarded);
+
+    // A voxel-size change (export precision knob) has no key-level delta
+    // and must discard.
+    let coarse = PlannerMap::export(&evolved, &ExportConfig::new(0.6, 1e9, origin));
+    let verdict = validate_speculation(
+        &outcome, &snapshot, start, goal, &coarse, goal, start, CLEARANCE, 0.3,
+    );
+    assert_eq!(verdict, SpeculationVerdict::Discarded);
+
+    // A failed speculation is always discarded.
+    let failed: Result<(Trajectory, PlanStats), PlanError> = Err(PlanError::StartBlocked);
+    let verdict = validate_speculation(
+        &failed, &snapshot, start, goal, &snapshot, goal, start, CLEARANCE, 0.3,
+    );
+    assert_eq!(verdict, SpeculationVerdict::Discarded);
+}
+
+/// Property-style sweep: whatever the injected delta looks like, a verdict
+/// of adopted/patched implies the whole trajectory polyline (sampled at
+/// the synchronous check step) clears every added voxel — and a discard
+/// (with matching start/goal/voxel-size and a successful plan) implies
+/// some sample really was blocked.
+#[test]
+fn adopted_speculations_never_violate_the_incremental_recheck() {
+    let origin = Vec3::new(0.0, 0.0, 5.0);
+    let start = Vec3::new(0.0, 0.0, 5.0);
+    let goal = Vec3::new(30.0, 0.0, 5.0);
+    let base = OccupancyMap::new(0.3);
+    let snapshot = export_of(&base, origin);
+    let outcome = open_space_speculation(&snapshot, start, goal);
+    let (trajectory, _) = outcome.as_ref().expect("open-space plan succeeds");
+
+    let mut rng = SplitMix64::new(0x9A7);
+    let mut adopted = 0usize;
+    let mut discarded = 0usize;
+    for case in 0..120 {
+        // An injected blob: even cases land right on a trajectory sample
+        // (guaranteed invalidations), odd cases anywhere in the corridor
+        // (mostly clear, occasionally grazing).
+        let blob = if case % 2 == 0 {
+            let pick = rng.uniform(0.0, trajectory.len() as f64 - 1e-9) as usize;
+            trajectory.points()[pick].position
+                + Vec3::new(
+                    rng.uniform(-0.2, 0.2),
+                    rng.uniform(-0.2, 0.2),
+                    rng.uniform(-0.2, 0.2),
+                )
+        } else {
+            Vec3::new(
+                rng.uniform(-2.0, 32.0),
+                rng.uniform(-6.0, 6.0),
+                rng.uniform(3.0, 7.0),
+            )
+        };
+        let mut evolved = base.clone();
+        evolved.integrate_cloud(&PointCloud::new(origin, vec![blob]), 0.3);
+        let fresh = export_of(&evolved, origin);
+        let delta = fresh.delta_from(&snapshot).unwrap();
+        let verdict = validate_speculation(
+            &outcome, &snapshot, start, goal, &fresh, goal, start, CLEARANCE, 0.3,
+        );
+        let clear = CollisionChecker::path_clear_of_added(
+            &delta,
+            trajectory.points().iter().map(|p| p.position),
+            CLEARANCE,
+            0.3,
+        );
+        match verdict {
+            SpeculationVerdict::Adopted(_) | SpeculationVerdict::Patched(_) => {
+                adopted += 1;
+                assert!(
+                    clear,
+                    "adopted speculation violates the re-check for blob {blob}"
+                );
+                // Independent ground truth: no trajectory point may sit
+                // within clearance of a voxel the delta added.
+                for p in trajectory.points() {
+                    for &key in delta.added() {
+                        let d = roborun_geom::Aabb::from_center_half_extents(
+                            key.center(delta.voxel_size()),
+                            Vec3::splat(delta.voxel_size() * 0.5),
+                        )
+                        .distance_to_point(p.position);
+                        assert!(
+                            d > CLEARANCE,
+                            "adopted plan passes {d:.3} m from an added voxel (blob {blob})"
+                        );
+                    }
+                }
+            }
+            SpeculationVerdict::Discarded => {
+                discarded += 1;
+                assert!(!clear, "valid speculation was discarded for blob {blob}");
+            }
+        }
+    }
+    assert!(adopted > 0, "sweep never adopted a speculation");
+    assert!(discarded > 0, "sweep never discarded a speculation");
+}

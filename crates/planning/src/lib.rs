@@ -30,7 +30,7 @@ pub mod smoothing;
 pub mod trajectory;
 
 pub use collision::CollisionChecker;
-pub use planner::{PlanError, Planner, PlannerConfig};
+pub use planner::{PlanError, PlanStats, Planner, PlannerConfig};
 pub use rrtstar::{RrtConfig, RrtResult, RrtStar};
 pub use smoothing::{smooth_path, SmoothingConfig};
 pub use trajectory::{Trajectory, TrajectoryPoint};

@@ -36,6 +36,16 @@ pub struct RrtConfig {
     pub goal_tolerance: f64,
     /// Maximum explored volume (m³) — the planning volume knob.
     pub max_explored_volume: f64,
+    /// Opt-in shrinking rewire radius: when `true`, the parent-selection /
+    /// rewiring neighbourhood follows the asymptotically-optimal RRT*
+    /// schedule `r(n) = min(γ·(ln n / n)^{1/3}, rewire_radius)` with `γ`
+    /// derived from the sampling-bounds volume (`γ* = 2·((1 + 1/d)·μ(X)/
+    /// ζ_d)^{1/d}`, `d = 3`). Small trees behave exactly like the fixed
+    /// radius (the schedule starts above the cap); past a few hundred
+    /// nodes the neighbourhood shrinks, cutting the O(K) rewire term that
+    /// dominates large searches. Off by default: the fixed radius is the
+    /// evaluated baseline and the schedule is a behaviour change.
+    pub shrinking_rewire: bool,
     /// Random seed (explicit for reproducibility).
     pub seed: u64,
 }
@@ -49,6 +59,7 @@ impl Default for RrtConfig {
             rewire_radius: 12.0,
             goal_tolerance: 2.0,
             max_explored_volume: 1.0e6,
+            shrinking_rewire: false,
             seed: 1,
         }
     }
@@ -151,6 +162,17 @@ impl RrtStar {
         &self.config
     }
 
+    /// Neighbourhood radius for a tree of `tree_size` nodes: the fixed
+    /// `rewire_radius`, or — with [`RrtConfig::shrinking_rewire`] — the
+    /// γ·(ln n / n)^{1/3} schedule capped at it.
+    fn rewire_radius_for(&self, tree_size: usize, gamma: f64) -> f64 {
+        if !self.config.shrinking_rewire {
+            return self.config.rewire_radius;
+        }
+        let n = tree_size.max(2) as f64;
+        (gamma * (n.ln() / n).cbrt()).min(self.config.rewire_radius)
+    }
+
     /// Searches for a collision-free path from `start` to `goal` inside
     /// `sampling_bounds`, checking edges against `checker`.
     ///
@@ -196,6 +218,13 @@ impl RrtStar {
     ) -> RrtResult {
         let cfg = &self.config;
         let mut rng = SplitMix64::new(cfg.seed);
+        // γ of the shrinking-radius schedule: the standard RRT* lower
+        // bound γ* = 2·((1 + 1/d)·μ(X)/ζ_d)^{1/d} for d = 3, with μ(X)
+        // the sampling volume and ζ₃ = 4π/3 the unit-ball volume. Only
+        // used when `shrinking_rewire` is on.
+        let gamma = 2.0
+            * ((1.0 + 1.0 / 3.0) * sampling_bounds.volume() / (4.0 * std::f64::consts::PI / 3.0))
+                .cbrt();
         let mut nodes = vec![Node {
             position: start,
             parent: None,
@@ -239,8 +268,11 @@ impl RrtStar {
             if !checker.segment_free(nearest_pos, new_pos) {
                 continue;
             }
-            // Choose the best parent within the rewire radius.
-            let neighbours = neighbors.near(new_pos, cfg.rewire_radius);
+            // Choose the best parent within the rewire radius (the γ
+            // schedule when shrinking is enabled, the fixed knob
+            // otherwise).
+            let radius = self.rewire_radius_for(nodes.len(), gamma);
+            let neighbours = neighbors.near(new_pos, radius);
             let mut best_parent = nearest_idx;
             let mut best_cost = nodes[nearest_idx].cost + nearest_pos.distance(new_pos);
             for &n in &neighbours {
@@ -577,6 +609,90 @@ mod tests {
             steer_length: -1.0,
             ..RrtConfig::default()
         });
+    }
+
+    #[test]
+    fn shrinking_rewire_is_off_by_default_and_bit_identical_when_off() {
+        assert!(!RrtConfig::default().shrinking_rewire);
+        let planner = RrtStar::new(RrtConfig {
+            seed: 3,
+            shrinking_rewire: false,
+            ..RrtConfig::default()
+        });
+        let reference = RrtStar::new(RrtConfig {
+            seed: 3,
+            ..RrtConfig::default()
+        });
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        let mut c1 = wall_with_gap_checker();
+        let mut c2 = wall_with_gap_checker();
+        let a = planner.plan(&mut c1, start, goal, &corridor_bounds());
+        let b = reference.plan(&mut c2, start, goal, &corridor_bounds());
+        assert_eq!(a, b);
+        assert_eq!(c1.queries(), c2.queries());
+    }
+
+    #[test]
+    fn shrinking_rewire_cuts_neighbor_work_without_regressing_path_cost() {
+        // The γ(ln n / n)^{1/3} schedule must (a) shrink the rewire
+        // neighbourhood once the tree outgrows the fixed radius — here
+        // measured as collision-checker queries, which the neighbour loop
+        // dominates — and (b) keep the found path within a 6% per-seed
+        // (3% mean) cost tolerance of the fixed-radius baseline
+        // (measured: ≤ 4% worst seed, ~1% mean on this scenario).
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        let mut ratios = Vec::new();
+        for seed in 0..6 {
+            let run = |shrinking_rewire: bool| {
+                let planner = RrtStar::new(RrtConfig {
+                    max_samples: 2_000,
+                    seed,
+                    shrinking_rewire,
+                    ..RrtConfig::default()
+                });
+                let mut checker = wall_with_gap_checker();
+                let result = planner.plan(&mut checker, start, goal, &corridor_bounds());
+                (result, checker.queries())
+            };
+            let (fixed, fixed_queries) = run(false);
+            let (shrunk, shrunk_queries) = run(true);
+            assert!(fixed.found() && shrunk.found(), "seed {seed} found no path");
+            // Same sample stream, same tree shape — only the
+            // neighbourhood (and with it parent/rewire choices) differs.
+            assert_eq!(fixed.tree_size, shrunk.tree_size, "seed {seed}");
+            assert!(
+                (shrunk_queries as f64) < 0.8 * fixed_queries as f64,
+                "seed {seed}: shrinking did not cut neighbour work \
+                 ({shrunk_queries} vs {fixed_queries} queries)"
+            );
+            let ratio = shrunk.cost / fixed.cost;
+            assert!(ratio < 1.06, "seed {seed}: path cost regressed by {ratio}");
+            ratios.push(ratio);
+        }
+        let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(mean < 1.03, "mean path-cost ratio {mean}");
+    }
+
+    #[test]
+    fn shrinking_rewire_indexed_and_linear_reference_agree() {
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        for seed in 0..4 {
+            let planner = RrtStar::new(RrtConfig {
+                seed,
+                max_samples: 800,
+                shrinking_rewire: true,
+                ..RrtConfig::default()
+            });
+            let mut c1 = wall_with_gap_checker();
+            let mut c2 = wall_with_gap_checker();
+            let indexed = planner.plan(&mut c1, start, goal, &corridor_bounds());
+            let linear = planner.plan_linear_reference(&mut c2, start, goal, &corridor_bounds());
+            assert_eq!(indexed, linear, "seed {seed}");
+            assert_eq!(c1.queries(), c2.queries(), "seed {seed}");
+        }
     }
 
     #[test]
