@@ -5,11 +5,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use roborun_core::RuntimeMode;
+use roborun_dynamics::{Actor, DynamicWorld, MotionModel};
 use roborun_env::{DifficultyConfig, EnvironmentGenerator, Obstacle, ObstacleField};
 use roborun_geom::{Aabb, PointGridIndex, Ray, SplitMix64, Vec3};
+use roborun_mission::cycle::{path_clear_of_predicted, predicted_blockage_distance};
 use roborun_mission::{MissionConfig, MissionRunner};
 use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
-use roborun_planning::{CollisionChecker, RrtConfig, RrtStar};
+use roborun_planning::{CollisionChecker, RrtConfig, RrtStar, Trajectory, TrajectoryPoint};
 
 /// A synthetic dense scan: a wall of points at the given distance.
 fn wall_cloud(distance: f64, points_per_side: usize) -> PointCloud {
@@ -523,6 +525,148 @@ fn bench_decision_overlap(c: &mut Criterion) {
     group.finish();
 }
 
+/// A dynamic world with `n` mixed actors over a mission-scale static
+/// field, for the per-decision dynamic-world kernels.
+fn bench_dynamic_world(n: usize, seed: u64) -> DynamicWorld {
+    let mut rng = SplitMix64::new(seed);
+    let field = random_field(200, seed ^ 0xF1E);
+    let actors = (0..n as u32)
+        .map(|i| {
+            let x = rng.uniform(10.0, 120.0);
+            let spawn = Vec3::new(x, rng.uniform(-20.0, 20.0), 7.0);
+            let half = Vec3::new(1.0, 1.0, 7.0);
+            match i % 3 {
+                0 => Actor::new(
+                    i,
+                    spawn,
+                    half,
+                    MotionModel::Crosser {
+                        velocity: Vec3::new(0.0, rng.uniform(0.8, 1.6), 0.0),
+                        bounds: Aabb::new(Vec3::new(x, -25.0, 7.0), Vec3::new(x, 25.0, 7.0)),
+                    },
+                ),
+                1 => Actor::new(
+                    i,
+                    spawn,
+                    half,
+                    MotionModel::WaypointPatrol {
+                        waypoints: vec![
+                            spawn,
+                            spawn + Vec3::new(rng.uniform(10.0, 30.0), 0.0, 0.0),
+                        ],
+                        speed: rng.uniform(0.6, 1.2),
+                    },
+                ),
+                _ => Actor::new(
+                    i,
+                    spawn,
+                    half,
+                    MotionModel::RandomWalk {
+                        seed: rng.next_u64(),
+                        speed: rng.uniform(0.5, 1.0),
+                        dwell: 2.0,
+                        bounds: Aabb::new(
+                            spawn - Vec3::new(10.0, 10.0, 0.0),
+                            spawn + Vec3::new(10.0, 10.0, 0.0),
+                        ),
+                    },
+                ),
+            }
+        })
+        .collect();
+    DynamicWorld::new(field, actors)
+}
+
+/// The per-decision dynamic-world sensing kernel: compose the snapshot
+/// field (static clone + one box per actor, broad-phase rebuilt) and the
+/// predicted boxes, at 4/16/64 actors. This is what every decision of a
+/// dynamic mission pays on top of a static one, before any query runs.
+fn bench_dynamic_world_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_world_step");
+    for &n in &[4usize, 16, 64] {
+        let world = bench_dynamic_world(n, 42);
+        // Advancing clock like a real mission, folded into a fixed
+        // 370 s window: random-walk pose queries are O(t / dwell), so an
+        // unbounded `t` would make each iteration slower than the last
+        // and the measurement a moving target.
+        group.bench_with_input(BenchmarkId::new("snapshot_field", n), &world, |b, world| {
+            let mut tick = 0u64;
+            b.iter(|| {
+                tick += 1;
+                let t = (tick % 1000) as f64 * 0.37;
+                std::hint::black_box(world.snapshot_field(t)).len()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("predicted_boxes", n),
+            &world,
+            |b, world| {
+                let mut tick = 0u64;
+                b.iter(|| {
+                    tick += 1;
+                    let t = (tick % 1000) as f64 * 0.37;
+                    std::hint::black_box(world.predicted_boxes(t, 4.0)).len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The predicted-occupancy validation kernel: a 60-waypoint trajectory
+/// re-checked against the predicted boxes of 4/16/64 actors (dense
+/// polyline sampling, the per-decision cost of the trajectory
+/// invalidation plus the speculation gate).
+fn bench_predicted_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predicted_validation");
+    let trajectory = Trajectory::new(
+        (0..60)
+            .map(|i| TrajectoryPoint {
+                time: i as f64,
+                position: Vec3::new(i as f64 * 2.0, (i as f64 * 0.4).sin() * 6.0, 5.0),
+                speed: 2.0,
+            })
+            .collect(),
+    );
+    let origin = Vec3::new(0.0, 0.0, 5.0);
+    for &n in &[4usize, 16, 64] {
+        let world = bench_dynamic_world(n, 7);
+        let predicted = world.predicted_boxes(3.0, 4.0);
+        group.bench_with_input(
+            BenchmarkId::new("blockage_scan", n),
+            &predicted,
+            |b, predicted| {
+                b.iter(|| {
+                    std::hint::black_box(predicted_blockage_distance(
+                        &trajectory,
+                        0.0,
+                        predicted,
+                        0.46,
+                        origin,
+                        f64::INFINITY,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("path_clear", n),
+            &predicted,
+            |b, predicted| {
+                b.iter(|| {
+                    std::hint::black_box(path_clear_of_predicted(
+                        trajectory.points().iter().map(|p| p.position),
+                        predicted,
+                        0.46,
+                        origin,
+                        f64::INFINITY,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_point_cloud_precision,
@@ -537,6 +681,8 @@ criterion_group!(
     bench_rrtstar_4000_samples,
     bench_rrt_neighbor_kernel_4000,
     bench_rrtstar_rewire_schedule,
-    bench_decision_overlap
+    bench_decision_overlap,
+    bench_dynamic_world_step,
+    bench_predicted_validation
 );
 criterion_main!(benches);

@@ -167,6 +167,82 @@ pub fn boundary_probes(seed: u64, cell: f64) -> Vec<Vec3> {
     probes
 }
 
+/// One named adversarial *motion* script: a waypoint polyline and a speed
+/// for a moving obstacle, placed so the actor's box interacts with the
+/// voxel lattice of cell size `cell` in the nastiest ways.
+#[derive(Debug, Clone)]
+pub struct MotionScript {
+    /// Short script label, included in assertion messages.
+    pub name: &'static str,
+    /// Patrol polyline of the actor centre.
+    pub waypoints: Vec<Vec3>,
+    /// Patrol speed (m/s).
+    pub speed: f64,
+    /// Half extents the actor's box should use so the script's boundary
+    /// placements land exactly on voxel faces.
+    pub half_extents: Vec3,
+}
+
+/// The adversarial moving-obstacle script family, parameterised by a seed
+/// and the voxel size of the structure under test.
+///
+/// Scripts:
+///
+/// * **face-graze** — the actor slides parallel to a voxel plane with its
+///   box face *exactly on* the plane: every occupancy test along the way
+///   sits on the `<=` boundary of `Aabb::contains` / `distance_to_point`.
+/// * **vacate-reenter** — the actor leaves a cell completely and comes
+///   back to exactly its starting pose: snapshot occupancy of the cell
+///   must flip occupied → free → occupied at the crossing instants.
+/// * **corner-pivot** — the path pivots through a lattice corner point,
+///   so the box overlaps 1, 2, 4 then 8 cells in quick succession.
+/// * **cell-hop** — straight motion at exactly one cell per waypoint so
+///   consecutive poses differ by one key step along one axis.
+pub fn adversarial_motion_scripts(seed: u64, cell: f64) -> Vec<MotionScript> {
+    let mut rng = SplitMix64::new(seed ^ 0x6d6f_7469_6f6e);
+    let z = (rng.uniform(1.0, 6.0) / cell).round() * cell + cell * 0.5;
+    let half = Vec3::splat(cell * 0.5);
+    vec![
+        MotionScript {
+            name: "face-graze",
+            // Centre half a cell below a lattice plane ⇒ the box's top
+            // face lies exactly on it while the actor slides along x.
+            waypoints: vec![
+                Vec3::new(0.0, -half.y, z),
+                Vec3::new(6.0 * cell, -half.y, z),
+            ],
+            speed: 1.0,
+            half_extents: half,
+        },
+        MotionScript {
+            name: "vacate-reenter",
+            waypoints: vec![
+                Vec3::new(half.x, half.y, z),
+                Vec3::new(half.x + 3.0 * cell, half.y, z),
+                Vec3::new(half.x, half.y, z),
+            ],
+            speed: 1.5,
+            half_extents: half,
+        },
+        MotionScript {
+            name: "corner-pivot",
+            waypoints: vec![
+                Vec3::new(-cell, -cell, z),
+                Vec3::new(0.0, 0.0, z),
+                Vec3::new(cell, -cell, z),
+            ],
+            speed: 0.8,
+            half_extents: half,
+        },
+        MotionScript {
+            name: "cell-hop",
+            waypoints: (0..5).map(|i| Vec3::new(i as f64 * cell, 0.0, z)).collect(),
+            speed: 2.0,
+            half_extents: half,
+        },
+    ]
+}
+
 /// Axis-aligned boxes mirroring [`adversarial_point_sets`] for structures
 /// indexed over volumes (the obstacle broad-phase, the collision checker):
 /// each point becomes a box, with half-extents that tile cleanly into the
@@ -245,5 +321,32 @@ mod tests {
         let probes = boundary_probes(1, 1.0);
         assert!(probes.contains(&Vec3::new(1.0, 0.0, 0.0)));
         assert!(probes.len() > 10);
+    }
+
+    #[test]
+    fn motion_scripts_are_complete_and_lattice_aligned() {
+        let cell = 0.5;
+        let scripts = adversarial_motion_scripts(3, cell);
+        let names: Vec<_> = scripts.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            ["face-graze", "vacate-reenter", "corner-pivot", "cell-hop"]
+        );
+        for s in &scripts {
+            assert!(s.waypoints.len() >= 2, "{} too short", s.name);
+            assert!(s.speed > 0.0);
+        }
+        // The graze script's box face sits exactly on a lattice plane.
+        let graze = &scripts[0];
+        let top = graze.waypoints[0].y + graze.half_extents.y;
+        assert!((top / cell).fract().abs() < 1e-12, "top face at {top}");
+        // The vacate script returns exactly to its start.
+        let vacate = &scripts[1];
+        assert_eq!(vacate.waypoints.first(), vacate.waypoints.last());
+        // Determinism.
+        let again = adversarial_motion_scripts(3, cell);
+        for (a, b) in scripts.iter().zip(&again) {
+            assert_eq!(a.waypoints, b.waypoints, "{} not deterministic", a.name);
+        }
     }
 }

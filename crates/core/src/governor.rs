@@ -210,6 +210,23 @@ impl Governor {
     ) -> f64 {
         self.safe_velocity(breakdown.critical_path(masked_planning), visibility)
     }
+
+    /// [`Governor::safe_velocity`] in a world with *moving* obstacles:
+    /// the budget law's reaction window must absorb not only the MAV's
+    /// own motion but the worst closing speed of any nearby obstacle —
+    /// an obstacle approaching at `closing_speed` eats
+    /// `closing_speed · latency` metres of the visible margin before the
+    /// next decision can react, so the effective visibility shrinks by
+    /// exactly that much (floored at zero). With `closing_speed == 0`
+    /// (every static world) this is bit-identical to the plain
+    /// [`Governor::safe_velocity`].
+    pub fn safe_velocity_closing(&self, latency: f64, visibility: f64, closing_speed: f64) -> f64 {
+        if closing_speed <= 0.0 {
+            return self.safe_velocity(latency, visibility);
+        }
+        let effective = (visibility - closing_speed * latency).max(0.0);
+        self.safe_velocity(latency, effective)
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +328,29 @@ mod tests {
             masked.to_bits(),
             gov.safe_velocity(b.total() - b.planning, 2.0).to_bits()
         );
+    }
+
+    #[test]
+    fn closing_speed_costs_velocity_and_zero_is_identity() {
+        let gov = aware();
+        let plain = gov.safe_velocity(1.0, 10.0);
+        // Zero closing speed: bit-identical to the plain budget.
+        assert_eq!(
+            gov.safe_velocity_closing(1.0, 10.0, 0.0).to_bits(),
+            plain.to_bits()
+        );
+        // An approaching obstacle shrinks the usable margin.
+        let closing = gov.safe_velocity_closing(1.0, 10.0, 3.0);
+        assert!(closing < plain, "closing {closing} vs plain {plain}");
+        assert_eq!(
+            closing.to_bits(),
+            gov.safe_velocity(1.0, 7.0).to_bits(),
+            "closing term must shave exactly closing_speed * latency off visibility"
+        );
+        // Faster obstacles cost more; the floor keeps the result finite.
+        assert!(gov.safe_velocity_closing(1.0, 10.0, 8.0) <= closing);
+        let swamped = gov.safe_velocity_closing(1.0, 10.0, 50.0);
+        assert!(swamped >= 0.0 && swamped.is_finite());
     }
 
     #[test]

@@ -1,0 +1,537 @@
+//! Moving-obstacle actors: seeded, deterministic motion models.
+//!
+//! An [`Actor`] is an axis-aligned box (the same shape family as the
+//! static obstacles) whose centre follows a [`MotionModel`]. Every model
+//! is a **pure function of time**: [`Actor::pose_at`] depends only on
+//! the actor's own fields and `t`, never on call order, caching or
+//! threads — which is what makes whole dynamic missions bit-reproducible
+//! across runs and across both mission drivers.
+
+use roborun_geom::{Aabb, SplitMix64, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Constant mixed into per-segment random-walk seeds so walk streams do
+/// not collide with other consumers of the same seed.
+const WALK_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// How an actor's centre moves over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MotionModel {
+    /// Ping-pong patrol along a polyline at constant speed: the actor
+    /// walks `waypoints` forward, then backward, forever. With fewer
+    /// than two waypoints (or a degenerate polyline) the actor holds its
+    /// first waypoint.
+    WaypointPatrol {
+        /// Patrol polyline (absolute positions of the actor centre).
+        waypoints: Vec<Vec3>,
+        /// Patrol speed (m/s, non-negative).
+        speed: f64,
+    },
+    /// Constant-velocity motion reflected off the faces of `bounds`
+    /// (a triangle-wave fold per axis), e.g. a vehicle shuttling across
+    /// a corridor.
+    Crosser {
+        /// Velocity before any reflection (m/s per axis).
+        velocity: Vec3,
+        /// Region the centre is folded into. A degenerate axis
+        /// (`min == max`) pins the centre to that coordinate.
+        bounds: Aabb,
+    },
+    /// Seeded random walk: every `dwell` seconds the actor redraws a
+    /// horizontal heading from its own SplitMix64 stream and moves at
+    /// `speed`, reflecting off `bounds` like a [`MotionModel::Crosser`].
+    /// Segment directions are derived by hashing `(seed, segment index)`
+    /// so the heading of segment *k* costs O(1); the position at time
+    /// `t` folds the first `⌊t / dwell⌋` segments and is therefore an
+    /// exact (if O(t)) pure function of time.
+    RandomWalk {
+        /// Seed of the actor's private direction stream.
+        seed: u64,
+        /// Walk speed (m/s, non-negative).
+        speed: f64,
+        /// Seconds between heading redraws (positive).
+        dwell: f64,
+        /// Region the centre is folded into.
+        bounds: Aabb,
+    },
+}
+
+/// Folds an unconstrained coordinate into `[lo, hi]` by reflection
+/// (triangle wave). Degenerate intervals pin to `lo`.
+fn reflect_axis(x: f64, lo: f64, hi: f64) -> f64 {
+    let span = hi - lo;
+    if span <= 0.0 {
+        return lo;
+    }
+    let period = 2.0 * span;
+    let u = (x - lo).rem_euclid(period);
+    if u <= span {
+        lo + u
+    } else {
+        lo + period - u
+    }
+}
+
+/// Per-axis reflective fold of a point into `bounds`.
+fn reflect_into(p: Vec3, bounds: &Aabb) -> Vec3 {
+    Vec3::new(
+        reflect_axis(p.x, bounds.min.x, bounds.max.x),
+        reflect_axis(p.y, bounds.min.y, bounds.max.y),
+        reflect_axis(p.z, bounds.min.z, bounds.max.z),
+    )
+}
+
+/// Horizontal unit heading of random-walk segment `k` for `seed`.
+fn walk_heading(seed: u64, k: u64) -> Vec3 {
+    let mut rng = SplitMix64::new(seed ^ k.wrapping_mul(WALK_SEED_SALT));
+    let yaw = rng.uniform(0.0, std::f64::consts::TAU);
+    Vec3::new(yaw.cos(), yaw.sin(), 0.0)
+}
+
+/// One moving obstacle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Actor {
+    /// Stable identifier, disjoint from static obstacle ids at the
+    /// [`crate::DynamicWorld`] level.
+    pub id: u32,
+    /// Centre position at `t = 0` (also the random-walk anchor).
+    pub spawn: Vec3,
+    /// Half extents of the actor's box around its centre.
+    pub half_extents: Vec3,
+    /// Motion model driving the centre.
+    pub motion: MotionModel,
+}
+
+impl Actor {
+    /// Creates an actor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative half extents, negative speeds or a
+    /// non-positive random-walk dwell.
+    pub fn new(id: u32, spawn: Vec3, half_extents: Vec3, motion: MotionModel) -> Self {
+        assert!(
+            half_extents.x >= 0.0 && half_extents.y >= 0.0 && half_extents.z >= 0.0,
+            "half extents must be non-negative, got {half_extents:?}"
+        );
+        match &motion {
+            MotionModel::WaypointPatrol { speed, .. } => {
+                assert!(*speed >= 0.0, "patrol speed must be non-negative");
+            }
+            MotionModel::Crosser { .. } => {}
+            MotionModel::RandomWalk { speed, dwell, .. } => {
+                assert!(*speed >= 0.0, "walk speed must be non-negative");
+                assert!(*dwell > 0.0, "walk dwell must be positive");
+            }
+        }
+        Actor {
+            id,
+            spawn,
+            half_extents,
+            motion,
+        }
+    }
+
+    /// Centre position at time `t` (seconds, non-negative) — a pure
+    /// function of `(self, t)`.
+    pub fn pose_at(&self, t: f64) -> Vec3 {
+        let t = t.max(0.0);
+        match &self.motion {
+            MotionModel::WaypointPatrol { waypoints, speed } => {
+                patrol_pose(waypoints, *speed, t).unwrap_or(self.spawn)
+            }
+            MotionModel::Crosser { velocity, bounds } => {
+                reflect_into(self.spawn + *velocity * t, bounds)
+            }
+            MotionModel::RandomWalk {
+                seed,
+                speed,
+                dwell,
+                bounds,
+            } => {
+                let mut p = reflect_into(self.spawn, bounds);
+                if *speed == 0.0 {
+                    return p;
+                }
+                let whole = (t / dwell).floor();
+                let k = whole as u64;
+                for i in 0..k {
+                    p = reflect_into(p + walk_heading(*seed, i) * (*speed * *dwell), bounds);
+                }
+                let rest = t - whole * dwell;
+                if rest > 0.0 {
+                    p = reflect_into(p + walk_heading(*seed, k) * (*speed * rest), bounds);
+                }
+                p
+            }
+        }
+    }
+
+    /// Instantaneous centre velocity at time `t`. Exact for patrols and
+    /// crossers (up to reflection instants, where the incoming segment's
+    /// velocity is reported); for random walkers the current segment's
+    /// heading times the walk speed.
+    pub fn velocity_at(&self, t: f64) -> Vec3 {
+        let t = t.max(0.0);
+        match &self.motion {
+            MotionModel::WaypointPatrol { waypoints, speed } => {
+                patrol_velocity(waypoints, *speed, t).unwrap_or(Vec3::ZERO)
+            }
+            MotionModel::Crosser { velocity, bounds } => {
+                // The fold flips the velocity sign on odd half-periods.
+                let unfolded = self.spawn + *velocity * t;
+                Vec3::new(
+                    reflect_sign(unfolded.x, bounds.min.x, bounds.max.x) * velocity.x,
+                    reflect_sign(unfolded.y, bounds.min.y, bounds.max.y) * velocity.y,
+                    reflect_sign(unfolded.z, bounds.min.z, bounds.max.z) * velocity.z,
+                )
+            }
+            MotionModel::RandomWalk {
+                seed, speed, dwell, ..
+            } => walk_heading(*seed, (t / dwell).floor() as u64) * *speed,
+        }
+    }
+
+    /// The actor's occupied box at time `t`.
+    pub fn bounds_at(&self, t: f64) -> Aabb {
+        Aabb::from_center_half_extents(self.pose_at(t), self.half_extents)
+    }
+
+    /// Upper bound on the centre's speed (m/s).
+    pub fn max_speed(&self) -> f64 {
+        match &self.motion {
+            MotionModel::WaypointPatrol { speed, .. } => *speed,
+            MotionModel::Crosser { velocity, .. } => velocity.norm(),
+            MotionModel::RandomWalk { speed, .. } => *speed,
+        }
+    }
+
+    /// A box guaranteed to contain the actor over `[t, t + horizon]`.
+    ///
+    /// Patrols and crossers have determined futures, so the hull is the
+    /// union of true boxes sampled along the window, inflated by the
+    /// distance the actor can cover between two samples (which makes the
+    /// sampled hull a strict over-approximation of the continuous one).
+    /// Random walkers redraw their heading unpredictably: their hull is
+    /// the current box inflated by `speed · horizon` horizontally,
+    /// clipped to the walk bounds (inflated by the half extents, since
+    /// the bounds constrain the centre).
+    pub fn predicted_bounds(&self, t: f64, horizon: f64) -> Aabb {
+        let horizon = horizon.max(0.0);
+        match &self.motion {
+            MotionModel::WaypointPatrol { .. } | MotionModel::Crosser { .. } => {
+                let speed = self.max_speed();
+                if speed == 0.0 || horizon == 0.0 {
+                    return self.bounds_at(t);
+                }
+                // Sample so each stride covers at most one half extent
+                // (min 8 samples), then pad by the per-stride travel.
+                let min_half = self
+                    .half_extents
+                    .min_component()
+                    .max(self.half_extents.max_component() * 0.25)
+                    .max(0.05);
+                let strides = ((horizon * speed / min_half).ceil() as usize).clamp(8, 64);
+                let dt = horizon / strides as f64;
+                let pad = speed * dt;
+                let mut hull = self.bounds_at(t);
+                for i in 1..=strides {
+                    hull = Aabb::union(&hull, &self.bounds_at(t + i as f64 * dt));
+                }
+                hull.inflate(pad)
+            }
+            MotionModel::RandomWalk { speed, bounds, .. } => {
+                let here = self.bounds_at(t);
+                let reach = *speed * horizon;
+                let disc = Aabb::new(
+                    here.min - Vec3::new(reach, reach, 0.0),
+                    here.max + Vec3::new(reach, reach, 0.0),
+                );
+                // The walk bounds constrain the centre; the box extends
+                // half_extents beyond them.
+                let cage = Aabb::new(
+                    bounds.min - self.half_extents,
+                    bounds.max + self.half_extents,
+                );
+                disc.intersection(&cage).unwrap_or(disc)
+            }
+        }
+    }
+}
+
+/// Sign of the fold derivative at unfolded coordinate `x` (+1 on even
+/// half-periods, −1 on odd ones; +0 for degenerate spans).
+fn reflect_sign(x: f64, lo: f64, hi: f64) -> f64 {
+    let span = hi - lo;
+    if span <= 0.0 {
+        return 0.0;
+    }
+    let u = (x - lo).rem_euclid(2.0 * span);
+    if u <= span {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Ping-pong position along a waypoint polyline, or `None` when the
+/// polyline is degenerate.
+fn patrol_pose(waypoints: &[Vec3], speed: f64, t: f64) -> Option<Vec3> {
+    let total = patrol_length(waypoints)?;
+    if speed == 0.0 || total == 0.0 {
+        return Some(waypoints[0]);
+    }
+    let s = reflect_axis(speed * t, 0.0, total);
+    Some(patrol_point_at(waypoints, s))
+}
+
+/// Ping-pong velocity along a waypoint polyline.
+fn patrol_velocity(waypoints: &[Vec3], speed: f64, t: f64) -> Option<Vec3> {
+    let total = patrol_length(waypoints)?;
+    if speed == 0.0 || total == 0.0 {
+        return Some(Vec3::ZERO);
+    }
+    let sign = reflect_sign(speed * t, 0.0, total);
+    let s = reflect_axis(speed * t, 0.0, total);
+    let dir = patrol_direction_at(waypoints, s)?;
+    Some(dir * (speed * sign))
+}
+
+/// Total polyline length, or `None` for fewer than two waypoints.
+fn patrol_length(waypoints: &[Vec3]) -> Option<f64> {
+    if waypoints.len() < 2 {
+        return None;
+    }
+    Some(waypoints.windows(2).map(|w| w[0].distance(w[1])).sum())
+}
+
+/// Point at arclength `s` along the polyline (clamped to its ends).
+fn patrol_point_at(waypoints: &[Vec3], s: f64) -> Vec3 {
+    let mut remaining = s.max(0.0);
+    for w in waypoints.windows(2) {
+        let len = w[0].distance(w[1]);
+        if remaining <= len {
+            if len == 0.0 {
+                return w[0];
+            }
+            return w[0].lerp(w[1], remaining / len);
+        }
+        remaining -= len;
+    }
+    *waypoints.last().expect("patrol polyline checked non-empty")
+}
+
+/// Unit direction of the segment containing arclength `s`.
+fn patrol_direction_at(waypoints: &[Vec3], s: f64) -> Option<Vec3> {
+    let mut remaining = s.max(0.0);
+    for w in waypoints.windows(2) {
+        let len = w[0].distance(w[1]);
+        if (remaining <= len && len > 0.0) || w == &waypoints[waypoints.len() - 2..] {
+            return (w[1] - w[0]).try_normalize();
+        }
+        remaining -= len;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corridor() -> Aabb {
+        Aabb::new(Vec3::new(0.0, -10.0, 5.0), Vec3::new(40.0, 10.0, 5.0))
+    }
+
+    #[test]
+    fn patrol_ping_pongs_between_waypoints() {
+        let a = Actor::new(
+            0,
+            Vec3::new(0.0, 0.0, 5.0),
+            Vec3::splat(1.0),
+            MotionModel::WaypointPatrol {
+                waypoints: vec![Vec3::new(0.0, 0.0, 5.0), Vec3::new(10.0, 0.0, 5.0)],
+                speed: 1.0,
+            },
+        );
+        assert_eq!(a.pose_at(0.0), Vec3::new(0.0, 0.0, 5.0));
+        assert!((a.pose_at(5.0) - Vec3::new(5.0, 0.0, 5.0)).norm() < 1e-12);
+        assert!((a.pose_at(10.0) - Vec3::new(10.0, 0.0, 5.0)).norm() < 1e-12);
+        // Past the far end the actor walks back.
+        assert!((a.pose_at(14.0) - Vec3::new(6.0, 0.0, 5.0)).norm() < 1e-12);
+        assert!((a.pose_at(20.0) - Vec3::new(0.0, 0.0, 5.0)).norm() < 1e-9);
+        // Velocity flips sign on the return leg.
+        assert!(a.velocity_at(2.0).x > 0.0);
+        assert!(a.velocity_at(14.0).x < 0.0);
+    }
+
+    #[test]
+    fn degenerate_patrol_holds_station() {
+        let a = Actor::new(
+            0,
+            Vec3::new(3.0, 1.0, 5.0),
+            Vec3::splat(0.5),
+            MotionModel::WaypointPatrol {
+                waypoints: vec![Vec3::new(3.0, 1.0, 5.0)],
+                speed: 2.0,
+            },
+        );
+        assert_eq!(a.pose_at(17.0), Vec3::new(3.0, 1.0, 5.0));
+        assert_eq!(a.velocity_at(17.0), Vec3::ZERO);
+        assert_eq!(a.max_speed(), 2.0);
+    }
+
+    #[test]
+    fn crosser_reflects_off_bounds() {
+        let a = Actor::new(
+            1,
+            Vec3::new(20.0, 0.0, 5.0),
+            Vec3::splat(1.0),
+            MotionModel::Crosser {
+                velocity: Vec3::new(0.0, 2.0, 0.0),
+                bounds: corridor(),
+            },
+        );
+        // Reaches the +y wall at t = 5, then comes back.
+        assert!((a.pose_at(5.0).y - 10.0).abs() < 1e-12);
+        assert!((a.pose_at(7.0).y - 6.0).abs() < 1e-12);
+        assert!((a.pose_at(10.0).y - 0.0).abs() < 1e-12);
+        assert!((a.pose_at(15.0).y - (-10.0)).abs() < 1e-12);
+        // z is pinned by the degenerate bound.
+        assert_eq!(a.pose_at(123.4).z, 5.0);
+        // Velocity flips after the bounce.
+        assert!(a.velocity_at(3.0).y > 0.0);
+        assert!(a.velocity_at(7.0).y < 0.0);
+    }
+
+    #[test]
+    fn random_walk_is_pure_and_stays_in_bounds() {
+        let a = Actor::new(
+            2,
+            Vec3::new(10.0, 0.0, 5.0),
+            Vec3::splat(0.8),
+            MotionModel::RandomWalk {
+                seed: 99,
+                speed: 1.5,
+                dwell: 2.0,
+                bounds: corridor(),
+            },
+        );
+        let b = a.clone();
+        let mut moved = false;
+        // Query in a scrambled order: purity means order cannot matter.
+        for &t in &[33.0, 1.0, 100.0, 1.0, 33.0, 7.25, 100.0] {
+            let p = a.pose_at(t);
+            let q = b.pose_at(t);
+            assert_eq!(p.x.to_bits(), q.x.to_bits());
+            assert_eq!(p.y.to_bits(), q.y.to_bits());
+            assert_eq!(p.z.to_bits(), q.z.to_bits());
+            assert!(corridor().contains(p), "walker escaped at t={t}: {p}");
+            moved |= p.distance(a.spawn) > 0.5;
+        }
+        assert!(moved, "walker never moved");
+        // Velocity magnitude is the walk speed, horizontally.
+        let v = a.velocity_at(5.0);
+        assert!((v.norm() - 1.5).abs() < 1e-9);
+        assert_eq!(v.z, 0.0);
+    }
+
+    #[test]
+    fn different_seeds_walk_differently() {
+        let mk = |seed| {
+            Actor::new(
+                0,
+                Vec3::new(10.0, 0.0, 5.0),
+                Vec3::splat(0.8),
+                MotionModel::RandomWalk {
+                    seed,
+                    speed: 1.5,
+                    dwell: 2.0,
+                    bounds: corridor(),
+                },
+            )
+        };
+        assert!(mk(1).pose_at(20.0).distance(mk(2).pose_at(20.0)) > 1e-6);
+    }
+
+    #[test]
+    fn predicted_bounds_contain_the_true_path() {
+        let actors = [
+            Actor::new(
+                0,
+                Vec3::new(5.0, 0.0, 5.0),
+                Vec3::new(1.0, 1.0, 5.0),
+                MotionModel::WaypointPatrol {
+                    waypoints: vec![Vec3::new(5.0, -8.0, 5.0), Vec3::new(5.0, 8.0, 5.0)],
+                    speed: 2.0,
+                },
+            ),
+            Actor::new(
+                1,
+                Vec3::new(20.0, 0.0, 5.0),
+                Vec3::splat(1.0),
+                MotionModel::Crosser {
+                    velocity: Vec3::new(1.0, 3.0, 0.0),
+                    bounds: corridor(),
+                },
+            ),
+            Actor::new(
+                2,
+                Vec3::new(10.0, 0.0, 5.0),
+                Vec3::splat(0.8),
+                MotionModel::RandomWalk {
+                    seed: 7,
+                    speed: 1.5,
+                    dwell: 1.0,
+                    bounds: corridor(),
+                },
+            ),
+        ];
+        for actor in &actors {
+            for &t0 in &[0.0, 3.7, 41.0] {
+                for &h in &[0.5, 2.0, 6.0] {
+                    let hull = actor.predicted_bounds(t0, h);
+                    // Dense sampling of the true path must stay inside.
+                    for i in 0..=200 {
+                        let t = t0 + h * i as f64 / 200.0;
+                        let b = actor.bounds_at(t);
+                        assert!(
+                            hull.contains_aabb(&b),
+                            "actor {} escaped hull at t={t} (t0={t0}, h={h}): {b} vs {hull}",
+                            actor.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_horizon_prediction_is_the_snapshot_box() {
+        let a = Actor::new(
+            1,
+            Vec3::new(20.0, 0.0, 5.0),
+            Vec3::splat(1.0),
+            MotionModel::Crosser {
+                velocity: Vec3::new(0.0, 2.0, 0.0),
+                bounds: corridor(),
+            },
+        );
+        assert_eq!(a.predicted_bounds(3.0, 0.0), a.bounds_at(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dwell")]
+    fn zero_dwell_panics() {
+        let _ = Actor::new(
+            0,
+            Vec3::ZERO,
+            Vec3::splat(1.0),
+            MotionModel::RandomWalk {
+                seed: 1,
+                speed: 1.0,
+                dwell: 0.0,
+                bounds: corridor(),
+            },
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Adversarial moving-obstacle conformance: the `roborun-conformance`
+//! motion scripts drive actors through the nastiest voxel-lattice
+//! interactions (face grazes, vacate-and-re-enter, corner pivots), and
+//! every view of the dynamic world must stay exact and deterministic.
+
+use roborun_conformance::adversarial_motion_scripts;
+use roborun_dynamics::{Actor, DynamicWorld, MotionModel};
+use roborun_env::ObstacleField;
+use roborun_geom::Vec3;
+
+fn script_actor(script: &roborun_conformance::MotionScript, id: u32) -> Actor {
+    Actor::new(
+        id,
+        script.waypoints[0],
+        script.half_extents,
+        MotionModel::WaypointPatrol {
+            waypoints: script.waypoints.clone(),
+            speed: script.speed,
+        },
+    )
+}
+
+#[test]
+fn script_poses_are_bit_identical_across_builds_and_query_orders() {
+    for cell in [0.3, 0.5, 1.0] {
+        for script in adversarial_motion_scripts(7, cell) {
+            let a = script_actor(&script, 0);
+            let b = script_actor(&script, 0);
+            let times: Vec<f64> = (0..300).map(|i| i as f64 * 0.173).collect();
+            let forward: Vec<Vec3> = times.iter().map(|&t| a.pose_at(t)).collect();
+            for (i, &t) in times.iter().enumerate().rev() {
+                let q = b.pose_at(t);
+                assert_eq!(
+                    forward[i].x.to_bits(),
+                    q.x.to_bits(),
+                    "{} at t={t}",
+                    script.name
+                );
+                assert_eq!(forward[i].y.to_bits(), q.y.to_bits());
+                assert_eq!(forward[i].z.to_bits(), q.z.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn vacated_cell_frees_in_snapshots_and_reoccupies_on_reentry() {
+    let cell = 0.5;
+    let scripts = adversarial_motion_scripts(11, cell);
+    let script = scripts
+        .iter()
+        .find(|s| s.name == "vacate-reenter")
+        .expect("script family includes vacate-reenter");
+    let world = DynamicWorld::new(ObstacleField::empty(), vec![script_actor(script, 0)]);
+    let start = script.waypoints[0];
+    // t = 0: the spawn cell is occupied in the snapshot.
+    assert!(world.snapshot_field(0.0).is_occupied(start));
+    // Mid-script the actor has moved 3 cells away: the spawn cell must be
+    // genuinely vacated in the snapshot of that instant (the leg takes
+    // 3·cell / speed seconds; probe at its end).
+    let leg = 3.0 * cell / script.speed;
+    let away = world.snapshot_field(leg);
+    assert!(
+        !away.is_occupied(start),
+        "vacated cell still occupied in the snapshot"
+    );
+    assert!(world.actor_hit(world.actors()[0].pose_at(leg), leg, 0.0));
+    // After the full out-and-back the actor is exactly at its spawn pose
+    // again: the cell re-occupies.
+    let back = world.snapshot_field(2.0 * leg);
+    assert!(
+        back.is_occupied(start),
+        "re-entered cell not occupied again"
+    );
+}
+
+#[test]
+fn grazing_box_face_answers_exactly_on_the_lattice_plane() {
+    let cell = 0.5;
+    let scripts = adversarial_motion_scripts(5, cell);
+    let script = scripts
+        .iter()
+        .find(|s| s.name == "face-graze")
+        .expect("script family includes face-graze");
+    let actor = script_actor(script, 0);
+    let world = DynamicWorld::new(ObstacleField::empty(), vec![actor]);
+    // The top face slides along y = 0 exactly. Points *on* the face are
+    // inside (Aabb::contains is inclusive); points one ulp-ish above are
+    // not. This must hold at every sampled instant of the graze.
+    let z = script.waypoints[0].z;
+    for i in 0..20 {
+        let t = i as f64 * 0.17;
+        let x = world.actors()[0].pose_at(t).x;
+        let snap = world.snapshot_field(t);
+        assert!(
+            snap.is_occupied(Vec3::new(x, 0.0, z)),
+            "face point not occupied at t={t}"
+        );
+        assert!(
+            !snap.is_occupied(Vec3::new(x, 1e-9, z)),
+            "point above the face occupied at t={t}"
+        );
+        assert!(world.actor_hit(Vec3::new(x, 0.0, z), t, 0.0));
+    }
+}
+
+#[test]
+fn predictions_contain_every_scripted_pose() {
+    for cell in [0.3, 1.0] {
+        for script in adversarial_motion_scripts(13, cell) {
+            let actor = script_actor(&script, 0);
+            for &t0 in &[0.0, 0.7, 5.3] {
+                for &h in &[0.5, 3.0] {
+                    let hull = actor.predicted_bounds(t0, h);
+                    for i in 0..=100 {
+                        let t = t0 + h * i as f64 / 100.0;
+                        assert!(
+                            hull.contains_aabb(&actor.bounds_at(t)),
+                            "{} escaped its prediction at t={t} (cell {cell})",
+                            script.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! `tests/proptests.rs` enforce on random worlds.
 
 use roborun_geom::index::{GridRayWalk, RingSearch, RingSearchOutcome};
-use roborun_geom::{Aabb, FxHashMap, Ray, Vec3, VoxelKey};
+use roborun_geom::{Aabb, Aabb4, FxHashMap, Ray, Vec3, VoxelKey};
 use serde::{Deserialize, Serialize};
 
 /// A single static obstacle, modelled as an axis-aligned box.
@@ -51,12 +51,68 @@ pub struct ObstacleHit {
 /// Broad-phase cell size used when a field starts empty (metres).
 const DEFAULT_CELL: f64 = 8.0;
 
+/// One broad-phase cell: the indices of the obstacles overlapping it,
+/// plus their bounds packed four-wide in struct-of-arrays slabs
+/// ([`Aabb4`]) so the raycast / margin / nearest inner loops consume the
+/// packs directly — four branch-free lanes of contiguous `f64`s per
+/// slab test or distance, instead of four gathered corner structs.
+/// `packs[k]` holds the bounds of `ids[4k .. 4k + packs[k].len()]`, in
+/// the same order, so lane `l` of pack `k` *is* obstacle `ids[4k + l]`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct CellSlab {
+    ids: Vec<u32>,
+    packs: Vec<Aabb4>,
+}
+
+impl CellSlab {
+    fn push(&mut self, id: u32, bounds: &Aabb) {
+        if self.ids.len().is_multiple_of(4) {
+            self.packs.push(Aabb4::empty());
+        }
+        self.packs
+            .last_mut()
+            .expect("pack appended when lane count is a multiple of 4")
+            .push(bounds);
+        self.ids.push(id);
+    }
+
+    /// Number of *full* packs (all four lanes real). The trailing
+    /// partial pack, if any, is queried through the scalar path: batched
+    /// lane arithmetic only pays for itself when all four lanes carry
+    /// real boxes (measured — a 1-box cell through a 4-lane kernel is
+    /// ~4× the arithmetic with no SIMD win to offset it).
+    #[inline]
+    fn full_packs(&self) -> usize {
+        self.ids.len() / 4
+    }
+
+    /// Visits `(obstacle id, distance)` for every box in the cell: full
+    /// packs four lanes at a time, the trailing partial pack through the
+    /// scalar distance. Lane order equals `ids` order and each batched
+    /// lane distance is bit-identical to the scalar
+    /// `Aabb::distance_to_point`, so any fold over this visit is
+    /// equivalent to the per-id scalar loop.
+    #[inline]
+    fn for_each_distance(&self, p: Vec3, obstacles: &[Obstacle], mut visit: impl FnMut(u32, f64)) {
+        let full = self.full_packs();
+        for (k, pack) in self.packs.iter().take(full).enumerate() {
+            let d4 = pack.distance_to_point4(p);
+            for (lane, &d) in d4.iter().enumerate() {
+                visit(self.ids[4 * k + lane], d);
+            }
+        }
+        for &i in &self.ids[4 * full..] {
+            visit(i, obstacles[i as usize].bounds.distance_to_point(p));
+        }
+    }
+}
+
 /// The uniform broad-phase grid: obstacle indices bucketed by every cell
-/// their bounds overlap.
+/// their bounds overlap, with per-cell SIMD-ready bound packs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BroadPhase {
     cell: f64,
-    cells: FxHashMap<VoxelKey, Vec<u32>>,
+    cells: FxHashMap<VoxelKey, CellSlab>,
     /// Key-space bounds of all inserted obstacles (valid when `cells` is
     /// non-empty).
     key_min: VoxelKey,
@@ -114,7 +170,7 @@ impl BroadPhase {
                     self.cells
                         .entry(VoxelKey { x, y, z })
                         .or_default()
-                        .push(index);
+                        .push(index, bounds);
                 }
             }
         }
@@ -214,8 +270,9 @@ impl ObstacleField {
         self.grid
             .cells
             .get(&key)
-            .map(|ids| {
-                ids.iter()
+            .map(|slab| {
+                slab.ids
+                    .iter()
                     .any(|&i| self.obstacles[i as usize].bounds.contains(p))
             })
             .unwrap_or(false)
@@ -234,8 +291,19 @@ impl ObstacleField {
         for x in lo.x..=hi.x {
             for y in lo.y..=hi.y {
                 for z in lo.z..=hi.z {
-                    if let Some(ids) = self.grid.cells.get(&VoxelKey { x, y, z }) {
-                        if ids.iter().any(|&i| {
+                    if let Some(slab) = self.grid.cells.get(&VoxelKey { x, y, z }) {
+                        // Full packs: four-wide lane distances (padding
+                        // never passes). Trailing partial pack: scalar.
+                        let full = slab.full_packs();
+                        if slab
+                            .packs
+                            .iter()
+                            .take(full)
+                            .any(|pack| pack.distance_to_point4(p).iter().any(|&d| d <= margin))
+                        {
+                            return true;
+                        }
+                        if slab.ids[4 * full..].iter().any(|&i| {
                             self.obstacles[i as usize].bounds.distance_to_point(p) <= margin
                         }) {
                             return true;
@@ -271,9 +339,12 @@ impl ObstacleField {
         let outcome = RingSearch::new(self.grid.cell, self.grid.key_min, self.grid.key_max)
             .with_fallback_budget(2 * self.obstacles.len())
             .run(p, None, |key| {
-                if let Some(ids) = self.grid.cells.get(&key) {
-                    for &i in ids {
-                        let d = self.obstacles[i as usize].bounds.distance_to_point(p);
+                if let Some(slab) = self.grid.cells.get(&key) {
+                    // Lane distances are bit-identical to the scalar
+                    // `distance_to_point` and visited in `ids` order, so
+                    // the tie-breaking fold below selects exactly the
+                    // winner the per-id scalar loop would.
+                    slab.for_each_distance(p, &self.obstacles, |i, d| {
                         let better = match best {
                             None => true,
                             Some((bd, bi)) => d < bd || (d == bd && i < bi),
@@ -281,7 +352,7 @@ impl ObstacleField {
                         if better {
                             best = Some((d, i));
                         }
-                    }
+                    });
                 }
                 best.map(|(d, _)| d * d)
             });
@@ -324,7 +395,7 @@ impl ObstacleField {
             * (hi.y - lo.y + 1).max(0) as u128
             * (hi.z - lo.z + 1).max(0) as u128;
         if cube_cells > self.grid.cells.len() as u128 {
-            for (key, ids) in &self.grid.cells {
+            for (key, slab) in &self.grid.cells {
                 if key.x >= lo.x
                     && key.x <= hi.x
                     && key.y >= lo.y
@@ -332,15 +403,15 @@ impl ObstacleField {
                     && key.z >= lo.z
                     && key.z <= hi.z
                 {
-                    out.extend(ids.iter().copied());
+                    out.extend(slab.ids.iter().copied());
                 }
             }
         } else {
             for x in lo.x..=hi.x {
                 for y in lo.y..=hi.y {
                     for z in lo.z..=hi.z {
-                        if let Some(ids) = self.grid.cells.get(&VoxelKey { x, y, z }) {
-                            out.extend(ids.iter().copied());
+                        if let Some(slab) = self.grid.cells.get(&VoxelKey { x, y, z }) {
+                            out.extend(slab.ids.iter().copied());
                         }
                     }
                 }
@@ -369,30 +440,45 @@ impl ObstacleField {
                     break;
                 }
             }
-            let Some(ids) = self.grid.cells.get(&key) else {
+            let Some(slab) = self.grid.cells.get(&key) else {
                 continue;
             };
-            for &i in ids {
-                let o = &self.obstacles[i as usize];
-                if let Some(hit) = ray.intersect_aabb(&o.bounds) {
-                    if hit.t_min <= max_range {
-                        let better = match &best {
-                            None => true,
-                            Some((b, bi)) => {
-                                hit.t_min < b.distance || (hit.t_min == b.distance && i < *bi)
-                            }
-                        };
-                        if better {
-                            best = Some((
-                                ObstacleHit {
-                                    obstacle_id: o.id,
-                                    distance: hit.t_min,
-                                    point: ray.at(hit.t_min),
-                                },
-                                i,
-                            ));
-                        }
+            // Slab-test four boxes per call over the SoA packs (full
+            // packs only; the trailing partial pack goes through the
+            // scalar test). Each batched lane is bit-identical to the
+            // scalar `intersect_aabb`, and lanes are visited in `ids`
+            // order, so the tie-breaking fold picks the same winner as
+            // the per-id scalar loop.
+            let consider = |i: u32, t_min: f64, best: &mut Option<(ObstacleHit, u32)>| {
+                if t_min <= max_range {
+                    let better = match best {
+                        None => true,
+                        Some((b, bi)) => t_min < b.distance || (t_min == b.distance && i < *bi),
+                    };
+                    if better {
+                        *best = Some((
+                            ObstacleHit {
+                                obstacle_id: self.obstacles[i as usize].id,
+                                distance: t_min,
+                                point: ray.at(t_min),
+                            },
+                            i,
+                        ));
                     }
+                }
+            };
+            let full = slab.full_packs();
+            for (k, pack) in slab.packs.iter().take(full).enumerate() {
+                let hits = ray.intersect_aabb4(pack);
+                for (lane, hit) in hits.iter().enumerate() {
+                    if let Some(hit) = hit {
+                        consider(slab.ids[4 * k + lane], hit.t_min, &mut best);
+                    }
+                }
+            }
+            for &i in &slab.ids[4 * full..] {
+                if let Some(hit) = ray.intersect_aabb(&self.obstacles[i as usize].bounds) {
+                    consider(i, hit.t_min, &mut best);
                 }
             }
         }

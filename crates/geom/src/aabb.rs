@@ -309,6 +309,31 @@ impl Aabb4 {
             _ => (&self.min_z, &self.max_z),
         }
     }
+
+    /// Batched point distance: each real lane computes *exactly* the
+    /// arithmetic of [`Aabb::distance_to_point`] (per-axis clamp via
+    /// `max`/`min`, then the x²+y²+z² square root, in the same order),
+    /// so `distance_to_point4(p)[l]` is bit-identical to
+    /// `self.lane(l).distance_to_point(p)`. Padding lanes report
+    /// `f64::INFINITY`, which loses every `<=`/`<` comparison a caller
+    /// can make. The per-lane loops run over contiguous `f64`s with no
+    /// branches — the shape an auto-vectoriser needs.
+    #[inline]
+    pub fn distance_to_point4(&self, p: Vec3) -> [f64; 4] {
+        let mut out: [f64; 4] = std::array::from_fn(|lane| {
+            let cx = p.x.max(self.min_x[lane]).min(self.max_x[lane]);
+            let cy = p.y.max(self.min_y[lane]).min(self.max_y[lane]);
+            let cz = p.z.max(self.min_z[lane]).min(self.max_z[lane]);
+            let dx = cx - p.x;
+            let dy = cy - p.y;
+            let dz = cz - p.z;
+            (dx * dx + dy * dy + dz * dz).sqrt()
+        });
+        for d in out.iter_mut().skip(self.len) {
+            *d = f64::INFINITY;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -432,6 +457,37 @@ mod tests {
         grown.push(&unit_box());
         assert_eq!(grown.len(), 1);
         assert_eq!(grown.lane(0), unit_box());
+    }
+
+    #[test]
+    fn aabb4_distance_matches_scalar_per_lane() {
+        let boxes = [
+            unit_box(),
+            Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0)),
+            Aabb::new(Vec3::new(-5.0, 0.0, 1.0), Vec3::new(-1.0, 4.0, 2.0)),
+        ];
+        let pack = Aabb4::pack(&boxes);
+        for p in [
+            Vec3::ZERO,
+            Vec3::splat(0.5),
+            Vec3::new(4.0, -2.0, 7.5),
+            Vec3::new(-3.0, 2.0, 1.5),
+            Vec3::new(1.0, 1.0, 1.0),
+        ] {
+            let batched = pack.distance_to_point4(p);
+            for (lane, b) in boxes.iter().enumerate() {
+                assert_eq!(
+                    batched[lane].to_bits(),
+                    b.distance_to_point(p).to_bits(),
+                    "lane {lane} at {p}"
+                );
+            }
+            assert_eq!(batched[3], f64::INFINITY, "padding lane must never win");
+        }
+        assert!(Aabb4::empty()
+            .distance_to_point4(Vec3::ZERO)
+            .iter()
+            .all(|d| *d == f64::INFINITY));
     }
 
     #[test]

@@ -376,18 +376,48 @@ impl MessageBus {
         })
     }
 
-    pub(crate) fn take<T: Message>(&self, topic: &TopicName, id: u64) -> Option<Stamped<T>> {
+    /// Takes the oldest queued sample, reporting structural failures as
+    /// typed [`crate::BusError`]s: an unknown topic or a stale
+    /// subscription id (its subscriber dropped mid-mission) degrades to
+    /// an error the caller can log and skip, and a corrupted payload is
+    /// dropped with a [`MiddlewareError::PayloadTypeCorrupted`] instead
+    /// of panicking. `Ok(None)` simply means the queue is empty.
+    pub(crate) fn try_take<T: Message>(
+        &self,
+        topic: &TopicName,
+        id: u64,
+    ) -> Result<Option<Stamped<T>>, MiddlewareError> {
         let mut inner = self.lock();
-        let state = inner.topics.get_mut(topic)?;
-        let slot = state.subscriptions.iter_mut().find(|s| s.id == id)?;
-        let boxed = slot.queue.pop_front()?;
+        let state = inner
+            .topics
+            .get_mut(topic)
+            .ok_or_else(|| MiddlewareError::UnknownTopic {
+                topic: topic.to_string(),
+            })?;
+        let slot = state
+            .subscriptions
+            .iter_mut()
+            .find(|s| s.id == id && s.active)
+            .ok_or_else(|| MiddlewareError::UnknownSubscription {
+                topic: topic.to_string(),
+                id,
+            })?;
+        let Some(boxed) = slot.queue.pop_front() else {
+            return Ok(None);
+        };
         match boxed.downcast::<Stamped<T>>() {
-            Ok(sample) => Some(*sample),
-            // The type is checked at registration time, so a mismatch here
-            // would be an internal bug; dropping the sample is the safest
-            // recovery.
-            Err(_) => None,
+            Ok(sample) => Ok(Some(*sample)),
+            // The type is checked at registration time, so a mismatch
+            // here is internal queue corruption; the sample is dropped
+            // and the corruption reported.
+            Err(_) => Err(MiddlewareError::PayloadTypeCorrupted {
+                topic: topic.to_string(),
+            }),
         }
+    }
+
+    pub(crate) fn take<T: Message>(&self, topic: &TopicName, id: u64) -> Option<Stamped<T>> {
+        self.try_take(topic, id).ok().flatten()
     }
 
     pub(crate) fn queue_len(&self, topic: &TopicName, id: u64) -> usize {
@@ -434,29 +464,24 @@ fn ensure_topic<'a, T: Message>(
     topics: &'a mut BTreeMap<TopicName, TopicState>,
     topic: &TopicName,
 ) -> Result<&'a mut TopicState, MiddlewareError> {
-    if let Some(existing) = topics.get(topic) {
-        if existing.type_id != TypeId::of::<T>() {
-            return Err(MiddlewareError::TypeMismatch {
-                topic: topic.to_string(),
-                existing: existing.type_name,
-                requested: T::type_name(),
-            });
-        }
-    } else {
-        topics.insert(
-            topic.clone(),
-            TopicState {
-                type_id: TypeId::of::<T>(),
-                type_name: T::type_name(),
-                next_sequence: 0,
-                publisher_nodes: Vec::new(),
-                subscriptions: Vec::new(),
-                retained: None,
-                stats: CommStats::default(),
-            },
-        );
+    // Entry-based so no panicking re-lookup is needed after insertion.
+    let state = topics.entry(topic.clone()).or_insert_with(|| TopicState {
+        type_id: TypeId::of::<T>(),
+        type_name: T::type_name(),
+        next_sequence: 0,
+        publisher_nodes: Vec::new(),
+        subscriptions: Vec::new(),
+        retained: None,
+        stats: CommStats::default(),
+    });
+    if state.type_id != TypeId::of::<T>() {
+        return Err(MiddlewareError::TypeMismatch {
+            topic: topic.to_string(),
+            existing: state.type_name,
+            requested: T::type_name(),
+        });
     }
-    Ok(topics.get_mut(topic).expect("topic just ensured"))
+    Ok(state)
 }
 
 #[cfg(test)]

@@ -39,7 +39,37 @@ pub enum MiddlewareError {
     },
     /// A publish was attempted on a topic whose bus has been shut down.
     BusClosed,
+    /// An operation referenced a topic the bus has never seen.
+    UnknownTopic {
+        /// The missing topic.
+        topic: String,
+    },
+    /// An operation referenced a subscription that does not exist on the
+    /// topic — typically a handle used after its subscriber side was
+    /// dropped mid-mission. Degrade (skip the sample), don't abort.
+    UnknownSubscription {
+        /// Topic the subscription was expected on.
+        topic: String,
+        /// The stale subscription id.
+        id: u64,
+    },
+    /// A queued payload failed to downcast to the subscription's message
+    /// type. The type is checked at registration, so this indicates
+    /// internal queue corruption; the sample is dropped and reported
+    /// rather than panicking the whole sweep.
+    PayloadTypeCorrupted {
+        /// Topic the corrupted sample was queued on.
+        topic: String,
+    },
 }
+
+/// Typed bus-level error — the middleware's single error type.
+///
+/// Alias of [`MiddlewareError`]: every hot-path operation (publish, take,
+/// queue inspection) reports failures through these variants instead of
+/// panicking, so a dropped subscriber or a corrupted queue degrades one
+/// sample instead of aborting a whole mission sweep.
+pub type BusError = MiddlewareError;
 
 impl fmt::Display for MiddlewareError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -62,6 +92,17 @@ impl fmt::Display for MiddlewareError {
                 "topic `{topic}` carries `{existing}` but `{requested}` was requested"
             ),
             MiddlewareError::BusClosed => write!(f, "the message bus has been shut down"),
+            MiddlewareError::UnknownTopic { topic } => {
+                write!(f, "topic `{topic}` does not exist on this bus")
+            }
+            MiddlewareError::UnknownSubscription { topic, id } => write!(
+                f,
+                "subscription {id} on `{topic}` no longer exists (subscriber dropped?)"
+            ),
+            MiddlewareError::PayloadTypeCorrupted { topic } => write!(
+                f,
+                "a sample queued on `{topic}` failed its type downcast (queue corruption)"
+            ),
         }
     }
 }

@@ -57,7 +57,7 @@ pub mod record;
 pub mod topic;
 
 pub use bus::{MessageBus, NodeConnections, PublishReceipt};
-pub use error::MiddlewareError;
+pub use error::{BusError, MiddlewareError};
 pub use executor::Executor;
 pub use graph::{GraphInfo, TopicInfo};
 pub use latency::{CommLatencyModel, CommStats};

@@ -149,9 +149,21 @@ impl<T: Message> Subscription<T> {
         self.qos
     }
 
-    /// Takes the oldest queued sample, if any.
+    /// Takes the oldest queued sample, if any. Structural failures (the
+    /// subscription was dropped, a payload failed its downcast) degrade
+    /// to `None`; use [`Subscription::recv_checked`] to observe them.
     pub fn try_recv(&self) -> Option<Stamped<T>> {
         self.bus.take::<T>(&self.topic, self.id)
+    }
+
+    /// Takes the oldest queued sample, surfacing structural failures as
+    /// typed [`MiddlewareError`]s instead of silently returning `None`:
+    /// `Ok(None)` is an empty queue, `Err(UnknownSubscription)` a handle
+    /// whose bus-side slot is gone (subscriber dropped mid-mission),
+    /// `Err(PayloadTypeCorrupted)` a dropped corrupt sample. Callers that
+    /// must keep a mission alive log the error and continue.
+    pub fn recv_checked(&self) -> Result<Option<Stamped<T>>, MiddlewareError> {
+        self.bus.try_take::<T>(&self.topic, self.id)
     }
 
     /// Takes the newest queued sample, discarding anything older. Returns
@@ -292,6 +304,58 @@ mod tests {
         assert!(node
             .subscribe::<u8>("/UPPER", QosProfile::default())
             .is_err());
+    }
+
+    #[test]
+    fn dropped_subscriber_degrades_instead_of_aborting() {
+        let bus = MessageBus::with_free_transport();
+        let talker = Node::new(&bus, "talker").unwrap();
+        let listener = Node::new(&bus, "listener").unwrap();
+        let publisher = talker.publisher::<u32>("/mission").unwrap();
+        let keeper = listener
+            .subscribe::<u32>("/mission", QosProfile::reliable(4))
+            .unwrap();
+        {
+            let _doomed = listener
+                .subscribe::<u32>("/mission", QosProfile::reliable(4))
+                .unwrap();
+            publisher.publish(1).unwrap();
+            // `_doomed` drops here, mid-"mission".
+        }
+        // Publishing continues without error, deliveries reflect the
+        // drop, and the surviving subscription keeps receiving — the
+        // sweep never aborts.
+        let receipt = publisher.publish(2).unwrap();
+        assert_eq!(receipt.deliveries, 1);
+        assert_eq!(keeper.drain().len(), 2);
+    }
+
+    #[test]
+    fn recv_checked_reports_a_stale_subscription_as_a_typed_error() {
+        use crate::error::BusError;
+        let bus = MessageBus::with_free_transport();
+        let node = Node::new(&bus, "solo").unwrap();
+        let publisher = node.publisher::<u8>("/beat").unwrap();
+        let sub = node
+            .subscribe::<u8>("/beat", QosProfile::default())
+            .unwrap();
+        publisher.publish(1).unwrap();
+        assert!(matches!(sub.recv_checked(), Ok(Some(_))));
+        assert!(matches!(sub.recv_checked(), Ok(None)));
+        // Simulate the bus-side slot vanishing while the handle lives
+        // on: unregister directly, as a foreign drop would.
+        bus.unregister_subscription(sub.topic(), 0);
+        match sub.recv_checked() {
+            Err(BusError::UnknownSubscription { topic, id }) => {
+                assert_eq!(topic, "/beat");
+                assert_eq!(id, 0);
+            }
+            other => panic!("expected UnknownSubscription, got {other:?}"),
+        }
+        // The un-checked path degrades the same condition to `None`.
+        assert!(sub.try_recv().is_none());
+        // The publisher keeps working regardless.
+        publisher.publish(2).unwrap();
     }
 
     #[test]

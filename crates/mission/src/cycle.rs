@@ -67,6 +67,35 @@
 //! With plan-ahead **off**, no worker exists, every masked term is zero
 //! and the decision sequence is bit-identical to the pre-refactor
 //! behaviour (locked by the `golden_sweep` fixture).
+//!
+//! # Dynamic worlds: the sense / validate / budget contract
+//!
+//! A mission may run against a [`DynamicWorld`] (moving-obstacle actors
+//! composed with the static field — see `roborun-dynamics`). The cycle
+//! touches the dynamic world in exactly four places, each of which
+//! degenerates to the static behaviour (bit for bit) when the world has
+//! no actors:
+//!
+//! * **Sense** from the *snapshot* field of the current instant: the
+//!   cameras see actors at their true poses, so actor surfaces enter the
+//!   occupancy map like any other obstacle (and, with
+//!   [`crate::MissionConfig::voxel_decay`] enabled, leave it again once
+//!   their stale trail is re-observed free).
+//! * **Validate** the followed trajectory — and any plan-ahead
+//!   speculation — against the *predicted* occupancy over
+//!   [`crate::MissionConfig::dynamic_lookahead`] seconds: a predicted
+//!   box crossing the remaining trajectory forces a replan
+//!   (`dynamic_replans`), and an arrived speculation whose path crosses
+//!   a predicted box is discarded (`predicted_invalidations`).
+//!   Predictions are conservative over-approximations (see the
+//!   `roborun-dynamics` crate docs), so they only ever *discard* plans.
+//! * **Budget** reaction time with the governor's closing-speed term
+//!   ([`roborun_core::Governor::safe_velocity_closing`]): an obstacle
+//!   approaching at `v_c` eats `v_c · latency` of the visible margin
+//!   before the next decision can react.
+//! * **Collide** against actors' true poses at every physics substep of
+//!   the epoch advance, so ground-truth safety is judged against where
+//!   actors actually are, never against predictions.
 
 use crate::metrics::MissionMetrics;
 use crate::runner::{MissionConfig, MissionResult};
@@ -74,11 +103,13 @@ use roborun_control::TrajectoryFollower;
 use roborun_core::{
     DecisionRecord, Governor, KnobSettings, MissionTelemetry, Policy, RuntimeMode, SpatialProfile,
 };
+use roborun_dynamics::DynamicWorld;
 use roborun_env::{Environment, Zone};
 use roborun_geom::{Aabb, Vec3};
 use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
 use roborun_planning::{
     CollisionChecker, PlanError, PlanStats, Planner, PlannerConfig, RrtConfig, Trajectory,
+    TrajectoryPoint,
 };
 use roborun_sim::{
     CameraRig, DroneConfig, DroneState, EnergyModel, FaultInjector, LatencyBreakdown, SimClock,
@@ -118,6 +149,177 @@ pub fn first_blockage_distance(
         .iter()
         .find(|p| export.is_occupied(p.position, margin * 0.6))
         .map(|p| p.position.distance(position))
+}
+
+/// Distance (metres, straight-line from `position`) to the first point of
+/// the remaining trajectory that comes within `clearance` of any
+/// *predicted* moving-obstacle box, or `None` when the remaining
+/// trajectory clears every box. The dynamic counterpart of
+/// [`first_blockage_distance`]: the boxes come from
+/// [`DynamicWorld::predicted_boxes`] over the configured lookahead, so a
+/// hit means an actor *may* cross the corridor — conservative by
+/// construction, and used only to discard plans, never to admit them.
+pub fn predicted_blockage_distance(
+    trajectory: &Trajectory,
+    progress_time: f64,
+    predicted: &[Aabb],
+    clearance: f64,
+    position: Vec3,
+    max_range: f64,
+) -> Option<f64> {
+    if predicted.is_empty() {
+        return None;
+    }
+    let remaining = trajectory.remaining_from(progress_time);
+    let mut conflict: Option<f64> = None;
+    let clear = sample_polyline(
+        remaining.points().iter().map(|p| p.position),
+        clearance.max(0.25),
+        |p| {
+            if p.distance(position) > max_range {
+                return true;
+            }
+            if predicted
+                .iter()
+                .any(|b| b.distance_to_point(p) <= clearance)
+            {
+                conflict = Some(p.distance(position));
+                return false;
+            }
+            true
+        },
+    );
+    debug_assert_eq!(clear, conflict.is_none());
+    conflict
+}
+
+/// `true` when the polyline through `points` stays clear of every
+/// predicted box by more than `clearance` within `max_range` of
+/// `origin` — the dynamic-world check an arrived plan-ahead speculation
+/// (or a fresh synchronous plan) must additionally pass before adoption.
+/// The polyline is sampled densely (segments can span metres; a
+/// crossing actor must not slip between two waypoints). Points farther
+/// than `max_range` are ignored: the MAV cannot reach them within the
+/// prediction horizon, and the boxes say nothing about the world beyond
+/// it — rejecting on far conflicts would only starve the mission (the
+/// next decision re-predicts with fresher poses).
+pub fn path_clear_of_predicted(
+    points: impl IntoIterator<Item = Vec3>,
+    predicted: &[Aabb],
+    clearance: f64,
+    origin: Vec3,
+    max_range: f64,
+) -> bool {
+    if predicted.is_empty() {
+        return true;
+    }
+    sample_polyline(points, clearance.max(0.25), |p| {
+        p.distance(origin) > max_range
+            || predicted.iter().all(|b| b.distance_to_point(p) > clearance)
+    })
+}
+
+/// Folds the static-map blockage and the predicted moving-obstacle
+/// conflict into the single blockage distance the replan/brake machinery
+/// reasons about: the nearer of the two (either alone when only one
+/// fired). Both drivers share this merge so their dynamic behaviour
+/// cannot drift.
+pub fn merge_blockages(static_blockage: Option<f64>, predicted: Option<f64>) -> Option<f64> {
+    match (static_blockage, predicted) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, None) => a,
+        (None, b) => b,
+    }
+}
+
+/// How far ahead a predicted moving-obstacle conflict is actionable: the
+/// distance the MAV can cover within the lookahead at its current speed
+/// (with a 1 m/s floor so a hovering drone still sees adjacent
+/// conflicts), plus a body-clearance allowance. Conflicts beyond this
+/// range cannot materialise within the prediction horizon — both drivers
+/// share this policy.
+pub fn predicted_relevance_range(speed: f64, lookahead: f64, margin: f64) -> f64 {
+    speed.max(1.0) * lookahead + 2.0 * margin
+}
+
+/// `true` when a moving obstacle may reach `position` within the
+/// prediction horizon — the *in danger* state in which both drivers
+/// force an escape replan and suppress braking (hovering inside a
+/// crossing lane is the one thing the MAV must never do).
+pub fn in_predicted_danger(predicted: &[Aabb], position: Vec3, margin: f64) -> bool {
+    predicted
+        .iter()
+        .any(|b| b.distance_to_point(position) <= margin)
+}
+
+/// A short, slow straight-line manoeuvre directly away from the nearest
+/// exported occupied box (straight up when the export is empty or the
+/// position is swallowed by a box), clipped so it does not run into
+/// other mapped occupancy. Used only to un-wedge a start-blocked drone
+/// in a dynamic mission: static missions never park inside the margin
+/// shell of mapped occupancy, but an escape manoeuvre or a passing actor
+/// can leave a dynamic one there, where every plan is start-blocked
+/// forever.
+pub fn retreat_trajectory(export: &PlannerMap, pos: Vec3, margin: f64) -> Trajectory {
+    let away = export
+        .boxes()
+        .iter()
+        .min_by(|a, b| {
+            a.distance_to_point(pos)
+                .partial_cmp(&b.distance_to_point(pos))
+                .expect("distances are never NaN")
+        })
+        .map(|b| pos - b.closest_point(pos))
+        .and_then(|v| v.try_normalize())
+        .unwrap_or(Vec3::Z);
+    let mut length: f64 = 0.5;
+    while length < 2.5 && !export.is_occupied(pos + away * (length + 0.5), margin * 0.3) {
+        length += 0.5;
+    }
+    let speed = 0.4;
+    Trajectory::new(vec![
+        TrajectoryPoint {
+            time: 0.0,
+            position: pos,
+            speed,
+        },
+        TrajectoryPoint {
+            time: length / speed,
+            position: pos + away * length,
+            speed,
+        },
+    ])
+}
+
+/// Walks a polyline, visiting every vertex plus interpolated samples at
+/// most `step` apart along each segment, until `visit` returns `false`.
+/// Returns `true` when every visited sample passed.
+fn sample_polyline(
+    points: impl IntoIterator<Item = Vec3>,
+    step: f64,
+    mut visit: impl FnMut(Vec3) -> bool,
+) -> bool {
+    let mut prev: Option<Vec3> = None;
+    for p in points {
+        match prev {
+            None => {
+                if !visit(p) {
+                    return false;
+                }
+            }
+            Some(a) => {
+                let length = a.distance(p);
+                let segments = (length / step).ceil().max(1.0) as usize;
+                for i in 1..=segments {
+                    if !visit(a.lerp(p, i as f64 / segments as f64)) {
+                        return false;
+                    }
+                }
+            }
+        }
+        prev = Some(p);
+    }
+    true
 }
 
 /// Axis-aligned sampling bounds for the local planning problem.
@@ -208,8 +410,11 @@ pub fn blockage_is_imminent(
 /// substeps, charging energy and detecting collisions. `command` yields
 /// the active trajectory's steering target and speed for a substep (or
 /// `None` to brake along the current motion direction and hover); the
-/// speed is clamped to the commanded velocity. Returns `true` when the
-/// drone collided during the epoch.
+/// speed is clamped to the commanded velocity. `dynamic_hit` is the
+/// moving-obstacle collision test, called with the drone position and the
+/// simulation time *after* each substep (so actors are judged at their
+/// true pose of that instant) — pass `|_, _| false` in a static world.
+/// Returns `true` when the drone collided during the epoch.
 #[allow(clippy::too_many_arguments)]
 pub fn advance_epoch(
     drone: &mut DroneState,
@@ -221,6 +426,7 @@ pub fn advance_epoch(
     epoch: f64,
     commanded_velocity: f64,
     mut command: impl FnMut(Vec3, f64) -> Option<(Vec3, f64)>,
+    mut dynamic_hit: impl FnMut(Vec3, f64) -> bool,
 ) -> bool {
     let substep = 0.25f64;
     let mut remaining = epoch;
@@ -242,8 +448,21 @@ pub fn advance_epoch(
         {
             return true;
         }
+        if dynamic_hit(drone.position, clock.now()) {
+            return true;
+        }
     }
     false
+}
+
+/// Running totals of the dynamic-world machinery over one mission.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DynamicsStats {
+    /// Decisions where a predicted moving-obstacle conflict forced a
+    /// replan.
+    pub dynamic_replans: usize,
+    /// Arrived speculations discarded by the predicted-occupancy check.
+    pub predicted_invalidations: usize,
 }
 
 /// Assembles the mission-level metrics both drivers report.
@@ -258,6 +477,7 @@ pub(crate) fn finalize_metrics(
     reached_goal: bool,
     collided: bool,
     plan_ahead: &PlanAheadStats,
+    dynamics: &DynamicsStats,
 ) -> MissionMetrics {
     MissionMetrics {
         mode,
@@ -273,6 +493,8 @@ pub(crate) fn finalize_metrics(
         masked_planning_latency: plan_ahead.masked_latency,
         plan_ahead_attempts: plan_ahead.attempts,
         plan_ahead_hits: plan_ahead.hits,
+        dynamic_replans: dynamics.dynamic_replans,
+        predicted_invalidations: dynamics.predicted_invalidations,
     }
 }
 
@@ -434,6 +656,9 @@ struct Planned {
     blockage: Option<f64>,
     /// Whether a replacement trajectory was installed this decision.
     replanned: bool,
+    /// The drone's own position sits inside the predicted occupancy of a
+    /// moving obstacle: escape beats braking.
+    in_danger: bool,
 }
 
 /// The full per-mission state of the direct driver, advanced one decision
@@ -442,6 +667,10 @@ struct Planned {
 pub(crate) struct DecisionCycle<'m> {
     cfg: &'m MissionConfig,
     env: &'m Environment,
+    /// Moving-obstacle world, or `None` for the classic static mission.
+    /// A `Some` world with an empty actor set behaves bit-identically to
+    /// `None` (every dynamic hook degenerates — see the module docs).
+    dynamics: Option<&'m DynamicWorld>,
     governor: Governor,
     rig: CameraRig,
     planner_seed_base: u64,
@@ -453,6 +682,7 @@ pub(crate) struct DecisionCycle<'m> {
     map: OccupancyMap,
     telemetry: MissionTelemetry,
     flown_path: Vec<Vec3>,
+    flown_times: Vec<f64>,
     follower: Option<TrajectoryFollower>,
     // One collision checker lives across the whole mission: each replan
     // patches its broad-phase from the export delta instead of rebuilding
@@ -465,21 +695,31 @@ pub(crate) struct DecisionCycle<'m> {
     decisions_since_plan: usize,
     pending: Option<PendingSpeculation>,
     stats: PlanAheadStats,
+    dynamics_stats: DynamicsStats,
 }
 
 impl<'m> DecisionCycle<'m> {
-    pub(crate) fn new(cfg: &'m MissionConfig, env: &'m Environment) -> Self {
+    pub(crate) fn new(
+        cfg: &'m MissionConfig,
+        env: &'m Environment,
+        dynamics: Option<&'m DynamicWorld>,
+    ) -> Self {
         let governor = Governor::new(cfg.governor_config());
-        let rig = cfg.camera_rig();
+        let rig = match dynamics {
+            Some(world) if !world.is_static() => cfg.dynamic_camera_rig(),
+            _ => cfg.camera_rig(),
+        };
         let planner_seed_base = cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(env.seed());
         let fault_injector = (!cfg.faults.is_healthy()).then(|| FaultInjector::new(cfg.faults));
         let drone = DroneState::at(env.start());
-        let map = OccupancyMap::new(governor.config().ranges.precision_min);
+        let mut map = OccupancyMap::new(governor.config().ranges.precision_min);
+        map.set_stale_decay(cfg.voxel_decay);
         let baseline_velocity = governor.baseline_velocity();
         let planning_margin = cfg.drone.body_radius * cfg.planning_margin_factor;
         DecisionCycle {
             cfg,
             env,
+            dynamics,
             governor,
             rig,
             planner_seed_base,
@@ -487,6 +727,7 @@ impl<'m> DecisionCycle<'m> {
             baseline_velocity,
             fault_injector,
             flown_path: vec![drone.position],
+            flown_times: vec![0.0],
             drone,
             clock: SimClock::new(),
             map,
@@ -500,6 +741,7 @@ impl<'m> DecisionCycle<'m> {
             decisions_since_plan: usize::MAX / 2, // force an initial plan
             pending: None,
             stats: PlanAheadStats::default(),
+            dynamics_stats: DynamicsStats::default(),
         }
     }
 
@@ -513,10 +755,19 @@ impl<'m> DecisionCycle<'m> {
 
     // ------------------------------------------------------------ stages
 
-    /// Sensing: capture the camera rig, apply sensor faults.
+    /// Sensing: capture the camera rig (from the dynamic snapshot field
+    /// of the current instant when actors exist), apply sensor faults.
     fn sense(&mut self) -> Sensed {
         let pose = self.drone.pose();
-        let scan = self.rig.capture(self.env.field(), &pose);
+        let snapshot;
+        let field = match self.dynamics {
+            Some(world) if !world.is_static() => {
+                snapshot = world.snapshot_field(self.clock.now());
+                &snapshot
+            }
+            _ => self.env.field(),
+        };
+        let scan = self.rig.capture(field, &pose);
         let sensed_points = match self.fault_injector.as_mut() {
             Some(injector) => injector.corrupt_sweep(pose.position, &scan.points),
             None => scan.points.clone(),
@@ -554,6 +805,10 @@ impl<'m> DecisionCycle<'m> {
     /// Perception operators: downsample, volume-limit, integrate, retain,
     /// export under the policy's knobs.
     fn apply_operators(&mut self, sensed: &Sensed, knobs: &KnobSettings) -> PlannerMap {
+        // Stamp the decay epoch before integrating: with voxel decay
+        // enabled, this decision's occupied observations are "fresh" and
+        // older ones age against this counter (no-op when decay is off).
+        self.map.set_epoch(self.decisions as u64);
         let downsampled = sensed.raw_cloud.downsampled(knobs.point_cloud_precision);
         let limited = downsampled.volume_limited(self.drone.position, knobs.octomap_volume);
         // Substrate note: free-space carving uses a step no finer than
@@ -599,25 +854,49 @@ impl<'m> DecisionCycle<'m> {
         knobs: &KnobSettings,
         commanded_velocity: f64,
         speculative: Option<SpeculationVerdict>,
+        predicted: &[Aabb],
+        in_danger: bool,
     ) -> Planned {
-        let blockage = self.first_blockage(export);
-        let need_plan = self.need_plan(blockage);
+        let static_blockage = self.first_blockage(export);
+        // A moving obstacle predicted to cross the remaining trajectory
+        // is a blockage too: it forces the same replan/brake machinery,
+        // at the same clearance, judged at the distance the conflict
+        // sits from the drone. A predicted box over the drone's *own*
+        // position (`in_danger`) additionally forces an escape replan —
+        // hovering inside a crossing lane is the one thing the MAV must
+        // never do.
+        let predicted_conflict = self.predicted_blockage(predicted);
+        if predicted_conflict.is_some() || in_danger {
+            self.dynamics_stats.dynamic_replans += 1;
+        }
+        let blockage = merge_blockages(static_blockage, predicted_conflict);
+        let need_plan = self.need_plan(blockage) || in_danger;
         let mut replanned = false;
         if need_plan {
             match speculative {
+                // `take_speculation` already discards (and accounts for)
+                // arrived speculations on in-danger decisions, so an
+                // adopted verdict here is always safe to install.
                 Some(SpeculationVerdict::Adopted(trajectory))
                 | Some(SpeculationVerdict::Patched(trajectory)) => {
                     self.install_trajectory(trajectory);
                     replanned = true;
                 }
                 Some(SpeculationVerdict::Discarded) | None => {
-                    replanned = self.plan_synchronously(export, knobs, commanded_velocity);
+                    replanned = self.plan_synchronously(
+                        export,
+                        knobs,
+                        commanded_velocity,
+                        predicted,
+                        in_danger,
+                    );
                 }
             }
         }
         Planned {
             blockage,
             replanned,
+            in_danger,
         }
     }
 
@@ -630,6 +909,44 @@ impl<'m> DecisionCycle<'m> {
             self.planning_margin,
             self.drone.position,
         )
+    }
+
+    /// The moving-obstacle boxes predicted over the configured lookahead
+    /// from the current instant (empty without dynamics).
+    fn predicted_boxes(&self) -> Vec<Aabb> {
+        match self.dynamics {
+            Some(world) if !world.is_static() => {
+                world.predicted_boxes(self.clock.now(), self.cfg.dynamic_lookahead)
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn predicted_relevance_range(&self) -> f64 {
+        predicted_relevance_range(
+            self.drone.speed(),
+            self.cfg.dynamic_lookahead,
+            self.planning_margin,
+        )
+    }
+
+    /// Distance to the first remaining-trajectory point inside the
+    /// predicted moving-obstacle occupancy within the relevance range,
+    /// or `None` when clear (or in a static world).
+    fn predicted_blockage(&self, predicted: &[Aabb]) -> Option<f64> {
+        let f = self.follower.as_ref()?;
+        predicted_blockage_distance(
+            f.trajectory(),
+            f.progress_time(),
+            predicted,
+            self.planning_margin * 0.6,
+            self.drone.position,
+            self.predicted_relevance_range(),
+        )
+    }
+
+    fn in_predicted_danger(&self, predicted: &[Aabb]) -> bool {
+        in_predicted_danger(predicted, self.drone.position, self.planning_margin)
     }
 
     fn need_plan(&self, blockage: Option<f64>) -> bool {
@@ -655,9 +972,11 @@ impl<'m> DecisionCycle<'m> {
         export: &PlannerMap,
         knobs: &KnobSettings,
         commanded_velocity: f64,
+        predicted: &[Aabb],
+        escape: bool,
     ) -> bool {
         let local_goal = self.local_goal(export);
-        let bounds = planning_bounds(self.drone.position, local_goal, self.env.bounds());
+        let bounds = self.sampling_bounds(self.drone.position, local_goal);
         let check_step = planning_check_step(knobs);
         let planner = planner_for(
             self.planner_seed_base,
@@ -707,13 +1026,57 @@ impl<'m> DecisionCycle<'m> {
                 commanded_velocity.max(0.5),
             );
         }
+        if matches!(outcome, Err(PlanError::StartBlocked))
+            && self.dynamics.is_some_and(|world| !world.is_static())
+        {
+            // Wedged: the drone's own position sits inside the margin
+            // shell of mapped occupancy even at the finest export. Static
+            // missions cannot reach this state (planned paths keep the
+            // margin), but a dynamic mission can — an escape manoeuvre or
+            // a passing actor can leave the MAV parked against a surface,
+            // where every plan is start-blocked forever. Back straight
+            // out of the margin shell so the next decision can plan.
+            let retreat = self.retreat_trajectory(export);
+            self.install_trajectory(retreat);
+            return true;
+        }
         match outcome {
             Ok((trajectory, _stats)) => {
+                // A fresh plan that crosses the predicted moving-obstacle
+                // occupancy is rejected like a failed plan: the planner
+                // only knows where actors *are* (their mapped voxels),
+                // the prediction knows where they may be within the
+                // lookahead. Rejection leaves the emergency-stop policy
+                // in charge until the conflict clears. The one exception
+                // is an *escape* plan: when the drone's own position is
+                // already inside a predicted box, any plan necessarily
+                // starts in conflict and moving out beats hovering in a
+                // crossing lane.
+                if !escape
+                    && !path_clear_of_predicted(
+                        trajectory.points().iter().map(|p| p.position),
+                        predicted,
+                        self.planning_margin * 0.6,
+                        self.drone.position,
+                        self.predicted_relevance_range(),
+                    )
+                {
+                    return false;
+                }
                 self.install_trajectory(trajectory);
                 true
             }
             Err(_) => false,
         }
+    }
+
+    fn retreat_trajectory(&self, export: &PlannerMap) -> Trajectory {
+        retreat_trajectory(export, self.drone.position, self.planning_margin)
+    }
+
+    /// The RRT sampling bounds for this mission.
+    fn sampling_bounds(&self, start: Vec3, goal: Vec3) -> Aabb {
+        planning_bounds(start, goal, self.env.bounds())
     }
 
     fn local_goal(&self, export: &PlannerMap) -> Vec3 {
@@ -728,8 +1091,15 @@ impl<'m> DecisionCycle<'m> {
 
     /// Emergency stop: the remaining trajectory collides with the freshly
     /// observed map *within stopping range* and no replacement was found
-    /// this decision — brake and hover until a valid plan exists.
+    /// this decision — brake and hover until a valid plan exists. Never
+    /// triggered while the drone sits inside predicted moving-obstacle
+    /// occupancy: braking there parks the MAV in a crossing lane, and
+    /// the escape plan (or the old trajectory) moving it *anywhere* is
+    /// safer than holding station.
     fn emergency_stop(&mut self, planned: &Planned, latency: f64) {
+        if planned.in_danger {
+            return;
+        }
         if let (Some(distance), false) = (planned.blockage, planned.replanned) {
             let stop_distance = self
                 .governor
@@ -762,6 +1132,8 @@ impl<'m> DecisionCycle<'m> {
         export: &PlannerMap,
         knobs: &KnobSettings,
         breakdown: &LatencyBreakdown,
+        predicted: &[Aabb],
+        in_danger: bool,
     ) -> (Option<SpeculationVerdict>, f64) {
         let (Some(worker), Some(pending)) = (worker, self.pending.take()) else {
             return (None, 0.0);
@@ -771,7 +1143,7 @@ impl<'m> DecisionCycle<'m> {
             .recv()
             .expect("speculation worker hung up mid-mission");
         let fresh_goal = self.local_goal(export);
-        let verdict = validate_speculation(
+        let mut verdict = validate_speculation(
             &outcome.outcome,
             &pending.snapshot,
             pending.start,
@@ -782,6 +1154,29 @@ impl<'m> DecisionCycle<'m> {
             self.planning_margin * 0.6,
             planning_check_step(knobs),
         );
+        // Dynamic worlds add one more gate: a speculative trajectory is
+        // discarded when it crosses the *predicted* occupancy of a
+        // moving obstacle even though the voxel delta cleared it — the
+        // delta only knows where actors were, the prediction knows where
+        // they may be within the lookahead — and unconditionally on an
+        // in-danger decision (the drone needs an escape plan, not the
+        // routine progress plan that was speculated). Discarding here,
+        // before the hit/masked accounting below, keeps the overlap
+        // metrics honest: a dropped speculation masks nothing.
+        if let SpeculationVerdict::Adopted(t) | SpeculationVerdict::Patched(t) = &verdict {
+            if in_danger
+                || !path_clear_of_predicted(
+                    t.points().iter().map(|p| p.position),
+                    predicted,
+                    self.planning_margin * 0.6,
+                    self.drone.position,
+                    self.predicted_relevance_range(),
+                )
+            {
+                self.dynamics_stats.predicted_invalidations += 1;
+                verdict = SpeculationVerdict::Discarded;
+            }
+        }
         let masked = match verdict {
             SpeculationVerdict::Adopted(_) | SpeculationVerdict::Patched(_) => {
                 self.stats.hits += 1;
@@ -827,7 +1222,7 @@ impl<'m> DecisionCycle<'m> {
             knobs,
             self.planning_margin,
         );
-        let bounds = planning_bounds(self.drone.position, goal, self.env.bounds());
+        let bounds = self.sampling_bounds(self.drone.position, goal);
         // Refresh the snapshot checker to this decision's export (an exact
         // delta patch, same as the synchronous path would apply) and build
         // its broad-phase so the worker never pays for it.
@@ -869,19 +1264,51 @@ impl<'m> DecisionCycle<'m> {
         let knobs = policy.knobs;
         let export = self.apply_operators(&sensed, &knobs);
         let breakdown = self.decision_cost(&knobs);
+        // Moving-obstacle prediction for this decision's instant (empty
+        // in static worlds) and the in-danger state, shared by every
+        // consumer below.
+        let predicted = self.predicted_boxes();
+        let in_danger = self.in_predicted_danger(&predicted);
 
         // Plan-ahead join: an adopted speculation masks the planning stage
         // up to the overlap window; everything downstream (safe velocity,
         // epoch, telemetry) sees the critical-path latency.
         self.decisions_since_plan += 1;
-        let (speculative, masked) =
-            self.take_speculation(worker.as_deref_mut(), &export, &knobs, &breakdown);
+        let (speculative, masked) = self.take_speculation(
+            worker.as_deref_mut(),
+            &export,
+            &knobs,
+            &breakdown,
+            &predicted,
+            in_danger,
+        );
         let latency = breakdown.critical_path(masked);
 
         // Safe velocity under the budget law (Eq. 1), on the critical path:
-        // masked planning work never delayed the MAV's reaction.
+        // masked planning work never delayed the MAV's reaction. In a
+        // dynamic world the reaction budget additionally absorbs the worst
+        // closing speed of any sensed actor (the oblivious baseline cannot:
+        // its velocity is fixed at design time — the thesis again).
+        // Actors that can reach the visible margin within the lookahead
+        // eat into the reaction budget; anything farther is throttling
+        // the mission for an obstacle that cannot touch it.
+        let closing_speed = match self.dynamics {
+            Some(world) if !world.is_static() => world.max_closing_speed(
+                self.clock.now(),
+                self.drone.position,
+                profile.visibility + world.max_actor_speed() * self.cfg.dynamic_lookahead,
+            ),
+            _ => 0.0,
+        };
         let commanded_velocity = match self.cfg.mode {
             RuntimeMode::SpatialOblivious => self.baseline_velocity,
+            RuntimeMode::SpatialAware if closing_speed > 0.0 => {
+                self.governor.safe_velocity_closing(
+                    breakdown.critical_path(masked),
+                    profile.visibility,
+                    closing_speed,
+                )
+            }
             RuntimeMode::SpatialAware => {
                 self.governor
                     .safe_velocity_overlapped(&breakdown, masked, profile.visibility)
@@ -889,7 +1316,14 @@ impl<'m> DecisionCycle<'m> {
         };
 
         // Plan (or adopt), then the emergency-stop policy.
-        let planned = self.plan(&export, &knobs, commanded_velocity, speculative);
+        let planned = self.plan(
+            &export,
+            &knobs,
+            commanded_velocity,
+            speculative,
+            &predicted,
+            in_danger,
+        );
         self.emergency_stop(&planned, latency);
 
         // Record.
@@ -910,9 +1344,12 @@ impl<'m> DecisionCycle<'m> {
             masked_latency: masked,
         });
 
-        // Advance the world for the (critical-path) epoch.
+        // Advance the world for the (critical-path) epoch. Moving actors
+        // are collision-tested at their true pose of every substep.
         let epoch = latency.max(self.cfg.min_epoch);
         let follower = &mut self.follower;
+        let dynamics = self.dynamics;
+        let body_margin = self.cfg.drone.body_radius * 0.8;
         self.collided = advance_epoch(
             &mut self.drone,
             &mut self.clock,
@@ -929,8 +1366,12 @@ impl<'m> DecisionCycle<'m> {
                 }
                 _ => None,
             },
+            |position, time| {
+                dynamics.is_some_and(|world| world.actor_hit(position, time, body_margin))
+            },
         );
         self.flown_path.push(self.drone.position);
+        self.flown_times.push(self.clock.now());
         if !self.collided
             && self.drone.position.distance(self.env.goal()) <= self.cfg.goal_tolerance
         {
@@ -956,11 +1397,13 @@ impl<'m> DecisionCycle<'m> {
             self.reached_goal,
             self.collided,
             &self.stats,
+            &self.dynamics_stats,
         );
         MissionResult {
             metrics,
             telemetry: self.telemetry,
             flown_path: self.flown_path,
+            flown_times: self.flown_times,
         }
     }
 }

@@ -46,5 +46,5 @@ pub use breakdown::{ZoneBreakdown, ZoneStats};
 pub use metrics::{AggregateMetrics, MissionMetrics};
 pub use node_pipeline::{NodePipeline, NodePipelineConfig, NodePipelineResult};
 pub use runner::{MissionConfig, MissionResult, MissionRunner};
-pub use scenarios::Scenario;
-pub use sweep::{SensitivityRow, SweepConfig, SweepResults};
+pub use scenarios::{DynamicScenario, Scenario};
+pub use sweep::{DynamicSweepConfig, DynamicSweepRow, SensitivityRow, SweepConfig, SweepResults};

@@ -35,6 +35,14 @@ pub struct MissionMetrics {
     /// Speculative plans adopted (including goal-drift patches) instead
     /// of a synchronous replan.
     pub plan_ahead_hits: usize,
+    /// Decisions on which a moving obstacle's predicted occupancy
+    /// crossed the followed trajectory and forced a replan. Zero in
+    /// static worlds.
+    pub dynamic_replans: usize,
+    /// Arrived plan-ahead speculations discarded because a moving
+    /// obstacle's predicted occupancy crossed the speculative
+    /// trajectory. Zero in static worlds or with plan-ahead off.
+    pub predicted_invalidations: usize,
 }
 
 impl MissionMetrics {
@@ -186,6 +194,8 @@ mod tests {
             masked_planning_latency: 0.0,
             plan_ahead_attempts: 0,
             plan_ahead_hits: 0,
+            dynamic_replans: 0,
+            predicted_invalidations: 0,
         }
     }
 

@@ -16,14 +16,17 @@
 //! commands at the 4 Hz control substep) stays a direct call, exactly as the
 //! flight-controller interface does on a real MAV.
 
-use crate::cycle::{self, direction_towards, planning_bounds, zone_label, PlanAheadStats};
+use crate::cycle::{
+    self, direction_towards, planning_bounds, zone_label, DynamicsStats, PlanAheadStats,
+};
 use crate::runner::{MissionConfig, MissionResult};
 use roborun_control::TrajectoryFollower;
 use roborun_core::{
     DecisionRecord, Governor, MissionTelemetry, Policy, Profilers, RuntimeMode, SpatialProfile,
 };
-use roborun_env::Environment;
-use roborun_geom::Vec3;
+use roborun_dynamics::DynamicWorld;
+use roborun_env::{Environment, ObstacleField};
+use roborun_geom::{Aabb, Vec3};
 use roborun_middleware::{
     CommLatencyModel, GraphInfo, Message, MessageBus, Node, Publisher, QosProfile, Subscription,
 };
@@ -184,9 +187,9 @@ impl SensorNode {
         }
     }
 
-    fn spin(&self, env: &Environment, drone: &DroneState) {
+    fn spin(&self, field: &ObstacleField, drone: &DroneState) {
         let pose = drone.pose();
-        let scan = self.rig.capture(env.field(), &pose);
+        let scan = self.rig.capture(field, &pose);
         let cloud = PointCloud::new(pose.position, scan.points);
         let _ = self.points_pub.publish(PointCloudMsg(cloud));
         let _ = self.odom_pub.publish(OdometryMsg {
@@ -213,12 +216,16 @@ struct PerceptionNode {
     latest_policy: Option<Policy>,
     latest_trajectory: Option<Trajectory>,
     planner_start_blocked: bool,
+    /// Decision counter stamped onto the map as the voxel-decay epoch.
+    epochs: u64,
 }
 
 impl PerceptionNode {
     fn new(node: &Node, config: &MissionConfig, map_resolution: f64) -> Self {
+        let mut map = OccupancyMap::new(map_resolution);
+        map.set_stale_decay(config.voxel_decay);
         PerceptionNode {
-            map: OccupancyMap::new(map_resolution),
+            map,
             profilers: config.profilers,
             map_retain_radius: config.map_retain_radius,
             cloud_sub: node
@@ -245,6 +252,7 @@ impl PerceptionNode {
             latest_policy: None,
             latest_trajectory: None,
             planner_start_blocked: false,
+            epochs: 0,
         }
     }
 
@@ -296,6 +304,8 @@ impl PerceptionNode {
         let downsampled = cloud.downsampled(knobs.point_cloud_precision);
         let limited = downsampled.volume_limited(odom.position, knobs.octomap_volume);
         let carve_step = knobs.point_cloud_precision.max(0.5);
+        self.epochs += 1;
+        self.map.set_epoch(self.epochs);
         self.map.integrate_cloud(&limited, carve_step);
         self.map
             .retain_within(odom.position, self.map_retain_radius);
@@ -346,8 +356,10 @@ impl RuntimeNode {
     }
 
     /// The velocity the runtime allows for the next epoch given the actual
-    /// decision latency.
-    fn commanded_velocity(&self, mode: RuntimeMode, latency: f64) -> f64 {
+    /// decision latency and the worst closing speed of any sensed moving
+    /// obstacle (zero in a static world, where this reduces exactly to
+    /// the plain budget law).
+    fn commanded_velocity(&self, mode: RuntimeMode, latency: f64, closing_speed: f64) -> f64 {
         match mode {
             RuntimeMode::SpatialOblivious => self.governor.baseline_velocity(),
             RuntimeMode::SpatialAware => {
@@ -356,7 +368,8 @@ impl RuntimeNode {
                     .as_ref()
                     .map(|p| p.visibility)
                     .unwrap_or(self.governor.config().oblivious_visibility);
-                self.governor.safe_velocity(latency, visibility)
+                self.governor
+                    .safe_velocity_closing(latency, visibility, closing_speed)
             }
         }
     }
@@ -373,6 +386,7 @@ struct PlanningNode {
     seed_base: u64,
     margin: f64,
     planning_horizon: f64,
+    dynamic_lookahead: f64,
     replan_every: usize,
     stopping: StoppingModel,
     map_sub: Subscription<PlannerMapMsg>,
@@ -389,6 +403,13 @@ struct PlanningNode {
     decisions_since_plan: usize,
     decisions: usize,
     emergency_stop: bool,
+    /// Decisions where a predicted moving-obstacle conflict forced a
+    /// replan (always zero in static worlds).
+    dynamic_replans: usize,
+    /// Consecutive decisions whose planning attempt was start-blocked —
+    /// after the fine-export fallback has had its chance, a dynamic
+    /// mission retreats out of the margin shell instead of hovering.
+    start_blocked_streak: usize,
 }
 
 impl PlanningNode {
@@ -397,6 +418,7 @@ impl PlanningNode {
             seed_base: config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(env_seed),
             margin: config.drone.body_radius * config.planning_margin_factor,
             planning_horizon: config.planning_horizon,
+            dynamic_lookahead: config.dynamic_lookahead,
             replan_every: config.replan_every,
             stopping: StoppingModel::paper_default(),
             map_sub: node
@@ -425,6 +447,8 @@ impl PlanningNode {
             decisions_since_plan: usize::MAX / 2,
             decisions: 0,
             emergency_stop: false,
+            dynamic_replans: 0,
+            start_blocked_streak: 0,
         }
     }
 
@@ -457,7 +481,7 @@ impl PlanningNode {
         cycle::first_blockage_distance(trajectory, progress, map, self.margin, position)
     }
 
-    fn spin(&mut self, env: &Environment, commanded_velocity: f64) {
+    fn spin(&mut self, env: &Environment, commanded_velocity: f64, predicted: &[Aabb]) {
         self.decisions += 1;
         self.decisions_since_plan += 1;
         if let Some(sample) = self.map_sub.latest() {
@@ -483,7 +507,33 @@ impl PlanningNode {
             .latest_status
             .map(|s| s.finished)
             .unwrap_or(self.active_trajectory.is_none());
-        let blockage = self.first_blockage_distance(odom.position);
+        let static_blockage = self.first_blockage_distance(odom.position);
+        // A moving obstacle predicted to cross the remaining trajectory
+        // forces the same replan/brake machinery as a mapped blockage
+        // (same policy as the direct driver's cycle).
+        // Conflicts beyond the reach of the prediction horizon are not
+        // actionable (the relevance rule shared with the direct driver).
+        let relevance_range =
+            cycle::predicted_relevance_range(odom.speed, self.dynamic_lookahead, self.margin);
+        let predicted_blockage = self.active_trajectory.as_ref().and_then(|trajectory| {
+            let progress = self.latest_status.map(|s| s.progress_time).unwrap_or(0.0);
+            cycle::predicted_blockage_distance(
+                trajectory,
+                progress,
+                predicted,
+                self.margin * 0.6,
+                odom.position,
+                relevance_range,
+            )
+        });
+        // A predicted box over the drone's own position forces an escape
+        // replan and suppresses braking (the in-danger policy shared
+        // with the direct driver).
+        let in_danger = cycle::in_predicted_danger(predicted, odom.position, self.margin);
+        if predicted_blockage.is_some() || in_danger {
+            self.dynamic_replans += 1;
+        }
+        let blockage = cycle::merge_blockages(static_blockage, predicted_blockage);
         // Brake only when the blockage sits inside the stopping range: the
         // budget law (Eq. 1) guarantees the MAV can react to anything it
         // sees that close, while blockages further out leave time to keep
@@ -501,7 +551,8 @@ impl PlanningNode {
         let need_plan = self.active_trajectory.is_none()
             || finished
             || self.decisions_since_plan >= self.replan_every
-            || blockage.is_some();
+            || blockage.is_some()
+            || in_danger;
         self.emergency_stop = false;
         if !need_plan {
             return;
@@ -519,16 +570,47 @@ impl PlanningNode {
         );
         // Tell perception whether the exported map swallowed our own
         // position, so it can fall back to the worst-case export precision.
-        let _ = self.feedback_pub.publish(PlanningFeedbackMsg {
-            start_blocked: matches!(outcome, Err(PlanError::StartBlocked)),
-        });
+        let start_blocked = matches!(outcome, Err(PlanError::StartBlocked));
+        let _ = self
+            .feedback_pub
+            .publish(PlanningFeedbackMsg { start_blocked });
+        if start_blocked {
+            self.start_blocked_streak += 1;
+        } else {
+            self.start_blocked_streak = 0;
+        }
+        // Wedged in a dynamic mission: the fine-export fallback has had
+        // its decision and the start is still blocked — back out of the
+        // margin shell so planning can recover (same manoeuvre as the
+        // direct driver's cycle).
+        if start_blocked && self.start_blocked_streak >= 2 && !predicted.is_empty() {
+            let retreat = cycle::retreat_trajectory(map, odom.position, self.margin);
+            self.active_trajectory = Some(retreat.clone());
+            self.decisions_since_plan = 0;
+            let _ = self.trajectory_pub.publish(TrajectoryMsg(retreat));
+            return;
+        }
         match outcome {
-            Ok((trajectory, _stats)) => {
+            // A fresh plan that crosses the predicted moving-obstacle
+            // occupancy is rejected like a failed plan — unless it is an
+            // *escape* plan from inside a predicted box, where moving
+            // out beats hovering in a crossing lane (same policy as the
+            // direct driver's cycle).
+            Ok((trajectory, _stats))
+                if in_danger
+                    || cycle::path_clear_of_predicted(
+                        trajectory.points().iter().map(|p| p.position),
+                        predicted,
+                        self.margin * 0.6,
+                        odom.position,
+                        relevance_range,
+                    ) =>
+            {
                 self.active_trajectory = Some(trajectory.clone());
                 self.decisions_since_plan = 0;
                 let _ = self.trajectory_pub.publish(TrajectoryMsg(trajectory));
             }
-            Err(_) if imminent_blockage => {
+            Ok(_) | Err(_) if imminent_blockage && !in_danger => {
                 // The old trajectory collides within stopping range and no
                 // replacement was found: ask the controller to brake
                 // (Eq. 1's stopping-distance reaction) and drop the stale
@@ -536,7 +618,7 @@ impl PlanningNode {
                 self.active_trajectory = None;
                 self.emergency_stop = true;
             }
-            Err(_) => {}
+            _ => {}
         }
     }
 }
@@ -671,7 +753,22 @@ impl NodePipeline {
     /// Runs one mission in the given environment, returning the mission
     /// result plus the node-graph view of it.
     pub fn run(&self, env: &Environment) -> NodePipelineResult {
+        self.run_with(env, None)
+    }
+
+    /// Runs one mission against a dynamic world: the same node graph,
+    /// sensing from the snapshot field of each instant, validating the
+    /// planner node's trajectory against predicted moving-obstacle
+    /// occupancy and budgeting velocity with the closing-speed term.
+    /// With an actor-free world the run is bit-identical to
+    /// [`NodePipeline::run`].
+    pub fn run_dynamic(&self, env: &Environment, dynamics: &DynamicWorld) -> NodePipelineResult {
+        self.run_with(env, Some(dynamics))
+    }
+
+    fn run_with(&self, env: &Environment, dynamics: Option<&DynamicWorld>) -> NodePipelineResult {
         let cfg = &self.config.mission;
+        let live = dynamics.filter(|world| !world.is_static());
         let bus = MessageBus::new(self.config.comm);
         let governor = Governor::new(cfg.governor_config());
         let map_resolution = governor.config().ranges.precision_min;
@@ -684,7 +781,13 @@ impl NodePipeline {
         let planning_host = Node::new(&bus, "planner").expect("planning node");
         let control_host = Node::new(&bus, "controller").expect("control node");
 
-        let sensor = SensorNode::new(&sensor_host, cfg.camera_rig());
+        let sensor = SensorNode::new(
+            &sensor_host,
+            match live {
+                Some(_) => cfg.dynamic_camera_rig(),
+                None => cfg.camera_rig(),
+            },
+        );
         let mut perception = PerceptionNode::new(&perception_host, cfg, map_resolution);
         let mut runtime = RuntimeNode::new(&runtime_host, governor);
         let mut planning = PlanningNode::new(&planning_host, cfg, env.seed());
@@ -694,6 +797,7 @@ impl NodePipeline {
         let mut clock = SimClock::new();
         let mut telemetry = MissionTelemetry::new(cfg.mode);
         let mut flown_path = vec![drone.position];
+        let mut flown_times = vec![0.0];
         let mut comm_per_decision = Vec::new();
         let mut energy_joules = 0.0;
         let mut collided = false;
@@ -706,8 +810,17 @@ impl NodePipeline {
             bus.set_time(clock.now());
 
             // Sensor → perception profiling → governor → perception map →
-            // planning, all over topics.
-            sensor.spin(env, &drone);
+            // planning, all over topics. With actors, sensing captures
+            // the snapshot field of this instant.
+            let snapshot;
+            let sense_field = match live {
+                Some(world) => {
+                    snapshot = world.snapshot_field(clock.now());
+                    &snapshot
+                }
+                None => env.field(),
+            };
+            sensor.spin(sense_field, &drone);
             perception.profile_spin(env.goal());
             let Some(policy) = runtime.spin() else { break };
             perception.map_spin();
@@ -728,9 +841,23 @@ impl NodePipeline {
             // recorded breakdown).
             let comm_so_far = bus.total_transport_latency() - comm_seen;
             let provisional_latency = breakdown.compute_total() + comm_so_far;
-            let commanded_velocity = runtime.commanded_velocity(cfg.mode, provisional_latency);
+            // Actors that can reach the visible margin within the
+            // lookahead eat into the reaction budget (same rule as the
+            // direct driver's cycle).
+            let closing_speed = live.map_or(0.0, |world| {
+                world.max_closing_speed(
+                    clock.now(),
+                    drone.position,
+                    runtime.latest_visibility() + world.max_actor_speed() * cfg.dynamic_lookahead,
+                )
+            });
+            let commanded_velocity =
+                runtime.commanded_velocity(cfg.mode, provisional_latency, closing_speed);
 
-            planning.spin(env, commanded_velocity);
+            let predicted = live.map_or_else(Vec::new, |world| {
+                world.predicted_boxes(clock.now(), cfg.dynamic_lookahead)
+            });
+            planning.spin(env, commanded_velocity, &predicted);
             control.begin_epoch();
             if planning.emergency_stop_needed() {
                 control.brake();
@@ -761,8 +888,10 @@ impl NodePipeline {
                 masked_latency: 0.0,
             });
 
-            // Advance the physical world for the epoch.
+            // Advance the physical world for the epoch; moving actors are
+            // collision-tested at their true pose of every substep.
             let epoch = latency.max(cfg.min_epoch);
+            let body_margin = cfg.drone.body_radius * 0.8;
             collided = cycle::advance_epoch(
                 &mut drone,
                 &mut clock,
@@ -773,9 +902,13 @@ impl NodePipeline {
                 epoch,
                 commanded_velocity,
                 |position, dt| control.update(position, dt),
+                |position, time| {
+                    live.is_some_and(|world| world.actor_hit(position, time, body_margin))
+                },
             );
             control.end_epoch();
             flown_path.push(drone.position);
+            flown_times.push(clock.now());
 
             if collided {
                 break;
@@ -788,7 +921,7 @@ impl NodePipeline {
 
         let mission_time = clock.now().max(1e-9);
         // The node graph plans synchronously on the bus, so no latency is
-        // ever masked.
+        // ever masked (and no speculation exists to invalidate).
         let metrics = cycle::finalize_metrics(
             cfg.mode,
             mission_time,
@@ -799,6 +932,10 @@ impl NodePipeline {
             reached_goal,
             collided,
             &PlanAheadStats::default(),
+            &DynamicsStats {
+                dynamic_replans: planning.dynamic_replans,
+                predicted_invalidations: 0,
+            },
         );
         let graph = GraphInfo::snapshot(&bus);
         NodePipelineResult {
@@ -806,6 +943,7 @@ impl NodePipeline {
                 metrics,
                 telemetry,
                 flown_path,
+                flown_times,
             },
             graph,
             comm_per_decision,

@@ -18,6 +18,7 @@
 use crate::cycle::{self, DecisionCycle, PlanAheadWorker};
 use crate::metrics::MissionMetrics;
 use roborun_core::{KnobAblation, MissionTelemetry, Profilers, RuntimeMode};
+use roborun_dynamics::DynamicWorld;
 use roborun_env::Environment;
 use roborun_geom::Vec3;
 use roborun_sim::{
@@ -79,6 +80,18 @@ pub struct MissionConfig {
     /// [`crate::cycle`] module docs). Off by default; with it off every
     /// mission is bit-identical to the non-overlapped behaviour.
     pub plan_ahead: bool,
+    /// Lookahead horizon (seconds) over which moving obstacles' predicted
+    /// occupancy invalidates the followed trajectory and plan-ahead
+    /// speculations. Only consulted when a mission runs against a
+    /// [`roborun_dynamics::DynamicWorld`] with actors.
+    pub dynamic_lookahead: f64,
+    /// Stale-occupied decay window of the occupancy map, in decisions:
+    /// with `Some(n)`, an occupied voxel older than `n` decisions yields
+    /// to a contradicting free-space ray, so cells vacated by moving
+    /// obstacles actually free up (the removals flow into the export
+    /// delta the incremental collision checker patches from). `None`
+    /// (the default) keeps the classic accrete-only map bit for bit.
+    pub voxel_decay: Option<u64>,
     /// Random seed for the stochastic planner.
     pub seed: u64,
 }
@@ -110,21 +123,44 @@ impl MissionConfig {
             ablation: KnobAblation::none(),
             faults: FaultConfig::healthy(),
             plan_ahead: false,
+            dynamic_lookahead: 4.0,
+            voxel_decay: None,
             seed: 1,
         }
     }
 
+    /// The six horizontal cameras every rig is built from.
+    fn horizontal_cameras() -> Vec<DepthCamera> {
+        (0..6)
+            .map(|i| DepthCamera {
+                h_res: 10,
+                v_res: 5,
+                ..DepthCamera::mounted_at(i as f64 * std::f64::consts::TAU / 6.0)
+            })
+            .collect()
+    }
+
     /// The sensing rig: six cameras at reduced resolution.
     pub fn camera_rig(&self) -> CameraRig {
-        CameraRig::new(
-            (0..6)
-                .map(|i| DepthCamera {
-                    h_res: 10,
-                    v_res: 5,
-                    ..DepthCamera::mounted_at(i as f64 * std::f64::consts::TAU / 6.0)
-                })
-                .collect(),
-        )
+        CameraRig::new(Self::horizontal_cameras())
+    }
+
+    /// The sensing rig for dynamic (moving-obstacle) missions: the six
+    /// horizontal cameras plus three down-tilted ones. Moving obstacles
+    /// push plans out of the horizontal band — an escape or an
+    /// over-the-top route later *descends*, and the classic rig's ±22.5°
+    /// band would let the MAV descend through unsensed space straight
+    /// into pillar tops the map never saw.
+    pub fn dynamic_camera_rig(&self) -> CameraRig {
+        let mut cameras = Self::horizontal_cameras();
+        cameras.extend((0..3).map(|i| DepthCamera {
+            h_res: 10,
+            v_res: 5,
+            mount_pitch: -0.75,
+            v_fov: 0.9,
+            ..DepthCamera::mounted_at(i as f64 * std::f64::consts::TAU / 3.0)
+        }));
+        CameraRig::new(cameras)
     }
 
     /// Governor configuration derived from this mission configuration.
@@ -150,6 +186,11 @@ pub struct MissionResult {
     /// The trajectory of drone positions over the mission (one per
     /// decision), for map plots like Fig. 9.
     pub flown_path: Vec<Vec3>,
+    /// Simulation time of each [`MissionResult::flown_path`] entry
+    /// (seconds), so flown positions can be judged against the world
+    /// state of their instant — e.g. the dynamic-world safety audit that
+    /// checks no flown point ever intersects a moving actor's true pose.
+    pub flown_times: Vec<f64>,
 }
 
 /// Runs missions in a given configuration.
@@ -185,8 +226,22 @@ impl MissionRunner {
     /// function of its snapshot and the loop joins the worker's answer
     /// before using it.
     pub fn run(&self, env: &Environment) -> MissionResult {
+        self.run_with(env, None)
+    }
+
+    /// Runs one mission against a dynamic world: the same decision loop,
+    /// sensing from the snapshot field of each instant, validating
+    /// trajectories against the predicted moving-obstacle occupancy and
+    /// budgeting reaction time with the closing-speed term (see the
+    /// [`crate::cycle`] module docs). With an actor-free world the
+    /// mission is bit-identical to [`MissionRunner::run`].
+    pub fn run_dynamic(&self, env: &Environment, dynamics: &DynamicWorld) -> MissionResult {
+        self.run_with(env, Some(dynamics))
+    }
+
+    fn run_with(&self, env: &Environment, dynamics: Option<&DynamicWorld>) -> MissionResult {
         if !self.config.plan_ahead {
-            return self.drive(env, None);
+            return self.drive(env, dynamics, None);
         }
         let (req_tx, req_rx) = mpsc::channel();
         let (out_tx, out_rx) = mpsc::channel();
@@ -196,13 +251,18 @@ impl MissionRunner {
             // `worker` (and with it the request sender) drops when this
             // closure returns, which hangs up the channel and lets the
             // scoped thread exit before the scope joins it.
-            self.drive(env, Some(&mut worker))
+            self.drive(env, dynamics, Some(&mut worker))
         })
     }
 
     /// The decision loop: a thin driver of [`cycle::DecisionCycle`].
-    fn drive(&self, env: &Environment, mut worker: Option<&mut PlanAheadWorker>) -> MissionResult {
-        let mut cycle = DecisionCycle::new(&self.config, env);
+    fn drive(
+        &self,
+        env: &Environment,
+        dynamics: Option<&DynamicWorld>,
+        mut worker: Option<&mut PlanAheadWorker>,
+    ) -> MissionResult {
+        let mut cycle = DecisionCycle::new(&self.config, env, dynamics);
         while cycle.mission_open() {
             cycle.run_decision(worker.as_deref_mut());
         }

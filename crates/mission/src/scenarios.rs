@@ -1,11 +1,13 @@
-//! Mission scenarios: the paper's motivating missions and the small
-//! environments behind Figures 3 and 4.
+//! Mission scenarios: the paper's motivating missions, the small
+//! environments behind Figures 3 and 4, and the moving-obstacle
+//! (dynamic-world) scenario families.
 
+use roborun_dynamics::{Actor, DynamicWorld, MotionModel};
 use roborun_env::{
     DifficultyConfig, Environment, EnvironmentGenerator, GeneratorParams, Obstacle, ObstacleField,
     ZoneLayout,
 };
-use roborun_geom::{Aabb, Vec3};
+use roborun_geom::{Aabb, SplitMix64, Vec3};
 use serde::{Deserialize, Serialize};
 
 /// The named scenarios used by the examples and the experiment harness.
@@ -78,6 +80,188 @@ impl Scenario {
             .generate(seed)
     }
 }
+
+/// The moving-obstacle scenario families: worlds whose difficulty changes
+/// underneath the robot (temporal heterogeneity — the axis the static
+/// 27-environment matrix cannot express).
+///
+/// Every family is generated deterministically from a seed: the static
+/// field comes from the [`EnvironmentGenerator`], the actors from a
+/// forked stream of the same seed, and every actor pose is a pure
+/// function of time — so a scenario run is bit-reproducible across runs
+/// and across both mission drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DynamicScenario {
+    /// A sparse corridor crossed laterally by shuttling vehicles: the
+    /// archetypal "moving obstacle enters the corridor" workload. Static
+    /// difficulty is low; all the hazard is temporal.
+    CrossingCorridor,
+    /// A denser warehouse block patrolled lengthwise by slow carts that
+    /// share the MAV's flight lanes: conflicts develop slowly but in
+    /// tight quarters.
+    PatrolledWarehouse,
+    /// A congested mid-mission intersection: crossers on both axes plus
+    /// seeded random walkers milling about the centre.
+    CongestedIntersection,
+}
+
+impl DynamicScenario {
+    /// All dynamic scenario families.
+    pub const ALL: [DynamicScenario; 3] = [
+        DynamicScenario::CrossingCorridor,
+        DynamicScenario::PatrolledWarehouse,
+        DynamicScenario::CongestedIntersection,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DynamicScenario::CrossingCorridor => "crossing corridor",
+            DynamicScenario::PatrolledWarehouse => "patrolled warehouse",
+            DynamicScenario::CongestedIntersection => "congested intersection",
+        }
+    }
+
+    /// The static difficulty backing the family (short 120 m missions so
+    /// sweeps and fixtures stay fast).
+    pub fn difficulty(self) -> DifficultyConfig {
+        match self {
+            DynamicScenario::CrossingCorridor => DifficultyConfig {
+                obstacle_density: 0.15,
+                obstacle_spread: 40.0,
+                goal_distance: 120.0,
+            },
+            DynamicScenario::PatrolledWarehouse => DifficultyConfig {
+                obstacle_density: 0.45,
+                obstacle_spread: 40.0,
+                goal_distance: 120.0,
+            },
+            DynamicScenario::CongestedIntersection => DifficultyConfig {
+                obstacle_density: 0.3,
+                obstacle_spread: 80.0,
+                goal_distance: 120.0,
+            },
+        }
+    }
+
+    /// Generates the scenario: the static environment plus its dynamic
+    /// world, both derived deterministically from `seed`.
+    pub fn world(self, seed: u64) -> (Environment, DynamicWorld) {
+        let env = EnvironmentGenerator::new(self.difficulty()).generate(seed);
+        let mut rng = SplitMix64::new(seed ^ DYNAMIC_SEED_SALT);
+        let cruise = env.start().z;
+        // Actors are ground vehicles / carts modelled as pillars tall
+        // enough to matter at cruise altitude.
+        let pillar = |half_xy: f64| Vec3::new(half_xy, half_xy, cruise + 2.0);
+        let spawn_z = cruise + 2.0; // pillar centre => box spans 0 .. 2z
+        let mut actors = Vec::new();
+        match self {
+            DynamicScenario::CrossingCorridor => {
+                // Four crossers shuttling across the corridor at stations
+                // along the mission axis, clear of start and goal.
+                for i in 0..4u32 {
+                    let x = 22.0 + i as f64 * 22.0 + rng.uniform(-4.0, 4.0);
+                    let speed = rng.uniform(0.8, 1.6);
+                    let dir = if rng.uniform(0.0, 1.0) < 0.5 {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                    let y0 = rng.uniform(-14.0, 14.0);
+                    actors.push(Actor::new(
+                        i,
+                        Vec3::new(x, y0, spawn_z),
+                        pillar(1.1),
+                        MotionModel::Crosser {
+                            velocity: Vec3::new(0.0, dir * speed, 0.0),
+                            bounds: Aabb::new(
+                                Vec3::new(x, -18.0, spawn_z),
+                                Vec3::new(x, 18.0, spawn_z),
+                            ),
+                        },
+                    ));
+                }
+            }
+            DynamicScenario::PatrolledWarehouse => {
+                // Three carts patrolling lengthwise lanes through the
+                // congested zones, one sweeping laterally.
+                for i in 0..3u32 {
+                    let lane_y = -10.0 + i as f64 * 10.0 + rng.uniform(-2.0, 2.0);
+                    let x0 = 18.0 + rng.uniform(0.0, 10.0);
+                    let x1 = 95.0 + rng.uniform(0.0, 8.0);
+                    actors.push(Actor::new(
+                        i,
+                        Vec3::new(x0, lane_y, spawn_z),
+                        pillar(1.0),
+                        MotionModel::WaypointPatrol {
+                            waypoints: vec![
+                                Vec3::new(x0, lane_y, spawn_z),
+                                Vec3::new(x1, lane_y, spawn_z),
+                            ],
+                            speed: rng.uniform(0.7, 1.2),
+                        },
+                    ));
+                }
+                let x = 60.0 + rng.uniform(-6.0, 6.0);
+                actors.push(Actor::new(
+                    3,
+                    Vec3::new(x, 0.0, spawn_z),
+                    pillar(1.0),
+                    MotionModel::WaypointPatrol {
+                        waypoints: vec![Vec3::new(x, -12.0, spawn_z), Vec3::new(x, 12.0, spawn_z)],
+                        speed: rng.uniform(0.6, 1.0),
+                    },
+                ));
+            }
+            DynamicScenario::CongestedIntersection => {
+                // Two axis crossers through the middle...
+                for i in 0..2u32 {
+                    let x = 45.0 + i as f64 * 24.0 + rng.uniform(-4.0, 4.0);
+                    actors.push(Actor::new(
+                        i,
+                        Vec3::new(x, rng.uniform(-10.0, 10.0), spawn_z),
+                        pillar(1.1),
+                        MotionModel::Crosser {
+                            velocity: Vec3::new(0.0, rng.uniform(0.9, 1.5), 0.0),
+                            bounds: Aabb::new(
+                                Vec3::new(x, -16.0, spawn_z),
+                                Vec3::new(x, 16.0, spawn_z),
+                            ),
+                        },
+                    ));
+                }
+                // ...plus two random walkers milling about the centre.
+                for i in 2..4u32 {
+                    let walk_seed = rng.next_u64();
+                    actors.push(Actor::new(
+                        i,
+                        Vec3::new(
+                            55.0 + rng.uniform(-8.0, 8.0),
+                            rng.uniform(-8.0, 8.0),
+                            spawn_z,
+                        ),
+                        pillar(0.9),
+                        MotionModel::RandomWalk {
+                            seed: walk_seed,
+                            speed: rng.uniform(0.5, 0.9),
+                            dwell: 2.5,
+                            bounds: Aabb::new(
+                                Vec3::new(35.0, -14.0, spawn_z),
+                                Vec3::new(85.0, 14.0, spawn_z),
+                            ),
+                        },
+                    ));
+                }
+            }
+        }
+        let world = DynamicWorld::new(env.field().clone(), actors);
+        (env, world)
+    }
+}
+
+/// Constant mixed into dynamic-scenario seeds so actor streams never
+/// collide with the environment generator's use of the same seed.
+const DYNAMIC_SEED_SALT: u64 = 0x44_59_4E_41_4D_49_43_53; // "DYNAMICS"
 
 /// A hand-built warehouse-aisle world for the paper's *high precision
 /// mission* illustration (Fig. 3): two rows of racks forming a tight aisle

@@ -1,6 +1,8 @@
-//! The 27-environment evaluation sweep (paper Section V, Figures 7 and 8).
+//! The 27-environment evaluation sweep (paper Section V, Figures 7 and 8)
+//! and the moving-obstacle (dynamic-world) sweep.
 
 use crate::metrics::ImprovementFactors;
+use crate::scenarios::DynamicScenario;
 use crate::{AggregateMetrics, MissionConfig, MissionMetrics, MissionRunner};
 use roborun_core::RuntimeMode;
 use roborun_env::{DifficultyConfig, EnvironmentGenerator};
@@ -202,9 +204,25 @@ fn run_sweep_row(config: &SweepConfig, i: usize) -> SweepRow {
 /// reference — [`run_sweep_serial`] — and rows stay in configuration
 /// order). `config.threads` overrides the worker count.
 pub fn run_sweep(config: &SweepConfig) -> SweepResults {
-    let n = config.difficulties.len();
-    let threads = config
-        .threads
+    SweepResults {
+        rows: pooled_rows(config.difficulties.len(), config.threads, |i| {
+            run_sweep_row(config, i)
+        }),
+    }
+}
+
+/// The scoped worker pool both sweeps run on: computes `row(i)` for
+/// `i in 0..n` on up to `threads` workers (defaulting to the machine's
+/// available parallelism), returning results in index order. Rows own
+/// their seeds, so the output is identical to a serial loop whatever the
+/// scheduling. With one worker (or one row) the pool degenerates to the
+/// plain serial loop.
+fn pooled_rows<R: Send>(
+    n: usize,
+    threads: Option<usize>,
+    row: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -212,13 +230,13 @@ pub fn run_sweep(config: &SweepConfig) -> SweepResults {
         })
         .clamp(1, n.max(1));
     if threads <= 1 || n <= 1 {
-        return run_sweep_serial(config);
+        return (0..n).map(row).collect();
     }
 
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SweepRow>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -226,21 +244,19 @@ pub fn run_sweep(config: &SweepConfig) -> SweepResults {
                 if i >= n {
                     break;
                 }
-                let row = run_sweep_row(config, i);
-                *slots[i].lock().expect("sweep row lock poisoned") = Some(row);
+                let computed = row(i);
+                *slots[i].lock().expect("sweep row lock poisoned") = Some(computed);
             });
         }
     });
-    SweepResults {
-        rows: slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("sweep row lock poisoned")
-                    .expect("every sweep row was computed")
-            })
-            .collect(),
-    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep row lock poisoned")
+                .expect("every sweep row was computed")
+        })
+        .collect()
 }
 
 /// The retained serial reference for [`run_sweep`]: one environment at a
@@ -251,6 +267,93 @@ pub fn run_sweep_serial(config: &SweepConfig) -> SweepResults {
             .map(|i| run_sweep_row(config, i))
             .collect(),
     }
+}
+
+// ---------------------------------------------------------------------------
+// The dynamic (moving-obstacle) sweep
+// ---------------------------------------------------------------------------
+
+/// Configuration of a moving-obstacle sweep: scenario families × seeds,
+/// both designs.
+#[derive(Debug, Clone)]
+pub struct DynamicSweepConfig {
+    /// The `(family, seed)` cases to evaluate.
+    pub cases: Vec<(DynamicScenario, u64)>,
+    /// Mission configuration template for the spatial-aware runs.
+    pub aware: MissionConfig,
+    /// Mission configuration template for the spatial-oblivious runs.
+    pub oblivious: MissionConfig,
+    /// Worker threads (same contract as [`SweepConfig::threads`]).
+    pub threads: Option<usize>,
+}
+
+impl DynamicSweepConfig {
+    /// The standard quick dynamic sweep: every scenario family once at
+    /// `seed`, short mission caps, voxel decay enabled on both designs
+    /// (vacated cells must free up for a moving world to be navigable).
+    pub fn quick(seed: u64) -> Self {
+        let mut aware = MissionConfig::new(RuntimeMode::SpatialAware);
+        aware.max_decisions = 600;
+        aware.max_mission_time = 1_500.0;
+        aware.voxel_decay = Some(2);
+        let mut oblivious = MissionConfig::new(RuntimeMode::SpatialOblivious);
+        oblivious.max_decisions = 1_500;
+        oblivious.max_mission_time = 3_000.0;
+        oblivious.voxel_decay = Some(2);
+        DynamicSweepConfig {
+            cases: DynamicScenario::ALL.iter().map(|&s| (s, seed)).collect(),
+            aware,
+            oblivious,
+            threads: None,
+        }
+    }
+}
+
+/// One case of the dynamic sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicSweepRow {
+    /// The scenario family.
+    pub scenario: DynamicScenario,
+    /// The seed that generated the environment and its actors.
+    pub seed: u64,
+    /// Metrics of the spatial-oblivious run.
+    pub oblivious: MissionMetrics,
+    /// Metrics of the spatial-aware run.
+    pub aware: MissionMetrics,
+}
+
+fn run_dynamic_sweep_row(config: &DynamicSweepConfig, i: usize) -> DynamicSweepRow {
+    let (scenario, seed) = config.cases[i];
+    let (env, world) = scenario.world(seed);
+    let mut aware_cfg = config.aware.clone();
+    aware_cfg.seed = seed.wrapping_add(i as u64);
+    let mut oblivious_cfg = config.oblivious.clone();
+    oblivious_cfg.seed = seed.wrapping_add(i as u64);
+    let aware = MissionRunner::new(aware_cfg).run_dynamic(&env, &world);
+    let oblivious = MissionRunner::new(oblivious_cfg).run_dynamic(&env, &world);
+    DynamicSweepRow {
+        scenario,
+        seed,
+        oblivious: oblivious.metrics,
+        aware: aware.metrics,
+    }
+}
+
+/// Runs the moving-obstacle sweep: every `(family, seed)` case, both
+/// designs, on the same scoped worker pool as [`run_sweep`] (rows own
+/// their seeds, so results are bit-identical to
+/// [`run_dynamic_sweep_serial`] and stay in case order).
+pub fn run_dynamic_sweep(config: &DynamicSweepConfig) -> Vec<DynamicSweepRow> {
+    pooled_rows(config.cases.len(), config.threads, |i| {
+        run_dynamic_sweep_row(config, i)
+    })
+}
+
+/// The retained serial reference for [`run_dynamic_sweep`].
+pub fn run_dynamic_sweep_serial(config: &DynamicSweepConfig) -> Vec<DynamicSweepRow> {
+    (0..config.cases.len())
+        .map(|i| run_dynamic_sweep_row(config, i))
+        .collect()
 }
 
 #[cfg(test)]

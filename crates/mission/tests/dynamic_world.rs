@@ -1,0 +1,245 @@
+//! Dynamic-world (moving-obstacle) mission guarantees:
+//!
+//! 1. **Determinism** — the same seed produces bit-identical actor poses
+//!    and bit-identical mission telemetry across runs, for both drivers
+//!    (`MissionRunner` and `NodePipeline`).
+//! 2. **Static degeneration** — a dynamic run with an actor-free world is
+//!    bit-identical to the plain static run (every dynamic hook
+//!    degenerates; the golden fixtures already lock the static baseline).
+//! 3. **Safety** — across a ≥100-case randomized sweep, no flown
+//!    trajectory point ever intersects an actor's *true* (non-predicted)
+//!    pose at its flight time.
+
+use roborun_core::RuntimeMode;
+use roborun_dynamics::{Actor, DynamicWorld, MotionModel};
+use roborun_env::{DifficultyConfig, Environment, EnvironmentGenerator};
+use roborun_geom::{Aabb, SplitMix64, Vec3};
+use roborun_mission::{
+    DynamicScenario, MissionConfig, MissionResult, MissionRunner, NodePipeline, NodePipelineConfig,
+};
+
+fn dynamic_config(seed: u64) -> MissionConfig {
+    let mut cfg = MissionConfig::new(RuntimeMode::SpatialAware);
+    cfg.max_decisions = 600;
+    cfg.max_mission_time = 1_500.0;
+    cfg.voxel_decay = Some(2);
+    cfg.seed = seed;
+    cfg
+}
+
+fn assert_bitwise_equal_missions(a: &MissionResult, b: &MissionResult) {
+    assert_eq!(a.metrics.decisions, b.metrics.decisions);
+    assert_eq!(
+        a.metrics.mission_time.to_bits(),
+        b.metrics.mission_time.to_bits()
+    );
+    assert_eq!(a.metrics.energy_kj.to_bits(), b.metrics.energy_kj.to_bits());
+    assert_eq!(a.metrics.dynamic_replans, b.metrics.dynamic_replans);
+    assert_eq!(
+        a.metrics.predicted_invalidations,
+        b.metrics.predicted_invalidations
+    );
+    assert_eq!(a.flown_path.len(), b.flown_path.len());
+    for (p, q) in a.flown_path.iter().zip(&b.flown_path) {
+        assert_eq!(p.x.to_bits(), q.x.to_bits());
+        assert_eq!(p.y.to_bits(), q.y.to_bits());
+        assert_eq!(p.z.to_bits(), q.z.to_bits());
+    }
+    for (s, t) in a.flown_times.iter().zip(&b.flown_times) {
+        assert_eq!(s.to_bits(), t.to_bits());
+    }
+    assert_eq!(a.telemetry.len(), b.telemetry.len());
+    for (r, s) in a.telemetry.records().iter().zip(b.telemetry.records()) {
+        assert_eq!(r.time.to_bits(), s.time.to_bits());
+        assert_eq!(
+            r.commanded_velocity.to_bits(),
+            s.commanded_velocity.to_bits()
+        );
+        assert_eq!(r.visibility.to_bits(), s.visibility.to_bits());
+    }
+}
+
+#[test]
+fn actor_poses_are_bit_identical_across_runs_and_query_orders() {
+    let (_, world) = DynamicScenario::CongestedIntersection.world(9);
+    let (_, world2) = DynamicScenario::CongestedIntersection.world(9);
+    // Forward sweep vs scrambled queries on an independently built world:
+    // poses are pure functions of time, so everything matches bitwise.
+    let times: Vec<f64> = (0..200).map(|i| i as f64 * 1.37).collect();
+    let forward: Vec<Vec<Vec3>> = times.iter().map(|&t| world.poses_at(t)).collect();
+    for (i, &t) in times.iter().enumerate().rev() {
+        let scrambled = world2.poses_at(t);
+        for (p, q) in forward[i].iter().zip(&scrambled) {
+            assert_eq!(p.x.to_bits(), q.x.to_bits());
+            assert_eq!(p.y.to_bits(), q.y.to_bits());
+            assert_eq!(p.z.to_bits(), q.z.to_bits());
+        }
+    }
+}
+
+#[test]
+fn dynamic_missions_are_deterministic_across_runs() {
+    let (env, world) = DynamicScenario::CrossingCorridor.world(5);
+    let runner = MissionRunner::new(dynamic_config(5));
+    let a = runner.run_dynamic(&env, &world);
+    let b = runner.run_dynamic(&env, &world);
+    assert_bitwise_equal_missions(&a, &b);
+}
+
+#[test]
+fn dynamic_missions_are_deterministic_with_plan_ahead() {
+    let (env, world) = DynamicScenario::CrossingCorridor.world(3);
+    let mut cfg = dynamic_config(3);
+    cfg.plan_ahead = true;
+    let runner = MissionRunner::new(cfg);
+    let a = runner.run_dynamic(&env, &world);
+    let b = runner.run_dynamic(&env, &world);
+    assert_bitwise_equal_missions(&a, &b);
+}
+
+#[test]
+fn node_pipeline_dynamic_missions_are_deterministic() {
+    let (env, world) = DynamicScenario::PatrolledWarehouse.world(5);
+    let mut config = NodePipelineConfig::new(RuntimeMode::SpatialAware);
+    config.mission = dynamic_config(5);
+    config.mission.max_decisions = 400;
+    let pipeline = NodePipeline::new(config);
+    let a = pipeline.run_dynamic(&env, &world);
+    let b = pipeline.run_dynamic(&env, &world);
+    assert_bitwise_equal_missions(&a.mission, &b.mission);
+    assert_eq!(a.comm_per_decision, b.comm_per_decision);
+}
+
+#[test]
+fn actor_free_dynamic_run_is_bit_identical_to_the_static_run() {
+    let env = EnvironmentGenerator::new(DifficultyConfig {
+        obstacle_density: 0.35,
+        obstacle_spread: 40.0,
+        goal_distance: 120.0,
+    })
+    .generate(21);
+    let empty = DynamicWorld::static_only(env.field().clone());
+    // Note: the plain static config (no decay) — the degeneration
+    // guarantee is about the dynamics hooks, which must all no-op.
+    let mut cfg = MissionConfig::new(RuntimeMode::SpatialAware);
+    cfg.max_decisions = 600;
+    cfg.max_mission_time = 1_500.0;
+    let runner = MissionRunner::new(cfg);
+    let static_run = runner.run(&env);
+    let dynamic_run = runner.run_dynamic(&env, &empty);
+    assert_bitwise_equal_missions(&static_run, &dynamic_run);
+
+    // Same degeneration for the node-graph driver.
+    let mut config = NodePipelineConfig::new(RuntimeMode::SpatialAware);
+    config.mission.max_decisions = 400;
+    config.mission.max_mission_time = 1_500.0;
+    let pipeline = NodePipeline::new(config);
+    let a = pipeline.run(&env);
+    let b = pipeline.run_dynamic(&env, &empty);
+    assert_bitwise_equal_missions(&a.mission, &b.mission);
+    assert_eq!(a.comm_per_decision, b.comm_per_decision);
+}
+
+#[test]
+fn both_drivers_complete_a_dynamic_mission() {
+    let (env, world) = DynamicScenario::CrossingCorridor.world(1);
+    let direct = MissionRunner::new(dynamic_config(1)).run_dynamic(&env, &world);
+    assert!(direct.metrics.reached_goal, "direct driver failed");
+    assert!(!direct.metrics.collided);
+    let mut config = NodePipelineConfig::new(RuntimeMode::SpatialAware);
+    config.mission = dynamic_config(1);
+    let graph = NodePipeline::new(config).run_dynamic(&env, &world);
+    assert!(!graph.mission.metrics.collided, "node pipeline collided");
+}
+
+/// One randomized safety case: a short, sparse mission with 2–3 actors
+/// whose family rotates with the seed.
+fn safety_case(seed: u64) -> (Environment, DynamicWorld) {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1F);
+    let env = EnvironmentGenerator::new(DifficultyConfig {
+        obstacle_density: rng.uniform(0.15, 0.35),
+        obstacle_spread: 40.0,
+        goal_distance: 60.0,
+    })
+    .generate(seed);
+    let cruise = env.start().z;
+    let spawn_z = cruise + 2.0;
+    let pillar = Vec3::new(1.0, 1.0, spawn_z);
+    let mut actors = Vec::new();
+    let n = 2 + (seed % 2) as u32;
+    for i in 0..n {
+        let x = rng.uniform(15.0, 45.0);
+        match (seed + u64::from(i)) % 3 {
+            0 => actors.push(Actor::new(
+                i,
+                Vec3::new(x, rng.uniform(-8.0, 8.0), spawn_z),
+                pillar,
+                MotionModel::Crosser {
+                    velocity: Vec3::new(0.0, rng.uniform(0.6, 1.4), 0.0),
+                    bounds: Aabb::new(Vec3::new(x, -12.0, spawn_z), Vec3::new(x, 12.0, spawn_z)),
+                },
+            )),
+            1 => actors.push(Actor::new(
+                i,
+                Vec3::new(x, rng.uniform(-6.0, 6.0), spawn_z),
+                pillar,
+                MotionModel::WaypointPatrol {
+                    waypoints: vec![
+                        Vec3::new(x, rng.uniform(-8.0, 0.0), spawn_z),
+                        Vec3::new(x + rng.uniform(5.0, 15.0), rng.uniform(0.0, 8.0), spawn_z),
+                    ],
+                    speed: rng.uniform(0.5, 1.1),
+                },
+            )),
+            _ => actors.push(Actor::new(
+                i,
+                Vec3::new(x, rng.uniform(-6.0, 6.0), spawn_z),
+                pillar,
+                MotionModel::RandomWalk {
+                    seed: rng.next_u64(),
+                    speed: rng.uniform(0.4, 0.9),
+                    dwell: 2.0,
+                    bounds: Aabb::new(
+                        Vec3::new(x - 8.0, -10.0, spawn_z),
+                        Vec3::new(x + 8.0, 10.0, spawn_z),
+                    ),
+                },
+            )),
+        }
+    }
+    let world = DynamicWorld::new(env.field().clone(), actors);
+    (env, world)
+}
+
+#[test]
+fn no_flown_point_ever_intersects_an_actor_across_100_randomized_cases() {
+    let mut completed = 0usize;
+    for seed in 0..100u64 {
+        let (env, world) = safety_case(seed);
+        let mut cfg = dynamic_config(seed);
+        cfg.max_decisions = 250;
+        cfg.max_mission_time = 400.0;
+        let result = MissionRunner::new(cfg).run_dynamic(&env, &world);
+        assert_eq!(result.flown_path.len(), result.flown_times.len());
+        for (p, t) in result.flown_path.iter().zip(&result.flown_times) {
+            for actor in world.actors() {
+                assert!(
+                    !actor.bounds_at(*t).contains(*p),
+                    "seed {seed}: flown point {p} inside actor {} at t={t:.2} \
+                     (actor pose {:?})",
+                    actor.id,
+                    actor.pose_at(*t)
+                );
+            }
+        }
+        if result.metrics.reached_goal && !result.metrics.collided {
+            completed += 1;
+        }
+    }
+    // The safety property is the assertion above; completion is tracked
+    // so a silent regression into mass hover-stalls still fails loudly.
+    assert!(
+        completed >= 70,
+        "only {completed}/100 randomized dynamic missions completed"
+    );
+}

@@ -19,8 +19,8 @@
 
 use roborun_core::RuntimeMode;
 use roborun_env::DifficultyConfig;
-use roborun_mission::sweep::run_sweep;
-use roborun_mission::{MissionConfig, MissionMetrics, SweepConfig};
+use roborun_mission::sweep::{run_dynamic_sweep, run_sweep};
+use roborun_mission::{DynamicSweepConfig, MissionConfig, MissionMetrics, SweepConfig};
 
 const FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
@@ -34,6 +34,17 @@ const FIXTURE: &str = concat!(
 const PLAN_AHEAD_FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/fixtures/golden_sweep_plan_ahead.txt"
+);
+
+/// Third fixture: the moving-obstacle sweep (all three dynamic scenario
+/// families at seed 41, both designs, voxel decay on). Locks the whole
+/// dynamic-world pipeline — snapshot sensing, predicted-occupancy
+/// validation, closing-speed budgeting, stale-voxel decay — and the
+/// `dynamic_replans` / `predicted_invalidations` counters against silent
+/// drift.
+const DYNAMIC_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_sweep_dynamic.txt"
 );
 
 /// Three short environments spanning the density/spread grid, fixed seed.
@@ -72,6 +83,16 @@ fn golden_config() -> SweepConfig {
 
 fn push_f64(out: &mut String, label: &str, v: f64) {
     out.push_str(&format!(" {label}={:016x}", v.to_bits()));
+}
+
+fn render_dynamic_metrics(out: &mut String, label: &str, m: &MissionMetrics) {
+    render_metrics(out, label, m, false);
+    // Re-open the line to append the dynamic counters.
+    out.pop();
+    out.push_str(&format!(
+        " dynamic_replans={} predicted_invalidations={}\n",
+        m.dynamic_replans, m.predicted_invalidations
+    ));
 }
 
 fn render_metrics(out: &mut String, label: &str, m: &MissionMetrics, with_overlap: bool) {
@@ -162,4 +183,21 @@ fn plan_ahead_golden_sweep_rows_are_bit_identical_to_fixture() {
         true,
     );
     assert_matches_fixture(&rendered, PLAN_AHEAD_FIXTURE);
+}
+
+#[test]
+fn dynamic_golden_sweep_rows_are_bit_identical_to_fixture() {
+    let rows = run_dynamic_sweep(&DynamicSweepConfig::quick(41));
+    let mut out = String::new();
+    out.push_str("# Golden dynamic sweep fixture: 3 moving-obstacle scenario families, seed 41.\n");
+    out.push_str("# Regenerate with ROBORUN_UPDATE_GOLDEN=1 (see tests/golden_sweep.rs).\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "case {i} scenario={:?} seed={}\n",
+            row.scenario, row.seed
+        ));
+        render_dynamic_metrics(&mut out, "  oblivious", &row.oblivious);
+        render_dynamic_metrics(&mut out, "  aware", &row.aware);
+    }
+    assert_matches_fixture(&out, DYNAMIC_FIXTURE);
 }

@@ -74,11 +74,27 @@ pub struct OccupancyMap {
     occupied: FxHashSet<VoxelKey>,
     /// Key-space bounds of `occupied` (valid when non-empty); they let the
     /// ring search skip shells that cannot contain an occupied voxel.
-    /// Derivable like `occupied` and skipped with it.
+    /// Derivable like `occupied` and skipped with it. Decay can leave them
+    /// conservatively large, which only costs ring pruning efficiency,
+    /// never correctness.
     #[serde(skip)]
     occupied_min: VoxelKey,
     #[serde(skip)]
     occupied_max: VoxelKey,
+    /// Stale-occupied decay window in epochs, or `None` (the default) for
+    /// the classic accrete-only behaviour. Runtime configuration, not
+    /// map content: excluded from serialized forms and comparisons reset
+    /// it alongside the other skipped fields.
+    #[serde(skip)]
+    decay_after: Option<u64>,
+    /// Epoch stamp applied to occupied observations while decay is
+    /// enabled (set by [`OccupancyMap::set_epoch`]).
+    #[serde(skip)]
+    current_epoch: u64,
+    /// Epoch each occupied voxel was last observed occupied at — only
+    /// maintained while decay is enabled.
+    #[serde(skip)]
+    last_occupied_epoch: FxHashMap<VoxelKey, u64>,
 }
 
 impl OccupancyMap {
@@ -98,7 +114,48 @@ impl OccupancyMap {
             occupied: FxHashSet::default(),
             occupied_min: VoxelKey { x: 0, y: 0, z: 0 },
             occupied_max: VoxelKey { x: 0, y: 0, z: 0 },
+            decay_after: None,
+            current_epoch: 0,
+            last_occupied_epoch: FxHashMap::default(),
         }
+    }
+
+    /// Enables (or disables, with `None`) stale-occupied decay.
+    ///
+    /// With decay set to `Some(n)`, a free-space carve through an
+    /// occupied voxel **downgrades it to free** when the voxel's last
+    /// occupied observation is more than `n` epochs older than the
+    /// current epoch (see [`OccupancyMap::set_epoch`]) — the mechanism
+    /// that lets cells vacated by moving obstacles actually free up.
+    /// Fresh occupied observations still win, exactly as in OctoMap's
+    /// clamping policy: only *stale* occupancy yields to contradicting
+    /// free evidence. With decay `None` (the default) the map keeps the
+    /// classic accrete-only behaviour bit for bit.
+    ///
+    /// Decay state is runtime configuration (`#[serde(skip)]`): a
+    /// deserialized map starts with decay disabled.
+    pub fn set_stale_decay(&mut self, epochs: Option<u64>) {
+        self.decay_after = epochs;
+        if epochs.is_none() {
+            self.last_occupied_epoch = FxHashMap::default();
+        }
+    }
+
+    /// The stale-occupied decay window, if enabled.
+    pub fn stale_decay(&self) -> Option<u64> {
+        self.decay_after
+    }
+
+    /// Sets the epoch stamped onto occupied observations and compared
+    /// against by the decay rule. Epochs are the caller's decision
+    /// counter; the map only ever compares differences.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.current_epoch = epoch;
+    }
+
+    /// The current epoch (see [`OccupancyMap::set_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.current_epoch
     }
 
     /// Extends the occupied key bounds to cover `key`.
@@ -159,10 +216,7 @@ impl OccupancyMap {
                     self.carve_free_per_sample(&ray, limit, raytrace_step)
                 };
             }
-            let key = VoxelKey::from_point(point, self.resolution);
-            self.voxels.insert(key, VoxelState::Occupied);
-            self.grow_occupied_bounds(key);
-            self.occupied.insert(key);
+            self.mark_occupied(VoxelKey::from_point(point, self.resolution));
             updates += 1;
         }
         updates
@@ -189,20 +243,77 @@ impl OccupancyMap {
                 updates +=
                     self.carve_free_per_sample(&ray, distance - self.resolution, raytrace_step);
             }
-            let key = VoxelKey::from_point(point, self.resolution);
-            self.voxels.insert(key, VoxelState::Occupied);
-            self.grow_occupied_bounds(key);
-            self.occupied.insert(key);
+            self.mark_occupied(VoxelKey::from_point(point, self.resolution));
             updates += 1;
         }
         updates
     }
 
-    /// Marks one voxel as observed free. Never downgrades an occupied
-    /// voxel: occupied observations win, as in OctoMap's clamping policy.
+    /// Marks one voxel as observed free. Never downgrades a *fresh*
+    /// occupied voxel: occupied observations win, as in OctoMap's
+    /// clamping policy. With stale-occupied decay enabled
+    /// ([`OccupancyMap::set_stale_decay`]) **and** `decay_eligible`
+    /// evidence, an occupied voxel whose last occupied observation has
+    /// gone stale yields to the contradicting free ray — it demonstrably
+    /// passed through the cell, so whatever occupied it has moved on.
+    ///
+    /// `decay_eligible` is `false` for samples near the end of a carve
+    /// (the occlusion boundary): a ray grazing the corner of a partially
+    /// filled voxel right before its hit point is *not* evidence the
+    /// voxel is empty — treating it as such erodes real static surfaces
+    /// cell by cell. Only samples the ray clears by a comfortable margin
+    /// may decay (see [`OccupancyMap::integrate_cloud`]).
     #[inline]
-    fn mark_free(&mut self, key: VoxelKey) {
-        self.voxels.entry(key).or_insert(VoxelState::Free);
+    fn mark_free(&mut self, key: VoxelKey, decay_eligible: bool) {
+        use std::collections::hash_map::Entry;
+        match self.voxels.entry(key) {
+            Entry::Vacant(slot) => {
+                slot.insert(VoxelState::Free);
+            }
+            Entry::Occupied(mut slot) => {
+                if *slot.get() != VoxelState::Occupied || !decay_eligible {
+                    return;
+                }
+                let Some(max_age) = self.decay_after else {
+                    return;
+                };
+                let stale = self
+                    .last_occupied_epoch
+                    .get(&key)
+                    // Occupied before decay was enabled ⇒ age unknown ⇒
+                    // treat as stale (the conservative direction for a
+                    // cell a ray just saw through).
+                    .is_none_or(|&seen| self.current_epoch.saturating_sub(seen) > max_age);
+                if stale {
+                    slot.insert(VoxelState::Free);
+                    self.occupied.remove(&key);
+                    self.last_occupied_epoch.remove(&key);
+                    // The occupied bounds stay conservatively large; the
+                    // ring searches only use them as an outer cover.
+                }
+            }
+        }
+    }
+
+    /// Stamps one voxel occupied, maintaining the occupied caches and —
+    /// while decay is enabled — the last-observed epoch.
+    #[inline]
+    fn mark_occupied(&mut self, key: VoxelKey) {
+        self.voxels.insert(key, VoxelState::Occupied);
+        self.grow_occupied_bounds(key);
+        self.occupied.insert(key);
+        if self.decay_after.is_some() {
+            self.last_occupied_epoch.insert(key, self.current_epoch);
+        }
+    }
+
+    /// Largest sample parameter still *decay-eligible* on a carve to
+    /// `limit`: samples within two voxels of the carve end sit at the
+    /// occlusion boundary (the ray is about to hit something there) and
+    /// must not count as evidence against a stale occupied cell.
+    #[inline]
+    fn decay_limit(&self, limit: f64) -> f64 {
+        limit - 2.0 * self.resolution
     }
 
     /// The per-sample free-space carve: every sample `t = 0, step, 2·step,
@@ -210,11 +321,12 @@ impl OccupancyMap {
     /// reference semantics; [`OccupancyMap::carve_free_batched`] must
     /// reproduce it bit for bit.
     fn carve_free_per_sample(&mut self, ray: &Ray, limit: f64, step: f64) -> usize {
+        let decay_limit = self.decay_limit(limit);
         let mut updates = 0usize;
         let mut t = 0.0;
         while t < limit {
             let key = VoxelKey::from_point(ray.at(t), self.resolution);
-            self.mark_free(key);
+            self.mark_free(key, t <= decay_limit);
             updates += 1;
             t += step;
         }
@@ -246,6 +358,11 @@ impl OccupancyMap {
         if t >= limit {
             return 0;
         }
+        // Decay eligibility decreases monotonically along the ray, so a
+        // run whose head sample is ineligible holds no eligible sample at
+        // all — marking each run from its head alone therefore reproduces
+        // the per-sample reference's decay decisions exactly.
+        let decay_limit = self.decay_limit(limit);
         // Amanatides–Woo crossing state: t_next[axis] is the parameter of
         // the next grid-plane crossing along that axis, t_delta[axis] the
         // spacing between crossings.
@@ -283,7 +400,7 @@ impl OccupancyMap {
             let exit = t_next[0].min(t_next[1]).min(t_next[2]);
             let run_start = t;
             let first_key = VoxelKey::from_point(ray.at(run_start), res);
-            self.mark_free(first_key);
+            self.mark_free(first_key, run_start <= decay_limit);
             let stop = if exit < limit { exit } else { limit };
             let mut count = 1usize;
             t += step;
@@ -294,7 +411,7 @@ impl OccupancyMap {
             updates += count;
             if let Some((p_start, p_count, p_key)) = prev {
                 if !unit_step_apart(p_key, first_key) {
-                    self.replay_run(ray, p_start, p_count, step);
+                    self.replay_run(ray, p_start, p_count, step, decay_limit);
                 }
             }
             prev = Some((run_start, count, first_key));
@@ -308,7 +425,7 @@ impl OccupancyMap {
                     rt += step;
                 }
                 if VoxelKey::from_point(ray.at(rt), res) != p_key {
-                    self.replay_run(ray, p_start, p_count, step);
+                    self.replay_run(ray, p_start, p_count, step, decay_limit);
                 }
             }
         }
@@ -320,14 +437,14 @@ impl OccupancyMap {
     /// addition from the run's first sample reproduces the original float
     /// sequence, and `mark_free` is idempotent, so replaying over already
     /// marked voxels cannot diverge from the reference.
-    fn replay_run(&mut self, ray: &Ray, start: f64, count: usize, step: f64) {
+    fn replay_run(&mut self, ray: &Ray, start: f64, count: usize, step: f64, decay_limit: f64) {
         let res = self.resolution;
         let mut t = start;
         let mut prev = None;
         for _ in 0..count {
             let key = VoxelKey::from_point(ray.at(t), res);
             if prev != Some(key) {
-                self.mark_free(key);
+                self.mark_free(key, t <= decay_limit);
                 prev = Some(key);
             }
             t += step;
@@ -485,6 +602,8 @@ impl OccupancyMap {
             .retain(|k, _| k.center(res).distance(center) <= radius);
         self.occupied
             .retain(|k| k.center(res).distance(center) <= radius);
+        self.last_occupied_epoch
+            .retain(|k, _| k.center(res).distance(center) <= radius);
         self.recompute_occupied_bounds();
     }
 
@@ -683,6 +802,9 @@ mod tests {
             occupied: FxHashSet::default(),
             occupied_min: VoxelKey::default(),
             occupied_max: VoxelKey::default(),
+            decay_after: None,
+            current_epoch: 0,
+            last_occupied_epoch: FxHashMap::default(),
         };
         assert!(
             restored.nearest_occupied_distance(origin, 100.0).is_none(),
@@ -705,6 +827,99 @@ mod tests {
             assert_eq!(restored.state_at(probe), original.state_at(probe));
         }
         assert_eq!(restored.stats(), original.stats());
+    }
+
+    #[test]
+    fn stale_decay_frees_vacated_cells_but_protects_fresh_ones() {
+        let mut map = OccupancyMap::new(0.5);
+        map.set_stale_decay(Some(2));
+        assert_eq!(map.stale_decay(), Some(2));
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let actor_cell = Vec3::new(4.0, 0.0, 5.0);
+        // Epoch 0: an obstacle (a moving actor, say) occupies x = 4.
+        map.set_epoch(0);
+        map.integrate_cloud(&PointCloud::new(origin, vec![actor_cell]), 0.25);
+        assert!(map.is_occupied(actor_cell));
+        // Epoch 1 (fresh): a ray now sees through the cell — still
+        // protected, occupied wins like OctoMap clamping.
+        map.set_epoch(1);
+        map.integrate_cloud(
+            &PointCloud::new(origin, vec![Vec3::new(9.0, 0.0, 5.0)]),
+            0.25,
+        );
+        assert!(map.is_occupied(actor_cell), "fresh occupancy was decayed");
+        // Epoch 4 (stale, age 4 > 2): the same contradicting evidence now
+        // frees the vacated cell.
+        map.set_epoch(4);
+        map.integrate_cloud(
+            &PointCloud::new(origin, vec![Vec3::new(9.0, 0.0, 5.0)]),
+            0.25,
+        );
+        assert_eq!(map.state_at(actor_cell), Some(VoxelState::Free));
+        // The occupied cache agrees (the ring search no longer finds it).
+        let d = map.nearest_occupied_distance(origin, 100.0).unwrap();
+        assert!(d > 6.0, "decayed voxel still reported at {d}");
+        // Re-observation re-occupies and re-protects the cell.
+        map.set_epoch(5);
+        map.integrate_cloud(&PointCloud::new(origin, vec![actor_cell]), 0.25);
+        assert!(map.is_occupied(actor_cell));
+        map.set_epoch(6);
+        map.integrate_cloud(
+            &PointCloud::new(origin, vec![Vec3::new(9.0, 0.0, 5.0)]),
+            0.25,
+        );
+        assert!(map.is_occupied(actor_cell));
+    }
+
+    #[test]
+    fn decay_disabled_is_the_classic_accrete_only_map() {
+        // Same evidence sequence as above, decay off: the occupied voxel
+        // must survive arbitrarily stale contradicting rays (this is the
+        // behaviour every pre-dynamics mission relies on).
+        let mut map = OccupancyMap::new(0.5);
+        assert_eq!(map.stale_decay(), None);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let cell = Vec3::new(4.0, 0.0, 5.0);
+        map.set_epoch(0);
+        map.integrate_cloud(&PointCloud::new(origin, vec![cell]), 0.25);
+        map.set_epoch(1_000);
+        map.integrate_cloud(
+            &PointCloud::new(origin, vec![Vec3::new(9.0, 0.0, 5.0)]),
+            0.25,
+        );
+        assert!(map.is_occupied(cell));
+    }
+
+    #[test]
+    fn decay_is_identical_in_batched_and_reference_integration() {
+        // The decay rule lives in `mark_free`, which both carve paths
+        // share — the batched integration must age voxels exactly like
+        // the per-sample reference.
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let run = |reference: bool| {
+            let mut map = OccupancyMap::new(2.4); // coarse => batching engages
+            map.set_stale_decay(Some(1));
+            map.set_epoch(0);
+            let first = PointCloud::new(origin, vec![Vec3::new(7.2, 0.0, 5.0)]);
+            let second = PointCloud::new(origin, vec![Vec3::new(21.6, 0.3, 5.2)]);
+            if reference {
+                map.integrate_cloud_reference(&first, 0.3);
+                map.set_epoch(5);
+                map.integrate_cloud_reference(&second, 0.3);
+            } else {
+                map.integrate_cloud(&first, 0.3);
+                map.set_epoch(5);
+                map.integrate_cloud(&second, 0.3);
+            }
+            map
+        };
+        let batched = run(false);
+        let reference = run(true);
+        for xi in 0..12 {
+            let p = Vec3::new(xi as f64 * 2.0, 0.0, 5.0);
+            assert_eq!(batched.state_at(p), reference.state_at(p), "at {p}");
+        }
+        assert_eq!(batched.stats(), reference.stats());
     }
 
     #[test]

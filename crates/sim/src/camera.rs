@@ -15,6 +15,10 @@ use serde::{Deserialize, Serialize};
 pub struct DepthCamera {
     /// Yaw of the camera's optical axis relative to the drone body (radians).
     pub mount_yaw: f64,
+    /// Pitch of the camera's optical axis relative to horizontal
+    /// (radians; negative tilts the camera down). Zero for the classic
+    /// horizontal-band rig.
+    pub mount_pitch: f64,
     /// Horizontal field of view (radians).
     pub h_fov: f64,
     /// Vertical field of view (radians).
@@ -33,6 +37,7 @@ impl DepthCamera {
     pub fn mounted_at(mount_yaw: f64) -> Self {
         DepthCamera {
             mount_yaw,
+            mount_pitch: 0.0,
             h_fov: 60f64.to_radians(),
             v_fov: 45f64.to_radians(),
             h_res: 16,
@@ -64,7 +69,7 @@ impl DepthCamera {
                     iy as f64 / (self.v_res - 1) as f64 - 0.5
                 };
                 let yaw = pose.yaw + self.mount_yaw + fx * self.h_fov;
-                let pitch = fy * self.v_fov;
+                let pitch = self.mount_pitch + fy * self.v_fov;
                 let dir = Vec3::new(
                     yaw.cos() * pitch.cos(),
                     yaw.sin() * pitch.cos(),

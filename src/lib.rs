@@ -14,6 +14,7 @@
 //! | [`planning`] | `roborun-planning` | RRT*, collision checking, path smoothing |
 //! | [`control`] | `roborun-control` | PID, trajectory following |
 //! | [`middleware`] | `roborun-middleware` | ROS-like pub/sub bus, nodes, QoS, executor, bags |
+//! | [`dynamics`] | `roborun-dynamics` | moving-obstacle actors, dynamic worlds, predicted occupancy |
 //! | [`core`] | `roborun-core` | **the RoboRun runtime**: profilers, governor, solver, safety |
 //! | [`cognitive`] | `roborun-cognitive` | cognitive co-task model over the freed CPU headroom |
 //! | [`mission`] | `roborun-mission` | closed-loop mission runner, node-graph pipeline, sweeps |
@@ -41,6 +42,7 @@
 pub use roborun_cognitive as cognitive;
 pub use roborun_control as control;
 pub use roborun_core as core;
+pub use roborun_dynamics as dynamics;
 pub use roborun_env as env;
 pub use roborun_geom as geom;
 pub use roborun_middleware as middleware;
@@ -59,15 +61,17 @@ pub mod prelude {
         Governor, GovernorConfig, KnobAblation, KnobRanges, KnobSettings, Policy, Profilers,
         RuntimeMode, SafetyReport, SpatialProfile, TimeBudgeter,
     };
+    pub use roborun_dynamics::{Actor, DynamicWorld, MotionModel};
     pub use roborun_env::{DifficultyConfig, Environment, EnvironmentGenerator, Zone};
     pub use roborun_geom::{Aabb, Vec3};
     pub use roborun_middleware::{
         CommLatencyModel, Executor, GraphInfo, MessageBus, Node, QosProfile,
     };
-    pub use roborun_mission::sweep::run_sweep;
+    pub use roborun_mission::sweep::{run_dynamic_sweep, run_sweep};
     pub use roborun_mission::{
-        AggregateMetrics, MissionConfig, MissionMetrics, MissionResult, MissionRunner,
-        NodePipeline, NodePipelineConfig, NodePipelineResult, Scenario, SweepConfig, SweepResults,
+        AggregateMetrics, DynamicScenario, DynamicSweepConfig, MissionConfig, MissionMetrics,
+        MissionResult, MissionRunner, NodePipeline, NodePipelineConfig, NodePipelineResult,
+        Scenario, SweepConfig, SweepResults,
     };
     pub use roborun_sim::{
         ComputeLatencyModel, DroneConfig, EnergyModel, FaultConfig, StoppingModel,
