@@ -667,6 +667,183 @@ fn bench_predicted_validation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The random-walk pose-query scaling fix: a cold `pose_at(t)` replays
+/// `t / dwell` segments from zero, while the anchored
+/// `pose_at_cached` resumes the fold from the previous query — O(1) per
+/// step of a monotone (mission-shaped) query stream at *any* mission
+/// time. The replay cost grows linearly with `t`; the anchored cost is
+/// flat (this is why `dynamic_world_step` above had to fold its clock
+/// into a fixed window before the cache existed).
+fn bench_walk_pose_anchor(c: &mut Criterion) {
+    use roborun_dynamics::WalkAnchor;
+    let actor = Actor::new(
+        0,
+        Vec3::new(10.0, 0.0, 5.0),
+        Vec3::splat(0.8),
+        MotionModel::RandomWalk {
+            seed: 99,
+            speed: 1.2,
+            dwell: 2.0,
+            bounds: Aabb::new(Vec3::new(0.0, -15.0, 5.0), Vec3::new(60.0, 15.0, 5.0)),
+        },
+    );
+    let mut group = c.benchmark_group("walk_pose_anchor");
+    for &mission_time in &[1_000.0f64, 10_000.0, 100_000.0] {
+        group.bench_with_input(
+            BenchmarkId::new("replay", format!("{mission_time}s")),
+            &mission_time,
+            |b, &t0| {
+                let mut tick = 0u64;
+                b.iter(|| {
+                    tick += 1;
+                    std::hint::black_box(actor.pose_at(t0 + (tick % 64) as f64 * 0.25))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("anchored", format!("{mission_time}s")),
+            &mission_time,
+            |b, &t0| {
+                let mut anchor = WalkAnchor::new();
+                let mut tick = 0u64;
+                b.iter(|| {
+                    tick += 1;
+                    std::hint::black_box(actor.pose_at_cached(t0 + tick as f64 * 0.25, &mut anchor))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The predicted-costmap planning kernel: a corridor crossed by
+/// predicted lanes, planned (a) in one shot through the composed
+/// [`HazardContext`] and (b) by the retained reject-loop reference —
+/// static-only plans re-seeded until one clears the lanes posteriorly.
+/// Prints the collision queries and plan attempts each path consumed.
+fn bench_predicted_costmap(c: &mut Criterion) {
+    use roborun_planning::{polyline_clear_of_boxes, HazardContext, Planner, PredictedHazards};
+    // A wall with one gap forces genuine tree search (no direct
+    // connection), so re-seeded reject-loop attempts produce *different*
+    // candidate paths — the regime where the loop can converge at all.
+    let map = {
+        let mut map = OccupancyMap::new(0.5);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let mut points = Vec::new();
+        for yi in -60..=60 {
+            let y = yi as f64 * 0.5;
+            if (4.0..=9.0).contains(&y) {
+                continue;
+            }
+            for zi in 0..24 {
+                points.push(Vec3::new(20.0, y, zi as f64 * 0.5));
+            }
+        }
+        map.integrate_cloud(&PointCloud::new(origin, points), 1.0);
+        PlannerMap::export(&map, &ExportConfig::new(0.5, 1e9, origin))
+    };
+    // One predicted lane just past the gap: the natural straight exit is
+    // soft-blocked and the plan must dip south after threading the wall.
+    let lanes = vec![Aabb::new(
+        Vec3::new(26.0, 2.0, 0.0),
+        Vec3::new(29.0, 25.0, 12.0),
+    )];
+    let start = Vec3::new(0.0, 0.0, 5.0);
+    let goal = Vec3::new(40.0, 0.0, 5.0);
+    let bounds = Aabb::new(Vec3::new(-5.0, -25.0, 1.0), Vec3::new(45.0, 25.0, 12.0));
+    let clearance = 0.45 * 0.6;
+    let planner = |seed: u64| {
+        Planner::new(roborun_planning::PlannerConfig {
+            rrt: RrtConfig {
+                seed,
+                ..RrtConfig::default()
+            },
+            ..roborun_planning::PlannerConfig::default()
+        })
+    };
+
+    // One-off accounting printout (queries + attempts per strategy).
+    {
+        let hazards = PredictedHazards::new(lanes.clone(), clearance, start, 1e9);
+        let mut checker = CollisionChecker::new(map.clone(), 0.45, 0.3);
+        let mut context = HazardContext::new(&mut checker, &hazards);
+        let one_shot = planner(1).plan_with_checker(&mut context, start, goal, &bounds, 3.0);
+        let one_shot_queries = roborun_planning::HazardSource::queries(&context);
+        let mut attempts = 0u64;
+        let mut reject_queries = 0usize;
+        for seed in 1.. {
+            attempts += 1;
+            let mut checker = CollisionChecker::new(map.clone(), 0.45, 0.3);
+            let outcome = planner(seed).plan_with_checker(&mut checker, start, goal, &bounds, 3.0);
+            reject_queries += checker.queries();
+            if let Ok((t, _)) = outcome {
+                if polyline_clear_of_boxes(
+                    t.points().iter().map(|p| p.position),
+                    &lanes,
+                    clearance,
+                    start,
+                    1e9,
+                ) {
+                    break;
+                }
+            }
+            if attempts > 24 {
+                break;
+            }
+        }
+        eprintln!(
+            "predicted_costmap: one-shot {} queries / 1 attempt (found: {}); \
+             reject-loop {reject_queries} queries / {attempts} attempts",
+            one_shot_queries,
+            one_shot.is_ok(),
+        );
+    }
+
+    let mut group = c.benchmark_group("predicted_costmap");
+    group.bench_function("one_shot_context", |b| {
+        let hazards = PredictedHazards::new(lanes.clone(), clearance, start, 1e9);
+        b.iter(|| {
+            let mut checker = CollisionChecker::new(map.clone(), 0.45, 0.3);
+            let mut context = HazardContext::new(&mut checker, &hazards);
+            std::hint::black_box(planner(1).plan_with_checker(
+                &mut context,
+                start,
+                goal,
+                &bounds,
+                3.0,
+            ))
+            .is_ok()
+        })
+    });
+    group.bench_function("reject_loop", |b| {
+        b.iter(|| {
+            // Re-seeded static-only plans until one clears the lanes —
+            // the per-decision convergence the mission's reject loop
+            // spreads over successive decisions.
+            let mut accepted = false;
+            for seed in 1..=24u64 {
+                let mut checker = CollisionChecker::new(map.clone(), 0.45, 0.3);
+                if let Ok((t, _)) =
+                    planner(seed).plan_with_checker(&mut checker, start, goal, &bounds, 3.0)
+                {
+                    if polyline_clear_of_boxes(
+                        t.points().iter().map(|p| p.position),
+                        &lanes,
+                        clearance,
+                        start,
+                        1e9,
+                    ) {
+                        accepted = true;
+                        break;
+                    }
+                }
+            }
+            std::hint::black_box(accepted)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_point_cloud_precision,
@@ -683,6 +860,8 @@ criterion_group!(
     bench_rrtstar_rewire_schedule,
     bench_decision_overlap,
     bench_dynamic_world_step,
-    bench_predicted_validation
+    bench_predicted_validation,
+    bench_walk_pose_anchor,
+    bench_predicted_costmap
 );
 criterion_main!(benches);

@@ -272,6 +272,76 @@ pub fn adversarial_box_sets(seed: u64, cell: f64) -> Vec<(&'static str, Vec<Aabb
         .collect()
 }
 
+/// One named predicted-lane scenario for the hazard-context conformance
+/// suite: a short corridor mission with soft lane boxes (the shape of
+/// moving-obstacle predicted occupancy) between start and goal.
+#[derive(Debug, Clone)]
+pub struct LaneScenario {
+    /// Short scenario label, included in assertion messages.
+    pub name: &'static str,
+    /// The predicted-lane boxes (tall pillars crossing the corridor).
+    pub lanes: Vec<Aabb>,
+    /// Mission start.
+    pub start: Vec3,
+    /// Mission goal.
+    pub goal: Vec3,
+    /// Planner sampling bounds (wide enough to route around every lane).
+    pub bounds: Aabb,
+}
+
+/// The predicted-lane scenario family for the hazard-context suite,
+/// jittered by `seed`:
+///
+/// * **no-lanes** — the empty predicted set: the composed context must be
+///   bit-identical to the bare static checker, query count included.
+/// * **single-crossing-lane** — one lane squarely across the direct
+///   start→goal line: a static-only plan crosses it (the reject loop
+///   would veto), the composed context must route around in one shot.
+/// * **staggered-double-lane** — two lanes leaving opposite ends open:
+///   the one-shot route must slalom.
+/// * **goal-pocket-lane** — a lane just short of the goal: late-path
+///   conflicts must be routed around too, not only mid-corridor ones.
+pub fn predicted_lane_scenarios(seed: u64) -> Vec<LaneScenario> {
+    let mut rng = SplitMix64::new(seed ^ 0x6c61_6e65);
+    let start = Vec3::new(0.0, 0.0, 5.0);
+    let goal = Vec3::new(40.0, 0.0, 5.0);
+    let bounds = Aabb::new(Vec3::new(-5.0, -25.0, 1.0), Vec3::new(45.0, 25.0, 12.0));
+    let lane = |x0: f64, y0: f64, y1: f64| {
+        Aabb::new(Vec3::new(x0, y0, 0.0), Vec3::new(x0 + 3.0, y1, 12.0))
+    };
+    let j = rng.uniform(-1.5, 1.5);
+    vec![
+        LaneScenario {
+            name: "no-lanes",
+            lanes: Vec::new(),
+            start,
+            goal,
+            bounds,
+        },
+        LaneScenario {
+            name: "single-crossing-lane",
+            lanes: vec![lane(18.0 + j, -15.0, 15.0)],
+            start,
+            goal,
+            bounds,
+        },
+        LaneScenario {
+            name: "staggered-double-lane",
+            lanes: vec![lane(12.0 + j, -25.0, 8.0), lane(26.0 + j, -8.0, 25.0)],
+            start,
+            goal,
+            bounds,
+        },
+        LaneScenario {
+            name: "goal-pocket-lane",
+            lanes: vec![lane(33.0 + j, -10.0, 10.0)],
+            start,
+            goal,
+            bounds,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +391,38 @@ mod tests {
         let probes = boundary_probes(1, 1.0);
         assert!(probes.contains(&Vec3::new(1.0, 0.0, 0.0)));
         assert!(probes.len() > 10);
+    }
+
+    #[test]
+    fn lane_scenarios_are_complete_and_deterministic() {
+        let a = predicted_lane_scenarios(9);
+        let b = predicted_lane_scenarios(9);
+        let names: Vec<_> = a.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "no-lanes",
+                "single-crossing-lane",
+                "staggered-double-lane",
+                "goal-pocket-lane"
+            ]
+        );
+        assert!(a[0].lanes.is_empty());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.lanes.len(), y.lanes.len());
+            for (p, q) in x.lanes.iter().zip(&y.lanes) {
+                assert_eq!(p, q, "{} not deterministic", x.name);
+            }
+            assert!(x.bounds.contains(x.start) && x.bounds.contains(x.goal));
+            // Every lane sits strictly between start and goal.
+            for lane in &x.lanes {
+                assert!(
+                    lane.min.x > x.start.x && lane.max.x < x.goal.x,
+                    "{}",
+                    x.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -88,6 +88,45 @@ fn walk_heading(seed: u64, k: u64) -> Vec3 {
     Vec3::new(yaw.cos(), yaw.sin(), 0.0)
 }
 
+/// Replay anchor for one random walker: the walk position after a number
+/// of whole segments, so a later [`Actor::pose_at_cached`] query resumes
+/// the fold from here instead of replaying from `t = 0`.
+///
+/// The walk position after `k` whole segments is a deterministic fold of
+/// the per-segment headings; caching the fold state after `k` segments
+/// and continuing from it performs *exactly* the same float operations in
+/// the same order as a replay from zero, so cached queries are
+/// bit-identical to [`Actor::pose_at`] (locked by the equivalence
+/// proptest in `tests/pose_cache.rs`). Queries that move forward in time
+/// — every query a mission makes — cost O(Δsegments) ≈ O(1) per decision
+/// instead of O(t / dwell).
+///
+/// An anchor warmed by one walker is rejected by another: the anchor
+/// fingerprints the walk parameters (seed, speed, dwell) and resumes
+/// only on an exact match, so reusing a [`crate::PoseCache`] across
+/// worlds degrades to a cold replay instead of silently folding from a
+/// foreign position. (Two walkers sharing all three parameters but
+/// differing in spawn or bounds would still alias — keep one cache per
+/// world, as [`crate::DynamicWorld::pose_cache`] hands out.)
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WalkAnchor {
+    /// Number of whole segments folded into `position`.
+    segments: u64,
+    /// Walk position after `segments` whole segments, or `None` while
+    /// the anchor is cold.
+    position: Option<Vec3>,
+    /// Fingerprint of the walk that warmed the anchor: the seed plus the
+    /// bit patterns of speed and dwell.
+    walk: (u64, u64, u64),
+}
+
+impl WalkAnchor {
+    /// A cold anchor: the first query replays from `t = 0` and warms it.
+    pub fn new() -> Self {
+        WalkAnchor::default()
+    }
+}
+
 /// One moving obstacle.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Actor {
@@ -167,6 +206,60 @@ impl Actor {
         }
     }
 
+    /// [`Actor::pose_at`] resumed from (and advancing) a [`WalkAnchor`]:
+    /// bit-identical to the plain replay, but a query at a time no
+    /// earlier than the anchor folds only the segments *since* the
+    /// anchor — O(1) per decision for the monotone queries a mission
+    /// makes, against the replay's O(t / dwell). Non-walk motion models
+    /// are O(1) already and ignore the anchor. A query before the anchor
+    /// replays from zero (and re-anchors there), so arbitrary query
+    /// orders stay exact.
+    pub fn pose_at_cached(&self, t: f64, anchor: &mut WalkAnchor) -> Vec3 {
+        let MotionModel::RandomWalk {
+            seed,
+            speed,
+            dwell,
+            bounds,
+        } = &self.motion
+        else {
+            return self.pose_at(t);
+        };
+        let t = t.max(0.0);
+        let mut p = reflect_into(self.spawn, bounds);
+        if *speed == 0.0 {
+            return p;
+        }
+        let walk = (*seed, speed.to_bits(), dwell.to_bits());
+        let whole = (t / dwell).floor();
+        let k = whole as u64;
+        let mut start = 0u64;
+        if let Some(anchored) = anchor.position {
+            if anchor.walk == walk && anchor.segments <= k {
+                start = anchor.segments;
+                p = anchored;
+            }
+        }
+        for i in start..k {
+            p = reflect_into(p + walk_heading(*seed, i) * (*speed * *dwell), bounds);
+        }
+        *anchor = WalkAnchor {
+            segments: k,
+            position: Some(p),
+            walk,
+        };
+        let rest = t - whole * dwell;
+        if rest > 0.0 {
+            p = reflect_into(p + walk_heading(*seed, k) * (*speed * rest), bounds);
+        }
+        p
+    }
+
+    /// [`Actor::bounds_at`] through a [`WalkAnchor`] (see
+    /// [`Actor::pose_at_cached`]).
+    pub fn bounds_at_cached(&self, t: f64, anchor: &mut WalkAnchor) -> Aabb {
+        Aabb::from_center_half_extents(self.pose_at_cached(t, anchor), self.half_extents)
+    }
+
     /// Instantaneous centre velocity at time `t`. Exact for patrols and
     /// crossers (up to reflection instants, where the incoming segment's
     /// velocity is reported); for random walkers the current segment's
@@ -240,23 +333,50 @@ impl Actor {
                 }
                 hull.inflate(pad)
             }
-            MotionModel::RandomWalk { speed, bounds, .. } => {
-                let here = self.bounds_at(t);
-                let reach = *speed * horizon;
-                let disc = Aabb::new(
-                    here.min - Vec3::new(reach, reach, 0.0),
-                    here.max + Vec3::new(reach, reach, 0.0),
-                );
-                // The walk bounds constrain the centre; the box extends
-                // half_extents beyond them.
-                let cage = Aabb::new(
-                    bounds.min - self.half_extents,
-                    bounds.max + self.half_extents,
-                );
-                disc.intersection(&cage).unwrap_or(disc)
-            }
+            MotionModel::RandomWalk { speed, bounds, .. } => walk_reach_hull(
+                self.bounds_at(t),
+                *speed,
+                horizon,
+                bounds,
+                self.half_extents,
+            ),
         }
     }
+
+    /// [`Actor::predicted_bounds`] through a [`WalkAnchor`] (see
+    /// [`Actor::pose_at_cached`]): only the random walker's current box
+    /// depends on the replay, so only that branch consults the anchor.
+    pub fn predicted_bounds_cached(&self, t: f64, horizon: f64, anchor: &mut WalkAnchor) -> Aabb {
+        match &self.motion {
+            MotionModel::RandomWalk { speed, bounds, .. } => walk_reach_hull(
+                self.bounds_at_cached(t, anchor),
+                *speed,
+                horizon.max(0.0),
+                bounds,
+                self.half_extents,
+            ),
+            _ => self.predicted_bounds(t, horizon),
+        }
+    }
+}
+
+/// The random walker's predicted hull: its current box inflated by the
+/// horizontal reach of the horizon, clipped to the walk cage (the walk
+/// bounds constrain the centre; the box extends half extents beyond).
+fn walk_reach_hull(
+    here: Aabb,
+    speed: f64,
+    horizon: f64,
+    bounds: &Aabb,
+    half_extents: Vec3,
+) -> Aabb {
+    let reach = speed * horizon;
+    let disc = Aabb::new(
+        here.min - Vec3::new(reach, reach, 0.0),
+        here.max + Vec3::new(reach, reach, 0.0),
+    );
+    let cage = Aabb::new(bounds.min - half_extents, bounds.max + half_extents);
+    disc.intersection(&cage).unwrap_or(disc)
 }
 
 /// Sign of the fold derivative at unfolded coordinate `x` (+1 on even

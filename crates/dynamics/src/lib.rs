@@ -61,5 +61,5 @@
 pub mod actor;
 pub mod world;
 
-pub use actor::{Actor, MotionModel};
-pub use world::DynamicWorld;
+pub use actor::{Actor, MotionModel, WalkAnchor};
+pub use world::{DynamicWorld, PoseCache};

@@ -1,10 +1,40 @@
 //! The dynamic world: static field + actors, with snapshot and
 //! prediction views.
 
-use crate::Actor;
+use crate::{Actor, WalkAnchor};
 use roborun_env::{Obstacle, ObstacleField};
 use roborun_geom::{Aabb, Vec3};
 use serde::{Deserialize, Serialize};
+
+/// Per-mission replay anchors, one [`WalkAnchor`] per actor (in actor
+/// order), for the `*_cached` world views. Every cached view is
+/// **bit-identical** to its plain counterpart — the anchor only resumes
+/// the random walkers' deterministic fold (see [`Actor::pose_at_cached`])
+/// — so a driver threading one cache through a mission changes nothing
+/// observable while cutting the walkers' pose cost from O(t / dwell) to
+/// O(1) per (forward-in-time) query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoseCache {
+    anchors: Vec<WalkAnchor>,
+}
+
+impl PoseCache {
+    /// A cache with `actors` cold anchors.
+    pub fn for_actors(actors: usize) -> Self {
+        PoseCache {
+            anchors: vec![WalkAnchor::new(); actors],
+        }
+    }
+
+    fn anchor(&mut self, i: usize) -> &mut WalkAnchor {
+        // A cache built for a different world (or `Default`) grows to fit:
+        // cold anchors behave exactly like the plain replay.
+        if self.anchors.len() <= i {
+            self.anchors.resize(i + 1, WalkAnchor::new());
+        }
+        &mut self.anchors[i]
+    }
+}
 
 /// Actor obstacle ids start here so they never collide with static
 /// obstacle ids inside a snapshot field.
@@ -119,6 +149,71 @@ impl DynamicWorld {
     /// Upper bound on any actor's speed (zero for a static world).
     pub fn max_actor_speed(&self) -> f64 {
         self.actors.iter().map(Actor::max_speed).fold(0.0, f64::max)
+    }
+
+    /// A cold [`PoseCache`] sized for this world's actors.
+    pub fn pose_cache(&self) -> PoseCache {
+        PoseCache::for_actors(self.actors.len())
+    }
+
+    /// [`DynamicWorld::snapshot_field`] through a [`PoseCache`]
+    /// (bit-identical; see [`PoseCache`]).
+    pub fn snapshot_field_cached(&self, t: f64, cache: &mut PoseCache) -> ObstacleField {
+        let mut field = self.static_field.clone();
+        for (i, actor) in self.actors.iter().enumerate() {
+            field.push(Obstacle::new(
+                ACTOR_ID_BASE + i as u32,
+                actor.bounds_at_cached(t, cache.anchor(i)),
+            ));
+        }
+        field
+    }
+
+    /// [`DynamicWorld::actor_hit`] through a [`PoseCache`]
+    /// (bit-identical; see [`PoseCache`]).
+    pub fn actor_hit_cached(&self, p: Vec3, t: f64, margin: f64, cache: &mut PoseCache) -> bool {
+        self.actors
+            .iter()
+            .enumerate()
+            .any(|(i, a)| a.bounds_at_cached(t, cache.anchor(i)).distance_to_point(p) <= margin)
+    }
+
+    /// [`DynamicWorld::predicted_boxes`] through a [`PoseCache`]
+    /// (bit-identical; see [`PoseCache`]).
+    pub fn predicted_boxes_cached(&self, t: f64, horizon: f64, cache: &mut PoseCache) -> Vec<Aabb> {
+        self.actors
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.predicted_bounds_cached(t, horizon, cache.anchor(i)))
+            .collect()
+    }
+
+    /// [`DynamicWorld::max_closing_speed`] through a [`PoseCache`]
+    /// (bit-identical; see [`PoseCache`]).
+    pub fn max_closing_speed_cached(
+        &self,
+        t: f64,
+        towards: Vec3,
+        range: f64,
+        cache: &mut PoseCache,
+    ) -> f64 {
+        let mut worst = 0.0f64;
+        for (i, actor) in self.actors.iter().enumerate() {
+            let bounds = actor.bounds_at_cached(t, cache.anchor(i));
+            if bounds.distance_to_point(towards) > range {
+                continue;
+            }
+            let offset = towards - bounds.center();
+            let distance = offset.norm();
+            let closing = if distance < 1e-9 {
+                // Co-located: every motion is "closing" at full speed.
+                actor.max_speed()
+            } else {
+                actor.velocity_at(t).dot(offset / distance)
+            };
+            worst = worst.max(closing);
+        }
+        worst
     }
 }
 

@@ -1,0 +1,169 @@
+//! Walk-anchor cache equivalence: [`Actor::pose_at_cached`] and every
+//! `*_cached` world view must be **bit-identical** to the plain replay,
+//! whatever the query order — the cache is a pure resume of the same
+//! deterministic fold, never an approximation.
+
+use proptest::prelude::*;
+use roborun_dynamics::{Actor, DynamicWorld, MotionModel, PoseCache, WalkAnchor};
+use roborun_env::ObstacleField;
+use roborun_geom::{Aabb, Vec3};
+
+fn corridor() -> Aabb {
+    Aabb::new(Vec3::new(0.0, -10.0, 5.0), Vec3::new(40.0, 10.0, 5.0))
+}
+
+fn walker(seed: u64, speed: f64, dwell: f64) -> Actor {
+    Actor::new(
+        0,
+        Vec3::new(10.0, 0.0, 5.0),
+        Vec3::splat(0.8),
+        MotionModel::RandomWalk {
+            seed,
+            speed,
+            dwell,
+            bounds: corridor(),
+        },
+    )
+}
+
+fn assert_bits_eq(a: Vec3, b: Vec3, context: &str) {
+    assert_eq!(a.x.to_bits(), b.x.to_bits(), "{context}: x {a} vs {b}");
+    assert_eq!(a.y.to_bits(), b.y.to_bits(), "{context}: y {a} vs {b}");
+    assert_eq!(a.z.to_bits(), b.z.to_bits(), "{context}: z {a} vs {b}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Monotone *and* scrambled time sequences: the anchored replay must
+    /// agree with the from-zero replay bit for bit at every query.
+    #[test]
+    fn cached_walk_poses_match_the_replay(
+        seed in 0u64..1_000,
+        speed in 0.1f64..3.0,
+        dwell in 0.2f64..4.0,
+        times in prop::collection::vec(0.0f64..400.0, 1..24),
+    ) {
+        let actor = walker(seed, speed, dwell);
+        let mut anchor = WalkAnchor::new();
+        for (i, &t) in times.iter().enumerate() {
+            let cached = actor.pose_at_cached(t, &mut anchor);
+            let plain = actor.pose_at(t);
+            assert_bits_eq(cached, plain, &format!("query {i} at t={t}"));
+        }
+    }
+
+    /// The cached world views agree with their plain counterparts on a
+    /// mission-shaped (mostly forward) query pattern.
+    #[test]
+    fn cached_world_views_match(seed in 0u64..500, step in 0.05f64..2.0) {
+        let world = DynamicWorld::new(
+            ObstacleField::empty(),
+            vec![
+                walker(seed, 1.3, 1.5),
+                Actor::new(
+                    1,
+                    Vec3::new(20.0, 0.0, 5.0),
+                    Vec3::splat(1.0),
+                    MotionModel::Crosser {
+                        velocity: Vec3::new(0.0, 2.0, 0.0),
+                        bounds: corridor(),
+                    },
+                ),
+            ],
+        );
+        let mut cache = world.pose_cache();
+        let probe = Vec3::new(12.0, 1.0, 5.0);
+        for i in 0..40 {
+            let t = i as f64 * step;
+            let plain = world.snapshot_field(t);
+            let cached = world.snapshot_field_cached(t, &mut cache);
+            prop_assert_eq!(plain.len(), cached.len());
+            for (a, b) in plain.obstacles().iter().zip(cached.obstacles()) {
+                prop_assert_eq!(a.id, b.id);
+                assert_bits_eq(a.bounds.min, b.bounds.min, "snapshot min");
+                assert_bits_eq(a.bounds.max, b.bounds.max, "snapshot max");
+            }
+            prop_assert_eq!(
+                world.actor_hit(probe, t, 0.5),
+                world.actor_hit_cached(probe, t, 0.5, &mut cache)
+            );
+            let plain_boxes = world.predicted_boxes(t, 4.0);
+            let cached_boxes = world.predicted_boxes_cached(t, 4.0, &mut cache);
+            prop_assert_eq!(plain_boxes.len(), cached_boxes.len());
+            for (a, b) in plain_boxes.iter().zip(&cached_boxes) {
+                assert_bits_eq(a.min, b.min, "predicted min");
+                assert_bits_eq(a.max, b.max, "predicted max");
+            }
+            prop_assert_eq!(
+                world.max_closing_speed(t, probe, 30.0).to_bits(),
+                world.max_closing_speed_cached(t, probe, 30.0, &mut cache).to_bits()
+            );
+        }
+    }
+}
+
+/// Backward jumps (a cold restart mid-stream) stay exact: the anchor
+/// resets to a from-zero replay when time runs backwards.
+#[test]
+fn backward_queries_reset_the_anchor_exactly() {
+    let actor = walker(42, 1.1, 0.7);
+    let mut anchor = WalkAnchor::new();
+    for &t in &[300.0, 12.5, 299.9, 0.0, 300.0, 150.0] {
+        assert_bits_eq(
+            actor.pose_at_cached(t, &mut anchor),
+            actor.pose_at(t),
+            &format!("t={t}"),
+        );
+    }
+}
+
+/// A warm anchor from one walker is rejected by a different walker (the
+/// fingerprint guard): reusing a cache across worlds degrades to a cold
+/// replay instead of silently folding from a foreign position.
+#[test]
+fn foreign_anchors_reset_instead_of_corrupting() {
+    let a = walker(1, 1.1, 0.7);
+    let b = walker(2, 1.1, 0.7); // same speed/dwell, different seed
+    let c = walker(1, 0.9, 0.7); // same seed, different speed
+    let mut anchor = WalkAnchor::new();
+    assert_bits_eq(
+        a.pose_at_cached(250.0, &mut anchor),
+        a.pose_at(250.0),
+        "warm a",
+    );
+    assert_bits_eq(
+        b.pose_at_cached(300.0, &mut anchor),
+        b.pose_at(300.0),
+        "cross to b",
+    );
+    assert_bits_eq(
+        c.pose_at_cached(320.0, &mut anchor),
+        c.pose_at(320.0),
+        "cross to c",
+    );
+    assert_bits_eq(
+        a.pose_at_cached(330.0, &mut anchor),
+        a.pose_at(330.0),
+        "back to a",
+    );
+}
+
+/// A default (unsized) cache grows to fit and stays exact.
+#[test]
+fn default_cache_grows_to_fit() {
+    let world = DynamicWorld::new(
+        ObstacleField::empty(),
+        (0..5).map(|i| walker(i as u64, 0.9, 1.0)).collect(),
+    );
+    let mut cache = PoseCache::default();
+    for i in 0..10 {
+        let t = i as f64 * 3.7;
+        let plain = world.predicted_boxes(t, 2.0);
+        let cached = world.predicted_boxes_cached(t, 2.0, &mut cache);
+        for (a, b) in plain.iter().zip(&cached) {
+            assert_bits_eq(a.min, b.min, "min");
+            assert_bits_eq(a.max, b.max, "max");
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! [`crate::node_pipeline`] — and drifted subtly (two `local_goal`
 //! variants, two `first_blockage_distance` copies, two epoch-advance
 //! loops). Both drivers are now thin: the direct runner drives a
-//! [`DecisionCycle`] (which owns the whole per-mission state), and the
+//! `DecisionCycle` (which owns the whole per-mission state), and the
 //! node pipeline's nodes delegate every policy decision to the free
 //! functions here, keeping only the topic plumbing to themselves.
 //!
@@ -96,6 +96,21 @@
 //! * **Collide** against actors' true poses at every physics substep of
 //!   the epoch advance, so ground-truth safety is judged against where
 //!   actors actually are, never against predictions.
+//!
+//! Every predicted-occupancy query above goes through one
+//! [`PredictedHazards`] source (see the `roborun_planning::hazard`
+//! module docs for the full contract): the cycle *composes* it with the
+//! long-lived static checker once per decision and *retargets* it from
+//! the fresh predicted boxes (an incremental patch mirroring the
+//! checker's map-delta patch). Blockage detection, the fresh-plan veto
+//! and the speculation gate are all walks of that one source, so the
+//! planner-side and validation-side notions of "clear" cannot drift.
+//! With [`crate::MissionConfig::predicted_costmap`] enabled, the
+//! synchronous and speculative searches additionally plan *through* the
+//! composed [`HazardContext`], routing around predicted lanes in one
+//! shot; the posterior veto is retained as the safety net and as the
+//! reference reject-loop path (bit-identical whenever the flag is off
+//! or the predicted set is empty).
 
 use crate::metrics::MissionMetrics;
 use crate::runner::{MissionConfig, MissionResult};
@@ -103,13 +118,13 @@ use roborun_control::TrajectoryFollower;
 use roborun_core::{
     DecisionRecord, Governor, KnobSettings, MissionTelemetry, Policy, RuntimeMode, SpatialProfile,
 };
-use roborun_dynamics::DynamicWorld;
+use roborun_dynamics::{DynamicWorld, PoseCache};
 use roborun_env::{Environment, Zone};
 use roborun_geom::{Aabb, Vec3};
 use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
 use roborun_planning::{
-    CollisionChecker, PlanError, PlanStats, Planner, PlannerConfig, RrtConfig, Trajectory,
-    TrajectoryPoint,
+    first_polyline_conflict, polyline_clear_of_boxes, CollisionChecker, HazardContext, PlanError,
+    PlanStats, Planner, PlannerConfig, PredictedHazards, RrtConfig, Trajectory, TrajectoryPoint,
 };
 use roborun_sim::{
     CameraRig, DroneConfig, DroneState, EnergyModel, FaultInjector, LatencyBreakdown, SimClock,
@@ -159,6 +174,9 @@ pub fn first_blockage_distance(
 /// [`DynamicWorld::predicted_boxes`] over the configured lookahead, so a
 /// hit means an actor *may* cross the corridor — conservative by
 /// construction, and used only to discard plans, never to admit them.
+/// A thin wrapper over the unified hazard walk
+/// ([`first_polyline_conflict`]); the in-cycle path runs the same walk
+/// through the decision's retargeted [`PredictedHazards`].
 pub fn predicted_blockage_distance(
     trajectory: &Trajectory,
     progress_time: f64,
@@ -167,30 +185,15 @@ pub fn predicted_blockage_distance(
     position: Vec3,
     max_range: f64,
 ) -> Option<f64> {
-    if predicted.is_empty() {
-        return None;
-    }
     let remaining = trajectory.remaining_from(progress_time);
-    let mut conflict: Option<f64> = None;
-    let clear = sample_polyline(
+    first_polyline_conflict(
         remaining.points().iter().map(|p| p.position),
-        clearance.max(0.25),
-        |p| {
-            if p.distance(position) > max_range {
-                return true;
-            }
-            if predicted
-                .iter()
-                .any(|b| b.distance_to_point(p) <= clearance)
-            {
-                conflict = Some(p.distance(position));
-                return false;
-            }
-            true
-        },
-    );
-    debug_assert_eq!(clear, conflict.is_none());
-    conflict
+        predicted,
+        clearance,
+        position,
+        max_range,
+    )
+    .map(|p| p.distance(position))
 }
 
 /// `true` when the polyline through `points` stays clear of every
@@ -202,7 +205,8 @@ pub fn predicted_blockage_distance(
 /// than `max_range` are ignored: the MAV cannot reach them within the
 /// prediction horizon, and the boxes say nothing about the world beyond
 /// it — rejecting on far conflicts would only starve the mission (the
-/// next decision re-predicts with fresher poses).
+/// next decision re-predicts with fresher poses). A thin wrapper over
+/// the unified hazard walk ([`polyline_clear_of_boxes`]).
 pub fn path_clear_of_predicted(
     points: impl IntoIterator<Item = Vec3>,
     predicted: &[Aabb],
@@ -210,13 +214,7 @@ pub fn path_clear_of_predicted(
     origin: Vec3,
     max_range: f64,
 ) -> bool {
-    if predicted.is_empty() {
-        return true;
-    }
-    sample_polyline(points, clearance.max(0.25), |p| {
-        p.distance(origin) > max_range
-            || predicted.iter().all(|b| b.distance_to_point(p) > clearance)
-    })
+    polyline_clear_of_boxes(points, predicted, clearance, origin, max_range)
 }
 
 /// Folds the static-map blockage and the predicted moving-obstacle
@@ -242,14 +240,52 @@ pub fn predicted_relevance_range(speed: f64, lookahead: f64, margin: f64) -> f64
     speed.max(1.0) * lookahead + 2.0 * margin
 }
 
-/// `true` when a moving obstacle may reach `position` within the
-/// prediction horizon — the *in danger* state in which both drivers
-/// force an escape replan and suppress braking (hovering inside a
-/// crossing lane is the one thing the MAV must never do).
-pub fn in_predicted_danger(predicted: &[Aabb], position: Vec3, margin: f64) -> bool {
-    predicted
-        .iter()
-        .any(|b| b.distance_to_point(position) <= margin)
+/// Plans one decision's trajectory through the composed hazard context
+/// when `one_shot`, retrying through the bare static checker when the
+/// composed search fails (no route threads both the map and the
+/// predicted lanes, or an endpoint sits inside one) — the retained
+/// reject-loop reference path, whose posterior veto then governs the
+/// result. With `one_shot` false this is exactly the bare-checker plan.
+/// Shared by both drivers so the fallback policy cannot drift.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_through_hazards(
+    planner: &Planner,
+    checker: &mut CollisionChecker,
+    hazards: &PredictedHazards,
+    one_shot: bool,
+    start: Vec3,
+    goal: Vec3,
+    bounds: &Aabb,
+    cruise: f64,
+) -> Result<(Trajectory, PlanStats), PlanError> {
+    if one_shot {
+        let mut context = HazardContext::new(checker, hazards);
+        let outcome = planner.plan_with_checker(&mut context, start, goal, bounds, cruise);
+        if outcome.is_ok() {
+            return outcome;
+        }
+    }
+    planner.plan_with_checker(checker, start, goal, bounds, cruise)
+}
+
+/// The speculation request's hazard source: this decision's boxes
+/// re-anchored at the post-epoch position the speculation starts from
+/// (empty when the costmap is off, keeping the worker bit-identical to a
+/// bare-checker plan). Shared by both drivers so the re-anchor policy
+/// lives once.
+pub(crate) fn speculation_hazards(
+    hazards: &PredictedHazards,
+    predicted_costmap: bool,
+    start: Vec3,
+    speed: f64,
+    lookahead: f64,
+    margin: f64,
+) -> PredictedHazards {
+    if predicted_costmap && !hazards.is_empty() {
+        hazards.reanchored(start, predicted_relevance_range(speed, lookahead, margin))
+    } else {
+        PredictedHazards::empty()
+    }
 }
 
 /// A short, slow straight-line manoeuvre directly away from the nearest
@@ -289,37 +325,6 @@ pub fn retreat_trajectory(export: &PlannerMap, pos: Vec3, margin: f64) -> Trajec
             speed,
         },
     ])
-}
-
-/// Walks a polyline, visiting every vertex plus interpolated samples at
-/// most `step` apart along each segment, until `visit` returns `false`.
-/// Returns `true` when every visited sample passed.
-fn sample_polyline(
-    points: impl IntoIterator<Item = Vec3>,
-    step: f64,
-    mut visit: impl FnMut(Vec3) -> bool,
-) -> bool {
-    let mut prev: Option<Vec3> = None;
-    for p in points {
-        match prev {
-            None => {
-                if !visit(p) {
-                    return false;
-                }
-            }
-            Some(a) => {
-                let length = a.distance(p);
-                let segments = (length / step).ceil().max(1.0) as usize;
-                for i in 1..=segments {
-                    if !visit(a.lerp(p, i as f64 / segments as f64)) {
-                        return false;
-                    }
-                }
-            }
-        }
-        prev = Some(p);
-    }
-    true
 }
 
 /// Axis-aligned sampling bounds for the local planning problem.
@@ -515,18 +520,23 @@ pub struct PlanAheadStats {
 
 /// A speculation request: everything the worker needs to plan decision
 /// *k + 1* as a pure function (see the module docs' snapshot contract).
+/// With [`crate::MissionConfig::predicted_costmap`] on, the request also
+/// carries the decision's predicted hazards, so the speculative search
+/// itself routes around predicted lanes (an empty set keeps the worker
+/// bit-identical to a bare-checker plan).
 pub(crate) struct SpeculationRequest {
-    planner: Planner,
-    checker: CollisionChecker,
-    start: Vec3,
-    goal: Vec3,
-    bounds: Aabb,
-    cruise: f64,
+    pub(crate) planner: Planner,
+    pub(crate) checker: CollisionChecker,
+    pub(crate) hazards: PredictedHazards,
+    pub(crate) start: Vec3,
+    pub(crate) goal: Vec3,
+    pub(crate) bounds: Aabb,
+    pub(crate) cruise: f64,
 }
 
 /// The worker's answer to a [`SpeculationRequest`].
 pub(crate) struct SpeculationOutcome {
-    outcome: Result<(Trajectory, PlanStats), PlanError>,
+    pub(crate) outcome: Result<(Trajectory, PlanStats), PlanError>,
 }
 
 /// Serves speculation requests until the requesting side hangs up. Runs on
@@ -537,8 +547,9 @@ pub(crate) fn speculation_worker(
     outcomes: Sender<SpeculationOutcome>,
 ) {
     while let Ok(mut request) = requests.recv() {
+        let mut context = HazardContext::new(&mut request.checker, &request.hazards);
         let outcome = request.planner.plan_with_checker(
-            &mut request.checker,
+            &mut context,
             request.start,
             request.goal,
             &request.bounds,
@@ -552,8 +563,8 @@ pub(crate) fn speculation_worker(
 
 /// The mission loop's handle on the speculation worker.
 pub(crate) struct PlanAheadWorker {
-    requests: Sender<SpeculationRequest>,
-    outcomes: Receiver<SpeculationOutcome>,
+    pub(crate) requests: Sender<SpeculationRequest>,
+    pub(crate) outcomes: Receiver<SpeculationOutcome>,
 }
 
 impl PlanAheadWorker {
@@ -688,6 +699,14 @@ pub(crate) struct DecisionCycle<'m> {
     // patches its broad-phase from the export delta instead of rebuilding
     // it from scratch (the margin never changes mid-run).
     collision: Option<CollisionChecker>,
+    // The predicted (soft) hazard source, retargeted every decision from
+    // the dynamic world's predicted boxes — the other half of the
+    // composed hazard context. Empty (and inert) in static worlds.
+    hazards: PredictedHazards,
+    // Random-walk replay anchors: every cached world view is bit-identical
+    // to the plain one, but walker poses cost O(1) per decision instead of
+    // O(t / dwell).
+    pose_cache: PoseCache,
     energy_joules: f64,
     collided: bool,
     reached_goal: bool,
@@ -716,6 +735,8 @@ impl<'m> DecisionCycle<'m> {
         map.set_stale_decay(cfg.voxel_decay);
         let baseline_velocity = governor.baseline_velocity();
         let planning_margin = cfg.drone.body_radius * cfg.planning_margin_factor;
+        let hazards = PredictedHazards::new(Vec::new(), planning_margin * 0.6, drone.position, 0.0);
+        let pose_cache = dynamics.map(DynamicWorld::pose_cache).unwrap_or_default();
         DecisionCycle {
             cfg,
             env,
@@ -734,6 +755,8 @@ impl<'m> DecisionCycle<'m> {
             telemetry: MissionTelemetry::new(cfg.mode),
             follower: None,
             collision: None,
+            hazards,
+            pose_cache,
             energy_joules: 0.0,
             collided: false,
             reached_goal: false,
@@ -762,7 +785,7 @@ impl<'m> DecisionCycle<'m> {
         let snapshot;
         let field = match self.dynamics {
             Some(world) if !world.is_static() => {
-                snapshot = world.snapshot_field(self.clock.now());
+                snapshot = world.snapshot_field_cached(self.clock.now(), &mut self.pose_cache);
                 &snapshot
             }
             _ => self.env.field(),
@@ -854,7 +877,6 @@ impl<'m> DecisionCycle<'m> {
         knobs: &KnobSettings,
         commanded_velocity: f64,
         speculative: Option<SpeculationVerdict>,
-        predicted: &[Aabb],
         in_danger: bool,
     ) -> Planned {
         let static_blockage = self.first_blockage(export);
@@ -865,7 +887,7 @@ impl<'m> DecisionCycle<'m> {
         // position (`in_danger`) additionally forces an escape replan —
         // hovering inside a crossing lane is the one thing the MAV must
         // never do.
-        let predicted_conflict = self.predicted_blockage(predicted);
+        let predicted_conflict = self.predicted_blockage();
         if predicted_conflict.is_some() || in_danger {
             self.dynamics_stats.dynamic_replans += 1;
         }
@@ -883,13 +905,8 @@ impl<'m> DecisionCycle<'m> {
                     replanned = true;
                 }
                 Some(SpeculationVerdict::Discarded) | None => {
-                    replanned = self.plan_synchronously(
-                        export,
-                        knobs,
-                        commanded_velocity,
-                        predicted,
-                        in_danger,
-                    );
+                    replanned =
+                        self.plan_synchronously(export, knobs, commanded_velocity, in_danger);
                 }
             }
         }
@@ -913,11 +930,13 @@ impl<'m> DecisionCycle<'m> {
 
     /// The moving-obstacle boxes predicted over the configured lookahead
     /// from the current instant (empty without dynamics).
-    fn predicted_boxes(&self) -> Vec<Aabb> {
+    fn predicted_boxes(&mut self) -> Vec<Aabb> {
         match self.dynamics {
-            Some(world) if !world.is_static() => {
-                world.predicted_boxes(self.clock.now(), self.cfg.dynamic_lookahead)
-            }
+            Some(world) if !world.is_static() => world.predicted_boxes_cached(
+                self.clock.now(),
+                self.cfg.dynamic_lookahead,
+                &mut self.pose_cache,
+            ),
             _ => Vec::new(),
         }
     }
@@ -932,21 +951,20 @@ impl<'m> DecisionCycle<'m> {
 
     /// Distance to the first remaining-trajectory point inside the
     /// predicted moving-obstacle occupancy within the relevance range,
-    /// or `None` when clear (or in a static world).
-    fn predicted_blockage(&self, predicted: &[Aabb]) -> Option<f64> {
+    /// or `None` when clear (or in a static world) — the same
+    /// [`PredictedHazards`] walk the planner's composed context and the
+    /// speculation gate use.
+    fn predicted_blockage(&self) -> Option<f64> {
         let f = self.follower.as_ref()?;
-        predicted_blockage_distance(
-            f.trajectory(),
-            f.progress_time(),
-            predicted,
-            self.planning_margin * 0.6,
-            self.drone.position,
-            self.predicted_relevance_range(),
-        )
+        let remaining = f.trajectory().remaining_from(f.progress_time());
+        self.hazards
+            .first_conflict(remaining.points().iter().map(|p| p.position))
+            .map(|p| p.distance(self.drone.position))
     }
 
-    fn in_predicted_danger(&self, predicted: &[Aabb]) -> bool {
-        in_predicted_danger(predicted, self.drone.position, self.planning_margin)
+    fn in_predicted_danger(&self) -> bool {
+        self.hazards
+            .any_within(self.drone.position, self.planning_margin)
     }
 
     fn need_plan(&self, blockage: Option<f64>) -> bool {
@@ -967,12 +985,19 @@ impl<'m> DecisionCycle<'m> {
     /// behaviour): refresh the long-lived checker from the export delta,
     /// plan, and on `StartBlocked` retry against a worst-case-precision
     /// export.
+    ///
+    /// With [`crate::MissionConfig::predicted_costmap`] on (and predicted
+    /// boxes present), the search runs against the composed
+    /// [`HazardContext`] so it routes around predicted lanes in one shot;
+    /// a failed one-shot search falls back to the retained reject-loop
+    /// reference path (static-only plan, posterior predicted veto below).
+    /// Escape plans always use the bare checker: the drone is already
+    /// inside a predicted box and any way out starts in conflict.
     fn plan_synchronously(
         &mut self,
         export: &PlannerMap,
         knobs: &KnobSettings,
         commanded_velocity: f64,
-        predicted: &[Aabb],
         escape: bool,
     ) -> bool {
         let local_goal = self.local_goal(export);
@@ -997,13 +1022,17 @@ impl<'m> DecisionCycle<'m> {
                 ));
             }
         }
-        let checker = self.collision.as_mut().expect("checker just initialised");
-        let mut outcome = planner.plan_with_checker(
-            checker,
+        let one_shot = self.cfg.predicted_costmap && !escape && !self.hazards.is_empty();
+        let cruise = commanded_velocity.max(0.5);
+        let mut outcome = plan_through_hazards(
+            &planner,
+            self.collision.as_mut().expect("checker just initialised"),
+            &self.hazards,
+            one_shot,
             self.drone.position,
             local_goal,
             &bounds,
-            commanded_velocity.max(0.5),
+            cruise,
         );
         if matches!(outcome, Err(PlanError::StartBlocked)) {
             // A coarse export voxel can swallow the drone's own
@@ -1053,13 +1082,9 @@ impl<'m> DecisionCycle<'m> {
                 // starts in conflict and moving out beats hovering in a
                 // crossing lane.
                 if !escape
-                    && !path_clear_of_predicted(
-                        trajectory.points().iter().map(|p| p.position),
-                        predicted,
-                        self.planning_margin * 0.6,
-                        self.drone.position,
-                        self.predicted_relevance_range(),
-                    )
+                    && !self
+                        .hazards
+                        .path_clear(trajectory.points().iter().map(|p| p.position))
                 {
                     return false;
                 }
@@ -1132,7 +1157,6 @@ impl<'m> DecisionCycle<'m> {
         export: &PlannerMap,
         knobs: &KnobSettings,
         breakdown: &LatencyBreakdown,
-        predicted: &[Aabb],
         in_danger: bool,
     ) -> (Option<SpeculationVerdict>, f64) {
         let (Some(worker), Some(pending)) = (worker, self.pending.take()) else {
@@ -1165,13 +1189,9 @@ impl<'m> DecisionCycle<'m> {
         // metrics honest: a dropped speculation masks nothing.
         if let SpeculationVerdict::Adopted(t) | SpeculationVerdict::Patched(t) = &verdict {
             if in_danger
-                || !path_clear_of_predicted(
-                    t.points().iter().map(|p| p.position),
-                    predicted,
-                    self.planning_margin * 0.6,
-                    self.drone.position,
-                    self.predicted_relevance_range(),
-                )
+                || !self
+                    .hazards
+                    .path_clear(t.points().iter().map(|p| p.position))
             {
                 self.dynamics_stats.predicted_invalidations += 1;
                 verdict = SpeculationVerdict::Discarded;
@@ -1230,9 +1250,22 @@ impl<'m> DecisionCycle<'m> {
         checker.update_map(export.clone());
         checker.set_check_step(planning_check_step(knobs));
         checker.prebuild_broad_phase();
+        // With the predicted costmap on, the speculative search plans
+        // through the same composed context the synchronous path uses —
+        // re-anchored at the post-epoch position the speculation starts
+        // from (the shared policy in [`speculation_hazards`]).
+        let hazards = speculation_hazards(
+            &self.hazards,
+            self.cfg.predicted_costmap,
+            self.drone.position,
+            self.drone.speed(),
+            self.cfg.dynamic_lookahead,
+            self.planning_margin,
+        );
         let request = SpeculationRequest {
             planner,
             checker: checker.clone(),
+            hazards,
             start: self.drone.position,
             goal,
             bounds,
@@ -1265,10 +1298,15 @@ impl<'m> DecisionCycle<'m> {
         let export = self.apply_operators(&sensed, &knobs);
         let breakdown = self.decision_cost(&knobs);
         // Moving-obstacle prediction for this decision's instant (empty
-        // in static worlds) and the in-danger state, shared by every
-        // consumer below.
+        // in static worlds), folded into the shared hazard source every
+        // consumer below — blockage detection, the planner's composed
+        // context, the speculation gate — queries. The retarget is an
+        // incremental patch: only boxes that moved touch the source.
         let predicted = self.predicted_boxes();
-        let in_danger = self.in_predicted_danger(&predicted);
+        let range = self.predicted_relevance_range();
+        self.hazards
+            .retarget(&predicted, self.drone.position, range);
+        let in_danger = self.in_predicted_danger();
 
         // Plan-ahead join: an adopted speculation masks the planning stage
         // up to the overlap window; everything downstream (safe velocity,
@@ -1279,7 +1317,6 @@ impl<'m> DecisionCycle<'m> {
             &export,
             &knobs,
             &breakdown,
-            &predicted,
             in_danger,
         );
         let latency = breakdown.critical_path(masked);
@@ -1293,10 +1330,11 @@ impl<'m> DecisionCycle<'m> {
         // eat into the reaction budget; anything farther is throttling
         // the mission for an obstacle that cannot touch it.
         let closing_speed = match self.dynamics {
-            Some(world) if !world.is_static() => world.max_closing_speed(
+            Some(world) if !world.is_static() => world.max_closing_speed_cached(
                 self.clock.now(),
                 self.drone.position,
                 profile.visibility + world.max_actor_speed() * self.cfg.dynamic_lookahead,
+                &mut self.pose_cache,
             ),
             _ => 0.0,
         };
@@ -1316,14 +1354,7 @@ impl<'m> DecisionCycle<'m> {
         };
 
         // Plan (or adopt), then the emergency-stop policy.
-        let planned = self.plan(
-            &export,
-            &knobs,
-            commanded_velocity,
-            speculative,
-            &predicted,
-            in_danger,
-        );
+        let planned = self.plan(&export, &knobs, commanded_velocity, speculative, in_danger);
         self.emergency_stop(&planned, latency);
 
         // Record.
@@ -1349,6 +1380,7 @@ impl<'m> DecisionCycle<'m> {
         let epoch = latency.max(self.cfg.min_epoch);
         let follower = &mut self.follower;
         let dynamics = self.dynamics;
+        let pose_cache = &mut self.pose_cache;
         let body_margin = self.cfg.drone.body_radius * 0.8;
         self.collided = advance_epoch(
             &mut self.drone,
@@ -1367,7 +1399,9 @@ impl<'m> DecisionCycle<'m> {
                 _ => None,
             },
             |position, time| {
-                dynamics.is_some_and(|world| world.actor_hit(position, time, body_margin))
+                dynamics.is_some_and(|world| {
+                    world.actor_hit_cached(position, time, body_margin, pose_cache)
+                })
             },
         );
         self.flown_path.push(self.drone.position);

@@ -46,5 +46,8 @@ pub use breakdown::{ZoneBreakdown, ZoneStats};
 pub use metrics::{AggregateMetrics, MissionMetrics};
 pub use node_pipeline::{NodePipeline, NodePipelineConfig, NodePipelineResult};
 pub use runner::{MissionConfig, MissionResult, MissionRunner};
-pub use scenarios::{DynamicScenario, Scenario};
-pub use sweep::{DynamicSweepConfig, DynamicSweepRow, SensitivityRow, SweepConfig, SweepResults};
+pub use scenarios::{DynamicDifficulty, DynamicScenario, Scenario};
+pub use sweep::{
+    DynamicMatrixConfig, DynamicMatrixRow, DynamicSweepConfig, DynamicSweepRow, SensitivityRow,
+    SweepConfig, SweepResults,
+};

@@ -15,9 +15,23 @@
 //! The physics-facing edge (reading the drone state, applying velocity
 //! commands at the 4 Hz control substep) stays a direct call, exactly as the
 //! flight-controller interface does on a real MAV.
+//!
+//! With [`MissionConfig::plan_ahead`] enabled the planner node overlaps
+//! planning with execution exactly like the direct runner: a scoped
+//! worker thread speculatively plans decision *k + 1* from a snapshot
+//! while control executes decision *k*, the speculative trajectory
+//! crosses the bus on `/planning/speculation` (measured bytes), and the
+//! planning node validates the received copy against the fresh export on
+//! its subscriber side before adopting it (the `mission::cycle`
+//! snapshot/validate/adopt contract). Adopted speculations mask the
+//! planning stage from the decision's critical path, so the
+//! measured-comm driver reports `masked_planning_latency` /
+//! `plan_ahead_attempts` too. With the flag off no worker exists and the
+//! pipeline is bit-identical to the synchronous behaviour.
 
 use crate::cycle::{
     self, direction_towards, planning_bounds, zone_label, DynamicsStats, PlanAheadStats,
+    PlanAheadWorker, SpeculationRequest, SpeculationVerdict,
 };
 use crate::runner::{MissionConfig, MissionResult};
 use roborun_control::TrajectoryFollower;
@@ -31,9 +45,10 @@ use roborun_middleware::{
     CommLatencyModel, GraphInfo, Message, MessageBus, Node, Publisher, QosProfile, Subscription,
 };
 use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
-use roborun_planning::{PlanError, Trajectory};
+use roborun_planning::{CollisionChecker, PlanError, PlanStats, PredictedHazards, Trajectory};
 use roborun_sim::{CameraRig, DroneState, SimClock, StoppingModel};
 use serde::{Deserialize, Serialize};
+use std::sync::mpsc;
 
 // ---------------------------------------------------------------------------
 // Message types
@@ -124,6 +139,30 @@ impl Message for TrajectoryMsg {
     }
     fn type_name() -> &'static str {
         "roborun/Trajectory"
+    }
+}
+
+/// A speculative (plan-ahead) trajectory on `/planning/speculation`.
+///
+/// With [`MissionConfig::plan_ahead`] enabled, the planner node's worker
+/// thread plans decision *k + 1* while control executes decision *k*. The
+/// worker's answer crosses the bus **before** validation: the planning
+/// node publishes the raw speculative trajectory here and validates the
+/// copy it receives back on its own subscription — subscriber-side
+/// validation, against the fresh export that arrived on the node's map
+/// subscription rather than the snapshot the worker planned from (the
+/// `mission::cycle` snapshot/validate/adopt contract). The loopback hop
+/// charges the transport bytes a planner subprocess would really ship,
+/// so the measured-comm path accounts for speculation traffic too.
+#[derive(Debug, Clone)]
+pub struct SpeculationMsg(pub Trajectory);
+
+impl Message for SpeculationMsg {
+    fn approx_size_bytes(&self) -> usize {
+        16 + self.0.len() * 56
+    }
+    fn type_name() -> &'static str {
+        "roborun/SpeculativeTrajectory"
     }
 }
 
@@ -382,12 +421,32 @@ impl RuntimeNode {
     }
 }
 
+/// The snapshot-side metadata of an in-flight node speculation (the
+/// planner node's mirror of the direct driver's pending record).
+struct PendingNodeSpeculation {
+    /// Export snapshot the speculation planned against.
+    snapshot: PlannerMap,
+    /// Start position handed to the worker (the drone position at the end
+    /// of the previous epoch).
+    start: Vec3,
+    /// Local goal computed from the snapshot export.
+    goal: Vec3,
+    /// Overlap window: the previous epoch's duration (seconds).
+    window: f64,
+}
+
 struct PlanningNode {
     seed_base: u64,
     margin: f64,
     planning_horizon: f64,
     dynamic_lookahead: f64,
     replan_every: usize,
+    /// Plan-ahead enabled: the node keeps a long-lived checker to
+    /// snapshot for the worker and joins/validates speculations.
+    plan_ahead: bool,
+    /// Plan through the composed hazard context (predicted boxes as soft
+    /// obstacles) instead of only vetoing finished plans.
+    predicted_costmap: bool,
     stopping: StoppingModel,
     map_sub: Subscription<PlannerMapMsg>,
     policy_sub: Subscription<PolicyMsg>,
@@ -395,6 +454,8 @@ struct PlanningNode {
     status_sub: Subscription<ControlStatusMsg>,
     trajectory_pub: Publisher<TrajectoryMsg>,
     feedback_pub: Publisher<PlanningFeedbackMsg>,
+    speculation_pub: Publisher<SpeculationMsg>,
+    speculation_sub: Subscription<SpeculationMsg>,
     latest_map: Option<PlannerMap>,
     latest_policy: Option<Policy>,
     latest_odom: Option<OdometryMsg>,
@@ -403,9 +464,25 @@ struct PlanningNode {
     decisions_since_plan: usize,
     decisions: usize,
     emergency_stop: bool,
+    /// Long-lived collision checker (plan-ahead / costmap paths only):
+    /// patched from the export delta per replan and cloned into
+    /// speculation requests with its broad-phase prebuilt.
+    collision: Option<CollisionChecker>,
+    /// The per-mission predicted hazard source, retargeted from the
+    /// decision's predicted boxes (incremental patch) — the node's half
+    /// of the composed hazard context, mirroring the direct driver's.
+    hazards: PredictedHazards,
+    /// The in-flight speculation's snapshot metadata.
+    pending: Option<PendingNodeSpeculation>,
+    /// The joined-and-validated verdict for this decision's planning spin.
+    speculative: Option<SpeculationVerdict>,
+    /// Plan-ahead accounting (attempts / hits / masked latency).
+    stats: PlanAheadStats,
     /// Decisions where a predicted moving-obstacle conflict forced a
     /// replan (always zero in static worlds).
     dynamic_replans: usize,
+    /// Arrived speculations discarded by the predicted-occupancy gate.
+    predicted_invalidations: usize,
     /// Consecutive decisions whose planning attempt was start-blocked —
     /// after the fine-export fallback has had its chance, a dynamic
     /// mission retreats out of the margin shell instead of hovering.
@@ -414,12 +491,15 @@ struct PlanningNode {
 
 impl PlanningNode {
     fn new(node: &Node, config: &MissionConfig, env_seed: u64) -> Self {
+        let margin = config.drone.body_radius * config.planning_margin_factor;
         PlanningNode {
             seed_base: config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(env_seed),
-            margin: config.drone.body_radius * config.planning_margin_factor,
+            margin,
             planning_horizon: config.planning_horizon,
             dynamic_lookahead: config.dynamic_lookahead,
             replan_every: config.replan_every,
+            plan_ahead: config.plan_ahead,
+            predicted_costmap: config.predicted_costmap,
             stopping: StoppingModel::paper_default(),
             map_sub: node
                 .subscribe("/perception/planner_map", QosProfile::reliable(2))
@@ -439,6 +519,12 @@ impl PlanningNode {
             feedback_pub: node
                 .publisher("/planning/feedback")
                 .expect("feedback topic"),
+            speculation_pub: node
+                .publisher("/planning/speculation")
+                .expect("speculation topic"),
+            speculation_sub: node
+                .subscribe("/planning/speculation", QosProfile::latched(1))
+                .expect("speculation subscription"),
             latest_map: None,
             latest_policy: None,
             latest_odom: None,
@@ -447,8 +533,193 @@ impl PlanningNode {
             decisions_since_plan: usize::MAX / 2,
             decisions: 0,
             emergency_stop: false,
+            collision: None,
+            hazards: PredictedHazards::new(Vec::new(), margin * 0.6, Vec3::ZERO, 0.0),
+            pending: None,
+            speculative: None,
+            stats: PlanAheadStats::default(),
             dynamic_replans: 0,
+            predicted_invalidations: 0,
             start_blocked_streak: 0,
+        }
+    }
+
+    /// Ingests the newest samples from every subscription into the cached
+    /// latest-value fields (shared by the planning spin and the
+    /// speculation join, whichever runs first in a decision).
+    fn refresh_inputs(&mut self) {
+        if let Some(sample) = self.map_sub.latest() {
+            self.latest_map = Some(sample.message.0);
+        }
+        if let Some(sample) = self.policy_sub.latest() {
+            self.latest_policy = Some(sample.message.0);
+        }
+        if let Some(sample) = self.odom_sub.latest() {
+            self.latest_odom = Some(sample.message);
+        }
+        if let Some(sample) = self.status_sub.latest() {
+            self.latest_status = Some(sample.message);
+        }
+    }
+
+    /// Joins the in-flight speculation (if any), ships its trajectory
+    /// across the speculation topic, and validates the received copy
+    /// against the fresh export and the predicted occupancy — the node
+    /// mirror of the direct driver's `take_speculation`. Returns the
+    /// planning latency masked by the overlap window (zero unless the
+    /// speculation was adopted).
+    fn join_speculation(
+        &mut self,
+        worker: Option<&mut PlanAheadWorker>,
+        env: &Environment,
+        predicted: &[Aabb],
+        planning_latency: f64,
+    ) -> f64 {
+        self.speculative = None;
+        let (Some(worker), Some(pending)) = (worker, self.pending.take()) else {
+            return 0.0;
+        };
+        self.refresh_inputs();
+        let answer = worker
+            .outcomes
+            .recv()
+            .expect("speculation worker hung up mid-mission");
+        // The speculative plan crosses the bus before validation: publish
+        // it, take the copy the subscription delivers, and validate that.
+        let outcome: Result<(Trajectory, PlanStats), PlanError> = match answer.outcome {
+            Ok((trajectory, stats)) => {
+                let _ = self.speculation_pub.publish(SpeculationMsg(trajectory));
+                match self.speculation_sub.latest() {
+                    Some(sample) => Ok((sample.message.0, stats)),
+                    None => Err(PlanError::NoPathFound {
+                        samples_drawn: 0,
+                        volume_capped: false,
+                    }),
+                }
+            }
+            Err(e) => Err(e),
+        };
+        let (Some(map), Some(policy), Some(odom)) = (
+            self.latest_map.as_ref(),
+            self.latest_policy,
+            self.latest_odom,
+        ) else {
+            return 0.0;
+        };
+        let fresh_goal = cycle::local_goal(
+            env,
+            map,
+            odom.position,
+            self.planning_horizon,
+            self.margin * 0.9,
+        );
+        let mut verdict = cycle::validate_speculation(
+            &outcome,
+            &pending.snapshot,
+            pending.start,
+            pending.goal,
+            map,
+            fresh_goal,
+            odom.position,
+            self.margin * 0.6,
+            cycle::planning_check_step(&policy.knobs),
+        );
+        // The dynamic gate the direct driver applies too: a speculation
+        // crossing the predicted occupancy (or arriving on an in-danger
+        // decision) is discarded before any masking is credited. The
+        // per-mission hazard source is retargeted here (the join runs
+        // first in a decision); the planning spin's retarget with the
+        // same boxes is then a no-op diff.
+        let relevance =
+            cycle::predicted_relevance_range(odom.speed, self.dynamic_lookahead, self.margin);
+        self.hazards.retarget(predicted, odom.position, relevance);
+        if let SpeculationVerdict::Adopted(t) | SpeculationVerdict::Patched(t) = &verdict {
+            let in_danger = self.hazards.any_within(odom.position, self.margin);
+            if in_danger
+                || !self
+                    .hazards
+                    .path_clear(t.points().iter().map(|p| p.position))
+            {
+                self.predicted_invalidations += 1;
+                verdict = SpeculationVerdict::Discarded;
+            }
+        }
+        let masked = match &verdict {
+            SpeculationVerdict::Adopted(_) | SpeculationVerdict::Patched(_) => {
+                self.stats.hits += 1;
+                let masked = planning_latency.min(pending.window);
+                self.stats.masked_latency += masked;
+                masked
+            }
+            SpeculationVerdict::Discarded => 0.0,
+        };
+        self.speculative = Some(verdict);
+        masked
+    }
+
+    /// Launches a speculation for the next decision when a replan is
+    /// predictably due — the node mirror of the direct driver's
+    /// `speculate`, called by the coordinator after the epoch advance so
+    /// `start` is exactly the position the next planning spin will see.
+    #[allow(clippy::too_many_arguments)]
+    fn speculate(
+        &mut self,
+        worker: Option<&mut PlanAheadWorker>,
+        env: &Environment,
+        start: Vec3,
+        speed: f64,
+        commanded_velocity: f64,
+        window: f64,
+    ) {
+        let Some(worker) = worker else { return };
+        let (Some(map), Some(policy)) = (self.latest_map.as_ref(), self.latest_policy) else {
+            return;
+        };
+        let finished = self
+            .latest_status
+            .map(|s| s.finished)
+            .unwrap_or(self.active_trajectory.is_none());
+        let predicted_need = self.active_trajectory.is_none()
+            || finished
+            || self.decisions_since_plan + 1 >= self.replan_every;
+        if !predicted_need || self.collision.is_none() {
+            return;
+        }
+        let knobs = policy.knobs;
+        let goal = cycle::local_goal(env, map, start, self.planning_horizon, self.margin * 0.9);
+        let planner = cycle::planner_for(self.seed_base, self.decisions + 1, &knobs, self.margin);
+        let bounds = planning_bounds(start, goal, env.bounds());
+        // The shared re-anchor policy: this decision's boxes anchored at
+        // the post-epoch position the speculation starts from.
+        let hazards = cycle::speculation_hazards(
+            &self.hazards,
+            self.predicted_costmap,
+            start,
+            speed,
+            self.dynamic_lookahead,
+            self.margin,
+        );
+        let checker = self.collision.as_mut().expect("checked above");
+        checker.update_map(map.clone());
+        checker.set_check_step(cycle::planning_check_step(&knobs));
+        checker.prebuild_broad_phase();
+        let request = SpeculationRequest {
+            planner,
+            checker: checker.clone(),
+            hazards,
+            start,
+            goal,
+            bounds,
+            cruise: commanded_velocity.max(0.5),
+        };
+        if worker.requests.send(request).is_ok() {
+            self.stats.attempts += 1;
+            self.pending = Some(PendingNodeSpeculation {
+                snapshot: map.clone(),
+                start,
+                goal,
+                window,
+            });
         }
     }
 
@@ -484,18 +755,10 @@ impl PlanningNode {
     fn spin(&mut self, env: &Environment, commanded_velocity: f64, predicted: &[Aabb]) {
         self.decisions += 1;
         self.decisions_since_plan += 1;
-        if let Some(sample) = self.map_sub.latest() {
-            self.latest_map = Some(sample.message.0);
-        }
-        if let Some(sample) = self.policy_sub.latest() {
-            self.latest_policy = Some(sample.message.0);
-        }
-        if let Some(sample) = self.odom_sub.latest() {
-            self.latest_odom = Some(sample.message);
-        }
-        if let Some(sample) = self.status_sub.latest() {
-            self.latest_status = Some(sample.message);
-        }
+        // Take this decision's joined speculation verdict (if any) so a
+        // stale one can never leak into a later decision.
+        let speculative = self.speculative.take();
+        self.refresh_inputs();
         let (Some(map), Some(policy), Some(odom)) = (
             self.latest_map.as_ref(),
             self.latest_policy,
@@ -510,26 +773,26 @@ impl PlanningNode {
         let static_blockage = self.first_blockage_distance(odom.position);
         // A moving obstacle predicted to cross the remaining trajectory
         // forces the same replan/brake machinery as a mapped blockage
-        // (same policy as the direct driver's cycle).
-        // Conflicts beyond the reach of the prediction horizon are not
-        // actionable (the relevance rule shared with the direct driver).
+        // (same policy as the direct driver's cycle). Every predicted
+        // query below walks the per-mission hazard source, retargeted
+        // here from this decision's boxes (an incremental patch — a
+        // second retarget after the speculation join is a no-op diff);
+        // conflicts beyond the relevance range are not actionable.
         let relevance_range =
             cycle::predicted_relevance_range(odom.speed, self.dynamic_lookahead, self.margin);
+        self.hazards
+            .retarget(predicted, odom.position, relevance_range);
         let predicted_blockage = self.active_trajectory.as_ref().and_then(|trajectory| {
             let progress = self.latest_status.map(|s| s.progress_time).unwrap_or(0.0);
-            cycle::predicted_blockage_distance(
-                trajectory,
-                progress,
-                predicted,
-                self.margin * 0.6,
-                odom.position,
-                relevance_range,
-            )
+            let remaining = trajectory.remaining_from(progress);
+            self.hazards
+                .first_conflict(remaining.points().iter().map(|p| p.position))
+                .map(|p| p.distance(odom.position))
         });
         // A predicted box over the drone's own position forces an escape
         // replan and suppresses braking (the in-danger policy shared
         // with the direct driver).
-        let in_danger = cycle::in_predicted_danger(predicted, odom.position, self.margin);
+        let in_danger = self.hazards.any_within(odom.position, self.margin);
         if predicted_blockage.is_some() || in_danger {
             self.dynamic_replans += 1;
         }
@@ -557,17 +820,55 @@ impl PlanningNode {
         if !need_plan {
             return;
         }
+        // An adopted (or goal-drift-patched) speculation replaces the
+        // synchronous plan entirely — the same adopt policy as the direct
+        // driver's cycle. The verdict was already validated against the
+        // fresh export and the predicted occupancy at join time.
+        if let Some(SpeculationVerdict::Adopted(trajectory))
+        | Some(SpeculationVerdict::Patched(trajectory)) = speculative
+        {
+            self.active_trajectory = Some(trajectory.clone());
+            self.decisions_since_plan = 0;
+            let _ = self.trajectory_pub.publish(TrajectoryMsg(trajectory));
+            return;
+        }
         let knobs = policy.knobs;
         let local_goal = self.local_goal(env, map, odom.position);
         let bounds = planning_bounds(odom.position, local_goal, env.bounds());
         let planner = cycle::planner_for(self.seed_base, self.decisions, &knobs, self.margin);
-        let outcome = planner.plan(
-            map,
-            odom.position,
-            local_goal,
-            &bounds,
-            commanded_velocity.max(0.5),
-        );
+        let cruise = commanded_velocity.max(0.5);
+        // Plan-ahead (and the predicted costmap) keep one checker across
+        // the mission — patched from the export delta, snapshot-cloned
+        // into speculation requests — and the costmap composes it with
+        // the predicted boxes so the search routes around lanes in one
+        // shot. Without either feature the node plans exactly as before
+        // (a fresh checker per plan), keeping the default path untouched.
+        let outcome = if self.plan_ahead || self.predicted_costmap {
+            let check_step = cycle::planning_check_step(&knobs);
+            match self.collision.as_mut() {
+                Some(checker) => {
+                    checker.update_map(map.clone());
+                    checker.set_check_step(check_step);
+                }
+                None => {
+                    self.collision =
+                        Some(CollisionChecker::new(map.clone(), self.margin, check_step));
+                }
+            }
+            let one_shot = self.predicted_costmap && !self.hazards.is_empty() && !in_danger;
+            cycle::plan_through_hazards(
+                &planner,
+                self.collision.as_mut().expect("checker just initialised"),
+                &self.hazards,
+                one_shot,
+                odom.position,
+                local_goal,
+                &bounds,
+                cruise,
+            )
+        } else {
+            planner.plan(map, odom.position, local_goal, &bounds, cruise)
+        };
         // Tell perception whether the exported map swallowed our own
         // position, so it can fall back to the worst-case export precision.
         let start_blocked = matches!(outcome, Err(PlanError::StartBlocked));
@@ -598,13 +899,9 @@ impl PlanningNode {
             // direct driver's cycle).
             Ok((trajectory, _stats))
                 if in_danger
-                    || cycle::path_clear_of_predicted(
-                        trajectory.points().iter().map(|p| p.position),
-                        predicted,
-                        self.margin * 0.6,
-                        odom.position,
-                        relevance_range,
-                    ) =>
+                    || self
+                        .hazards
+                        .path_clear(trajectory.points().iter().map(|p| p.position)) =>
             {
                 self.active_trajectory = Some(trajectory.clone());
                 self.decisions_since_plan = 0;
@@ -767,8 +1064,32 @@ impl NodePipeline {
     }
 
     fn run_with(&self, env: &Environment, dynamics: Option<&DynamicWorld>) -> NodePipelineResult {
+        if !self.config.mission.plan_ahead {
+            return self.drive(env, dynamics, None);
+        }
+        // Same worker discipline as the direct runner: one scoped thread
+        // serves speculation requests for the mission's duration, and the
+        // run stays deterministic because each speculation is a pure
+        // function of its snapshot and the loop joins the answer before
+        // using it.
+        let (req_tx, req_rx) = mpsc::channel();
+        let (out_tx, out_rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            scope.spawn(move || cycle::speculation_worker(req_rx, out_tx));
+            let mut worker = PlanAheadWorker::new(req_tx, out_rx);
+            self.drive(env, dynamics, Some(&mut worker))
+        })
+    }
+
+    fn drive(
+        &self,
+        env: &Environment,
+        dynamics: Option<&DynamicWorld>,
+        mut worker: Option<&mut PlanAheadWorker>,
+    ) -> NodePipelineResult {
         let cfg = &self.config.mission;
         let live = dynamics.filter(|world| !world.is_static());
+        let mut pose_cache = dynamics.map(DynamicWorld::pose_cache).unwrap_or_default();
         let bus = MessageBus::new(self.config.comm);
         let governor = Governor::new(cfg.governor_config());
         let map_resolution = governor.config().ranges.precision_min;
@@ -815,7 +1136,7 @@ impl NodePipeline {
             let snapshot;
             let sense_field = match live {
                 Some(world) => {
-                    snapshot = world.snapshot_field(clock.now());
+                    snapshot = world.snapshot_field_cached(clock.now(), &mut pose_cache);
                     &snapshot
                 }
                 None => env.field(),
@@ -835,28 +1156,45 @@ impl NodePipeline {
                 knobs.planner_volume,
                 cfg.mode.is_aware(),
             );
+            let predicted = live.map_or_else(Vec::new, |world| {
+                world.predicted_boxes_cached(clock.now(), cfg.dynamic_lookahead, &mut pose_cache)
+            });
+            // Plan-ahead join: the planner node collects the worker's
+            // answer, ships it over the speculation topic and validates
+            // the received copy against the fresh export. An adopted
+            // speculation masks the planning stage up to the overlap
+            // window, exactly like the direct driver.
+            let masked = planning.join_speculation(
+                worker.as_deref_mut(),
+                env,
+                &predicted,
+                breakdown.planning,
+            );
             // Planning needs the commanded velocity; compute it from the
             // model-predicted compute cost plus the comm charged so far this
             // decision (the planning hop is added below and reflected in the
-            // recorded breakdown).
+            // recorded breakdown). Masked planning work never delayed the
+            // MAV's reaction, so it leaves the provisional latency too.
             let comm_so_far = bus.total_transport_latency() - comm_seen;
-            let provisional_latency = breakdown.compute_total() + comm_so_far;
+            let provisional_latency = if masked > 0.0 {
+                breakdown.compute_total() + comm_so_far - masked
+            } else {
+                breakdown.compute_total() + comm_so_far
+            };
             // Actors that can reach the visible margin within the
             // lookahead eat into the reaction budget (same rule as the
             // direct driver's cycle).
             let closing_speed = live.map_or(0.0, |world| {
-                world.max_closing_speed(
+                world.max_closing_speed_cached(
                     clock.now(),
                     drone.position,
                     runtime.latest_visibility() + world.max_actor_speed() * cfg.dynamic_lookahead,
+                    &mut pose_cache,
                 )
             });
             let commanded_velocity =
                 runtime.commanded_velocity(cfg.mode, provisional_latency, closing_speed);
 
-            let predicted = live.map_or_else(Vec::new, |world| {
-                world.predicted_boxes(clock.now(), cfg.dynamic_lookahead)
-            });
             planning.spin(env, commanded_velocity, &predicted);
             control.begin_epoch();
             if planning.emergency_stop_needed() {
@@ -870,7 +1208,14 @@ impl NodePipeline {
             comm_seen = comm_total;
             breakdown.communication = comm_this_decision;
             comm_per_decision.push(comm_this_decision);
-            let latency = breakdown.total();
+            // The governor's budget law and the epoch advance see the
+            // critical-path latency: planning work hidden behind the
+            // previous execution window never delayed the reaction.
+            let latency = if masked > 0.0 {
+                breakdown.critical_path(masked)
+            } else {
+                breakdown.total()
+            };
 
             let cpu_sample = cfg
                 .cpu
@@ -885,7 +1230,7 @@ impl NodePipeline {
                 breakdown,
                 cpu_utilization: cpu_sample.utilization,
                 zone: Some(zone_label(env.zone_at(drone.position))),
-                masked_latency: 0.0,
+                masked_latency: masked,
             });
 
             // Advance the physical world for the epoch; moving actors are
@@ -903,7 +1248,9 @@ impl NodePipeline {
                 commanded_velocity,
                 |position, dt| control.update(position, dt),
                 |position, time| {
-                    live.is_some_and(|world| world.actor_hit(position, time, body_margin))
+                    live.is_some_and(|world| {
+                        world.actor_hit_cached(position, time, body_margin, &mut pose_cache)
+                    })
                 },
             );
             control.end_epoch();
@@ -917,11 +1264,23 @@ impl NodePipeline {
                 reached_goal = true;
                 break;
             }
+            // Plan-ahead launch: speculate the next decision's plan while
+            // this epoch's trajectory "executes" — the drone position
+            // after the advance is exactly what the next planning spin
+            // will see on its odometry subscription.
+            if decisions < cfg.max_decisions && clock.now() < cfg.max_mission_time {
+                planning.speculate(
+                    worker.as_deref_mut(),
+                    env,
+                    drone.position,
+                    drone.speed(),
+                    commanded_velocity,
+                    epoch,
+                );
+            }
         }
 
         let mission_time = clock.now().max(1e-9);
-        // The node graph plans synchronously on the bus, so no latency is
-        // ever masked (and no speculation exists to invalidate).
         let metrics = cycle::finalize_metrics(
             cfg.mode,
             mission_time,
@@ -931,10 +1290,10 @@ impl NodePipeline {
             decisions,
             reached_goal,
             collided,
-            &PlanAheadStats::default(),
+            &planning.stats,
             &DynamicsStats {
                 dynamic_replans: planning.dynamic_replans,
-                predicted_invalidations: 0,
+                predicted_invalidations: planning.predicted_invalidations,
             },
         );
         let graph = GraphInfo::snapshot(&bus);

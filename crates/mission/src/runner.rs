@@ -85,6 +85,17 @@ pub struct MissionConfig {
     /// speculations. Only consulted when a mission runs against a
     /// [`roborun_dynamics::DynamicWorld`] with actors.
     pub dynamic_lookahead: f64,
+    /// Plan *through* the predicted moving-obstacle occupancy instead of
+    /// only vetoing finished plans against it: the planner (synchronous
+    /// and speculative) queries the composed
+    /// [`roborun_planning::HazardContext`] — static checker plus the
+    /// decision's predicted boxes as time-free soft obstacles — so plans
+    /// route around a crossing lane in one shot rather than converging
+    /// by repeated rejection. The posterior predicted-occupancy veto is
+    /// retained as the safety net (smoothing can still cut a corner).
+    /// Off by default: with it off (or in a static world) every mission
+    /// is bit-identical to the reject-loop behaviour.
+    pub predicted_costmap: bool,
     /// Stale-occupied decay window of the occupancy map, in decisions:
     /// with `Some(n)`, an occupied voxel older than `n` decisions yields
     /// to a contradicting free-space ray, so cells vacated by moving
@@ -124,6 +135,7 @@ impl MissionConfig {
             faults: FaultConfig::healthy(),
             plan_ahead: false,
             dynamic_lookahead: 4.0,
+            predicted_costmap: false,
             voxel_decay: None,
             seed: 1,
         }

@@ -147,21 +147,65 @@ impl DynamicScenario {
     /// Generates the scenario: the static environment plus its dynamic
     /// world, both derived deterministically from `seed`.
     pub fn world(self, seed: u64) -> (Environment, DynamicWorld) {
-        let env = EnvironmentGenerator::new(self.difficulty()).generate(seed);
+        self.world_with(seed, &DynamicDifficulty::default())
+    }
+
+    /// [`DynamicScenario::world`] scaled along the temporal-difficulty
+    /// axes (the Fig. 8 analogue for moving worlds): static obstacle
+    /// density, actor speed, and actor count (whole extra waves of the
+    /// family's pattern, each drawn from the continuation of the same
+    /// seed stream). With [`DynamicDifficulty::default`] the generated
+    /// world is **bit-identical** to [`DynamicScenario::world`] — the
+    /// base wave consumes the random stream exactly as before and every
+    /// scale factor is an exact multiply by one.
+    pub fn world_with(
+        self,
+        seed: u64,
+        difficulty: &DynamicDifficulty,
+    ) -> (Environment, DynamicWorld) {
+        let base = self.difficulty();
+        let env = EnvironmentGenerator::new(DifficultyConfig {
+            obstacle_density: base.obstacle_density * difficulty.density_scale,
+            ..base
+        })
+        .generate(seed);
         let mut rng = SplitMix64::new(seed ^ DYNAMIC_SEED_SALT);
         let cruise = env.start().z;
+        let mut actors = Vec::new();
+        for wave in 0..difficulty.actor_waves.max(1) {
+            self.push_actor_wave(
+                &mut rng,
+                cruise,
+                difficulty.speed_scale,
+                (wave * WAVE_ID_STRIDE) as u32,
+                &mut actors,
+            );
+        }
+        let world = DynamicWorld::new(env.field().clone(), actors);
+        (env, world)
+    }
+
+    /// Appends one wave of the family's actor pattern, with ids offset by
+    /// `id_base` and every drawn speed multiplied by `speed_scale`.
+    fn push_actor_wave(
+        self,
+        rng: &mut SplitMix64,
+        cruise: f64,
+        speed_scale: f64,
+        id_base: u32,
+        actors: &mut Vec<Actor>,
+    ) {
         // Actors are ground vehicles / carts modelled as pillars tall
         // enough to matter at cruise altitude.
         let pillar = |half_xy: f64| Vec3::new(half_xy, half_xy, cruise + 2.0);
         let spawn_z = cruise + 2.0; // pillar centre => box spans 0 .. 2z
-        let mut actors = Vec::new();
         match self {
             DynamicScenario::CrossingCorridor => {
                 // Four crossers shuttling across the corridor at stations
                 // along the mission axis, clear of start and goal.
                 for i in 0..4u32 {
                     let x = 22.0 + i as f64 * 22.0 + rng.uniform(-4.0, 4.0);
-                    let speed = rng.uniform(0.8, 1.6);
+                    let speed = rng.uniform(0.8, 1.6) * speed_scale;
                     let dir = if rng.uniform(0.0, 1.0) < 0.5 {
                         1.0
                     } else {
@@ -169,7 +213,7 @@ impl DynamicScenario {
                     };
                     let y0 = rng.uniform(-14.0, 14.0);
                     actors.push(Actor::new(
-                        i,
+                        id_base + i,
                         Vec3::new(x, y0, spawn_z),
                         pillar(1.1),
                         MotionModel::Crosser {
@@ -190,7 +234,7 @@ impl DynamicScenario {
                     let x0 = 18.0 + rng.uniform(0.0, 10.0);
                     let x1 = 95.0 + rng.uniform(0.0, 8.0);
                     actors.push(Actor::new(
-                        i,
+                        id_base + i,
                         Vec3::new(x0, lane_y, spawn_z),
                         pillar(1.0),
                         MotionModel::WaypointPatrol {
@@ -198,18 +242,18 @@ impl DynamicScenario {
                                 Vec3::new(x0, lane_y, spawn_z),
                                 Vec3::new(x1, lane_y, spawn_z),
                             ],
-                            speed: rng.uniform(0.7, 1.2),
+                            speed: rng.uniform(0.7, 1.2) * speed_scale,
                         },
                     ));
                 }
                 let x = 60.0 + rng.uniform(-6.0, 6.0);
                 actors.push(Actor::new(
-                    3,
+                    id_base + 3,
                     Vec3::new(x, 0.0, spawn_z),
                     pillar(1.0),
                     MotionModel::WaypointPatrol {
                         waypoints: vec![Vec3::new(x, -12.0, spawn_z), Vec3::new(x, 12.0, spawn_z)],
-                        speed: rng.uniform(0.6, 1.0),
+                        speed: rng.uniform(0.6, 1.0) * speed_scale,
                     },
                 ));
             }
@@ -218,11 +262,11 @@ impl DynamicScenario {
                 for i in 0..2u32 {
                     let x = 45.0 + i as f64 * 24.0 + rng.uniform(-4.0, 4.0);
                     actors.push(Actor::new(
-                        i,
+                        id_base + i,
                         Vec3::new(x, rng.uniform(-10.0, 10.0), spawn_z),
                         pillar(1.1),
                         MotionModel::Crosser {
-                            velocity: Vec3::new(0.0, rng.uniform(0.9, 1.5), 0.0),
+                            velocity: Vec3::new(0.0, rng.uniform(0.9, 1.5) * speed_scale, 0.0),
                             bounds: Aabb::new(
                                 Vec3::new(x, -16.0, spawn_z),
                                 Vec3::new(x, 16.0, spawn_z),
@@ -234,7 +278,7 @@ impl DynamicScenario {
                 for i in 2..4u32 {
                     let walk_seed = rng.next_u64();
                     actors.push(Actor::new(
-                        i,
+                        id_base + i,
                         Vec3::new(
                             55.0 + rng.uniform(-8.0, 8.0),
                             rng.uniform(-8.0, 8.0),
@@ -243,7 +287,7 @@ impl DynamicScenario {
                         pillar(0.9),
                         MotionModel::RandomWalk {
                             seed: walk_seed,
-                            speed: rng.uniform(0.5, 0.9),
+                            speed: rng.uniform(0.5, 0.9) * speed_scale,
                             dwell: 2.5,
                             bounds: Aabb::new(
                                 Vec3::new(35.0, -14.0, spawn_z),
@@ -254,10 +298,39 @@ impl DynamicScenario {
                 }
             }
         }
-        let world = DynamicWorld::new(env.field().clone(), actors);
-        (env, world)
     }
 }
+
+/// Temporal-difficulty scaling of a [`DynamicScenario`]: the three axes
+/// of the moving-obstacle difficulty matrix (static density × actor
+/// speed × actor count). [`DynamicDifficulty::default`] is the identity
+/// — [`DynamicScenario::world_with`] then generates bit-identically to
+/// [`DynamicScenario::world`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicDifficulty {
+    /// Multiplier on the family's static obstacle density.
+    pub density_scale: f64,
+    /// Multiplier on every drawn actor speed.
+    pub speed_scale: f64,
+    /// Number of actor waves: each wave re-draws the family's whole
+    /// pattern from the continuation of the same seed stream (ids offset
+    /// per wave), so `2` doubles the actor count with fresh stations.
+    pub actor_waves: usize,
+}
+
+impl Default for DynamicDifficulty {
+    fn default() -> Self {
+        DynamicDifficulty {
+            density_scale: 1.0,
+            speed_scale: 1.0,
+            actor_waves: 1,
+        }
+    }
+}
+
+/// Actor-id stride between waves of [`DynamicScenario::world_with`] (far
+/// larger than any family's per-wave actor count).
+const WAVE_ID_STRIDE: usize = 16;
 
 /// Constant mixed into dynamic-scenario seeds so actor streams never
 /// collide with the environment generator's use of the same seed.
@@ -322,6 +395,65 @@ mod tests {
             assert!(full.mission_length() > short.mission_length());
             assert!((short.mission_length() - 150.0).abs() < 1e-9);
             assert!(!short.field().is_empty());
+        }
+    }
+
+    #[test]
+    fn default_difficulty_reproduces_world_bit_for_bit() {
+        for scenario in DynamicScenario::ALL {
+            let (env_a, world_a) = scenario.world(41);
+            let (env_b, world_b) = scenario.world_with(41, &DynamicDifficulty::default());
+            assert_eq!(env_a.field().len(), env_b.field().len());
+            assert_eq!(world_a.actors().len(), world_b.actors().len());
+            for (a, b) in world_a.actors().iter().zip(world_b.actors()) {
+                assert_eq!(a, b, "{} actor diverged", scenario.name());
+            }
+            // Poses too, out to a late instant.
+            for (a, b) in world_a.actors().iter().zip(world_b.actors()) {
+                let pa = a.pose_at(137.5);
+                let pb = b.pose_at(137.5);
+                assert_eq!(pa.x.to_bits(), pb.x.to_bits());
+                assert_eq!(pa.y.to_bits(), pb.y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn difficulty_scales_speed_count_and_density() {
+        for scenario in DynamicScenario::ALL {
+            let (base_env, base) = scenario.world(7);
+            let (hard_env, hard) = scenario.world_with(
+                7,
+                &DynamicDifficulty {
+                    density_scale: 1.5,
+                    speed_scale: 2.0,
+                    actor_waves: 2,
+                },
+            );
+            assert_eq!(
+                hard.actors().len(),
+                2 * base.actors().len(),
+                "{}",
+                scenario.name()
+            );
+            // The base wave is the base pattern with doubled speeds.
+            for (a, b) in base.actors().iter().zip(hard.actors()) {
+                assert_eq!(a.id, b.id);
+                assert!(
+                    (b.max_speed() - 2.0 * a.max_speed()).abs() < 1e-12,
+                    "{}: speed {} vs base {}",
+                    scenario.name(),
+                    b.max_speed(),
+                    a.max_speed()
+                );
+            }
+            // Wave ids never collide.
+            let mut ids: Vec<u32> = hard.actors().iter().map(|a| a.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), hard.actors().len());
+            // Density scaling produced a denser static field.
+            assert!(hard_env.field().len() >= base_env.field().len());
         }
     }
 

@@ -1,0 +1,105 @@
+//! Plan-ahead on the node pipeline (the measured-comm driver): off-runs
+//! report nothing and stay bit-identical to the pre-port behaviour,
+//! on-runs speculate over the bus (real bytes on the speculation topic),
+//! mask latency, and stay deterministic — including against a dynamic
+//! world, where the masked-latency accounting and the predicted gate
+//! must both hold.
+
+use roborun_core::RuntimeMode;
+use roborun_mission::{DynamicScenario, NodePipeline, NodePipelineConfig};
+
+fn quick_config(plan_ahead: bool) -> NodePipelineConfig {
+    let mut config = NodePipelineConfig::new(RuntimeMode::SpatialAware);
+    config.mission.max_decisions = 800;
+    config.mission.max_mission_time = 2_500.0;
+    config.mission.plan_ahead = plan_ahead;
+    config
+}
+
+#[test]
+fn disabled_plan_ahead_reports_nothing_on_the_bus_driver() {
+    let env = DynamicScenario::CrossingCorridor.world(21).0;
+    let result = NodePipeline::new(quick_config(false)).run(&env);
+    assert!(result.mission.metrics.reached_goal);
+    assert_eq!(result.mission.metrics.plan_ahead_attempts, 0);
+    assert_eq!(result.mission.metrics.plan_ahead_hits, 0);
+    assert_eq!(result.mission.metrics.masked_planning_latency, 0.0);
+    for r in result.mission.telemetry.records() {
+        assert_eq!(r.masked_latency, 0.0);
+    }
+    // The speculation topic exists in the graph but carried nothing.
+    if let Some(info) = result.graph.topic("/planning/speculation") {
+        assert_eq!(info.stats.messages_published, 0);
+    }
+}
+
+#[test]
+fn node_plan_ahead_masks_latency_and_ships_speculations_over_the_bus() {
+    let env = DynamicScenario::CrossingCorridor.world(21).0;
+    let result = NodePipeline::new(quick_config(true)).run(&env);
+    let m = &result.mission.metrics;
+    assert!(m.reached_goal && !m.collided, "mission failed: {m:?}");
+    assert!(m.plan_ahead_attempts > 0, "never speculated");
+    assert!(m.plan_ahead_hits > 0, "no speculation survived validation");
+    assert!(m.plan_ahead_hits <= m.plan_ahead_attempts);
+    assert!(
+        m.masked_planning_latency > 0.0,
+        "no planning latency was masked"
+    );
+    // Speculative trajectories really crossed the bus.
+    let spec = result
+        .graph
+        .topic("/planning/speculation")
+        .expect("speculation topic in graph");
+    assert!(spec.stats.messages_published as usize >= m.plan_ahead_hits);
+    assert!(spec.stats.bytes_published > 0);
+    // Per-decision accounting: masked never exceeds the planning stage,
+    // and the critical path is shorter exactly where something masked.
+    let mut masked_decisions = 0usize;
+    for r in result.mission.telemetry.records() {
+        assert!(r.masked_latency >= 0.0);
+        assert!(r.masked_latency <= r.breakdown.planning + 1e-12);
+        if r.masked_latency > 0.0 {
+            masked_decisions += 1;
+            assert!(r.critical_path_latency() < r.latency());
+        }
+    }
+    assert_eq!(masked_decisions, m.plan_ahead_hits);
+}
+
+#[test]
+fn node_plan_ahead_runs_are_deterministic() {
+    let env = DynamicScenario::PatrolledWarehouse.world(5).0;
+    let pipeline = NodePipeline::new(quick_config(true));
+    let a = pipeline.run(&env);
+    let b = pipeline.run(&env);
+    assert_eq!(a.mission.telemetry.records(), b.mission.telemetry.records());
+    assert_eq!(a.mission.flown_path, b.mission.flown_path);
+    assert_eq!(a.comm_per_decision, b.comm_per_decision);
+    assert_eq!(
+        a.mission.metrics.plan_ahead_attempts,
+        b.mission.metrics.plan_ahead_attempts
+    );
+}
+
+#[test]
+fn dynamic_node_runs_report_nonzero_overlap() {
+    // The acceptance direction: the measured-comm driver masks latency
+    // on dynamic missions too.
+    let (env, world) = DynamicScenario::CrossingCorridor.world(41);
+    let mut config = quick_config(true);
+    config.mission.max_decisions = 600;
+    config.mission.max_mission_time = 1_500.0;
+    config.mission.voxel_decay = Some(2);
+    let result = NodePipeline::new(config).run_dynamic(&env, &world);
+    let m = &result.mission.metrics;
+    assert!(
+        m.reached_goal && !m.collided,
+        "dynamic mission failed: {m:?}"
+    );
+    assert!(m.plan_ahead_attempts > 0, "dynamic run never speculated");
+    assert!(
+        m.masked_planning_latency > 0.0,
+        "dynamic run masked no planning latency"
+    );
+}

@@ -1,0 +1,134 @@
+//! Planner-level predicted costmap conformance.
+//!
+//! Two directions are locked:
+//!
+//! * **Degeneration** — with the costmap off, or in a static world, a
+//!   mission is bit-identical to the reject-loop behaviour (the off ≡
+//!   seed direction is additionally locked by all three golden
+//!   fixtures regenerating byte-identically).
+//! * **One-shot routing** — on a temporally hard dynamic world (the
+//!   difficulty matrix's fast/dense cell, where the reject-loop
+//!   measurably discards speculations and replans against predicted
+//!   conflicts), planning through the composed hazard context completes
+//!   the same scenarios collision-free with *fewer* predicted
+//!   invalidations and no more dynamic replans.
+
+use roborun_core::RuntimeMode;
+use roborun_mission::{
+    DynamicDifficulty, DynamicScenario, MissionConfig, MissionMetrics, MissionRunner,
+};
+
+fn dynamic_config(costmap: bool) -> MissionConfig {
+    let mut cfg = MissionConfig::new(RuntimeMode::SpatialAware);
+    cfg.max_decisions = 600;
+    cfg.max_mission_time = 1_500.0;
+    cfg.voxel_decay = Some(2);
+    cfg.plan_ahead = true;
+    cfg.predicted_costmap = costmap;
+    cfg.seed = 41;
+    cfg
+}
+
+/// The matrix cell the comparison runs at: fast actors, two waves — the
+/// regime where predicted conflicts actually cross the aware runtime's
+/// corridor (at base difficulty the governor's closing-speed throttle
+/// keeps the MAV clear and both paths are conflict-free).
+fn hard_cell() -> DynamicDifficulty {
+    DynamicDifficulty {
+        density_scale: 1.0,
+        speed_scale: 2.5,
+        actor_waves: 2,
+    }
+}
+
+fn run(scenario: DynamicScenario, costmap: bool) -> MissionMetrics {
+    let (env, world) = scenario.world_with(41, &hard_cell());
+    MissionRunner::new(dynamic_config(costmap))
+        .run_dynamic(&env, &world)
+        .metrics
+}
+
+#[test]
+fn static_missions_are_bit_identical_with_the_costmap_on() {
+    // No dynamics: the predicted set is empty every decision, so the
+    // composed context must never change a single bit.
+    let env = DynamicScenario::CrossingCorridor.world(21).0;
+    let mut on_cfg = MissionConfig::new(RuntimeMode::SpatialAware);
+    on_cfg.max_decisions = 600;
+    on_cfg.max_mission_time = 1_500.0;
+    on_cfg.predicted_costmap = true;
+    let mut off_cfg = on_cfg.clone();
+    off_cfg.predicted_costmap = false;
+    let on = MissionRunner::new(on_cfg).run(&env);
+    let off = MissionRunner::new(off_cfg).run(&env);
+    assert_eq!(on.telemetry.records(), off.telemetry.records());
+    assert_eq!(on.flown_path, off.flown_path);
+    assert_eq!(
+        on.metrics.mission_time.to_bits(),
+        off.metrics.mission_time.to_bits()
+    );
+}
+
+#[test]
+fn one_shot_routing_beats_the_reject_loop_on_the_golden_scenarios() {
+    let mut baseline_invalidations = 0usize;
+    let mut one_shot_invalidations = 0usize;
+    let mut baseline_fired = 0usize;
+    for scenario in DynamicScenario::ALL {
+        let reject_loop = run(scenario, false);
+        let one_shot = run(scenario, true);
+        // Both paths must complete the hard cell collision-free.
+        for (label, m) in [("reject-loop", &reject_loop), ("one-shot", &one_shot)] {
+            assert!(
+                m.reached_goal && !m.collided,
+                "{scenario:?} {label}: reached={} collided={}",
+                m.reached_goal,
+                m.collided
+            );
+        }
+        // One-shot planning never discards more speculations, nor forces
+        // more predicted replans, than converging by rejection.
+        assert!(
+            one_shot.predicted_invalidations <= reject_loop.predicted_invalidations,
+            "{scenario:?}: one-shot invalidations {} vs reject-loop {}",
+            one_shot.predicted_invalidations,
+            reject_loop.predicted_invalidations
+        );
+        assert!(
+            one_shot.dynamic_replans <= reject_loop.dynamic_replans,
+            "{scenario:?}: one-shot dynamic replans {} vs reject-loop {}",
+            one_shot.dynamic_replans,
+            reject_loop.dynamic_replans
+        );
+        baseline_invalidations += reject_loop.predicted_invalidations;
+        one_shot_invalidations += one_shot.predicted_invalidations;
+        if reject_loop.predicted_invalidations > 0 {
+            baseline_fired += 1;
+        }
+    }
+    // The comparison must not be vacuous: the reject-loop really
+    // discarded speculations on this cell, and one-shot routing cut the
+    // total strictly.
+    assert!(
+        baseline_fired > 0,
+        "the reject-loop never invalidated a speculation — raise the cell difficulty"
+    );
+    assert!(
+        one_shot_invalidations < baseline_invalidations,
+        "one-shot total {one_shot_invalidations} vs reject-loop {baseline_invalidations}"
+    );
+}
+
+#[test]
+fn costmap_runs_are_deterministic() {
+    let (env, world) = DynamicScenario::CrossingCorridor.world_with(41, &hard_cell());
+    let runner = MissionRunner::new(dynamic_config(true));
+    let a = runner.run_dynamic(&env, &world);
+    let b = runner.run_dynamic(&env, &world);
+    assert_eq!(a.telemetry.records(), b.telemetry.records());
+    assert_eq!(a.flown_path, b.flown_path);
+    assert_eq!(
+        a.metrics.predicted_invalidations,
+        b.metrics.predicted_invalidations
+    );
+}

@@ -224,7 +224,7 @@ impl OccupancyMap {
 
     /// Reference implementation of [`OccupancyMap::integrate_cloud`]: every
     /// ray sample is keyed and hashed independently
-    /// ([`OccupancyMap::carve_free_per_sample`], unconditionally). Retained
+    /// (`OccupancyMap::carve_free_per_sample`, unconditionally). Retained
     /// for the exact-equivalence proptests and the kernel-scaling benches;
     /// the production path batches samples per traversed voxel when the
     /// step is finer than a voxel.

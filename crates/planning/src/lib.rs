@@ -14,6 +14,11 @@
 //! * [`CollisionChecker`] — segment collision checks against the exported
 //!   [`roborun_perception::PlannerMap`], with the ray-march step acting as
 //!   the *planning precision* operator.
+//! * [`hazard`] — the hazard-source abstraction: the [`HazardContext`]
+//!   composes the static checker with [`PredictedHazards`] (time-free
+//!   soft boxes from moving-obstacle prediction), so the planner routes
+//!   around predicted lanes in one shot; every search and validator is
+//!   generic over [`HazardSource`].
 //! * [`RrtStar`] — a sampling-based planner with rewiring whose explored
 //!   volume is monitored and capped (the *planning volume* operator: "our
 //!   volume monitor stops the search upon exceeding the threshold").
@@ -24,12 +29,16 @@
 #![warn(missing_docs)]
 
 pub mod collision;
+pub mod hazard;
 pub mod planner;
 pub mod rrtstar;
 pub mod smoothing;
 pub mod trajectory;
 
 pub use collision::CollisionChecker;
+pub use hazard::{
+    first_polyline_conflict, polyline_clear_of_boxes, HazardContext, HazardSource, PredictedHazards,
+};
 pub use planner::{PlanError, PlanStats, Planner, PlannerConfig};
 pub use rrtstar::{RrtConfig, RrtResult, RrtStar};
 pub use smoothing::{smooth_path, SmoothingConfig};

@@ -1,6 +1,8 @@
 //! High-level planner: piece-wise planning + smoothing behind one call.
 
-use crate::{smooth_path, CollisionChecker, RrtConfig, RrtStar, SmoothingConfig, Trajectory};
+use crate::{
+    smooth_path, CollisionChecker, HazardSource, RrtConfig, RrtStar, SmoothingConfig, Trajectory,
+};
 use roborun_geom::{Aabb, Vec3};
 use roborun_perception::PlannerMap;
 use serde::{Deserialize, Serialize};
@@ -150,18 +152,25 @@ impl Planner {
         self.plan_with_checker(&mut checker, start, goal, bounds, cruise_speed)
     }
 
-    /// [`Planner::plan`] against a caller-owned collision checker.
+    /// [`Planner::plan`] against a caller-owned hazard source.
     ///
     /// Long-lived callers (the mission runner plans every few decisions
-    /// against a lightly changed export) keep one checker alive, refresh it
-    /// with [`CollisionChecker::update_map`] — which patches the built
-    /// broad-phase from the export delta instead of rebuilding it — and
-    /// retune the sample spacing with [`CollisionChecker::set_check_step`].
-    /// The checker's own margin and step are used; the planner config's
-    /// copies apply only to the one-shot [`Planner::plan`] path.
-    pub fn plan_with_checker(
+    /// against a lightly changed export) keep one [`CollisionChecker`]
+    /// alive, refresh it with [`CollisionChecker::update_map`] — which
+    /// patches the built broad-phase from the export delta instead of
+    /// rebuilding it — and retune the sample spacing with
+    /// [`CollisionChecker::set_check_step`]. The checker's own margin and
+    /// step are used; the planner config's copies apply only to the
+    /// one-shot [`Planner::plan`] path.
+    ///
+    /// Callers in a world with moving obstacles hand in the composed
+    /// [`crate::HazardContext`] instead, so the search itself routes
+    /// around predicted occupancy (see the [`crate::hazard`] module docs);
+    /// with an empty predicted set the composed context is bit-identical
+    /// to the bare checker.
+    pub fn plan_with_checker<H: HazardSource>(
         &self,
-        checker: &mut CollisionChecker,
+        checker: &mut H,
         start: Vec3,
         goal: Vec3,
         bounds: &Aabb,

@@ -17,7 +17,7 @@
 //! and are specified to return bit-identical results (enforced by the
 //! equivalence proptests in `tests/proptests.rs`).
 
-use crate::CollisionChecker;
+use crate::hazard::HazardSource;
 use roborun_geom::{Aabb, PointGridIndex, SplitMix64, Vec3};
 use serde::{Deserialize, Serialize};
 
@@ -174,13 +174,16 @@ impl RrtStar {
     }
 
     /// Searches for a collision-free path from `start` to `goal` inside
-    /// `sampling_bounds`, checking edges against `checker`.
+    /// `sampling_bounds`, checking edges against `checker` — any
+    /// [`HazardSource`], so the search sees predicted soft obstacles when
+    /// handed the composed [`crate::HazardContext`] and only the static
+    /// map when handed a bare [`crate::CollisionChecker`].
     ///
     /// Neighbor queries run against an incrementally grown grid index;
     /// the result is identical to [`RrtStar::plan_linear_reference`].
-    pub fn plan(
+    pub fn plan<H: HazardSource>(
         &self,
-        checker: &mut CollisionChecker,
+        checker: &mut H,
         start: Vec3,
         goal: Vec3,
         sampling_bounds: &Aabb,
@@ -197,9 +200,9 @@ impl RrtStar {
     /// The retained linear-scan reference: the same search with O(n)
     /// nearest/near scans per sample. Kept for the equivalence proptests
     /// and the kernel-scaling benches; prefer [`RrtStar::plan`].
-    pub fn plan_linear_reference(
+    pub fn plan_linear_reference<H: HazardSource>(
         &self,
-        checker: &mut CollisionChecker,
+        checker: &mut H,
         start: Vec3,
         goal: Vec3,
         sampling_bounds: &Aabb,
@@ -208,9 +211,9 @@ impl RrtStar {
         self.plan_with(checker, start, goal, sampling_bounds, &mut neighbors)
     }
 
-    fn plan_with<N: NeighborSearch>(
+    fn plan_with<N: NeighborSearch, H: HazardSource>(
         &self,
-        checker: &mut CollisionChecker,
+        checker: &mut H,
         start: Vec3,
         goal: Vec3,
         sampling_bounds: &Aabb,
@@ -427,6 +430,7 @@ fn steer(from: Vec3, towards: Vec3, max_len: f64) -> Vec3 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CollisionChecker;
     use roborun_geom::Vec3;
     use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
 

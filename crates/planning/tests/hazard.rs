@@ -1,0 +1,199 @@
+//! Hazard-context conformance: the composed context must degenerate
+//! bit-identically to the bare static checker when the predicted set is
+//! empty, and must route around predicted lanes in one shot where the
+//! reject-loop would have vetoed the static-only plan.
+
+use roborun_conformance::predicted_lane_scenarios;
+use roborun_geom::{SplitMix64, Vec3};
+use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
+use roborun_planning::{
+    polyline_clear_of_boxes, CollisionChecker, HazardContext, Planner, PlannerConfig,
+    PredictedHazards, RrtConfig,
+};
+
+const CLEARANCE: f64 = 0.45 * 0.6;
+
+/// A static map with a small blob off the corridor axis, so static and
+/// predicted hazards both participate in the searches.
+fn static_map() -> PlannerMap {
+    let mut map = OccupancyMap::new(0.5);
+    let origin = Vec3::new(0.0, 0.0, 5.0);
+    let points: Vec<Vec3> = (-4..=4)
+        .flat_map(|y| (0..12).map(move |z| Vec3::new(8.0, 6.0 + y as f64 * 0.5, z as f64 * 0.5)))
+        .collect();
+    map.integrate_cloud(&PointCloud::new(origin, points), 1.0);
+    PlannerMap::export(&map, &ExportConfig::new(0.5, 1e9, origin))
+}
+
+fn planner(seed: u64) -> Planner {
+    Planner::new(PlannerConfig {
+        rrt: RrtConfig {
+            seed,
+            ..RrtConfig::default()
+        },
+        ..PlannerConfig::default()
+    })
+}
+
+#[test]
+fn empty_predicted_set_is_bit_identical_to_the_bare_checker() {
+    let map = static_map();
+    for seed in 0..4 {
+        for scenario in predicted_lane_scenarios(seed) {
+            let empty = PredictedHazards::empty();
+            let mut bare = CollisionChecker::new(map.clone(), 0.45, 0.3);
+            let mut inner = CollisionChecker::new(map.clone(), 0.45, 0.3);
+            let mut composed = HazardContext::new(&mut inner, &empty);
+            let p = planner(seed);
+            let direct = p.plan_with_checker(
+                &mut bare,
+                scenario.start,
+                scenario.goal,
+                &scenario.bounds,
+                3.0,
+            );
+            let through_context = p.plan_with_checker(
+                &mut composed,
+                scenario.start,
+                scenario.goal,
+                &scenario.bounds,
+                3.0,
+            );
+            match (&direct, &through_context) {
+                (Ok((a, sa)), Ok((b, sb))) => {
+                    assert_eq!(a.points(), b.points(), "{} seed {seed}", scenario.name);
+                    assert_eq!(sa, sb, "{} seed {seed}", scenario.name);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                _ => panic!("{} seed {seed}: outcomes diverged", scenario.name),
+            }
+            assert_eq!(
+                bare.queries(),
+                inner.queries(),
+                "{} seed {seed}: query counts diverged",
+                scenario.name
+            );
+        }
+    }
+}
+
+#[test]
+fn composed_context_routes_around_lanes_in_one_shot() {
+    let map = static_map();
+    let mut reject_loop_would_fire = 0usize;
+    for seed in 0..4 {
+        for scenario in predicted_lane_scenarios(seed) {
+            if scenario.lanes.is_empty() {
+                continue;
+            }
+            let hazards =
+                PredictedHazards::new(scenario.lanes.clone(), CLEARANCE, scenario.start, 1e9);
+            let mut inner = CollisionChecker::new(map.clone(), 0.45, 0.3);
+            let mut composed = HazardContext::new(&mut inner, &hazards);
+            let (trajectory, _stats) = planner(seed)
+                .plan_with_checker(
+                    &mut composed,
+                    scenario.start,
+                    scenario.goal,
+                    &scenario.bounds,
+                    3.0,
+                )
+                .unwrap_or_else(|e| {
+                    panic!("{} seed {seed}: one-shot plan failed: {e}", scenario.name)
+                });
+            // The one-shot plan's waypoints clear every lane — the
+            // posterior veto (what the reject-loop converges by) passes
+            // immediately. The smoothed trajectory is allowed to graze
+            // (that is exactly why the posterior check is retained in
+            // the mission cycle), but its *waypoint* polyline may not
+            // cross a lane interior.
+            assert!(
+                polyline_clear_of_boxes(
+                    trajectory.points().iter().map(|p| p.position),
+                    &scenario.lanes,
+                    0.0,
+                    scenario.start,
+                    1e9,
+                ),
+                "{} seed {seed}: one-shot trajectory crosses a lane",
+                scenario.name
+            );
+
+            // The static-only plan of the same decision: where it crosses
+            // a lane, the reject-loop would have vetoed it and retried —
+            // the work the composed context saves.
+            let mut bare = CollisionChecker::new(map.clone(), 0.45, 0.3);
+            if let Ok((static_traj, _)) = planner(seed).plan_with_checker(
+                &mut bare,
+                scenario.start,
+                scenario.goal,
+                &scenario.bounds,
+                3.0,
+            ) {
+                if !polyline_clear_of_boxes(
+                    static_traj.points().iter().map(|p| p.position),
+                    &scenario.lanes,
+                    CLEARANCE,
+                    scenario.start,
+                    1e9,
+                ) {
+                    reject_loop_would_fire += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        reject_loop_would_fire > 0,
+        "no scenario ever made the reject-loop fire — the comparison is vacuous"
+    );
+}
+
+#[test]
+fn retargeted_hazards_answer_like_fresh_ones_under_load() {
+    // Mission-shaped churn: boxes drift a little every "decision", the
+    // origin advances, and the grid-backed source must keep answering
+    // exactly like a from-scratch build (the incremental-patch mirror of
+    // the collision checker's delta conformance test).
+    let mut rng = SplitMix64::new(0xCAFE);
+    let mut boxes: Vec<roborun_geom::Aabb> = (0..24)
+        .map(|_| {
+            roborun_geom::Aabb::from_center_half_extents(
+                Vec3::new(
+                    rng.uniform(0.0, 40.0),
+                    rng.uniform(-20.0, 20.0),
+                    rng.uniform(2.0, 8.0),
+                ),
+                Vec3::splat(rng.uniform(0.5, 2.0)),
+            )
+        })
+        .collect();
+    let mut patched = PredictedHazards::new(boxes.clone(), CLEARANCE, Vec3::ZERO, 50.0);
+    for decision in 0..20 {
+        for b in boxes.iter_mut() {
+            if rng.uniform(0.0, 1.0) < 0.4 {
+                let shift = Vec3::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), 0.0);
+                *b = roborun_geom::Aabb::new(b.min + shift, b.max + shift);
+            }
+        }
+        let origin = Vec3::new(decision as f64 * 2.0, 0.0, 5.0);
+        patched.retarget(&boxes, origin, 50.0);
+        let fresh = PredictedHazards::new(boxes.clone(), CLEARANCE, origin, 50.0);
+        assert_eq!(
+            patched.grid_cells(),
+            fresh.grid_cells(),
+            "decision {decision}"
+        );
+        for _ in 0..200 {
+            let p = Vec3::new(
+                rng.uniform(-5.0, 45.0),
+                rng.uniform(-25.0, 25.0),
+                rng.uniform(0.0, 10.0),
+            );
+            assert_eq!(
+                patched.point_blocked(p),
+                fresh.point_blocked(p),
+                "decision {decision} probe {p}"
+            );
+        }
+    }
+}

@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use std::ops::Range;
 
 /// Strategy producing `Vec`s of values from an element strategy; see
-/// [`vec`].
+/// [`fn@vec`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -8,7 +8,7 @@
 //! | module | crate | contents |
 //! |--------|-------|----------|
 //! | [`geom`] | `roborun-geom` | vectors, AABBs, rays, grids, voxel lattice, statistics |
-//! | [`env`] | `roborun-env` | procedural mission environments, zones, visibility, gaps |
+//! | [`mod@env`] | `roborun-env` | procedural mission environments, zones, visibility, gaps |
 //! | [`sim`] | `roborun-sim` | drone kinematics, sensors, energy/CPU/latency models |
 //! | [`perception`] | `roborun-perception` | point clouds, occupancy map, export operators |
 //! | [`planning`] | `roborun-planning` | RRT*, collision checking, path smoothing |
