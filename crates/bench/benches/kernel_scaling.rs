@@ -716,6 +716,69 @@ fn bench_walk_pose_anchor(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fault-layer overhead on the healthy path. Two scales:
+///
+/// * `fault_frame_eval` — the per-decision cost of the fault layer
+///   itself: evaluating an armed [`FaultPlan`]'s frame versus the
+///   disarmed gate (an `Option::None` check) every healthy decision
+///   pays. The disarmed gate must be sub-nanosecond noise.
+/// * `degradation_healthy_mission` — a short fault-free mission with the
+///   degradation runtime disarmed versus armed. With no faults injected
+///   the watchdog never trips and the derating term stays exactly zero,
+///   so the armed run must be indistinguishable from the baseline
+///   (and is bit-identical in outcome — see
+///   `mission/tests/fault_determinism.rs`).
+fn bench_fault_plan_overhead(c: &mut Criterion) {
+    use roborun_faults::{FaultPlan, FaultPlanConfig};
+    use roborun_mission::FaultScenario;
+
+    let mut group = c.benchmark_group("fault_frame_eval");
+    let armed = FaultPlan::new(FaultScenario::PlannerBrownout.fault_plan(41));
+    group.bench_function("armed", |b| {
+        let mut decision = 0u64;
+        b.iter(|| {
+            decision += 1;
+            std::hint::black_box(armed.frame(decision)).is_healthy()
+        })
+    });
+    group.bench_function("disarmed_gate", |b| {
+        // The exact expression both drivers evaluate when no plan is
+        // armed: an Option map over the healthy-gated plan.
+        let plan: Option<FaultPlan> = (!FaultPlanConfig::healthy().is_healthy())
+            .then(|| FaultPlan::new(FaultPlanConfig::healthy()));
+        let mut decision = 0u64;
+        b.iter(|| {
+            decision += 1;
+            std::hint::black_box(plan.as_ref().map(|p| p.frame(decision)).unwrap_or_default())
+                .is_healthy()
+        })
+    });
+    group.finish();
+
+    let env = EnvironmentGenerator::new(DifficultyConfig {
+        obstacle_density: 0.4,
+        obstacle_spread: 40.0,
+        goal_distance: 60.0,
+    })
+    .generate(21);
+    let config = |armed: bool| {
+        let mut cfg = MissionConfig::new(RuntimeMode::SpatialAware);
+        cfg.max_decisions = 200;
+        cfg.max_mission_time = 600.0;
+        cfg.degradation.enabled = armed;
+        cfg
+    };
+    let mut group = c.benchmark_group("degradation_healthy_mission");
+    group.sample_size(10);
+    for &(label, armed) in &[("disarmed", false), ("watchdog_armed", true)] {
+        let runner = MissionRunner::new(config(armed));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &runner, |b, runner| {
+            b.iter(|| std::hint::black_box(runner.run(&env)).metrics.decisions)
+        });
+    }
+    group.finish();
+}
+
 /// The predicted-costmap planning kernel: a corridor crossed by
 /// predicted lanes, planned (a) in one shot through the composed
 /// [`HazardContext`] and (b) by the retained reject-loop reference —
@@ -862,6 +925,7 @@ criterion_group!(
     bench_dynamic_world_step,
     bench_predicted_validation,
     bench_walk_pose_anchor,
-    bench_predicted_costmap
+    bench_predicted_costmap,
+    bench_fault_plan_overhead
 );
 criterion_main!(benches);

@@ -108,6 +108,23 @@ fn main() {
     if want("faults") {
         faults(full);
     }
+    if want("fault_sweep") {
+        fault_sweep();
+    }
+}
+
+/// The robustness evaluation: every deterministic fault scenario family,
+/// fault-oblivious versus degradation-aware, as a CSV series.
+fn fault_sweep() {
+    use roborun_mission::sweep::run_fault_sweep;
+    use roborun_mission::FaultSweepConfig;
+    println!("## Fault sweep — fault-oblivious vs degradation-aware\n");
+    let rows = run_fault_sweep(&FaultSweepConfig::quick(41));
+    println!("{}", report::fault_csv(&rows));
+    println!(
+        "(the fault-oblivious baseline deadlocks or collides in every family;\n\
+         the degradation-aware runtime completes or safe-stops, never colliding)\n"
+    );
 }
 
 /// Ablation (not a paper figure): freeze each knob family at its static

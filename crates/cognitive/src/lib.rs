@@ -54,7 +54,7 @@ pub fn intervals_from_telemetry(telemetry: &MissionTelemetry, min_epoch: f64) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use roborun_core::{DecisionRecord, KnobSettings, RuntimeMode};
+    use roborun_core::{DecisionRecord, Degradation, KnobSettings, RuntimeMode};
     use roborun_geom::Vec3;
     use roborun_sim::LatencyBreakdown;
 
@@ -73,6 +73,7 @@ mod tests {
             cpu_utilization: cpu,
             zone: Some('B'),
             masked_latency: 0.0,
+            degradation: Degradation::Healthy,
         }
     }
 

@@ -342,6 +342,80 @@ pub fn predicted_lane_scenarios(seed: u64) -> Vec<LaneScenario> {
     ]
 }
 
+/// One named adversarial fault-window shape: a `(period, len)` duty
+/// cycle over the decision index (see `roborun-faults`'
+/// `FaultWindows`). Plain integers so this crate stays free of a
+/// `roborun-faults` dependency — consumers wrap them into their own
+/// window type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowScenario {
+    /// Short scenario label, included in assertion messages.
+    pub name: &'static str,
+    /// Window period in decisions.
+    pub period: u64,
+    /// Active decisions per period.
+    pub len: u64,
+}
+
+/// The adversarial fault-window family for the fault-plan determinism
+/// suites: duty-cycle shapes that periodic random sampling is unlikely
+/// to hit but that stress the window arithmetic's edges.
+///
+/// Scenarios:
+///
+/// * **single-pulse** — one active decision in a long period: phase
+///   placement alone decides where the fault lands.
+/// * **always-on** — `len == period`: every decision is active no matter
+///   the phase.
+/// * **unit-period** — `period == 1`: the degenerate always-on spelling.
+/// * **near-full** — `len == period - 1`: exactly one healthy decision
+///   per period.
+/// * **half-duty** — the bread-and-butter 50 % shape.
+/// * **sparse-long** — a short pulse in a period longer than most
+///   missions: plans must stay healthy when the window never opens.
+/// * plus three seed-drawn random shapes with `1 <= len <= period`.
+pub fn adversarial_fault_windows(seed: u64) -> Vec<WindowScenario> {
+    let mut rng = SplitMix64::new(seed ^ 0x7769_6e64_6f77); // "window"
+    let mut out = vec![
+        WindowScenario {
+            name: "single-pulse",
+            period: 97,
+            len: 1,
+        },
+        WindowScenario {
+            name: "always-on",
+            period: 8,
+            len: 8,
+        },
+        WindowScenario {
+            name: "unit-period",
+            period: 1,
+            len: 1,
+        },
+        WindowScenario {
+            name: "near-full",
+            period: 9,
+            len: 8,
+        },
+        WindowScenario {
+            name: "half-duty",
+            period: 12,
+            len: 6,
+        },
+        WindowScenario {
+            name: "sparse-long",
+            period: 10_000,
+            len: 3,
+        },
+    ];
+    for name in ["random-a", "random-b", "random-c"] {
+        let period = 2 + rng.next_u64() % 96;
+        let len = 1 + rng.next_u64() % period;
+        out.push(WindowScenario { name, period, len });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +497,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fault_windows_are_complete_valid_and_deterministic() {
+        let a = adversarial_fault_windows(17);
+        let names: Vec<_> = a.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "single-pulse",
+                "always-on",
+                "unit-period",
+                "near-full",
+                "half-duty",
+                "sparse-long",
+                "random-a",
+                "random-b",
+                "random-c"
+            ]
+        );
+        for s in &a {
+            assert!(s.period > 0, "{}: zero period", s.name);
+            assert!(
+                s.len >= 1 && s.len <= s.period,
+                "{}: len {} outside 1..={}",
+                s.name,
+                s.len,
+                s.period
+            );
+        }
+        assert_eq!(a, adversarial_fault_windows(17));
+        // A different seed moves the random shapes but keeps the fixed ones.
+        let b = adversarial_fault_windows(18);
+        assert_eq!(&a[..6], &b[..6]);
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct GovernorConfig {
     /// (Table II) values after the solver runs, isolating the contribution
     /// of each operator family.
     pub ablation: KnobAblation,
+    /// Stale-perception derating: metres of effective visibility shed per
+    /// second of perception-data age in
+    /// [`Governor::safe_velocity_stale`]. Zero disables derating.
+    pub stale_derate_rate: f64,
 }
 
 impl Default for GovernorConfig {
@@ -65,6 +69,7 @@ impl Default for GovernorConfig {
             max_velocity: 5.0,
             waypoint_budgeting: true,
             ablation: KnobAblation::none(),
+            stale_derate_rate: 1.5,
         }
     }
 }
@@ -227,6 +232,29 @@ impl Governor {
         let effective = (visibility - closing_speed * latency).max(0.0);
         self.safe_velocity(latency, effective)
     }
+
+    /// [`Governor::safe_velocity_closing`] on *stale* perception data: a
+    /// profile computed from voxels last refreshed `data_age` seconds ago
+    /// overstates how much of the world is actually known, so the
+    /// effective visibility sheds
+    /// [`GovernorConfig::stale_derate_rate`]` · data_age` metres (floored
+    /// at zero) before the closing-speed and latency terms apply — the
+    /// data-age analogue of the closing-speed term. With `data_age == 0`
+    /// (fresh data, every healthy decision) this is bit-identical to
+    /// [`Governor::safe_velocity_closing`].
+    pub fn safe_velocity_stale(
+        &self,
+        latency: f64,
+        visibility: f64,
+        closing_speed: f64,
+        data_age: f64,
+    ) -> f64 {
+        if data_age <= 0.0 {
+            return self.safe_velocity_closing(latency, visibility, closing_speed);
+        }
+        let effective = (visibility - data_age * self.config.stale_derate_rate).max(0.0);
+        self.safe_velocity_closing(latency, effective, closing_speed)
+    }
 }
 
 #[cfg(test)]
@@ -351,6 +379,36 @@ mod tests {
         assert!(gov.safe_velocity_closing(1.0, 10.0, 8.0) <= closing);
         let swamped = gov.safe_velocity_closing(1.0, 10.0, 50.0);
         assert!(swamped >= 0.0 && swamped.is_finite());
+    }
+
+    #[test]
+    fn data_age_costs_velocity_and_zero_is_identity() {
+        let gov = aware();
+        let plain = gov.safe_velocity_closing(1.0, 10.0, 2.0);
+        // Fresh data: bit-identical to the closing-speed budget.
+        assert_eq!(
+            gov.safe_velocity_stale(1.0, 10.0, 2.0, 0.0).to_bits(),
+            plain.to_bits()
+        );
+        // Stale data derates visibility by stale_derate_rate * age.
+        let rate = gov.config().stale_derate_rate;
+        let stale = gov.safe_velocity_stale(1.0, 10.0, 2.0, 2.0);
+        assert!(stale < plain, "stale {stale} vs fresh {plain}");
+        assert_eq!(
+            stale.to_bits(),
+            gov.safe_velocity_closing(1.0, 10.0 - 2.0 * rate, 2.0)
+                .to_bits(),
+            "stale term must shave exactly stale_derate_rate * data_age off visibility"
+        );
+        // Older data costs more; the floor keeps the result finite.
+        assert!(gov.safe_velocity_stale(1.0, 10.0, 2.0, 5.0) <= stale);
+        let swamped = gov.safe_velocity_stale(1.0, 10.0, 2.0, 1_000.0);
+        assert!(swamped >= 0.0 && swamped.is_finite());
+        // With both terms zeroed it collapses to the plain budget.
+        assert_eq!(
+            gov.safe_velocity_stale(1.0, 10.0, 0.0, 0.0).to_bits(),
+            gov.safe_velocity(1.0, 10.0).to_bits()
+        );
     }
 
     #[test]

@@ -63,4 +63,4 @@ pub use operators::{Operators, PerceptionWork};
 pub use profilers::{Profilers, SpatialProfile};
 pub use safety::SafetyReport;
 pub use solver::{KnobSolver, SolverConfig};
-pub use telemetry::{DecisionRecord, MissionTelemetry};
+pub use telemetry::{DecisionRecord, Degradation, MissionTelemetry};

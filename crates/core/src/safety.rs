@@ -143,7 +143,7 @@ mod tests {
     use super::*;
     use crate::knobs::KnobSettings;
     use crate::modes::RuntimeMode;
-    use crate::telemetry::DecisionRecord;
+    use crate::telemetry::{DecisionRecord, Degradation};
     use roborun_geom::Vec3;
     use roborun_sim::LatencyBreakdown;
 
@@ -162,6 +162,7 @@ mod tests {
             cpu_utilization: 0.4,
             zone: Some('B'),
             masked_latency: 0.0,
+            degradation: Degradation::Healthy,
         }
     }
 

@@ -6,6 +6,41 @@ use roborun_geom::{percentile, Vec3};
 use roborun_sim::LatencyBreakdown;
 use serde::{Deserialize, Serialize};
 
+/// Typed degradation state of one decision: which rung of the
+/// graceful-degradation ladder (if any) the runtime stood on when the
+/// decision was taken. `Healthy` is the default and the only state a
+/// fault-free mission ever records; the remaining states are ordered from
+/// mildest to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Degradation {
+    /// No degradation: the decision ran on fresh data with a working
+    /// planner.
+    #[default]
+    Healthy,
+    /// Perception data was stale (the map missed one or more integration
+    /// epochs) and the safe-velocity law was derated by the data's age.
+    StalePerception,
+    /// The planning watchdog fired and a bounded retry recovered a plan
+    /// within the latency budget.
+    RetriedPlan,
+    /// Planning failed outright; the last valid trajectory was reused
+    /// because it was still clear.
+    ReusedTrajectory,
+    /// No usable trajectory: the vehicle braked and held position for the
+    /// epoch.
+    Hover,
+    /// The ladder bottomed out: the vehicle flew a wedge retreat and the
+    /// mission ended in a recorded safe-stop.
+    SafeStop,
+}
+
+impl Degradation {
+    /// `true` for any state other than [`Degradation::Healthy`].
+    pub fn is_degraded(&self) -> bool {
+        *self != Degradation::Healthy
+    }
+}
+
 /// Everything recorded about one navigation decision.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecisionRecord {
@@ -33,6 +68,9 @@ pub struct DecisionRecord {
     /// with this decision. Zero when plan-ahead is disabled or the
     /// speculation was discarded.
     pub masked_latency: f64,
+    /// Degradation-ladder rung the runtime stood on for this decision
+    /// ([`Degradation::Healthy`] on a fault-free mission).
+    pub degradation: Degradation,
 }
 
 impl DecisionRecord {
@@ -225,6 +263,7 @@ mod tests {
             cpu_utilization: 0.5,
             zone: Some(zone),
             masked_latency: 0.0,
+            degradation: Degradation::Healthy,
         }
     }
 

@@ -1,0 +1,164 @@
+//! Adversarial fault-plan conformance: sweeps the shared
+//! [`roborun_conformance::adversarial_fault_windows`] family through every
+//! fault channel and pins the properties the mission stack relies on:
+//!
+//! * **Purity** — [`FaultPlan::frame`] is a pure function of
+//!   `(seed, decision)`: re-evaluation, out-of-order evaluation and a
+//!   freshly compiled plan all agree exactly.
+//! * **Exact duty cycle** — over any whole number of periods a window is
+//!   active exactly `len` times per period, whatever phase the seed drew.
+//! * **Validation** — every adversarial shape passes
+//!   [`FaultPlanConfig::validate`], while degenerate spellings
+//!   (`period == 0`, `len == 0`, `len > period`) are rejected.
+
+use roborun_conformance::adversarial_fault_windows;
+use roborun_faults::{
+    FaultPlan, FaultPlanConfig, FaultWindows, MapFaultChannel, PlannerFaultChannel,
+    SensorFaultChannel,
+};
+
+/// Builds one single-channel plan per fault channel, all sharing `window`.
+fn plans_for(window: FaultWindows, seed: u64) -> Vec<(&'static str, FaultPlanConfig)> {
+    let base = FaultPlanConfig {
+        seed,
+        ..FaultPlanConfig::healthy()
+    };
+    vec![
+        (
+            "sensor.blackout",
+            FaultPlanConfig {
+                sensor: SensorFaultChannel {
+                    blackout: Some(window),
+                    ..SensorFaultChannel::default()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "sensor.burst",
+            FaultPlanConfig {
+                sensor: SensorFaultChannel {
+                    burst: Some(window),
+                    burst_dropout: 0.4,
+                    burst_noise_std: 0.2,
+                    ..SensorFaultChannel::default()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "planner.spike",
+            FaultPlanConfig {
+                planner: PlannerFaultChannel {
+                    spike: Some(window),
+                    spike_latency: 5.0,
+                    failure: None,
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "planner.failure",
+            FaultPlanConfig {
+                planner: PlannerFaultChannel {
+                    failure: Some(window),
+                    ..PlannerFaultChannel::default()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "map.stale",
+            FaultPlanConfig {
+                map: MapFaultChannel {
+                    stale: Some(window),
+                },
+                ..base
+            },
+        ),
+    ]
+}
+
+#[test]
+fn adversarial_windows_validate_and_arm() {
+    for s in adversarial_fault_windows(17) {
+        let window = FaultWindows::every(s.period, s.len);
+        for (channel, plan) in plans_for(window, 99) {
+            plan.validate()
+                .unwrap_or_else(|e| panic!("{}: {channel} rejected: {e}", s.name));
+            assert!(
+                !plan.is_healthy(),
+                "{}: {channel} armed plan reported healthy",
+                s.name
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_windows_are_rejected() {
+    for (period, len) in [(0, 0), (0, 1), (5, 0), (5, 6)] {
+        let plan = FaultPlanConfig {
+            map: MapFaultChannel {
+                stale: Some(FaultWindows::every(period, len)),
+            },
+            ..FaultPlanConfig::healthy()
+        };
+        assert!(
+            plan.validate().is_err(),
+            "window period={period} len={len} should be invalid"
+        );
+    }
+}
+
+#[test]
+fn frames_are_pure_in_any_evaluation_order() {
+    for s in adversarial_fault_windows(17) {
+        let window = FaultWindows::every(s.period, s.len);
+        for (channel, config) in plans_for(window, 7) {
+            let plan = FaultPlan::new(config.clone());
+            let forward: Vec<_> = (0..256).map(|d| plan.frame(d)).collect();
+            // Reverse order, interleaved repeats, and a freshly compiled
+            // plan must reproduce the forward stream exactly.
+            let fresh = FaultPlan::new(config);
+            for d in (0..256).rev() {
+                assert_eq!(
+                    plan.frame(d),
+                    forward[d as usize],
+                    "{}: {channel} frame {d} changed on re-evaluation",
+                    s.name
+                );
+                assert_eq!(
+                    fresh.frame(d),
+                    forward[d as usize],
+                    "{}: {channel} frame {d} differs on a fresh plan",
+                    s.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn duty_cycle_is_exact_over_whole_periods() {
+    for s in adversarial_fault_windows(17) {
+        // Keep the horizon sane for the sparse-long scenario.
+        let periods = if s.period > 1_000 { 2 } else { 8 };
+        let horizon = s.period * periods;
+        for seed in [0u64, 7, 0x0BAD_5EED] {
+            let window = FaultWindows::every(s.period, s.len);
+            for (channel, config) in plans_for(window, seed) {
+                let plan = FaultPlan::new(config);
+                let active = (0..horizon)
+                    .filter(|&d| !plan.frame(d).is_healthy())
+                    .count();
+                assert_eq!(
+                    active as u64,
+                    s.len * periods,
+                    "{}: {channel} at seed {seed} injected {active} of {horizon}",
+                    s.name
+                );
+            }
+        }
+    }
+}

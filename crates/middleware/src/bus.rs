@@ -10,6 +10,7 @@
 
 use crate::error::MiddlewareError;
 use crate::latency::{CommLatencyModel, CommStats};
+use crate::link_faults::{LinkDisposition, LinkFaultModel, LinkFaultStats};
 use crate::message::{Message, Stamped};
 use crate::qos::{Durability, QosProfile};
 use crate::topic::TopicName;
@@ -67,6 +68,8 @@ struct BusInner {
     nodes: BTreeMap<String, NodeConnections>,
     next_subscription_id: u64,
     closed: bool,
+    link_faults: Option<Box<dyn LinkFaultModel>>,
+    link_fault_stats: LinkFaultStats,
 }
 
 /// The in-process publish/subscribe bus.
@@ -96,8 +99,26 @@ impl MessageBus {
                 nodes: BTreeMap::new(),
                 next_subscription_id: 0,
                 closed: false,
+                link_faults: None,
+                link_fault_stats: LinkFaultStats::default(),
             })),
         }
+    }
+
+    /// Installs a [`LinkFaultModel`] consulted once per publish. Replaces
+    /// any previously installed model (and its statistics). With no model
+    /// installed the bus is a perfect transport and behaves bit-identically
+    /// to a bus that never had one.
+    pub fn install_link_faults(&self, model: Box<dyn LinkFaultModel>) {
+        let mut inner = self.lock();
+        inner.link_faults = Some(model);
+        inner.link_fault_stats = LinkFaultStats::default();
+    }
+
+    /// Counters of what the installed link-fault model has done so far
+    /// (all zero when no model is installed).
+    pub fn link_fault_stats(&self) -> LinkFaultStats {
+        self.lock().link_fault_stats
     }
 
     /// Creates a bus whose transport is free (useful in tests).
@@ -308,7 +329,8 @@ impl MessageBus {
         topic: &TopicName,
         message: T,
     ) -> Result<PublishReceipt, MiddlewareError> {
-        let mut inner = self.lock();
+        let mut guard = self.lock();
+        let inner = &mut *guard;
         if inner.closed {
             return Err(MiddlewareError::BusClosed);
         }
@@ -328,27 +350,64 @@ impl MessageBus {
         state.next_sequence += 1;
         let bytes = message.approx_size_bytes();
 
+        // One fault decision per publish, keyed by (topic, sequence), so a
+        // pure-function model keeps the transport bit-deterministic.
+        let disposition = match inner.link_faults.as_mut() {
+            Some(model) => {
+                inner.link_fault_stats.consulted += 1;
+                model.disposition(topic, sequence)
+            }
+            None => LinkDisposition::healthy(),
+        };
+        if disposition.drop {
+            // Lost on the wire: the publisher sees a successful publish but
+            // nothing is delivered or retained.
+            inner.link_fault_stats.dropped += 1;
+            state.stats.record_publish(bytes, 0, 0, 0.0);
+            return Ok(PublishReceipt {
+                sequence,
+                deliveries: 0,
+                evictions: 0,
+                max_transport_latency: 0.0,
+            });
+        }
+        let copies = 1 + disposition.duplicates as usize;
+        let delayed = disposition.extra_delay > 0.0;
+
         let mut deliveries = 0usize;
         let mut evictions = 0usize;
         let mut latency_sum = 0.0;
         let mut max_latency = 0.0f64;
         for slot in state.subscriptions.iter_mut().filter(|s| s.active) {
-            let latency = comm_model.transfer_latency(bytes, &slot.qos);
-            let sample = Stamped {
-                publish_time: now,
-                sequence,
-                transport_latency: latency,
-                message: message.clone(),
+            let base_latency = comm_model.transfer_latency(bytes, &slot.qos);
+            let latency = if delayed {
+                base_latency + disposition.extra_delay
+            } else {
+                base_latency
             };
-            if slot.queue.len() >= slot.qos.depth {
-                slot.queue.pop_front();
-                slot.evictions += 1;
-                evictions += 1;
+            for copy in 0..copies {
+                let sample = Stamped {
+                    publish_time: now,
+                    sequence,
+                    transport_latency: latency,
+                    message: message.clone(),
+                };
+                if slot.queue.len() >= slot.qos.depth {
+                    slot.queue.pop_front();
+                    slot.evictions += 1;
+                    evictions += 1;
+                }
+                slot.queue.push_back(Box::new(sample));
+                deliveries += 1;
+                latency_sum += latency;
+                max_latency = max_latency.max(latency);
+                if copy > 0 {
+                    inner.link_fault_stats.duplicated += 1;
+                }
             }
-            slot.queue.push_back(Box::new(sample));
-            deliveries += 1;
-            latency_sum += latency;
-            max_latency = max_latency.max(latency);
+            if delayed {
+                inner.link_fault_stats.delayed += 1;
+            }
         }
 
         let mean_latency = if deliveries > 0 {
@@ -504,6 +563,61 @@ mod tests {
         let stats = bus.topic_stats(&t);
         assert_eq!(stats.messages_published, 1);
         assert_eq!(stats.deliveries, 0);
+    }
+
+    /// Drops even sequences, duplicates sequence 1, delays sequence 3.
+    #[derive(Debug)]
+    struct ScriptedFaults;
+
+    impl crate::link_faults::LinkFaultModel for ScriptedFaults {
+        fn disposition(&mut self, _topic: &TopicName, sequence: u64) -> LinkDisposition {
+            LinkDisposition {
+                drop: sequence.is_multiple_of(2),
+                duplicates: u32::from(sequence == 1),
+                extra_delay: if sequence == 3 { 0.5 } else { 0.0 },
+            }
+        }
+    }
+
+    #[test]
+    fn link_fault_model_drops_duplicates_and_delays_samples() {
+        let bus = MessageBus::with_free_transport();
+        bus.install_link_faults(Box::new(ScriptedFaults));
+        bus.register_node("talker").unwrap();
+        bus.register_node("listener").unwrap();
+        let t = topic("/chatter");
+        bus.register_publisher::<u32>("talker", &t).unwrap();
+        let sub = bus
+            .register_subscription::<u32>("listener", &t, QosProfile::reliable(16))
+            .unwrap();
+        for i in 0..4u32 {
+            bus.publish(&t, i).unwrap();
+        }
+        let mut received = Vec::new();
+        let mut delays = Vec::new();
+        while let Some(sample) = bus.take::<u32>(&t, sub) {
+            received.push(sample.message);
+            delays.push(sample.transport_latency);
+        }
+        // 0 and 2 dropped, 1 duplicated, 3 delayed by 0.5 s.
+        assert_eq!(received, vec![1, 1, 3]);
+        assert_eq!(delays, vec![0.0, 0.0, 0.5]);
+        let stats = bus.link_fault_stats();
+        assert_eq!(stats.consulted, 4);
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(stats.duplicated, 1);
+        assert_eq!(stats.delayed, 1);
+        assert!(stats.total_events() >= 4);
+    }
+
+    #[test]
+    fn bus_without_link_faults_reports_zero_fault_stats() {
+        let bus = MessageBus::with_free_transport();
+        bus.register_node("talker").unwrap();
+        let t = topic("/chatter");
+        bus.register_publisher::<u32>("talker", &t).unwrap();
+        bus.publish(&t, 7u32).unwrap();
+        assert_eq!(bus.link_fault_stats(), LinkFaultStats::default());
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod error;
 pub mod executor;
 pub mod graph;
 pub mod latency;
+pub mod link_faults;
 pub mod message;
 pub mod node;
 pub mod qos;
@@ -61,7 +62,9 @@ pub use error::{BusError, MiddlewareError};
 pub use executor::Executor;
 pub use graph::{GraphInfo, TopicInfo};
 pub use latency::{CommLatencyModel, CommStats};
+pub use link_faults::{LinkDisposition, LinkFaultModel, LinkFaultStats};
 pub use message::{Message, Stamped};
 pub use node::{Node, Publisher, Subscription};
 pub use qos::{Durability, QosProfile, Reliability};
 pub use record::{BagEntry, BagIndex, TypedBag};
+pub use topic::TopicName;

@@ -1,0 +1,110 @@
+//! Link-level fault hooks for the message bus.
+//!
+//! A [`LinkFaultModel`] lets a test harness or fault-injection layer decide,
+//! per published sample, whether the "wire" drops, duplicates or delays the
+//! message. The bus consults the installed model exactly once per publish,
+//! keyed by the topic and the topic-local sequence number, so a model that
+//! is a pure function of `(topic, sequence)` makes the whole transport
+//! bit-deterministic regardless of node scheduling.
+//!
+//! With no model installed (the default) the bus behaves exactly as before:
+//! the hook is skipped entirely and delivery latencies are untouched, so
+//! healthy runs stay bit-identical.
+
+use crate::topic::TopicName;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What the simulated link does to one published sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkDisposition {
+    /// The sample is lost on the wire: no subscriber receives it and it is
+    /// not retained for late joiners. The publisher still observes a
+    /// successful publish (loss is silent, as on a real lossy link).
+    pub drop: bool,
+    /// Extra copies delivered to every subscriber beyond the original.
+    pub duplicates: u32,
+    /// Additional transport latency added to every delivered copy
+    /// (seconds, non-negative).
+    pub extra_delay: f64,
+}
+
+impl Default for LinkDisposition {
+    fn default() -> Self {
+        LinkDisposition {
+            drop: false,
+            duplicates: 0,
+            extra_delay: 0.0,
+        }
+    }
+}
+
+impl LinkDisposition {
+    /// A healthy link: deliver exactly once with no extra delay.
+    pub fn healthy() -> Self {
+        LinkDisposition::default()
+    }
+
+    /// `true` when the disposition leaves the sample untouched.
+    pub fn is_healthy(&self) -> bool {
+        !self.drop && self.duplicates == 0 && self.extra_delay <= 0.0
+    }
+}
+
+/// A per-publish fault decision source installed on a [`crate::MessageBus`].
+///
+/// Implementations should be pure functions of `(topic, sequence)` (plus
+/// their own fixed seed) so that fault injection is reproducible: the bus
+/// guarantees it calls [`LinkFaultModel::disposition`] exactly once per
+/// publish, in publish order per topic.
+pub trait LinkFaultModel: Send + fmt::Debug {
+    /// Decides what happens to the sample `sequence` on `topic`.
+    fn disposition(&mut self, topic: &TopicName, sequence: u64) -> LinkDisposition;
+}
+
+/// Counters of what the installed [`LinkFaultModel`] actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkFaultStats {
+    /// Publishes for which the model was consulted.
+    pub consulted: u64,
+    /// Samples dropped on the wire.
+    pub dropped: u64,
+    /// Extra copies delivered (summed over subscribers).
+    pub duplicated: u64,
+    /// Samples that received extra transport delay.
+    pub delayed: u64,
+}
+
+impl LinkFaultStats {
+    /// Total fault events (drops + duplicate deliveries + delays).
+    pub fn total_events(&self) -> u64 {
+        self.dropped + self.duplicated + self.delayed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_disposition_is_healthy() {
+        assert!(LinkDisposition::default().is_healthy());
+        assert!(LinkDisposition::healthy().is_healthy());
+        let lossy = LinkDisposition {
+            drop: true,
+            ..LinkDisposition::default()
+        };
+        assert!(!lossy.is_healthy());
+    }
+
+    #[test]
+    fn stats_total_sums_event_kinds() {
+        let stats = LinkFaultStats {
+            consulted: 10,
+            dropped: 2,
+            duplicated: 3,
+            delayed: 4,
+        };
+        assert_eq!(stats.total_events(), 9);
+    }
+}

@@ -78,7 +78,7 @@ impl ZoneBreakdown {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use roborun_core::{DecisionRecord, KnobSettings, RuntimeMode};
+    use roborun_core::{DecisionRecord, Degradation, KnobSettings, RuntimeMode};
     use roborun_geom::Vec3;
     use roborun_sim::LatencyBreakdown;
 
@@ -103,6 +103,7 @@ mod tests {
             cpu_utilization: 0.5,
             zone: Some(zone),
             masked_latency: 0.0,
+            degradation: Degradation::Healthy,
         }
     }
 

@@ -111,15 +111,71 @@
 //! shot; the posterior veto is retained as the safety net and as the
 //! reference reject-loop path (bit-identical whenever the flag is off
 //! or the predicted set is empty).
+//!
+//! # Faults and graceful degradation
+//!
+//! A mission may arm a deterministic
+//! [`FaultPlan`]
+//! ([`crate::MissionConfig::fault_plan`]) and the degradation runtime
+//! ([`crate::MissionConfig::degradation`]). Every injected fault is a
+//! pure function of `(plan seed, decision index)` — see the
+//! `roborun-faults` crate docs for the determinism contract — and with
+//! a healthy plan every hook below is compiled down to a no-op branch,
+//! keeping healthy missions bit-identical to the pre-fault behaviour
+//! (locked by all golden fixtures):
+//!
+//! * **Sensor blackout / bursts** hit the sensing stage: a blackout
+//!   loses the whole sweep and withholds map integration; a burst
+//!   corrupts the surviving depth returns through a per-decision
+//!   deterministic corruptor.
+//! * **Stale-map epochs** withhold integration only: the planner keeps
+//!   exporting from the aging map.
+//! * **Planner latency spikes** inflate the modelled planning latency.
+//!   With degradation armed, a **watchdog** aborts any attempt that
+//!   exceeds [`crate::DegradationConfig::watchdog_budget`] (charging the
+//!   full budget for the aborted attempt) and retries with
+//!   multiplicatively backed-off injected latency, up to
+//!   [`crate::DegradationConfig::max_retries`] times; an unrecovered
+//!   abort degenerates to a forced planner failure. The fault-oblivious
+//!   baseline just eats the spike, which serialises straight into the
+//!   decision epoch.
+//! * **Forced planner failures** leave the decision with no planner
+//!   output. The degradation **fallback ladder** then runs: *reuse* the
+//!   last valid trajectory while it is clear → *hover* in place
+//!   (no motion command; the follower keeps its progress) → a
+//!   wedge-retreat **safe-stop** once hovering has not bought a plan for
+//!   [`crate::DegradationConfig::hover_limit`] consecutive decisions.
+//!   A safe-stop deliberately ends the mission (`safe_stops = 1`,
+//!   neither `collided` nor `reached_goal`): provably parked, not
+//!   crashed.
+//! * **Stale-perception derating**: the governor's data-age law
+//!   ([`roborun_core::Governor::safe_velocity_stale`]) shaves the
+//!   visible margin by how long ago the map last integrated fresh
+//!   sensing, the same structure as the closing-speed term; perception
+//!   older than [`crate::DegradationConfig::stale_hover_age`] seconds
+//!   forces a hover rather than flying through unsensed space. Stale
+//!   hovers never escalate to the safe-stop — hovering is indefinitely
+//!   safe in a static world, and fresh sensing re-arms the mission the
+//!   moment it returns.
+//!
+//! Each decision records its [`roborun_core::Degradation`] state in the
+//! telemetry, and the mission metrics aggregate the counters
+//! (`faults_injected`, `watchdog_fires`, `retries`, `degraded_decisions`,
+//! `safe_stops`). The fault sweep ([`crate::sweep::run_fault_sweep`]) turns
+//! this into the headline experiment: under identical fault plans the
+//! fault-oblivious baseline collides or deadlocks while the
+//! degradation-aware runtime completes or provably safe-stops.
 
 use crate::metrics::MissionMetrics;
-use crate::runner::{MissionConfig, MissionResult};
+use crate::runner::{DegradationConfig, MissionConfig, MissionResult};
 use roborun_control::TrajectoryFollower;
 use roborun_core::{
-    DecisionRecord, Governor, KnobSettings, MissionTelemetry, Policy, RuntimeMode, SpatialProfile,
+    DecisionRecord, Degradation, Governor, KnobSettings, MissionTelemetry, Policy, RuntimeMode,
+    SpatialProfile,
 };
 use roborun_dynamics::{DynamicWorld, PoseCache};
 use roborun_env::{Environment, Zone};
+use roborun_faults::{FaultFrame, FaultPlan, SensorBurst};
 use roborun_geom::{Aabb, Vec3};
 use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
 use roborun_planning::{
@@ -127,13 +183,28 @@ use roborun_planning::{
     PlanStats, Planner, PlannerConfig, PredictedHazards, RrtConfig, Trajectory, TrajectoryPoint,
 };
 use roborun_sim::{
-    CameraRig, DroneConfig, DroneState, EnergyModel, FaultInjector, LatencyBreakdown, SimClock,
+    CameraRig, DroneConfig, DroneState, EnergyModel, FaultConfig, FaultInjector, LatencyBreakdown,
+    SimClock,
 };
 use std::sync::mpsc::{Receiver, Sender};
 
 // ---------------------------------------------------------------------------
 // Shared per-decision policies (used by both drivers)
 // ---------------------------------------------------------------------------
+
+/// Builds the per-decision burst corruptor both drivers use for the
+/// fault plan's depth-noise bursts: a one-shot [`FaultInjector`] seeded
+/// from the burst parameters (pure in the burst, so the corruption is a
+/// deterministic function of `(plan seed, decision index)`).
+pub(crate) fn burst_injector(burst: SensorBurst) -> FaultInjector {
+    FaultInjector::new(FaultConfig {
+        sweep_dropout_probability: 0.0,
+        point_dropout_probability: burst.dropout,
+        range_noise_std: burst.noise_std,
+        fog_visibility_cap: f64::INFINITY,
+        seed: burst.seed,
+    })
+}
 
 /// Direction of travel used for the unknown-space probe: the current
 /// velocity when moving, otherwise straight at the goal.
@@ -470,6 +541,82 @@ pub struct DynamicsStats {
     pub predicted_invalidations: usize,
 }
 
+/// Running totals of the fault-injection and graceful-degradation
+/// machinery over one mission. All zero on healthy missions with
+/// degradation disarmed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DegradationStats {
+    /// Fault-channel activations injected by the armed fault plan.
+    pub faults_injected: usize,
+    /// Decisions on which the planning watchdog aborted an over-budget
+    /// planning attempt.
+    pub watchdog_fires: usize,
+    /// Bounded planning retries attempted after watchdog aborts.
+    pub retries: usize,
+    /// Decisions recorded with a non-healthy degradation state.
+    pub degraded_decisions: usize,
+    /// 1 when the mission ended in a deliberate wedge-retreat safe-stop.
+    pub safe_stops: usize,
+}
+
+/// Applies the frame's planner fault channels to the modelled latency
+/// breakdown — shared by both drivers so the watchdog arithmetic cannot
+/// drift between them. With degradation armed, the **watchdog** aborts
+/// any planning attempt whose modelled latency would exceed the budget
+/// (charging the full budget for the aborted attempt) and retries with
+/// multiplicatively backed-off injected latency up to `max_retries`
+/// times; an unrecovered abort degenerates to a forced planner failure.
+/// The fault-oblivious baseline just eats the spike — it serialises
+/// straight into the decision epoch. Returns the degradation state so
+/// far and whether the decision's planner output is lost outright
+/// (injected failure, or an unrecovered watchdog abort).
+pub(crate) fn apply_planner_faults(
+    breakdown: &mut LatencyBreakdown,
+    frame: &FaultFrame,
+    policy: &DegradationConfig,
+    stats: &mut DegradationStats,
+) -> (Degradation, bool) {
+    let mut degradation = Degradation::Healthy;
+    let mut forced_failure = frame.planner_failure;
+    if frame.planner_spike > 0.0 {
+        if policy.enabled {
+            let nominal = breakdown.planning;
+            let mut spike = frame.planner_spike;
+            if nominal + spike > policy.watchdog_budget {
+                stats.watchdog_fires += 1;
+                // The aborted attempt still costs the full budget.
+                let mut charged = policy.watchdog_budget;
+                let mut recovered = false;
+                for retry in 1..=policy.max_retries {
+                    spike *= policy.retry_backoff;
+                    let attempt = nominal + spike;
+                    if attempt <= policy.watchdog_budget {
+                        charged += attempt;
+                        stats.retries += retry as usize;
+                        recovered = true;
+                        break;
+                    }
+                    charged += policy.watchdog_budget;
+                    if retry == policy.max_retries {
+                        stats.retries += retry as usize;
+                    }
+                }
+                breakdown.planning = charged;
+                if recovered {
+                    degradation = Degradation::RetriedPlan;
+                } else {
+                    forced_failure = true;
+                }
+            } else {
+                breakdown.planning = nominal + spike;
+            }
+        } else {
+            breakdown.planning += frame.planner_spike;
+        }
+    }
+    (degradation, forced_failure)
+}
+
 /// Assembles the mission-level metrics both drivers report.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn finalize_metrics(
@@ -483,6 +630,7 @@ pub(crate) fn finalize_metrics(
     collided: bool,
     plan_ahead: &PlanAheadStats,
     dynamics: &DynamicsStats,
+    degradation: &DegradationStats,
 ) -> MissionMetrics {
     MissionMetrics {
         mode,
@@ -500,6 +648,11 @@ pub(crate) fn finalize_metrics(
         plan_ahead_hits: plan_ahead.hits,
         dynamic_replans: dynamics.dynamic_replans,
         predicted_invalidations: dynamics.predicted_invalidations,
+        faults_injected: degradation.faults_injected,
+        watchdog_fires: degradation.watchdog_fires,
+        retries: degradation.retries,
+        degraded_decisions: degradation.degraded_decisions,
+        safe_stops: degradation.safe_stops,
     }
 }
 
@@ -670,6 +823,10 @@ struct Planned {
     /// The drone's own position sits inside the predicted occupancy of a
     /// moving obstacle: escape beats braking.
     in_danger: bool,
+    /// Whether this decision needed a plan at all (cadence, finished
+    /// trajectory, blockage or danger) — the degradation ladder only
+    /// engages when a needed plan failed.
+    needed: bool,
 }
 
 /// The full per-mission state of the direct driver, advanced one decision
@@ -715,6 +872,20 @@ pub(crate) struct DecisionCycle<'m> {
     pending: Option<PendingSpeculation>,
     stats: PlanAheadStats,
     dynamics_stats: DynamicsStats,
+    // Deterministic fault plan (None when the config is healthy — the
+    // whole degradation machinery then stays off the hot path).
+    fault_plan: Option<FaultPlan>,
+    degradation_stats: DegradationStats,
+    // Simulation time of the last decision that integrated fresh sensing
+    // into the map; `now - last_integration_time` is the perception data
+    // age the stale-derating law sees.
+    last_integration_time: f64,
+    // Consecutive planner-failure hovers (the degradation ladder
+    // escalates to a safe-stop when this exceeds the configured limit).
+    hover_streak: u32,
+    // The ladder bottomed out: a wedge-retreat was flown and the mission
+    // deliberately ended (provably safe-stopped, not crashed).
+    safe_stopped: bool,
 }
 
 impl<'m> DecisionCycle<'m> {
@@ -730,6 +901,8 @@ impl<'m> DecisionCycle<'m> {
         };
         let planner_seed_base = cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(env.seed());
         let fault_injector = (!cfg.faults.is_healthy()).then(|| FaultInjector::new(cfg.faults));
+        let fault_plan =
+            (!cfg.fault_plan.is_healthy()).then(|| FaultPlan::new(cfg.fault_plan.clone()));
         let drone = DroneState::at(env.start());
         let mut map = OccupancyMap::new(governor.config().ranges.precision_min);
         map.set_stale_decay(cfg.voxel_decay);
@@ -765,6 +938,11 @@ impl<'m> DecisionCycle<'m> {
             pending: None,
             stats: PlanAheadStats::default(),
             dynamics_stats: DynamicsStats::default(),
+            fault_plan,
+            degradation_stats: DegradationStats::default(),
+            last_integration_time: 0.0,
+            hover_streak: 0,
+            safe_stopped: false,
         }
     }
 
@@ -772,6 +950,7 @@ impl<'m> DecisionCycle<'m> {
     pub(crate) fn mission_open(&self) -> bool {
         !self.collided
             && !self.reached_goal
+            && !self.safe_stopped
             && self.decisions < self.cfg.max_decisions
             && self.clock.now() < self.cfg.max_mission_time
     }
@@ -780,8 +959,15 @@ impl<'m> DecisionCycle<'m> {
 
     /// Sensing: capture the camera rig (from the dynamic snapshot field
     /// of the current instant when actors exist), apply sensor faults.
-    fn sense(&mut self) -> Sensed {
+    /// A fault-plan blackout loses the whole sweep; a burst corrupts the
+    /// surviving returns through a per-decision deterministic corruptor.
+    fn sense(&mut self, frame: &FaultFrame) -> Sensed {
         let pose = self.drone.pose();
+        if frame.sensor_blackout {
+            return Sensed {
+                raw_cloud: PointCloud::new(pose.position, Vec::new()),
+            };
+        }
         let snapshot;
         let field = match self.dynamics {
             Some(world) if !world.is_static() => {
@@ -791,10 +977,13 @@ impl<'m> DecisionCycle<'m> {
             _ => self.env.field(),
         };
         let scan = self.rig.capture(field, &pose);
-        let sensed_points = match self.fault_injector.as_mut() {
+        let mut sensed_points = match self.fault_injector.as_mut() {
             Some(injector) => injector.corrupt_sweep(pose.position, &scan.points),
             None => scan.points.clone(),
         };
+        if let Some(burst) = frame.sensor_burst {
+            sensed_points = burst_injector(burst).corrupt_sweep(pose.position, &sensed_points);
+        }
         Sensed {
             raw_cloud: PointCloud::new(pose.position, sensed_points),
         }
@@ -826,22 +1015,33 @@ impl<'m> DecisionCycle<'m> {
     }
 
     /// Perception operators: downsample, volume-limit, integrate, retain,
-    /// export under the policy's knobs.
-    fn apply_operators(&mut self, sensed: &Sensed, knobs: &KnobSettings) -> PlannerMap {
-        // Stamp the decay epoch before integrating: with voxel decay
-        // enabled, this decision's occupied observations are "fresh" and
-        // older ones age against this counter (no-op when decay is off).
-        self.map.set_epoch(self.decisions as u64);
-        let downsampled = sensed.raw_cloud.downsampled(knobs.point_cloud_precision);
-        let limited = downsampled.volume_limited(self.drone.position, knobs.octomap_volume);
-        // Substrate note: free-space carving uses a step no finer than
-        // 0.5 m regardless of the knob — the latency charged for the
-        // stage comes from the calibrated model, so the carve step only
-        // affects map fidelity, not the reported cost.
-        let carve_step = knobs.point_cloud_precision.max(0.5);
-        self.map.integrate_cloud(&limited, carve_step);
-        self.map
-            .retain_within(self.drone.position, self.cfg.map_retain_radius);
+    /// export under the policy's knobs. A blackout or stale-map fault
+    /// withholds integration entirely — the planner keeps exporting from
+    /// the aging map, and the data age feeds the stale-derating law.
+    fn apply_operators(
+        &mut self,
+        sensed: &Sensed,
+        knobs: &KnobSettings,
+        stale: bool,
+    ) -> PlannerMap {
+        if !stale {
+            // Stamp the decay epoch before integrating: with voxel decay
+            // enabled, this decision's occupied observations are "fresh"
+            // and older ones age against this counter (no-op when decay
+            // is off).
+            self.map.set_epoch(self.decisions as u64);
+            let downsampled = sensed.raw_cloud.downsampled(knobs.point_cloud_precision);
+            let limited = downsampled.volume_limited(self.drone.position, knobs.octomap_volume);
+            // Substrate note: free-space carving uses a step no finer than
+            // 0.5 m regardless of the knob — the latency charged for the
+            // stage comes from the calibrated model, so the carve step only
+            // affects map fidelity, not the reported cost.
+            let carve_step = knobs.point_cloud_precision.max(0.5);
+            self.map.integrate_cloud(&limited, carve_step);
+            self.map
+                .retain_within(self.drone.position, self.cfg.map_retain_radius);
+            self.last_integration_time = self.clock.now();
+        }
         PlannerMap::export(
             &self.map,
             &ExportConfig::new(
@@ -878,6 +1078,7 @@ impl<'m> DecisionCycle<'m> {
         commanded_velocity: f64,
         speculative: Option<SpeculationVerdict>,
         in_danger: bool,
+        forced_failure: bool,
     ) -> Planned {
         let static_blockage = self.first_blockage(export);
         // A moving obstacle predicted to cross the remaining trajectory
@@ -894,7 +1095,13 @@ impl<'m> DecisionCycle<'m> {
         let blockage = merge_blockages(static_blockage, predicted_conflict);
         let need_plan = self.need_plan(blockage) || in_danger;
         let mut replanned = false;
-        if need_plan {
+        // A forced planner failure (fault plan, or an unrecovered
+        // watchdog abort) means no planner output exists this decision:
+        // the synchronous path is skipped outright and `take_speculation`
+        // already discarded any arrived speculation before the overlap
+        // accounting. The caller's degradation ladder (or, for the
+        // fault-oblivious baseline, nothing at all) takes over.
+        if need_plan && !forced_failure {
             match speculative {
                 // `take_speculation` already discards (and accounts for)
                 // arrived speculations on in-danger decisions, so an
@@ -914,6 +1121,7 @@ impl<'m> DecisionCycle<'m> {
             blockage,
             replanned,
             in_danger,
+            needed: need_plan,
         }
     }
 
@@ -1158,14 +1366,17 @@ impl<'m> DecisionCycle<'m> {
         knobs: &KnobSettings,
         breakdown: &LatencyBreakdown,
         in_danger: bool,
+        forced_failure: bool,
     ) -> (Option<SpeculationVerdict>, f64) {
         let (Some(worker), Some(pending)) = (worker, self.pending.take()) else {
             return (None, 0.0);
         };
-        let outcome = worker
-            .outcomes
-            .recv()
-            .expect("speculation worker hung up mid-mission");
+        // A hung-up worker (its thread panicked) degrades to a discarded
+        // speculation — the mission falls back to synchronous replanning
+        // instead of tearing down mid-flight.
+        let Ok(outcome) = worker.outcomes.recv() else {
+            return (Some(SpeculationVerdict::Discarded), 0.0);
+        };
         let fresh_goal = self.local_goal(export);
         let mut verdict = validate_speculation(
             &outcome.outcome,
@@ -1188,7 +1399,13 @@ impl<'m> DecisionCycle<'m> {
         // before the hit/masked accounting below, keeps the overlap
         // metrics honest: a dropped speculation masks nothing.
         if let SpeculationVerdict::Adopted(t) | SpeculationVerdict::Patched(t) = &verdict {
-            if in_danger
+            if forced_failure {
+                // The fault plan failed this decision's planner outright;
+                // the speculation is the same planner's output, so it is
+                // lost with it (before the hit/masked accounting — a
+                // dropped speculation masks nothing).
+                verdict = SpeculationVerdict::Discarded;
+            } else if in_danger
                 || !self
                     .hazards
                     .path_clear(t.points().iter().map(|p| p.position))
@@ -1290,13 +1507,33 @@ impl<'m> DecisionCycle<'m> {
     pub(crate) fn run_decision(&mut self, mut worker: Option<&mut PlanAheadWorker>) {
         self.decisions += 1;
 
+        // The fault plan's verdict for this decision: a pure function of
+        // (plan seed, decision index), identical across drivers and runs.
+        let frame = self
+            .fault_plan
+            .as_ref()
+            .map(|plan| plan.frame(self.decisions as u64))
+            .unwrap_or_default();
+        self.degradation_stats.faults_injected += frame.injected_count();
+
         // sense → profile → govern → operate → cost.
-        let sensed = self.sense();
+        let sensed = self.sense(&frame);
         let profile = self.profile(&sensed);
         let policy = self.govern(&profile);
         let knobs = policy.knobs;
-        let export = self.apply_operators(&sensed, &knobs);
-        let breakdown = self.decision_cost(&knobs);
+        let stale_map = frame.sensor_blackout || frame.map_stale;
+        let export = self.apply_operators(&sensed, &knobs, stale_map);
+        let mut breakdown = self.decision_cost(&knobs);
+
+        // Planner fault channels: the watchdog/retry policy (degradation
+        // armed) or the baseline's serialised spike — the thesis of the
+        // fault sweep in one branch.
+        let (mut degradation, forced_failure) = apply_planner_faults(
+            &mut breakdown,
+            &frame,
+            &self.cfg.degradation,
+            &mut self.degradation_stats,
+        );
         // Moving-obstacle prediction for this decision's instant (empty
         // in static worlds), folded into the shared hazard source every
         // consumer below — blockage detection, the planner's composed
@@ -1318,6 +1555,7 @@ impl<'m> DecisionCycle<'m> {
             &knobs,
             &breakdown,
             in_danger,
+            forced_failure,
         );
         let latency = breakdown.critical_path(masked);
 
@@ -1338,8 +1576,23 @@ impl<'m> DecisionCycle<'m> {
             ),
             _ => 0.0,
         };
+        // Stale-perception derating: with degradation armed and the map
+        // older than this decision (a blackout or stale epoch withheld
+        // integration), the governor's data-age law shaves the visible
+        // margin by how far the world may have drifted since the last
+        // integration — the same structure as the closing-speed term.
+        // `data_age` is exactly 0.0 on decisions that integrated, so the
+        // healthy path never enters this arm.
+        let data_age = self.clock.now() - self.last_integration_time;
+        let derate = self.cfg.degradation.enabled && data_age > 0.0;
         let commanded_velocity = match self.cfg.mode {
             RuntimeMode::SpatialOblivious => self.baseline_velocity,
+            RuntimeMode::SpatialAware if derate => self.governor.safe_velocity_stale(
+                breakdown.critical_path(masked),
+                profile.visibility,
+                closing_speed,
+                data_age,
+            ),
             RuntimeMode::SpatialAware if closing_speed > 0.0 => {
                 self.governor.safe_velocity_closing(
                     breakdown.critical_path(masked),
@@ -1352,10 +1605,60 @@ impl<'m> DecisionCycle<'m> {
                     .safe_velocity_overlapped(&breakdown, masked, profile.visibility)
             }
         };
+        if derate && degradation == Degradation::Healthy {
+            degradation = Degradation::StalePerception;
+        }
 
-        // Plan (or adopt), then the emergency-stop policy.
-        let planned = self.plan(&export, &knobs, commanded_velocity, speculative, in_danger);
-        self.emergency_stop(&planned, latency);
+        // Plan (or adopt), then the degradation ladder and the
+        // emergency-stop policy.
+        let planned = self.plan(
+            &export,
+            &knobs,
+            commanded_velocity,
+            speculative,
+            in_danger,
+            forced_failure,
+        );
+        let mut hover = false;
+        if self.cfg.degradation.enabled {
+            if forced_failure && planned.needed && !planned.replanned {
+                // Fallback ladder: reuse the last valid trajectory while
+                // it is clear, hover in place otherwise, and bottom out
+                // in a wedge-retreat safe-stop once hovering has not
+                // bought a plan for `hover_limit` consecutive decisions.
+                let reusable = self.follower.as_ref().is_some_and(|f| !f.finished());
+                if reusable && planned.blockage.is_none() && !planned.in_danger {
+                    degradation = Degradation::ReusedTrajectory;
+                    self.hover_streak = 0;
+                } else if self.hover_streak >= self.cfg.degradation.hover_limit {
+                    let retreat = self.retreat_trajectory(&export);
+                    self.install_trajectory(retreat);
+                    self.safe_stopped = true;
+                    self.degradation_stats.safe_stops += 1;
+                    degradation = Degradation::SafeStop;
+                } else {
+                    hover = true;
+                    self.hover_streak += 1;
+                    degradation = Degradation::Hover;
+                }
+            } else {
+                self.hover_streak = 0;
+                // Perception too old to trust: hold position until fresh
+                // data arrives rather than flying through unsensed space.
+                // Hovering is indefinitely safe, so stale hovers never
+                // escalate towards the safe-stop.
+                if data_age > self.cfg.degradation.stale_hover_age {
+                    hover = true;
+                    degradation = Degradation::Hover;
+                }
+            }
+        }
+        if !hover && degradation != Degradation::SafeStop {
+            self.emergency_stop(&planned, latency);
+        }
+        if degradation.is_degraded() {
+            self.degradation_stats.degraded_decisions += 1;
+        }
 
         // Record.
         let cpu_sample = self
@@ -1373,6 +1676,7 @@ impl<'m> DecisionCycle<'m> {
             cpu_utilization: cpu_sample.utilization,
             zone: Some(zone_label(self.env.zone_at(self.drone.position))),
             masked_latency: masked,
+            degradation,
         });
 
         // Advance the world for the (critical-path) epoch. Moving actors
@@ -1391,12 +1695,20 @@ impl<'m> DecisionCycle<'m> {
             &self.cfg.energy,
             epoch,
             commanded_velocity,
-            |position, dt| match follower.as_mut() {
-                Some(f) if !f.finished() => {
-                    let cmd = f.update(position, dt);
-                    Some((cmd.target, cmd.speed))
+            |position, dt| {
+                if hover {
+                    // A hovering decision issues no motion command: the
+                    // physics brake the MAV in place. The follower keeps
+                    // its progress so a later decision can resume it.
+                    return None;
                 }
-                _ => None,
+                match follower.as_mut() {
+                    Some(f) if !f.finished() => {
+                        let cmd = f.update(position, dt);
+                        Some((cmd.target, cmd.speed))
+                    }
+                    _ => None,
+                }
             },
             |position, time| {
                 dynamics.is_some_and(|world| {
@@ -1432,6 +1744,7 @@ impl<'m> DecisionCycle<'m> {
             self.collided,
             &self.stats,
             &self.dynamics_stats,
+            &self.degradation_stats,
         );
         MissionResult {
             metrics,

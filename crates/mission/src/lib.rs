@@ -25,7 +25,10 @@
 //! * [`scenarios`] — the paper's two motivating missions (package delivery,
 //!   search and rescue) plus the small environments used by Figures 3/4.
 //! * [`sweep`] — the 27-environment evaluation of Section V with the
-//!   Fig. 7 aggregate metrics and the Fig. 8 sensitivity groupings.
+//!   Fig. 7 aggregate metrics and the Fig. 8 sensitivity groupings, plus
+//!   the fault sweep of the robustness evaluation (deterministic fault
+//!   campaigns against the fault-oblivious and degradation-aware
+//!   configurations of the same design).
 //! * [`breakdown`] — Fig. 11 latency-breakdown series and zone statistics.
 //! * [`report`] — plain-text tables and CSV series for the experiment
 //!   harness.
@@ -43,11 +46,12 @@ pub mod scenarios;
 pub mod sweep;
 
 pub use breakdown::{ZoneBreakdown, ZoneStats};
+pub use cycle::DegradationStats;
 pub use metrics::{AggregateMetrics, MissionMetrics};
 pub use node_pipeline::{NodePipeline, NodePipelineConfig, NodePipelineResult};
-pub use runner::{MissionConfig, MissionResult, MissionRunner};
-pub use scenarios::{DynamicDifficulty, DynamicScenario, Scenario};
+pub use runner::{DegradationConfig, MissionConfig, MissionResult, MissionRunner};
+pub use scenarios::{DynamicDifficulty, DynamicScenario, FaultScenario, Scenario};
 pub use sweep::{
-    DynamicMatrixConfig, DynamicMatrixRow, DynamicSweepConfig, DynamicSweepRow, SensitivityRow,
-    SweepConfig, SweepResults,
+    DynamicMatrixConfig, DynamicMatrixRow, DynamicSweepConfig, DynamicSweepRow, FaultSweepConfig,
+    FaultSweepRow, SensitivityRow, SweepConfig, SweepResults,
 };

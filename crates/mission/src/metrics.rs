@@ -43,6 +43,22 @@ pub struct MissionMetrics {
     /// obstacle's predicted occupancy crossed the speculative
     /// trajectory. Zero in static worlds or with plan-ahead off.
     pub predicted_invalidations: usize,
+    /// Fault-channel activations injected by the armed
+    /// [`FaultPlan`](roborun_faults::FaultPlan) over the mission (one per
+    /// active channel per decision, plus bus fault events on the node
+    /// pipeline). Zero on healthy missions.
+    pub faults_injected: usize,
+    /// Decisions on which the planning watchdog fired (the modelled
+    /// planning latency exceeded the watchdog budget).
+    pub watchdog_fires: usize,
+    /// Total bounded planning retries attempted after watchdog aborts.
+    pub retries: usize,
+    /// Decisions recorded with a non-`Healthy`
+    /// [`Degradation`](roborun_core::Degradation) state.
+    pub degraded_decisions: usize,
+    /// 1 when the mission ended in a deliberate wedge-retreat safe-stop
+    /// (the bottom of the degradation ladder), else 0.
+    pub safe_stops: usize,
 }
 
 impl MissionMetrics {
@@ -196,6 +212,11 @@ mod tests {
             plan_ahead_hits: 0,
             dynamic_replans: 0,
             predicted_invalidations: 0,
+            faults_injected: 0,
+            watchdog_fires: 0,
+            retries: 0,
+            degraded_decisions: 0,
+            safe_stops: 0,
         }
     }
 

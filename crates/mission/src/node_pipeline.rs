@@ -30,19 +30,22 @@
 //! pipeline is bit-identical to the synchronous behaviour.
 
 use crate::cycle::{
-    self, direction_towards, planning_bounds, zone_label, DynamicsStats, PlanAheadStats,
-    PlanAheadWorker, SpeculationRequest, SpeculationVerdict,
+    self, direction_towards, planning_bounds, zone_label, DegradationStats, DynamicsStats,
+    PlanAheadStats, PlanAheadWorker, SpeculationRequest, SpeculationVerdict,
 };
 use crate::runner::{MissionConfig, MissionResult};
 use roborun_control::TrajectoryFollower;
 use roborun_core::{
-    DecisionRecord, Governor, MissionTelemetry, Policy, Profilers, RuntimeMode, SpatialProfile,
+    DecisionRecord, Degradation, Governor, MissionTelemetry, Policy, Profilers, RuntimeMode,
+    SpatialProfile,
 };
 use roborun_dynamics::DynamicWorld;
 use roborun_env::{Environment, ObstacleField};
+use roborun_faults::{FaultFrame, FaultPlan, FaultyBus};
 use roborun_geom::{Aabb, Vec3};
 use roborun_middleware::{
-    CommLatencyModel, GraphInfo, Message, MessageBus, Node, Publisher, QosProfile, Subscription,
+    CommLatencyModel, GraphInfo, Message, MessageBus, MiddlewareError, Node, Publisher, QosProfile,
+    Stamped, Subscription,
 };
 use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
 use roborun_planning::{CollisionChecker, PlanError, PlanStats, PredictedHazards, Trajectory};
@@ -211,6 +214,29 @@ impl Message for ControlStatusMsg {
 // Pipeline nodes
 // ---------------------------------------------------------------------------
 
+/// Drains a subscription to its newest sample like
+/// [`Subscription::latest`], but surfaces structural failures instead of
+/// silently swallowing them: a corrupted payload
+/// ([`MiddlewareError::PayloadTypeCorrupted`]) bumps the node's
+/// corruption counter and the frame is *skipped* — the consumer keeps
+/// its previous cached value and retries on the next sample — rather
+/// than terminating the pipeline. The counters surface as degraded
+/// decisions in the telemetry.
+fn latest_checked<T: Message>(sub: &Subscription<T>, corrupted: &mut u64) -> Option<Stamped<T>> {
+    let mut newest = None;
+    loop {
+        match sub.recv_checked() {
+            Ok(Some(sample)) => newest = Some(sample),
+            Ok(None) => return newest,
+            Err(MiddlewareError::PayloadTypeCorrupted { .. }) => *corrupted += 1,
+            // Any other structural failure (unknown topic/subscription —
+            // a peer dropped mid-mission) leaves the cached value in
+            // place; the caller's None-handling degrades gracefully.
+            Err(_) => return newest,
+        }
+    }
+}
+
 struct SensorNode {
     rig: CameraRig,
     points_pub: Publisher<PointCloudMsg>,
@@ -226,10 +252,23 @@ impl SensorNode {
         }
     }
 
-    fn spin(&self, field: &ObstacleField, drone: &DroneState) {
+    fn spin(&self, field: &ObstacleField, drone: &DroneState, frame: &FaultFrame) {
         let pose = drone.pose();
-        let scan = self.rig.capture(field, &pose);
-        let cloud = PointCloud::new(pose.position, scan.points);
+        let cloud = if frame.sensor_blackout {
+            // The whole sweep is lost: an empty cloud still crosses the
+            // bus (the frame header a real driver would publish), so
+            // downstream nodes observe the blackout rather than hanging.
+            PointCloud::new(pose.position, Vec::new())
+        } else {
+            let scan = self.rig.capture(field, &pose);
+            let points = match frame.sensor_burst {
+                Some(burst) => {
+                    cycle::burst_injector(burst).corrupt_sweep(pose.position, &scan.points)
+                }
+                None => scan.points,
+            };
+            PointCloud::new(pose.position, points)
+        };
         let _ = self.points_pub.publish(PointCloudMsg(cloud));
         let _ = self.odom_pub.publish(OdometryMsg {
             position: drone.position,
@@ -257,6 +296,12 @@ struct PerceptionNode {
     planner_start_blocked: bool,
     /// Decision counter stamped onto the map as the voxel-decay epoch.
     epochs: u64,
+    /// A cloud sample arrived since the last integration — a lossy link
+    /// dropping `/sensors/points` must not let a stale cached cloud
+    /// masquerade as fresh sensing (the data-age law depends on it).
+    cloud_fresh: bool,
+    /// Corrupted samples skipped by the checked subscription drains.
+    corrupted: u64,
 }
 
 impl PerceptionNode {
@@ -292,19 +337,22 @@ impl PerceptionNode {
             latest_trajectory: None,
             planner_start_blocked: false,
             epochs: 0,
+            cloud_fresh: false,
+            corrupted: 0,
         }
     }
 
     /// First half of the perception stage: ingest the newest sensor data
     /// and publish the profiled spatial state the governor needs.
     fn profile_spin(&mut self, goal: Vec3) {
-        if let Some(sample) = self.cloud_sub.latest() {
+        if let Some(sample) = latest_checked(&self.cloud_sub, &mut self.corrupted) {
             self.latest_cloud = Some(sample.message.0);
+            self.cloud_fresh = true;
         }
-        if let Some(sample) = self.odom_sub.latest() {
+        if let Some(sample) = latest_checked(&self.odom_sub, &mut self.corrupted) {
             self.latest_odom = Some(sample.message);
         }
-        if let Some(sample) = self.trajectory_sub.latest() {
+        if let Some(sample) = latest_checked(&self.trajectory_sub, &mut self.corrupted) {
             self.latest_trajectory = Some(sample.message.0);
         }
         let (Some(cloud), Some(odom)) = (self.latest_cloud.as_ref(), self.latest_odom) else {
@@ -324,12 +372,15 @@ impl PerceptionNode {
 
     /// Second half of the perception stage: apply the governor's precision
     /// and volume operators, update the occupancy map and publish the
-    /// pruned planner map.
-    fn map_spin(&mut self) {
-        if let Some(sample) = self.policy_sub.latest() {
+    /// pruned planner map. Integration is withheld on a stale decision
+    /// (blackout / stale-map fault) or when no fresh cloud arrived (a
+    /// lossy link dropped the sweep) — the planner keeps exporting from
+    /// the aging map. Returns `true` when fresh sensing was integrated.
+    fn map_spin(&mut self, stale: bool) -> bool {
+        if let Some(sample) = latest_checked(&self.policy_sub, &mut self.corrupted) {
             self.latest_policy = Some(sample.message.0);
         }
-        if let Some(sample) = self.feedback_sub.latest() {
+        if let Some(sample) = latest_checked(&self.feedback_sub, &mut self.corrupted) {
             self.planner_start_blocked = sample.message.start_blocked;
         }
         let (Some(cloud), Some(odom), Some(policy)) = (
@@ -337,17 +388,21 @@ impl PerceptionNode {
             self.latest_odom,
             self.latest_policy,
         ) else {
-            return;
+            return false;
         };
         let knobs = policy.knobs;
-        let downsampled = cloud.downsampled(knobs.point_cloud_precision);
-        let limited = downsampled.volume_limited(odom.position, knobs.octomap_volume);
-        let carve_step = knobs.point_cloud_precision.max(0.5);
-        self.epochs += 1;
-        self.map.set_epoch(self.epochs);
-        self.map.integrate_cloud(&limited, carve_step);
-        self.map
-            .retain_within(odom.position, self.map_retain_radius);
+        let integrate = self.cloud_fresh && !stale;
+        if integrate {
+            self.cloud_fresh = false;
+            let downsampled = cloud.downsampled(knobs.point_cloud_precision);
+            let limited = downsampled.volume_limited(odom.position, knobs.octomap_volume);
+            let carve_step = knobs.point_cloud_precision.max(0.5);
+            self.epochs += 1;
+            self.map.set_epoch(self.epochs);
+            self.map.integrate_cloud(&limited, carve_step);
+            self.map
+                .retain_within(odom.position, self.map_retain_radius);
+        }
         // When the planner reported that the drone's own position is
         // swallowed by a coarse occupied voxel, export at the worst-case
         // (finest) precision until it recovers — the same fallback a
@@ -362,6 +417,7 @@ impl PerceptionNode {
             &ExportConfig::new(export_precision, knobs.map_to_planner_volume, odom.position),
         );
         let _ = self.map_pub.publish(PlannerMapMsg(export));
+        integrate
     }
 }
 
@@ -370,6 +426,8 @@ struct RuntimeNode {
     profile_sub: Subscription<ProfileMsg>,
     policy_pub: Publisher<PolicyMsg>,
     latest_profile: Option<SpatialProfile>,
+    /// Corrupted samples skipped by the checked subscription drains.
+    corrupted: u64,
 }
 
 impl RuntimeNode {
@@ -381,11 +439,12 @@ impl RuntimeNode {
                 .expect("profile subscription"),
             policy_pub: node.publisher("/runtime/policy").expect("policy topic"),
             latest_profile: None,
+            corrupted: 0,
         }
     }
 
     fn spin(&mut self) -> Option<Policy> {
-        if let Some(sample) = self.profile_sub.latest() {
+        if let Some(sample) = latest_checked(&self.profile_sub, &mut self.corrupted) {
             self.latest_profile = Some(sample.message.0);
         }
         let profile = self.latest_profile.as_ref()?;
@@ -395,10 +454,18 @@ impl RuntimeNode {
     }
 
     /// The velocity the runtime allows for the next epoch given the actual
-    /// decision latency and the worst closing speed of any sensed moving
-    /// obstacle (zero in a static world, where this reduces exactly to
-    /// the plain budget law).
-    fn commanded_velocity(&self, mode: RuntimeMode, latency: f64, closing_speed: f64) -> f64 {
+    /// decision latency, the worst closing speed of any sensed moving
+    /// obstacle (zero in a static world) and the age of the last map
+    /// integration (zero with fresh perception or degradation disarmed).
+    /// With both extra terms zero this reduces exactly to the plain
+    /// budget law.
+    fn commanded_velocity(
+        &self,
+        mode: RuntimeMode,
+        latency: f64,
+        closing_speed: f64,
+        data_age: f64,
+    ) -> f64 {
         match mode {
             RuntimeMode::SpatialOblivious => self.governor.baseline_velocity(),
             RuntimeMode::SpatialAware => {
@@ -407,8 +474,13 @@ impl RuntimeNode {
                     .as_ref()
                     .map(|p| p.visibility)
                     .unwrap_or(self.governor.config().oblivious_visibility);
-                self.governor
-                    .safe_velocity_closing(latency, visibility, closing_speed)
+                if data_age > 0.0 {
+                    self.governor
+                        .safe_velocity_stale(latency, visibility, closing_speed, data_age)
+                } else {
+                    self.governor
+                        .safe_velocity_closing(latency, visibility, closing_speed)
+                }
             }
         }
     }
@@ -487,6 +559,25 @@ struct PlanningNode {
     /// after the fine-export fallback has had its chance, a dynamic
     /// mission retreats out of the margin shell instead of hovering.
     start_blocked_streak: usize,
+    /// Corrupted samples skipped by the checked subscription drains.
+    corrupted: u64,
+}
+
+/// What the planning spin decided — the coordinator's view of the stage,
+/// mirroring the direct driver's `Planned` so the degradation ladder can
+/// run outside the node.
+#[derive(Clone, Copy)]
+struct NodePlanned {
+    /// Whether this decision needed a plan at all.
+    needed: bool,
+    /// Whether a replacement trajectory was installed/published.
+    replanned: bool,
+    /// A blockage (mapped or predicted) sits on the remaining trajectory.
+    blocked: bool,
+    /// The blockage is within stopping range.
+    imminent: bool,
+    /// The drone's own position sits inside predicted occupancy.
+    in_danger: bool,
 }
 
 impl PlanningNode {
@@ -541,6 +632,7 @@ impl PlanningNode {
             dynamic_replans: 0,
             predicted_invalidations: 0,
             start_blocked_streak: 0,
+            corrupted: 0,
         }
     }
 
@@ -548,16 +640,16 @@ impl PlanningNode {
     /// latest-value fields (shared by the planning spin and the
     /// speculation join, whichever runs first in a decision).
     fn refresh_inputs(&mut self) {
-        if let Some(sample) = self.map_sub.latest() {
+        if let Some(sample) = latest_checked(&self.map_sub, &mut self.corrupted) {
             self.latest_map = Some(sample.message.0);
         }
-        if let Some(sample) = self.policy_sub.latest() {
+        if let Some(sample) = latest_checked(&self.policy_sub, &mut self.corrupted) {
             self.latest_policy = Some(sample.message.0);
         }
-        if let Some(sample) = self.odom_sub.latest() {
+        if let Some(sample) = latest_checked(&self.odom_sub, &mut self.corrupted) {
             self.latest_odom = Some(sample.message);
         }
-        if let Some(sample) = self.status_sub.latest() {
+        if let Some(sample) = latest_checked(&self.status_sub, &mut self.corrupted) {
             self.latest_status = Some(sample.message);
         }
     }
@@ -574,22 +666,26 @@ impl PlanningNode {
         env: &Environment,
         predicted: &[Aabb],
         planning_latency: f64,
+        forced_failure: bool,
     ) -> f64 {
         self.speculative = None;
         let (Some(worker), Some(pending)) = (worker, self.pending.take()) else {
             return 0.0;
         };
         self.refresh_inputs();
-        let answer = worker
-            .outcomes
-            .recv()
-            .expect("speculation worker hung up mid-mission");
+        // A hung-up worker (its thread panicked) degrades to a discarded
+        // speculation — the node falls back to synchronous replanning
+        // instead of tearing down the pipeline mid-flight.
+        let Ok(answer) = worker.outcomes.recv() else {
+            self.speculative = Some(SpeculationVerdict::Discarded);
+            return 0.0;
+        };
         // The speculative plan crosses the bus before validation: publish
         // it, take the copy the subscription delivers, and validate that.
         let outcome: Result<(Trajectory, PlanStats), PlanError> = match answer.outcome {
             Ok((trajectory, stats)) => {
                 let _ = self.speculation_pub.publish(SpeculationMsg(trajectory));
-                match self.speculation_sub.latest() {
+                match latest_checked(&self.speculation_sub, &mut self.corrupted) {
                     Some(sample) => Ok((sample.message.0, stats)),
                     None => Err(PlanError::NoPathFound {
                         samples_drawn: 0,
@@ -634,14 +730,21 @@ impl PlanningNode {
             cycle::predicted_relevance_range(odom.speed, self.dynamic_lookahead, self.margin);
         self.hazards.retarget(predicted, odom.position, relevance);
         if let SpeculationVerdict::Adopted(t) | SpeculationVerdict::Patched(t) = &verdict {
-            let in_danger = self.hazards.any_within(odom.position, self.margin);
-            if in_danger
-                || !self
-                    .hazards
-                    .path_clear(t.points().iter().map(|p| p.position))
-            {
-                self.predicted_invalidations += 1;
+            if forced_failure {
+                // The fault plan failed this decision's planner outright;
+                // the speculation is the same planner's output, so it is
+                // lost with it (before the hit/masked accounting).
                 verdict = SpeculationVerdict::Discarded;
+            } else {
+                let in_danger = self.hazards.any_within(odom.position, self.margin);
+                if in_danger
+                    || !self
+                        .hazards
+                        .path_clear(t.points().iter().map(|p| p.position))
+                {
+                    self.predicted_invalidations += 1;
+                    verdict = SpeculationVerdict::Discarded;
+                }
             }
         }
         let masked = match &verdict {
@@ -752,19 +855,57 @@ impl PlanningNode {
         cycle::first_blockage_distance(trajectory, progress, map, self.margin, position)
     }
 
-    fn spin(&mut self, env: &Environment, commanded_velocity: f64, predicted: &[Aabb]) {
+    /// `true` when the last valid trajectory can still be followed (the
+    /// degradation ladder's reuse rung).
+    fn can_reuse(&self) -> bool {
+        self.active_trajectory.is_some() && !self.latest_status.map(|s| s.finished).unwrap_or(true)
+    }
+
+    /// Publishes a wedge-retreat trajectory — the bottom of the
+    /// degradation ladder: back straight out of the nearest mapped
+    /// surface's margin shell and park.
+    fn publish_retreat(&mut self, position: Vec3) {
+        let Some(map) = self.latest_map.as_ref() else {
+            return;
+        };
+        let retreat = cycle::retreat_trajectory(map, position, self.margin);
+        self.active_trajectory = Some(retreat.clone());
+        self.decisions_since_plan = 0;
+        let _ = self.trajectory_pub.publish(TrajectoryMsg(retreat));
+    }
+
+    /// Drops the active trajectory (the fault-oblivious baseline's
+    /// imminent-blockage brake on a forced-failure decision).
+    fn drop_trajectory(&mut self) {
+        self.active_trajectory = None;
+    }
+
+    fn spin(
+        &mut self,
+        env: &Environment,
+        commanded_velocity: f64,
+        predicted: &[Aabb],
+        forced_failure: bool,
+    ) -> NodePlanned {
         self.decisions += 1;
         self.decisions_since_plan += 1;
         // Take this decision's joined speculation verdict (if any) so a
         // stale one can never leak into a later decision.
         let speculative = self.speculative.take();
         self.refresh_inputs();
+        let idle = NodePlanned {
+            needed: false,
+            replanned: false,
+            blocked: false,
+            imminent: false,
+            in_danger: false,
+        };
         let (Some(map), Some(policy), Some(odom)) = (
             self.latest_map.as_ref(),
             self.latest_policy,
             self.latest_odom,
         ) else {
-            return;
+            return idle;
         };
         let finished = self
             .latest_status
@@ -817,8 +958,23 @@ impl PlanningNode {
             || blockage.is_some()
             || in_danger;
         self.emergency_stop = false;
+        let planned = NodePlanned {
+            needed: need_plan,
+            replanned: false,
+            blocked: blockage.is_some(),
+            imminent: imminent_blockage,
+            in_danger,
+        };
         if !need_plan {
-            return;
+            return planned;
+        }
+        // A forced planner failure (fault plan, or an unrecovered
+        // watchdog abort) means no planner output exists this decision:
+        // the adopt and synchronous paths are skipped outright (the
+        // joined speculation was already discarded) and the
+        // coordinator's degradation ladder takes over.
+        if forced_failure {
+            return planned;
         }
         // An adopted (or goal-drift-patched) speculation replaces the
         // synchronous plan entirely — the same adopt policy as the direct
@@ -830,7 +986,10 @@ impl PlanningNode {
             self.active_trajectory = Some(trajectory.clone());
             self.decisions_since_plan = 0;
             let _ = self.trajectory_pub.publish(TrajectoryMsg(trajectory));
-            return;
+            return NodePlanned {
+                replanned: true,
+                ..planned
+            };
         }
         let knobs = policy.knobs;
         let local_goal = self.local_goal(env, map, odom.position);
@@ -889,7 +1048,10 @@ impl PlanningNode {
             self.active_trajectory = Some(retreat.clone());
             self.decisions_since_plan = 0;
             let _ = self.trajectory_pub.publish(TrajectoryMsg(retreat));
-            return;
+            return NodePlanned {
+                replanned: true,
+                ..planned
+            };
         }
         match outcome {
             // A fresh plan that crosses the predicted moving-obstacle
@@ -906,6 +1068,10 @@ impl PlanningNode {
                 self.active_trajectory = Some(trajectory.clone());
                 self.decisions_since_plan = 0;
                 let _ = self.trajectory_pub.publish(TrajectoryMsg(trajectory));
+                NodePlanned {
+                    replanned: true,
+                    ..planned
+                }
             }
             Ok(_) | Err(_) if imminent_blockage && !in_danger => {
                 // The old trajectory collides within stopping range and no
@@ -914,8 +1080,9 @@ impl PlanningNode {
                 // trajectory.
                 self.active_trajectory = None;
                 self.emergency_stop = true;
+                planned
             }
-            _ => {}
+            _ => planned,
         }
     }
 }
@@ -926,6 +1093,8 @@ struct ControlNode {
     trajectory_sub: Subscription<TrajectoryMsg>,
     status_pub: Publisher<ControlStatusMsg>,
     last_tracking_error: f64,
+    /// Corrupted samples skipped by the checked subscription drains.
+    corrupted: u64,
 }
 
 impl ControlNode {
@@ -938,13 +1107,14 @@ impl ControlNode {
                 .expect("trajectory subscription"),
             status_pub: node.publisher("/control/status").expect("status topic"),
             last_tracking_error: 0.0,
+            corrupted: 0,
         }
     }
 
     /// Adopts the newest trajectory (if one arrived) at the start of the
     /// epoch.
     fn begin_epoch(&mut self) {
-        if let Some(sample) = self.trajectory_sub.latest() {
+        if let Some(sample) = latest_checked(&self.trajectory_sub, &mut self.corrupted) {
             let trajectory = sample.message.0;
             match self.follower.as_mut() {
                 Some(f) => f.replace_trajectory(trajectory),
@@ -1090,7 +1260,18 @@ impl NodePipeline {
         let cfg = &self.config.mission;
         let live = dynamics.filter(|world| !world.is_static());
         let mut pose_cache = dynamics.map(DynamicWorld::pose_cache).unwrap_or_default();
-        let bus = MessageBus::new(self.config.comm);
+        // An armed fault plan wraps the bus in its deterministic
+        // link-fault model (message loss / duplication / delay on the
+        // configured topics); a healthy plan leaves the bus untouched.
+        let fault_plan =
+            (!cfg.fault_plan.is_healthy()).then(|| FaultPlan::new(cfg.fault_plan.clone()));
+        let bus = {
+            let bus = MessageBus::new(self.config.comm);
+            match fault_plan.as_ref().and_then(FaultPlan::link_faults) {
+                Some(model) => FaultyBus::new(bus, model).bus(),
+                None => bus,
+            }
+        };
         let governor = Governor::new(cfg.governor_config());
         let map_resolution = governor.config().ranges.precision_min;
 
@@ -1125,10 +1306,22 @@ impl NodePipeline {
         let mut reached_goal = false;
         let mut decisions = 0usize;
         let mut comm_seen = 0.0;
+        let mut degradation_stats = DegradationStats::default();
+        let mut last_integration_time = 0.0;
+        let mut hover_streak = 0u32;
+        let mut corrupted_seen = 0u64;
 
         while decisions < cfg.max_decisions && clock.now() < cfg.max_mission_time {
             decisions += 1;
             bus.set_time(clock.now());
+
+            // The fault plan's verdict for this decision: a pure function
+            // of (plan seed, decision index), identical across drivers.
+            let frame = fault_plan
+                .as_ref()
+                .map(|plan| plan.frame(decisions as u64))
+                .unwrap_or_default();
+            degradation_stats.faults_injected += frame.injected_count();
 
             // Sensor → perception profiling → governor → perception map →
             // planning, all over topics. With actors, sensing captures
@@ -1141,10 +1334,14 @@ impl NodePipeline {
                 }
                 None => env.field(),
             };
-            sensor.spin(sense_field, &drone);
+            sensor.spin(sense_field, &drone, &frame);
             perception.profile_spin(env.goal());
             let Some(policy) = runtime.spin() else { break };
-            perception.map_spin();
+            let stale_map = frame.sensor_blackout || frame.map_stale;
+            if perception.map_spin(stale_map) {
+                last_integration_time = clock.now();
+            }
+            let data_age = clock.now() - last_integration_time;
 
             let knobs = policy.knobs;
             let mut breakdown = cfg.latency.decision_breakdown(
@@ -1155,6 +1352,15 @@ impl NodePipeline {
                 knobs.map_to_planner_precision,
                 knobs.planner_volume,
                 cfg.mode.is_aware(),
+            );
+            // Planner fault channels: the watchdog/retry policy
+            // (degradation armed) or the baseline's serialised spike —
+            // the same shared arithmetic as the direct driver.
+            let (mut degradation, forced_failure) = cycle::apply_planner_faults(
+                &mut breakdown,
+                &frame,
+                &cfg.degradation,
+                &mut degradation_stats,
             );
             let predicted = live.map_or_else(Vec::new, |world| {
                 world.predicted_boxes_cached(clock.now(), cfg.dynamic_lookahead, &mut pose_cache)
@@ -1169,6 +1375,7 @@ impl NodePipeline {
                 env,
                 &predicted,
                 breakdown.planning,
+                forced_failure,
             );
             // Planning needs the commanded velocity; compute it from the
             // model-predicted compute cost plus the comm charged so far this
@@ -1192,13 +1399,80 @@ impl NodePipeline {
                     &mut pose_cache,
                 )
             });
-            let commanded_velocity =
-                runtime.commanded_velocity(cfg.mode, provisional_latency, closing_speed);
+            // Stale-perception derating: with degradation armed and the
+            // map older than this decision, the governor's data-age law
+            // shaves the visible margin (the direct driver's rule;
+            // `data_age` is exactly 0.0 on decisions that integrated, so
+            // the healthy path never enters the stale arm).
+            let derate = cfg.degradation.enabled && data_age > 0.0;
+            let commanded_velocity = runtime.commanded_velocity(
+                cfg.mode,
+                provisional_latency,
+                closing_speed,
+                if derate { data_age } else { 0.0 },
+            );
+            if derate && degradation == Degradation::Healthy {
+                degradation = Degradation::StalePerception;
+            }
 
-            planning.spin(env, commanded_velocity, &predicted);
+            let planned = planning.spin(env, commanded_velocity, &predicted, forced_failure);
+            // Degradation ladder — the same policy as the direct driver:
+            // reuse the last valid trajectory while it is clear, hover in
+            // place otherwise, and bottom out in a wedge-retreat safe-stop
+            // once hovering has not bought a plan for `hover_limit`
+            // consecutive decisions. Stale hovers never escalate.
+            let mut hover = false;
+            let mut safe_stop = false;
+            if cfg.degradation.enabled {
+                if forced_failure && planned.needed && !planned.replanned {
+                    if planning.can_reuse() && !planned.blocked && !planned.in_danger {
+                        degradation = Degradation::ReusedTrajectory;
+                        hover_streak = 0;
+                    } else if hover_streak >= cfg.degradation.hover_limit {
+                        planning.publish_retreat(drone.position);
+                        safe_stop = true;
+                        degradation_stats.safe_stops += 1;
+                        degradation = Degradation::SafeStop;
+                    } else {
+                        hover = true;
+                        hover_streak += 1;
+                        degradation = Degradation::Hover;
+                    }
+                } else {
+                    hover_streak = 0;
+                    if data_age > cfg.degradation.stale_hover_age {
+                        hover = true;
+                        degradation = Degradation::Hover;
+                    }
+                }
+            }
             control.begin_epoch();
-            if planning.emergency_stop_needed() {
+            // The fault-oblivious baseline's forced-failure decision still
+            // honours the imminent-blockage brake the direct driver's
+            // emergency-stop policy applies (no replacement plan exists,
+            // so the stale trajectory is dropped and the MAV brakes).
+            let baseline_brake = !cfg.degradation.enabled
+                && forced_failure
+                && planned.needed
+                && !planned.replanned
+                && planned.imminent
+                && !planned.in_danger;
+            if baseline_brake {
+                planning.drop_trajectory();
+            }
+            if !hover && !safe_stop && (planning.emergency_stop_needed() || baseline_brake) {
                 control.brake();
+            }
+            // Corrupted payloads drained off any subscription this decision
+            // are a degradation event even when nothing else is.
+            let corrupted_total =
+                perception.corrupted + runtime.corrupted + planning.corrupted + control.corrupted;
+            if corrupted_total > corrupted_seen && degradation == Degradation::Healthy {
+                degradation = Degradation::StalePerception;
+            }
+            corrupted_seen = corrupted_total;
+            if degradation.is_degraded() {
+                degradation_stats.degraded_decisions += 1;
             }
 
             // Replace the modeled comm term with what actually crossed the
@@ -1231,6 +1505,7 @@ impl NodePipeline {
                 cpu_utilization: cpu_sample.utilization,
                 zone: Some(zone_label(env.zone_at(drone.position))),
                 masked_latency: masked,
+                degradation,
             });
 
             // Advance the physical world for the epoch; moving actors are
@@ -1246,7 +1521,15 @@ impl NodePipeline {
                 &cfg.energy,
                 epoch,
                 commanded_velocity,
-                |position, dt| control.update(position, dt),
+                |position, dt| {
+                    if hover {
+                        // A hovering decision issues no motion command: the
+                        // physics brake the MAV in place. The controller
+                        // keeps its progress so a later decision resumes.
+                        return None;
+                    }
+                    control.update(position, dt)
+                },
                 |position, time| {
                     live.is_some_and(|world| {
                         world.actor_hit_cached(position, time, body_margin, &mut pose_cache)
@@ -1262,6 +1545,10 @@ impl NodePipeline {
             }
             if drone.position.distance(env.goal()) <= cfg.goal_tolerance {
                 reached_goal = true;
+                break;
+            }
+            // A safe-stop flew its retreat epoch; the mission is over.
+            if safe_stop {
                 break;
             }
             // Plan-ahead launch: speculate the next decision's plan while
@@ -1281,6 +1568,10 @@ impl NodePipeline {
         }
 
         let mission_time = clock.now().max(1e-9);
+        // Bus-level fault events (lost/duplicated/delayed messages) are
+        // injections too — the direct driver has no bus, so this term is
+        // the node pipeline's own.
+        degradation_stats.faults_injected += bus.link_fault_stats().total_events() as usize;
         let metrics = cycle::finalize_metrics(
             cfg.mode,
             mission_time,
@@ -1295,6 +1586,7 @@ impl NodePipeline {
                 dynamic_replans: planning.dynamic_replans,
                 predicted_invalidations: planning.predicted_invalidations,
             },
+            &degradation_stats,
         );
         let graph = GraphInfo::snapshot(&bus);
         NodePipelineResult {

@@ -6,7 +6,7 @@
 //! plotted with any external tool.
 
 use crate::metrics::ImprovementFactors;
-use crate::sweep::DynamicMatrixRow;
+use crate::sweep::{DynamicMatrixRow, FaultSweepRow};
 use crate::{SensitivityRow, SweepResults};
 use roborun_core::MissionTelemetry;
 
@@ -164,6 +164,41 @@ pub fn dynamic_matrix_csv(rows: &[DynamicMatrixRow]) -> String {
     out
 }
 
+/// The fault sweep as CSV: one row per `(scenario, seed)` case with the
+/// safety outcome and the degradation counters of both runs — the series
+/// behind the robustness headline (the fault-oblivious baseline collides
+/// or deadlocks where the degradation-aware runtime completes or
+/// safe-stops).
+pub fn fault_csv(rows: &[FaultSweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "scenario,seed,baseline_mission_time_s,baseline_reached_goal,baseline_collided,\
+         baseline_faults_injected,aware_mission_time_s,aware_reached_goal,aware_collided,\
+         aware_faults_injected,aware_watchdog_fires,aware_retries,aware_degraded_decisions,\
+         aware_safe_stops\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:?},{},{:.3},{},{},{},{:.3},{},{},{},{},{},{},{}\n",
+            row.scenario,
+            row.seed,
+            row.baseline.mission_time,
+            row.baseline.reached_goal,
+            row.baseline.collided,
+            row.baseline.faults_injected,
+            row.degraded.mission_time,
+            row.degraded.reached_goal,
+            row.degraded.collided,
+            row.degraded.faults_injected,
+            row.degraded.watchdog_fires,
+            row.degraded.retries,
+            row.degraded.degraded_decisions,
+            row.degraded.safe_stops,
+        ));
+    }
+    out
+}
+
 /// The Fig. 10c / Fig. 5-style time series of a mission's telemetry:
 /// `time, latency, deadline, precision, velocity, visibility` per decision.
 pub fn telemetry_csv(telemetry: &MissionTelemetry) -> String {
@@ -253,7 +288,7 @@ pub fn breakdown_csv(telemetry: &MissionTelemetry) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use roborun_core::{DecisionRecord, KnobSettings, RuntimeMode};
+    use roborun_core::{DecisionRecord, Degradation, KnobSettings, RuntimeMode};
     use roborun_geom::Vec3;
     use roborun_sim::LatencyBreakdown;
 
@@ -300,6 +335,7 @@ mod tests {
                 cpu_utilization: 0.4,
                 zone: Some('A'),
                 masked_latency: 0.0,
+                degradation: Degradation::Healthy,
             });
         }
         let series = telemetry_csv(&telemetry);

@@ -20,6 +20,7 @@ use crate::metrics::MissionMetrics;
 use roborun_core::{KnobAblation, MissionTelemetry, Profilers, RuntimeMode};
 use roborun_dynamics::DynamicWorld;
 use roborun_env::Environment;
+use roborun_faults::FaultPlanConfig;
 use roborun_geom::Vec3;
 use roborun_sim::{
     CameraRig, ComputeLatencyModel, CpuModel, DepthCamera, DroneConfig, EnergyModel, FaultConfig,
@@ -103,8 +104,58 @@ pub struct MissionConfig {
     /// delta the incremental collision checker patches from). `None`
     /// (the default) keeps the classic accrete-only map bit for bit.
     pub voxel_decay: Option<u64>,
+    /// Deterministic fault campaign over the whole stack: sensor
+    /// blackouts/bursts, planner spikes and forced failures, stale-map
+    /// epochs, and (on the node pipeline) bus link faults. Healthy by
+    /// default; a healthy plan is never armed, so faults-off missions run
+    /// the exact pre-fault code path bit for bit.
+    pub fault_plan: FaultPlanConfig,
+    /// Graceful-degradation runtime: the planning watchdog with bounded
+    /// retries, the reuse → hover → wedge-retreat fallback ladder, and
+    /// stale-perception velocity derating. Disabled by default; the
+    /// fault-oblivious baseline runs with this off.
+    pub degradation: DegradationConfig,
     /// Random seed for the stochastic planner.
     pub seed: u64,
+}
+
+/// Configuration of the graceful-degradation runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationConfig {
+    /// Master switch. With `false` (the default) every fault is absorbed
+    /// the way the pre-degradation runtime absorbed it: spikes serialise
+    /// into the decision epoch, failed plans silently keep the old
+    /// trajectory, stale data flies at full trust.
+    pub enabled: bool,
+    /// Planning watchdog budget (seconds): a planning stage modelled to
+    /// exceed this is aborted at the budget and retried.
+    pub watchdog_budget: f64,
+    /// Bounded retries after a watchdog abort.
+    pub max_retries: u32,
+    /// Multiplicative decay applied to the modelled spike on each retry
+    /// (a transient overload drains away; a forced failure never
+    /// succeeds regardless).
+    pub retry_backoff: f64,
+    /// Consecutive planner-failure hovers tolerated before the ladder
+    /// bottoms out into a wedge-retreat safe-stop.
+    pub hover_limit: u32,
+    /// Perception data age (seconds) beyond which the runtime stops
+    /// trusting the map enough to move at all and hovers until sensing
+    /// recovers.
+    pub stale_hover_age: f64,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            enabled: false,
+            watchdog_budget: 4.0,
+            max_retries: 2,
+            retry_backoff: 0.5,
+            hover_limit: 6,
+            stale_hover_age: 8.0,
+        }
+    }
 }
 
 impl MissionConfig {
@@ -137,6 +188,8 @@ impl MissionConfig {
             dynamic_lookahead: 4.0,
             predicted_costmap: false,
             voxel_decay: None,
+            fault_plan: FaultPlanConfig::healthy(),
+            degradation: DegradationConfig::default(),
             seed: 1,
         }
     }

@@ -1,11 +1,16 @@
 //! Mission scenarios: the paper's motivating missions, the small
-//! environments behind Figures 3 and 4, and the moving-obstacle
-//! (dynamic-world) scenario families.
+//! environments behind Figures 3 and 4, the moving-obstacle
+//! (dynamic-world) scenario families, and the fault-injection scenario
+//! families of the robustness evaluation.
 
 use roborun_dynamics::{Actor, DynamicWorld, MotionModel};
 use roborun_env::{
     DifficultyConfig, Environment, EnvironmentGenerator, GeneratorParams, Obstacle, ObstacleField,
     ZoneLayout,
+};
+use roborun_faults::{
+    BusFaultChannel, FaultPlanConfig, FaultWindows, LinkFaultConfig, MapFaultChannel,
+    PlannerFaultChannel, SensorFaultChannel,
 };
 use roborun_geom::{Aabb, SplitMix64, Vec3};
 use serde::{Deserialize, Serialize};
@@ -300,6 +305,172 @@ impl DynamicScenario {
         }
     }
 }
+
+/// The fault-injection scenario families of the robustness evaluation:
+/// each pairs a static environment with a deterministic
+/// [`FaultPlanConfig`] and exercises one degradation story — sensing
+/// faults, middleware faults, and planning faults.
+///
+/// Every family is a pure function of its seed: the environment comes
+/// from the [`EnvironmentGenerator`] and the fault plan's windows/dice
+/// from the plan seed, so a scenario run is bit-reproducible across runs
+/// and (for the non-bus families) across both mission drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultScenario {
+    /// A corridor flight under periodic full sensor blackouts with noisy
+    /// recovery bursts: the fault-oblivious design keeps flying through
+    /// space it never sensed, the degradation-aware runtime derates on
+    /// data age and hovers through the worst of it.
+    SensorBlackoutCorridor,
+    /// A patrol through a denser block over a lossy middleware: the
+    /// point-cloud topic drops most samples (and the trajectory topic a
+    /// few), so map updates starve at the perception node. Runs on the
+    /// node pipeline — link faults only exist on a real bus.
+    LossyLinkPatrol,
+    /// Planner brownout: long latency spikes plus windows of outright
+    /// plan failure. The aware runtime's watchdog aborts, retries with
+    /// backoff and walks the fallback ladder; the oblivious design
+    /// serialises every spike into its epoch and loses its trajectory on
+    /// every failed replan.
+    PlannerBrownout,
+}
+
+impl FaultScenario {
+    /// All fault scenario families.
+    pub const ALL: [FaultScenario; 3] = [
+        FaultScenario::SensorBlackoutCorridor,
+        FaultScenario::LossyLinkPatrol,
+        FaultScenario::PlannerBrownout,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultScenario::SensorBlackoutCorridor => "sensor-blackout corridor",
+            FaultScenario::LossyLinkPatrol => "lossy-link patrol",
+            FaultScenario::PlannerBrownout => "planner brownout",
+        }
+    }
+
+    /// `true` when the family's faults only exist on the middleware bus,
+    /// so the scenario must run on the node pipeline.
+    pub fn uses_node_pipeline(self) -> bool {
+        matches!(self, FaultScenario::LossyLinkPatrol)
+    }
+
+    /// The static difficulty backing the family (short 120 m missions so
+    /// sweeps and fixtures stay fast).
+    pub fn difficulty(self) -> DifficultyConfig {
+        match self {
+            FaultScenario::SensorBlackoutCorridor => DifficultyConfig {
+                obstacle_density: 0.4,
+                obstacle_spread: 40.0,
+                goal_distance: 120.0,
+            },
+            FaultScenario::LossyLinkPatrol => DifficultyConfig {
+                obstacle_density: 0.45,
+                obstacle_spread: 40.0,
+                goal_distance: 120.0,
+            },
+            FaultScenario::PlannerBrownout => DifficultyConfig {
+                obstacle_density: 0.35,
+                obstacle_spread: 80.0,
+                goal_distance: 120.0,
+            },
+        }
+    }
+
+    /// Generates the scenario's environment for a seed.
+    pub fn environment(self, seed: u64) -> Environment {
+        EnvironmentGenerator::new(self.difficulty()).generate(seed)
+    }
+
+    /// The family's deterministic fault campaign for a seed. The seed
+    /// only shifts window phases and per-decision dice; the duty cycles
+    /// are the family's own.
+    pub fn fault_plan(self, seed: u64) -> FaultPlanConfig {
+        let mut plan = FaultPlanConfig {
+            seed: seed ^ FAULT_SEED_SALT,
+            ..FaultPlanConfig::healthy()
+        };
+        match self {
+            FaultScenario::SensorBlackoutCorridor => {
+                plan.sensor = SensorFaultChannel {
+                    // 3-decision blackouts every 12, with noisy 2-decision
+                    // recovery bursts on a co-prime period so the two
+                    // interleave differently along the mission.
+                    blackout: Some(FaultWindows::every(12, 3)),
+                    burst: Some(FaultWindows::every(7, 2)),
+                    burst_dropout: 0.5,
+                    burst_noise_std: 0.3,
+                };
+                plan.planner = PlannerFaultChannel {
+                    // Outage-coupled replan stalls: when perception drops
+                    // out the planner grinds on a decayed map, so latency
+                    // spikes ride the same period as the blackouts. The
+                    // spikes are recoverable under the watchdog's backoff
+                    // (10 → 5 → 2.5 s against a 4 s budget) but charge the
+                    // fault-oblivious design the full blind coast.
+                    spike: Some(FaultWindows::every(12, 3)),
+                    spike_latency: 10.0,
+                    failure: None,
+                };
+            }
+            FaultScenario::LossyLinkPatrol => {
+                plan.bus = BusFaultChannel {
+                    links: vec![
+                        (
+                            "/sensors/points".to_string(),
+                            LinkFaultConfig {
+                                loss_probability: 0.45,
+                                duplicate_probability: 0.0,
+                                delay_probability: 0.3,
+                                extra_delay: 0.4,
+                            },
+                        ),
+                        (
+                            "/control/status".to_string(),
+                            LinkFaultConfig {
+                                loss_probability: 0.0,
+                                duplicate_probability: 0.15,
+                                delay_probability: 0.2,
+                                extra_delay: 0.2,
+                            },
+                        ),
+                    ],
+                };
+                plan.planner = PlannerFaultChannel {
+                    // Retransmission storms stall the planner's map pulls:
+                    // short recoverable latency spikes on a period co-prime
+                    // with nothing in particular — the lossy links supply
+                    // the per-decision randomness.
+                    spike: Some(FaultWindows::every(9, 2)),
+                    spike_latency: 8.0,
+                    failure: None,
+                };
+            }
+            FaultScenario::PlannerBrownout => {
+                plan.planner = PlannerFaultChannel {
+                    // Spikes large enough to trip a 4 s watchdog budget,
+                    // recoverable after two backoff halvings; failure
+                    // windows shorter than the ladder's hover limit but
+                    // long enough to stall the fault-oblivious design.
+                    spike: Some(FaultWindows::every(6, 3)),
+                    spike_latency: 10.0,
+                    failure: Some(FaultWindows::every(8, 5)),
+                };
+                plan.map = MapFaultChannel {
+                    stale: Some(FaultWindows::every(9, 3)),
+                };
+            }
+        }
+        plan
+    }
+}
+
+/// Constant mixed into fault-scenario seeds so fault-plan streams never
+/// collide with the environment generator's use of the same seed.
+const FAULT_SEED_SALT: u64 = 0x4641_554C_5453; // "FAULTS"
 
 /// Temporal-difficulty scaling of a [`DynamicScenario`]: the three axes
 /// of the moving-obstacle difficulty matrix (static density × actor

@@ -2,8 +2,11 @@
 //! and the moving-obstacle (dynamic-world) sweep.
 
 use crate::metrics::ImprovementFactors;
-use crate::scenarios::{DynamicDifficulty, DynamicScenario};
-use crate::{AggregateMetrics, MissionConfig, MissionMetrics, MissionRunner};
+use crate::scenarios::{DynamicDifficulty, DynamicScenario, FaultScenario};
+use crate::{
+    AggregateMetrics, MissionConfig, MissionMetrics, MissionRunner, NodePipeline,
+    NodePipelineConfig,
+};
 use roborun_core::RuntimeMode;
 use roborun_env::{DifficultyConfig, EnvironmentGenerator};
 use serde::{Deserialize, Serialize};
@@ -353,6 +356,105 @@ pub fn run_dynamic_sweep(config: &DynamicSweepConfig) -> Vec<DynamicSweepRow> {
 pub fn run_dynamic_sweep_serial(config: &DynamicSweepConfig) -> Vec<DynamicSweepRow> {
     (0..config.cases.len())
         .map(|i| run_dynamic_sweep_row(config, i))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The fault sweep (robustness evaluation)
+// ---------------------------------------------------------------------------
+
+/// Configuration of the fault sweep: fault scenario families × seeds,
+/// each run twice with the **same** spatial-aware design — once
+/// fault-oblivious (degradation disarmed) and once degradation-aware —
+/// so the only variable is the graceful-degradation runtime itself.
+#[derive(Debug, Clone)]
+pub struct FaultSweepConfig {
+    /// The `(family, seed)` cases to evaluate.
+    pub cases: Vec<(FaultScenario, u64)>,
+    /// Mission template for the fault-oblivious runs (degradation off).
+    pub baseline: MissionConfig,
+    /// Mission template for the degradation-aware runs (degradation on).
+    pub aware: MissionConfig,
+    /// Worker threads (same contract as [`SweepConfig::threads`]).
+    pub threads: Option<usize>,
+}
+
+impl FaultSweepConfig {
+    /// The standard quick fault sweep: every fault family once at `seed`,
+    /// short mission caps, both runs spatial-aware, degradation armed on
+    /// the aware template only. Voxel decay is on for both runs so the
+    /// phantom voxels injected by noisy sensor bursts can be carved back
+    /// out by later clean evidence instead of permanently poisoning the
+    /// map for both designs alike.
+    pub fn quick(seed: u64) -> Self {
+        let mut baseline = MissionConfig::new(RuntimeMode::SpatialAware);
+        baseline.max_decisions = 600;
+        baseline.max_mission_time = 1_500.0;
+        baseline.voxel_decay = Some(2);
+        let mut aware = baseline.clone();
+        aware.degradation.enabled = true;
+        FaultSweepConfig {
+            cases: FaultScenario::ALL.iter().map(|&s| (s, seed)).collect(),
+            baseline,
+            aware,
+            threads: None,
+        }
+    }
+}
+
+/// One case of the fault sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepRow {
+    /// The fault scenario family.
+    pub scenario: FaultScenario,
+    /// The seed that generated the environment and the fault plan.
+    pub seed: u64,
+    /// Metrics of the fault-oblivious run (degradation disarmed).
+    pub baseline: MissionMetrics,
+    /// Metrics of the degradation-aware run.
+    pub degraded: MissionMetrics,
+}
+
+fn run_fault_sweep_row(config: &FaultSweepConfig, i: usize) -> FaultSweepRow {
+    let (scenario, seed) = config.cases[i];
+    let env = scenario.environment(seed);
+    let plan = scenario.fault_plan(seed);
+    let run = |template: &MissionConfig| {
+        let mut cfg = template.clone();
+        cfg.seed = seed.wrapping_add(i as u64);
+        cfg.fault_plan = plan.clone();
+        if scenario.uses_node_pipeline() {
+            let pipeline = NodePipeline::new(NodePipelineConfig {
+                mission: cfg,
+                ..NodePipelineConfig::new(template.mode)
+            });
+            pipeline.run(&env).mission.metrics
+        } else {
+            MissionRunner::new(cfg).run(&env).metrics
+        }
+    };
+    FaultSweepRow {
+        scenario,
+        seed,
+        baseline: run(&config.baseline),
+        degraded: run(&config.aware),
+    }
+}
+
+/// Runs the fault sweep: every `(family, seed)` case, fault-oblivious
+/// and degradation-aware, on the shared worker pool (rows own their
+/// seeds, so results are bit-identical to [`run_fault_sweep_serial`] and
+/// stay in case order).
+pub fn run_fault_sweep(config: &FaultSweepConfig) -> Vec<FaultSweepRow> {
+    pooled_rows(config.cases.len(), config.threads, |i| {
+        run_fault_sweep_row(config, i)
+    })
+}
+
+/// The retained serial reference for [`run_fault_sweep`].
+pub fn run_fault_sweep_serial(config: &FaultSweepConfig) -> Vec<FaultSweepRow> {
+    (0..config.cases.len())
+        .map(|i| run_fault_sweep_row(config, i))
         .collect()
 }
 

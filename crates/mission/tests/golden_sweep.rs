@@ -19,8 +19,10 @@
 
 use roborun_core::RuntimeMode;
 use roborun_env::DifficultyConfig;
-use roborun_mission::sweep::{run_dynamic_sweep, run_sweep};
-use roborun_mission::{DynamicSweepConfig, MissionConfig, MissionMetrics, SweepConfig};
+use roborun_mission::sweep::{run_dynamic_sweep, run_fault_sweep, run_sweep};
+use roborun_mission::{
+    DynamicSweepConfig, FaultSweepConfig, MissionConfig, MissionMetrics, SweepConfig,
+};
 
 const FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
@@ -45,6 +47,17 @@ const PLAN_AHEAD_FIXTURE: &str = concat!(
 const DYNAMIC_FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/fixtures/golden_sweep_dynamic.txt"
+);
+
+/// Fourth fixture: the fault sweep (all three fault scenario families at
+/// seed 41, fault-oblivious vs degradation-aware). Locks the whole
+/// fault-injection and graceful-degradation machinery — deterministic
+/// fault frames, bus link faults, the planning watchdog, the fallback
+/// ladder, stale-perception derating — and its counters against silent
+/// drift.
+const FAULT_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_fault_sweep.txt"
 );
 
 /// Three short environments spanning the density/spread grid, fixed seed.
@@ -92,6 +105,16 @@ fn render_dynamic_metrics(out: &mut String, label: &str, m: &MissionMetrics) {
     out.push_str(&format!(
         " dynamic_replans={} predicted_invalidations={}\n",
         m.dynamic_replans, m.predicted_invalidations
+    ));
+}
+
+fn render_fault_metrics(out: &mut String, label: &str, m: &MissionMetrics) {
+    render_metrics(out, label, m, false);
+    // Re-open the line to append the fault/degradation counters.
+    out.pop();
+    out.push_str(&format!(
+        " faults={} watchdog={} retries={} degraded={} safe_stops={}\n",
+        m.faults_injected, m.watchdog_fires, m.retries, m.degraded_decisions, m.safe_stops
     ));
 }
 
@@ -183,6 +206,23 @@ fn plan_ahead_golden_sweep_rows_are_bit_identical_to_fixture() {
         true,
     );
     assert_matches_fixture(&rendered, PLAN_AHEAD_FIXTURE);
+}
+
+#[test]
+fn fault_sweep_rows_are_bit_identical_to_fixture() {
+    let rows = run_fault_sweep(&FaultSweepConfig::quick(41));
+    let mut out = String::new();
+    out.push_str("# Golden fault sweep fixture: 3 fault scenario families, seed 41.\n");
+    out.push_str("# Regenerate with ROBORUN_UPDATE_GOLDEN=1 (see tests/golden_sweep.rs).\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "case {i} scenario={:?} seed={}\n",
+            row.scenario, row.seed
+        ));
+        render_fault_metrics(&mut out, "  baseline", &row.baseline);
+        render_fault_metrics(&mut out, "  degraded", &row.degraded);
+    }
+    assert_matches_fixture(&out, FAULT_FIXTURE);
 }
 
 #[test]
