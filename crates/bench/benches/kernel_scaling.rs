@@ -171,6 +171,42 @@ fn bench_collision_patch_vs_rebuild(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cross-mission shared-world amortization: N missions in one
+/// environment either survey (build + prebuild the static broad phase)
+/// independently, or survey once and hand each mission an `Arc`-shared
+/// clone. The clone is a copy-on-write handle — `update_map` detaches —
+/// so per-mission cost drops from a full broad-phase build to a
+/// shallow copy (the `bench7` experiment reports the wall-clock ratio).
+fn bench_shared_world_amortization(c: &mut Criterion) {
+    use roborun_mission::SharedStaticWorld;
+    let env = EnvironmentGenerator::new(DifficultyConfig {
+        obstacle_density: 0.3,
+        obstacle_spread: 40.0,
+        goal_distance: 100.0,
+    })
+    .generate(41);
+    let missions = 8usize;
+    let mut group = c.benchmark_group("shared_world_amortization");
+    group.sample_size(10);
+    group.bench_function(format!("survey_once_clone/{missions}missions"), |b| {
+        b.iter(|| {
+            let world = SharedStaticWorld::survey(&env, 1.0, 0.6);
+            let checkers: Vec<_> = (0..missions).map(|_| world.checker()).collect();
+            assert!(checkers.iter().all(|c| world.shares_broad_phase_with(c)));
+            std::hint::black_box(checkers).len()
+        })
+    });
+    group.bench_function(format!("survey_per_mission/{missions}missions"), |b| {
+        b.iter(|| {
+            let checkers: Vec<_> = (0..missions)
+                .map(|_| SharedStaticWorld::survey(&env, 1.0, 0.6).checker())
+                .collect();
+            std::hint::black_box(checkers).len()
+        })
+    });
+    group.finish();
+}
+
 fn bench_export_precision(c: &mut Criterion) {
     let cloud = wall_cloud(15.0, 48);
     let mut map = OccupancyMap::new(0.3);
@@ -914,6 +950,7 @@ criterion_group!(
     bench_octomap_insert_volume,
     bench_integrate_cloud_batched_vs_reference,
     bench_collision_patch_vs_rebuild,
+    bench_shared_world_amortization,
     bench_export_precision,
     bench_obstacle_raycast_scaling,
     bench_obstacle_nearest_scaling,

@@ -111,6 +111,155 @@ fn main() {
     if want("fault_sweep") {
         fault_sweep();
     }
+    if want("bench7") {
+        bench7();
+    }
+}
+
+/// Fleet-mission performance trajectory: mission-service throughput
+/// versus shard count, shared-broad-phase amortization, and peer-hazard
+/// query overhead. Emits machine-readable `BENCH_7.json` at the repo
+/// root alongside the human-readable table.
+fn bench7() {
+    use roborun_geom::Vec3;
+    use roborun_mission::{MissionService, ServiceConfig, SharedStaticWorld};
+    use roborun_planning::PeerTrajectoryHazard;
+    use std::time::Instant;
+
+    println!("## Bench 7 — fleet missions, mission service, shared worlds\n");
+
+    // Shard scaling is bounded by the physical core count; record it so
+    // a flat curve on a small box reads as what it is.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("(host has {cores} core(s) available)\n");
+
+    // Mission-service throughput: the same 8-row request (2 missions per
+    // row) collected through 1, 2 and 4 shards. Rows are kept comparable
+    // in cost (moderate densities, short goals) so the shard scaling is
+    // visible instead of being hidden behind one dominant row.
+    let mut request = SweepConfig::quick(41);
+    request.difficulties.clear();
+    for &density in &[0.25, 0.35] {
+        for &spread in &[40.0, 60.0] {
+            for &goal in &[80.0, 110.0] {
+                request.difficulties.push(DifficultyConfig {
+                    obstacle_density: density,
+                    obstacle_spread: spread,
+                    goal_distance: goal,
+                });
+            }
+        }
+    }
+    let missions = 2 * request.difficulties.len();
+    let mut service_rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let service = MissionService::start(ServiceConfig { shards });
+        let start = Instant::now();
+        let id = service.submit(request.clone()).expect("valid request");
+        let results = service.collect(id);
+        let seconds = start.elapsed().as_secs_f64();
+        service.shutdown();
+        assert_eq!(results.rows().len(), request.difficulties.len());
+        let throughput = missions as f64 / seconds;
+        println!("service  shards={shards}  {missions} missions in {seconds:.2} s  ({throughput:.2} missions/s)");
+        service_rows.push((shards, seconds, throughput));
+    }
+
+    // Shared-broad-phase amortization: survey a world once and clone the
+    // checker per mission, versus rebuilding the survey every time.
+    let env = EnvironmentGenerator::new(DifficultyConfig {
+        obstacle_density: 0.3,
+        obstacle_spread: 40.0,
+        goal_distance: 100.0,
+    })
+    .generate(41);
+    let clones = 16usize;
+    let start = Instant::now();
+    let world = SharedStaticWorld::survey(&env, 1.0, 0.6);
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let mut shared = Vec::with_capacity(clones);
+    for _ in 0..clones {
+        shared.push(world.checker());
+    }
+    let clone_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(shared.iter().all(|c| world.shares_broad_phase_with(c)));
+    let start = Instant::now();
+    for _ in 0..clones {
+        let _ = SharedStaticWorld::survey(&env, 1.0, 0.6);
+    }
+    let rebuild_ms = start.elapsed().as_secs_f64() * 1e3;
+    let amortized_speedup = rebuild_ms / (build_ms + clone_ms);
+    println!(
+        "\nbroad phase  build {build_ms:.1} ms + {clones} clones {clone_ms:.3} ms  \
+         vs {clones} rebuilds {rebuild_ms:.1} ms  (speedup {amortized_speedup:.1}x)"
+    );
+
+    // Peer-hazard query overhead: point queries against K committed peer
+    // corridors (64-waypoint trajectories, swept and inflated).
+    let queries = 100_000usize;
+    let mut peer_rows = Vec::new();
+    for peers in [1usize, 2, 4, 8] {
+        let mut hazard = PeerTrajectoryHazard::new(0.46, 0.9);
+        for id in 0..peers {
+            let polyline: Vec<Vec3> = (0..64)
+                .map(|i| {
+                    let t = i as f64 * 2.0;
+                    Vec3::new(
+                        t,
+                        (id as f64) * 12.0 + (t * 0.1).sin() * 4.0,
+                        5.0 + t * 0.05,
+                    )
+                })
+                .collect();
+            hazard.set_peer(id as u64, &polyline);
+        }
+        let boxes = hazard.boxes().len();
+        let start = Instant::now();
+        let mut blocked = 0usize;
+        for q in 0..queries {
+            let t = (q % 997) as f64 * 0.13;
+            let p = Vec3::new(t, (t * 0.37).sin() * 20.0, 5.0 + (t * 0.11).cos() * 3.0);
+            if hazard.point_blocked(p) {
+                blocked += 1;
+            }
+        }
+        let ns_per_query = start.elapsed().as_secs_f64() * 1e9 / queries as f64;
+        println!(
+            "peer hazard  K={peers}  {boxes} boxes  {ns_per_query:.0} ns/query  ({blocked} blocked)"
+        );
+        peer_rows.push((peers, boxes, ns_per_query));
+    }
+
+    // Machine-readable trajectory for CI and the roadmap.
+    let mut json = String::from("{\n  \"bench\": \"fleet_missions\",\n");
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str("  \"service_throughput\": [\n");
+    for (i, (shards, seconds, throughput)) in service_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {shards}, \"missions\": {missions}, \"seconds\": {seconds:.3}, \
+             \"missions_per_sec\": {throughput:.3}}}{}\n",
+            if i + 1 < service_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"shared_broad_phase\": {{\"clones\": {clones}, \"survey_build_ms\": {build_ms:.3}, \
+         \"clone_total_ms\": {clone_ms:.4}, \"rebuild_total_ms\": {rebuild_ms:.3}, \
+         \"amortized_speedup\": {amortized_speedup:.2}}},\n"
+    ));
+    json.push_str("  \"peer_hazard_query\": [\n");
+    for (i, (peers, boxes, ns)) in peer_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"peers\": {peers}, \"boxes\": {boxes}, \"ns_per_query\": {ns:.1}}}{}\n",
+            if i + 1 < peer_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
+    std::fs::write(path, &json).expect("write BENCH_7.json");
+    println!("\nwrote {path}\n");
 }
 
 /// The robustness evaluation: every deterministic fault scenario family,

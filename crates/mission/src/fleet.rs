@@ -1,0 +1,434 @@
+//! Fleet missions: K drones flying one shared world, each treating the
+//! others' committed trajectories as hazards.
+//!
+//! The coordinator runs one [`DecisionCycle`](crate::cycle) per drone in
+//! **event-driven lockstep**: every iteration, the open cycle with the
+//! smallest simulation clock takes the next decision (ties break on the
+//! lowest drone index), so no drone ever decides against a peer
+//! trajectory that is staler than one decision. After each decision the
+//! decider's committed polyline — its current position plus the
+//! remaining points of its active trajectory — is re-published into
+//! every other drone's [`PeerTrajectoryHazard`](roborun_planning::PeerTrajectoryHazard)
+//! (a no-op when bitwise
+//! unchanged, mirroring `PredictedHazards::retarget`). Peer corridors
+//! then ride the predicted-hazard path through the whole decision:
+//! blockage detection, the composed planning context, the in-danger
+//! escape trigger and the speculation gate all see them as soft boxes.
+//!
+//! # Determinism
+//!
+//! The whole fleet run is a pure function of `(config, environment)`:
+//! drone `i` plans with seed `base.seed + i`, the lockstep order is
+//! decided by `f64::total_cmp` on the cycles' clocks with an index
+//! tie-break, and peer publication happens at a fixed point of every
+//! iteration. Re-running the same fleet twice produces bit-identical
+//! [`FleetResult`]s, including every flown position.
+//!
+//! # Shared static world (cross-mission caching)
+//!
+//! All K missions fly the same obstacle field, so the fleet builds the
+//! ground-truth survey checker **once** ([`SharedStaticWorld`]) and hands
+//! each per-drone audit an `O(1)` clone: the broad-phase lives behind an
+//! `Arc` inside [`CollisionChecker`], shared between clones until one of
+//! them patches its map (copy-on-write). The `kernel_scaling` bench
+//! measures the amortized build cost; the per-drone perception maps stay
+//! private — sharing observed maps across drones would change what each
+//! drone has *sensed*, which is the paper's variable under test.
+
+use crate::cycle::DecisionCycle;
+use crate::runner::{MissionConfig, MissionResult};
+use roborun_env::Environment;
+use roborun_geom::Vec3;
+use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
+use roborun_planning::CollisionChecker;
+
+/// Configuration of one fleet mission.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Per-drone mission configuration template. Drone `i` flies with
+    /// seed `base.seed + i`; everything else is shared. Any
+    /// [`MissionConfig::peer_trajectories`] entries in the template are
+    /// ignored — the coordinator publishes live peer trajectories
+    /// instead.
+    pub base: MissionConfig,
+    /// Number of drones (`K >= 1`).
+    pub drones: usize,
+    /// Lateral (y-axis) spacing between adjacent drones' start and goal
+    /// points (metres). The formation is centred on the environment's
+    /// own endpoints, so with an odd `K` the middle drone flies the
+    /// original corridor.
+    pub lateral_spacing: f64,
+}
+
+impl FleetConfig {
+    /// A fleet of `drones` drones over the given per-drone template,
+    /// with a default 10 m lateral spacing.
+    pub fn new(base: MissionConfig, drones: usize) -> Self {
+        FleetConfig {
+            base,
+            drones,
+            lateral_spacing: 10.0,
+        }
+    }
+}
+
+/// Outcome of one fleet mission.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Per-drone mission results, in drone-index order.
+    pub missions: Vec<MissionResult>,
+    /// The minimum distance between any two drones over the whole fleet
+    /// run (metres), sampled by interpolating every drone's flown path
+    /// on a common time grid (finished drones park at their final
+    /// position). `f64::INFINITY` for a single-drone fleet.
+    pub min_separation: f64,
+    /// Peer-trajectory publications that actually changed a peer's view
+    /// (bitwise-identical re-publications are skipped at the source).
+    pub peer_updates: usize,
+    /// Total decisions taken across the fleet.
+    pub decisions: usize,
+}
+
+impl FleetResult {
+    /// `true` when every drone reached its goal without colliding.
+    pub fn all_reached_goal(&self) -> bool {
+        self.missions
+            .iter()
+            .all(|m| m.metrics.reached_goal && !m.metrics.collided)
+    }
+}
+
+/// The fleet's shared ground-truth survey of a static environment: one
+/// [`CollisionChecker`] built from a dense surface scan of every
+/// obstacle, with its broad-phase prebuilt. [`SharedStaticWorld::checker`]
+/// clones are `O(1)` — the broad-phase is `Arc`-shared until a clone
+/// patches its map — so N missions (or N audits) in one environment pay
+/// one build instead of N.
+#[derive(Debug, Clone)]
+pub struct SharedStaticWorld {
+    checker: CollisionChecker,
+}
+
+impl SharedStaticWorld {
+    /// Surveys the environment at the given voxel resolution: every
+    /// obstacle's surface is sampled on a `resolution`-spaced grid and
+    /// integrated into a ground-truth planner map (deterministic — no
+    /// sensing noise), and the resulting checker's broad-phase is built
+    /// eagerly so clones never pay for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is not a positive finite number.
+    pub fn survey(env: &Environment, resolution: f64, margin: f64) -> Self {
+        assert!(
+            resolution.is_finite() && resolution > 0.0,
+            "survey resolution must be positive and finite"
+        );
+        let mut map = OccupancyMap::new(resolution);
+        for obstacle in env.obstacles() {
+            let b = obstacle.bounds;
+            // Short rays from just above the top face keep the free-space
+            // carve cheap; the accrete-only map never un-marks occupied
+            // surface voxels anyway.
+            let origin = Vec3::new(b.center().x, b.center().y, b.max.z + resolution);
+            let points = sample_surface(b.min, b.max, resolution);
+            map.integrate_cloud(&PointCloud::new(origin, points), resolution);
+        }
+        let export = PlannerMap::export(&map, &ExportConfig::new(resolution, 1e12, env.start()));
+        let mut checker = CollisionChecker::new(export, margin, resolution);
+        checker.prebuild_broad_phase();
+        SharedStaticWorld { checker }
+    }
+
+    /// An `O(1)` clone of the prebuilt survey checker: the broad-phase is
+    /// shared with every other clone until this one patches its map.
+    pub fn checker(&self) -> CollisionChecker {
+        self.checker.clone()
+    }
+
+    /// `true` when `other` still shares this survey's broad-phase
+    /// storage (i.e. it has not been detached by a map patch).
+    pub fn shares_broad_phase_with(&self, other: &CollisionChecker) -> bool {
+        self.checker.shares_broad_phase_with(other)
+    }
+}
+
+/// Surface samples of the box `[min, max]` on a `step`-spaced grid:
+/// every face, edges and corners included, deduplicated by construction
+/// (each face samples its own interior plus the boundary rows it owns).
+fn sample_surface(min: Vec3, max: Vec3, step: f64) -> Vec<Vec3> {
+    let mut points = Vec::new();
+    let xs = axis_samples(min.x, max.x, step);
+    let ys = axis_samples(min.y, max.y, step);
+    let zs = axis_samples(min.z, max.z, step);
+    for &x in &xs {
+        for &y in &ys {
+            points.push(Vec3::new(x, y, min.z));
+            if max.z > min.z {
+                points.push(Vec3::new(x, y, max.z));
+            }
+        }
+    }
+    // Interior z rows only: the top/bottom faces already cover the ends.
+    let z_interior: Vec<f64> = zs
+        .iter()
+        .copied()
+        .filter(|&z| z > min.z && z < max.z)
+        .collect();
+    for &z in &z_interior {
+        for &y in &ys {
+            points.push(Vec3::new(min.x, y, z));
+            if max.x > min.x {
+                points.push(Vec3::new(max.x, y, z));
+            }
+        }
+        for &x in xs.iter().filter(|&&x| x > min.x && x < max.x) {
+            points.push(Vec3::new(x, min.y, z));
+            if max.y > min.y {
+                points.push(Vec3::new(x, max.y, z));
+            }
+        }
+    }
+    points
+}
+
+/// `lo..=hi` sampled every `step` metres, endpoint always included.
+fn axis_samples(lo: f64, hi: f64, step: f64) -> Vec<f64> {
+    let span = (hi - lo).max(0.0);
+    let n = (span / step).ceil().max(1.0) as usize;
+    let mut out: Vec<f64> = (0..n).map(|i| lo + i as f64 * step).collect();
+    out.push(hi);
+    out
+}
+
+/// Runs a fleet mission: `config.drones` drones in the environment's
+/// world, laterally offset endpoints, live peer-trajectory exchange (see
+/// the module docs for the lockstep and determinism contracts).
+///
+/// A single-drone fleet takes the exact single-drone code path — no
+/// peers are ever published — and its one mission is bit-identical to
+/// [`crate::MissionRunner::run`] with the same configuration.
+///
+/// # Panics
+///
+/// Panics if `drones == 0` or `lateral_spacing` is not a positive finite
+/// number.
+pub fn run_fleet(config: &FleetConfig, env: &Environment) -> FleetResult {
+    assert!(config.drones >= 1, "a fleet needs at least one drone");
+    assert!(
+        config.lateral_spacing.is_finite() && config.lateral_spacing > 0.0,
+        "lateral spacing must be positive and finite"
+    );
+    let k = config.drones;
+
+    // Per-drone worlds: the same obstacle field, endpoints offset
+    // laterally so the formation is centred on the original corridor. A
+    // zero offset keeps the environment bitwise untouched (the odd-K
+    // middle drone, and the whole single-drone fleet).
+    let envs: Vec<Environment> = (0..k)
+        .map(|i| {
+            let offset = (i as f64 - (k as f64 - 1.0) / 2.0) * config.lateral_spacing;
+            if offset == 0.0 {
+                env.clone()
+            } else {
+                let shift = Vec3::new(0.0, offset, 0.0);
+                env.with_endpoints(env.start() + shift, env.goal() + shift)
+            }
+        })
+        .collect();
+    let cfgs: Vec<MissionConfig> = (0..k)
+        .map(|i| MissionConfig {
+            seed: config.base.seed.wrapping_add(i as u64),
+            // The coordinator owns peer exchange; template entries would
+            // collide with the live peer ids.
+            peer_trajectories: Vec::new(),
+            ..config.base.clone()
+        })
+        .collect();
+
+    let mut cycles: Vec<DecisionCycle> = (0..k)
+        .map(|i| DecisionCycle::new(&cfgs[i], &envs[i], None))
+        .collect();
+
+    // Cached committed polylines, outside the cycles so drone `i`'s
+    // update can be pushed into every other cycle without aliasing.
+    let mut polylines: Vec<Vec<Vec3>> = (0..k).map(|i| cycles[i].committed_polyline()).collect();
+    let mut peer_updates = 0usize;
+    if k > 1 {
+        // Seed every drone with its peers' starting positions — a parked
+        // drone still occupies its hover point.
+        for (i, cycle) in cycles.iter_mut().enumerate() {
+            for (j, polyline) in polylines.iter().enumerate() {
+                if i != j {
+                    cycle.set_peer_trajectory(j as u64, polyline);
+                    peer_updates += 1;
+                }
+            }
+        }
+    }
+
+    // Event-driven lockstep: the open cycle with the smallest clock
+    // decides next (ties break on the lowest index).
+    let mut decisions = 0usize;
+    while let Some(i) = (0..k)
+        .filter(|&i| cycles[i].mission_open())
+        .min_by(|&a, &b| cycles[a].now().total_cmp(&cycles[b].now()).then(a.cmp(&b)))
+    {
+        cycles[i].run_decision(None);
+        decisions += 1;
+        if k == 1 {
+            continue;
+        }
+        // Re-publish drone i's commitment: the remaining trajectory
+        // while the mission is open, the parked final position once it
+        // closes (a finished drone no longer flies its old corridor).
+        let polyline = if cycles[i].mission_open() {
+            cycles[i].committed_polyline()
+        } else {
+            vec![cycles[i].position()]
+        };
+        if polyline != polylines[i] {
+            polylines[i] = polyline;
+            for (j, cycle) in cycles.iter_mut().enumerate() {
+                if j != i {
+                    cycle.set_peer_trajectory(i as u64, &polylines[i]);
+                }
+            }
+            peer_updates += 1;
+        }
+    }
+
+    let missions: Vec<MissionResult> = cycles.into_iter().map(DecisionCycle::finish).collect();
+    let min_separation = min_pairwise_separation(&missions);
+    FleetResult {
+        missions,
+        min_separation,
+        peer_updates,
+        decisions,
+    }
+}
+
+/// The minimum distance between any two drones over the fleet run:
+/// every drone's flown path is interpolated on a common 0.25 s time
+/// grid (clamped to its own span, so a finished drone parks at its
+/// final position), and all pairs are audited at every sample.
+fn min_pairwise_separation(missions: &[MissionResult]) -> f64 {
+    if missions.len() < 2 {
+        return f64::INFINITY;
+    }
+    let end = missions
+        .iter()
+        .filter_map(|m| m.flown_times.last().copied())
+        .fold(0.0_f64, f64::max);
+    let step = 0.25;
+    let samples = (end / step).ceil().max(1.0) as usize;
+    let mut min_separation = f64::INFINITY;
+    for s in 0..=samples {
+        let t = (s as f64 * step).min(end);
+        for (a, ma) in missions.iter().enumerate() {
+            let pa = position_at(&ma.flown_path, &ma.flown_times, t);
+            for mb in &missions[a + 1..] {
+                let pb = position_at(&mb.flown_path, &mb.flown_times, t);
+                let d = pa.distance(pb);
+                if d < min_separation {
+                    min_separation = d;
+                }
+            }
+        }
+    }
+    min_separation
+}
+
+/// The drone's position at simulation time `t`, linearly interpolated
+/// between flown samples and clamped to the path's span.
+fn position_at(path: &[Vec3], times: &[f64], t: f64) -> Vec3 {
+    debug_assert_eq!(times.len(), path.len());
+    if path.is_empty() {
+        return Vec3::ZERO;
+    }
+    if t <= times[0] {
+        return path[0];
+    }
+    if t >= *times.last().expect("non-empty") {
+        return *path.last().expect("non-empty");
+    }
+    // First sample strictly after t (exists: t < last).
+    let hi = times.partition_point(|&ti| ti <= t);
+    let (t0, t1) = (times[hi - 1], times[hi]);
+    let (p0, p1) = (path[hi - 1], path[hi]);
+    let span = t1 - t0;
+    if span <= 1e-12 {
+        return p1;
+    }
+    let alpha = (t - t0) / span;
+    p0 + (p1 - p0) * alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roborun_core::RuntimeMode;
+    use roborun_env::{DifficultyConfig, EnvironmentGenerator};
+
+    fn short_environment(seed: u64) -> Environment {
+        EnvironmentGenerator::new(DifficultyConfig {
+            obstacle_density: 0.35,
+            obstacle_spread: 40.0,
+            goal_distance: 120.0,
+        })
+        .generate(seed)
+    }
+
+    fn quick_base() -> MissionConfig {
+        MissionConfig {
+            max_decisions: 600,
+            max_mission_time: 1_500.0,
+            ..MissionConfig::new(RuntimeMode::SpatialAware)
+        }
+    }
+
+    #[test]
+    fn survey_checker_clones_share_the_broad_phase() {
+        let env = short_environment(7);
+        let world = SharedStaticWorld::survey(&env, 1.0, 0.6);
+        let a = world.checker();
+        let b = world.checker();
+        assert!(world.shares_broad_phase_with(&a));
+        assert!(a.shares_broad_phase_with(&b));
+        // The survey sees the obstacles: some segment across the field
+        // must be blocked, while the start hover point is free.
+        let mut probe = world.checker();
+        assert!(probe.point_free(env.start()));
+        let blocked = env.obstacles().iter().any(|o| {
+            let c = o.bounds.center();
+            !probe.point_free(c) || !probe.segment_free(env.start(), c)
+        });
+        assert!(blocked, "survey checker saw no obstacle at all");
+    }
+
+    #[test]
+    fn single_drone_fleet_matches_the_mission_runner() {
+        let env = short_environment(21);
+        let base = quick_base();
+        let fleet = run_fleet(&FleetConfig::new(base.clone(), 1), &env);
+        let solo = crate::MissionRunner::new(base).run(&env);
+        assert_eq!(fleet.missions.len(), 1);
+        assert_eq!(fleet.peer_updates, 0);
+        assert_eq!(fleet.min_separation, f64::INFINITY);
+        let m = &fleet.missions[0];
+        assert_eq!(m.flown_path, solo.flown_path);
+        assert_eq!(m.flown_times, solo.flown_times);
+        assert_eq!(m.metrics.decisions, solo.metrics.decisions);
+        assert_eq!(m.metrics.mission_time, solo.metrics.mission_time);
+        assert_eq!(m.metrics.energy_kj, solo.metrics.energy_kj);
+    }
+
+    #[test]
+    fn interpolation_clamps_and_blends() {
+        let path = vec![Vec3::new(0.0, 0.0, 5.0), Vec3::new(10.0, 0.0, 5.0)];
+        let times = vec![0.0, 10.0];
+        assert_eq!(position_at(&path, &times, -1.0), Vec3::new(0.0, 0.0, 5.0));
+        assert_eq!(position_at(&path, &times, 5.0), Vec3::new(5.0, 0.0, 5.0));
+        assert_eq!(position_at(&path, &times, 99.0), Vec3::new(10.0, 0.0, 5.0));
+    }
+}

@@ -22,6 +22,13 @@
 //! * [`node_pipeline`] — the same closed loop executed as a
 //!   `roborun-middleware` node graph, with the communication term measured
 //!   from real per-topic traffic instead of modeled.
+//! * [`fleet`] — multi-drone missions in one shared world: K decision
+//!   cycles in event-driven lockstep, exchanging committed trajectories
+//!   as peer hazards, plus the shared static survey checker N missions
+//!   amortise one broad-phase build over.
+//! * [`service`] — the async mission service: sweep requests sharded
+//!   across a worker pool, finished rows streamed over the middleware
+//!   bus in deterministic (request, row) order.
 //! * [`scenarios`] — the paper's two motivating missions (package delivery,
 //!   search and rescue) plus the small environments used by Figures 3/4.
 //! * [`sweep`] — the 27-environment evaluation of Section V with the
@@ -38,20 +45,24 @@
 
 pub mod breakdown;
 pub mod cycle;
+pub mod fleet;
 pub mod metrics;
 pub mod node_pipeline;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
+pub mod service;
 pub mod sweep;
 
 pub use breakdown::{ZoneBreakdown, ZoneStats};
 pub use cycle::DegradationStats;
+pub use fleet::{run_fleet, FleetConfig, FleetResult, SharedStaticWorld};
 pub use metrics::{AggregateMetrics, MissionMetrics};
 pub use node_pipeline::{NodePipeline, NodePipelineConfig, NodePipelineResult};
 pub use runner::{DegradationConfig, MissionConfig, MissionResult, MissionRunner};
 pub use scenarios::{DynamicDifficulty, DynamicScenario, FaultScenario, Scenario};
+pub use service::{MissionService, RequestId, ServiceConfig};
 pub use sweep::{
     DynamicMatrixConfig, DynamicMatrixRow, DynamicSweepConfig, DynamicSweepRow, FaultSweepConfig,
-    FaultSweepRow, SensitivityRow, SweepConfig, SweepResults,
+    FaultSweepRow, SensitivityRow, SweepConfig, SweepError, SweepResults,
 };

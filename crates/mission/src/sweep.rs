@@ -11,6 +11,60 @@ use roborun_core::RuntimeMode;
 use roborun_env::{DifficultyConfig, EnvironmentGenerator};
 use serde::{Deserialize, Serialize};
 
+/// A typed validation error for sweep configurations and mission-service
+/// requests: the up-front check that keeps a malformed knob from
+/// panicking deep inside a worker thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// A difficulty knob is NaN or infinite — it would corrupt seeds,
+    /// environment generation and the sensitivity grouping.
+    NonFiniteKnob {
+        /// Index of the offending difficulty configuration.
+        index: usize,
+        /// Name of the offending knob.
+        knob: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The difficulty list is empty: the request describes no missions.
+    NoEnvironments,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::NonFiniteKnob { index, knob, value } => {
+                write!(f, "difficulty #{index} has a non-finite {knob} ({value})")
+            }
+            SweepError::NoEnvironments => write!(f, "no difficulty configurations to sweep"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Validates a difficulty list: every knob of every configuration must be
+/// finite, and the list must be non-empty. Shared by
+/// [`SweepConfig::validate`] and the mission service's request
+/// validation.
+pub(crate) fn validate_difficulties(difficulties: &[DifficultyConfig]) -> Result<(), SweepError> {
+    if difficulties.is_empty() {
+        return Err(SweepError::NoEnvironments);
+    }
+    for (index, d) in difficulties.iter().enumerate() {
+        for (knob, value) in [
+            ("obstacle_density", d.obstacle_density),
+            ("obstacle_spread", d.obstacle_spread),
+            ("goal_distance", d.goal_distance),
+        ] {
+            if !value.is_finite() {
+                return Err(SweepError::NonFiniteKnob { index, knob, value });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Configuration of a sweep.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
@@ -70,6 +124,15 @@ impl SweepConfig {
         self.oblivious.plan_ahead = true;
         self
     }
+
+    /// Up-front validation: every difficulty knob finite, at least one
+    /// environment. [`run_sweep`] asserts this before spawning workers
+    /// (so a NaN knob fails fast with a typed message instead of
+    /// panicking mid-sweep inside a worker thread), and the mission
+    /// service validates requests with the same check at submission.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        validate_difficulties(&self.difficulties)
+    }
 }
 
 /// One mission pair (baseline + RoboRun) of the sweep.
@@ -103,6 +166,13 @@ pub struct SweepResults {
 }
 
 impl SweepResults {
+    /// Builds results from precomputed rows, in environment order (the
+    /// mission service's collect path — its shard workers compute the
+    /// same [`run_sweep_row`] values a batch sweep would).
+    pub(crate) fn from_rows(rows: Vec<SweepRow>) -> SweepResults {
+        SweepResults { rows }
+    }
+
     /// The per-environment rows.
     pub fn rows(&self) -> &[SweepRow] {
         &self.rows
@@ -137,8 +207,11 @@ impl SweepResults {
     where
         F: Fn(&DifficultyConfig) -> f64,
     {
+        // `total_cmp` gives the same order as `partial_cmp` on the finite
+        // values validation admits, and stays total (no panic) even if an
+        // unvalidated caller sneaks a NaN in.
         let mut values: Vec<f64> = self.rows.iter().map(|r| knob(&r.difficulty)).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("knob values are never NaN"));
+        values.sort_by(f64::total_cmp);
         values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         values
             .into_iter()
@@ -183,8 +256,9 @@ impl SweepResults {
 /// Computes one row of the sweep: environment `i`, both designs.
 ///
 /// Each row owns its seed (`config.seed + i`), so rows are independent of
-/// each other and of the order they are computed in.
-fn run_sweep_row(config: &SweepConfig, i: usize) -> SweepRow {
+/// each other and of the order they are computed in. `pub(crate)` because
+/// the mission service's shard workers compute exactly these rows.
+pub(crate) fn run_sweep_row(config: &SweepConfig, i: usize) -> SweepRow {
     let difficulty = config.difficulties[i];
     let env = EnvironmentGenerator::new(difficulty).generate(config.seed + i as u64);
     let mut aware_cfg = config.aware.clone();
@@ -206,7 +280,16 @@ fn run_sweep_row(config: &SweepConfig, i: usize) -> SweepRow {
 /// already own their seeds, so the result is bit-identical to the serial
 /// reference — [`run_sweep_serial`] — and rows stay in configuration
 /// order). `config.threads` overrides the worker count.
+///
+/// # Panics
+///
+/// Panics up front when [`SweepConfig::validate`] rejects the
+/// configuration (e.g. a NaN difficulty knob) — before any worker is
+/// spawned, with the typed error's message.
 pub fn run_sweep(config: &SweepConfig) -> SweepResults {
+    if let Err(err) = config.validate() {
+        panic!("invalid sweep config: {err}");
+    }
     SweepResults {
         rows: pooled_rows(config.difficulties.len(), config.threads, |i| {
             run_sweep_row(config, i)
@@ -220,6 +303,16 @@ pub fn run_sweep(config: &SweepConfig) -> SweepResults {
 /// their seeds, so the output is identical to a serial loop whatever the
 /// scheduling. With one worker (or one row) the pool degenerates to the
 /// plain serial loop.
+///
+/// # Panics
+///
+/// A panicking row closure no longer tears the pool down through a
+/// scoped-thread re-panic (which would replace the original payload with
+/// a generic "a scoped thread panicked" and lose the row index): each
+/// row runs under `catch_unwind`, the **first** captured panic stops
+/// further dispatch, the surviving workers drain, and the panic is then
+/// resumed on the calling thread with the failing row index attached to
+/// the original message.
 fn pooled_rows<R: Send>(
     n: usize,
     threads: Option<usize>,
@@ -236,10 +329,16 @@ fn pooled_rows<R: Send>(
         return (0..n).map(row).collect();
     }
 
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // The first row panic, as (row index, payload). Workers that hit a
+    // panic record it here (first writer wins) and stop dispatch by
+    // exhausting the index counter; the slot mutexes are never poisoned
+    // because the row closure runs outside any lock.
+    let failure: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -247,11 +346,36 @@ fn pooled_rows<R: Send>(
                 if i >= n {
                     break;
                 }
-                let computed = row(i);
-                *slots[i].lock().expect("sweep row lock poisoned") = Some(computed);
+                // `AssertUnwindSafe` is sound here: a row that panicked
+                // never writes its slot, and the pool abandons every
+                // other slot by panicking below, so no torn state is
+                // ever observed.
+                match catch_unwind(AssertUnwindSafe(|| row(i))) {
+                    Ok(computed) => {
+                        *slots[i].lock().expect("sweep row lock poisoned") = Some(computed);
+                    }
+                    Err(payload) => {
+                        let mut failure = failure.lock().expect("sweep failure lock poisoned");
+                        if failure.is_none() {
+                            *failure = Some((i, payload));
+                        }
+                        // Exhaust the counter so idle workers stop
+                        // picking up new rows (in-flight rows drain).
+                        next.fetch_max(n, Ordering::Relaxed);
+                        break;
+                    }
+                }
             });
         }
     });
+    if let Some((index, payload)) = failure.into_inner().expect("sweep failure lock poisoned") {
+        let detail = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        panic!("sweep row {index} panicked: {detail}");
+    }
     slots
         .into_iter()
         .map(|slot| {
@@ -264,7 +388,14 @@ fn pooled_rows<R: Send>(
 
 /// The retained serial reference for [`run_sweep`]: one environment at a
 /// time, in configuration order.
+///
+/// # Panics
+///
+/// Panics up front on an invalid configuration, like [`run_sweep`].
 pub fn run_sweep_serial(config: &SweepConfig) -> SweepResults {
+    if let Err(err) = config.validate() {
+        panic!("invalid sweep config: {err}");
+    }
     SweepResults {
         rows: (0..config.difficulties.len())
             .map(|i| run_sweep_row(config, i))
@@ -703,5 +834,56 @@ mod tests {
         assert!(config.aware.plan_ahead);
         assert!(config.oblivious.plan_ahead);
         assert!(!SweepConfig::quick(1).aware.plan_ahead);
+    }
+
+    #[test]
+    fn nan_knob_is_rejected_up_front() {
+        let mut config = SweepConfig::quick(1);
+        assert!(config.validate().is_ok());
+        config.difficulties[1].obstacle_spread = f64::NAN;
+        let err = config.validate().unwrap_err();
+        match err {
+            SweepError::NonFiniteKnob { index, knob, value } => {
+                assert_eq!(index, 1);
+                assert_eq!(knob, "obstacle_spread");
+                assert!(value.is_nan());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("obstacle_spread"));
+        // An empty matrix is also an error rather than a silent no-op.
+        config.difficulties.clear();
+        assert!(matches!(config.validate(), Err(SweepError::NoEnvironments)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sweep config")]
+    fn run_sweep_rejects_nan_knobs_before_spawning_workers() {
+        let mut config = SweepConfig::quick(1);
+        config.difficulties[0].goal_distance = f64::INFINITY;
+        run_sweep(&config);
+    }
+
+    #[test]
+    fn pooled_row_panic_reports_the_failing_index() {
+        // A deliberately panicking row must surface its own message and
+        // row index, not the generic scoped-thread re-panic payload.
+        let caught = std::panic::catch_unwind(|| {
+            pooled_rows(8, Some(4), |i| {
+                if i == 5 {
+                    panic!("boom at row {i}");
+                }
+                i * 2
+            })
+        })
+        .expect_err("the pool must propagate the row panic");
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("pool panics carry a formatted message");
+        assert!(message.contains("row 5"), "message: {message}");
+        assert!(message.contains("boom"), "message: {message}");
+        // And a panic-free pool still returns rows in index order.
+        assert_eq!(pooled_rows(4, Some(2), |i| i + 10), vec![10, 11, 12, 13]);
     }
 }

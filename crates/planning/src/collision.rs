@@ -26,6 +26,7 @@
 use roborun_geom::{Aabb, FxHashMap, Vec3, VoxelKey};
 use roborun_perception::{PlannerMap, PlannerMapDelta};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Maximum cell count for the dense occupancy bitset (8 MiB of bits).
 const MAX_BITSET_CELLS: i64 = 1 << 26;
@@ -285,7 +286,16 @@ pub struct CollisionChecker {
     /// Number of point queries performed since construction (work metric).
     queries: usize,
     /// Broad-phase, built lazily after [`LAZY_BUILD_QUERIES`] queries.
-    broad_phase: Option<BroadPhase>,
+    ///
+    /// Held behind an [`Arc`] so that cloning a checker whose broad-phase
+    /// is already built shares the structure in O(1) instead of deep-
+    /// copying the candidate map: N missions planned against the same
+    /// environment prebuild once and clone per mission (the fleet /
+    /// mission-service pattern). The share is copy-on-write —
+    /// [`CollisionChecker::update_map`] patches through
+    /// [`Arc::make_mut`], so the first per-mission delta detaches a
+    /// private copy and siblings are never affected.
+    broad_phase: Option<Arc<BroadPhase>>,
 }
 
 impl CollisionChecker {
@@ -343,7 +353,7 @@ impl CollisionChecker {
             if self.queries < LAZY_BUILD_QUERIES {
                 return !self.map.is_occupied(p, self.margin);
             }
-            self.broad_phase = Some(BroadPhase::build(&self.map, self.margin));
+            self.broad_phase = Some(Arc::new(BroadPhase::build(&self.map, self.margin)));
         }
         let broad_phase = self.broad_phase.as_ref().expect("broad phase just built");
         !broad_phase.occupied(p, self.margin)
@@ -352,9 +362,27 @@ impl CollisionChecker {
     /// Builds the broad-phase immediately instead of waiting for the lazy
     /// query threshold — callers that keep the checker across many plans
     /// (the mission runner) pay the build once and patch it afterwards.
+    ///
+    /// Because the built structure sits behind an [`Arc`], cloning the
+    /// checker afterwards shares it in O(1): a fleet or mission service
+    /// prebuilds one static checker per environment and hands each
+    /// mission a clone, paying one build for N missions. Per-clone
+    /// [`CollisionChecker::update_map`] patches detach privately
+    /// (copy-on-write), so sharing never changes any answer.
     pub fn prebuild_broad_phase(&mut self) {
         if self.broad_phase.is_none() {
-            self.broad_phase = Some(BroadPhase::build(&self.map, self.margin));
+            self.broad_phase = Some(Arc::new(BroadPhase::build(&self.map, self.margin)));
+        }
+    }
+
+    /// `true` when `self` and `other` still share one broad-phase
+    /// allocation (neither has detached with a copy-on-write patch).
+    /// Exposed for the cross-mission-caching tests and benches.
+    #[doc(hidden)]
+    pub fn shares_broad_phase_with(&self, other: &CollisionChecker) -> bool {
+        match (&self.broad_phase, &other.broad_phase) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
         }
     }
 
@@ -366,7 +394,10 @@ impl CollisionChecker {
     pub fn update_map(&mut self, new_map: PlannerMap) {
         if let Some(grid) = self.broad_phase.as_mut() {
             match new_map.delta_from(&self.map) {
-                Some(delta) => grid.apply_delta(&delta, self.margin),
+                // `make_mut` detaches a private copy when the structure
+                // is shared with sibling missions (copy-on-write) and
+                // patches in place when uniquely owned.
+                Some(delta) => Arc::make_mut(grid).apply_delta(&delta, self.margin),
                 None => self.broad_phase = None,
             }
         }
@@ -470,7 +501,11 @@ impl CollisionChecker {
                             return false;
                         }
                     } else {
-                        let steps = (length / sample_step).ceil() as usize;
+                        // `.max(1.0)` guards the degenerate-step edge
+                        // cases (a non-finite ratio truncating to zero)
+                        // so the far endpoint is always sampled — the
+                        // same guarded form as every other hazard walker.
+                        let steps = (length / sample_step).ceil().max(1.0) as usize;
                         // `a` was cleared as the previous endpoint.
                         for i in 1..=steps {
                             let t = i as f64 / steps as f64;
@@ -493,7 +528,9 @@ impl CollisionChecker {
         if length < 1e-9 {
             return self.point_free(a);
         }
-        let steps = (length / self.check_step).ceil() as usize;
+        // Guarded like every other hazard walker: at least one step, so
+        // both endpoints are sampled even when the ratio degenerates.
+        let steps = (length / self.check_step).ceil().max(1.0) as usize;
         for i in 0..=steps {
             let t = i as f64 / steps as f64;
             if !self.point_free(a.lerp(b, t)) {

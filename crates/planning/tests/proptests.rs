@@ -5,7 +5,8 @@ use proptest::prelude::*;
 use roborun_geom::{Aabb, Vec3};
 use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
 use roborun_planning::{
-    smooth_path, CollisionChecker, RrtConfig, RrtStar, SmoothingConfig, Trajectory, TrajectoryPoint,
+    polyline_clear_of_boxes, smooth_path, CollisionChecker, HazardSource, PeerTrajectoryHazard,
+    PredictedHazards, RrtConfig, RrtStar, SmoothingConfig, Trajectory, TrajectoryPoint,
 };
 
 fn arb_waypoints() -> impl Strategy<Value = Vec<Vec3>> {
@@ -221,5 +222,80 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Satellite conformance for the hazard walkers: a polyline with
+    /// repeated/coincident waypoints must answer the same boolean as the
+    /// plain polyline on every walker — degenerate zero-length segments
+    /// may never skip an endpoint check. Exercises the static checker
+    /// (`path_free`), the incremental re-validation
+    /// (`path_clear_of_added`), the predicted-hazard walk and the peer
+    /// swept-trajectory walk on the same duplicated input.
+    #[test]
+    fn duplicate_point_polylines_keep_endpoint_coverage(
+        waypoints in arb_waypoints(),
+        dup_mask in prop::collection::vec(0usize..3, 2..8),
+        gap_center in -10.0f64..10.0,
+    ) {
+        let map = wall_map(gap_center - 2.0, gap_center + 2.0);
+        let mut dup = Vec::new();
+        for (i, p) in waypoints.iter().enumerate() {
+            let copies = 1 + dup_mask[i % dup_mask.len()];
+            for _ in 0..copies {
+                dup.push(*p);
+            }
+        }
+
+        // Static checker: the duplicated polyline visits the same points.
+        let mut plain = CollisionChecker::new(map.clone(), 0.45, 0.5);
+        let mut dupped = CollisionChecker::new(map.clone(), 0.45, 0.5);
+        prop_assert_eq!(plain.path_free(&waypoints), dupped.path_free(&dup));
+        // A zero-length segment is exactly the endpoint's point query.
+        for &p in &waypoints {
+            let mut a = CollisionChecker::new(map.clone(), 0.45, 0.5);
+            let mut b = CollisionChecker::new(map.clone(), 0.45, 0.5);
+            prop_assert_eq!(a.segment_free(p, p), b.point_free(p));
+        }
+
+        // Incremental re-validation against added voxels: every box of
+        // the map is "added" relative to an empty snapshot.
+        let empty = roborun_perception::PlannerMap::empty(0.5);
+        let delta = map.delta_from(&empty).unwrap();
+        prop_assert_eq!(
+            CollisionChecker::path_clear_of_added(&delta, waypoints.iter().copied(), 0.3, 0.5),
+            CollisionChecker::path_clear_of_added(&delta, dup.iter().copied(), 0.3, 0.5)
+        );
+
+        // Predicted-hazard and posterior polyline walks.
+        let boxes: Vec<Aabb> = map.boxes().to_vec();
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let hazards = PredictedHazards::new(boxes.clone(), 0.45, origin, 1e9);
+        prop_assert_eq!(
+            hazards.path_clear(waypoints.iter().copied()),
+            hazards.path_clear(dup.iter().copied())
+        );
+        prop_assert_eq!(
+            polyline_clear_of_boxes(waypoints.iter().copied(), &boxes, 0.45, origin, 1e9),
+            polyline_clear_of_boxes(dup.iter().copied(), &boxes, 0.45, origin, 1e9)
+        );
+
+        // Peer swept-trajectory source: a degenerate segment query equals
+        // the endpoint's point query, and a duplicated peer polyline
+        // sweeps the same corridor as the plain one.
+        let mut peers = PeerTrajectoryHazard::new(0.45, 0.3);
+        peers.set_peer(0, &waypoints);
+        let mut peers_dup = PeerTrajectoryHazard::new(0.45, 0.3);
+        peers_dup.set_peer(0, &dup);
+        for q in roborun_conformance::boundary_probes(7, 0.5) {
+            prop_assert_eq!(peers.point_blocked(q), peers_dup.point_blocked(q));
+        }
+        let p = waypoints[0];
+        let free_seg = HazardSource::segment_free(&mut peers, p, p);
+        let free_pt = HazardSource::point_free(&mut peers, p);
+        prop_assert_eq!(free_seg, free_pt);
     }
 }
