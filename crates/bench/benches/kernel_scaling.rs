@@ -230,8 +230,8 @@ fn bench_export_precision(c: &mut Criterion) {
     group.finish();
 }
 
-/// A random box world of `n` obstacles spread over a mission-scale corridor.
-fn random_field(n: usize, seed: u64) -> ObstacleField {
+/// Random boxes spread over a mission-scale corridor.
+fn random_obstacles(n: usize, seed: u64) -> Vec<Obstacle> {
     let mut rng = SplitMix64::new(seed);
     let span = 40.0 * (n as f64 / 100.0).cbrt().max(1.0);
     (0..n as u32)
@@ -249,6 +249,11 @@ fn random_field(n: usize, seed: u64) -> ObstacleField {
             Obstacle::new(id, Aabb::from_center_half_extents(center, half))
         })
         .collect()
+}
+
+/// A random box world of `n` obstacles spread over a mission-scale corridor.
+fn random_field(n: usize, seed: u64) -> ObstacleField {
+    random_obstacles(n, seed).into_iter().collect()
 }
 
 /// Rays fanned out from near the corridor entrance, like a depth camera.
@@ -943,6 +948,171 @@ fn bench_predicted_costmap(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sampling mix on the lane-heavy predicted-costmap fixture at an
+/// identical 2000-sample budget: uniform vs hazard-biased proposals.
+/// The mix's headline win is samples-to-solution (bench8 records the
+/// ladder); this entry tracks the per-sample overhead of the region
+/// draws so the proposal machinery itself stays cheap.
+fn bench_rrtstar_sampling_mix(c: &mut Criterion) {
+    use roborun_planning::{HazardContext, PredictedHazards, SamplingMix};
+    let map = {
+        let mut map = OccupancyMap::new(0.5);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let mut points = Vec::new();
+        for yi in -60..=60 {
+            let y = yi as f64 * 0.5;
+            if (4.0..=9.0).contains(&y) {
+                continue;
+            }
+            for zi in 0..24 {
+                points.push(Vec3::new(20.0, y, zi as f64 * 0.5));
+            }
+        }
+        map.integrate_cloud(&PointCloud::new(origin, points), 1.0);
+        PlannerMap::export(&map, &ExportConfig::new(0.5, 1e9, origin))
+    };
+    let lanes = vec![Aabb::new(
+        Vec3::new(26.0, 2.0, 0.0),
+        Vec3::new(29.0, 25.0, 12.0),
+    )];
+    let start = Vec3::new(0.0, 0.0, 5.0);
+    let goal = Vec3::new(40.0, 0.0, 5.0);
+    let bounds = Aabb::new(Vec3::new(-5.0, -25.0, 1.0), Vec3::new(45.0, 25.0, 12.0));
+    let hazards = PredictedHazards::new(lanes, 0.45 * 0.6, start, 1e9);
+    let mut group = c.benchmark_group("rrtstar_sampling_mix_2000");
+    group.sample_size(10);
+    for (label, enabled) in [("uniform", false), ("biased", true)] {
+        let planner = RrtStar::new(RrtConfig {
+            seed: 1,
+            max_samples: 2_000,
+            sampling_mix: SamplingMix {
+                enabled,
+                ..SamplingMix::default()
+            },
+            ..RrtConfig::default()
+        });
+        let mut checker = CollisionChecker::new(map.clone(), 0.45, 0.3);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut context = HazardContext::new(&mut checker, &hazards);
+                std::hint::black_box(planner.plan(&mut context, start, goal, &bounds)).tree_size
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Arena batch expansion on the whole-search fixture of
+/// [`bench_rrtstar_4000_samples`]: `batch_size` pre-draws a round of
+/// targets and flushes the spatial index once per round instead of once
+/// per node. Results are bit-identical across K (enforced by the
+/// batch-equivalence tests); only the wall clock moves.
+fn bench_rrtstar_batch_expansion(c: &mut Criterion) {
+    let origin = Vec3::new(0.0, 0.0, 5.0);
+    let mut map = OccupancyMap::new(0.5);
+    let mut points = Vec::new();
+    for yi in -120..=120 {
+        let y = yi as f64 * 0.5;
+        if (6.0..=10.0).contains(&y) {
+            continue;
+        }
+        for zi in 0..30 {
+            points.push(Vec3::new(20.0, y, zi as f64 * 0.5));
+        }
+    }
+    map.integrate_cloud(&PointCloud::new(origin, points), 1.0);
+    let pm = PlannerMap::export(&map, &ExportConfig::new(0.5, 1e9, origin));
+    let start = Vec3::new(0.0, 0.0, 5.0);
+    let goal = Vec3::new(140.0, 0.0, 5.0);
+    let bounds = Aabb::new(Vec3::new(-5.0, -75.0, 1.0), Vec3::new(155.0, 75.0, 28.0));
+    let mut checker = CollisionChecker::new(pm, 0.45, 0.5);
+    let mut group = c.benchmark_group("rrtstar_batch_expansion_4000");
+    group.sample_size(10);
+    for &k in &[1usize, 64] {
+        let planner = RrtStar::new(RrtConfig {
+            max_samples: 4_000,
+            seed: 3,
+            batch_size: k,
+            ..RrtConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("K{k}")),
+            &planner,
+            |b, planner| {
+                b.iter(|| {
+                    std::hint::black_box(planner.plan(&mut checker, start, goal, &bounds)).tree_size
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The broad-phase batch width on a 10^4-obstacle raycast storm: the
+/// 8-wide AABB packs against the 4-wide fallback, forced to each width
+/// (the field auto-detects at runtime — W8 on AVX hosts). Same query
+/// stream, bit-identical answers per lane.
+fn bench_aabb_dispatch_width(c: &mut Criterion) {
+    use roborun_geom::SimdWidth;
+    let rays = probe_rays(512, 12_345);
+    let mut group = c.benchmark_group("aabb_dispatch_width_10k");
+    for &(label, width) in &[("w4", SimdWidth::W4), ("w8", SimdWidth::W8)] {
+        let field = ObstacleField::with_simd_width(random_obstacles(10_000, 10_000), width);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &field, |b, field| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for ray in &rays {
+                    acc += std::hint::black_box(field.free_distance(ray, 120.0));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Peer-corridor point queries at K committed peers (64-waypoint
+/// corridors each): the BENCH_7 scaling row that motivated the
+/// candidate grid. Grid-backed, the cost per query is set by cell
+/// occupancy, not the flat box count — the K rows sit on top of each
+/// other instead of scaling linearly.
+fn bench_peer_hazard_point_queries(c: &mut Criterion) {
+    use roborun_planning::PeerTrajectoryHazard;
+    let mut group = c.benchmark_group("peer_hazard_point_queries");
+    for &peers in &[1usize, 4, 8] {
+        let mut hazard = PeerTrajectoryHazard::new(0.46, 0.9);
+        for id in 0..peers {
+            let polyline: Vec<Vec3> = (0..64)
+                .map(|i| {
+                    let t = i as f64 * 2.0;
+                    Vec3::new(
+                        t,
+                        (id as f64) * 12.0 + (t * 0.1).sin() * 4.0,
+                        5.0 + t * 0.05,
+                    )
+                })
+                .collect();
+            hazard.set_peer(id as u64, &polyline);
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("K{peers}")),
+            &hazard,
+            |b, hazard| {
+                b.iter(|| {
+                    let mut blocked = 0usize;
+                    for q in 0..1_000 {
+                        let t = (q % 997) as f64 * 0.13;
+                        let p = Vec3::new(t, (t * 0.37).sin() * 20.0, 5.0 + (t * 0.11).cos() * 3.0);
+                        blocked += usize::from(std::hint::black_box(hazard.point_blocked(p)));
+                    }
+                    blocked
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_point_cloud_precision,
@@ -963,6 +1133,10 @@ criterion_group!(
     bench_predicted_validation,
     bench_walk_pose_anchor,
     bench_predicted_costmap,
-    bench_fault_plan_overhead
+    bench_fault_plan_overhead,
+    bench_rrtstar_sampling_mix,
+    bench_rrtstar_batch_expansion,
+    bench_aabb_dispatch_width,
+    bench_peer_hazard_point_queries
 );
 criterion_main!(benches);

@@ -114,6 +114,378 @@ fn main() {
     if want("bench7") {
         bench7();
     }
+    if want("bench8") {
+        bench8();
+    }
+}
+
+/// Raw-speed kernel campaign: hazard-biased RRT* sampling vs uniform on
+/// the lane-heavy one-shot fixture, batched arena expansion at 4k/16k
+/// samples, 4-wide vs 8-wide AABB broad-phase dispatch, the gridded
+/// peer-query rerun, and a multicore mode (`ROBORUN_BENCH_THREADS`) for
+/// the sweep / plan-ahead / mission-service rows. Emits `BENCH_8.json`.
+fn bench8() {
+    use roborun_env::{Obstacle, ObstacleField};
+    use roborun_geom::{Aabb, Ray, SimdWidth, SplitMix64, Vec3};
+    use roborun_mission::{MissionService, ServiceConfig};
+    use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
+    use roborun_planning::{
+        CollisionChecker, HazardContext, PeerTrajectoryHazard, PredictedHazards, RrtConfig,
+        RrtStar, SamplingMix,
+    };
+    use std::time::Instant;
+
+    println!("## Bench 8 — raw-speed kernels: biased sampling, batch expansion, 8-wide AABB\n");
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // The multicore bench mode: ROBORUN_BENCH_THREADS pins the worker
+    // count of every threaded row below; unset picks the machine width.
+    let bench_threads: Option<usize> = std::env::var("ROBORUN_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let threads = bench_threads.unwrap_or(cores);
+    println!(
+        "(host has {cores} core(s); thread mode: {})\n",
+        bench_threads.map_or("auto".to_string(), |t| format!("pinned to {t}"))
+    );
+
+    // --- Hazard-biased sampling on the lane-heavy one-shot fixture ----
+    // The predicted_costmap fixture: a wall at x = 20 with one gap at
+    // y in [4, 9], and a predicted lane past it blocking the straight
+    // exit. Gap regions derived from the lane guide proposals into the
+    // southern dip the detour needs.
+    let map = {
+        let mut map = OccupancyMap::new(0.5);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let mut points = Vec::new();
+        for yi in -60..=60 {
+            let y = yi as f64 * 0.5;
+            if (4.0..=9.0).contains(&y) {
+                continue;
+            }
+            for zi in 0..24 {
+                points.push(Vec3::new(20.0, y, zi as f64 * 0.5));
+            }
+        }
+        map.integrate_cloud(&PointCloud::new(origin, points), 1.0);
+        PlannerMap::export(&map, &ExportConfig::new(0.5, 1e9, origin))
+    };
+    let lanes = vec![Aabb::new(
+        Vec3::new(26.0, 2.0, 0.0),
+        Vec3::new(29.0, 25.0, 12.0),
+    )];
+    let start = Vec3::new(0.0, 0.0, 5.0);
+    let goal = Vec3::new(40.0, 0.0, 5.0);
+    let bounds = Aabb::new(Vec3::new(-5.0, -25.0, 1.0), Vec3::new(45.0, 25.0, 12.0));
+    let clearance = 0.45 * 0.6;
+    let mixes = [
+        ("uniform", SamplingMix::default()),
+        (
+            "biased",
+            SamplingMix {
+                enabled: true,
+                ..SamplingMix::default()
+            },
+        ),
+    ];
+    let run_plan = |seed: u64, mix: SamplingMix, max_samples: usize| {
+        let planner = RrtStar::new(RrtConfig {
+            seed,
+            max_samples,
+            sampling_mix: mix,
+            ..RrtConfig::default()
+        });
+        let hazards = PredictedHazards::new(lanes.clone(), clearance, start, 1e9);
+        let mut checker = CollisionChecker::new(map.clone(), 0.45, 0.3);
+        let mut ctx = HazardContext::new(&mut checker, &hazards);
+        planner.plan(&mut ctx, start, goal, &bounds)
+    };
+    // Samples to first solution: the search never stops early, so the
+    // metric is the smallest max_samples rung that yields a path.
+    let ladder = [25usize, 50, 100, 200, 400, 800, 1600, 3200, 6400];
+    let seeds = 8u64;
+    let mut sampling_rows = Vec::new();
+    for (label, mix) in mixes {
+        let mut to_solution = 0usize;
+        for seed in 0..seeds {
+            to_solution += ladder
+                .iter()
+                .copied()
+                .find(|&n| run_plan(seed, mix, n).found())
+                .unwrap_or(*ladder.last().unwrap());
+        }
+        let wall = Instant::now();
+        let mut cost = 0.0;
+        for seed in 0..seeds {
+            cost += run_plan(seed, mix, 2_000).cost;
+        }
+        let ms = wall.elapsed().as_secs_f64() * 1e3 / seeds as f64;
+        let mean_to_solution = to_solution as f64 / seeds as f64;
+        let mean_cost = cost / seeds as f64;
+        println!(
+            "sampling  {label:<8} {mean_to_solution:>6.0} samples to solution  \
+             {ms:>7.2} ms/plan @2000  mean cost {mean_cost:.2} m"
+        );
+        sampling_rows.push((label, mean_to_solution, ms, mean_cost));
+    }
+    let sample_reduction = sampling_rows[0].1 / sampling_rows[1].1;
+    let cost_ratio = sampling_rows[1].3 / sampling_rows[0].3;
+    println!(
+        "sampling  biased draws {sample_reduction:.1}x fewer samples to solution \
+         (cost ratio {cost_ratio:.3})\n"
+    );
+
+    // --- Batched arena expansion at 4k / 16k samples ------------------
+    // The long-corridor gap-wall search of the kernel-scaling benches;
+    // batch K pre-draws K targets per spatial-index flush. Results are
+    // exact-identical at every K (asserted here, proven in the planning
+    // tests); the win is locality and flush amortization.
+    let long_map = {
+        let mut map = OccupancyMap::new(0.5);
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let mut points = Vec::new();
+        for yi in -120..=120 {
+            let y = yi as f64 * 0.5;
+            if (6.0..=10.0).contains(&y) {
+                continue;
+            }
+            for zi in 0..30 {
+                points.push(Vec3::new(20.0, y, zi as f64 * 0.5));
+            }
+        }
+        map.integrate_cloud(&PointCloud::new(origin, points), 1.0);
+        PlannerMap::export(&map, &ExportConfig::new(0.5, 1e9, origin))
+    };
+    let long_goal = Vec3::new(140.0, 0.0, 5.0);
+    let long_bounds = Aabb::new(Vec3::new(-5.0, -75.0, 1.0), Vec3::new(155.0, 75.0, 28.0));
+    let mut checker = CollisionChecker::new(long_map, 0.45, 0.5);
+    let mut batch_rows = Vec::new();
+    for &samples in &[4_000usize, 16_000] {
+        let mut row = Vec::new();
+        let mut reference = None;
+        for &batch in &[1usize, 64] {
+            let planner = RrtStar::new(RrtConfig {
+                seed: 3,
+                max_samples: samples,
+                batch_size: batch,
+                ..RrtConfig::default()
+            });
+            let wall = Instant::now();
+            let result = planner.plan(&mut checker, start, long_goal, &long_bounds);
+            let ms = wall.elapsed().as_secs_f64() * 1e3;
+            match &reference {
+                None => reference = Some(result),
+                Some(r) => assert_eq!(r, &result, "batch {batch} diverged at {samples} samples"),
+            }
+            println!("batch     {samples:>6} samples  K={batch:<3} {ms:>8.1} ms");
+            row.push((batch, ms));
+        }
+        batch_rows.push((samples, row));
+    }
+    println!();
+
+    // --- 4-wide vs 8-wide AABB broad-phase dispatch -------------------
+    // Same world, same rays, both forced widths: identical hits (width
+    // changes throughput, never results), throughput recorded per ray.
+    let obstacles: Vec<Obstacle> = {
+        let mut rng = SplitMix64::new(10_000);
+        (0..10_000u32)
+            .map(|id| {
+                let center = Vec3::new(
+                    rng.uniform(5.0, 185.0),
+                    rng.uniform(-90.0, 90.0),
+                    rng.uniform(0.0, 12.0),
+                );
+                let half = Vec3::new(
+                    rng.uniform(0.4, 2.0),
+                    rng.uniform(0.4, 2.0),
+                    rng.uniform(0.4, 3.0),
+                );
+                Obstacle::new(id, Aabb::from_center_half_extents(center, half))
+            })
+            .collect()
+    };
+    let rays: Vec<Ray> = {
+        let mut rng = SplitMix64::new(99);
+        (0..512)
+            .map(|_| {
+                let origin = Vec3::new(0.0, rng.uniform(-10.0, 10.0), rng.uniform(2.0, 8.0));
+                let yaw = rng.uniform(-0.9, 0.9);
+                let pitch = rng.uniform(-0.3, 0.3);
+                Ray::new(origin, Vec3::new(yaw.cos(), yaw.sin(), pitch.sin()))
+            })
+            .collect()
+    };
+    let mut width_rows = Vec::new();
+    let mut checksums = Vec::new();
+    for width in [SimdWidth::W4, SimdWidth::W8] {
+        let field = ObstacleField::with_simd_width(obstacles.clone(), width);
+        let rounds = 40usize;
+        let wall = Instant::now();
+        let mut checksum = 0.0f64;
+        for _ in 0..rounds {
+            for ray in &rays {
+                if let Some(hit) = field.raycast(ray, 120.0) {
+                    checksum += hit.distance;
+                }
+            }
+        }
+        let ns_per_ray = wall.elapsed().as_secs_f64() * 1e9 / (rounds * rays.len()) as f64;
+        println!(
+            "raycast   {} lanes  {ns_per_ray:>7.0} ns/ray over {} obstacles",
+            width.lanes(),
+            obstacles.len()
+        );
+        width_rows.push((width.lanes(), ns_per_ray));
+        checksums.push(checksum.to_bits());
+    }
+    assert_eq!(checksums[0], checksums[1], "W4 and W8 raycasts diverged");
+    println!();
+
+    // --- Peer-hazard query scaling rerun (now grid-backed) ------------
+    // The BENCH_7 scaling row that motivated the candidate grid: point
+    // queries against K committed peer corridors. With >= 16 flat boxes
+    // the grid makes the probe a hash lookup plus a few exact tests.
+    let queries = 100_000usize;
+    let mut peer_rows = Vec::new();
+    for peers in [1usize, 2, 4, 8] {
+        let mut hazard = PeerTrajectoryHazard::new(0.46, 0.9);
+        for id in 0..peers {
+            let polyline: Vec<Vec3> = (0..64)
+                .map(|i| {
+                    let t = i as f64 * 2.0;
+                    Vec3::new(
+                        t,
+                        (id as f64) * 12.0 + (t * 0.1).sin() * 4.0,
+                        5.0 + t * 0.05,
+                    )
+                })
+                .collect();
+            hazard.set_peer(id as u64, &polyline);
+        }
+        let boxes = hazard.boxes().len();
+        let wall = Instant::now();
+        let mut blocked = 0usize;
+        for q in 0..queries {
+            let t = (q % 997) as f64 * 0.13;
+            let p = Vec3::new(t, (t * 0.37).sin() * 20.0, 5.0 + (t * 0.11).cos() * 3.0);
+            if hazard.point_blocked(p) {
+                blocked += 1;
+            }
+        }
+        let ns_per_query = wall.elapsed().as_secs_f64() * 1e9 / queries as f64;
+        println!(
+            "peer grid K={peers}  {boxes} boxes  {ns_per_query:.0} ns/query  ({blocked} blocked)"
+        );
+        peer_rows.push((peers, boxes, ns_per_query));
+    }
+    println!();
+
+    // --- Multicore mode: sweep, plan-ahead, mission service -----------
+    // All three threaded rows honour the pinned width. The plan-ahead
+    // row keeps the modeled masked-latency accounting: wall-clock
+    // parallelism changes throughput, never the simulated clock.
+    let mut sweep_request = SweepConfig::quick(41);
+    sweep_request.threads = Some(threads);
+    sweep_request.difficulties.truncate(4);
+    let wall = Instant::now();
+    let sweep_rows = run_sweep(&sweep_request).rows().len();
+    let sweep_seconds = wall.elapsed().as_secs_f64();
+    println!("multicore sweep    threads={threads}  {sweep_rows} rows in {sweep_seconds:.2} s");
+
+    let plan_ahead_cfg = MissionConfig {
+        max_decisions: 600,
+        max_mission_time: 1_500.0,
+        plan_ahead: true,
+        ..MissionConfig::new(RuntimeMode::SpatialAware)
+    };
+    let env = EnvironmentGenerator::new(DifficultyConfig {
+        obstacle_density: 0.35,
+        obstacle_spread: 40.0,
+        goal_distance: 120.0,
+    })
+    .generate(21);
+    let wall = Instant::now();
+    let result = MissionRunner::new(plan_ahead_cfg).run(&env);
+    let plan_ahead_seconds = wall.elapsed().as_secs_f64();
+    let masked = result.metrics.masked_planning_latency;
+    println!(
+        "multicore plan-ahead  {plan_ahead_seconds:.2} s wall, masked {masked:.3} s modeled \
+         over {} decisions",
+        result.metrics.decisions
+    );
+
+    let mut service_request = SweepConfig::quick(41);
+    service_request.difficulties.truncate(4);
+    let service_missions = 2 * service_request.difficulties.len();
+    let shards = threads.max(1);
+    let service = MissionService::start(ServiceConfig { shards });
+    let wall = Instant::now();
+    let id = service.submit(service_request).expect("valid request");
+    let rows = service.collect(id);
+    let service_seconds = wall.elapsed().as_secs_f64();
+    service.shutdown();
+    assert_eq!(rows.rows().len(), 4);
+    println!(
+        "multicore service  shards={shards}  {service_missions} missions in {service_seconds:.2} s\n"
+    );
+
+    // Machine-readable trajectory for CI and the roadmap.
+    let mut json = String::from("{\n  \"bench\": \"raw_speed_kernels\",\n");
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"bench_threads\": {},\n",
+        bench_threads.map_or("null".to_string(), |t| t.to_string())
+    ));
+    json.push_str("  \"biased_sampling\": {\n");
+    for (label, to_solution, ms, cost) in &sampling_rows {
+        json.push_str(&format!(
+            "    \"{label}\": {{\"samples_to_solution\": {to_solution:.1}, \
+             \"ms_per_plan_2000\": {ms:.3}, \"mean_cost_m\": {cost:.3}}},\n"
+        ));
+    }
+    json.push_str(&format!(
+        "    \"sample_reduction\": {sample_reduction:.2}, \"cost_ratio\": {cost_ratio:.4}\n  }},\n"
+    ));
+    json.push_str("  \"batch_expansion\": [\n");
+    for (i, (samples, row)) in batch_rows.iter().enumerate() {
+        let cols: Vec<String> = row
+            .iter()
+            .map(|(batch, ms)| format!("\"k{batch}_ms\": {ms:.2}"))
+            .collect();
+        json.push_str(&format!(
+            "    {{\"samples\": {samples}, {}}}{}\n",
+            cols.join(", "),
+            if i + 1 < batch_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"aabb_raycast\": [\n");
+    for (i, (lanes, ns)) in width_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"lanes\": {lanes}, \"ns_per_ray\": {ns:.1}}}{}\n",
+            if i + 1 < width_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"peer_hazard_query\": [\n");
+    for (i, (peers, boxes, ns)) in peer_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"peers\": {peers}, \"boxes\": {boxes}, \"ns_per_query\": {ns:.1}}}{}\n",
+            if i + 1 < peer_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"multicore\": {{\"threads\": {threads}, \"sweep_seconds\": {sweep_seconds:.3}, \
+         \"plan_ahead_wall_seconds\": {plan_ahead_seconds:.3}, \
+         \"plan_ahead_masked_modeled_s\": {masked:.3}, \
+         \"service_shards\": {shards}, \"service_seconds\": {service_seconds:.3}}}\n}}\n"
+    ));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+    std::fs::write(path, &json).expect("write BENCH_8.json");
+    println!("wrote {path}\n");
 }
 
 /// Fleet-mission performance trajectory: mission-service throughput

@@ -8,7 +8,7 @@
 //! `tests/proptests.rs` enforce on random worlds.
 
 use roborun_geom::index::{GridRayWalk, RingSearch, RingSearchOutcome};
-use roborun_geom::{Aabb, Aabb4, FxHashMap, Ray, Vec3, VoxelKey};
+use roborun_geom::{Aabb, Aabb4, Aabb8, FxHashMap, Ray, SimdWidth, Vec3, VoxelKey};
 use serde::{Deserialize, Serialize};
 
 /// A single static obstacle, modelled as an axis-aligned box.
@@ -51,67 +51,230 @@ pub struct ObstacleHit {
 /// Broad-phase cell size used when a field starts empty (metres).
 const DEFAULT_CELL: f64 = 8.0;
 
+/// Minimum real lanes for which the trailing partial [`Aabb8`] pack is
+/// queried through the batched 8-lane kernel rather than the scalar
+/// loop. Below this, 8 lanes of arithmetic for ≤4 real boxes costs more
+/// than the scalar loop it replaces (the same measurement that keeps
+/// partial [`Aabb4`] packs scalar); at 5+ real lanes the masked 8-wide
+/// call wins even before vectorisation.
+const W8_TAIL_MIN_LANES: usize = 5;
+
+/// Per-cell pack storage at the width [`SimdWidth`] dispatch selected
+/// when the broad phase was built. Both variants answer every query
+/// bit-identically (each batched lane is bit-identical to the scalar
+/// test and padding lanes are masked to misses), so width only changes
+/// throughput, never results.
+#[derive(Debug, Clone)]
+enum PackStore {
+    /// Four-lane packs: full packs batched, the trailing partial pack
+    /// scalar (batched lane arithmetic only pays for itself when all
+    /// four lanes carry real boxes — measured; a 1-box cell through a
+    /// 4-lane kernel is ~4× the arithmetic with no SIMD win to offset
+    /// it).
+    W4(Vec<Aabb4>),
+    /// Eight-lane packs: full packs batched, the trailing partial pack
+    /// batched when it has at least [`W8_TAIL_MIN_LANES`] real lanes
+    /// (padding lanes mask to misses), scalar below that.
+    W8(Vec<Aabb8>),
+}
+
+impl PackStore {
+    fn new(width: SimdWidth) -> Self {
+        match width {
+            SimdWidth::W4 => PackStore::W4(Vec::new()),
+            SimdWidth::W8 => PackStore::W8(Vec::new()),
+        }
+    }
+}
+
+impl Default for PackStore {
+    fn default() -> Self {
+        PackStore::new(SimdWidth::detect())
+    }
+}
+
 /// One broad-phase cell: the indices of the obstacles overlapping it,
-/// plus their bounds packed four-wide in struct-of-arrays slabs
-/// ([`Aabb4`]) so the raycast / margin / nearest inner loops consume the
-/// packs directly — four branch-free lanes of contiguous `f64`s per
-/// slab test or distance, instead of four gathered corner structs.
-/// `packs[k]` holds the bounds of `ids[4k .. 4k + packs[k].len()]`, in
-/// the same order, so lane `l` of pack `k` *is* obstacle `ids[4k + l]`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// plus their bounds packed in struct-of-arrays slabs ([`Aabb4`] or
+/// [`Aabb8`], chosen once per grid by [`SimdWidth`] runtime dispatch) so
+/// the raycast / margin / nearest inner loops consume the packs directly
+/// — `W` branch-free lanes of contiguous `f64`s per slab test or
+/// distance, instead of `W` gathered corner structs. For lane width `W`,
+/// `packs[k]` holds the bounds of `ids[W·k .. W·k + packs[k].len()]`, in
+/// the same order, so lane `l` of pack `k` *is* obstacle `ids[W·k + l]`.
+#[derive(Debug, Clone, Default)]
 struct CellSlab {
     ids: Vec<u32>,
-    packs: Vec<Aabb4>,
+    store: PackStore,
 }
 
 impl CellSlab {
-    fn push(&mut self, id: u32, bounds: &Aabb) {
-        if self.ids.len().is_multiple_of(4) {
-            self.packs.push(Aabb4::empty());
+    fn new(width: SimdWidth) -> Self {
+        CellSlab {
+            ids: Vec::new(),
+            store: PackStore::new(width),
         }
-        self.packs
-            .last_mut()
-            .expect("pack appended when lane count is a multiple of 4")
-            .push(bounds);
+    }
+
+    fn push(&mut self, id: u32, bounds: &Aabb) {
+        match &mut self.store {
+            PackStore::W4(packs) => {
+                if self.ids.len().is_multiple_of(4) {
+                    packs.push(Aabb4::empty());
+                }
+                packs
+                    .last_mut()
+                    .expect("pack appended when lane count is a multiple of 4")
+                    .push(bounds);
+            }
+            PackStore::W8(packs) => {
+                if self.ids.len().is_multiple_of(8) {
+                    packs.push(Aabb8::empty());
+                }
+                packs
+                    .last_mut()
+                    .expect("pack appended when lane count is a multiple of 8")
+                    .push(bounds);
+            }
+        }
         self.ids.push(id);
     }
 
-    /// Number of *full* packs (all four lanes real). The trailing
-    /// partial pack, if any, is queried through the scalar path: batched
-    /// lane arithmetic only pays for itself when all four lanes carry
-    /// real boxes (measured — a 1-box cell through a 4-lane kernel is
-    /// ~4× the arithmetic with no SIMD win to offset it).
-    #[inline]
-    fn full_packs(&self) -> usize {
-        self.ids.len() / 4
-    }
-
-    /// Visits `(obstacle id, distance)` for every box in the cell: full
-    /// packs four lanes at a time, the trailing partial pack through the
-    /// scalar distance. Lane order equals `ids` order and each batched
-    /// lane distance is bit-identical to the scalar
+    /// Visits `(obstacle id, distance)` for every box in the cell,
+    /// batching packs per the width policy and falling to the scalar
+    /// distance for the rest. Lane order equals `ids` order and each
+    /// batched lane distance is bit-identical to the scalar
     /// `Aabb::distance_to_point`, so any fold over this visit is
     /// equivalent to the per-id scalar loop.
     #[inline]
     fn for_each_distance(&self, p: Vec3, obstacles: &[Obstacle], mut visit: impl FnMut(u32, f64)) {
-        let full = self.full_packs();
-        for (k, pack) in self.packs.iter().take(full).enumerate() {
-            let d4 = pack.distance_to_point4(p);
-            for (lane, &d) in d4.iter().enumerate() {
-                visit(self.ids[4 * k + lane], d);
+        match &self.store {
+            PackStore::W4(packs) => {
+                let full = self.ids.len() / 4;
+                for (k, pack) in packs.iter().take(full).enumerate() {
+                    let d4 = pack.distance_to_point4(p);
+                    for (lane, &d) in d4.iter().enumerate() {
+                        visit(self.ids[4 * k + lane], d);
+                    }
+                }
+                for &i in &self.ids[4 * full..] {
+                    visit(i, obstacles[i as usize].bounds.distance_to_point(p));
+                }
+            }
+            PackStore::W8(packs) => {
+                let batched = self.w8_batched_packs();
+                for (k, pack) in packs.iter().take(batched).enumerate() {
+                    let d8 = pack.distance_to_point8(p);
+                    for (lane, &d) in d8.iter().take(pack.len()).enumerate() {
+                        visit(self.ids[8 * k + lane], d);
+                    }
+                }
+                for &i in &self.ids[self.w8_scalar_from(batched)..] {
+                    visit(i, obstacles[i as usize].bounds.distance_to_point(p));
+                }
             }
         }
-        for &i in &self.ids[4 * full..] {
-            visit(i, obstacles[i as usize].bounds.distance_to_point(p));
+    }
+
+    /// `true` when any box in the cell lies within `margin` of `p` —
+    /// order-independent, so batched packs may early-exit per pack.
+    #[inline]
+    fn any_within(&self, p: Vec3, margin: f64, obstacles: &[Obstacle]) -> bool {
+        match &self.store {
+            PackStore::W4(packs) => {
+                let full = self.ids.len() / 4;
+                packs
+                    .iter()
+                    .take(full)
+                    .any(|pack| pack.distance_to_point4(p).iter().any(|&d| d <= margin))
+                    || self.ids[4 * full..]
+                        .iter()
+                        .any(|&i| obstacles[i as usize].bounds.distance_to_point(p) <= margin)
+            }
+            PackStore::W8(packs) => {
+                let batched = self.w8_batched_packs();
+                packs
+                    .iter()
+                    .take(batched)
+                    .any(|pack| pack.distance_to_point8(p).iter().any(|&d| d <= margin))
+                    || self.ids[self.w8_scalar_from(batched)..]
+                        .iter()
+                        .any(|&i| obstacles[i as usize].bounds.distance_to_point(p) <= margin)
+            }
         }
+    }
+
+    /// Visits `(obstacle id, t_min)` for every box in the cell the ray
+    /// hits, batching packs per the width policy. Lane order equals
+    /// `ids` order, each batched lane is bit-identical to the scalar
+    /// `intersect_aabb`, and padding lanes are masked to misses, so any
+    /// fold over this visit is equivalent to the per-id scalar loop.
+    #[inline]
+    fn for_each_ray_hit(&self, ray: &Ray, obstacles: &[Obstacle], mut visit: impl FnMut(u32, f64)) {
+        match &self.store {
+            PackStore::W4(packs) => {
+                let full = self.ids.len() / 4;
+                for (k, pack) in packs.iter().take(full).enumerate() {
+                    let hits = ray.intersect_aabb4(pack);
+                    for (lane, hit) in hits.iter().enumerate() {
+                        if let Some(hit) = hit {
+                            visit(self.ids[4 * k + lane], hit.t_min);
+                        }
+                    }
+                }
+                for &i in &self.ids[4 * full..] {
+                    if let Some(hit) = ray.intersect_aabb(&obstacles[i as usize].bounds) {
+                        visit(i, hit.t_min);
+                    }
+                }
+            }
+            PackStore::W8(packs) => {
+                let batched = self.w8_batched_packs();
+                for (k, pack) in packs.iter().take(batched).enumerate() {
+                    let hits = ray.intersect_aabb8(pack);
+                    for (lane, hit) in hits.iter().enumerate() {
+                        if let Some(hit) = hit {
+                            visit(self.ids[8 * k + lane], hit.t_min);
+                        }
+                    }
+                }
+                for &i in &self.ids[self.w8_scalar_from(batched)..] {
+                    if let Some(hit) = ray.intersect_aabb(&obstacles[i as usize].bounds) {
+                        visit(i, hit.t_min);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of leading 8-lane packs that go through the batched
+    /// kernel: all full packs, plus the trailing partial pack when it
+    /// carries at least [`W8_TAIL_MIN_LANES`] real lanes.
+    #[inline]
+    fn w8_batched_packs(&self) -> usize {
+        let full = self.ids.len() / 8;
+        if self.ids.len() % 8 >= W8_TAIL_MIN_LANES {
+            full + 1
+        } else {
+            full
+        }
+    }
+
+    /// First id index the scalar path covers, given how many leading
+    /// packs were batched (a batched partial tail covers `ids` to the
+    /// end, so the scalar range is empty).
+    #[inline]
+    fn w8_scalar_from(&self, batched: usize) -> usize {
+        (8 * batched).min(self.ids.len())
     }
 }
 
 /// The uniform broad-phase grid: obstacle indices bucketed by every cell
-/// their bounds overlap, with per-cell SIMD-ready bound packs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// their bounds overlap, with per-cell SIMD-ready bound packs at the
+/// width selected once at build time.
+#[derive(Debug, Clone)]
 struct BroadPhase {
     cell: f64,
+    width: SimdWidth,
     cells: FxHashMap<VoxelKey, CellSlab>,
     /// Key-space bounds of all inserted obstacles (valid when `cells` is
     /// non-empty).
@@ -123,6 +286,7 @@ impl Default for BroadPhase {
     fn default() -> Self {
         BroadPhase {
             cell: DEFAULT_CELL,
+            width: SimdWidth::detect(),
             cells: FxHashMap::default(),
             key_min: VoxelKey { x: 0, y: 0, z: 0 },
             key_max: VoxelKey { x: 0, y: 0, z: 0 },
@@ -131,9 +295,17 @@ impl Default for BroadPhase {
 }
 
 impl BroadPhase {
-    /// Builds a grid for `obstacles`, sizing cells from the mean obstacle
-    /// extent so each obstacle lands in O(1) cells.
+    /// Builds a grid for `obstacles` at the host-detected pack width,
+    /// sizing cells from the mean obstacle extent so each obstacle lands
+    /// in O(1) cells.
     fn build(obstacles: &[Obstacle]) -> Self {
+        BroadPhase::build_with_width(obstacles, SimdWidth::detect())
+    }
+
+    /// [`BroadPhase::build`] at an explicit pack width — the hook the
+    /// equivalence tests and benches use to exercise both widths on one
+    /// host.
+    fn build_with_width(obstacles: &[Obstacle], width: SimdWidth) -> Self {
         let cell = if obstacles.is_empty() {
             DEFAULT_CELL
         } else {
@@ -146,6 +318,7 @@ impl BroadPhase {
         };
         let mut grid = BroadPhase {
             cell,
+            width,
             ..BroadPhase::default()
         };
         for (i, o) in obstacles.iter().enumerate() {
@@ -164,12 +337,13 @@ impl BroadPhase {
             self.key_min = self.key_min.componentwise_min(lo);
             self.key_max = self.key_max.componentwise_max(hi);
         }
+        let width = self.width;
         for x in lo.x..=hi.x {
             for y in lo.y..=hi.y {
                 for z in lo.z..=hi.z {
                     self.cells
                         .entry(VoxelKey { x, y, z })
-                        .or_default()
+                        .or_insert_with(|| CellSlab::new(width))
                         .push(index, bounds);
                 }
             }
@@ -215,10 +389,27 @@ pub struct ObstacleField {
 }
 
 impl ObstacleField {
-    /// Creates a field from a list of obstacles.
+    /// Creates a field from a list of obstacles. The broad-phase packs
+    /// are laid out at the host-detected [`SimdWidth`] (AVX hosts get
+    /// 8-lane [`Aabb8`] packs, everything else the 4-lane baseline);
+    /// since both widths answer bit-identically, the choice is invisible
+    /// to every caller.
     pub fn new(obstacles: Vec<Obstacle>) -> Self {
         let grid = BroadPhase::build(&obstacles);
         ObstacleField { obstacles, grid }
+    }
+
+    /// [`ObstacleField::new`] at an explicit broad-phase pack width —
+    /// the hook equivalence tests and benches use to compare both
+    /// widths on one host regardless of what it detects.
+    pub fn with_simd_width(obstacles: Vec<Obstacle>, width: SimdWidth) -> Self {
+        let grid = BroadPhase::build_with_width(&obstacles, width);
+        ObstacleField { obstacles, grid }
+    }
+
+    /// The broad-phase pack width this field was built with.
+    pub fn simd_width(&self) -> SimdWidth {
+        self.grid.width
     }
 
     /// Creates an empty field (open sky).
@@ -292,20 +483,9 @@ impl ObstacleField {
             for y in lo.y..=hi.y {
                 for z in lo.z..=hi.z {
                     if let Some(slab) = self.grid.cells.get(&VoxelKey { x, y, z }) {
-                        // Full packs: four-wide lane distances (padding
-                        // never passes). Trailing partial pack: scalar.
-                        let full = slab.full_packs();
-                        if slab
-                            .packs
-                            .iter()
-                            .take(full)
-                            .any(|pack| pack.distance_to_point4(p).iter().any(|&d| d <= margin))
-                        {
-                            return true;
-                        }
-                        if slab.ids[4 * full..].iter().any(|&i| {
-                            self.obstacles[i as usize].bounds.distance_to_point(p) <= margin
-                        }) {
+                        // Batched lane distances per the width policy
+                        // (padding never passes), scalar for the rest.
+                        if slab.any_within(p, margin, &self.obstacles) {
                             return true;
                         }
                     }
@@ -443,20 +623,19 @@ impl ObstacleField {
             let Some(slab) = self.grid.cells.get(&key) else {
                 continue;
             };
-            // Slab-test four boxes per call over the SoA packs (full
-            // packs only; the trailing partial pack goes through the
-            // scalar test). Each batched lane is bit-identical to the
-            // scalar `intersect_aabb`, and lanes are visited in `ids`
-            // order, so the tie-breaking fold picks the same winner as
-            // the per-id scalar loop.
-            let consider = |i: u32, t_min: f64, best: &mut Option<(ObstacleHit, u32)>| {
+            // Slab-test the cell's SoA packs batched per the width
+            // policy, the rest through the scalar test. Each batched
+            // lane is bit-identical to the scalar `intersect_aabb`, and
+            // lanes are visited in `ids` order, so the tie-breaking fold
+            // picks the same winner as the per-id scalar loop.
+            slab.for_each_ray_hit(ray, &self.obstacles, |i, t_min| {
                 if t_min <= max_range {
-                    let better = match best {
+                    let better = match &best {
                         None => true,
                         Some((b, bi)) => t_min < b.distance || (t_min == b.distance && i < *bi),
                     };
                     if better {
-                        *best = Some((
+                        best = Some((
                             ObstacleHit {
                                 obstacle_id: self.obstacles[i as usize].id,
                                 distance: t_min,
@@ -466,21 +645,7 @@ impl ObstacleField {
                         ));
                     }
                 }
-            };
-            let full = slab.full_packs();
-            for (k, pack) in slab.packs.iter().take(full).enumerate() {
-                let hits = ray.intersect_aabb4(pack);
-                for (lane, hit) in hits.iter().enumerate() {
-                    if let Some(hit) = hit {
-                        consider(slab.ids[4 * k + lane], hit.t_min, &mut best);
-                    }
-                }
-            }
-            for &i in &slab.ids[4 * full..] {
-                if let Some(hit) = ray.intersect_aabb(&self.obstacles[i as usize].bounds) {
-                    consider(i, hit.t_min, &mut best);
-                }
-            }
+            });
         }
         best.map(|(hit, _)| hit)
     }

@@ -184,6 +184,49 @@ proptest! {
     }
 }
 
+/// The 4-wide and 8-wide broad-phase dispatch widths must answer every
+/// query identically — width changes throughput, never results. Swept
+/// over the shared adversarial box scenarios at both forced widths.
+#[test]
+fn simd_widths_agree_on_adversarial_box_scenarios() {
+    use roborun_geom::SimdWidth;
+    for (name, boxes) in roborun_conformance::adversarial_box_sets(23, 8.0) {
+        let obstacles: Vec<Obstacle> = boxes
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Obstacle::new(i as u32, *b))
+            .collect();
+        let w4 = ObstacleField::with_simd_width(obstacles.clone(), SimdWidth::W4);
+        let w8 = ObstacleField::with_simd_width(obstacles, SimdWidth::W8);
+        for q in roborun_conformance::boundary_probes(23, w4.broad_phase_cell()) {
+            assert_eq!(
+                w4.distance_to_nearest(q),
+                w8.distance_to_nearest(q),
+                "distance diverged on {name} at {q}"
+            );
+            for margin in [0.0, 0.45, 2.0] {
+                assert_eq!(
+                    w4.is_occupied_with_margin(q, margin),
+                    w8.is_occupied_with_margin(q, margin),
+                    "margin occupancy diverged on {name} at {q} m={margin}"
+                );
+            }
+            for dir in [
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(-0.6, 0.8, 0.0),
+                Vec3::new(0.3, -0.5, 0.4),
+            ] {
+                let ray = Ray::new(q, dir);
+                assert_eq!(
+                    w4.raycast(&ray, 120.0),
+                    w8.raycast(&ray, 120.0),
+                    "raycast diverged on {name} at {q} dir {dir}"
+                );
+            }
+        }
+    }
+}
+
 /// The obstacle-field queries swept over the shared adversarial box
 /// scenarios (empty world, one box, dense lattice, clusters, boxes whose
 /// faces land exactly on broad-phase cell planes).

@@ -336,6 +336,147 @@ impl Aabb4 {
     }
 }
 
+/// Eight axis-aligned boxes in struct-of-arrays layout, the AVX-width
+/// batch unit of the SIMD-ready slab test [`crate::Ray::intersect_aabb8`].
+///
+/// This is the 8-lane sibling of [`Aabb4`]: same layout idea
+/// (`min_x[0..8]`, `min_y[0..8]`, …), same padding contract (a partial
+/// pack records how many lanes are real in [`Aabb8::len`] and the batched
+/// kernels mask the padding lanes to misses *after* the branch-free lane
+/// arithmetic). Eight `f64` lanes span two AVX registers (or four SSE2
+/// ones), so on an AVX target the auto-vectoriser keeps twice as many
+/// slab compares in flight per loop iteration; which width a broad-phase
+/// cell packs is chosen at build time by [`crate::simd::SimdWidth`]
+/// runtime dispatch, and both widths answer bit-identically to the
+/// scalar loop over the pack's real boxes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb8 {
+    /// Minimum x of each lane.
+    pub min_x: [f64; 8],
+    /// Minimum y of each lane.
+    pub min_y: [f64; 8],
+    /// Minimum z of each lane.
+    pub min_z: [f64; 8],
+    /// Maximum x of each lane.
+    pub max_x: [f64; 8],
+    /// Maximum y of each lane.
+    pub max_y: [f64; 8],
+    /// Maximum z of each lane.
+    pub max_z: [f64; 8],
+    /// Number of real lanes (`0..=8`); the rest are padding.
+    len: usize,
+}
+
+impl Default for Aabb8 {
+    fn default() -> Self {
+        Aabb8::empty()
+    }
+}
+
+impl Aabb8 {
+    /// A pack with no real lanes: every query misses.
+    pub fn empty() -> Self {
+        Aabb8 {
+            min_x: [0.0; 8],
+            min_y: [0.0; 8],
+            min_z: [0.0; 8],
+            max_x: [0.0; 8],
+            max_y: [0.0; 8],
+            max_z: [0.0; 8],
+            len: 0,
+        }
+    }
+
+    /// Packs up to eight boxes; remaining lanes are padding and never hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when given more than eight boxes.
+    pub fn pack(boxes: &[Aabb]) -> Self {
+        assert!(boxes.len() <= 8, "Aabb8 holds at most 8 boxes");
+        let mut pack = Aabb8::empty();
+        for b in boxes {
+            pack.push(b);
+        }
+        pack
+    }
+
+    /// Appends a box to the next free lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when all eight lanes are already filled.
+    pub fn push(&mut self, b: &Aabb) {
+        assert!(self.len < 8, "Aabb8 holds at most 8 boxes");
+        let lane = self.len;
+        self.min_x[lane] = b.min.x;
+        self.min_y[lane] = b.min.y;
+        self.min_z[lane] = b.min.z;
+        self.max_x[lane] = b.max.x;
+        self.max_y[lane] = b.max.y;
+        self.max_z[lane] = b.max.z;
+        self.len += 1;
+    }
+
+    /// Number of real lanes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The box stored in one real lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane >= self.len()`.
+    pub fn lane(&self, lane: usize) -> Aabb {
+        assert!(
+            lane < self.len,
+            "lane {lane} out of range (len {})",
+            self.len
+        );
+        Aabb {
+            min: Vec3::new(self.min_x[lane], self.min_y[lane], self.min_z[lane]),
+            max: Vec3::new(self.max_x[lane], self.max_y[lane], self.max_z[lane]),
+        }
+    }
+
+    /// The per-lane slab bounds of one axis (`0 = x`, `1 = y`, `2 = z`).
+    #[inline]
+    pub(crate) fn axis_slabs(&self, axis: usize) -> (&[f64; 8], &[f64; 8]) {
+        match axis {
+            0 => (&self.min_x, &self.max_x),
+            1 => (&self.min_y, &self.max_y),
+            _ => (&self.min_z, &self.max_z),
+        }
+    }
+
+    /// Batched point distance: each real lane computes *exactly* the
+    /// arithmetic of [`Aabb::distance_to_point`] (per-axis clamp via
+    /// `max`/`min`, then the x²+y²+z² square root, in the same order),
+    /// so `distance_to_point8(p)[l]` is bit-identical to
+    /// `self.lane(l).distance_to_point(p)`. Padding lanes report
+    /// `f64::INFINITY`, which loses every `<=`/`<` comparison a caller
+    /// can make. The per-lane loops run over contiguous `f64`s with no
+    /// branches — the shape an auto-vectoriser needs.
+    #[inline]
+    pub fn distance_to_point8(&self, p: Vec3) -> [f64; 8] {
+        let mut out: [f64; 8] = std::array::from_fn(|lane| {
+            let cx = p.x.max(self.min_x[lane]).min(self.max_x[lane]);
+            let cy = p.y.max(self.min_y[lane]).min(self.max_y[lane]);
+            let cz = p.z.max(self.min_z[lane]).min(self.max_z[lane]);
+            let dx = cx - p.x;
+            let dy = cy - p.y;
+            let dz = cz - p.z;
+            (dx * dx + dy * dy + dz * dz).sqrt()
+        });
+        for d in out.iter_mut().skip(self.len) {
+            *d = f64::INFINITY;
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +641,76 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn aabb4_padding_lane_is_inaccessible() {
         let pack = Aabb4::pack(&[unit_box()]);
+        let _ = pack.lane(1);
+    }
+
+    #[test]
+    fn aabb8_packs_and_unpacks_lanes() {
+        let boxes = [
+            unit_box(),
+            Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0)),
+            Aabb::new(Vec3::new(-5.0, 0.0, 1.0), Vec3::new(-1.0, 4.0, 2.0)),
+            Aabb::new(Vec3::new(7.0, -2.0, 0.5), Vec3::new(9.0, -1.0, 1.5)),
+            Aabb::new(Vec3::splat(-8.0), Vec3::splat(-6.0)),
+        ];
+        let pack = Aabb8::pack(&boxes);
+        assert_eq!(pack.len(), 5);
+        for (i, b) in boxes.iter().enumerate() {
+            assert_eq!(pack.lane(i), *b);
+        }
+        assert_eq!(Aabb8::empty().len(), 0);
+        assert_eq!(Aabb8::default(), Aabb8::empty());
+        let mut grown = Aabb8::empty();
+        grown.push(&unit_box());
+        assert_eq!(grown.len(), 1);
+        assert_eq!(grown.lane(0), unit_box());
+    }
+
+    #[test]
+    fn aabb8_distance_matches_scalar_per_lane() {
+        let boxes = [
+            unit_box(),
+            Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0)),
+            Aabb::new(Vec3::new(-5.0, 0.0, 1.0), Vec3::new(-1.0, 4.0, 2.0)),
+            Aabb::new(Vec3::new(7.0, -2.0, 0.5), Vec3::new(9.0, -1.0, 1.5)),
+            Aabb::new(Vec3::splat(-8.0), Vec3::splat(-6.0)),
+        ];
+        let pack = Aabb8::pack(&boxes);
+        for p in [
+            Vec3::ZERO,
+            Vec3::splat(0.5),
+            Vec3::new(4.0, -2.0, 7.5),
+            Vec3::new(-3.0, 2.0, 1.5),
+            Vec3::new(1.0, 1.0, 1.0),
+        ] {
+            let batched = pack.distance_to_point8(p);
+            for (lane, b) in boxes.iter().enumerate() {
+                assert_eq!(
+                    batched[lane].to_bits(),
+                    b.distance_to_point(p).to_bits(),
+                    "lane {lane} at {p}"
+                );
+            }
+            for d in batched.iter().skip(boxes.len()) {
+                assert_eq!(*d, f64::INFINITY, "padding lane must never win");
+            }
+        }
+        assert!(Aabb8::empty()
+            .distance_to_point8(Vec3::ZERO)
+            .iter()
+            .all(|d| *d == f64::INFINITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8")]
+    fn aabb8_rejects_oversized_packs() {
+        let _ = Aabb8::pack(&[unit_box(); 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn aabb8_padding_lane_is_inaccessible() {
+        let pack = Aabb8::pack(&[unit_box()]);
         let _ = pack.lane(1);
     }
 }

@@ -319,8 +319,19 @@ impl PointGridIndex {
     /// same predicate as a linear scan), in ascending id order.
     pub fn within_radius(&self, p: Vec3, radius: f64) -> Vec<u32> {
         let mut out = Vec::new();
+        self.within_radius_into(p, radius, &mut out);
+        out
+    }
+
+    /// Allocation-free [`PointGridIndex::within_radius`]: clears `out` and
+    /// fills it with the same ids in the same ascending order, reusing the
+    /// buffer's capacity. Hot per-sample callers (the RRT* near-set query)
+    /// keep one scratch buffer alive instead of allocating two `Vec`s per
+    /// sample.
+    pub fn within_radius_into(&self, p: Vec3, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
         if self.points.is_empty() || radius < 0.0 {
-            return out;
+            return;
         }
         let lo = VoxelKey::from_point(p - Vec3::splat(radius), self.cell)
             .componentwise_max(self.key_min);
@@ -358,7 +369,6 @@ impl PointGridIndex {
         // gathered ids, and sorting the survivors is much cheaper.
         out.retain(|&id| self.points[id as usize].distance(p) <= radius);
         out.sort_unstable();
-        out
     }
 }
 

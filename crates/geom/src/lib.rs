@@ -18,6 +18,9 @@
 //! * [`voxel`] — the power-of-two voxel-size lattice that the RoboRun
 //!   governor selects precisions from (paper Eq. 3 constraint
 //!   `p ∈ {vox_min · 2^n}`).
+//! * [`simd`] — runtime width dispatch for the batched AABB kernels
+//!   ([`Aabb4`] vs [`Aabb8`] packs), AVX-detected with a scalar-equivalent
+//!   4-lane fallback.
 //! * [`stats`] — running statistics, percentiles and simple least-squares
 //!   fitting used for latency-model calibration and result reporting.
 //! * [`sampling`] — a small deterministic RNG (SplitMix64) plus Gaussian
@@ -46,11 +49,12 @@ pub mod polynomial;
 pub mod pose;
 pub mod ray;
 pub mod sampling;
+pub mod simd;
 pub mod stats;
 pub mod vec3;
 pub mod voxel;
 
-pub use aabb::{Aabb, Aabb4};
+pub use aabb::{Aabb, Aabb4, Aabb8};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use grid::{CellIndex, Grid3};
 pub use index::{
@@ -61,6 +65,7 @@ pub use polynomial::Polynomial;
 pub use pose::Pose;
 pub use ray::{Ray, RayHit};
 pub use sampling::SplitMix64;
+pub use simd::SimdWidth;
 pub use stats::{linear_fit, percentile, RunningStats};
 pub use vec3::Vec3;
 pub use voxel::{precision_lattice, snap_to_lattice, VoxelKey};

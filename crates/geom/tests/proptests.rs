@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use roborun_geom::{
-    percentile, precision_lattice, snap_to_lattice, Aabb, Aabb4, Polynomial, Pose, Ray,
+    percentile, precision_lattice, snap_to_lattice, Aabb, Aabb4, Aabb8, Polynomial, Pose, Ray,
     RunningStats, SplitMix64, Vec3, VoxelKey,
 };
 
@@ -123,6 +123,72 @@ proptest! {
                 scalar.map(|h| (h.t_min.to_bits(), h.t_max.to_bits())),
                 "lane {} of {:?}", lane, b
             );
+        }
+    }
+
+    #[test]
+    fn batched_aabb8_slab_test_is_bit_identical_to_scalar(
+        origin in arb_vec3(),
+        dir in arb_vec3(),
+        boxes in prop::collection::vec(arb_aabb(), 0..9),
+    ) {
+        prop_assume!(dir.norm() > 1e-6);
+        let ray = Ray::new(origin, dir);
+        let pack = Aabb8::pack(&boxes);
+        let batched = ray.intersect_aabb8(&pack);
+        for (lane, b) in boxes.iter().enumerate() {
+            let scalar = ray.intersect_aabb(b);
+            prop_assert_eq!(
+                batched[lane].map(|h| (h.t_min.to_bits(), h.t_max.to_bits())),
+                scalar.map(|h| (h.t_min.to_bits(), h.t_max.to_bits())),
+                "lane {} of {:?}", lane, b
+            );
+        }
+        for (lane, result) in batched.iter().enumerate().skip(boxes.len()) {
+            prop_assert!(result.is_none(), "padding lane {} hit", lane);
+        }
+    }
+
+    #[test]
+    fn batched_aabb8_axis_parallel_rays_match_scalar(
+        origin in arb_vec3(),
+        axis in 0usize..3,
+        sign in any::<bool>(),
+        boxes in prop::collection::vec(arb_aabb(), 1..9),
+    ) {
+        // Exactly axis-parallel rays drive the `d.abs() < 1e-12` slab
+        // branch in every lane of the 8-wide kernel.
+        let mut c = [0.0f64; 3];
+        c[axis] = if sign { 1.0 } else { -1.0 };
+        let ray = Ray::new(origin, Vec3::new(c[0], c[1], c[2]));
+        let pack = Aabb8::pack(&boxes);
+        let batched = ray.intersect_aabb8(&pack);
+        for (lane, b) in boxes.iter().enumerate() {
+            let scalar = ray.intersect_aabb(b);
+            prop_assert_eq!(
+                batched[lane].map(|h| (h.t_min.to_bits(), h.t_max.to_bits())),
+                scalar.map(|h| (h.t_min.to_bits(), h.t_max.to_bits())),
+                "lane {} of {:?}", lane, b
+            );
+        }
+    }
+
+    #[test]
+    fn batched_aabb8_distance_is_bit_identical_to_scalar(
+        p in arb_vec3(),
+        boxes in prop::collection::vec(arb_aabb(), 0..9),
+    ) {
+        let pack = Aabb8::pack(&boxes);
+        let d8 = pack.distance_to_point8(p);
+        for (lane, b) in boxes.iter().enumerate() {
+            prop_assert_eq!(
+                d8[lane].to_bits(),
+                b.distance_to_point(p).to_bits(),
+                "lane {} of {:?}", lane, b
+            );
+        }
+        for (lane, &d) in d8.iter().enumerate().skip(boxes.len()) {
+            prop_assert_eq!(d, f64::INFINITY, "padding lane {} finite", lane);
         }
     }
 

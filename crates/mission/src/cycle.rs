@@ -181,7 +181,7 @@ use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
 use roborun_planning::{
     first_polyline_conflict, polyline_clear_of_boxes, CollisionChecker, HazardContext,
     PeerTrajectoryHazard, PlanError, PlanStats, Planner, PlannerConfig, PredictedHazards,
-    RrtConfig, Trajectory, TrajectoryPoint,
+    RrtConfig, SamplingMix, Trajectory, TrajectoryPoint,
 };
 use roborun_sim::{
     CameraRig, DroneConfig, DroneState, EnergyModel, FaultConfig, FaultInjector, LatencyBreakdown,
@@ -445,15 +445,34 @@ pub fn local_goal(
     base
 }
 
+/// The mission-level sampling mix for a config flag: the planner's
+/// default weights, gated on
+/// [`crate::MissionConfig::hazard_biased_sampling`]. Disabled it is the
+/// planner default, so every existing plan stays bit-identical.
+pub fn sampling_mix_for(enabled: bool) -> SamplingMix {
+    SamplingMix {
+        enabled,
+        ..SamplingMix::default()
+    }
+}
+
 /// The per-decision planner both drivers instantiate: decision-owned RRT*
-/// seed, the governor's planner-volume knob, and the planning-precision
-/// knob as the collision sample spacing.
-pub fn planner_for(seed_base: u64, decision: usize, knobs: &KnobSettings, margin: f64) -> Planner {
+/// seed, the governor's planner-volume knob, the planning-precision
+/// knob as the collision sample spacing, and the mission's sampling mix
+/// (advisory hazard bias, a no-op when disabled or hazard-free).
+pub fn planner_for(
+    seed_base: u64,
+    decision: usize,
+    knobs: &KnobSettings,
+    margin: f64,
+    mix: SamplingMix,
+) -> Planner {
     Planner::new(PlannerConfig {
         rrt: RrtConfig {
             seed: seed_base.wrapping_add(decision as u64),
             max_explored_volume: knobs.planner_volume,
             max_samples: 900,
+            sampling_mix: mix,
             ..RrtConfig::default()
         },
         margin,
@@ -1277,6 +1296,7 @@ impl<'m> DecisionCycle<'m> {
             self.decisions,
             knobs,
             self.planning_margin,
+            sampling_mix_for(self.cfg.hazard_biased_sampling),
         );
         match self.collision.as_mut() {
             Some(checker) => {
@@ -1519,6 +1539,7 @@ impl<'m> DecisionCycle<'m> {
             self.decisions + 1,
             knobs,
             self.planning_margin,
+            sampling_mix_for(self.cfg.hazard_biased_sampling),
         );
         let bounds = self.sampling_bounds(self.drone.position, goal);
         // Refresh the snapshot checker to this decision's export (an exact

@@ -521,6 +521,9 @@ struct PlanningNode {
     /// Plan through the composed hazard context (predicted boxes as soft
     /// obstacles) instead of only vetoing finished plans.
     predicted_costmap: bool,
+    /// Bias a share of RRT* proposals toward hazard gap regions (see
+    /// [`crate::MissionConfig::hazard_biased_sampling`]).
+    hazard_biased_sampling: bool,
     stopping: StoppingModel,
     map_sub: Subscription<PlannerMapMsg>,
     policy_sub: Subscription<PolicyMsg>,
@@ -593,6 +596,7 @@ impl PlanningNode {
             replan_every: config.replan_every,
             plan_ahead: config.plan_ahead,
             predicted_costmap: config.predicted_costmap,
+            hazard_biased_sampling: config.hazard_biased_sampling,
             stopping: StoppingModel::paper_default(),
             map_sub: node
                 .subscribe("/perception/planner_map", QosProfile::reliable(2))
@@ -792,7 +796,13 @@ impl PlanningNode {
         }
         let knobs = policy.knobs;
         let goal = cycle::local_goal(env, map, start, self.planning_horizon, self.margin * 0.9);
-        let planner = cycle::planner_for(self.seed_base, self.decisions + 1, &knobs, self.margin);
+        let planner = cycle::planner_for(
+            self.seed_base,
+            self.decisions + 1,
+            &knobs,
+            self.margin,
+            cycle::sampling_mix_for(self.hazard_biased_sampling),
+        );
         let bounds = planning_bounds(start, goal, env.bounds());
         // The shared re-anchor policy: this decision's boxes anchored at
         // the post-epoch position the speculation starts from.
@@ -996,7 +1006,13 @@ impl PlanningNode {
         let knobs = policy.knobs;
         let local_goal = self.local_goal(env, map, odom.position);
         let bounds = planning_bounds(odom.position, local_goal, env.bounds());
-        let planner = cycle::planner_for(self.seed_base, self.decisions, &knobs, self.margin);
+        let planner = cycle::planner_for(
+            self.seed_base,
+            self.decisions,
+            &knobs,
+            self.margin,
+            cycle::sampling_mix_for(self.hazard_biased_sampling),
+        );
         let cruise = commanded_velocity.max(0.5);
         // Plan-ahead (and the predicted costmap) keep one checker across
         // the mission — patched from the export delta, snapshot-cloned

@@ -126,6 +126,14 @@ pub struct MissionConfig {
     /// coordination (live re-publication as peers replan) layers on top
     /// via [`crate::fleet`].
     pub peer_trajectories: Vec<Vec<Vec3>>,
+    /// Routes a share of RRT* proposals into goal- and gap-regions
+    /// derived from the composed hazard boxes (the planner's
+    /// [`SamplingMix`](roborun_planning::SamplingMix) at its default
+    /// weights). Advisory only — validity still comes from the
+    /// collision checker — and off by default; with it off, or with no
+    /// hazards composed into a decision, every plan is bit-identical
+    /// to the uniform sampler.
+    pub hazard_biased_sampling: bool,
     /// Random seed for the stochastic planner.
     pub seed: u64,
 }
@@ -202,6 +210,7 @@ impl MissionConfig {
             fault_plan: FaultPlanConfig::healthy(),
             degradation: DegradationConfig::default(),
             peer_trajectories: Vec::new(),
+            hazard_biased_sampling: false,
             seed: 1,
         }
     }

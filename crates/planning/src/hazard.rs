@@ -91,6 +91,17 @@ pub trait HazardSource {
     fn segment_free(&mut self, a: Vec3, b: Vec3) -> bool;
     /// Number of point queries answered so far (work metric).
     fn queries(&self) -> usize;
+    /// Axis-aligned soft-hazard boxes a sampler may bias around, or the
+    /// empty slice when the source has no region structure to expose
+    /// (the default — the static [`CollisionChecker`] sees only voxels).
+    /// Purely advisory: validity still comes from the query methods, so
+    /// a stale or empty answer can never make a plan unsafe, only less
+    /// focused. The composed [`HazardContext`] exposes its predicted box
+    /// set, which is what drives the RRT* gap-biased sampling mix (see
+    /// [`crate::rrtstar::SamplingMix`]).
+    fn bias_boxes(&self) -> &[Aabb] {
+        &[]
+    }
 }
 
 impl HazardSource for CollisionChecker {
@@ -558,6 +569,16 @@ pub struct PeerTrajectoryHazard {
     tracks: std::collections::BTreeMap<u64, PeerTrack>,
     /// Flattened boxes of every track, rebuilt when any track changes.
     flat: Vec<Aabb>,
+    /// Candidate grid over `flat` at the query clearance — the same
+    /// [`SoftGrid`] the predicted source builds, created whenever the
+    /// flat view reaches [`GRID_BUILD_THRESHOLD`] boxes so fleet point
+    /// queries cost one hash probe plus a few exact distance tests
+    /// instead of a scan over every peer box (K peers × boxes-per-track
+    /// made the scan linear in fleet size). Exact for clearance-radius
+    /// queries by the candidate-cell argument on [`SoftGrid::blocked`];
+    /// rebuilt wholesale on any track change (track edits are rare —
+    /// per-decision point queries are the hot path).
+    grid: Option<SoftGrid>,
     clearance: f64,
     inflation: f64,
     queries: usize,
@@ -582,6 +603,7 @@ impl PeerTrajectoryHazard {
         PeerTrajectoryHazard {
             tracks: std::collections::BTreeMap::new(),
             flat: Vec::new(),
+            grid: None,
             clearance,
             inflation,
             queries: 0,
@@ -637,6 +659,8 @@ impl PeerTrajectoryHazard {
         for track in self.tracks.values() {
             self.flat.extend_from_slice(&track.boxes);
         }
+        self.grid = (self.flat.len() >= GRID_BUILD_THRESHOLD)
+            .then(|| SoftGrid::build(&self.flat, self.clearance));
     }
 
     /// The flattened swept boxes of every peer, in ascending peer-id
@@ -652,9 +676,13 @@ impl PeerTrajectoryHazard {
     /// (the peer analogue of [`PredictedHazards::point_blocked`],
     /// without the relevance-range gate — see the type docs).
     pub fn point_blocked(&self, p: Vec3) -> bool {
-        self.flat
-            .iter()
-            .any(|b| b.distance_to_point(p) <= self.clearance)
+        match &self.grid {
+            Some(grid) => grid.blocked(&self.flat, self.clearance, p),
+            None => self
+                .flat
+                .iter()
+                .any(|b| b.distance_to_point(p) <= self.clearance),
+        }
     }
 
     /// `true` when any peer box lies within `dist` of `p` — the *in
@@ -789,6 +817,10 @@ impl HazardSource for HazardContext<'_> {
 
     fn queries(&self) -> usize {
         CollisionChecker::queries(self.checker) + self.predicted_queries
+    }
+
+    fn bias_boxes(&self) -> &[Aabb] {
+        self.predicted.boxes()
     }
 }
 
@@ -1033,5 +1065,65 @@ mod tests {
             Vec3::new(25.0, -20.0, 5.0)
         ));
         assert!(HazardSource::queries(&peers) > 0);
+    }
+
+    #[test]
+    fn peer_candidate_grid_matches_linear_scan() {
+        // Enough peers with multi-segment tracks to cross the grid-build
+        // threshold; every point query must agree exactly with the
+        // retained linear scan over the flat box view.
+        let mut peers = PeerTrajectoryHazard::new(0.45, 0.6);
+        let mut rng = SplitMix64::new(0x9e3779b97f4a7c15);
+        for id in 0..8u64 {
+            let polyline: Vec<Vec3> = (0..4)
+                .map(|_| {
+                    Vec3::new(
+                        rng.next_f64() * 40.0 - 5.0,
+                        rng.next_f64() * 50.0 - 25.0,
+                        rng.next_f64() * 11.0 + 1.0,
+                    )
+                })
+                .collect();
+            peers.set_peer(id, &polyline);
+        }
+        assert!(
+            peers.boxes().len() >= GRID_BUILD_THRESHOLD,
+            "fixture must exercise the gridded path ({} boxes)",
+            peers.boxes().len()
+        );
+        assert!(peers.grid.is_some());
+        let mut blocked = 0usize;
+        for _ in 0..4000 {
+            let p = Vec3::new(
+                rng.next_f64() * 60.0 - 15.0,
+                rng.next_f64() * 70.0 - 35.0,
+                rng.next_f64() * 15.0 - 1.0,
+            );
+            let linear = peers
+                .boxes()
+                .iter()
+                .any(|b| b.distance_to_point(p) <= peers.clearance());
+            assert_eq!(peers.point_blocked(p), linear, "mismatch at {p:?}");
+            blocked += usize::from(linear);
+        }
+        assert!(blocked > 0, "fixture never hit a peer corridor");
+        // Shrinking the fleet below the threshold drops back to the
+        // linear path without changing any answer.
+        for id in 2..8u64 {
+            peers.remove_peer(id);
+        }
+        assert!(peers.grid.is_none());
+        for _ in 0..500 {
+            let p = Vec3::new(
+                rng.next_f64() * 60.0 - 15.0,
+                rng.next_f64() * 70.0 - 35.0,
+                rng.next_f64() * 15.0 - 1.0,
+            );
+            let linear = peers
+                .boxes()
+                .iter()
+                .any(|b| b.distance_to_point(p) <= peers.clearance());
+            assert_eq!(peers.point_blocked(p), linear);
+        }
     }
 }

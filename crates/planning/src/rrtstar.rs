@@ -16,10 +16,121 @@
 //! search with linear neighbor scans; both paths share one generic core
 //! and are specified to return bit-identical results (enforced by the
 //! equivalence proptests in `tests/proptests.rs`).
+//!
+//! # The sampling mix
+//!
+//! Uniform sampling is the correctness baseline but wastes most of its
+//! draws in lane-heavy scenes: a plan through a predicted crossing lane
+//! only needs samples near the goal and in the *free flanks around the
+//! lane*, yet uniform sampling spreads them over the whole corridor.
+//! [`SamplingMix`] (off by default) splits the non-goal-biased draws
+//! between a goal-region box, the gap regions flanking each hazard box
+//! (derived per plan from [`HazardSource::bias_boxes`] — the
+//! [`crate::HazardContext`]'s predicted box set), and the plain uniform
+//! fallback. The bias is purely a *proposal* distribution: every edge
+//! still passes the same validity checks, so the mix changes where the
+//! tree grows, never what counts as free. With the mix off — or with no
+//! hazard boxes composed — the sampler draws exactly the classic
+//! `chance(goal_bias)` + `point_in_aabb(bounds)` stream, bit for bit.
+//!
+//! # The node arena and batched expansion
+//!
+//! Tree nodes live in a node arena: one upfront allocation holding
+//! positions, parent links and costs in struct-of-arrays layout, sized
+//! for the sample budget at plan start. Nodes are append-only, ids are
+//! dense `u32`s in insertion order, and rewiring mutates only
+//! parent/cost — positions never move, so neighbor indices remain valid
+//! for the whole plan. On top of the arena,
+//! [`RrtConfig::batch_size`] > 1 *batch-expands* the tree: K targets are
+//! pre-drawn per round (the identical RNG stream — targets are the only
+//! per-sample draws), processed sequentially against the spatial index
+//! plus a linear patch-up over the round's fresh nodes, and flushed into
+//! the index once per round instead of once per node. Every nearest/near
+//! answer is exactly the answer the per-sample flush would have given
+//! (the fresh patch-up uses the same metric and tie rules), so batched
+//! results are bit-identical to `batch_size = 1` — enforced by the
+//! batch-equivalence tests.
 
 use crate::hazard::HazardSource;
 use roborun_geom::{Aabb, PointGridIndex, SplitMix64, Vec3};
 use serde::{Deserialize, Serialize};
+
+/// Sampling-mix configuration: how RRT* splits its non-goal-biased draws
+/// between hazard-derived regions and the uniform baseline.
+///
+/// When `enabled` (and the hazard source exposes at least one bias box),
+/// each non-goal-biased draw picks, with probability `goal_region_weight`,
+/// a point in the box of half-extent `goal_region_radius` around the goal
+/// (clipped to the sampling bounds); with probability `gap_weight`, a
+/// point in one of the *gap regions* — for every hazard box (clipped to
+/// the sampling bounds) and every axis, the two boxes sharing the hazard
+/// box's cross-section that extend a few meters outward from the hazard
+/// face, i.e. exactly the free passages where a path around that box
+/// turns its corner; and otherwise a uniform point in the sampling
+/// bounds. Gap
+/// regions are chosen with *equal probability per region*, not by
+/// volume: a volume-weighted pick would reproduce near-uniform density
+/// over the gap union (most of which is open corridor), while the equal
+/// split concentrates proposal density in the small regions — the tight
+/// passages the detour actually has to thread.
+///
+/// Off by default; with it off (or with no hazard boxes composed) the
+/// sampler is bit-identical to the classic uniform draw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingMix {
+    /// Master switch. `false` (the default) keeps the uniform sampler.
+    pub enabled: bool,
+    /// Probability mass of the goal-region draw, in [0, 1].
+    pub goal_region_weight: f64,
+    /// Probability mass of the gap-region draw, in [0, 1]
+    /// (`goal_region_weight + gap_weight` must stay ≤ 1; the remainder
+    /// is the uniform fallback).
+    pub gap_weight: f64,
+    /// Half-extent (metres) of the cubic goal region.
+    pub goal_region_radius: f64,
+}
+
+impl Default for SamplingMix {
+    fn default() -> Self {
+        SamplingMix {
+            enabled: false,
+            goal_region_weight: 0.15,
+            gap_weight: 0.55,
+            goal_region_radius: 8.0,
+        }
+    }
+}
+
+impl SamplingMix {
+    /// Validates the mix parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, w) in [
+            ("goal_region_weight", self.goal_region_weight),
+            ("gap_weight", self.gap_weight),
+        ] {
+            if !(0.0..=1.0).contains(&w) {
+                return Err(format!("{name} must be in [0,1], got {w}"));
+            }
+        }
+        if self.goal_region_weight + self.gap_weight > 1.0 {
+            return Err(format!(
+                "goal_region_weight + gap_weight must be at most 1, got {}",
+                self.goal_region_weight + self.gap_weight
+            ));
+        }
+        if self.goal_region_radius <= 0.0 {
+            return Err(format!(
+                "goal_region_radius must be positive, got {}",
+                self.goal_region_radius
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// RRT* configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,6 +157,17 @@ pub struct RrtConfig {
     /// dominates large searches. Off by default: the fixed radius is the
     /// evaluated baseline and the schedule is a behaviour change.
     pub shrinking_rewire: bool,
+    /// Hazard-biased sampling mix (see [`SamplingMix`]). Off by default:
+    /// the uniform sampler is the evaluated baseline and stays
+    /// bit-identical when the mix is off or no hazard boxes are exposed.
+    pub sampling_mix: SamplingMix,
+    /// Targets pre-drawn (and index flushes amortised) per expansion
+    /// round. `1` (the default) is the classic per-sample loop; larger
+    /// values batch K candidate extensions per lock of the spatial index
+    /// — results are *exactly* those of `batch_size = 1` (see the module
+    /// docs), so this is a pure throughput knob for 16k+-sample
+    /// searches.
+    pub batch_size: usize,
     /// Random seed (explicit for reproducibility).
     pub seed: u64,
 }
@@ -60,6 +182,8 @@ impl Default for RrtConfig {
             goal_tolerance: 2.0,
             max_explored_volume: 1.0e6,
             shrinking_rewire: false,
+            sampling_mix: SamplingMix::default(),
+            batch_size: 1,
             seed: 1,
         }
     }
@@ -105,7 +229,10 @@ impl RrtConfig {
                 self.max_explored_volume
             ));
         }
-        Ok(())
+        if self.batch_size == 0 {
+            return Err("batch_size must be at least 1".into());
+        }
+        self.sampling_mix.validate()
     }
 }
 
@@ -133,11 +260,231 @@ impl RrtResult {
     }
 }
 
+/// Parent sentinel of the tree root in [`NodeArena::parents`].
+const NO_PARENT: u32 = u32::MAX;
+
+/// Append-only tree storage in struct-of-arrays layout.
+///
+/// The arena contract: one upfront allocation sized for the sample
+/// budget (no per-node reallocation on the hot path), dense `u32` ids in
+/// insertion order that double as spatial-index ids, positions immutable
+/// once pushed (so ids stored in the neighbor index never dangle), and
+/// rewiring restricted to the `parents`/`costs` columns. The SoA split
+/// keeps the nearest/near patch-up scans walking contiguous positions
+/// without dragging parent links and costs through the cache.
 #[derive(Debug, Clone)]
-struct Node {
-    position: Vec3,
-    parent: Option<usize>,
-    cost: f64,
+struct NodeArena {
+    positions: Vec<Vec3>,
+    parents: Vec<u32>,
+    costs: Vec<f64>,
+}
+
+impl NodeArena {
+    fn with_capacity(capacity: usize) -> Self {
+        NodeArena {
+            positions: Vec::with_capacity(capacity),
+            parents: Vec::with_capacity(capacity),
+            costs: Vec::with_capacity(capacity),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    #[inline]
+    fn push(&mut self, position: Vec3, parent: u32, cost: f64) -> u32 {
+        let id = self.positions.len() as u32;
+        self.positions.push(position);
+        self.parents.push(parent);
+        self.costs.push(cost);
+        id
+    }
+
+    #[inline]
+    fn position(&self, id: u32) -> Vec3 {
+        self.positions[id as usize]
+    }
+
+    #[inline]
+    fn cost(&self, id: u32) -> f64 {
+        self.costs[id as usize]
+    }
+
+    #[inline]
+    fn parent(&self, id: u32) -> Option<u32> {
+        let p = self.parents[id as usize];
+        (p != NO_PARENT).then_some(p)
+    }
+}
+
+/// Replaces one axis of `v` — the gap-region constructor's helper.
+#[inline]
+fn with_axis(v: Vec3, axis: usize, value: f64) -> Vec3 {
+    match axis {
+        0 => Vec3::new(value, v.y, v.z),
+        1 => Vec3::new(v.x, value, v.z),
+        _ => Vec3::new(v.x, v.y, value),
+    }
+}
+
+/// How far a gap region extends away from the hazard face, in meters.
+/// Without the clamp a flank spans to the sampling-bounds edge and is
+/// mostly open corridor; the payoff volume — where a detour actually
+/// turns the hazard's corner — hugs the face.
+const GAP_REGION_DEPTH: f64 = 6.0;
+
+/// Per-plan sampler state, derived once from the [`SamplingMix`] and the
+/// hazard source's bias boxes (see the module docs).
+#[derive(Debug, Clone)]
+enum Sampler {
+    /// The classic draw: `chance(goal_bias)` then `point_in_aabb(bounds)`
+    /// — the exact RNG stream of the pre-mix planner.
+    Uniform,
+    /// The hazard-biased mix. Invariants: `goal_w > 0` implies
+    /// `goal_region` is real, `gap_w > 0` implies `gap_regions` is
+    /// non-empty. Regions are picked with equal probability — small
+    /// (tight-passage) regions deliberately get the same share of draws
+    /// as wide-open flanks (see the [`SamplingMix`] docs).
+    Mix {
+        goal_region: Aabb,
+        goal_w: f64,
+        gap_regions: Vec<Aabb>,
+        gap_w: f64,
+    },
+}
+
+impl Sampler {
+    /// Builds the sampler for one plan. Falls back to [`Sampler::Uniform`]
+    /// when the mix is off, no hazard boxes are exposed, or no usable
+    /// region survives clipping — the fallback draws the identical RNG
+    /// stream to the pre-mix planner.
+    fn for_plan(mix: &SamplingMix, goal: Vec3, bounds: &Aabb, hazard_boxes: &[Aabb]) -> Sampler {
+        if !mix.enabled || hazard_boxes.is_empty() {
+            return Sampler::Uniform;
+        }
+        let mut gap_regions = Vec::new();
+        for hazard in hazard_boxes {
+            let Some(clip) = hazard.intersection(bounds) else {
+                continue;
+            };
+            for axis in 0..3 {
+                // The two flanking boxes along this axis: the hazard
+                // box's cross-section, extending [`GAP_REGION_DEPTH`]
+                // meters outward from the hazard face (clamped to the
+                // bounds edge). For a crossing lane these are exactly
+                // the passage columns around the lane's ends.
+                let flanks = [
+                    (
+                        (clip.min[axis] - GAP_REGION_DEPTH).max(bounds.min[axis]),
+                        clip.min[axis],
+                    ),
+                    (
+                        clip.max[axis],
+                        (clip.max[axis] + GAP_REGION_DEPTH).min(bounds.max[axis]),
+                    ),
+                ];
+                for (lo, hi) in flanks {
+                    if hi - lo <= 1e-9 {
+                        continue;
+                    }
+                    let region = Aabb {
+                        min: with_axis(clip.min, axis, lo),
+                        max: with_axis(clip.max, axis, hi),
+                    };
+                    if region.volume() > 1e-9 {
+                        gap_regions.push(region);
+                    }
+                }
+            }
+        }
+        let goal_region = Aabb::from_center_half_extents(goal, Vec3::splat(mix.goal_region_radius))
+            .intersection(bounds);
+        let goal_w = if goal_region.is_some() {
+            mix.goal_region_weight
+        } else {
+            0.0
+        };
+        let gap_w = if gap_regions.is_empty() {
+            0.0
+        } else {
+            mix.gap_weight
+        };
+        if goal_w <= 0.0 && gap_w <= 0.0 {
+            return Sampler::Uniform;
+        }
+        Sampler::Mix {
+            goal_region: goal_region.unwrap_or(*bounds),
+            goal_w,
+            gap_regions,
+            gap_w,
+        }
+    }
+
+    /// Draws one expansion target.
+    fn sample_target(
+        &self,
+        rng: &mut SplitMix64,
+        goal: Vec3,
+        goal_bias: f64,
+        bounds: &Aabb,
+    ) -> Vec3 {
+        match self {
+            Sampler::Uniform => {
+                if rng.chance(goal_bias) {
+                    goal
+                } else {
+                    rng.point_in_aabb(bounds)
+                }
+            }
+            Sampler::Mix {
+                goal_region,
+                goal_w,
+                gap_regions,
+                gap_w,
+            } => {
+                if rng.chance(goal_bias) {
+                    return goal;
+                }
+                let v = rng.next_f64();
+                if v < *goal_w {
+                    rng.point_in_aabb(goal_region)
+                } else if v < goal_w + gap_w {
+                    let pick = rng.next_f64() * gap_regions.len() as f64;
+                    let idx = (pick as usize).min(gap_regions.len() - 1);
+                    rng.point_in_aabb(&gap_regions[idx])
+                } else {
+                    rng.point_in_aabb(bounds)
+                }
+            }
+        }
+    }
+}
+
+/// Per-plan precomputed parameters: the γ* rewire constant (hoisted out
+/// of the sampling loop — it depends only on the sampling-bounds volume)
+/// and the derived sampler state.
+#[derive(Debug, Clone)]
+struct PlanParams {
+    /// γ of the shrinking-radius schedule: the standard RRT* lower
+    /// bound γ* = 2·((1 + 1/d)·μ(X)/ζ_d)^{1/d} for d = 3, with μ(X)
+    /// the sampling volume and ζ₃ = 4π/3 the unit-ball volume. Only
+    /// used when `shrinking_rewire` is on.
+    gamma: f64,
+    sampler: Sampler,
+}
+
+impl PlanParams {
+    fn new(cfg: &RrtConfig, goal: Vec3, sampling_bounds: &Aabb, hazard_boxes: &[Aabb]) -> Self {
+        let gamma = 2.0
+            * ((1.0 + 1.0 / 3.0) * sampling_bounds.volume() / (4.0 * std::f64::consts::PI / 3.0))
+                .cbrt();
+        PlanParams {
+            gamma,
+            sampler: Sampler::for_plan(&cfg.sampling_mix, goal, sampling_bounds, hazard_boxes),
+        }
+    }
 }
 
 /// The RRT* planner.
@@ -221,21 +568,11 @@ impl RrtStar {
     ) -> RrtResult {
         let cfg = &self.config;
         let mut rng = SplitMix64::new(cfg.seed);
-        // γ of the shrinking-radius schedule: the standard RRT* lower
-        // bound γ* = 2·((1 + 1/d)·μ(X)/ζ_d)^{1/d} for d = 3, with μ(X)
-        // the sampling volume and ζ₃ = 4π/3 the unit-ball volume. Only
-        // used when `shrinking_rewire` is on.
-        let gamma = 2.0
-            * ((1.0 + 1.0 / 3.0) * sampling_bounds.volume() / (4.0 * std::f64::consts::PI / 3.0))
-                .cbrt();
-        let mut nodes = vec![Node {
-            position: start,
-            parent: None,
-            cost: 0.0,
-        }];
+        let mut arena = NodeArena::with_capacity(cfg.max_samples + 1);
+        arena.push(start, NO_PARENT, 0.0);
         neighbors.insert(start);
         let mut explored = Aabb::new(start, start);
-        let mut best_goal_node: Option<usize> = None;
+        let mut best_goal_node: Option<u32> = None;
         let mut samples_drawn = 0usize;
         let mut volume_capped = false;
 
@@ -252,72 +589,113 @@ impl RrtStar {
             };
         }
 
-        for _ in 0..cfg.max_samples {
-            samples_drawn += 1;
-            // Volume monitor (planning volume operator).
-            if explored.volume() > cfg.max_explored_volume {
-                volume_capped = true;
-                break;
-            }
-            let target = if rng.chance(cfg.goal_bias) {
-                goal
-            } else {
-                rng.point_in_aabb(sampling_bounds)
-            };
-            // Nearest node.
-            let nearest_idx = neighbors.nearest(target);
-            let nearest_pos = nodes[nearest_idx].position;
-            let new_pos = steer(nearest_pos, target, cfg.steer_length);
-            if !checker.segment_free(nearest_pos, new_pos) {
-                continue;
-            }
-            // Choose the best parent within the rewire radius (the γ
-            // schedule when shrinking is enabled, the fixed knob
-            // otherwise).
-            let radius = self.rewire_radius_for(nodes.len(), gamma);
-            let neighbours = neighbors.near(new_pos, radius);
-            let mut best_parent = nearest_idx;
-            let mut best_cost = nodes[nearest_idx].cost + nearest_pos.distance(new_pos);
-            for &n in &neighbours {
-                let candidate_cost = nodes[n].cost + nodes[n].position.distance(new_pos);
-                if candidate_cost < best_cost && checker.segment_free(nodes[n].position, new_pos) {
-                    best_parent = n;
-                    best_cost = candidate_cost;
-                }
-            }
-            let new_idx = nodes.len();
-            nodes.push(Node {
-                position: new_pos,
-                parent: Some(best_parent),
-                cost: best_cost,
-            });
-            neighbors.insert(new_pos);
-            explored = Aabb::union(&explored, &Aabb::new(new_pos, new_pos));
+        let params = PlanParams::new(cfg, goal, sampling_bounds, checker.bias_boxes());
+        let batch = cfg.batch_size.max(1);
+        let mut targets: Vec<Vec3> = Vec::with_capacity(batch);
+        let mut near_buf: Vec<u32> = Vec::new();
 
-            // Rewire neighbours through the new node when cheaper.
-            for &n in &neighbours {
-                let through_new = best_cost + new_pos.distance(nodes[n].position);
-                if through_new + 1e-9 < nodes[n].cost
-                    && checker.segment_free(new_pos, nodes[n].position)
+        'search: while samples_drawn < cfg.max_samples {
+            // Pre-draw this round's targets. Targets are the only
+            // per-sample RNG consumption, so drawing K up front consumes
+            // the identical stream the per-sample loop would (targets
+            // drawn past a volume-monitor break are discarded unused, so
+            // they cannot influence the result).
+            let take = batch.min(cfg.max_samples - samples_drawn);
+            targets.clear();
+            for _ in 0..take {
+                targets.push(params.sampler.sample_target(
+                    &mut rng,
+                    goal,
+                    cfg.goal_bias,
+                    sampling_bounds,
+                ));
+            }
+            // Nodes appended during this round are not yet in the
+            // spatial index; every query below linearly patches them in,
+            // which keeps answers exactly equal to per-sample flushing.
+            let fresh_from = arena.len() as u32;
+            for &target in targets.iter().take(take) {
+                samples_drawn += 1;
+                // Volume monitor (planning volume operator).
+                if explored.volume() > cfg.max_explored_volume {
+                    volume_capped = true;
+                    break 'search;
+                }
+                // Nearest node: best indexed answer, then the fresh
+                // nodes (higher ids, so strict `<` keeps the indexed
+                // winner on ties — the full-scan tie rule).
+                let mut nearest_idx = neighbors.nearest(target);
+                let mut nearest_d2 = arena.position(nearest_idx).distance_squared(target);
+                for id in fresh_from..arena.len() as u32 {
+                    let d2 = arena.position(id).distance_squared(target);
+                    if d2 < nearest_d2 {
+                        nearest_idx = id;
+                        nearest_d2 = d2;
+                    }
+                }
+                let nearest_pos = arena.position(nearest_idx);
+                let new_pos = steer(nearest_pos, target, cfg.steer_length);
+                if !checker.segment_free(nearest_pos, new_pos) {
+                    continue;
+                }
+                // Choose the best parent within the rewire radius (the γ
+                // schedule when shrinking is enabled, the fixed knob
+                // otherwise). The near set is the indexed answer plus
+                // the fresh nodes passing the same `<= radius`
+                // predicate, appended in id order (fresh ids are
+                // higher), matching the full-scan ordering.
+                let radius = self.rewire_radius_for(arena.len(), params.gamma);
+                neighbors.near_into(new_pos, radius, &mut near_buf);
+                for id in fresh_from..arena.len() as u32 {
+                    if arena.position(id).distance(new_pos) <= radius {
+                        near_buf.push(id);
+                    }
+                }
+                let mut best_parent = nearest_idx;
+                let mut best_cost = arena.cost(nearest_idx) + nearest_pos.distance(new_pos);
+                for &n in &near_buf {
+                    let candidate_cost = arena.cost(n) + arena.position(n).distance(new_pos);
+                    if candidate_cost < best_cost
+                        && checker.segment_free(arena.position(n), new_pos)
+                    {
+                        best_parent = n;
+                        best_cost = candidate_cost;
+                    }
+                }
+                let new_idx = arena.push(new_pos, best_parent, best_cost);
+                explored = Aabb::union(&explored, &Aabb::new(new_pos, new_pos));
+
+                // Rewire neighbours through the new node when cheaper.
+                for &n in &near_buf {
+                    let through_new = best_cost + new_pos.distance(arena.position(n));
+                    if through_new + 1e-9 < arena.cost(n)
+                        && checker.segment_free(new_pos, arena.position(n))
+                    {
+                        arena.parents[n as usize] = new_idx;
+                        arena.costs[n as usize] = through_new;
+                    }
+                }
+
+                // Goal connection.
+                if new_pos.distance(goal) <= cfg.goal_tolerance
+                    || (new_pos.distance(goal) <= cfg.steer_length
+                        && checker.segment_free(new_pos, goal))
                 {
-                    nodes[n].parent = Some(new_idx);
-                    nodes[n].cost = through_new;
+                    let goal_cost = best_cost + new_pos.distance(goal);
+                    let better = match best_goal_node {
+                        None => true,
+                        Some(idx) => {
+                            goal_cost < arena.cost(idx) + arena.position(idx).distance(goal)
+                        }
+                    };
+                    if better {
+                        best_goal_node = Some(new_idx);
+                    }
                 }
             }
-
-            // Goal connection.
-            if new_pos.distance(goal) <= cfg.goal_tolerance
-                || (new_pos.distance(goal) <= cfg.steer_length
-                    && checker.segment_free(new_pos, goal))
-            {
-                let goal_cost = best_cost + new_pos.distance(goal);
-                let better = match best_goal_node {
-                    None => true,
-                    Some(idx) => goal_cost < nodes[idx].cost + nodes[idx].position.distance(goal),
-                };
-                if better {
-                    best_goal_node = Some(new_idx);
-                }
+            // Flush the round's fresh nodes into the spatial index.
+            for id in fresh_from..arena.len() as u32 {
+                neighbors.insert(arena.position(id));
             }
         }
 
@@ -327,8 +705,8 @@ impl RrtStar {
                 let mut path = vec![goal];
                 let mut cursor = Some(idx);
                 while let Some(i) = cursor {
-                    path.push(nodes[i].position);
-                    cursor = nodes[i].parent;
+                    path.push(arena.position(i));
+                    cursor = arena.parent(i);
                 }
                 path.reverse();
                 let cost = path.windows(2).map(|w| w[0].distance(w[1])).sum();
@@ -336,7 +714,7 @@ impl RrtStar {
                     path,
                     cost,
                     samples_drawn,
-                    tree_size: nodes.len(),
+                    tree_size: arena.len(),
                     explored_volume,
                     volume_capped,
                 }
@@ -345,7 +723,7 @@ impl RrtStar {
                 path: Vec::new(),
                 cost: f64::INFINITY,
                 samples_drawn,
-                tree_size: nodes.len(),
+                tree_size: arena.len(),
                 explored_volume,
                 volume_capped,
             },
@@ -353,13 +731,17 @@ impl RrtStar {
     }
 }
 
-/// Neighbor queries over the growing tree. The two implementations must
-/// agree exactly: nearest uses the squared-distance metric with ties to the
-/// lowest index, near uses `distance <= radius` in ascending index order.
+/// Neighbor queries over the *flushed* prefix of the growing tree (ids
+/// below each round's `fresh_from`; the search loop patches fresh nodes
+/// in linearly). The two implementations must agree exactly: nearest
+/// uses the squared-distance metric with ties to the lowest index,
+/// `near_into` refills its output with `distance <= radius` matches in
+/// ascending index order (the `_into` shape lets the search reuse one
+/// scratch buffer instead of allocating per sample).
 trait NeighborSearch {
     fn insert(&mut self, p: Vec3);
-    fn nearest(&self, target: Vec3) -> usize;
-    fn near(&self, p: Vec3, radius: f64) -> Vec<usize>;
+    fn nearest(&self, target: Vec3) -> u32;
+    fn near_into(&self, p: Vec3, radius: f64, out: &mut Vec<u32>);
 }
 
 /// Grid-accelerated neighbor queries (the default).
@@ -372,16 +754,12 @@ impl NeighborSearch for GridNeighbors {
         self.index.insert(p);
     }
 
-    fn nearest(&self, target: Vec3) -> usize {
-        self.index.nearest(target).expect("tree is never empty") as usize
+    fn nearest(&self, target: Vec3) -> u32 {
+        self.index.nearest(target).expect("tree is never empty")
     }
 
-    fn near(&self, p: Vec3, radius: f64) -> Vec<usize> {
-        self.index
-            .within_radius(p, radius)
-            .into_iter()
-            .map(|i| i as usize)
-            .collect()
+    fn near_into(&self, p: Vec3, radius: f64, out: &mut Vec<u32>) {
+        self.index.within_radius_into(p, radius, out);
     }
 }
 
@@ -395,26 +773,28 @@ impl NeighborSearch for LinearNeighbors {
         self.points.push(p);
     }
 
-    fn nearest(&self, target: Vec3) -> usize {
-        let mut best = 0usize;
+    fn nearest(&self, target: Vec3) -> u32 {
+        let mut best = 0u32;
         let mut best_d = f64::INFINITY;
         for (i, p) in self.points.iter().enumerate() {
             let d = p.distance_squared(target);
             if d < best_d {
                 best_d = d;
-                best = i;
+                best = i as u32;
             }
         }
         best
     }
 
-    fn near(&self, p: Vec3, radius: f64) -> Vec<usize> {
-        self.points
-            .iter()
-            .enumerate()
-            .filter(|(_, q)| q.distance(p) <= radius)
-            .map(|(i, _)| i)
-            .collect()
+    fn near_into(&self, p: Vec3, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(
+            self.points
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| q.distance(p) <= radius)
+                .map(|(i, _)| i as u32),
+        );
     }
 }
 
@@ -715,6 +1095,113 @@ mod tests {
             let linear = planner.plan_linear_reference(&mut c2, start, goal, &corridor_bounds());
             assert_eq!(indexed, linear, "seed {seed}");
             // Both paths consumed the collision checker identically too.
+            assert_eq!(c1.queries(), c2.queries(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batch_size_is_validated() {
+        assert!(RrtConfig {
+            batch_size: 0,
+            ..RrtConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RrtConfig {
+            batch_size: 64,
+            ..RrtConfig::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn sampling_mix_is_validated() {
+        let bad_weight = SamplingMix {
+            goal_region_weight: 1.2,
+            ..SamplingMix::default()
+        };
+        assert!(bad_weight.validate().is_err());
+        let bad_sum = SamplingMix {
+            goal_region_weight: 0.7,
+            gap_weight: 0.7,
+            ..SamplingMix::default()
+        };
+        assert!(bad_sum.validate().is_err());
+        let bad_radius = SamplingMix {
+            goal_region_radius: 0.0,
+            ..SamplingMix::default()
+        };
+        assert!(bad_radius.validate().is_err());
+        assert!(SamplingMix::default().validate().is_ok());
+        assert!(RrtConfig {
+            sampling_mix: bad_sum,
+            ..RrtConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn batched_expansion_is_bit_identical_to_single_sample() {
+        // The batch loop pre-draws K targets per spatial-index flush;
+        // targets are the only per-sample RNG consumption, so every
+        // batch size must reproduce the K=1 search exactly — same path
+        // bits, same sample count, same collision-query stream.
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        for seed in 0..6 {
+            let reference = RrtStar::new(RrtConfig {
+                seed,
+                max_samples: 800,
+                batch_size: 1,
+                ..RrtConfig::default()
+            });
+            let mut c1 = wall_with_gap_checker();
+            let baseline = reference.plan(&mut c1, start, goal, &corridor_bounds());
+            for batch in [7usize, 64, 4096] {
+                let batched = RrtStar::new(RrtConfig {
+                    seed,
+                    max_samples: 800,
+                    batch_size: batch,
+                    ..RrtConfig::default()
+                });
+                let mut c2 = wall_with_gap_checker();
+                let result = batched.plan(&mut c2, start, goal, &corridor_bounds());
+                assert_eq!(baseline, result, "seed {seed} batch {batch}");
+                assert_eq!(c1.queries(), c2.queries(), "seed {seed} batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn enabled_mix_without_hazards_is_bit_identical_to_uniform() {
+        // A bare collision checker composes no hazard boxes, so the mix
+        // must fall back to the uniform sampler with an untouched RNG
+        // stream — the bit-identity contract mission configs rely on
+        // when they enable the flag globally.
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        for seed in 0..6 {
+            let uniform = RrtStar::new(RrtConfig {
+                seed,
+                max_samples: 800,
+                ..RrtConfig::default()
+            });
+            let mixed = RrtStar::new(RrtConfig {
+                seed,
+                max_samples: 800,
+                sampling_mix: SamplingMix {
+                    enabled: true,
+                    ..SamplingMix::default()
+                },
+                ..RrtConfig::default()
+            });
+            let mut c1 = wall_with_gap_checker();
+            let mut c2 = wall_with_gap_checker();
+            let a = uniform.plan(&mut c1, start, goal, &corridor_bounds());
+            let b = mixed.plan(&mut c2, start, goal, &corridor_bounds());
+            assert_eq!(a, b, "seed {seed}");
             assert_eq!(c1.queries(), c2.queries(), "seed {seed}");
         }
     }
