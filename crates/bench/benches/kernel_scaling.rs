@@ -820,6 +820,53 @@ fn bench_fault_plan_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Trace-layer overhead on the hot path. Two rows:
+///
+/// * `disarmed_gate` — the entire cost an untraced run pays per
+///   instrumentation point: one relaxed atomic load and a branch. The
+///   disabled-path contract of `roborun-trace` holds this at single-digit
+///   nanoseconds per decision.
+/// * `armed_emit` — the thread-local ring push an armed run pays per
+///   event (the mutex-guarded sink spill is amortised across the ring
+///   capacity).
+fn bench_trace_gate(c: &mut Criterion) {
+    use roborun_trace::SpanKind;
+    let mut group = c.benchmark_group("trace_gate");
+    roborun_trace::disarm();
+    group.bench_function("disarmed_gate", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            roborun_trace::collector::complete(
+                std::hint::black_box(SpanKind::Decision),
+                std::hint::black_box(t as f64),
+                0.001,
+                0,
+                &[],
+            );
+            t
+        })
+    });
+    group.bench_function("armed_emit", |b| {
+        roborun_trace::arm();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            roborun_trace::collector::complete(
+                std::hint::black_box(SpanKind::Decision),
+                std::hint::black_box(t as f64),
+                0.001,
+                0,
+                &[],
+            );
+            t
+        });
+        roborun_trace::disarm();
+        let _ = roborun_trace::drain();
+    });
+    group.finish();
+}
+
 /// The predicted-costmap planning kernel: a corridor crossed by
 /// predicted lanes, planned (a) in one shot through the composed
 /// [`HazardContext`] and (b) by the retained reject-loop reference —
@@ -1134,6 +1181,7 @@ criterion_group!(
     bench_walk_pose_anchor,
     bench_predicted_costmap,
     bench_fault_plan_overhead,
+    bench_trace_gate,
     bench_rrtstar_sampling_mix,
     bench_rrtstar_batch_expansion,
     bench_aabb_dispatch_width,

@@ -117,6 +117,15 @@ fn main() {
     if want("bench8") {
         bench8();
     }
+    if want("trace") {
+        trace_export(full);
+    }
+    if want("bench9") {
+        bench9();
+    }
+    if want("trajectory") {
+        trajectory();
+    }
 }
 
 /// Raw-speed kernel campaign: hazard-biased RRT* sampling vs uniform on
@@ -130,14 +139,13 @@ fn bench8() {
     use roborun_mission::{MissionService, ServiceConfig};
     use roborun_perception::{ExportConfig, OccupancyMap, PlannerMap, PointCloud};
     use roborun_planning::{
-        CollisionChecker, HazardContext, PeerTrajectoryHazard, PredictedHazards, RrtConfig,
-        RrtStar, SamplingMix,
+        CollisionChecker, HazardContext, PredictedHazards, RrtConfig, RrtStar, SamplingMix,
     };
     use std::time::Instant;
 
     println!("## Bench 8 — raw-speed kernels: biased sampling, batch expansion, 8-wide AABB\n");
 
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = roborun_trace::host_cores();
     // The multicore bench mode: ROBORUN_BENCH_THREADS pins the worker
     // count of every threaded row below; unset picks the machine width.
     let bench_threads: Option<usize> = std::env::var("ROBORUN_BENCH_THREADS")
@@ -346,38 +354,11 @@ fn bench8() {
     // The BENCH_7 scaling row that motivated the candidate grid: point
     // queries against K committed peer corridors. With >= 16 flat boxes
     // the grid makes the probe a hash lookup plus a few exact tests.
-    let queries = 100_000usize;
-    let mut peer_rows = Vec::new();
-    for peers in [1usize, 2, 4, 8] {
-        let mut hazard = PeerTrajectoryHazard::new(0.46, 0.9);
-        for id in 0..peers {
-            let polyline: Vec<Vec3> = (0..64)
-                .map(|i| {
-                    let t = i as f64 * 2.0;
-                    Vec3::new(
-                        t,
-                        (id as f64) * 12.0 + (t * 0.1).sin() * 4.0,
-                        5.0 + t * 0.05,
-                    )
-                })
-                .collect();
-            hazard.set_peer(id as u64, &polyline);
-        }
-        let boxes = hazard.boxes().len();
-        let wall = Instant::now();
-        let mut blocked = 0usize;
-        for q in 0..queries {
-            let t = (q % 997) as f64 * 0.13;
-            let p = Vec3::new(t, (t * 0.37).sin() * 20.0, 5.0 + (t * 0.11).cos() * 3.0);
-            if hazard.point_blocked(p) {
-                blocked += 1;
-            }
-        }
-        let ns_per_query = wall.elapsed().as_secs_f64() * 1e9 / queries as f64;
+    let peer_rows = peer_hazard_query_rows();
+    for (peers, boxes, ns_per_query, blocked) in &peer_rows {
         println!(
             "peer grid K={peers}  {boxes} boxes  {ns_per_query:.0} ns/query  ({blocked} blocked)"
         );
-        peer_rows.push((peers, boxes, ns_per_query));
     }
     println!();
 
@@ -431,60 +412,79 @@ fn bench8() {
     );
 
     // Machine-readable trajectory for CI and the roadmap.
-    let mut json = String::from("{\n  \"bench\": \"raw_speed_kernels\",\n");
-    json.push_str(&format!("  \"host_cores\": {cores},\n"));
-    json.push_str(&format!(
-        "  \"bench_threads\": {},\n",
-        bench_threads.map_or("null".to_string(), |t| t.to_string())
-    ));
-    json.push_str("  \"biased_sampling\": {\n");
+    let mut w = roborun_trace::JsonWriter::new();
+    w.begin_object();
+    w.key("bench");
+    w.string("raw_speed_kernels");
+    w.key("host_cores");
+    w.uint(cores as u64);
+    w.key("bench_threads");
+    match bench_threads {
+        Some(t) => w.uint(t as u64),
+        None => w.null(),
+    }
+    w.key("biased_sampling");
+    w.begin_object();
     for (label, to_solution, ms, cost) in &sampling_rows {
-        json.push_str(&format!(
-            "    \"{label}\": {{\"samples_to_solution\": {to_solution:.1}, \
-             \"ms_per_plan_2000\": {ms:.3}, \"mean_cost_m\": {cost:.3}}},\n"
-        ));
+        w.key(label);
+        w.begin_inline_object();
+        w.key("samples_to_solution");
+        w.float(*to_solution, 1);
+        w.key("ms_per_plan_2000");
+        w.float(*ms, 3);
+        w.key("mean_cost_m");
+        w.float(*cost, 3);
+        w.end();
     }
-    json.push_str(&format!(
-        "    \"sample_reduction\": {sample_reduction:.2}, \"cost_ratio\": {cost_ratio:.4}\n  }},\n"
-    ));
-    json.push_str("  \"batch_expansion\": [\n");
-    for (i, (samples, row)) in batch_rows.iter().enumerate() {
-        let cols: Vec<String> = row
-            .iter()
-            .map(|(batch, ms)| format!("\"k{batch}_ms\": {ms:.2}"))
-            .collect();
-        json.push_str(&format!(
-            "    {{\"samples\": {samples}, {}}}{}\n",
-            cols.join(", "),
-            if i + 1 < batch_rows.len() { "," } else { "" }
-        ));
+    w.key("sample_reduction");
+    w.float(sample_reduction, 2);
+    w.key("cost_ratio");
+    w.float(cost_ratio, 4);
+    w.end();
+    w.key("batch_expansion");
+    w.begin_array();
+    for (samples, row) in &batch_rows {
+        w.begin_inline_object();
+        w.key("samples");
+        w.uint(*samples as u64);
+        for (batch, ms) in row {
+            w.key(&format!("k{batch}_ms"));
+            w.float(*ms, 2);
+        }
+        w.end();
     }
-    json.push_str("  ],\n");
-    json.push_str("  \"aabb_raycast\": [\n");
-    for (i, (lanes, ns)) in width_rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"lanes\": {lanes}, \"ns_per_ray\": {ns:.1}}}{}\n",
-            if i + 1 < width_rows.len() { "," } else { "" }
-        ));
+    w.end();
+    w.key("aabb_raycast");
+    w.begin_array();
+    for (lanes, ns) in &width_rows {
+        w.begin_inline_object();
+        w.key("lanes");
+        w.uint(*lanes as u64);
+        w.key("ns_per_ray");
+        w.float(*ns, 1);
+        w.end();
     }
-    json.push_str("  ],\n");
-    json.push_str("  \"peer_hazard_query\": [\n");
-    for (i, (peers, boxes, ns)) in peer_rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"peers\": {peers}, \"boxes\": {boxes}, \"ns_per_query\": {ns:.1}}}{}\n",
-            if i + 1 < peer_rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"multicore\": {{\"threads\": {threads}, \"sweep_seconds\": {sweep_seconds:.3}, \
-         \"plan_ahead_wall_seconds\": {plan_ahead_seconds:.3}, \
-         \"plan_ahead_masked_modeled_s\": {masked:.3}, \
-         \"service_shards\": {shards}, \"service_seconds\": {service_seconds:.3}}}\n}}\n"
-    ));
+    w.end();
+    write_peer_hazard_rows(&mut w, &peer_rows);
+    w.key("multicore");
+    w.begin_inline_object();
+    w.key("threads");
+    w.uint(threads as u64);
+    w.key("sweep_seconds");
+    w.float(sweep_seconds, 3);
+    w.key("plan_ahead_wall_seconds");
+    w.float(plan_ahead_seconds, 3);
+    w.key("plan_ahead_masked_modeled_s");
+    w.float(masked, 3);
+    w.key("service_shards");
+    w.uint(shards as u64);
+    w.key("service_seconds");
+    w.float(service_seconds, 3);
+    w.end();
+    w.end();
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
-    std::fs::write(path, &json).expect("write BENCH_8.json");
+    std::fs::write(path, w.finish()).expect("write BENCH_8.json");
     println!("wrote {path}\n");
 }
 
@@ -493,16 +493,14 @@ fn bench8() {
 /// query overhead. Emits machine-readable `BENCH_7.json` at the repo
 /// root alongside the human-readable table.
 fn bench7() {
-    use roborun_geom::Vec3;
     use roborun_mission::{MissionService, ServiceConfig, SharedStaticWorld};
-    use roborun_planning::PeerTrajectoryHazard;
     use std::time::Instant;
 
     println!("## Bench 7 — fleet missions, mission service, shared worlds\n");
 
     // Shard scaling is bounded by the physical core count; record it so
     // a flat curve on a small box reads as what it is.
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = roborun_trace::host_cores();
     println!("(host has {cores} core(s) available)\n");
 
     // Mission-service throughput: the same 8-row request (2 missions per
@@ -569,8 +567,66 @@ fn bench7() {
 
     // Peer-hazard query overhead: point queries against K committed peer
     // corridors (64-waypoint trajectories, swept and inflated).
+    let peer_rows = peer_hazard_query_rows();
+    for (peers, boxes, ns_per_query, blocked) in &peer_rows {
+        println!(
+            "peer hazard  K={peers}  {boxes} boxes  {ns_per_query:.0} ns/query  ({blocked} blocked)"
+        );
+    }
+
+    // Machine-readable trajectory for CI and the roadmap.
+    let mut w = roborun_trace::JsonWriter::new();
+    w.begin_object();
+    w.key("bench");
+    w.string("fleet_missions");
+    w.key("host_cores");
+    w.uint(cores as u64);
+    w.key("service_throughput");
+    w.begin_array();
+    for (shards, seconds, throughput) in &service_rows {
+        w.begin_inline_object();
+        w.key("shards");
+        w.uint(*shards as u64);
+        w.key("missions");
+        w.uint(missions as u64);
+        w.key("seconds");
+        w.float(*seconds, 3);
+        w.key("missions_per_sec");
+        w.float(*throughput, 3);
+        w.end();
+    }
+    w.end();
+    w.key("shared_broad_phase");
+    w.begin_inline_object();
+    w.key("clones");
+    w.uint(clones as u64);
+    w.key("survey_build_ms");
+    w.float(build_ms, 3);
+    w.key("clone_total_ms");
+    w.float(clone_ms, 4);
+    w.key("rebuild_total_ms");
+    w.float(rebuild_ms, 3);
+    w.key("amortized_speedup");
+    w.float(amortized_speedup, 2);
+    w.end();
+    write_peer_hazard_rows(&mut w, &peer_rows);
+    w.end();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
+    std::fs::write(path, w.finish()).expect("write BENCH_7.json");
+    println!("\nwrote {path}\n");
+}
+
+/// The peer-hazard scaling row shared by the BENCH_7/8/9 trajectories:
+/// point queries against K committed peer corridors (64-waypoint
+/// trajectories, swept and inflated). Returns
+/// `(peers, boxes, ns_per_query, blocked)` rows.
+fn peer_hazard_query_rows() -> Vec<(usize, usize, f64, usize)> {
+    use roborun_geom::Vec3;
+    use roborun_planning::PeerTrajectoryHazard;
+    use std::time::Instant;
     let queries = 100_000usize;
-    let mut peer_rows = Vec::new();
+    let mut rows = Vec::new();
     for peers in [1usize, 2, 4, 8] {
         let mut hazard = PeerTrajectoryHazard::new(0.46, 0.9);
         for id in 0..peers {
@@ -597,41 +653,360 @@ fn bench7() {
             }
         }
         let ns_per_query = start.elapsed().as_secs_f64() * 1e9 / queries as f64;
+        rows.push((peers, boxes, ns_per_query, blocked));
+    }
+    rows
+}
+
+/// Writes the shared `peer_hazard_query` BENCH section (the trajectory
+/// diff keys the three files on it).
+fn write_peer_hazard_rows(w: &mut roborun_trace::JsonWriter, rows: &[(usize, usize, f64, usize)]) {
+    w.key("peer_hazard_query");
+    w.begin_array();
+    for (peers, boxes, ns, _) in rows {
+        w.begin_inline_object();
+        w.key("peers");
+        w.uint(*peers as u64);
+        w.key("boxes");
+        w.uint(*boxes as u64);
+        w.key("ns_per_query");
+        w.float(*ns, 1);
+        w.end();
+    }
+    w.end();
+}
+
+/// Chrome-trace export: arms the tracer, runs one representative static,
+/// dynamic and fault mission, self-checks the export against the trace
+/// schema and the >= 95% decision-stage-coverage contract, and writes
+/// `out/trace_<scenario>.json` (loadable in Perfetto or
+/// `chrome://tracing`). Wall-clock fields are left out of the artifact
+/// so reruns of the same mission produce byte-identical files.
+fn trace_export(full: bool) {
+    use roborun_mission::{DynamicScenario, FaultScenario};
+    use roborun_trace::{validate_chrome_trace, Trace};
+
+    println!("## Trace — Chrome-trace export of representative missions\n");
+    let out_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../out");
+    std::fs::create_dir_all(out_dir).expect("create out/");
+
+    fn run_traced(out_dir: &str, name: &str, run: impl FnOnce() -> MissionResult) {
+        // Leftover events from earlier subcommands of the same process
+        // would pollute the artifact; start from an empty sink.
+        let _ = roborun_trace::drain();
+        roborun_trace::arm();
+        let result = run();
+        roborun_trace::disarm();
+        let trace = Trace::collect();
+        let json = trace.to_chrome_json(name, false);
+        let (events, async_pairs) =
+            validate_chrome_trace(&json).unwrap_or_else(|e| panic!("{name} trace schema: {e}"));
+        let coverage = trace.decision_stage_coverage();
+        let min_coverage = coverage.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            !coverage.is_empty() && min_coverage >= 0.95,
+            "{name}: stage spans cover {min_coverage:.3} of a decision (need >= 0.95)"
+        );
+        let path = format!("{out_dir}/trace_{name}.json");
+        std::fs::write(&path, &json).expect("write trace json");
+        println!(
+            "### {name}: {} decisions, {events} events ({async_pairs} async pair(s)), \
+             min stage coverage {min_coverage:.3}\n",
+            result.metrics.decisions
+        );
+        println!("{}", trace.summary_table());
+        println!("wrote {path}\n");
+    }
+
+    let max_decisions = if full { 4_000 } else { 1_500 };
+    run_traced(out_dir, "static", || {
+        let env = EnvironmentGenerator::new(DifficultyConfig {
+            goal_distance: 200.0,
+            ..DifficultyConfig::mid()
+        })
+        .generate(23);
+        MissionRunner::new(MissionConfig {
+            max_decisions,
+            max_mission_time: 5_000.0,
+            plan_ahead: true,
+            ..MissionConfig::new(RuntimeMode::SpatialAware)
+        })
+        .run(&env)
+    });
+    run_traced(out_dir, "dynamic", || {
+        let (env, world) = DynamicScenario::CrossingCorridor.world(41);
+        let mut config = MissionConfig::new(RuntimeMode::SpatialAware);
+        config.max_decisions = max_decisions.min(600);
+        config.max_mission_time = 1_500.0;
+        config.voxel_decay = Some(2);
+        MissionRunner::new(config).run_dynamic(&env, &world)
+    });
+    run_traced(out_dir, "fault", || {
+        let scenario = FaultScenario::PlannerBrownout;
+        let env = scenario.environment(41);
+        let mut config = MissionConfig::new(RuntimeMode::SpatialAware);
+        config.max_decisions = max_decisions.min(600);
+        config.max_mission_time = 1_500.0;
+        config.voxel_decay = Some(2);
+        config.degradation.enabled = true;
+        config.fault_plan = scenario.fault_plan(41);
+        MissionRunner::new(config).run(&env)
+    });
+}
+
+/// Trace-layer cost trajectory: the disarmed gate and armed emission in
+/// nanoseconds per call, whole-mission overhead armed versus disarmed
+/// (with a metrics-equality check that tracing perturbed nothing), the
+/// shared log-histogram's quantile accuracy against exact percentiles,
+/// and the peer-hazard scaling row shared with BENCH_7/8. Emits
+/// `BENCH_9.json`.
+fn bench9() {
+    use roborun_geom::{percentile, LogHistogram, SplitMix64};
+    use roborun_trace::SpanKind;
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    println!("## Bench 9 — trace overhead and histogram accuracy\n");
+    let cores = roborun_trace::host_cores();
+    println!("(host has {cores} core(s) available)\n");
+
+    // --- The disarmed gate: the entire cost tracing adds to a normal
+    // (untraced) run is one relaxed load and branch per call site.
+    let _ = roborun_trace::drain();
+    roborun_trace::disarm();
+    let rounds = 20_000_000u64;
+    let wall = Instant::now();
+    for i in 0..rounds {
+        roborun_trace::collector::complete(
+            black_box(SpanKind::Decision),
+            black_box(i as f64),
+            0.001,
+            0,
+            &[],
+        );
+    }
+    let disarmed_ns = wall.elapsed().as_secs_f64() * 1e9 / rounds as f64;
+
+    // --- Armed emission: thread-local ring push + amortised spill.
+    roborun_trace::arm();
+    let armed_rounds = 400_000u64;
+    let wall = Instant::now();
+    for i in 0..armed_rounds {
+        roborun_trace::collector::complete(
+            black_box(SpanKind::Decision),
+            black_box(i as f64),
+            0.001,
+            0,
+            &[("decision", i as f64)],
+        );
+    }
+    let armed_ns = wall.elapsed().as_secs_f64() * 1e9 / armed_rounds as f64;
+    roborun_trace::disarm();
+    let dropped = roborun_trace::dropped();
+    let retained = roborun_trace::drain().len();
+    println!(
+        "gate      disarmed {disarmed_ns:.2} ns/call   armed {armed_ns:.0} ns/event  \
+         ({retained} retained, {dropped} dropped)"
+    );
+
+    // --- Whole-mission overhead: the same mission disarmed then armed.
+    // Metrics equality doubles as the "enabled tracing perturbs nothing"
+    // check at bench time.
+    let env = EnvironmentGenerator::new(DifficultyConfig {
+        goal_distance: 120.0,
+        ..DifficultyConfig::mid()
+    })
+    .generate(23);
+    let mission = || {
+        MissionRunner::new(MissionConfig {
+            max_decisions: 600,
+            max_mission_time: 1_500.0,
+            ..MissionConfig::new(RuntimeMode::SpatialAware)
+        })
+        .run(&env)
+    };
+    let _ = mission(); // warm caches before timing either mode
+    let wall = Instant::now();
+    let disarmed_result = mission();
+    let disarmed_s = wall.elapsed().as_secs_f64();
+    roborun_trace::arm();
+    let wall = Instant::now();
+    let armed_result = mission();
+    let armed_s = wall.elapsed().as_secs_f64();
+    roborun_trace::disarm();
+    let mission_events = roborun_trace::drain().len();
+    assert_eq!(
+        disarmed_result.metrics, armed_result.metrics,
+        "tracing perturbed the mission"
+    );
+    let overhead_pct = (armed_s / disarmed_s.max(1e-12) - 1.0) * 100.0;
+    println!(
+        "mission   disarmed {disarmed_s:.3} s   armed {armed_s:.3} s  \
+         ({overhead_pct:+.1}%, {mission_events} events, identical metrics)"
+    );
+
+    // --- Histogram accuracy: a log-uniform latency-like sample spanning
+    // four decades, histogram quantiles against exact percentiles.
+    let mut rng = SplitMix64::new(7);
+    let samples: Vec<f64> = (0..100_000)
+        .map(|_| rng.uniform((1e-3f64).ln(), 10f64.ln()).exp())
+        .collect();
+    let hist: LogHistogram = samples.iter().copied().collect();
+    let mut accuracy = Vec::new();
+    for q in [0.5, 0.95, 0.99] {
+        let exact = percentile(&samples, q).expect("non-empty sample");
+        let approx = hist.quantile(q).expect("non-empty histogram");
+        let rel_err = (approx - exact).abs() / exact;
+        println!(
+            "histogram p{:<4} exact {exact:.5} s   histogram {approx:.5} s   rel err {rel_err:.4}",
+            q * 100.0
+        );
+        accuracy.push((q, exact, approx, rel_err));
+    }
+    println!();
+
+    // --- The shared scaling row for the BENCH trajectory diff.
+    let peer_rows = peer_hazard_query_rows();
+    for (peers, boxes, ns_per_query, blocked) in &peer_rows {
         println!(
             "peer hazard  K={peers}  {boxes} boxes  {ns_per_query:.0} ns/query  ({blocked} blocked)"
         );
-        peer_rows.push((peers, boxes, ns_per_query));
     }
 
     // Machine-readable trajectory for CI and the roadmap.
-    let mut json = String::from("{\n  \"bench\": \"fleet_missions\",\n");
-    json.push_str(&format!("  \"host_cores\": {cores},\n"));
-    json.push_str("  \"service_throughput\": [\n");
-    for (i, (shards, seconds, throughput)) in service_rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"shards\": {shards}, \"missions\": {missions}, \"seconds\": {seconds:.3}, \
-             \"missions_per_sec\": {throughput:.3}}}{}\n",
-            if i + 1 < service_rows.len() { "," } else { "" }
-        ));
+    let mut w = roborun_trace::JsonWriter::new();
+    w.begin_object();
+    w.key("bench");
+    w.string("trace_observability");
+    w.key("host_cores");
+    w.uint(cores as u64);
+    w.key("trace_gate");
+    w.begin_inline_object();
+    w.key("disarmed_ns_per_call");
+    w.float(disarmed_ns, 3);
+    w.key("armed_ns_per_event");
+    w.float(armed_ns, 1);
+    w.key("events_retained");
+    w.uint(retained as u64);
+    w.key("events_dropped");
+    w.uint(dropped);
+    w.end();
+    w.key("mission_overhead");
+    w.begin_inline_object();
+    w.key("disarmed_seconds");
+    w.float(disarmed_s, 3);
+    w.key("armed_seconds");
+    w.float(armed_s, 3);
+    w.key("overhead_pct");
+    w.float(overhead_pct, 2);
+    w.key("events");
+    w.uint(mission_events as u64);
+    w.end();
+    w.key("histogram_accuracy");
+    w.begin_array();
+    for (q, exact, approx, rel_err) in &accuracy {
+        w.begin_inline_object();
+        w.key("q");
+        w.float(*q, 2);
+        w.key("exact_s");
+        w.float(*exact, 5);
+        w.key("histogram_s");
+        w.float(*approx, 5);
+        w.key("rel_err");
+        w.float(*rel_err, 4);
+        w.end();
     }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"shared_broad_phase\": {{\"clones\": {clones}, \"survey_build_ms\": {build_ms:.3}, \
-         \"clone_total_ms\": {clone_ms:.4}, \"rebuild_total_ms\": {rebuild_ms:.3}, \
-         \"amortized_speedup\": {amortized_speedup:.2}}},\n"
-    ));
-    json.push_str("  \"peer_hazard_query\": [\n");
-    for (i, (peers, boxes, ns)) in peer_rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"peers\": {peers}, \"boxes\": {boxes}, \"ns_per_query\": {ns:.1}}}{}\n",
-            if i + 1 < peer_rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
+    w.end();
+    write_peer_hazard_rows(&mut w, &peer_rows);
+    w.end();
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
-    std::fs::write(path, &json).expect("write BENCH_7.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+    std::fs::write(path, w.finish()).expect("write BENCH_9.json");
     println!("\nwrote {path}\n");
+}
+
+/// BENCH-trajectory diff: parses `BENCH_9.json` and compares every
+/// shared cost key (leaves whose name carries a `ns`/`ms`/`s`/`seconds`
+/// unit segment, matched by JSON path) against `BENCH_8.json` and
+/// `BENCH_7.json`, failing the run on a more-than-2x regression.
+/// Throughputs and identities (`missions_per_sec`, `peers`, `host_cores`)
+/// anchor the paths but are not compared.
+fn trajectory() {
+    use roborun_trace::JsonValue;
+    println!("## BENCH trajectory — shared cost keys, BENCH_9 vs BENCH_8 / BENCH_7\n");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let load = |name: &str| -> Option<JsonValue> {
+        let text = std::fs::read_to_string(format!("{root}/{name}")).ok()?;
+        Some(JsonValue::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}")))
+    };
+    let Some(current) = load("BENCH_9.json") else {
+        println!("BENCH_9.json missing — run `experiments -- bench9` first\n");
+        std::process::exit(1);
+    };
+    let current_costs = cost_leaves(&current);
+    let mut regressions = Vec::new();
+    for name in ["BENCH_8.json", "BENCH_7.json"] {
+        let Some(previous) = load(name) else {
+            println!("{name} missing — skipped\n");
+            continue;
+        };
+        let previous_costs = cost_leaves(&previous);
+        let mut compared = 0usize;
+        for (path, new_value) in &current_costs {
+            let Some((_, old_value)) = previous_costs.iter().find(|(p, _)| p == path) else {
+                continue;
+            };
+            compared += 1;
+            let ratio = new_value / old_value.max(1e-12);
+            let verdict = if ratio > 2.0 { "REGRESSION" } else { "ok" };
+            println!("{name}  {path}  {old_value:.1} -> {new_value:.1}  ({ratio:.2}x)  {verdict}");
+            if ratio > 2.0 {
+                regressions.push(format!("{name} {path} {ratio:.2}x"));
+            }
+        }
+        println!("({compared} shared cost key(s) against {name})\n");
+    }
+    if !regressions.is_empty() {
+        println!("trajectory regressions (> 2x): {}", regressions.join(", "));
+        std::process::exit(1);
+    }
+    println!("no shared cost key regressed by more than 2x\n");
+}
+
+/// Flattens a parsed BENCH file into `(path, value)` cost leaves: number
+/// leaves whose key name carries a time unit as an underscore-separated
+/// segment (`ns_per_query`, `k64_ms`, `sweep_seconds`, `exact_s`), so
+/// counts like `missions` or rates like `missions_per_sec` stay out.
+fn cost_leaves(value: &roborun_trace::JsonValue) -> Vec<(String, f64)> {
+    use roborun_trace::JsonValue;
+    fn is_cost_key(key: &str) -> bool {
+        key.split('_')
+            .any(|seg| matches!(seg, "ns" | "ms" | "s" | "seconds"))
+    }
+    fn walk(value: &JsonValue, path: &str, out: &mut Vec<(String, f64)>) {
+        match value {
+            JsonValue::Object(members) => {
+                for (key, child) in members {
+                    walk(child, &format!("{path}/{key}"), out);
+                }
+            }
+            JsonValue::Array(items) => {
+                for (i, child) in items.iter().enumerate() {
+                    walk(child, &format!("{path}/{i}"), out);
+                }
+            }
+            JsonValue::Number(n) => {
+                let key = path.rsplit('/').next().unwrap_or(path);
+                if is_cost_key(key) {
+                    out.push((path.to_string(), *n));
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(value, "", &mut out);
+    out
 }
 
 /// The robustness evaluation: every deterministic fault scenario family,
@@ -1297,6 +1672,10 @@ fn fig5(oblivious: &MissionResult, aware: &MissionResult) {
         aware_median,
         oblivious_median / aware_median.max(1e-9)
     );
+    println!("latency tail, baseline:");
+    println!("{}", report::latency_tail_table(&oblivious.telemetry));
+    println!("latency tail, RoboRun (critical path excludes plan-ahead masked time):");
+    println!("{}", report::latency_tail_table(&aware.telemetry));
 }
 
 fn fig10(oblivious: &MissionResult, aware: &MissionResult) {

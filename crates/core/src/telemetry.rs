@@ -2,7 +2,7 @@
 //! and 11.
 
 use crate::{KnobSettings, RuntimeMode};
-use roborun_geom::{percentile, Vec3};
+use roborun_geom::{percentile, LogHistogram, Vec3};
 use roborun_sim::LatencyBreakdown;
 use serde::{Deserialize, Serialize};
 
@@ -141,6 +141,33 @@ impl MissionTelemetry {
     /// Median decision latency, or `None` when empty.
     pub fn median_latency(&self) -> Option<f64> {
         percentile(&self.latencies(), 0.5)
+    }
+
+    /// End-to-end decision latencies on the shared fixed-bucket
+    /// log-scale lattice — the same histogram the tracer's per-span-kind
+    /// summaries use, so mission reports and trace summaries agree on
+    /// bucket boundaries (and merge across missions).
+    pub fn latency_histogram(&self) -> LogHistogram {
+        self.records.iter().map(|r| r.latency()).collect()
+    }
+
+    /// 95th-percentile decision latency (seconds) from the shared
+    /// histogram, or `None` when empty. Bucketed: the relative error is
+    /// bounded by the lattice resolution (~7.5% median), unlike the
+    /// exact [`MissionTelemetry::median_latency`].
+    pub fn p95_latency(&self) -> Option<f64> {
+        self.latency_histogram().quantile(0.95)
+    }
+
+    /// 99th-percentile decision latency (seconds) from the shared
+    /// histogram, or `None` when empty.
+    pub fn p99_latency(&self) -> Option<f64> {
+        self.latency_histogram().quantile(0.99)
+    }
+
+    /// Exact worst-case decision latency (seconds), or `None` when empty.
+    pub fn max_latency(&self) -> Option<f64> {
+        self.latency_histogram().max()
     }
 
     /// Critical-path latencies of every decision (seconds): what the

@@ -66,6 +66,6 @@ pub use pose::Pose;
 pub use ray::{Ray, RayHit};
 pub use sampling::SplitMix64;
 pub use simd::SimdWidth;
-pub use stats::{linear_fit, percentile, RunningStats};
+pub use stats::{linear_fit, percentile, LogHistogram, RunningStats};
 pub use vec3::Vec3;
 pub use voxel::{precision_lattice, snap_to_lattice, VoxelKey};

@@ -296,6 +296,206 @@ pub fn mean_squared_error(predicted: &[f64], observed: &[f64]) -> f64 {
         / predicted.len() as f64
 }
 
+/// Smallest representable value of the [`LogHistogram`] lattice (seconds,
+/// when used for latencies): everything below lands in the underflow
+/// bucket.
+const LOG_HISTOGRAM_MIN: f64 = 1e-6;
+/// Decades covered above [`LOG_HISTOGRAM_MIN`] (`1e-6 ..= 1e4`).
+const LOG_HISTOGRAM_DECADES: usize = 10;
+/// Buckets per decade. 16 per decade bounds the relative quantile error
+/// at `10^(1/16) - 1 ≈ 15.5%` worst case (half that on average), which
+/// `experiments -- bench9` measures against exact percentiles.
+const LOG_HISTOGRAM_PER_DECADE: usize = 16;
+/// Interior bucket count (underflow and overflow buckets come on top).
+const LOG_HISTOGRAM_BUCKETS: usize = LOG_HISTOGRAM_DECADES * LOG_HISTOGRAM_PER_DECADE;
+
+/// Fixed-bucket log-scale histogram for positive, long-tailed samples
+/// (decision latencies, span durations).
+///
+/// The bucket lattice is **static** — `16` buckets per decade over
+/// `1e-6 ..= 1e4`, plus an underflow and an overflow bucket — so two
+/// histograms built anywhere in the workspace can always be merged, and
+/// pushing a sample is a `log10` plus an array increment (no allocation,
+/// no sorting). Exact `min`/`max`/`sum` ride along; quantiles are
+/// geometric interpolation inside the owning bucket, clamped to the
+/// exact extremes, with bounded relative error (`< 10^(1/16) - 1`).
+///
+/// Shared by `MissionTelemetry` (p95/p99 decision latency), the mission
+/// aggregates and the `roborun-trace` per-span-kind summary tables.
+///
+/// # Example
+///
+/// ```
+/// use roborun_geom::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// for i in 1..=1000 {
+///     h.push(i as f64 * 1e-3);
+/// }
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!((p50 - 0.5).abs() / 0.5 < 0.1, "p50 ≈ 0.5 s, got {p50}");
+/// assert_eq!(h.count(), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// `[underflow, 160 interior buckets, overflow]`.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; LOG_HISTOGRAM_BUCKETS + 2],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index of `value`: 0 is underflow (everything below
+    /// `1e-6`, including zeros and negatives), the last index is
+    /// overflow (`>= 1e4`).
+    fn bucket_index(value: f64) -> usize {
+        if value < LOG_HISTOGRAM_MIN {
+            return 0; // underflow (zeros and negatives included)
+        }
+        let position =
+            (value.log10() - LOG_HISTOGRAM_MIN.log10()) * LOG_HISTOGRAM_PER_DECADE as f64;
+        if position >= LOG_HISTOGRAM_BUCKETS as f64 {
+            return LOG_HISTOGRAM_BUCKETS + 1;
+        }
+        1 + position as usize
+    }
+
+    /// The `(low, high)` value bounds of interior bucket `index`.
+    fn bucket_bounds(index: usize) -> (f64, f64) {
+        debug_assert!((1..=LOG_HISTOGRAM_BUCKETS).contains(&index));
+        let exp = |i: usize| {
+            LOG_HISTOGRAM_MIN.log10() + (i as f64 - 1.0) / LOG_HISTOGRAM_PER_DECADE as f64
+        };
+        (10f64.powf(exp(index)), 10f64.powf(exp(index + 1)))
+    }
+
+    /// Adds one observation. NaN samples are ignored (a NaN latency is a
+    /// bug upstream, but it must not poison the whole summary).
+    pub fn push(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one (the lattice is static, so
+    /// merging is an element-wise add).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when no observation has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact minimum observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), geometrically interpolated
+    /// inside the owning bucket and clamped to the exact `[min, max]`.
+    /// `None` when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0, 1], got {q}"
+        );
+        if self.count == 0 {
+            return None;
+        }
+        // Rank of the requested quantile, 1-based: the smallest rank r
+        // such that at least r observations are <= the answer.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &bucket_count) in self.counts.iter().enumerate() {
+            if bucket_count == 0 {
+                continue;
+            }
+            if seen + bucket_count >= rank {
+                let value = if index == 0 {
+                    self.min
+                } else if index == LOG_HISTOGRAM_BUCKETS + 1 {
+                    self.max
+                } else {
+                    let (lo, hi) = Self::bucket_bounds(index);
+                    // Geometric interpolation by the rank's position
+                    // inside the bucket.
+                    let inside = (rank - seen) as f64 / bucket_count as f64;
+                    lo * (hi / lo).powf(inside)
+                };
+                return Some(value.clamp(self.min, self.max));
+            }
+            seen += bucket_count;
+        }
+        Some(self.max)
+    }
+}
+
+impl Extend<f64> for LogHistogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for LogHistogram {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut h = LogHistogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,5 +615,67 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn mse_length_mismatch_panics() {
         let _ = mean_squared_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn log_histogram_quantiles_track_exact_percentiles() {
+        // A long-tailed sample: quantiles must land within the bucket
+        // error bound of the exact answer everywhere.
+        let data: Vec<f64> = (1..=5000).map(|i| 1e-3 * (i as f64).powf(1.3)).collect();
+        let h: LogHistogram = data.iter().copied().collect();
+        assert_eq!(h.count(), data.len() as u64);
+        for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = percentile(&data, q).unwrap();
+            let approx = h.quantile(q).unwrap();
+            let rel = (approx - exact).abs() / exact;
+            assert!(
+                rel < 0.16,
+                "q={q}: histogram {approx} vs exact {exact} (rel err {rel})"
+            );
+        }
+        assert_eq!(h.min(), Some(data[0]));
+        assert_eq!(h.max(), Some(*data.last().unwrap()));
+        assert!((h.sum() - data.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_histogram_handles_extremes_and_empty() {
+        let mut h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        // Underflow (zero, negative), overflow, and NaN (ignored).
+        h.push(0.0);
+        h.push(-3.0);
+        h.push(5e7);
+        h.push(f64::NAN);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0).unwrap(), -3.0);
+        assert_eq!(h.quantile(1.0).unwrap(), 5e7);
+        // All quantiles stay clamped inside the exact extremes.
+        for q in [0.1, 0.5, 0.9] {
+            let v = h.quantile(q).unwrap();
+            assert!((-3.0..=5e7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn log_histogram_merge_equals_single_pass() {
+        let (a_data, b_data): (Vec<f64>, Vec<f64>) = (
+            (1..=500).map(|i| i as f64 * 2e-4).collect(),
+            (1..=500).map(|i| i as f64 * 3e-2).collect(),
+        );
+        let mut merged: LogHistogram = a_data.iter().copied().collect();
+        let b: LogHistogram = b_data.iter().copied().collect();
+        merged.merge(&b);
+        let single: LogHistogram = a_data.iter().chain(&b_data).copied().collect();
+        assert_eq!(merged, single);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn log_histogram_rejects_out_of_range_quantile() {
+        let h: LogHistogram = [1.0].into_iter().collect();
+        let _ = h.quantile(1.5);
     }
 }

@@ -329,6 +329,7 @@ impl MessageBus {
         topic: &TopicName,
         message: T,
     ) -> Result<PublishReceipt, MiddlewareError> {
+        let trace_timer = roborun_trace::timer();
         let mut guard = self.lock();
         let inner = &mut *guard;
         if inner.closed {
@@ -418,6 +419,33 @@ impl MessageBus {
         state
             .stats
             .record_publish(bytes, deliveries as u64, evictions as u64, mean_latency);
+        if roborun_trace::armed() {
+            let depth: usize = state
+                .subscriptions
+                .iter()
+                .filter(|s| s.active)
+                .map(|s| s.queue.len())
+                .sum();
+            roborun_trace::collector::complete_labeled(
+                roborun_trace::SpanKind::BusPublish,
+                topic.as_str(),
+                now,
+                mean_latency,
+                roborun_trace::timer_ns(&trace_timer),
+                &[
+                    ("bytes", bytes as f64),
+                    ("sequence", sequence as f64),
+                    ("deliveries", deliveries as f64),
+                    ("evictions", evictions as f64),
+                ],
+            );
+            roborun_trace::collector::counter(
+                roborun_trace::SpanKind::QueueDepth,
+                topic.as_str(),
+                now,
+                depth as f64,
+            );
+        }
 
         // Retain the last sample for TransientLocal late joiners.
         state.retained = Some(Box::new(Stamped {
@@ -464,8 +492,30 @@ impl MessageBus {
         let Some(boxed) = slot.queue.pop_front() else {
             return Ok(None);
         };
+        let remaining = slot.queue.len();
         match boxed.downcast::<Stamped<T>>() {
-            Ok(sample) => Ok(Some(*sample)),
+            Ok(sample) => {
+                if roborun_trace::armed() {
+                    roborun_trace::collector::complete_labeled(
+                        roborun_trace::SpanKind::BusDeliver,
+                        topic.as_str(),
+                        sample.publish_time,
+                        sample.transport_latency,
+                        0,
+                        &[
+                            ("sequence", sample.sequence as f64),
+                            ("subscription", id as f64),
+                        ],
+                    );
+                    roborun_trace::collector::counter(
+                        roborun_trace::SpanKind::QueueDepth,
+                        topic.as_str(),
+                        sample.publish_time + sample.transport_latency,
+                        remaining as f64,
+                    );
+                }
+                Ok(Some(*sample))
+            }
             // The type is checked at registration time, so a mismatch
             // here is internal queue corruption; the sample is dropped
             // and the corruption reported.

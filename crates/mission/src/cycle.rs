@@ -637,6 +637,48 @@ pub(crate) fn apply_planner_faults(
     (degradation, forced_failure)
 }
 
+/// Emits one [`roborun_trace::SpanKind::Plan`] event carrying the
+/// planner's per-invocation counters (zero-length on the sim clock — the
+/// planning *stage* span already shows the modeled latency; this event
+/// carries the search internals and the measured wall time). Shared by
+/// the synchronous path and the plan-ahead worker; no-op when disarmed.
+pub(crate) fn emit_plan_span(
+    stats: &PlanStats,
+    sim_time: f64,
+    timer: &Option<roborun_trace::WallTimer>,
+) {
+    if !roborun_trace::armed() {
+        return;
+    }
+    roborun_trace::collector::complete(
+        roborun_trace::SpanKind::Plan,
+        sim_time,
+        0.0,
+        roborun_trace::timer_ns(timer),
+        &[
+            ("samples_drawn", stats.samples_drawn as f64),
+            ("tree_size", stats.tree_size as f64),
+            ("rewires", stats.rewires as f64),
+            ("batch_rounds", stats.batch_rounds as f64),
+            ("collision_queries", stats.collision_queries as f64),
+            ("explored_volume", stats.explored_volume),
+            ("volume_capped", f64::from(u8::from(stats.volume_capped))),
+        ],
+    );
+}
+
+/// Stable trace label of a degradation-ladder rung.
+pub(crate) fn degradation_label(degradation: Degradation) -> &'static str {
+    match degradation {
+        Degradation::Healthy => "healthy",
+        Degradation::StalePerception => "stale_perception",
+        Degradation::RetriedPlan => "retried_plan",
+        Degradation::ReusedTrajectory => "reused_trajectory",
+        Degradation::Hover => "hover",
+        Degradation::SafeStop => "safe_stop",
+    }
+}
+
 /// Assembles the mission-level metrics both drivers report.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn finalize_metrics(
@@ -659,6 +701,9 @@ pub(crate) fn finalize_metrics(
         mean_velocity: drone.distance_travelled / mission_time,
         mean_cpu_utilization: telemetry.mean_cpu_utilization(),
         median_latency: telemetry.median_latency().unwrap_or(0.0),
+        p95_latency: telemetry.p95_latency().unwrap_or(0.0),
+        p99_latency: telemetry.p99_latency().unwrap_or(0.0),
+        max_latency: telemetry.max_latency().unwrap_or(0.0),
         decisions,
         distance_travelled: drone.distance_travelled,
         reached_goal,
@@ -705,6 +750,9 @@ pub(crate) struct SpeculationRequest {
     pub(crate) goal: Vec3,
     pub(crate) bounds: Aabb,
     pub(crate) cruise: f64,
+    /// Sim time of the launching decision — the timestamp the worker's
+    /// trace events carry (the worker owns no clock of its own).
+    pub(crate) launched_at: f64,
 }
 
 /// The worker's answer to a [`SpeculationRequest`].
@@ -719,7 +767,9 @@ pub(crate) fn speculation_worker(
     requests: Receiver<SpeculationRequest>,
     outcomes: Sender<SpeculationOutcome>,
 ) {
+    roborun_trace::collector::set_track(roborun_trace::SPECULATION_TRACK);
     while let Ok(mut request) = requests.recv() {
+        let plan_timer = roborun_trace::timer();
         let mut context = HazardContext::new(&mut request.checker, &request.hazards);
         let outcome = request.planner.plan_with_checker(
             &mut context,
@@ -728,10 +778,14 @@ pub(crate) fn speculation_worker(
             &request.bounds,
             request.cruise,
         );
+        if let Ok((_, stats)) = &outcome {
+            emit_plan_span(stats, request.launched_at, &plan_timer);
+        }
         if outcomes.send(SpeculationOutcome { outcome }).is_err() {
             break;
         }
     }
+    roborun_trace::collector::flush();
 }
 
 /// The mission loop's handle on the speculation worker.
@@ -913,6 +967,9 @@ pub(crate) struct DecisionCycle<'m> {
     // The ladder bottomed out: a wedge-retreat was flown and the mission
     // deliberately ended (provably safe-stopped, not crashed).
     safe_stopped: bool,
+    // Previous decision's ladder rung, so the tracer can emit
+    // degradation *transitions* instead of one instant per decision.
+    last_degradation: Degradation,
 }
 
 impl<'m> DecisionCycle<'m> {
@@ -980,6 +1037,7 @@ impl<'m> DecisionCycle<'m> {
             last_integration_time: 0.0,
             hover_streak: 0,
             safe_stopped: false,
+            last_degradation: Degradation::Healthy,
         }
     }
 
@@ -1288,6 +1346,7 @@ impl<'m> DecisionCycle<'m> {
         commanded_velocity: f64,
         escape: bool,
     ) -> bool {
+        let plan_timer = roborun_trace::timer();
         let local_goal = self.local_goal(export);
         let bounds = self.sampling_bounds(self.drone.position, local_goal);
         let check_step = planning_check_step(knobs);
@@ -1359,7 +1418,8 @@ impl<'m> DecisionCycle<'m> {
             return true;
         }
         match outcome {
-            Ok((trajectory, _stats)) => {
+            Ok((trajectory, stats)) => {
+                emit_plan_span(&stats, self.clock.now(), &plan_timer);
                 // A fresh plan that crosses the predicted moving-obstacle
                 // occupancy is rejected like a failed plan: the planner
                 // only knows where actors *are* (their mapped voxels),
@@ -1456,6 +1516,7 @@ impl<'m> DecisionCycle<'m> {
         // speculation — the mission falls back to synchronous replanning
         // instead of tearing down mid-flight.
         let Ok(outcome) = worker.outcomes.recv() else {
+            self.trace_speculation_end("worker_lost", 0.0);
             return (Some(SpeculationVerdict::Discarded), 0.0);
         };
         let fresh_goal = self.local_goal(export);
@@ -1504,7 +1565,43 @@ impl<'m> DecisionCycle<'m> {
             }
             SpeculationVerdict::Discarded => 0.0,
         };
+        if roborun_trace::armed() {
+            let label = match &verdict {
+                SpeculationVerdict::Adopted(_) => "adopted",
+                SpeculationVerdict::Patched(_) => "patched",
+                SpeculationVerdict::Discarded => "discarded",
+            };
+            self.trace_speculation_end(label, masked);
+        }
         (Some(verdict), masked)
+    }
+
+    /// Deterministic async-span id of the most recently launched
+    /// speculation: `(track << 32) | launch counter`. Valid between a
+    /// launch and its join because at most one speculation is in flight.
+    fn speculation_trace_id(&self) -> u64 {
+        (u64::from(roborun_trace::collector::current_track()) << 32) | self.stats.attempts as u64
+    }
+
+    /// Closes the in-flight speculation's async span and records its
+    /// outcome as an instant. No-op when disarmed.
+    fn trace_speculation_end(&self, label: &str, masked: f64) {
+        if !roborun_trace::armed() {
+            return;
+        }
+        let now = self.clock.now();
+        roborun_trace::collector::async_end(
+            roborun_trace::SpanKind::Speculation,
+            self.speculation_trace_id(),
+            now,
+            &[("masked", masked)],
+        );
+        roborun_trace::collector::instant_labeled(
+            roborun_trace::SpanKind::SpeculationOutcome,
+            label,
+            now,
+            &[("masked", masked)],
+        );
     }
 
     /// Launches a speculation for the next decision when a replan is
@@ -1569,9 +1666,18 @@ impl<'m> DecisionCycle<'m> {
             goal,
             bounds,
             cruise: commanded_velocity.max(0.5),
+            launched_at: self.clock.now(),
         };
         if worker.requests.send(request).is_ok() {
             self.stats.attempts += 1;
+            if roborun_trace::armed() {
+                roborun_trace::collector::async_begin(
+                    roborun_trace::SpanKind::Speculation,
+                    self.speculation_trace_id(),
+                    self.clock.now(),
+                    &[("decision", self.decisions as f64), ("window", window)],
+                );
+            }
             self.pending = Some(PendingSpeculation {
                 snapshot: export.clone(),
                 start: self.drone.position,
@@ -1588,6 +1694,12 @@ impl<'m> DecisionCycle<'m> {
     /// [`DecisionCycle::mission_open`].
     pub(crate) fn run_decision(&mut self, mut worker: Option<&mut PlanAheadWorker>) {
         self.decisions += 1;
+        // Tracing: one relaxed load when disarmed; everything below is
+        // behind this flag (or inside the collector's own gates).
+        let trace_on = roborun_trace::armed();
+        let decision_timer = roborun_trace::timer();
+        let t0 = self.clock.now();
+        let watchdog_before = self.degradation_stats.watchdog_fires;
 
         // The fault plan's verdict for this decision: a pure function of
         // (plan seed, decision index), identical across drivers and runs.
@@ -1597,6 +1709,13 @@ impl<'m> DecisionCycle<'m> {
             .map(|plan| plan.frame(self.decisions as u64))
             .unwrap_or_default();
         self.degradation_stats.faults_injected += frame.injected_count();
+        if trace_on && frame.injected_count() > 0 {
+            roborun_trace::collector::instant(
+                roborun_trace::SpanKind::FaultInjected,
+                t0,
+                &[("channels", frame.injected_count() as f64)],
+            );
+        }
 
         // sense → profile → govern → operate → cost.
         let sensed = self.sense(&frame);
@@ -1616,6 +1735,9 @@ impl<'m> DecisionCycle<'m> {
             &self.cfg.degradation,
             &mut self.degradation_stats,
         );
+        if trace_on && self.degradation_stats.watchdog_fires > watchdog_before {
+            roborun_trace::collector::instant(roborun_trace::SpanKind::WatchdogFire, t0, &[]);
+        }
         // Moving-obstacle prediction for this decision's instant (empty
         // in static worlds), folded into the shared hazard source every
         // consumer below — blockage detection, the planner's composed
@@ -1754,6 +1876,49 @@ impl<'m> DecisionCycle<'m> {
             .cfg
             .cpu
             .sample(breakdown.compute_total(), latency.max(self.cfg.min_epoch));
+        if trace_on {
+            if degradation != self.last_degradation {
+                roborun_trace::collector::instant_labeled(
+                    roborun_trace::SpanKind::DegradationTransition,
+                    degradation_label(degradation),
+                    t0,
+                    &[],
+                );
+            }
+            // The decision span covers the critical-path latency window;
+            // the seven stage spans partition it exactly (the planning
+            // stage is reduced by the masked plan-ahead share), so the
+            // exporter's coverage check holds by construction.
+            roborun_trace::collector::complete(
+                roborun_trace::SpanKind::Decision,
+                t0,
+                latency,
+                roborun_trace::timer_ns(&decision_timer),
+                &[
+                    ("decision", self.decisions as f64),
+                    ("velocity", commanded_velocity),
+                    ("visibility", profile.visibility),
+                    ("masked", masked),
+                    ("cpu", cpu_sample.utilization),
+                ],
+            );
+            let masked_planning = masked.clamp(0.0, breakdown.planning);
+            let stage_durations = [
+                breakdown.point_cloud,
+                breakdown.perception,
+                breakdown.perception_to_planning,
+                breakdown.planning - masked_planning,
+                breakdown.control,
+                breakdown.communication,
+                breakdown.runtime_overhead,
+            ];
+            let mut cursor = t0;
+            for (kind, duration) in roborun_trace::SpanKind::STAGES.iter().zip(stage_durations) {
+                roborun_trace::collector::complete(*kind, cursor, duration, 0, &[]);
+                cursor += duration;
+            }
+        }
+        self.last_degradation = degradation;
         self.telemetry.push(DecisionRecord {
             time: self.clock.now(),
             position: self.drone.position,
@@ -1821,6 +1986,15 @@ impl<'m> DecisionCycle<'m> {
 
     /// Final mission result.
     pub(crate) fn finish(self) -> MissionResult {
+        if roborun_trace::armed() {
+            // A speculation launched on the final decision never joins;
+            // close its async span so exported traces stay balanced, and
+            // spill this thread's buffered events at the mission boundary.
+            if self.pending.is_some() {
+                self.trace_speculation_end("unjoined", 0.0);
+            }
+            roborun_trace::collector::flush();
+        }
         let mission_time = self.clock.now().max(1e-9);
         let metrics = finalize_metrics(
             self.cfg.mode,

@@ -274,8 +274,26 @@ pub fn run_fleet(config: &FleetConfig, env: &Environment) -> FleetResult {
         .filter(|&i| cycles[i].mission_open())
         .min_by(|&a, &b| cycles[a].now().total_cmp(&cycles[b].now()).then(a.cmp(&b)))
     {
+        // Each drone traces onto its own track; the turn span brackets
+        // the decision on the sim clock so lockstep interleaving is
+        // visible in Perfetto. One relaxed load when disarmed.
+        let turn_start = if roborun_trace::armed() {
+            roborun_trace::collector::set_track(i as u32);
+            Some(cycles[i].now())
+        } else {
+            None
+        };
         cycles[i].run_decision(None);
         decisions += 1;
+        if let Some(start) = turn_start {
+            roborun_trace::collector::complete(
+                roborun_trace::SpanKind::FleetTurn,
+                start,
+                cycles[i].now() - start,
+                0,
+                &[("drone", i as f64), ("turn", decisions as f64)],
+            );
+        }
         if k == 1 {
             continue;
         }

@@ -19,6 +19,16 @@ pub struct MissionMetrics {
     pub mean_cpu_utilization: f64,
     /// Median end-to-end decision latency (seconds).
     pub median_latency: f64,
+    /// 95th-percentile end-to-end decision latency (seconds), from the
+    /// shared fixed-bucket log-scale histogram
+    /// ([`roborun_geom::LogHistogram`]) — bucketed, unlike the exact
+    /// median above.
+    pub p95_latency: f64,
+    /// 99th-percentile end-to-end decision latency (seconds), from the
+    /// same shared histogram.
+    pub p99_latency: f64,
+    /// Exact worst-case end-to-end decision latency (seconds).
+    pub max_latency: f64,
     /// Number of navigation decisions taken.
     pub decisions: usize,
     /// Distance travelled (metres).
@@ -87,6 +97,9 @@ pub struct AggregateMetrics {
     velocity: RunningStats,
     cpu: RunningStats,
     median_latency: RunningStats,
+    p95_latency: RunningStats,
+    p99_latency: RunningStats,
+    max_latency: RunningStats,
     masked_latency: RunningStats,
     successes: usize,
     total: usize,
@@ -108,6 +121,9 @@ impl AggregateMetrics {
         self.velocity.push(m.mean_velocity);
         self.cpu.push(m.mean_cpu_utilization);
         self.median_latency.push(m.median_latency);
+        self.p95_latency.push(m.p95_latency);
+        self.p99_latency.push(m.p99_latency);
+        self.max_latency.push(m.max_latency);
         self.masked_latency.push(m.masked_planning_latency);
         if m.successful() {
             self.successes += 1;
@@ -143,6 +159,21 @@ impl AggregateMetrics {
     /// Mean of the per-mission median latencies (seconds).
     pub fn mean_median_latency(&self) -> f64 {
         self.median_latency.mean()
+    }
+
+    /// Mean of the per-mission p95 latencies (seconds).
+    pub fn mean_p95_latency(&self) -> f64 {
+        self.p95_latency.mean()
+    }
+
+    /// Mean of the per-mission p99 latencies (seconds).
+    pub fn mean_p99_latency(&self) -> f64 {
+        self.p99_latency.mean()
+    }
+
+    /// Mean of the per-mission worst-case latencies (seconds).
+    pub fn mean_max_latency(&self) -> f64 {
+        self.max_latency.mean()
     }
 
     /// Mean of the per-mission masked planning latencies (seconds; zero
@@ -203,6 +234,9 @@ mod tests {
             mean_velocity: velocity,
             mean_cpu_utilization: cpu,
             median_latency: 1.0,
+            p95_latency: 1.4,
+            p99_latency: 1.8,
+            max_latency: 2.0,
             decisions: 100,
             distance_travelled: time * velocity,
             reached_goal: true,
@@ -250,6 +284,9 @@ mod tests {
         assert!((agg.success_rate() - 1.0).abs() < 1e-12);
         assert!(agg.mean_energy_kj() > 0.0);
         assert!((agg.mean_median_latency() - 1.0).abs() < 1e-12);
+        assert!((agg.mean_p95_latency() - 1.4).abs() < 1e-12);
+        assert!((agg.mean_p99_latency() - 1.8).abs() < 1e-12);
+        assert!((agg.mean_max_latency() - 2.0).abs() < 1e-12);
     }
 
     #[test]

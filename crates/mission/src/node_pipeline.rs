@@ -779,6 +779,7 @@ impl PlanningNode {
         speed: f64,
         commanded_velocity: f64,
         window: f64,
+        now: f64,
     ) {
         let Some(worker) = worker else { return };
         let (Some(map), Some(policy)) = (self.latest_map.as_ref(), self.latest_policy) else {
@@ -826,6 +827,7 @@ impl PlanningNode {
             goal,
             bounds,
             cruise: commanded_velocity.max(0.5),
+            launched_at: now,
         };
         if worker.requests.send(request).is_ok() {
             self.stats.attempts += 1;
@@ -1596,6 +1598,7 @@ impl NodePipeline {
                     drone.speed(),
                     commanded_velocity,
                     epoch,
+                    clock.now(),
                 );
             }
         }

@@ -100,6 +100,33 @@ pub fn fig7_table(results: &SweepResults) -> String {
             ),
         ],
         vec![
+            "p95 decision latency (s)".to_string(),
+            format!("{:.2}", oblivious.mean_p95_latency()),
+            format!("{:.2}", aware.mean_p95_latency()),
+            format!(
+                "{:.1}x",
+                oblivious.mean_p95_latency() / aware.mean_p95_latency().max(1e-9)
+            ),
+        ],
+        vec![
+            "p99 decision latency (s)".to_string(),
+            format!("{:.2}", oblivious.mean_p99_latency()),
+            format!("{:.2}", aware.mean_p99_latency()),
+            format!(
+                "{:.1}x",
+                oblivious.mean_p99_latency() / aware.mean_p99_latency().max(1e-9)
+            ),
+        ],
+        vec![
+            "max decision latency (s)".to_string(),
+            format!("{:.2}", oblivious.mean_max_latency()),
+            format!("{:.2}", aware.mean_max_latency()),
+            format!(
+                "{:.1}x",
+                oblivious.mean_max_latency() / aware.mean_max_latency().max(1e-9)
+            ),
+        ],
+        vec![
             "success rate".to_string(),
             format!("{:.2}", oblivious.success_rate()),
             format!("{:.2}", aware.success_rate()),
@@ -175,11 +202,11 @@ pub fn fault_csv(rows: &[FaultSweepRow]) -> String {
         "scenario,seed,baseline_mission_time_s,baseline_reached_goal,baseline_collided,\
          baseline_faults_injected,aware_mission_time_s,aware_reached_goal,aware_collided,\
          aware_faults_injected,aware_watchdog_fires,aware_retries,aware_degraded_decisions,\
-         aware_safe_stops\n",
+         aware_safe_stops,aware_p99_latency_s,aware_max_latency_s\n",
     );
     for row in rows {
         out.push_str(&format!(
-            "{:?},{},{:.3},{},{},{},{:.3},{},{},{},{},{},{},{}\n",
+            "{:?},{},{:.3},{},{},{},{:.3},{},{},{},{},{},{},{},{:.3},{:.3}\n",
             row.scenario,
             row.seed,
             row.baseline.mission_time,
@@ -194,6 +221,8 @@ pub fn fault_csv(rows: &[FaultSweepRow]) -> String {
             row.degraded.retries,
             row.degraded.degraded_decisions,
             row.degraded.safe_stops,
+            row.degraded.p99_latency,
+            row.degraded.max_latency,
         ));
     }
     out
@@ -227,6 +256,42 @@ pub fn telemetry_csv(telemetry: &MissionTelemetry) -> String {
         ],
         &rows,
     )
+}
+
+/// Latency-tail summary of one mission: the exact median, the
+/// histogram-derived p95/p99 (the shared [`roborun_geom::LogHistogram`]
+/// lattice) and the exact max, for both the end-to-end latency and the
+/// plan-ahead critical path — the overlap story told in tail form (with
+/// plan-ahead disabled the two columns coincide).
+pub fn latency_tail_table(telemetry: &MissionTelemetry) -> String {
+    use roborun_geom::{percentile, LogHistogram};
+    let end_to_end = telemetry.latency_histogram();
+    let critical: LogHistogram = telemetry.critical_path_latencies().into_iter().collect();
+    let critical_median = percentile(&telemetry.critical_path_latencies(), 0.5);
+    let cell = |v: Option<f64>| format!("{:.3}", v.unwrap_or(0.0));
+    let rows = vec![
+        vec![
+            "median (exact)".to_string(),
+            cell(telemetry.median_latency()),
+            cell(critical_median),
+        ],
+        vec![
+            "p95 (histogram)".to_string(),
+            cell(end_to_end.quantile(0.95)),
+            cell(critical.quantile(0.95)),
+        ],
+        vec![
+            "p99 (histogram)".to_string(),
+            cell(end_to_end.quantile(0.99)),
+            cell(critical.quantile(0.99)),
+        ],
+        vec![
+            "max (exact)".to_string(),
+            cell(end_to_end.max()),
+            cell(critical.max()),
+        ],
+    ];
+    format_table(&["latency (s)", "end-to-end", "critical path"], &rows)
 }
 
 /// Per-decision overlap series: end-to-end latency, critical-path latency

@@ -83,9 +83,7 @@ pub struct ServiceConfig {
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
-            shards: std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1),
+            shards: roborun_trace::host_cores(),
         }
     }
 }
@@ -327,6 +325,11 @@ impl MissionService {
 /// One shard: pop a work item, compute its row (capturing panics), post
 /// the completion, repeat until the shutdown sentinel.
 fn shard_loop(shared: &ServiceShared, shard: usize) {
+    // Every event this shard emits (row spans and the mission spans the
+    // rows produce) lands on its own deterministic track.
+    roborun_trace::collector::set_track(
+        roborun_trace::SHARD_TRACK_BASE + u32::try_from(shard).unwrap_or(u32::MAX - 1),
+    );
     loop {
         let item = {
             let mut queue = shared.queues[shard].lock().expect("shard queue poisoned");
@@ -344,8 +347,23 @@ fn shard_loop(shared: &ServiceShared, shard: usize) {
         let Some(WorkItem { request, row }) = item else {
             return;
         };
+        let row_timer = roborun_trace::timer();
         let outcome = match catch_unwind(AssertUnwindSafe(|| run_sweep_row(&request.config, row))) {
-            Ok(value) => RowOutcome::Done(Box::new(value)),
+            Ok(value) => {
+                if roborun_trace::armed() {
+                    // The row span covers the two missions' combined sim
+                    // time; the wall duration is the shard's real cost.
+                    roborun_trace::collector::complete(
+                        roborun_trace::SpanKind::ShardRow,
+                        0.0,
+                        value.oblivious.mission_time + value.aware.mission_time,
+                        roborun_trace::timer_ns(&row_timer),
+                        &[("shard", shard as f64), ("row", row as f64)],
+                    );
+                    roborun_trace::collector::flush();
+                }
+                RowOutcome::Done(Box::new(value))
+            }
             Err(payload) => {
                 let message = payload
                     .downcast_ref::<String>()

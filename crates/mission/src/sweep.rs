@@ -319,11 +319,7 @@ fn pooled_rows<R: Send>(
     row: impl Fn(usize) -> R + Sync,
 ) -> Vec<R> {
     let threads = threads
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        })
+        .unwrap_or_else(roborun_trace::host_cores)
         .clamp(1, n.max(1));
     if threads <= 1 || n <= 1 {
         return (0..n).map(row).collect();

@@ -80,6 +80,10 @@ pub struct PlanStats {
     pub collision_queries: usize,
     /// Whether the planning-volume monitor terminated the search.
     pub volume_capped: bool,
+    /// Tree edges re-parented through a cheaper node during the search.
+    pub rewires: usize,
+    /// Batched sampling rounds the search executed.
+    pub batch_rounds: usize,
 }
 
 /// The full planning stage: RRT* followed by smoothing.
@@ -198,6 +202,8 @@ impl Planner {
             explored_volume: result.explored_volume,
             collision_queries: checker.queries() - queries_before,
             volume_capped: result.volume_capped,
+            rewires: result.rewires,
+            batch_rounds: result.batch_rounds,
         };
         Ok((trajectory, stats))
     }

@@ -18,6 +18,7 @@
 //! | [`core`] | `roborun-core` | **the RoboRun runtime**: profilers, governor, solver, safety |
 //! | [`cognitive`] | `roborun-cognitive` | cognitive co-task model over the freed CPU headroom |
 //! | [`mission`] | `roborun-mission` | closed-loop mission runner, node-graph pipeline, sweeps |
+//! | [`trace`] | `roborun-trace` | zero-cost structured tracing, Perfetto export, span summaries |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use roborun_mission as mission;
 pub use roborun_perception as perception;
 pub use roborun_planning as planning;
 pub use roborun_sim as sim;
+pub use roborun_trace as trace;
 
 /// The most commonly used types, importable in one line.
 pub mod prelude {
