@@ -273,6 +273,16 @@ impl PointGridIndex {
         self.points[id as usize]
     }
 
+    /// Removes every point while keeping the bucket map's table allocation,
+    /// so a long-lived index (e.g. a planner scratch reused across replans)
+    /// re-fills without re-growing the hash table each time.
+    pub fn clear(&mut self) {
+        self.points.clear();
+        self.cells.clear();
+        self.key_min = VoxelKey { x: 0, y: 0, z: 0 };
+        self.key_max = VoxelKey { x: 0, y: 0, z: 0 };
+    }
+
     /// Inserts a point and returns its id (insertion index).
     pub fn insert(&mut self, p: Vec3) -> u32 {
         let id = u32::try_from(self.points.len()).expect("point index overflow");

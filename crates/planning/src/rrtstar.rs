@@ -50,6 +50,45 @@
 //! (the fresh patch-up uses the same metric and tie rules), so batched
 //! results are bit-identical to `batch_size = 1` — enforced by the
 //! batch-equivalence tests.
+//!
+//! # Warm-started replans: the rebase / prune / repair contract
+//!
+//! A replanning mission throws away a tree that is mostly still valid:
+//! between two decisions the map changes by a handful of *added* voxels
+//! (removed voxels only free space) and the start advances a few metres
+//! along the committed path. [`RrtConfig::warm_start`] (off by default)
+//! keeps the previous search tree alive in a caller-owned
+//! [`PlannerScratch`] and, on the next [`RrtStar::plan_with_scratch`]
+//! call with a [`WarmStart`] delta, recycles it in three steps:
+//!
+//! 1. **Rebase** — the retained node nearest the new start becomes the
+//!    anchor; if it sits within `2 × steer_length` and the start→anchor
+//!    edge is free under the *current* checker, the tree is re-rooted at
+//!    the new start. Otherwise the plan cold-starts (bit-identical to a
+//!    fresh search).
+//! 2. **Prune** — every retained edge is sampled at the caller's
+//!    collision step against the decision's *added* voxel boxes and the
+//!    retargeted hazard boxes (the same delta-validation contract as
+//!    `CollisionChecker::path_clear_of_added`); invalidated edges are
+//!    cut, and subtrees no longer connected to the new root are dropped
+//!    with them.
+//! 3. **Repair** — a traversal from the anchor over the surviving edges
+//!    reassigns parents and recomputes costs from the new root
+//!    (cascading cost repair for every orphan-adjacent subtree; later
+//!    rewiring restores asymptotic optimality incrementally).
+//!
+//! The search then continues with the normal sample budget; retained
+//! nodes within goal tolerance seed the best-solution bound immediately,
+//! so [`RrtConfig::informed_sampling`] and [`RrtConfig::refine_samples`]
+//! engage from sample zero. Interaction with plan-ahead snapshots: the
+//! mission layer records the export the retained tree was built against
+//! and hands this planner only the *delta* between that snapshot and the
+//! fresh export — exactly the speculation-validation contract — so a
+//! worker's speculative plans (which run against their own scratch,
+//! always cold) never share tree state with the synchronous path. With
+//! `warm_start` off — or with no usable anchor — nothing is reused and
+//! the RNG stream, collision-query stream and result bits are identical
+//! to the cold planner.
 
 use crate::hazard::HazardSource;
 use roborun_geom::{Aabb, PointGridIndex, SplitMix64, Vec3};
@@ -168,6 +207,31 @@ pub struct RrtConfig {
     /// docs), so this is a pure throughput knob for 16k+-sample
     /// searches.
     pub batch_size: usize,
+    /// Opt-in cross-plan tree recycling (see the module docs' rebase /
+    /// prune / repair contract). Only takes effect on
+    /// [`RrtStar::plan_with_scratch`] calls that pass a [`WarmStart`]
+    /// delta and a scratch holding a retained tree; off (the default) the
+    /// planner cold-starts every search, bit-identical to the pre-reuse
+    /// planner.
+    pub warm_start: bool,
+    /// Opt-in informed sampling: once a solution exists, non-goal draws
+    /// falling outside the prolate spheroid `|p−start| + |p−goal| ≤
+    /// c_best` are redrawn (bounded retries, so a spheroid thinner than
+    /// the proposal regions degrades gracefully to the plain mix). The
+    /// rejection *composes* with the [`SamplingMix`] regions — a kept
+    /// draw is one the mix proposed *and* the spheroid admits. Off by
+    /// default: rejection consumes extra RNG draws, so this is a
+    /// behaviour change wherever a solution is found before the budget
+    /// runs out.
+    pub informed_sampling: bool,
+    /// Opt-in anytime cutoff: stop the search this many samples after
+    /// the first solution is known (a warm-retained solution counts as
+    /// known at sample zero). `0` (the default) keeps the classic
+    /// run-to-budget behaviour. This is the knob that converts a
+    /// recycled tree into replan *latency*: a warm tree that still
+    /// reaches the goal pays only the refine budget instead of the full
+    /// `max_samples`.
+    pub refine_samples: usize,
     /// Random seed (explicit for reproducibility).
     pub seed: u64,
 }
@@ -184,6 +248,9 @@ impl Default for RrtConfig {
             shrinking_rewire: false,
             sampling_mix: SamplingMix::default(),
             batch_size: 1,
+            warm_start: false,
+            informed_sampling: false,
+            refine_samples: 0,
             seed: 1,
         }
     }
@@ -255,6 +322,19 @@ pub struct RrtResult {
     pub rewires: usize,
     /// Number of batched search rounds the sampler executed.
     pub batch_rounds: usize,
+    /// Nodes recycled from the previous plan's tree (including the new
+    /// root); zero on a cold start.
+    pub retained_nodes: usize,
+    /// Previous-tree nodes dropped by the warm-start prune (edges cut by
+    /// added voxels / hazards, plus subtrees disconnected from the new
+    /// root); zero on a cold start.
+    pub pruned_nodes: usize,
+    /// `true` when this search continued a recycled tree instead of
+    /// cold-starting.
+    pub rebased: bool,
+    /// Draws rejected by the informed-sampling spheroid (each costs one
+    /// extra RNG draw; zero with [`RrtConfig::informed_sampling`] off).
+    pub informed_rejections: usize,
 }
 
 impl RrtResult {
@@ -290,6 +370,18 @@ impl NodeArena {
             parents: Vec::with_capacity(capacity),
             costs: Vec::with_capacity(capacity),
         }
+    }
+
+    fn clear(&mut self) {
+        self.positions.clear();
+        self.parents.clear();
+        self.costs.clear();
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.positions.reserve(additional);
+        self.parents.reserve(additional);
+        self.costs.reserve(additional);
     }
 
     #[inline]
@@ -340,35 +432,44 @@ fn with_axis(v: Vec3, axis: usize, value: f64) -> Vec3 {
 const GAP_REGION_DEPTH: f64 = 6.0;
 
 /// Per-plan sampler state, derived once from the [`SamplingMix`] and the
-/// hazard source's bias boxes (see the module docs).
+/// hazard source's bias boxes (see the module docs). The gap-region boxes
+/// themselves live in the caller's scratch buffer (hoisted out of the
+/// per-plan allocation path) — [`Sampler::sample_target`] takes them as a
+/// slice.
 #[derive(Debug, Clone)]
 enum Sampler {
     /// The classic draw: `chance(goal_bias)` then `point_in_aabb(bounds)`
     /// — the exact RNG stream of the pre-mix planner.
     Uniform,
     /// The hazard-biased mix. Invariants: `goal_w > 0` implies
-    /// `goal_region` is real, `gap_w > 0` implies `gap_regions` is
-    /// non-empty. Regions are picked with equal probability — small
-    /// (tight-passage) regions deliberately get the same share of draws
-    /// as wide-open flanks (see the [`SamplingMix`] docs).
+    /// `goal_region` is real, `gap_w > 0` implies the caller's gap-region
+    /// buffer is non-empty. Regions are picked with equal probability —
+    /// small (tight-passage) regions deliberately get the same share of
+    /// draws as wide-open flanks (see the [`SamplingMix`] docs).
     Mix {
         goal_region: Aabb,
         goal_w: f64,
-        gap_regions: Vec<Aabb>,
         gap_w: f64,
     },
 }
 
 impl Sampler {
-    /// Builds the sampler for one plan. Falls back to [`Sampler::Uniform`]
-    /// when the mix is off, no hazard boxes are exposed, or no usable
-    /// region survives clipping — the fallback draws the identical RNG
-    /// stream to the pre-mix planner.
-    fn for_plan(mix: &SamplingMix, goal: Vec3, bounds: &Aabb, hazard_boxes: &[Aabb]) -> Sampler {
+    /// Builds the sampler for one plan, filling `gap_regions` (a reused
+    /// scratch buffer — cleared here) with the hazard flank boxes. Falls
+    /// back to [`Sampler::Uniform`] when the mix is off, no hazard boxes
+    /// are exposed, or no usable region survives clipping — the fallback
+    /// draws the identical RNG stream to the pre-mix planner.
+    fn for_plan(
+        mix: &SamplingMix,
+        goal: Vec3,
+        bounds: &Aabb,
+        hazard_boxes: &[Aabb],
+        gap_regions: &mut Vec<Aabb>,
+    ) -> Sampler {
+        gap_regions.clear();
         if !mix.enabled || hazard_boxes.is_empty() {
             return Sampler::Uniform;
         }
-        let mut gap_regions = Vec::new();
         for hazard in hazard_boxes {
             let Some(clip) = hazard.intersection(bounds) else {
                 continue;
@@ -421,18 +522,19 @@ impl Sampler {
         Sampler::Mix {
             goal_region: goal_region.unwrap_or(*bounds),
             goal_w,
-            gap_regions,
             gap_w,
         }
     }
 
-    /// Draws one expansion target.
+    /// Draws one expansion target. `gap_regions` is the buffer
+    /// [`Sampler::for_plan`] filled for this plan.
     fn sample_target(
         &self,
         rng: &mut SplitMix64,
         goal: Vec3,
         goal_bias: f64,
         bounds: &Aabb,
+        gap_regions: &[Aabb],
     ) -> Vec3 {
         match self {
             Sampler::Uniform => {
@@ -445,7 +547,6 @@ impl Sampler {
             Sampler::Mix {
                 goal_region,
                 goal_w,
-                gap_regions,
                 gap_w,
             } => {
                 if rng.chance(goal_bias) {
@@ -480,15 +581,238 @@ struct PlanParams {
 }
 
 impl PlanParams {
-    fn new(cfg: &RrtConfig, goal: Vec3, sampling_bounds: &Aabb, hazard_boxes: &[Aabb]) -> Self {
+    fn new(
+        cfg: &RrtConfig,
+        goal: Vec3,
+        sampling_bounds: &Aabb,
+        hazard_boxes: &[Aabb],
+        gap_regions: &mut Vec<Aabb>,
+    ) -> Self {
         let gamma = 2.0
             * ((1.0 + 1.0 / 3.0) * sampling_bounds.volume() / (4.0 * std::f64::consts::PI / 3.0))
                 .cbrt();
         PlanParams {
             gamma,
-            sampler: Sampler::for_plan(&cfg.sampling_mix, goal, sampling_bounds, hazard_boxes),
+            sampler: Sampler::for_plan(
+                &cfg.sampling_mix,
+                goal,
+                sampling_bounds,
+                hazard_boxes,
+                gap_regions,
+            ),
         }
     }
+}
+
+/// Rebase anchor radius as a multiple of the steer length: a retained
+/// node further than this from the new start cannot be trusted as the
+/// tree's new attachment point (the mission has drifted too far), so the
+/// plan cold-starts instead.
+const REBASE_RADIUS_FACTOR: f64 = 2.0;
+
+/// Bounded informed-sampling redraws per target. When the spheroid clips
+/// to (almost) nothing against the proposal regions, the last draw is
+/// accepted anyway — the graceful fallback to the plain mix.
+const INFORMED_MAX_REDRAWS: usize = 16;
+
+/// The decision delta a warm-started plan prunes the retained tree
+/// against — mirroring `CollisionChecker::path_clear_of_added`: only
+/// *added* voxels can invalidate a previously valid edge (removed voxels
+/// only free space), plus the retargeted hazard/peer boxes of the new
+/// decision.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmStart<'a> {
+    /// Voxel boxes added since the retained tree's snapshot.
+    pub added_boxes: &'a [Aabb],
+    /// Clearance for the added-box prune (the checker's margin, so a
+    /// pruned-clear edge is exactly one `segment_free` would accept).
+    pub added_clearance: f64,
+    /// The decision's retargeted predicted-hazard / peer-corridor boxes.
+    pub hazard_boxes: &'a [Aabb],
+    /// Clearance for the hazard-box prune (the hazard source's soft
+    /// standoff).
+    pub hazard_clearance: f64,
+    /// Edge sampling step (the planning-precision collision step).
+    pub sample_step: f64,
+}
+
+/// Caller-owned scratch for [`RrtStar::plan_with_scratch`]: every
+/// allocation the search needs — the node arena, the spatial index, the
+/// near-set / target / gap-region / linear-reference buffers, and the
+/// warm-start rebase workspace — lives here and is `clear()`-reused
+/// across plans, so a replanning mission allocates nothing per decision
+/// once the buffers reach steady-state capacity. With
+/// [`RrtConfig::warm_start`] on, the scratch additionally retains the
+/// previous search tree for recycling (see the module docs).
+#[derive(Debug, Clone)]
+pub struct PlannerScratch {
+    arena: NodeArena,
+    grid: PointGridIndex,
+    linear_points: Vec<Vec3>,
+    near_buf: Vec<u32>,
+    targets: Vec<Vec3>,
+    gap_regions: Vec<Aabb>,
+    /// `true` while `arena` holds a recyclable tree from the previous
+    /// indexed plan (with `grid` indexing exactly its positions).
+    has_tree: bool,
+    /// Incremented whenever a search rebuilds the retained tree — the
+    /// mission layer compares epochs to learn whether its map snapshot
+    /// must advance (a direct-connection shortcut leaves both untouched).
+    tree_epoch: u64,
+    /// Plans after which some scratch buffer had to grow its capacity —
+    /// zero in steady state, the bench's allocation-reuse headline.
+    grow_events: u64,
+    // Warm-start rebase workspace (all reused across replans).
+    spare: NodeArena,
+    edge_ok: Vec<bool>,
+    adj_off: Vec<u32>,
+    adj: Vec<u32>,
+    csr_cursor: Vec<u32>,
+    bfs_old_to_new: Vec<u32>,
+    bfs_queue: Vec<u32>,
+    warm_added: Vec<Aabb>,
+    warm_hazard: Vec<Aabb>,
+}
+
+impl Default for PlannerScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlannerScratch {
+    /// Creates an empty scratch. The spatial-index cell size is set (and
+    /// reset when the planner's rewire radius changes) per plan.
+    pub fn new() -> Self {
+        PlannerScratch {
+            arena: NodeArena::with_capacity(0),
+            grid: PointGridIndex::new(1.0),
+            linear_points: Vec::new(),
+            near_buf: Vec::new(),
+            targets: Vec::new(),
+            gap_regions: Vec::new(),
+            has_tree: false,
+            tree_epoch: 0,
+            grow_events: 0,
+            spare: NodeArena::with_capacity(0),
+            edge_ok: Vec::new(),
+            adj_off: Vec::new(),
+            adj: Vec::new(),
+            csr_cursor: Vec::new(),
+            bfs_old_to_new: Vec::new(),
+            bfs_queue: Vec::new(),
+            warm_added: Vec::new(),
+            warm_hazard: Vec::new(),
+        }
+    }
+
+    /// Epoch counter of the retained tree: bumped by every search that
+    /// rebuilt the arena (cold or warm), untouched by direct-connection
+    /// shortcuts. The mission layer uses this to decide whether its
+    /// warm-start map snapshot must advance.
+    pub fn tree_epoch(&self) -> u64 {
+        self.tree_epoch
+    }
+
+    /// Plans after which some scratch buffer had to grow (zero once the
+    /// buffers reach steady-state capacity).
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    /// Number of nodes in the retained tree, or zero when no recyclable
+    /// tree is held.
+    pub fn retained_tree_size(&self) -> usize {
+        if self.has_tree {
+            self.arena.len()
+        } else {
+            0
+        }
+    }
+
+    /// Drops the retained tree (the next warm-start attempt cold-starts).
+    /// Buffers keep their capacity. Call when the map snapshot the tree
+    /// was validated against is no longer available (e.g. the export
+    /// voxel size changed, so no key-level delta exists).
+    pub fn invalidate_tree(&mut self) {
+        self.has_tree = false;
+    }
+
+    /// Recreates the spatial index when the cell size changed (which
+    /// orphans any retained tree — ids would still match, but a stale
+    /// cell size would silently degrade query performance).
+    fn ensure_cell(&mut self, cell: f64) {
+        if (self.grid.cell_size() - cell).abs() > 1e-12 {
+            self.grid = PointGridIndex::new(cell);
+            self.has_tree = false;
+        }
+    }
+
+    /// Resets the arena and the active neighbor store for a cold search
+    /// rooted at `start`.
+    fn cold_reset(&mut self, start: Vec3, capacity: usize, linear: bool) {
+        self.arena.clear();
+        self.arena.reserve(capacity);
+        self.arena.push(start, NO_PARENT, 0.0);
+        if linear {
+            self.linear_points.clear();
+            self.linear_points.push(start);
+        } else {
+            self.grid.clear();
+            self.grid.insert(start);
+        }
+    }
+
+    /// Total buffer capacity (in elements) — compared across a plan to
+    /// count growth events, and reported by the allocation benches.
+    pub fn footprint(&self) -> usize {
+        self.arena.positions.capacity()
+            + self.spare.positions.capacity()
+            + self.near_buf.capacity()
+            + self.targets.capacity()
+            + self.gap_regions.capacity()
+            + self.linear_points.capacity()
+            + self.adj.capacity()
+            + self.bfs_queue.capacity()
+            + self.warm_added.capacity()
+            + self.warm_hazard.capacity()
+    }
+}
+
+/// `true` when the segment `a → b` stays clear of every warm-start delta
+/// box at its clearance — the edge-level mirror of
+/// `CollisionChecker::path_clear_of_added` (same stepping rule).
+fn edge_clear(a: Vec3, b: Vec3, warm: &WarmStart) -> bool {
+    if warm.added_boxes.is_empty() && warm.hazard_boxes.is_empty() {
+        return true;
+    }
+    let step = warm.sample_step.max(1e-3);
+    let steps = (a.distance(b) / step).ceil().max(1.0) as usize;
+    for i in 0..=steps {
+        let t = i as f64 / steps as f64;
+        let p = a + (b - a) * t;
+        for bx in warm.added_boxes {
+            if bx.distance_to_point(p) <= warm.added_clearance {
+                return false;
+            }
+        }
+        for bx in warm.hazard_boxes {
+            if bx.distance_to_point(p) <= warm.hazard_clearance {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Search-loop seed state: what a cold start or a successful rebase hands
+/// the sampling loop.
+struct SearchSeed {
+    explored: Aabb,
+    best_goal_node: Option<u32>,
+    retained_nodes: usize,
+    pruned_nodes: usize,
+    rebased: bool,
 }
 
 /// The RRT* planner.
@@ -539,13 +863,27 @@ impl RrtStar {
         goal: Vec3,
         sampling_bounds: &Aabb,
     ) -> RrtResult {
-        // Cells at the rewire radius: a near() query touches at most 3^3
-        // cells, and nearest() usually terminates in the first ring.
-        let cell = self.config.rewire_radius.max(1e-3);
-        let mut neighbors = GridNeighbors {
-            index: PointGridIndex::new(cell),
-        };
-        self.plan_with(checker, start, goal, sampling_bounds, &mut neighbors)
+        let mut scratch = PlannerScratch::new();
+        self.plan_with_scratch(checker, start, goal, sampling_bounds, &mut scratch, None)
+    }
+
+    /// [`RrtStar::plan`] against a caller-owned [`PlannerScratch`]: all
+    /// search buffers are reused across calls (zero steady-state
+    /// allocation), and with [`RrtConfig::warm_start`] on plus a
+    /// [`WarmStart`] delta, the previous tree is recycled per the module
+    /// docs' rebase / prune / repair contract. With `warm` `None` (or
+    /// `warm_start` off, or no usable anchor) the search cold-starts,
+    /// bit-identical to [`RrtStar::plan`].
+    pub fn plan_with_scratch<H: HazardSource>(
+        &self,
+        checker: &mut H,
+        start: Vec3,
+        goal: Vec3,
+        sampling_bounds: &Aabb,
+        scratch: &mut PlannerScratch,
+        warm: Option<&WarmStart>,
+    ) -> RrtResult {
+        self.plan_impl(checker, start, goal, sampling_bounds, scratch, warm, false)
     }
 
     /// The retained linear-scan reference: the same search with O(n)
@@ -558,32 +896,39 @@ impl RrtStar {
         goal: Vec3,
         sampling_bounds: &Aabb,
     ) -> RrtResult {
-        let mut neighbors = LinearNeighbors { points: Vec::new() };
-        self.plan_with(checker, start, goal, sampling_bounds, &mut neighbors)
+        let mut scratch = PlannerScratch::new();
+        self.plan_impl(
+            checker,
+            start,
+            goal,
+            sampling_bounds,
+            &mut scratch,
+            None,
+            true,
+        )
     }
 
-    fn plan_with<N: NeighborSearch, H: HazardSource>(
+    /// Shared entry: direct-connection shortcut, then warm rebase or cold
+    /// reset, then the generic search loop over the scratch buffers.
+    /// Linear mode is the equivalence-reference path; it never recycles a
+    /// tree (and marks the scratch's tree unusable, since the grid no
+    /// longer mirrors the arena).
+    #[allow(clippy::too_many_arguments)]
+    fn plan_impl<H: HazardSource>(
         &self,
         checker: &mut H,
         start: Vec3,
         goal: Vec3,
         sampling_bounds: &Aabb,
-        neighbors: &mut N,
+        scratch: &mut PlannerScratch,
+        warm: Option<&WarmStart>,
+        linear: bool,
     ) -> RrtResult {
         let cfg = &self.config;
-        let mut rng = SplitMix64::new(cfg.seed);
-        let mut arena = NodeArena::with_capacity(cfg.max_samples + 1);
-        arena.push(start, NO_PARENT, 0.0);
-        neighbors.insert(start);
-        let mut explored = Aabb::new(start, start);
-        let mut best_goal_node: Option<u32> = None;
-        let mut samples_drawn = 0usize;
-        let mut volume_capped = false;
-        let mut rewires = 0usize;
-        let mut batch_rounds = 0usize;
 
-        // Direct connection shortcut: open sky missions should not pay for
-        // tree growth at all.
+        // Direct connection shortcut: open sky missions should not pay
+        // for tree growth at all. Any retained tree (and its snapshot
+        // epoch) stays untouched — deltas keep accumulating against it.
         if checker.segment_free(start, goal) {
             return RrtResult {
                 path: vec![start, goal],
@@ -594,16 +939,368 @@ impl RrtStar {
                 volume_capped: false,
                 rewires: 0,
                 batch_rounds: 0,
+                retained_nodes: 0,
+                pruned_nodes: 0,
+                rebased: false,
+                informed_rejections: 0,
             };
         }
 
-        let params = PlanParams::new(cfg, goal, sampling_bounds, checker.bias_boxes());
+        let footprint_before = scratch.footprint();
+        if !linear {
+            // Cells at the rewire radius: a near() query touches at most
+            // 3^3 cells, and nearest() usually terminates in the first
+            // ring.
+            scratch.ensure_cell(cfg.rewire_radius.max(1e-3));
+        }
+        let seed = match warm {
+            Some(w) if cfg.warm_start && scratch.has_tree && !linear => {
+                self.rebase(checker, start, goal, w, scratch)
+            }
+            _ => None,
+        };
+        let seed = seed.unwrap_or_else(|| {
+            scratch.cold_reset(start, cfg.max_samples + 1, linear);
+            SearchSeed {
+                explored: Aabb::new(start, start),
+                best_goal_node: None,
+                retained_nodes: 0,
+                pruned_nodes: 0,
+                rebased: false,
+            }
+        });
+        let PlannerScratch {
+            arena,
+            grid,
+            linear_points,
+            near_buf,
+            targets,
+            gap_regions,
+            ..
+        } = scratch;
+        let params = PlanParams::new(
+            cfg,
+            goal,
+            sampling_bounds,
+            checker.bias_boxes(),
+            gap_regions,
+        );
+        let result = if linear {
+            let mut neighbors = LinearNeighbors {
+                points: linear_points,
+            };
+            self.search(
+                checker,
+                start,
+                goal,
+                sampling_bounds,
+                &mut neighbors,
+                arena,
+                near_buf,
+                targets,
+                gap_regions,
+                &params,
+                seed,
+            )
+        } else {
+            let mut neighbors = GridNeighbors { index: grid };
+            self.search(
+                checker,
+                start,
+                goal,
+                sampling_bounds,
+                &mut neighbors,
+                arena,
+                near_buf,
+                targets,
+                gap_regions,
+                &params,
+                seed,
+            )
+        };
+        scratch.has_tree = !linear;
+        scratch.tree_epoch = scratch.tree_epoch.wrapping_add(1);
+        if scratch.footprint() > footprint_before {
+            scratch.grow_events += 1;
+        }
+        result
+    }
+
+    /// Warm-start rebase: re-roots the retained tree at the new start,
+    /// prunes edges invalidated by the [`WarmStart`] delta, and repairs
+    /// costs from the new root (see the module docs). Returns `None` —
+    /// meaning cold-start — when no retained node lies within the rebase
+    /// radius of the new start or the start→anchor edge is blocked under
+    /// the current checker.
+    fn rebase<H: HazardSource>(
+        &self,
+        checker: &mut H,
+        start: Vec3,
+        goal: Vec3,
+        warm: &WarmStart,
+        scratch: &mut PlannerScratch,
+    ) -> Option<SearchSeed> {
+        let cfg = &self.config;
+        let anchor = scratch.grid.nearest(start)?;
+        let anchor_pos = scratch.arena.position(anchor);
+        let anchor_dist = anchor_pos.distance(start);
+        if anchor_dist > cfg.steer_length * REBASE_RADIUS_FACTOR {
+            return None;
+        }
+        if anchor_dist > 1e-12 && !checker.segment_free(start, anchor_pos) {
+            return None;
+        }
+        let old_len = scratch.arena.len();
+
+        // 0. Bounding-volume prefilter: every edge point lies inside the
+        // tree's AABB (edges connect tree nodes, and an AABB is convex),
+        // so a delta/hazard box farther than its clearance from that AABB
+        // can never cut an edge. Mission deltas are whatever the cameras
+        // swept this epoch — most of it far from the tree — so this turns
+        // the O(edges × boxes) prune into O(edges × nearby boxes).
+        let mut tree_lo = start;
+        let mut tree_hi = start;
+        for id in 0..old_len as u32 {
+            let p = scratch.arena.position(id);
+            tree_lo = tree_lo.min(p);
+            tree_hi = tree_hi.max(p);
+        }
+        let inflate = |pad: f64| {
+            let pad = Vec3::new(pad, pad, pad);
+            Aabb::new(tree_lo - pad, tree_hi + pad)
+        };
+        let mut warm_added = std::mem::take(&mut scratch.warm_added);
+        let mut warm_hazard = std::mem::take(&mut scratch.warm_hazard);
+        warm_added.clear();
+        warm_hazard.clear();
+        let added_reach = inflate(warm.added_clearance);
+        warm_added.extend(
+            warm.added_boxes
+                .iter()
+                .filter(|b| b.intersects(&added_reach)),
+        );
+        let hazard_reach = inflate(warm.hazard_clearance);
+        warm_hazard.extend(
+            warm.hazard_boxes
+                .iter()
+                .filter(|b| b.intersects(&hazard_reach)),
+        );
+        let near = WarmStart {
+            added_boxes: &warm_added,
+            hazard_boxes: &warm_hazard,
+            ..*warm
+        };
+
+        let PlannerScratch {
+            arena,
+            grid,
+            spare,
+            edge_ok,
+            adj_off,
+            adj,
+            csr_cursor,
+            bfs_old_to_new,
+            bfs_queue,
+            ..
+        } = scratch;
+
+        // 1. Edge validity under the decision delta (the prune step).
+        edge_ok.clear();
+        edge_ok.resize(old_len, false);
+        for id in 0..old_len as u32 {
+            if let Some(p) = arena.parent(id) {
+                edge_ok[id as usize] = edge_clear(arena.position(p), arena.position(id), &near);
+            }
+        }
+
+        // 2. CSR adjacency over the surviving edges, undirected — the
+        // re-rooting traversal below must walk parent links *backwards*
+        // (segment validity is symmetric, so a reversed edge is as good
+        // as a forward one).
+        adj_off.clear();
+        adj_off.resize(old_len + 1, 0);
+        for id in 0..old_len {
+            if edge_ok[id] {
+                let p = arena.parents[id] as usize;
+                adj_off[id] += 1;
+                adj_off[p] += 1;
+            }
+        }
+        let mut running = 0u32;
+        for slot in adj_off.iter_mut() {
+            let count = *slot;
+            *slot = running;
+            running += count;
+        }
+        csr_cursor.clear();
+        csr_cursor.extend_from_slice(&adj_off[..old_len]);
+        adj.clear();
+        adj.resize(running as usize, 0);
+        for id in 0..old_len {
+            if edge_ok[id] {
+                let p = arena.parents[id] as usize;
+                adj[csr_cursor[id] as usize] = p as u32;
+                csr_cursor[id] += 1;
+                adj[csr_cursor[p] as usize] = id as u32;
+                csr_cursor[p] += 1;
+            }
+        }
+
+        // 3. Re-root + cost repair: one traversal from the anchor over
+        // the surviving edges assigns each reached node its path cost
+        // from the new root; unreached nodes (cut edges, orphaned
+        // subtrees) are dropped.
+        spare.clear();
+        spare.reserve(old_len + 1 + cfg.max_samples);
+        spare.push(start, NO_PARENT, 0.0);
+        bfs_old_to_new.clear();
+        bfs_old_to_new.resize(old_len, u32::MAX);
+        let anchor_new = spare.push(anchor_pos, 0, anchor_dist);
+        bfs_old_to_new[anchor as usize] = anchor_new;
+        bfs_queue.clear();
+        bfs_queue.push(anchor);
+        let mut head = 0usize;
+        while head < bfs_queue.len() {
+            let cur = bfs_queue[head] as usize;
+            head += 1;
+            let cur_new = bfs_old_to_new[cur];
+            let cur_pos = spare.position(cur_new);
+            let cur_cost = spare.cost(cur_new);
+            for k in adj_off[cur]..adj_off[cur + 1] {
+                let nb = adj[k as usize];
+                if bfs_old_to_new[nb as usize] != u32::MAX {
+                    continue;
+                }
+                let pos = arena.position(nb);
+                let id = spare.push(pos, cur_new, cur_cost + cur_pos.distance(pos));
+                bfs_old_to_new[nb as usize] = id;
+                bfs_queue.push(nb);
+            }
+        }
+        std::mem::swap(arena, spare);
+
+        // 4. Rebuild the spatial index over the rebased tree and rescan
+        // for a retained goal connection (tolerance rule only — the
+        // steer-and-check rule needs collision queries, which the search
+        // loop will spend where they pay off).
+        grid.clear();
+        let mut explored = Aabb::new(start, start);
+        let mut best_goal_node: Option<u32> = None;
+        let mut best_total = f64::INFINITY;
+        for id in 0..arena.len() as u32 {
+            let pos = arena.position(id);
+            grid.insert(pos);
+            explored = Aabb::union(&explored, &Aabb::new(pos, pos));
+            let d = pos.distance(goal);
+            if d <= cfg.goal_tolerance {
+                let total = arena.cost(id) + d;
+                if total < best_total {
+                    best_total = total;
+                    best_goal_node = Some(id);
+                }
+            }
+        }
+        let retained = arena.len();
+        scratch.warm_added = warm_added;
+        scratch.warm_hazard = warm_hazard;
+        Some(SearchSeed {
+            explored,
+            best_goal_node,
+            retained_nodes: retained,
+            // Old nodes dropped: the rebased tree re-uses `retained - 1`
+            // of the `old_len` previous nodes (the new root is new).
+            pruned_nodes: old_len + 1 - retained,
+            rebased: true,
+        })
+    }
+
+    /// One informed-aware target draw: the mix proposal, redrawn while it
+    /// falls outside the best-solution spheroid (bounded retries — see
+    /// [`INFORMED_MAX_REDRAWS`]). `informed` is `None` when the filter is
+    /// inactive, keeping the draw bit-identical to the plain mix.
+    #[allow(clippy::too_many_arguments)]
+    fn draw_target(
+        sampler: &Sampler,
+        rng: &mut SplitMix64,
+        start: Vec3,
+        goal: Vec3,
+        goal_bias: f64,
+        bounds: &Aabb,
+        gap_regions: &[Aabb],
+        informed: Option<f64>,
+        rejections: &mut usize,
+    ) -> Vec3 {
+        let mut t = sampler.sample_target(rng, goal, goal_bias, bounds, gap_regions);
+        let Some(c_best) = informed else {
+            return t;
+        };
+        for _ in 0..INFORMED_MAX_REDRAWS {
+            if start.distance(t) + t.distance(goal) <= c_best {
+                return t;
+            }
+            *rejections += 1;
+            t = sampler.sample_target(rng, goal, goal_bias, bounds, gap_regions);
+        }
+        t
+    }
+
+    /// The generic search loop (grid-indexed and linear-reference paths
+    /// share it bit-identically), continuing from `seed` — a cold root or
+    /// a rebased warm tree.
+    #[allow(clippy::too_many_arguments)]
+    fn search<N: NeighborSearch, H: HazardSource>(
+        &self,
+        checker: &mut H,
+        start: Vec3,
+        goal: Vec3,
+        sampling_bounds: &Aabb,
+        neighbors: &mut N,
+        arena: &mut NodeArena,
+        near_buf: &mut Vec<u32>,
+        targets: &mut Vec<Vec3>,
+        gap_regions: &[Aabb],
+        params: &PlanParams,
+        seed: SearchSeed,
+    ) -> RrtResult {
+        let cfg = &self.config;
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut explored = seed.explored;
+        let mut best_goal_node = seed.best_goal_node;
+        // A warm-retained solution counts as known at sample zero, so the
+        // refine budget and the informed filter engage immediately.
+        let mut solution_at: Option<usize> = best_goal_node.map(|_| 0);
+        let mut samples_drawn = 0usize;
+        let mut volume_capped = false;
+        let mut rewires = 0usize;
+        let mut batch_rounds = 0usize;
+        let mut informed_rejections = 0usize;
+        let c_min = start.distance(goal);
+
         let batch = cfg.batch_size.max(1);
-        let mut targets: Vec<Vec3> = Vec::with_capacity(batch);
-        let mut near_buf: Vec<u32> = Vec::new();
 
         'search: while samples_drawn < cfg.max_samples {
+            // Refine budget: once a solution exists, spend at most
+            // `refine_samples` further samples polishing it (0 = search
+            // the full budget, the pre-PR-10 behavior).
+            if cfg.refine_samples > 0 {
+                if let Some(at) = solution_at {
+                    if samples_drawn.saturating_sub(at) >= cfg.refine_samples {
+                        break 'search;
+                    }
+                }
+            }
             batch_rounds += 1;
+            // Informed set for this round: the prolate spheroid of the
+            // *current* best solution (foci start/goal, major axis the
+            // best cost). Inactive until a solution exists or when the
+            // spheroid has no slack over the straight-line distance.
+            let informed = if cfg.informed_sampling {
+                best_goal_node
+                    .map(|idx| arena.cost(idx) + arena.position(idx).distance(goal))
+                    .filter(|c| *c > c_min + 1e-9)
+            } else {
+                None
+            };
             // Pre-draw this round's targets. Targets are the only
             // per-sample RNG consumption, so drawing K up front consumes
             // the identical stream the per-sample loop would (targets
@@ -612,11 +1309,16 @@ impl RrtStar {
             let take = batch.min(cfg.max_samples - samples_drawn);
             targets.clear();
             for _ in 0..take {
-                targets.push(params.sampler.sample_target(
+                targets.push(Self::draw_target(
+                    &params.sampler,
                     &mut rng,
+                    start,
                     goal,
                     cfg.goal_bias,
                     sampling_bounds,
+                    gap_regions,
+                    informed,
+                    &mut informed_rejections,
                 ));
             }
             // Nodes appended during this round are not yet in the
@@ -654,7 +1356,7 @@ impl RrtStar {
                 // predicate, appended in id order (fresh ids are
                 // higher), matching the full-scan ordering.
                 let radius = self.rewire_radius_for(arena.len(), params.gamma);
-                neighbors.near_into(new_pos, radius, &mut near_buf);
+                neighbors.near_into(new_pos, radius, near_buf);
                 for id in fresh_from..arena.len() as u32 {
                     if arena.position(id).distance(new_pos) <= radius {
                         near_buf.push(id);
@@ -662,7 +1364,7 @@ impl RrtStar {
                 }
                 let mut best_parent = nearest_idx;
                 let mut best_cost = arena.cost(nearest_idx) + nearest_pos.distance(new_pos);
-                for &n in &near_buf {
+                for &n in near_buf.iter() {
                     let candidate_cost = arena.cost(n) + arena.position(n).distance(new_pos);
                     if candidate_cost < best_cost
                         && checker.segment_free(arena.position(n), new_pos)
@@ -675,7 +1377,7 @@ impl RrtStar {
                 explored = Aabb::union(&explored, &Aabb::new(new_pos, new_pos));
 
                 // Rewire neighbours through the new node when cheaper.
-                for &n in &near_buf {
+                for &n in near_buf.iter() {
                     let through_new = best_cost + new_pos.distance(arena.position(n));
                     if through_new + 1e-9 < arena.cost(n)
                         && checker.segment_free(new_pos, arena.position(n))
@@ -700,6 +1402,9 @@ impl RrtStar {
                     };
                     if better {
                         best_goal_node = Some(new_idx);
+                        if solution_at.is_none() {
+                            solution_at = Some(samples_drawn);
+                        }
                     }
                 }
             }
@@ -729,6 +1434,10 @@ impl RrtStar {
                     volume_capped,
                     rewires,
                     batch_rounds,
+                    retained_nodes: seed.retained_nodes,
+                    pruned_nodes: seed.pruned_nodes,
+                    rebased: seed.rebased,
+                    informed_rejections,
                 }
             }
             None => RrtResult {
@@ -740,6 +1449,10 @@ impl RrtStar {
                 volume_capped,
                 rewires,
                 batch_rounds,
+                retained_nodes: seed.retained_nodes,
+                pruned_nodes: seed.pruned_nodes,
+                rebased: seed.rebased,
+                informed_rejections,
             },
         }
     }
@@ -758,12 +1471,13 @@ trait NeighborSearch {
     fn near_into(&self, p: Vec3, radius: f64, out: &mut Vec<u32>);
 }
 
-/// Grid-accelerated neighbor queries (the default).
-struct GridNeighbors {
-    index: PointGridIndex,
+/// Grid-accelerated neighbor queries (the default). Borrows the
+/// scratch-owned index so warm starts can retain it across plans.
+struct GridNeighbors<'a> {
+    index: &'a mut PointGridIndex,
 }
 
-impl NeighborSearch for GridNeighbors {
+impl NeighborSearch for GridNeighbors<'_> {
     fn insert(&mut self, p: Vec3) {
         self.index.insert(p);
     }
@@ -777,12 +1491,13 @@ impl NeighborSearch for GridNeighbors {
     }
 }
 
-/// Linear-scan neighbor queries (the retained reference).
-struct LinearNeighbors {
-    points: Vec<Vec3>,
+/// Linear-scan neighbor queries (the retained reference). Borrows the
+/// scratch polyline buffer; reused (cleared) across calls.
+struct LinearNeighbors<'a> {
+    points: &'a mut Vec<Vec3>,
 }
 
-impl NeighborSearch for LinearNeighbors {
+impl NeighborSearch for LinearNeighbors<'_> {
     fn insert(&mut self, p: Vec3) {
         self.points.push(p);
     }
@@ -1224,5 +1939,319 @@ mod tests {
             assert_eq!(a, b, "seed {seed}");
             assert_eq!(c1.queries(), c2.queries(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn warm_start_defaults_off_and_scratch_reuse_is_bit_identical() {
+        let cfg = RrtConfig::default();
+        assert!(!cfg.warm_start);
+        assert!(!cfg.informed_sampling);
+        assert_eq!(cfg.refine_samples, 0);
+
+        let planner = RrtStar::new(RrtConfig {
+            seed: 9,
+            ..RrtConfig::default()
+        });
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        let mut c1 = wall_with_gap_checker();
+        let fresh = planner.plan(&mut c1, start, goal, &corridor_bounds());
+
+        // Reused scratch (after a prior unrelated plan) must not perturb
+        // the stream; and a WarmStart handed in with `warm_start` off is
+        // ignored.
+        let mut scratch = PlannerScratch::new();
+        let mut c0 = wall_with_gap_checker();
+        let _ = planner.plan_with_scratch(
+            &mut c0,
+            Vec3::new(2.0, -3.0, 5.0),
+            goal,
+            &corridor_bounds(),
+            &mut scratch,
+            None,
+        );
+        let warm = WarmStart {
+            added_boxes: &[],
+            added_clearance: 0.45,
+            hazard_boxes: &[],
+            hazard_clearance: 0.27,
+            sample_step: 0.5,
+        };
+        let mut c2 = wall_with_gap_checker();
+        let reused = planner.plan_with_scratch(
+            &mut c2,
+            start,
+            goal,
+            &corridor_bounds(),
+            &mut scratch,
+            Some(&warm),
+        );
+        assert_eq!(fresh, reused);
+        assert_eq!(c1.queries(), c2.queries());
+        assert!(!reused.rebased);
+        assert_eq!(reused.retained_nodes, 0);
+    }
+
+    fn warm_planner(seed: u64) -> RrtStar {
+        RrtStar::new(RrtConfig {
+            seed,
+            warm_start: true,
+            informed_sampling: true,
+            refine_samples: 128,
+            ..RrtConfig::default()
+        })
+    }
+
+    #[test]
+    fn warm_start_empty_delta_retains_full_tree() {
+        let planner = warm_planner(3);
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        let mut checker = wall_with_gap_checker();
+        let mut scratch = PlannerScratch::new();
+        let cold = planner.plan_with_scratch(
+            &mut checker,
+            start,
+            goal,
+            &corridor_bounds(),
+            &mut scratch,
+            None,
+        );
+        assert!(cold.found());
+        assert!(!cold.rebased);
+        let epoch_cold = scratch.tree_epoch();
+
+        let warm = WarmStart {
+            added_boxes: &[],
+            added_clearance: 0.45,
+            hazard_boxes: &[],
+            hazard_clearance: 0.27,
+            sample_step: 0.5,
+        };
+        let rewarmed = planner.plan_with_scratch(
+            &mut checker,
+            start,
+            goal,
+            &corridor_bounds(),
+            &mut scratch,
+            Some(&warm),
+        );
+        assert!(rewarmed.found());
+        assert!(rewarmed.rebased);
+        // Nothing to prune: every previous node (plus the new root) is
+        // retained.
+        assert_eq!(rewarmed.pruned_nodes, 0);
+        assert_eq!(rewarmed.retained_nodes, cold.tree_size + 1);
+        assert!(scratch.tree_epoch() > epoch_cold);
+
+        // Invariants of the rebased tree itself, before any search mixes
+        // in fresh nodes (the search's lazy rewires legitimately leave
+        // descendant costs stale, so check straight after `rebase`).
+        let seed = planner
+            .rebase(&mut checker, start, goal, &warm, &mut scratch)
+            .expect("empty delta must rebase");
+        assert!(seed.rebased);
+        assert_eq!(seed.pruned_nodes, 0);
+        assert_arena_costs_consistent(&scratch.arena);
+        let mut verify = wall_with_gap_checker();
+        for id in 0..scratch.arena.len() as u32 {
+            if let Some(p) = scratch.arena.parent(id) {
+                assert!(
+                    verify.segment_free(scratch.arena.position(p), scratch.arena.position(id)),
+                    "edge {p}->{id} collides after rebase"
+                );
+            }
+        }
+    }
+
+    fn assert_arena_costs_consistent(arena: &NodeArena) {
+        for id in 0..arena.len() as u32 {
+            match arena.parent(id) {
+                None => assert_eq!(arena.cost(id), 0.0, "root cost"),
+                Some(p) => {
+                    let expect = arena.cost(p) + arena.position(p).distance(arena.position(id));
+                    assert!(
+                        (arena.cost(id) - expect).abs() < 1e-9,
+                        "cost of node {id} inconsistent with parent {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_cold_starts_when_anchor_out_of_range() {
+        let planner = warm_planner(5);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        let mut checker = wall_with_gap_checker();
+        let mut scratch = PlannerScratch::new();
+        let _ = planner.plan_with_scratch(
+            &mut checker,
+            Vec3::new(0.0, 0.0, 5.0),
+            goal,
+            &corridor_bounds(),
+            &mut scratch,
+            None,
+        );
+        // Teleport far outside the explored tree: no retained node within
+        // the rebase radius, so the plan must cold-start (and say so).
+        let warm = WarmStart {
+            added_boxes: &[],
+            added_clearance: 0.45,
+            hazard_boxes: &[],
+            hazard_clearance: 0.27,
+            sample_step: 0.5,
+        };
+        let far = Vec3::new(-200.0, 0.0, 5.0);
+        let result = planner.plan_with_scratch(
+            &mut checker,
+            far,
+            goal,
+            &corridor_bounds(),
+            &mut scratch,
+            Some(&warm),
+        );
+        assert!(!result.rebased);
+        assert_eq!(result.retained_nodes, 0);
+    }
+
+    #[test]
+    fn warm_start_prunes_edges_cut_by_added_boxes() {
+        let planner = warm_planner(7);
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        let mut checker = wall_with_gap_checker();
+        let mut scratch = PlannerScratch::new();
+        let cold = planner.plan_with_scratch(
+            &mut checker,
+            start,
+            goal,
+            &corridor_bounds(),
+            &mut scratch,
+            None,
+        );
+        assert!(cold.found());
+        // Slam a fat box over the old gap: edges through it must go.
+        let blocker = Aabb::new(Vec3::new(18.0, 4.0, 0.0), Vec3::new(22.0, 12.0, 12.0));
+        let warm = WarmStart {
+            added_boxes: std::slice::from_ref(&blocker),
+            added_clearance: 0.45,
+            hazard_boxes: &[],
+            hazard_clearance: 0.27,
+            sample_step: 0.5,
+        };
+        // Rebase directly (no search afterwards) so the retained tree can
+        // be inspected: pruning must have bitten, every surviving edge
+        // must clear the added box, and repaired costs must be exact.
+        let seed = planner
+            .rebase(&mut checker, start, goal, &warm, &mut scratch)
+            .expect("anchor at the unchanged start must be usable");
+        assert!(seed.rebased);
+        assert!(seed.pruned_nodes > 0, "blocked edges must be pruned");
+        assert_arena_costs_consistent(&scratch.arena);
+        for id in 0..scratch.arena.len() as u32 {
+            if let Some(p) = scratch.arena.parent(id) {
+                assert!(
+                    edge_clear(scratch.arena.position(p), scratch.arena.position(id), &warm),
+                    "retained edge {p}->{id} intersects an added box"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refine_budget_stops_search_after_first_solution() {
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        let full = RrtStar::new(RrtConfig {
+            seed: 3,
+            max_samples: 4000,
+            ..RrtConfig::default()
+        });
+        let refined = RrtStar::new(RrtConfig {
+            seed: 3,
+            max_samples: 4000,
+            refine_samples: 64,
+            ..RrtConfig::default()
+        });
+        let mut c1 = wall_with_gap_checker();
+        let mut c2 = wall_with_gap_checker();
+        let a = full.plan(&mut c1, start, goal, &corridor_bounds());
+        let b = refined.plan(&mut c2, start, goal, &corridor_bounds());
+        assert!(a.found() && b.found());
+        assert!(
+            b.samples_drawn < a.samples_drawn,
+            "refine budget should stop early ({} vs {})",
+            b.samples_drawn,
+            a.samples_drawn
+        );
+    }
+
+    #[test]
+    fn informed_sampling_rejects_outside_spheroid_only_after_solution() {
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        let planner = RrtStar::new(RrtConfig {
+            seed: 3,
+            informed_sampling: true,
+            ..RrtConfig::default()
+        });
+        let mut checker = wall_with_gap_checker();
+        let result = planner.plan(&mut checker, start, goal, &corridor_bounds());
+        assert!(result.found());
+        assert!(
+            result.informed_rejections > 0,
+            "late-phase draws should hit the spheroid filter"
+        );
+        // And with the flag off the counter stays zero.
+        let off = RrtStar::new(RrtConfig {
+            seed: 3,
+            ..RrtConfig::default()
+        });
+        let mut c2 = wall_with_gap_checker();
+        assert_eq!(
+            off.plan(&mut c2, start, goal, &corridor_bounds())
+                .informed_rejections,
+            0
+        );
+    }
+
+    #[test]
+    fn scratch_reaches_steady_state_allocation() {
+        let planner = RrtStar::new(RrtConfig {
+            seed: 11,
+            ..RrtConfig::default()
+        });
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(40.0, 0.0, 5.0);
+        let mut scratch = PlannerScratch::new();
+        for _ in 0..2 {
+            let mut checker = wall_with_gap_checker();
+            let _ = planner.plan_with_scratch(
+                &mut checker,
+                start,
+                goal,
+                &corridor_bounds(),
+                &mut scratch,
+                None,
+            );
+        }
+        let settled = scratch.grow_events();
+        for _ in 0..3 {
+            let mut checker = wall_with_gap_checker();
+            let _ = planner.plan_with_scratch(
+                &mut checker,
+                start,
+                goal,
+                &corridor_bounds(),
+                &mut scratch,
+                None,
+            );
+        }
+        assert_eq!(
+            scratch.grow_events(),
+            settled,
+            "repeated identical plans must not grow any scratch buffer"
+        );
     }
 }
